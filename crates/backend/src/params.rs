@@ -1,0 +1,86 @@
+//! Model parameter binding.
+
+use std::collections::HashMap;
+
+use cortex_tensor::Tensor;
+
+/// Named parameter tensors bound to a lowered program's `Param`
+/// declarations (weights, biases, embedding tables).
+///
+/// # Example
+///
+/// ```
+/// use cortex_backend::params::Params;
+/// use cortex_tensor::Tensor;
+///
+/// let mut p = Params::new();
+/// p.set("W", Tensor::random(&[4, 4], 0.5, 0));
+/// assert!(p.get("W").is_some());
+/// assert!(p.get("missing").is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    by_name: HashMap<String, Tensor>,
+}
+
+impl Params {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// Binds (or replaces) a parameter by name.
+    pub fn set(&mut self, name: &str, value: Tensor) -> &mut Self {
+        self.by_name.insert(name.to_string(), value);
+        self
+    }
+
+    /// Looks up a parameter.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.by_name.get(name)
+    }
+
+    /// Iterates over all bound parameters.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.by_name.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether no parameters are bound.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// Total bytes across all parameters.
+    pub fn total_bytes(&self) -> u64 {
+        self.by_name.values().map(|t| t.len() as u64 * 4).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_and_bytes() {
+        let mut p = Params::new();
+        assert!(p.is_empty());
+        p.set("W", Tensor::zeros(&[2, 3]));
+        p.set("b", Tensor::zeros(&[3]));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.total_bytes(), (6 + 3) * 4);
+        assert_eq!(p.get("W").unwrap().shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut p = Params::new();
+        p.set("W", Tensor::zeros(&[2]));
+        p.set("W", Tensor::zeros(&[5]));
+        assert_eq!(p.get("W").unwrap().len(), 5);
+    }
+}

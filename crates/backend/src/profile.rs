@@ -1,0 +1,184 @@
+//! Execution profiles: every hardware-relevant quantity a run produces.
+//!
+//! The executor fills a [`Profile`] while running a lowered program; the
+//! baseline frameworks fill the same structure (plus their host-side
+//! overhead timers), so Table 6's activity breakdown and Appendix C's
+//! roofline analysis come straight out of these counters.
+
+use std::time::Duration;
+
+/// Per-wavefront statistics: the parallel width available to the device
+/// and the floating-point work done — the inputs to the utilization term
+/// of the device model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WaveStat {
+    /// Floating-point operations executed in this wave.
+    pub flops: u64,
+    /// Nodes processed in parallel in this wave.
+    pub width: u64,
+    /// Global-memory bytes moved by this wave (reads + writes +
+    /// parameter traffic) — the per-wave roofline's memory term. Late,
+    /// narrow tree waves are memory-bound on re-read weights, which is
+    /// what model persistence removes.
+    pub bytes: u64,
+}
+
+/// Counters collected while executing a program.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Device kernel launches.
+    pub launches: u64,
+    /// Device-wide synchronization barriers executed.
+    pub barriers_global: u64,
+    /// Block-local synchronizations (per-node thread-block schedules).
+    pub barriers_block: u64,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Bytes read from global memory (excluding parameters).
+    pub global_bytes_read: u64,
+    /// Bytes written to global memory.
+    pub global_bytes_written: u64,
+    /// Parameter bytes read from global memory (once per program under
+    /// model persistence; per wave otherwise — Appendix C's distinction).
+    pub param_bytes_read: u64,
+    /// Bytes moved through on-chip scratchpad (not charged to bandwidth).
+    pub scratch_bytes_accessed: u64,
+    /// Global-memory bytes saved by cache reuse (unrolling, Fig. 3).
+    pub cache_reuse_bytes: u64,
+    /// Conditional (branch) checks executed.
+    pub branch_checks: u64,
+    /// Leaf checks implemented as memory loads (`num_children[n]`);
+    /// the Appendix-B numbering makes this zero.
+    pub leaf_check_loads: u64,
+    /// Total bytes of allocated device storage (peak, Fig. 12).
+    pub allocated_bytes: u64,
+    /// Bytes of on-chip scratchpad allocated.
+    pub scratch_allocated_bytes: u64,
+    /// Host-side API calls (kernel launches + memory copies), the "CPU
+    /// CUDA API time" driver of Table 6.
+    pub host_api_calls: u64,
+    /// Bytes copied host-side to make vendor-library inputs contiguous
+    /// (zero for Cortex; significant for DyNet/Cavs — §7.2).
+    pub memcpy_bytes: u64,
+    /// Per-wave statistics for the utilization model.
+    pub waves: Vec<WaveStat>,
+    /// Host time spent linearizing the data structure (§7.5).
+    pub linearize_time: Duration,
+    /// Host time spent constructing a runtime dataflow graph (DyNet-style
+    /// frameworks; zero for Cortex).
+    pub graph_construction_time: Duration,
+    /// Host time spent on runtime dynamic batching (DyNet/Cavs; for
+    /// Cortex this is part of linearization).
+    pub dynamic_batching_time: Duration,
+    /// Host time spent on memory management (gather/scatter for
+    /// contiguity; zero for Cortex).
+    pub mem_mgmt_time: Duration,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Total global-memory traffic in bytes (reads + writes + parameters),
+    /// net of modeled cache reuse.
+    pub fn total_global_bytes(&self) -> u64 {
+        (self.global_bytes_read + self.global_bytes_written + self.param_bytes_read)
+            .saturating_sub(self.cache_reuse_bytes)
+    }
+
+    /// Operational intensity in flops per global byte (Appendix C).
+    ///
+    /// Returns `f64::INFINITY` when no global traffic occurred.
+    pub fn operational_intensity(&self) -> f64 {
+        let bytes = self.total_global_bytes();
+        if bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.flops as f64 / bytes as f64
+        }
+    }
+
+    /// Host-side overhead (graph construction + batching + memory
+    /// management + linearization).
+    pub fn host_overhead(&self) -> Duration {
+        self.linearize_time
+            + self.graph_construction_time
+            + self.dynamic_batching_time
+            + self.mem_mgmt_time
+    }
+
+    /// Merges another profile's counters into this one (used by baselines
+    /// that execute many vendor-kernel calls).
+    pub fn merge(&mut self, other: &Profile) {
+        self.launches += other.launches;
+        self.barriers_global += other.barriers_global;
+        self.barriers_block += other.barriers_block;
+        self.flops += other.flops;
+        self.global_bytes_read += other.global_bytes_read;
+        self.global_bytes_written += other.global_bytes_written;
+        self.param_bytes_read += other.param_bytes_read;
+        self.scratch_bytes_accessed += other.scratch_bytes_accessed;
+        self.cache_reuse_bytes += other.cache_reuse_bytes;
+        self.branch_checks += other.branch_checks;
+        self.leaf_check_loads += other.leaf_check_loads;
+        self.allocated_bytes = self.allocated_bytes.max(other.allocated_bytes);
+        self.scratch_allocated_bytes =
+            self.scratch_allocated_bytes.max(other.scratch_allocated_bytes);
+        self.host_api_calls += other.host_api_calls;
+        self.memcpy_bytes += other.memcpy_bytes;
+        self.waves.extend_from_slice(&other.waves);
+        self.linearize_time += other.linearize_time;
+        self.graph_construction_time += other.graph_construction_time;
+        self.dynamic_batching_time += other.dynamic_batching_time;
+        self.mem_mgmt_time += other.mem_mgmt_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operational_intensity_matches_definition() {
+        let p = Profile {
+            flops: 1000,
+            global_bytes_read: 100,
+            global_bytes_written: 100,
+            param_bytes_read: 50,
+            ..Profile::default()
+        };
+        assert!((p.operational_intensity() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_reuse_reduces_traffic() {
+        let p = Profile {
+            global_bytes_read: 100,
+            cache_reuse_bytes: 40,
+            ..Profile::default()
+        };
+        assert_eq!(p.total_global_bytes(), 60);
+        let over = Profile {
+            global_bytes_read: 10,
+            cache_reuse_bytes: 40,
+            ..Profile::default()
+        };
+        assert_eq!(over.total_global_bytes(), 0, "saturating, never underflows");
+    }
+
+    #[test]
+    fn empty_profile_has_infinite_intensity() {
+        assert!(Profile::new().operational_intensity().is_infinite());
+    }
+
+    #[test]
+    fn merge_accumulates_and_maxes() {
+        let mut a = Profile { launches: 2, allocated_bytes: 100, ..Profile::default() };
+        let b = Profile { launches: 3, allocated_bytes: 50, ..Profile::default() };
+        a.merge(&b);
+        assert_eq!(a.launches, 5);
+        assert_eq!(a.allocated_bytes, 100, "allocation is a peak, not a sum");
+    }
+}

@@ -1,0 +1,635 @@
+//! Framework-level cell programs: the operator sequences PyTorch, DyNet
+//! and Cavs execute for each model, built on the metered vendor library.
+//!
+//! A *cell* is the per-node computation expressed as the operator calls a
+//! framework would issue (one matvec call per gate, one elementwise call
+//! per combination). Each cell function processes a whole *wave* of nodes
+//! through batched vendor calls — the eager (PyTorch) driver simply calls
+//! it with waves of size one.
+//!
+//! The arithmetic matches `cortex_models::reference` exactly; unit tests
+//! assert it, so all framework comparisons measure execution structure,
+//! not numerics.
+
+use cortex_backend::params::Params;
+use cortex_ds::RecStructure;
+use cortex_models::{mvrnn::MAT_VOCAB, LeafInit, Model};
+use cortex_tensor::Tensor;
+
+use crate::vendor::VendorCtx;
+
+/// Per-node state carried through the recursion.
+#[derive(Debug, Clone, Default)]
+pub struct NodeState {
+    /// Hidden / composition vector.
+    pub h: Vec<f32>,
+    /// LSTM cell state (empty otherwise).
+    pub c: Vec<f32>,
+    /// MV-RNN composition matrix, row-major (empty otherwise).
+    pub mat: Vec<f32>,
+}
+
+impl NodeState {
+    /// Bytes this state occupies on the device.
+    pub fn bytes(&self) -> u64 {
+        ((self.h.len() + self.c.len() + self.mat.len()) * 4) as u64
+    }
+}
+
+/// One node of a wave: its children (indices into the global state table)
+/// and word id.
+#[derive(Debug, Clone)]
+pub struct WaveNode {
+    /// Children as structure-node indices.
+    pub children: Vec<usize>,
+    /// Word (input feature) id.
+    pub word: u32,
+}
+
+impl WaveNode {
+    /// Builds wave nodes from structure nodes.
+    pub fn from_structure(s: &RecStructure, nodes: &[cortex_ds::NodeId]) -> Vec<WaveNode> {
+        nodes
+            .iter()
+            .map(|&n| WaveNode {
+                children: s.children(n).iter().map(|c| c.index()).collect(),
+                word: s.word(n),
+            })
+            .collect()
+    }
+}
+
+/// Which cell a model uses (dispatched by model name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellKind {
+    /// TreeFC.
+    TreeFc,
+    /// TreeRNN.
+    TreeRnn,
+    /// TreeGRU / SimpleTreeGRU / sequential GRU.
+    TreeGru {
+        /// SimpleTreeGRU's `h = (1-z) ∘ h'` variant.
+        simple: bool,
+    },
+    /// TreeLSTM / sequential LSTM.
+    TreeLstm,
+    /// MV-RNN.
+    MvRnn,
+    /// DAG-RNN.
+    DagRnn,
+}
+
+impl CellKind {
+    /// Resolves the cell for a model built by `cortex_models`.
+    pub fn for_model(model: &Model) -> Option<CellKind> {
+        match model.name.as_str() {
+            "TreeFC" => Some(CellKind::TreeFc),
+            "TreeRNN" => Some(CellKind::TreeRnn),
+            "TreeGRU" | "GRU" => Some(CellKind::TreeGru { simple: false }),
+            "SimpleTreeGRU" => Some(CellKind::TreeGru { simple: true }),
+            "TreeLSTM" | "LSTM" => Some(CellKind::TreeLstm),
+            "MV-RNN" => Some(CellKind::MvRnn),
+            "DAG-RNN" => Some(CellKind::DagRnn),
+            _ => None,
+        }
+    }
+
+    /// Framework operators issued per internal node — the size of the
+    /// runtime dataflow graph DyNet builds (Table 6's graph-construction
+    /// driver).
+    pub fn ops_per_internal(&self, slots: usize) -> usize {
+        match self {
+            CellKind::TreeFc => 3,                    // 2 matvec + combine
+            CellKind::TreeRnn => 3,                   // hsum, matvec, combine
+            CellKind::TreeGru { simple } => {
+                // hsum, 2×(matvec+act), gate mul, matvec+act, final blend
+                8 + usize::from(!*simple)
+            }
+            CellKind::TreeLstm => 8 + 2 * slots,      // hsum, 3×(mv+act), per-child f, c, h
+            CellKind::MvRnn => 7,                     // 2 dyn-mv, 2 mv, combine, 2 matmat
+            CellKind::DagRnn => 2 + slots,            // per-dir matvec, combine, (x precomputed)
+        }
+    }
+
+    /// Computes leaf states for a wave of leaves (one gather call per
+    /// state table).
+    pub fn leaf_wave(
+        &self,
+        params: &Params,
+        nodes: &[WaveNode],
+        h: usize,
+        leaf: LeafInit,
+        ctx: &mut VendorCtx,
+    ) -> Vec<NodeState> {
+        let gather = |ctx: &mut VendorCtx, table: &Tensor, modulus: usize| -> Vec<Vec<f32>> {
+            ctx.batched_elementwise(nodes.len(), h, 0, 1, || {
+                nodes
+                    .iter()
+                    .map(|n| {
+                        let row = if modulus == 0 {
+                            n.word as usize
+                        } else {
+                            n.word as usize % modulus
+                        };
+                        table.as_slice()[row * table.shape().dims()[1..].iter().product::<usize>()
+                            ..(row + 1) * table.shape().dims()[1..].iter().product::<usize>()]
+                            .to_vec()
+                    })
+                    .collect()
+            })
+        };
+        match self {
+            CellKind::TreeLstm => {
+                let (cs, hs) = match leaf {
+                    LeafInit::Zero => (
+                        vec![vec![0.0; h]; nodes.len()],
+                        vec![vec![0.0; h]; nodes.len()],
+                    ),
+                    LeafInit::Embedding => (
+                        gather(ctx, param(params, "Emb_c"), 0),
+                        gather(ctx, param(params, "Emb_h"), 0),
+                    ),
+                };
+                cs.into_iter()
+                    .zip(hs)
+                    .map(|(c, hv)| NodeState { h: hv, c, mat: Vec::new() })
+                    .collect()
+            }
+            CellKind::MvRnn => {
+                let emb = param(params, "Emb");
+                let emb_m = param(params, "Emb_M");
+                let a = gather(ctx, emb, 0);
+                let mats: Vec<Vec<f32>> = ctx.batched_elementwise(nodes.len(), h * h, 0, 1, || {
+                    nodes
+                        .iter()
+                        .map(|n| {
+                            let row = n.word as usize % MAT_VOCAB;
+                            emb_m.as_slice()[row * h * h..(row + 1) * h * h].to_vec()
+                        })
+                        .collect()
+                });
+                a.into_iter()
+                    .zip(mats)
+                    .map(|(hv, mat)| NodeState { h: hv, c: Vec::new(), mat })
+                    .collect()
+            }
+            CellKind::DagRnn => {
+                // Leaf (grid origin): h = tanh(x), with x = W_x·Emb[w] + b.
+                let xs = dag_inputs(params, nodes, h, ctx);
+                ctx.batched_elementwise(nodes.len(), h, 1, 1, || {
+                    xs.into_iter()
+                        .map(|x| NodeState {
+                            h: x.iter().map(|v| v.tanh()).collect(),
+                            ..NodeState::default()
+                        })
+                        .collect()
+                })
+            }
+            _ => {
+                let hs = match leaf {
+                    LeafInit::Zero => vec![vec![0.0; h]; nodes.len()],
+                    LeafInit::Embedding => gather(ctx, param(params, "Emb"), 0),
+                };
+                hs.into_iter().map(|hv| NodeState { h: hv, ..NodeState::default() }).collect()
+            }
+        }
+    }
+
+    /// Computes internal-node states for one wave via batched vendor
+    /// calls, gathering children states (contiguity copies) as a vendor
+    /// library requires. Returns the new states and the bytes of
+    /// intermediate tensors the wave materialized.
+    pub fn internal_wave(
+        &self,
+        params: &Params,
+        nodes: &[WaveNode],
+        states: &[NodeState],
+        h: usize,
+        ctx: &mut VendorCtx,
+    ) -> (Vec<NodeState>, u64) {
+        let b = nodes.len();
+        let row_bytes = (h * 4) as u64;
+        let mut intermediates = 0u64;
+        let mut track = |ctx: &mut VendorCtx, rows: u64| {
+            let bytes = rows * row_bytes;
+            ctx.alloc(bytes);
+            intermediates += bytes;
+        };
+        // Gather the children hidden states contiguously.
+        let hsum: Vec<Vec<f32>> = {
+            let total: u64 = nodes.iter().map(|n| n.children.len() as u64).sum();
+            ctx.contiguity_copy(total * row_bytes);
+            ctx.batched_elementwise(b, h, 1, 2, || {
+                nodes
+                    .iter()
+                    .map(|n| {
+                        let mut acc = states[n.children[0]].h.clone();
+                        for &c in &n.children[1..] {
+                            for (a, v) in acc.iter_mut().zip(&states[c].h) {
+                                *a += v;
+                            }
+                        }
+                        acc
+                    })
+                    .collect()
+            })
+        };
+        track(ctx, b as u64);
+
+        let sig = |x: f32| 1.0 / (1.0 + (-x).exp());
+        match self {
+            CellKind::TreeRnn => {
+                let w = param(params, "W");
+                let bias = param(params, "b");
+                let refs: Vec<&[f32]> = hsum.iter().map(Vec::as_slice).collect();
+                let mv = ctx.batched_matvec(w, &refs);
+                track(ctx, b as u64);
+                let out = ctx.batched_elementwise(b, h, 2, 2, || {
+                    mv.iter()
+                        .map(|row| {
+                            row.iter()
+                                .zip(bias.as_slice())
+                                .map(|(x, bb)| (x + bb).tanh())
+                                .collect::<Vec<f32>>()
+                        })
+                        .collect::<Vec<_>>()
+                });
+                (out.into_iter().map(|hv| NodeState { h: hv, ..NodeState::default() }).collect(), intermediates)
+            }
+            CellKind::TreeFc => {
+                let wl = param(params, "W_l");
+                let wr = param(params, "W_r");
+                let bias = param(params, "b");
+                ctx.contiguity_copy(2 * b as u64 * row_bytes);
+                let ls: Vec<&[f32]> =
+                    nodes.iter().map(|n| states[n.children[0]].h.as_slice()).collect();
+                let rs: Vec<&[f32]> =
+                    nodes.iter().map(|n| states[n.children[1]].h.as_slice()).collect();
+                let mvl = ctx.batched_matvec(wl, &ls);
+                track(ctx, b as u64);
+                let mvr = ctx.batched_matvec(wr, &rs);
+                track(ctx, b as u64);
+                let out = ctx.batched_elementwise(b, h, 3, 3, || {
+                    mvl.iter()
+                        .zip(&mvr)
+                        .map(|(l, r)| {
+                            l.iter()
+                                .zip(r)
+                                .zip(bias.as_slice())
+                                .map(|((x, y), bb)| (x + y + bb).tanh())
+                                .collect::<Vec<f32>>()
+                        })
+                        .collect::<Vec<_>>()
+                });
+                (out.into_iter().map(|hv| NodeState { h: hv, ..NodeState::default() }).collect(), intermediates)
+            }
+            CellKind::TreeGru { simple } => {
+                let refs: Vec<&[f32]> = hsum.iter().map(Vec::as_slice).collect();
+                let gate = |ctx: &mut VendorCtx, wn: &str, bn: &str, refs: &[&[f32]]| {
+                    let pre = ctx.batched_matvec(param(params, wn), refs);
+                    let bias = param(params, bn);
+                    ctx.batched_elementwise(refs.len(), h, 2, 1, || {
+                        pre.iter()
+                            .map(|row| {
+                                row.iter()
+                                    .zip(bias.as_slice())
+                                    .map(|(x, bb)| sig(x + bb))
+                                    .collect::<Vec<f32>>()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                };
+                let r = gate(ctx, "U_r", "b_r", &refs);
+                track(ctx, 2 * b as u64);
+                let z = gate(ctx, "U_z", "b_z", &refs);
+                track(ctx, 2 * b as u64);
+                let gated: Vec<Vec<f32>> = ctx.batched_elementwise(b, h, 1, 2, || {
+                    r.iter()
+                        .zip(&hsum)
+                        .map(|(rr, hs)| rr.iter().zip(hs).map(|(a, c)| a * c).collect())
+                        .collect()
+                });
+                track(ctx, b as u64);
+                let grefs: Vec<&[f32]> = gated.iter().map(Vec::as_slice).collect();
+                let hp_pre = ctx.batched_matvec(param(params, "U_h"), &grefs);
+                track(ctx, b as u64);
+                let bh = param(params, "b_h");
+                let hp: Vec<Vec<f32>> = ctx.batched_elementwise(b, h, 2, 1, || {
+                    hp_pre
+                        .iter()
+                        .map(|row| {
+                            row.iter()
+                                .zip(bh.as_slice())
+                                .map(|(x, bb)| (x + bb).tanh())
+                                .collect()
+                        })
+                        .collect()
+                });
+                track(ctx, b as u64);
+                let out: Vec<Vec<f32>> = ctx.batched_elementwise(b, h, 3, 3, || {
+                    (0..b)
+                        .map(|n| {
+                            (0..h)
+                                .map(|i| {
+                                    let keep = (1.0 - z[n][i]) * hp[n][i];
+                                    if *simple {
+                                        keep
+                                    } else {
+                                        z[n][i] * hsum[n][i] + keep
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect()
+                });
+                (out.into_iter().map(|hv| NodeState { h: hv, ..NodeState::default() }).collect(), intermediates)
+            }
+            CellKind::TreeLstm => {
+                let refs: Vec<&[f32]> = hsum.iter().map(Vec::as_slice).collect();
+                let gate = |ctx: &mut VendorCtx,
+                            wn: &str,
+                            bn: &str,
+                            refs: &[&[f32]],
+                            sigmoid: bool| {
+                    let pre = ctx.batched_matvec(param(params, wn), refs);
+                    let bias = param(params, bn);
+                    ctx.batched_elementwise(refs.len(), h, 2, 1, || {
+                        pre.iter()
+                            .map(|row| {
+                                row.iter()
+                                    .zip(bias.as_slice())
+                                    .map(|(x, bb)| {
+                                        if sigmoid {
+                                            sig(x + bb)
+                                        } else {
+                                            (x + bb).tanh()
+                                        }
+                                    })
+                                    .collect::<Vec<f32>>()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                };
+                let ig = gate(ctx, "U_i", "b_i", &refs, true);
+                let og = gate(ctx, "U_o", "b_o", &refs, true);
+                let ug = gate(ctx, "U_u", "b_u", &refs, false);
+                track(ctx, 6 * b as u64);
+                let max_slots = nodes.iter().map(|n| n.children.len()).max().unwrap_or(0);
+                let mut fgs: Vec<Vec<Vec<f32>>> = Vec::new(); // [slot][node][i]
+                for s in 0..max_slots {
+                    ctx.contiguity_copy(b as u64 * row_bytes);
+                    let hs: Vec<&[f32]> =
+                        nodes.iter().map(|n| states[n.children[s]].h.as_slice()).collect();
+                    fgs.push(gate(ctx, "U_f", "b_f", &hs, true));
+                    track(ctx, 2 * b as u64);
+                }
+                let c_new: Vec<Vec<f32>> = ctx.batched_elementwise(b, h, 4, 4, || {
+                    (0..b)
+                        .map(|n| {
+                            (0..h)
+                                .map(|i| {
+                                    let mut acc = ig[n][i] * ug[n][i];
+                                    for (s, f) in fgs.iter().enumerate() {
+                                        acc += f[n][i] * states[nodes[n].children[s]].c[i];
+                                    }
+                                    acc
+                                })
+                                .collect()
+                        })
+                        .collect()
+                });
+                track(ctx, b as u64);
+                let h_new: Vec<Vec<f32>> = ctx.batched_elementwise(b, h, 2, 2, || {
+                    (0..b)
+                        .map(|n| (0..h).map(|i| og[n][i] * c_new[n][i].tanh()).collect())
+                        .collect()
+                });
+                (
+                    h_new
+                        .into_iter()
+                        .zip(c_new)
+                        .map(|(hv, cv)| NodeState { h: hv, c: cv, mat: Vec::new() })
+                        .collect(),
+                    intermediates,
+                )
+            }
+            CellKind::MvRnn => {
+                ctx.contiguity_copy(2 * b as u64 * (h * h + h) as u64 * 4);
+                let ba_pairs: Vec<(&[f32], &[f32])> = nodes
+                    .iter()
+                    .map(|n| {
+                        (states[n.children[1]].mat.as_slice(), states[n.children[0]].h.as_slice())
+                    })
+                    .collect();
+                let ba = ctx.batched_dyn_matvec(&ba_pairs, h);
+                track(ctx, b as u64);
+                let ab_pairs: Vec<(&[f32], &[f32])> = nodes
+                    .iter()
+                    .map(|n| {
+                        (states[n.children[0]].mat.as_slice(), states[n.children[1]].h.as_slice())
+                    })
+                    .collect();
+                let ab = ctx.batched_dyn_matvec(&ab_pairs, h);
+                track(ctx, b as u64);
+                let p1 = ctx.batched_matvec(
+                    param(params, "W_1"),
+                    &ba.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+                );
+                let p2 = ctx.batched_matvec(
+                    param(params, "W_2"),
+                    &ab.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+                );
+                track(ctx, 2 * b as u64);
+                let bias = param(params, "b");
+                let a_new: Vec<Vec<f32>> = ctx.batched_elementwise(b, h, 3, 3, || {
+                    p1.iter()
+                        .zip(&p2)
+                        .map(|(x, y)| {
+                            x.iter()
+                                .zip(y)
+                                .zip(bias.as_slice())
+                                .map(|((u, v), bb)| (u + v + bb).tanh())
+                                .collect()
+                        })
+                        .collect()
+                });
+                // A(n) = W_M1 · A_l + W_M2 · A_r (two batched matmat calls).
+                let wm1 = param(params, "W_M1");
+                let wm2 = param(params, "W_M2");
+                let mats: Vec<Vec<f32>> = batched_matmat(ctx, wm1, wm2, nodes, states, h);
+                ctx.alloc(b as u64 * (h * h * 4) as u64);
+                intermediates += b as u64 * (h * h * 4) as u64;
+                (
+                    a_new
+                        .into_iter()
+                        .zip(mats)
+                        .map(|(hv, mat)| NodeState { h: hv, c: Vec::new(), mat })
+                        .collect(),
+                    intermediates,
+                )
+            }
+            CellKind::DagRnn => {
+                let xs = dag_inputs(params, nodes, h, ctx);
+                track(ctx, b as u64);
+                // Per-direction matvecs over present children.
+                let mut acc = xs;
+                let max_slots = nodes.iter().map(|n| n.children.len()).max().unwrap_or(0);
+                for s in 0..max_slots {
+                    let present: Vec<usize> =
+                        (0..b).filter(|&n| nodes[n].children.len() > s).collect();
+                    if present.is_empty() {
+                        continue;
+                    }
+                    ctx.contiguity_copy(present.len() as u64 * row_bytes);
+                    let hs: Vec<&[f32]> = present
+                        .iter()
+                        .map(|&n| states[nodes[n].children[s]].h.as_slice())
+                        .collect();
+                    let u = param(params, if s == 0 { "U_0" } else { "U_1" });
+                    let mv = ctx.batched_matvec(u, &hs);
+                    track(ctx, present.len() as u64);
+                    for (slot_i, &n) in present.iter().enumerate() {
+                        for i in 0..h {
+                            acc[n][i] += mv[slot_i][i];
+                        }
+                    }
+                }
+                let out: Vec<Vec<f32>> = ctx.batched_elementwise(b, h, 1, 1, || {
+                    acc.into_iter()
+                        .map(|row| row.into_iter().map(|x| x.tanh()).collect())
+                        .collect()
+                });
+                (out.into_iter().map(|hv| NodeState { h: hv, ..NodeState::default() }).collect(), intermediates)
+            }
+        }
+    }
+
+    /// Bytes of persistent state produced per node.
+    pub fn state_bytes(&self, h: usize) -> u64 {
+        match self {
+            CellKind::TreeLstm => (2 * h * 4) as u64,
+            CellKind::MvRnn => ((h + h * h) * 4) as u64,
+            _ => (h * 4) as u64,
+        }
+    }
+}
+
+fn param<'a>(params: &'a Params, name: &str) -> &'a Tensor {
+    params.get(name).unwrap_or_else(|| panic!("baseline: missing parameter '{name}'"))
+}
+
+/// DAG-RNN input transform `x = W_x · Emb[word] + b_x` for a wave.
+fn dag_inputs(params: &Params, nodes: &[WaveNode], h: usize, ctx: &mut VendorCtx) -> Vec<Vec<f32>> {
+    let emb = param(params, "Emb");
+    let wx = param(params, "W_x");
+    let bx = param(params, "b_x");
+    let rows: Vec<&[f32]> = nodes.iter().map(|n| emb.row(n.word as usize)).collect();
+    let mv = ctx.batched_matvec(wx, &rows);
+    ctx.batched_elementwise(nodes.len(), h, 1, 1, || {
+        mv.iter()
+            .map(|row| row.iter().zip(bx.as_slice()).map(|(x, b)| x + b).collect())
+            .collect()
+    })
+}
+
+/// Two batched parameter×matrix products for the MV-RNN matrix recursion.
+fn batched_matmat(
+    ctx: &mut VendorCtx,
+    wm1: &Tensor,
+    wm2: &Tensor,
+    nodes: &[WaveNode],
+    states: &[NodeState],
+    h: usize,
+) -> Vec<Vec<f32>> {
+    use cortex_backend::profile::WaveStat;
+    let b = nodes.len() as u64;
+    // Each call: one launch, parameter read once, per-node h×h in/out.
+    for w in [wm1, wm2] {
+        ctx.profile.launches += 1;
+        ctx.profile.host_api_calls += 1;
+        let bytes = w.len() as u64 * 4 + 2 * b * (h * h * 4) as u64;
+        ctx.profile.param_bytes_read += w.len() as u64 * 4;
+        ctx.profile.global_bytes_read += b * (h * h * 4) as u64;
+        ctx.profile.global_bytes_written += b * (h * h * 4) as u64;
+        let flops = b * 2 * (h as u64).pow(3);
+        ctx.profile.flops += flops;
+        ctx.profile.waves.push(WaveStat { flops, width: b, bytes });
+    }
+    nodes
+        .iter()
+        .map(|n| {
+            let (l, r) = (&states[n.children[0]].mat, &states[n.children[1]].mat);
+            let mut out = vec![0.0f32; h * h];
+            for i in 0..h {
+                for j in 0..h {
+                    let mut acc1 = 0.0;
+                    for k in 0..h {
+                        acc1 += wm1[[i, k]] * l[k * h + j];
+                    }
+                    let mut acc2 = 0.0;
+                    for k in 0..h {
+                        acc2 += wm2[[i, k]] * r[k * h + j];
+                    }
+                    out[i * h + j] = acc1 + acc2;
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vendor::MemoryMeter;
+    use cortex_models::treegru;
+
+    #[test]
+    fn cell_kind_dispatch() {
+        let m = treegru::tree_gru(4, LeafInit::Zero);
+        assert_eq!(CellKind::for_model(&m), Some(CellKind::TreeGru { simple: false }));
+        let m = cortex_models::seq::seq_lstm(4);
+        assert_eq!(CellKind::for_model(&m), Some(CellKind::TreeLstm));
+    }
+
+    #[test]
+    fn ops_per_internal_counts_are_sane() {
+        assert_eq!(CellKind::TreeFc.ops_per_internal(2), 3);
+        assert!(CellKind::TreeLstm.ops_per_internal(2) > CellKind::TreeFc.ops_per_internal(2));
+    }
+
+    #[test]
+    fn gru_wave_matches_reference_cell() {
+        let m = treegru::tree_gru(4, LeafInit::Embedding);
+        let mut ctx = VendorCtx::new(MemoryMeter::inference(), false);
+        // Two leaves + one internal node.
+        let t = cortex_ds::datasets::random_binary_tree(2, 0);
+        let want = cortex_models::reference::tree_gru(
+            &t,
+            &m.params,
+            4,
+            LeafInit::Embedding,
+            false,
+        );
+        let leaves: Vec<_> = t.iter().filter(|&n| t.is_leaf(n)).collect();
+        let internal: Vec<_> = t.iter().filter(|&n| !t.is_leaf(n)).collect();
+        let cell = CellKind::for_model(&m).unwrap();
+        let mut states = vec![NodeState::default(); t.num_nodes()];
+        let leaf_nodes = WaveNode::from_structure(&t, &leaves);
+        for (st, &n) in cell
+            .leaf_wave(&m.params, &leaf_nodes, 4, LeafInit::Embedding, &mut ctx)
+            .into_iter()
+            .zip(&leaves)
+        {
+            states[n.index()] = st;
+        }
+        let int_nodes = WaveNode::from_structure(&t, &internal);
+        let (new_states, _) = cell.internal_wave(&m.params, &int_nodes, &states, 4, &mut ctx);
+        for (st, &n) in new_states.into_iter().zip(&internal) {
+            for (g, w) in st.h.iter().zip(&want[n.index()]) {
+                assert!((g - w).abs() < 1e-5, "{g} vs {w}");
+            }
+        }
+        assert!(ctx.profile.launches > 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates every table and figure in one run (used to fill
+//! EXPERIMENTS.md).
+
+use cortex_bench_harness::experiments as e;
+
+fn main() {
+    let scale = cortex_bench_harness::Scale::from_env();
+    println!("{}", e::fig6::run(scale));
+    println!("{}", e::fig7::run(scale));
+    println!("{}", e::fig9::run(scale));
+    println!("{}", e::fig10::run_a(scale));
+    println!("{}", e::fig10::run_b(scale));
+    println!("{}", e::fig10::run_c(scale));
+    println!("{}", e::fig12::run(scale));
+    println!("{}", e::table4::run(scale));
+    println!("{}", e::table5::run(scale));
+    println!("{}", e::table6::run(scale));
+    println!("{}", e::linearize::run(scale));
+    println!("{}", e::roofline::run(scale));
+}

@@ -1,0 +1,6 @@
+//! Prints the Fig. 10a reproduction (fusion/specialization/persistence).
+
+fn main() {
+    let scale = cortex_bench_harness::Scale::from_env();
+    println!("{}", cortex_bench_harness::experiments::fig10::run_a(scale));
+}

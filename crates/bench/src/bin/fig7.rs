@@ -1,0 +1,6 @@
+//! Prints the fig7 reproduction (see `cortex_bench_harness::experiments`).
+
+fn main() {
+    let scale = cortex_bench_harness::Scale::from_env();
+    println!("{}", cortex_bench_harness::experiments::fig7::run(scale));
+}

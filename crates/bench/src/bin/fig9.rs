@@ -1,0 +1,6 @@
+//! Prints the fig9 reproduction (see `cortex_bench_harness::experiments`).
+
+fn main() {
+    let scale = cortex_bench_harness::Scale::from_env();
+    println!("{}", cortex_bench_harness::experiments::fig9::run(scale));
+}

@@ -1,0 +1,6 @@
+//! Prints the table5 reproduction (see `cortex_bench_harness::experiments`).
+
+fn main() {
+    let scale = cortex_bench_harness::Scale::from_env();
+    println!("{}", cortex_bench_harness::experiments::table5::run(scale));
+}

@@ -1,0 +1,34 @@
+//! Grid-search auto-tuning (§6): ranks every supported schedule for a
+//! model and prints the leaderboard.
+//!
+//! Usage: `cargo run --release -p cortex-bench-harness --bin tune [model]`
+//! where model ∈ {treefc, treernn, treegru, treelstm, mvrnn, dagrnn}.
+
+use cortex_backend::device::DeviceSpec;
+use cortex_bench_harness::registry::ModelId;
+use cortex_bench_harness::table::{ms, Table};
+use cortex_bench_harness::tune;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "treelstm".to_string());
+    let id = match which.as_str() {
+        "treefc" => ModelId::TreeFc,
+        "treernn" => ModelId::TreeRnn,
+        "treegru" => ModelId::TreeGru,
+        "mvrnn" => ModelId::MvRnn,
+        "dagrnn" => ModelId::DagRnn,
+        _ => ModelId::TreeLstm,
+    };
+    let scale = cortex_bench_harness::Scale::from_env();
+    let model = id.build(id.hs(scale));
+    let data = id.dataset(10, 2021);
+    let ranked = tune::grid_search(&model, &data, &DeviceSpec::v100());
+    let mut t = Table::new(
+        &format!("Auto-tuning grid search: {} (GPU, hs, batch 10)", id.name()),
+        &["rank", "latency (ms)", "schedule"],
+    );
+    for (i, c) in ranked.iter().enumerate().take(12) {
+        t.row_owned(vec![(i + 1).to_string(), ms(c.measured.latency_ms), c.label.clone()]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,225 @@
+//! Fig. 10 — the benefits of Cortex's optimizations on the GPU backend
+//! (hidden size 256): (a) fusion / specialization / persistence,
+//! (b) unrolling (with Fig. 11's barrier counts), (c) recursive
+//! refactoring.
+
+use cortex_backend::device::DeviceSpec;
+use cortex_core::ra::{FusionMode, RaSchedule};
+
+use crate::registry::ModelId;
+use crate::runner::cortex;
+use crate::table::{ms, Table};
+use crate::Scale;
+
+/// The four cumulative configurations of Fig. 10a.
+pub fn ablation_schedules() -> [(&'static str, RaSchedule); 4] {
+    [
+        ("no fusion", RaSchedule::unoptimized()),
+        (
+            "max fusion",
+            RaSchedule {
+                fusion: FusionMode::Maximal,
+                specialize: false,
+                persist: false,
+                dense_intermediates: true,
+                ..RaSchedule::default()
+            },
+        ),
+        (
+            "+specialization",
+            RaSchedule { persist: false, ..RaSchedule::default() },
+        ),
+        ("+persistence", RaSchedule::default()),
+    ]
+}
+
+/// Regenerates Fig. 10a.
+pub fn run_a(scale: Scale) -> String {
+    let gpu = DeviceSpec::v100();
+    let mut t = Table::new(
+        "Fig. 10a: kernel fusion, specialization and persistence (GPU, H=256)",
+        &["model", "batch", "no fusion", "max fusion", "+specialization", "+persistence"],
+    );
+    for id in [ModelId::TreeFc, ModelId::DagRnn, ModelId::TreeGru, ModelId::TreeLstm] {
+        let model = id.build_recursive_only(scale.hidden(256));
+        for bs in [1usize, 10] {
+            let data = id.dataset(bs, super::SEED);
+            let mut cells = vec![id.name().to_string(), bs.to_string()];
+            for (_, schedule) in ablation_schedules() {
+                let m = cortex(&model, &data, &schedule, &gpu);
+                cells.push(ms(m.device_ms()));
+            }
+            t.row_owned(cells);
+        }
+    }
+    t.render()
+}
+
+/// Regenerates Fig. 10b (plus the Fig. 11 barrier counts).
+pub fn run_b(scale: Scale) -> String {
+    let gpu = DeviceSpec::v100();
+    let mut t = Table::new(
+        "Fig. 10b: unrolling (GPU, H=256); barrier counts illustrate Fig. 11",
+        &["model", "batch", "not unrolled (ms)", "unrolled (ms)", "barriers", "barriers unrolled"],
+    );
+    for (id, block_local) in [(ModelId::TreeRnn, true), (ModelId::TreeLstm, false)] {
+        let model = id.build_recursive_only(scale.hidden(256));
+        for bs in [1usize, 10] {
+            let data = id.dataset(bs, super::SEED);
+            let plain = cortex(&model, &data, &RaSchedule::default(), &gpu);
+            let unrolled_schedule = RaSchedule {
+                unroll: Some(2),
+                unroll_block_local: block_local,
+                ..RaSchedule::default()
+            };
+            let unrolled = cortex(&model, &data, &unrolled_schedule, &gpu);
+            t.row_owned(vec![
+                id.name().to_string(),
+                bs.to_string(),
+                ms(plain.device_ms()),
+                ms(unrolled.device_ms()),
+                plain.profile.barriers_global.to_string(),
+                unrolled.profile.barriers_global.to_string(),
+            ]);
+        }
+    }
+    t.render()
+}
+
+/// Regenerates Fig. 10c ("Unhoisted" = default, "Hoisted" = refactored).
+pub fn run_c(scale: Scale) -> String {
+    let gpu = DeviceSpec::v100();
+    let mut t = Table::new(
+        "Fig. 10c: recursive refactoring (GPU, H=256)",
+        &["model", "batch", "unhoisted (ms)", "hoisted (ms)", "improvement %"],
+    );
+    for id in [ModelId::SimpleTreeGru, ModelId::TreeGru] {
+        let model = id.build_recursive_only(scale.hidden(256));
+        for bs in [1usize, 10] {
+            let data = id.dataset(bs, super::SEED);
+            let plain = cortex(&model, &data, &RaSchedule::default(), &gpu);
+            let refactored = cortex(&model, &data, &model.refactored_schedule(), &gpu);
+            let improvement =
+                100.0 * (plain.device_ms() - refactored.device_ms()) / plain.device_ms();
+            t.row_owned(vec![
+                id.name().to_string(),
+                bs.to_string(),
+                ms(plain.device_ms()),
+                ms(refactored.device_ms()),
+                format!("{improvement:.1}"),
+            ]);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latencies_for(id: ModelId, bs: usize) -> Vec<f64> {
+        let gpu = DeviceSpec::v100();
+        let model = id.build_recursive_only(32);
+        let data = id.dataset(bs, super::super::SEED);
+        ablation_schedules()
+            .iter()
+            .map(|(_, s)| cortex(&model, &data, s, &gpu).device_ms())
+            .collect()
+    }
+
+    #[test]
+    fn fusion_provides_significant_benefits_for_all_models() {
+        // Fig. 10a: "Kernel fusion provides significant benefits for all
+        // models."
+        for id in [ModelId::TreeFc, ModelId::TreeGru, ModelId::TreeLstm] {
+            let l = latencies_for(id, 10);
+            assert!(
+                l[1] < 0.7 * l[0],
+                "{}: fusion should cut latency substantially ({} -> {})",
+                id.name(),
+                l[0],
+                l[1]
+            );
+        }
+    }
+
+    #[test]
+    fn specialization_helps_trees_not_dags() {
+        // Fig. 10a: specialization (leaf hoisting) helps tree models;
+        // DAG-RNN "does not lead to any speedup as expected" (its leaf is
+        // a single node and nothing hoists).
+        let tree = latencies_for(ModelId::TreeLstm, 10);
+        assert!(tree[2] < tree[1], "TreeLSTM: {} -> {}", tree[1], tree[2]);
+        let dag = latencies_for(ModelId::DagRnn, 10);
+        let change = (dag[1] - dag[2]).abs() / dag[1];
+        assert!(change < 0.25, "DAG-RNN should be roughly flat, changed {change:.2}");
+    }
+
+    #[test]
+    fn persistence_gives_nonnegligible_improvement() {
+        let l = latencies_for(ModelId::TreeLstm, 10);
+        assert!(l[3] < l[2], "persistence: {} -> {}", l[2], l[3]);
+    }
+
+    #[test]
+    fn unrolling_slows_treelstm_and_helps_treernn() {
+        // Fig. 10b both directions.
+        let gpu = DeviceSpec::v100();
+        let lstm = ModelId::TreeLstm.build_recursive_only(32);
+        let data = ModelId::TreeLstm.dataset(10, super::super::SEED);
+        let plain = cortex(&lstm, &data, &RaSchedule::default(), &gpu);
+        let unrolled = cortex(
+            &lstm,
+            &data,
+            &RaSchedule { unroll: Some(2), ..RaSchedule::default() },
+            &gpu,
+        );
+        assert!(
+            unrolled.profile.barriers_global > plain.profile.barriers_global,
+            "unrolling TreeLSTM adds barriers (Fig. 11): {} vs {}",
+            unrolled.profile.barriers_global,
+            plain.profile.barriers_global
+        );
+        assert!(unrolled.device_ms() > plain.device_ms());
+
+        let rnn = ModelId::TreeRnn.build_recursive_only(32);
+        let data = ModelId::TreeRnn.dataset(10, super::super::SEED);
+        let plain = cortex(&rnn, &data, &RaSchedule::default(), &gpu);
+        let unrolled = cortex(
+            &rnn,
+            &data,
+            &RaSchedule {
+                unroll: Some(2),
+                unroll_block_local: true,
+                ..RaSchedule::default()
+            },
+            &gpu,
+        );
+        assert!(
+            unrolled.profile.barriers_global < plain.profile.barriers_global,
+            "per-node thread blocks cut global barriers: {} vs {}",
+            unrolled.profile.barriers_global,
+            plain.profile.barriers_global
+        );
+        assert!(unrolled.device_ms() < plain.device_ms());
+    }
+
+    #[test]
+    fn refactoring_helps_simple_tree_gru_more() {
+        let gpu = DeviceSpec::v100();
+        let improvement = |id: ModelId| {
+            let model = id.build_recursive_only(32);
+            let data = id.dataset(10, super::super::SEED);
+            let plain = cortex(&model, &data, &RaSchedule::default(), &gpu);
+            let refd = cortex(&model, &data, &model.refactored_schedule(), &gpu);
+            (plain.device_ms() - refd.device_ms()) / plain.device_ms()
+        };
+        let simple = improvement(ModelId::SimpleTreeGru);
+        let full = improvement(ModelId::TreeGru);
+        assert!(simple > 0.05, "SimpleTreeGRU should improve noticeably: {simple:.3}");
+        assert!(
+            simple > full,
+            "refactoring must help SimpleTreeGRU more than TreeGRU: {simple:.3} vs {full:.3}"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Fig. 7 — inference latency vs hidden size for the recursive portion of
+//! TreeLSTM at batch size 10: DyNet and Cavs latencies are dominated by
+//! runtime overheads at small hidden sizes.
+
+use cortex_backend::device::DeviceSpec;
+
+use crate::registry::ModelId;
+use crate::runner::{baseline, Baseline};
+use crate::table::{ms, Table};
+use crate::Scale;
+
+/// Hidden sizes along the figure's x-axis (1 to 512, powers of two).
+pub fn hidden_sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Paper => vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512],
+        Scale::Smoke => vec![1, 4, 16, 64],
+    }
+}
+
+/// Regenerates the Fig. 7 series.
+pub fn run(scale: Scale) -> String {
+    let gpu = DeviceSpec::v100();
+    let intel = DeviceSpec::intel_cascadelake();
+    let data = ModelId::TreeLstm.dataset(10, super::SEED);
+    let mut t = Table::new(
+        "Fig. 7: latency vs hidden size, recursive TreeLSTM, batch 10",
+        &["hidden", "DyNet GPU (ms)", "Cavs GPU (ms)", "DyNet Intel (ms)", "Cavs Intel (ms)"],
+    );
+    for h in hidden_sizes(scale) {
+        let model = ModelId::TreeLstm.build_recursive_only(h);
+        let dy_g = baseline(Baseline::DyNet, &model, &data, &gpu);
+        let cv_g = baseline(Baseline::Cavs, &model, &data, &gpu);
+        let dy_i = baseline(Baseline::DyNet, &model, &data, &intel);
+        let cv_i = baseline(Baseline::Cavs, &model, &data, &intel);
+        t.row_owned(vec![
+            h.to_string(),
+            ms(dy_g.latency_ms),
+            ms(cv_g.latency_ms),
+            ms(dy_i.latency_ms),
+            ms(cv_i.latency_ms),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_dominate_at_small_hidden_sizes() {
+        // Fig. 7's point: latency barely moves from H=1 to H=64 because
+        // runtime overheads, not compute, dominate.
+        let gpu = DeviceSpec::v100();
+        let data = ModelId::TreeLstm.dataset(10, super::super::SEED);
+        let tiny = baseline(
+            Baseline::DyNet,
+            &ModelId::TreeLstm.build_recursive_only(1),
+            &data,
+            &gpu,
+        );
+        let mid = baseline(
+            Baseline::DyNet,
+            &ModelId::TreeLstm.build_recursive_only(64),
+            &data,
+            &gpu,
+        );
+        assert!(
+            mid.latency_ms < 4.0 * tiny.latency_ms,
+            "latency should be overhead-dominated: {} vs {}",
+            mid.latency_ms,
+            tiny.latency_ms
+        );
+        // And the overhead share at H=1 is large.
+        let overhead =
+            tiny.breakdown.host_s + tiny.breakdown.launch_s + tiny.breakdown.memcpy_s;
+        assert!(overhead > 0.5 * tiny.breakdown.total_s);
+    }
+
+    #[test]
+    fn renders_a_row_per_hidden_size() {
+        let out = run(Scale::Smoke);
+        assert_eq!(out.lines().count(), 3 + hidden_sizes(Scale::Smoke).len());
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per paper table/figure; every function returns the
+//! formatted output so tests and binaries share the code path.
+
+pub mod fig10;
+pub mod fig12;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+pub mod linearize;
+pub mod roofline;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+/// Fixed workload seed so all experiments see the same inputs.
+pub const SEED: u64 = 2021;

@@ -1,0 +1,85 @@
+//! Table 4 — Cavs vs Cortex inference latencies and speedups on the GPU.
+//!
+//! Following the paper's fairness protocol for the open-source Cavs
+//! (§7.2): TreeFC, TreeGRU and TreeLSTM only, specialization *disabled*
+//! in Cortex, and input matrix–vector products excluded from both
+//! (recursive-portion models with zero leaf states).
+
+use cortex_backend::device::DeviceSpec;
+use cortex_core::ra::RaSchedule;
+
+use crate::registry::ModelId;
+use crate::runner::{baseline, cortex, Baseline};
+use crate::table::{ms, speedup, Table};
+use crate::Scale;
+
+/// The models Table 4 covers.
+pub const MODELS: [ModelId; 3] = [ModelId::TreeFc, ModelId::TreeGru, ModelId::TreeLstm];
+
+/// The Cortex schedule for the Cavs comparison: specialization off.
+pub fn fair_schedule() -> RaSchedule {
+    RaSchedule { specialize: false, ..RaSchedule::default() }
+}
+
+/// Measures one Table 4 cell: (cavs_ms, cortex_ms).
+pub fn measure(id: ModelId, h: usize, bs: usize) -> (f64, f64) {
+    let gpu = DeviceSpec::v100();
+    let model = id.build_recursive_only(h);
+    let data = id.dataset(bs, super::SEED);
+    let cavs = baseline(Baseline::Cavs, &model, &data, &gpu);
+    let ours = cortex(&model, &data, &fair_schedule(), &gpu);
+    (cavs.latency_ms, ours.latency_ms)
+}
+
+/// Regenerates Table 4.
+pub fn run(scale: Scale) -> String {
+    let mut t = Table::new(
+        "Table 4: Cavs vs Cortex on the GPU (Cavs ms / Cortex ms, speedup)",
+        &["hidden", "batch", "TreeFC", "TreeGRU", "TreeLSTM"],
+    );
+    for (hname, pick) in [("hs", 0usize), ("hl", 1usize)] {
+        for bs in [1usize, 10] {
+            let mut cells = vec![hname.to_string(), bs.to_string()];
+            for id in MODELS {
+                let sizes = id.hidden_sizes();
+                let h = scale.hidden(if pick == 0 { sizes.0 } else { sizes.1 });
+                let (cavs_ms, cortex_ms) = measure(id, h, bs);
+                cells.push(format!(
+                    "{}/{} ({}x)",
+                    ms(cavs_ms),
+                    ms(cortex_ms),
+                    speedup(cavs_ms, cortex_ms)
+                ));
+            }
+            t.row_owned(cells);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cortex_beats_cavs_across_the_grid() {
+        // Table 4: every speedup is > 1 (4.9x – 14x in the paper).
+        for id in MODELS {
+            for bs in [1usize, 10] {
+                let (cavs_ms, cortex_ms) = measure(id, 32, bs);
+                assert!(
+                    cavs_ms > cortex_ms,
+                    "{} bs={bs}: cavs {cavs_ms} vs cortex {cortex_ms}",
+                    id.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn renders_full_grid() {
+        let out = run(Scale::Smoke);
+        assert_eq!(out.lines().count(), 3 + 4, "{out}");
+        assert!(out.contains("x)"), "{out}");
+    }
+}

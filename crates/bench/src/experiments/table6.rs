@@ -1,0 +1,122 @@
+//! Table 6 — time spent in runtime activities for DyNet, Cavs and Cortex
+//! (TreeLSTM, GPU backend, batch size 10, hidden size 256).
+
+use cortex_backend::device::DeviceSpec;
+use cortex_core::ra::RaSchedule;
+
+use crate::registry::ModelId;
+use crate::runner::{baseline, cortex, Baseline, Measured};
+use crate::table::{ms, Table};
+use crate::Scale;
+
+/// One framework's activity breakdown (the Table 6 columns).
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// Framework name.
+    pub framework: &'static str,
+    /// Dynamic batching + graph construction time (ms). For Cortex this
+    /// is linearization.
+    pub batching_ms: f64,
+    /// Memory-management (contiguity copy) time (ms).
+    pub mem_mgmt_ms: f64,
+    /// Device computation time (ms).
+    pub compute_ms: f64,
+    /// Kernel calls (excluding memory-copy kernels).
+    pub kernel_calls: u64,
+    /// Host API time (ms).
+    pub api_ms: f64,
+    /// Total execution time (ms).
+    pub total_ms: f64,
+}
+
+fn breakdown(framework: &'static str, m: &Measured) -> Breakdown {
+    Breakdown {
+        framework,
+        batching_ms: (m.profile.graph_construction_time
+            + m.profile.dynamic_batching_time
+            + m.profile.linearize_time)
+            .as_secs_f64()
+            * 1e3,
+        mem_mgmt_ms: (m.breakdown.memcpy_s + m.profile.mem_mgmt_time.as_secs_f64()) * 1e3,
+        compute_ms: m.breakdown.compute_s.max(m.breakdown.mem_s) * 1e3,
+        kernel_calls: m.profile.launches,
+        api_ms: m.breakdown.host_s * 1e3,
+        total_ms: m.latency_ms,
+    }
+}
+
+/// Measures the three frameworks' breakdowns.
+pub fn measure(scale: Scale) -> [Breakdown; 3] {
+    let gpu = DeviceSpec::v100();
+    let id = ModelId::TreeLstm;
+    let model = id.build(scale.hidden(256));
+    let data = id.dataset(10, super::SEED);
+    let dynet = baseline(Baseline::DyNet, &model, &data, &gpu);
+    let cavs = baseline(Baseline::Cavs, &model, &data, &gpu);
+    let ours = cortex(&model, &data, &RaSchedule::default(), &gpu);
+    [
+        breakdown("DyNet", &dynet),
+        breakdown("Cavs", &cavs),
+        breakdown("Cortex", &ours),
+    ]
+}
+
+/// Regenerates Table 6.
+pub fn run(scale: Scale) -> String {
+    let mut t = Table::new(
+        "Table 6: runtime activities, TreeLSTM, GPU, batch 10, hidden 256",
+        &[
+            "framework",
+            "dyn.batch/graph (ms)",
+            "mem mgmt (ms)",
+            "compute (ms)",
+            "#kernel calls",
+            "host API (ms)",
+            "total (ms)",
+        ],
+    );
+    for b in measure(scale) {
+        t.row_owned(vec![
+            b.framework.to_string(),
+            ms(b.batching_ms),
+            ms(b.mem_mgmt_ms),
+            ms(b.compute_ms),
+            b.kernel_calls.to_string(),
+            ms(b.api_ms),
+            ms(b.total_ms),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_call_counts_follow_table6() {
+        // Table 6: DyNet 389 calls, Cavs 122, Cortex 1 (order matters, the
+        // absolute numbers depend on tree shapes).
+        let [dynet, cavs, cortex] = measure(Scale::Smoke);
+        assert!(dynet.kernel_calls > cavs.kernel_calls, "{dynet:?} vs {cavs:?}");
+        assert!(cavs.kernel_calls > cortex.kernel_calls);
+        assert!(cortex.kernel_calls <= 4, "Cortex fuses to a handful of kernels");
+    }
+
+    #[test]
+    fn cortex_has_negligible_batching_and_memcpy_overheads() {
+        let [dynet, _, cortex] = measure(Scale::Smoke);
+        assert!(cortex.mem_mgmt_ms < 1e-6, "no contiguity copies: {cortex:?}");
+        assert!(
+            cortex.batching_ms < dynet.batching_ms,
+            "linearization is cheaper than graph construction + batching"
+        );
+    }
+
+    #[test]
+    fn totals_dominate_components() {
+        for b in measure(Scale::Smoke) {
+            assert!(b.total_ms >= b.compute_ms * 0.99, "{b:?}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Shared measurement helpers: run Cortex or a baseline framework over a
+//! workload and summarize the result.
+
+use cortex_backend::device::{DeviceSpec, LatencyEstimate};
+use cortex_backend::profile::Profile;
+use cortex_baselines::dynet::DynetOptions;
+use cortex_baselines::{cavs, dynet, eager, grnn};
+use cortex_core::ra::RaSchedule;
+use cortex_ds::RecStructure;
+use cortex_models::Model;
+
+/// A summarized measurement.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Total estimated latency in milliseconds.
+    pub latency_ms: f64,
+    /// Latency breakdown.
+    pub breakdown: LatencyEstimate,
+    /// The raw profile.
+    pub profile: Profile,
+}
+
+impl Measured {
+    fn new(profile: Profile, latency: LatencyEstimate) -> Self {
+        Measured { latency_ms: latency.total_ms(), breakdown: latency, profile }
+    }
+
+    /// The device-side latency in ms (everything except measured host
+    /// time). Deterministic (purely counter-derived), so ablation
+    /// experiments that hold host work constant compare on this.
+    pub fn device_ms(&self) -> f64 {
+        (self.breakdown.total_s - self.breakdown.host_s) * 1e3
+    }
+}
+
+/// Runs the Cortex pipeline (linearize → execute → device model).
+///
+/// # Panics
+///
+/// Panics on lowering/execution failures (experiment configurations are
+/// all supported schedules).
+pub fn cortex(
+    model: &Model,
+    structure: &RecStructure,
+    schedule: &RaSchedule,
+    device: &DeviceSpec,
+) -> Measured {
+    let (result, _lin) = model
+        .run(structure, schedule, device)
+        .unwrap_or_else(|e| panic!("cortex run failed for {}: {e}", model.name));
+    Measured::new(result.profile, result.latency)
+}
+
+/// The baseline frameworks of §7.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// PyTorch-like eager execution.
+    PyTorch,
+    /// DyNet-like graph construction + operator batching.
+    DyNet,
+    /// DyNet with simulated inference-mode deallocation (Fig. 12).
+    DyNetInference,
+    /// Cavs-like vertex batching.
+    Cavs,
+    /// GRNN's persistent kernels (sequences only); lock-free barrier.
+    GrnnLockFree,
+    /// GRNN with the lock-based barrier variant.
+    GrnnLockBased,
+}
+
+impl Baseline {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::PyTorch => "PyTorch",
+            Baseline::DyNet => "DyNet",
+            Baseline::DyNetInference => "DyNet (inference)",
+            Baseline::Cavs => "Cavs",
+            Baseline::GrnnLockFree => "GRNN",
+            Baseline::GrnnLockBased => "GRNN (lock-based barrier)",
+        }
+    }
+}
+
+/// Runs a baseline framework over a workload.
+pub fn baseline(
+    which: Baseline,
+    model: &Model,
+    structure: &RecStructure,
+    device: &DeviceSpec,
+) -> Measured {
+    let run = match which {
+        Baseline::PyTorch => eager::run(model, structure, device),
+        Baseline::DyNet => dynet::run(model, structure, device, DynetOptions::default()),
+        Baseline::DyNetInference => {
+            dynet::run(model, structure, device, DynetOptions { inference_mode: true })
+        }
+        Baseline::Cavs => cavs::run(model, structure, device),
+        Baseline::GrnnLockFree => {
+            grnn::run(model, structure, &lockfree_variant(device))
+        }
+        Baseline::GrnnLockBased => grnn::run(model, structure, device),
+    };
+    Measured::new(run.profile, run.latency)
+}
+
+fn lockfree_variant(device: &DeviceSpec) -> DeviceSpec {
+    DeviceSpec {
+        global_barrier_s: DeviceSpec::v100_lockfree_barrier().global_barrier_s,
+        name: format!("{} (lock-free barrier)", device.name),
+        ..device.clone()
+    }
+}
+
+/// The three evaluation backends of Table 3.
+pub fn devices() -> [DeviceSpec; 3] {
+    [DeviceSpec::v100(), DeviceSpec::intel_cascadelake(), DeviceSpec::arm_graviton2()]
+}
+
+/// Runs Cortex once per distinct persistence decision and prices the
+/// same profile on every device — numerics are device-independent, so
+/// this avoids re-executing per backend (Table 5's 3-device grid).
+///
+/// # Panics
+///
+/// Panics on lowering/linearization/execution failures.
+pub fn cortex_multi(
+    model: &Model,
+    structure: &RecStructure,
+    schedule: &RaSchedule,
+    devices: &[DeviceSpec],
+) -> Vec<Measured> {
+    use cortex_backend::{exec, persist};
+    use cortex_ds::linearizer::Linearizer;
+
+    let program = model
+        .lower(schedule)
+        .unwrap_or_else(|e| panic!("lowering failed for {}: {e}", model.name));
+    let (lin, lin_time) = Linearizer::new()
+        .linearize_timed(structure)
+        .unwrap_or_else(|e| panic!("linearization failed: {e}"));
+    let mut cache: std::collections::HashMap<bool, Profile> = std::collections::HashMap::new();
+    devices
+        .iter()
+        .map(|device| {
+            let decision = persist::check_persistence(&program, device);
+            let profile = cache.entry(decision.active()).or_insert_with(|| {
+                let (_, mut p) = exec::execute(&program, &lin, &model.params, decision.active())
+                    .unwrap_or_else(|e| panic!("execution failed for {}: {e}", model.name));
+                p.linearize_time = lin_time;
+                p
+            });
+            Measured::new(profile.clone(), device.latency(profile))
+        })
+        .collect()
+}
+
+/// Runs a baseline once and prices it on every device (baseline profiles
+/// are device-independent).
+pub fn baseline_multi(
+    which: Baseline,
+    model: &Model,
+    structure: &RecStructure,
+    devices: &[DeviceSpec],
+) -> Vec<Measured> {
+    let first = baseline(which, model, structure, &devices[0]);
+    devices
+        .iter()
+        .map(|d| Measured::new(first.profile.clone(), d.latency(&first.profile)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelId;
+
+    #[test]
+    fn cortex_beats_eager_on_batched_trees() {
+        let model = ModelId::TreeLstm.build(16);
+        let data = ModelId::TreeLstm.dataset(4, 7);
+        let gpu = DeviceSpec::v100();
+        let c = cortex(&model, &data, &RaSchedule::default(), &gpu);
+        let p = baseline(Baseline::PyTorch, &model, &data, &gpu);
+        assert!(
+            c.latency_ms < p.latency_ms,
+            "cortex {} ms vs pytorch {} ms",
+            c.latency_ms,
+            p.latency_ms
+        );
+    }
+
+    #[test]
+    fn framework_latency_ordering_matches_paper() {
+        // PyTorch > DyNet > Cortex on the GPU for batched recursive models.
+        let model = ModelId::TreeGru.build(16);
+        let data = ModelId::TreeGru.dataset(4, 8);
+        let gpu = DeviceSpec::v100();
+        let c = cortex(&model, &data, &RaSchedule::default(), &gpu);
+        let d = baseline(Baseline::DyNet, &model, &data, &gpu);
+        let p = baseline(Baseline::PyTorch, &model, &data, &gpu);
+        assert!(p.latency_ms > d.latency_ms, "pytorch {} vs dynet {}", p.latency_ms, d.latency_ms);
+        assert!(d.latency_ms > c.latency_ms, "dynet {} vs cortex {}", d.latency_ms, c.latency_ms);
+    }
+}

@@ -1,0 +1,134 @@
+//! A small aligned-column table printer for experiment output.
+
+use std::fmt::Write as _;
+
+/// Builds an aligned text table with a title, headers and rows.
+///
+/// # Example
+///
+/// ```
+/// use cortex_bench_harness::table::Table;
+///
+/// let mut t = Table::new("Demo", &["model", "ms"]);
+/// t.row(&["TreeLSTM", "0.39"]);
+/// let s = t.render();
+/// assert!(s.contains("TreeLSTM"));
+/// assert!(s.starts_with("## Demo"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut line = String::new();
+        for (w, h) in widths.iter().zip(&self.headers) {
+            let _ = write!(line, "{h:<w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len().min(120)));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, c) in widths.iter().zip(row) {
+                let _ = write!(line, "{c:<w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+/// Formats milliseconds with sensible precision.
+pub fn ms(v: f64) -> String {
+    if v < 0.01 {
+        format!("{v:.4}")
+    } else if v < 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a speedup ratio.
+pub fn speedup(baseline_ms: f64, ours_ms: f64) -> String {
+    format!("{:.2}", baseline_ms / ours_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", &["a", "bbbb"]);
+        t.row(&["xx", "y"]);
+        t.row(&["x", "yyyyy"]);
+        let s = t.render();
+        assert!(s.contains("## T"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        Table::new("T", &["a", "b"]).row(&["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(0.0042), "0.0042");
+        assert_eq!(ms(0.39), "0.390");
+        assert_eq!(ms(12.3456), "12.35");
+        assert_eq!(speedup(10.0, 2.0), "5.00");
+    }
+}

@@ -1,0 +1,147 @@
+//! Schedule auto-tuning by grid search (§6 of the paper).
+//!
+//! *"Our current prototype implementation does not perform auto-scheduling
+//! on the generated ILIR. Therefore, the model implementations used for
+//! evaluation were based on manually-defined schedules. We then performed
+//! auto-tuning via grid search to search the space of certain schedule
+//! parameters."*
+//!
+//! [`grid_search`] enumerates the supported schedule-parameter grid for a
+//! model (fusion granularity, specialization, dense intermediate indexing,
+//! persistence, peeling factors, and — where legal — unrolling and
+//! refactoring), runs each candidate on a representative input, and
+//! returns the candidates ranked by device-model latency. Infeasible
+//! combinations are skipped via the lowering's own validation, exactly how
+//! a grid search over a real compiler prunes its space.
+
+use cortex_backend::device::DeviceSpec;
+use cortex_core::ra::{FusionMode, RaSchedule};
+use cortex_ds::{RecStructure, StructureKind};
+use cortex_models::Model;
+
+use crate::runner::{cortex, Measured};
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Human-readable description of the schedule knobs.
+    pub label: String,
+    /// The schedule.
+    pub schedule: RaSchedule,
+    /// Its measurement.
+    pub measured: Measured,
+}
+
+/// The tuning grid for a model on a structure kind.
+pub fn grid(model: &Model, kind: StructureKind) -> Vec<(String, RaSchedule)> {
+    let mut out = Vec::new();
+    for fusion in [FusionMode::Maximal, FusionMode::None] {
+        for specialize in [true, false] {
+            for persist in [true, false] {
+                for dense in [true, false] {
+                    for peel in [None, Some(4)] {
+                        out.push((
+                            format!(
+                                "fusion={fusion:?} spec={specialize} persist={persist} \
+                                 dense={dense} peel={peel:?}"
+                            ),
+                            RaSchedule {
+                                fusion,
+                                specialize,
+                                persist,
+                                dense_intermediates: dense,
+                                peel,
+                                ..RaSchedule::default()
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // Tree/sequence-only primitives.
+    if kind != StructureKind::Dag {
+        for (block_local, tag) in [(false, "global"), (true, "block-local")] {
+            out.push((
+                format!("unroll=2 ({tag} sync)"),
+                RaSchedule {
+                    unroll: Some(2),
+                    unroll_block_local: block_local,
+                    ..RaSchedule::default()
+                },
+            ));
+        }
+        if model.refactor_split.is_some() {
+            out.push(("refactored".to_string(), model.refactored_schedule()));
+        }
+    }
+    out
+}
+
+/// Runs the grid and returns candidates sorted by ascending latency.
+/// Unsupported combinations (rejected by lowering or the runtime) are
+/// pruned silently.
+pub fn grid_search(
+    model: &Model,
+    structure: &RecStructure,
+    device: &DeviceSpec,
+) -> Vec<Candidate> {
+    let mut results: Vec<Candidate> = grid(model, structure.kind())
+        .into_iter()
+        .filter_map(|(label, schedule)| {
+            // Validate by lowering + running; prune failures.
+            model.lower(&schedule).ok()?;
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cortex(model, structure, &schedule, device)
+            }))
+            .ok()?;
+            Some(Candidate { label, schedule, measured: run })
+        })
+        .collect();
+    results.sort_by(|a, b| a.measured.latency_ms.total_cmp(&b.measured.latency_ms));
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelId;
+
+    #[test]
+    fn grid_covers_the_documented_space() {
+        let m = ModelId::TreeGru.build(8);
+        let g = grid(&m, StructureKind::Tree);
+        // 2×2×2×2×2 core grid + 2 unroll + 1 refactor.
+        assert_eq!(g.len(), 32 + 3);
+        let dag = grid(&m, StructureKind::Dag);
+        assert_eq!(dag.len(), 32, "tree-only primitives pruned for DAGs");
+    }
+
+    #[test]
+    fn best_candidate_beats_the_unoptimized_one() {
+        let m = ModelId::TreeLstm.build(16);
+        let data = ModelId::TreeLstm.dataset(4, 99);
+        let gpu = DeviceSpec::v100();
+        let ranked = grid_search(&m, &data, &gpu);
+        assert!(ranked.len() > 20, "most grid points must be feasible");
+        let best = &ranked[0];
+        let worst = ranked.last().unwrap();
+        assert!(
+            best.measured.latency_ms < worst.measured.latency_ms,
+            "grid must discriminate: {} vs {}",
+            best.label,
+            worst.label
+        );
+        // The winner must use fusion — the paper's headline optimization.
+        assert_eq!(best.schedule.fusion, FusionMode::Maximal, "winner: {}", best.label);
+    }
+
+    #[test]
+    fn tuner_prunes_illegal_combinations_on_dags() {
+        let m = ModelId::DagRnn.build(8);
+        let data = ModelId::DagRnn.dataset(2, 98);
+        let gpu = DeviceSpec::v100();
+        let ranked = grid_search(&m, &data, &gpu);
+        assert!(ranked.iter().all(|c| c.schedule.unroll.is_none()));
+    }
+}

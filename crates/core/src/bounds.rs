@@ -1,0 +1,430 @@
+//! Bounds inference with named dimensions (Appendix A.2).
+//!
+//! In a traditional tensor compiler there is a one-to-one correspondence
+//! between an operator's loops and its tensor's dimensions, making bounds
+//! inference trivial. The ILIR breaks this: in Listing 3 of the paper, the
+//! `rnn` tensor's node dimension `d_node` corresponds to *two* loops
+//! (`d_all_batches` and `d_batch`). Named dimensions make the relation
+//! explicit; this module recovers it from a lowered program and verifies
+//! that every store stays within its tensor's declared extents.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::expr::{IdxExpr, RtScalar, TensorId, ValExpr, Var};
+use crate::ilir::{DimExtent, DimName, IlirProgram, Stmt};
+use crate::prover::{ProofContext, Verdict};
+
+/// The inferred relationship between one tensor dimension and the loops
+/// that index it — the explicit mapping Appendix A.2 requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimRelation {
+    /// The tensor.
+    pub tensor: TensorId,
+    /// Which dimension of the tensor (by position).
+    pub dim: usize,
+    /// The named dimension declared for it.
+    pub dim_name: DimName,
+    /// Named dimensions of the loops whose variables appear in the index
+    /// expression for this dimension.
+    pub loop_dims: Vec<DimName>,
+}
+
+/// Result of bounds inference over a program.
+#[derive(Debug, Clone, Default)]
+pub struct BoundsReport {
+    /// All store-site dimension relations discovered.
+    pub relations: Vec<DimRelation>,
+    /// Number of store sites whose in-bounds condition the prover
+    /// discharged.
+    pub proven_in_bounds: usize,
+    /// Number of store sites the prover could not decide (sound but
+    /// unproven — these would carry runtime checks).
+    pub undecided: usize,
+}
+
+/// Bounds violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundsError {
+    /// A store used the wrong number of indices.
+    RankMismatch {
+        /// Offending tensor.
+        tensor: TensorId,
+        /// Declared rank.
+        declared: usize,
+        /// Used rank.
+        used: usize,
+    },
+    /// A store provably exceeds a tensor extent.
+    ProvenOutOfBounds {
+        /// Offending tensor.
+        tensor: TensorId,
+        /// Dimension index.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for BoundsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundsError::RankMismatch { tensor, declared, used } => {
+                write!(f, "store to {tensor} uses {used} indices but {declared} are declared")
+            }
+            BoundsError::ProvenOutOfBounds { tensor, dim } => {
+                write!(f, "store to {tensor} provably exceeds extent of dimension {dim}")
+            }
+        }
+    }
+}
+
+impl Error for BoundsError {}
+
+/// Representative sizes used to instantiate runtime extents for the
+/// decision procedure (any consistent instantiation works; the facts the
+/// prover uses are the *relations* between these quantities).
+#[derive(Debug, Clone, Copy)]
+pub struct ModelSizes {
+    /// Total nodes.
+    pub num_nodes: i64,
+    /// Internal nodes.
+    pub num_internal: i64,
+    /// Longest batch.
+    pub max_batch: i64,
+    /// Number of internal batches.
+    pub num_internal_batches: i64,
+}
+
+impl Default for ModelSizes {
+    fn default() -> Self {
+        ModelSizes { num_nodes: 1024, num_internal: 511, max_batch: 513, num_internal_batches: 9 }
+    }
+}
+
+/// Infers dimension relations for every store and checks bounds.
+///
+/// # Errors
+///
+/// Returns [`BoundsError`] on rank mismatches or provable out-of-bounds
+/// stores. Stores the prover cannot decide are merely counted (they would
+/// need runtime checks), mirroring how the lowering treats unproven
+/// accesses.
+pub fn check_program(
+    program: &IlirProgram,
+    sizes: ModelSizes,
+) -> Result<BoundsReport, BoundsError> {
+    let mut report = BoundsReport::default();
+    for kernel in &program.kernels {
+        let mut env = LoopEnv::new(sizes);
+        if let Some(b) = kernel.batch_var {
+            env.push_var(b, 0, sizes.num_internal_batches - 1, Some(DimName::all_batches()));
+        }
+        for s in &kernel.body {
+            walk(program, s, &mut env, &mut report)?;
+        }
+    }
+    Ok(report)
+}
+
+struct LoopEnv {
+    sizes: ModelSizes,
+    ctx: ProofContext,
+    /// var -> named dimension of the loop (or let) that bound it.
+    dims: HashMap<Var, Option<DimName>>,
+    /// let-bound vars with their defining expressions (for relation
+    /// recovery through indirections like `node = batch_begin[b] + n_idx`).
+    lets: HashMap<Var, IdxExpr>,
+}
+
+impl LoopEnv {
+    fn new(sizes: ModelSizes) -> Self {
+        let mut ctx = ProofContext::new()
+            .with_structure_facts(sizes.num_nodes, sizes.num_internal);
+        ctx.assume_rt(RtScalar::MaxBatchLen, sizes.max_batch, sizes.max_batch);
+        ctx.assume_rt(
+            RtScalar::NumInternalBatches,
+            sizes.num_internal_batches,
+            sizes.num_internal_batches,
+        );
+        ctx.assume_rt(RtScalar::NumRoots, 1, sizes.num_nodes);
+        LoopEnv { sizes, ctx, dims: HashMap::new(), lets: HashMap::new() }
+    }
+
+    fn push_var(&mut self, v: Var, lo: i64, hi: i64, dim: Option<DimName>) {
+        self.ctx.assume_var(v, lo, hi.max(lo));
+        self.dims.insert(v, dim);
+    }
+
+    /// Upper bound (exclusive) for a loop extent under the representative
+    /// sizes; `None` when unknown.
+    fn extent_hint(&self, e: &IdxExpr) -> Option<i64> {
+        match e {
+            IdxExpr::Const(c) => Some(*c),
+            IdxExpr::Rt(RtScalar::NumNodes) => Some(self.sizes.num_nodes),
+            IdxExpr::Rt(RtScalar::NumInternal) => Some(self.sizes.num_internal),
+            IdxExpr::Rt(RtScalar::NumLeaves) => {
+                Some(self.sizes.num_nodes - self.sizes.num_internal)
+            }
+            IdxExpr::Rt(RtScalar::NumInternalBatches) => Some(self.sizes.num_internal_batches),
+            IdxExpr::Rt(RtScalar::MaxBatchLen) => Some(self.sizes.max_batch),
+            IdxExpr::Rt(RtScalar::NumRoots) => Some(self.sizes.num_nodes),
+            IdxExpr::Rt(RtScalar::LeafBegin) => Some(self.sizes.num_internal),
+            IdxExpr::Ufn(crate::expr::Ufn::BatchLength, _) => Some(self.sizes.max_batch),
+            IdxExpr::Bin(op, a, b) => {
+                let (a, b) = (self.extent_hint(a)?, self.extent_hint(b)?);
+                Some(match op {
+                    crate::expr::IdxBinOp::Add => a + b,
+                    crate::expr::IdxBinOp::Sub => a - b,
+                    crate::expr::IdxBinOp::Mul => a * b,
+                    crate::expr::IdxBinOp::Div => a.checked_div(b)?,
+                    crate::expr::IdxBinOp::Rem => a.checked_rem(b)?,
+                    crate::expr::IdxBinOp::Min => a.min(b),
+                    crate::expr::IdxBinOp::Max => a.max(b),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Collects named loop dimensions reachable from an index expression,
+    /// following let-bindings.
+    fn loop_dims_of(&self, e: &IdxExpr, out: &mut Vec<DimName>) {
+        match e {
+            IdxExpr::Var(v) => {
+                if let Some(def) = self.lets.get(v) {
+                    self.loop_dims_of(def, out);
+                } else if let Some(Some(d)) = self.dims.get(v) {
+                    if !out.contains(d) {
+                        out.push(d.clone());
+                    }
+                }
+            }
+            IdxExpr::Const(_) | IdxExpr::Rt(_) => {}
+            IdxExpr::Ufn(_, args) => args.iter().for_each(|a| self.loop_dims_of(a, out)),
+            IdxExpr::Bin(_, a, b) => {
+                self.loop_dims_of(a, out);
+                self.loop_dims_of(b, out);
+            }
+        }
+    }
+
+    fn resolve_lets(&self, e: &IdxExpr) -> IdxExpr {
+        match e {
+            IdxExpr::Var(v) => match self.lets.get(v) {
+                Some(def) => self.resolve_lets(def),
+                None => e.clone(),
+            },
+            IdxExpr::Const(_) | IdxExpr::Rt(_) => e.clone(),
+            IdxExpr::Ufn(f, args) => {
+                IdxExpr::Ufn(*f, args.iter().map(|a| self.resolve_lets(a)).collect())
+            }
+            IdxExpr::Bin(op, a, b) => IdxExpr::Bin(
+                *op,
+                Box::new(self.resolve_lets(a)),
+                Box::new(self.resolve_lets(b)),
+            ),
+        }
+    }
+}
+
+fn walk(
+    program: &IlirProgram,
+    s: &Stmt,
+    env: &mut LoopEnv,
+    report: &mut BoundsReport,
+) -> Result<(), BoundsError> {
+    match s {
+        Stmt::For { var, extent, dim, body, .. } => {
+            let hi = env.extent_hint(extent).unwrap_or(env.sizes.num_nodes);
+            env.push_var(*var, 0, hi - 1, dim.clone());
+            for st in body {
+                walk(program, st, env, report)?;
+            }
+        }
+        Stmt::Let { var, value, body } => {
+            env.lets.insert(*var, value.clone());
+            // Give the prover an interval for the let-bound value too.
+            let resolved = env.resolve_lets(value);
+            let iv = env.ctx.eval(&resolved);
+            env.push_var(*var, iv.lo, iv.hi, None);
+            env.lets.insert(*var, value.clone());
+            for st in body {
+                walk(program, st, env, report)?;
+            }
+        }
+        Stmt::If { then_branch, else_branch, .. } => {
+            for st in then_branch.iter().chain(else_branch) {
+                walk(program, st, env, report)?;
+            }
+        }
+        Stmt::Store { tensor, index, value } => {
+            check_store(program, *tensor, index, env, report)?;
+            check_value_loads(program, value, env, report)?;
+        }
+        Stmt::Barrier => {}
+    }
+    Ok(())
+}
+
+fn check_value_loads(
+    program: &IlirProgram,
+    e: &ValExpr,
+    env: &mut LoopEnv,
+    report: &mut BoundsReport,
+) -> Result<(), BoundsError> {
+    match e {
+        ValExpr::Load { tensor, index } => check_store(program, *tensor, index, env, report),
+        ValExpr::Const(_) => Ok(()),
+        ValExpr::Unary(_, a) => check_value_loads(program, a, env, report),
+        ValExpr::Bin(_, a, b) => {
+            check_value_loads(program, a, env, report)?;
+            check_value_loads(program, b, env, report)
+        }
+        ValExpr::Sum { var, extent, body } => {
+            let hi = env.extent_hint(extent).unwrap_or(env.sizes.num_nodes);
+            env.push_var(*var, 0, hi - 1, None);
+            check_value_loads(program, body, env, report)
+        }
+        ValExpr::Select { then, otherwise, .. } => {
+            check_value_loads(program, then, env, report)?;
+            check_value_loads(program, otherwise, env, report)
+        }
+    }
+}
+
+fn check_store(
+    program: &IlirProgram,
+    tensor: TensorId,
+    index: &[IdxExpr],
+    env: &LoopEnv,
+    report: &mut BoundsReport,
+) -> Result<(), BoundsError> {
+    let Some(decl) = program.tensor_opt(tensor) else {
+        return Ok(()); // runtime-provided arrays (linearizer outputs)
+    };
+    if decl.dims.len() != index.len() {
+        return Err(BoundsError::RankMismatch {
+            tensor,
+            declared: decl.dims.len(),
+            used: index.len(),
+        });
+    }
+    for (d, idx) in index.iter().enumerate() {
+        let mut loop_dims = Vec::new();
+        env.loop_dims_of(idx, &mut loop_dims);
+        report.relations.push(DimRelation {
+            tensor,
+            dim: d,
+            dim_name: decl.dim_names[d].clone(),
+            loop_dims,
+        });
+        let extent = match decl.dims[d] {
+            DimExtent::Fixed(n) => IdxExpr::Const(n as i64),
+            DimExtent::Nodes => IdxExpr::Rt(RtScalar::NumNodes),
+            DimExtent::MaxBatch => IdxExpr::Rt(RtScalar::MaxBatchLen),
+        };
+        let resolved = env.resolve_lets(idx);
+        match env.ctx.prove_cmp(crate::expr::CmpOp::Lt, &resolved, &extent) {
+            Verdict::Proven => report.proven_in_bounds += 1,
+            Verdict::Disproven => {
+                return Err(BoundsError::ProvenOutOfBounds { tensor, dim: d })
+            }
+            Verdict::Unknown => report.undecided += 1,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, StructureInfo};
+    use crate::ra::{RaGraph, RaSchedule};
+
+    fn fig1_program() -> IlirProgram {
+        let mut g = RaGraph::new();
+        let h = 8;
+        let emb = g.input("Emb", &[50, h]);
+        let ph = g.placeholder("rnn_ph", &[h]);
+        let leaf = g.compute("leaf", &[h], |c| c.read(emb, &[c.node().word(), c.axis(0)]));
+        let lh = g.compute("lh", &[h], |c| c.read(ph, &[c.node().child(0), c.axis(0)]));
+        let rh = g.compute("rh", &[h], |c| c.read(ph, &[c.node().child(1), c.axis(0)]));
+        let rec = g.compute("rec", &[h], |c| {
+            c.read(lh, &[c.node(), c.axis(0)]).add(c.read(rh, &[c.node(), c.axis(0)])).tanh()
+        });
+        let body = g.if_then_else("body", leaf, rec).unwrap();
+        let rnn = g.recursion(ph, body).unwrap();
+        g.mark_output(rnn);
+        lower(&g, &RaSchedule::default(), StructureInfo { max_children: 2 }).unwrap()
+    }
+
+    #[test]
+    fn fig1_program_is_in_bounds() {
+        let p = fig1_program();
+        let report = check_program(&p, ModelSizes::default()).unwrap();
+        assert!(report.proven_in_bounds > 0);
+    }
+
+    #[test]
+    fn node_dim_relates_to_two_loop_dims() {
+        // The Listing 3 fact: the recursion tensor's d_node dimension is
+        // indexed by loops named d_all_batches and d_batch.
+        let p = fig1_program();
+        let report = check_program(&p, ModelSizes::default()).unwrap();
+        let rel = report
+            .relations
+            .iter()
+            .find(|r| {
+                r.dim_name == DimName::node()
+                    && r.loop_dims.contains(&DimName::all_batches())
+                    && r.loop_dims.contains(&DimName::batch())
+            })
+            .expect("a node-dim store indexed by both batch loops");
+        assert_eq!(rel.dim, 0);
+    }
+
+    #[test]
+    fn feature_dims_relate_one_to_one() {
+        let p = fig1_program();
+        let report = check_program(&p, ModelSizes::default()).unwrap();
+        assert!(report
+            .relations
+            .iter()
+            .any(|r| r.dim_name == DimName::feature(0)
+                && r.loop_dims == vec![DimName::feature(0)]));
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let mut p = fig1_program();
+        // Corrupt a store to use too few indices.
+        fn truncate_first_store(stmts: &mut Vec<Stmt>) -> bool {
+            for s in stmts {
+                match s {
+                    Stmt::Store { index, .. } => {
+                        index.pop();
+                        return true;
+                    }
+                    Stmt::For { body, .. } | Stmt::Let { body, .. } => {
+                        if truncate_first_store(body) {
+                            return true;
+                        }
+                    }
+                    Stmt::If { then_branch, else_branch, .. } => {
+                        if truncate_first_store(then_branch) || truncate_first_store(else_branch) {
+                            return true;
+                        }
+                    }
+                    Stmt::Barrier => {}
+                }
+            }
+            false
+        }
+        let kernel = p.kernels.iter_mut().find(|k| k.name == "leaf").unwrap();
+        assert!(truncate_first_store(&mut kernel.body));
+        assert!(matches!(
+            check_program(&p, ModelSizes::default()),
+            Err(BoundsError::RankMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,38 @@
+//! Cortex compiler core: the Recursive API, the Irregular Loops IR (ILIR)
+//! and the lowering between them.
+//!
+//! This crate is the reproduction of the primary contribution of *"Cortex:
+//! A Compiler for Recursive Deep Learning Models"* (MLSys 2021):
+//!
+//! * [`ra`] — the Recursive API (§3): recursive model computations as DAGs
+//!   of per-node tensor operators, with the recursion scheduling primitives
+//!   of §3.1 (dynamic batching, specialization, unrolling, recursive
+//!   refactoring) captured in [`ra::RaSchedule`].
+//! * [`lower`] — RA lowering (§4.1): recursion to loops, temporary
+//!   materialization, specialization splitting, computation hoisting and
+//!   constant propagation (§4.3).
+//! * [`ilir`] — the Irregular Loops IR (§5): loop nests with variable
+//!   bounds, indirect (uninterpreted-function) memory accesses, named
+//!   dimensions and a conditional operator.
+//! * [`passes`] — ILIR transformations: dense intermediate indexing
+//!   (Fig. 5), barrier insertion (App. A.4), loop peeling (App. A.5).
+//! * [`bounds`] — bounds inference with named dimensions (App. A.2).
+//! * [`expr`], [`simplify`], [`prover`] — the scalar expression language,
+//!   its simplifier and the bound-check decision procedure (App. A.1).
+//!
+//! The execution backends that run lowered programs live in
+//! `cortex-backend`; model definitions live in `cortex-models`.
+
+pub mod bounds;
+pub mod expr;
+pub mod ilir;
+pub mod lower;
+pub mod passes;
+pub mod prover;
+pub mod ra;
+pub mod simplify;
+
+pub use expr::{TensorId, Var, VarGen};
+pub use ilir::IlirProgram;
+pub use lower::{lower, LowerError};
+pub use ra::{RaGraph, RaSchedule, RaTensor};

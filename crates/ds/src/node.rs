@@ -1,0 +1,52 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a node within a [`RecStructure`](crate::RecStructure).
+///
+/// Ids are dense indices assigned by the [`StructureBuilder`]
+/// (crate::StructureBuilder) in creation order; the
+/// [`linearizer`](crate::linearizer) later *renumbers* nodes following the
+/// Appendix-B scheme of the paper, so a `NodeId` is only meaningful relative
+/// to the structure (or linearization) that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trip_and_order() {
+        let a = NodeId::new(3);
+        let b = NodeId::new(7);
+        assert_eq!(a.index(), 3);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "n3");
+        assert_eq!(usize::from(b), 7);
+    }
+}

@@ -1,0 +1,146 @@
+//! DAG-RNN (Shuai et al. 2015): the recursive portion of the
+//! scene-labeling network, evaluated on synthetic 10×10 grid DAGs
+//! (Table 2).
+//!
+//! ```text
+//! x(n) = W_x · Emb[word(n)] + b_x        (input transform, hoisted to the
+//!                                          precompute kernel — §7.1)
+//! h(n) = tanh(x(n) + Σ_d U_d · h(child_d(n)))
+//! ```
+//!
+//! Grid nodes have up to two predecessors (`up` and `left`), each with its
+//! own weight matrix; border nodes have fewer, guarded by the child count.
+//! Nodes have multiple parents, so this is a proper DAG: specialization
+//! yields no hoisting benefit here (Fig. 10a shows DAG-RNN flat under
+//! +Specialization) and unrolling/refactoring are rejected.
+
+use cortex_core::expr::{BoolExpr, CmpOp, IdxExpr, Ufn, ValExpr};
+use cortex_core::ra::{BodyCtx, RaGraph, RaTensor};
+
+/// One guarded direction of the DAG child sum:
+/// `Σ_k U[i,k] · (slot < num_children(n) ? h[child_slot(n), k] : 0)`.
+fn guarded_mv(c: &mut BodyCtx, ph: RaTensor, u: RaTensor, slot: u8, h: usize) -> ValExpr {
+    let i = c.axis(0);
+    let node = c.node();
+    c.sum(h, |c, k| {
+        let child = IdxExpr::Ufn(Ufn::Child(slot), vec![node.clone()]);
+        let guarded = ValExpr::Select {
+            cond: BoolExpr::Cmp(
+                CmpOp::Lt,
+                IdxExpr::Const(slot as i64),
+                IdxExpr::Ufn(Ufn::NumChildren, vec![node.clone()]),
+            ),
+            then: Box::new(c.read(ph, &[child, k.clone()])),
+            otherwise: Box::new(ValExpr::Const(0.0)),
+        };
+        c.read(u, &[i.clone(), k]).mul(guarded)
+    })
+}
+
+use cortex_backend::params::Params;
+
+use crate::dsl::VOCAB;
+use crate::model::{init_param, LeafInit, Model};
+
+/// Builds the DAG-RNN model at hidden size `h`.
+pub fn dag_rnn(h: usize) -> Model {
+    let mut g = RaGraph::new();
+    let wx = g.input("W_x", &[h, h]);
+    let bx = g.input("b_x", &[h]);
+    let u0 = g.input("U_0", &[h, h]);
+    let u1 = g.input("U_1", &[h, h]);
+    let emb = g.input("Emb", &[VOCAB, h]);
+    let ph = g.placeholder("h_ph", &[h]);
+
+    // Input transform: depends only on the node's word — Cortex hoists it
+    // into the precompute kernel, the paper's "input matrix-vector
+    // multiplications performed at the beginning of the execution".
+    let x = g.compute("x", &[h], |c| {
+        let i = c.axis(0);
+        let node = c.node();
+        let mv = c.sum(h, |c, k| {
+            c.read(wx, &[i.clone(), k.clone()]).mul(c.read(emb, &[node.clone().word(), k]))
+        });
+        mv.add(c.read(bx, &[i]))
+    });
+
+    let rec = g.compute("h_rec", &[h], move |c| {
+        let i = c.axis(0);
+        let mv0 = guarded_mv(c, ph, u0, 0, h);
+        let mv1 = guarded_mv(c, ph, u1, 1, h);
+        c.read(x, &[c.node(), i]).add(mv0).add(mv1).tanh()
+    });
+    // The leaf (grid origin) has no predecessors: h = tanh(x).
+    let leaf_op = g.compute("h_leaf", &[h], |c| {
+        c.read(x, &[c.node(), c.axis(0)]).tanh()
+    });
+    let body = g.if_then_else("h_body", leaf_op, rec).expect("same shapes");
+    let out = g.recursion(ph, body).expect("placeholder recursion");
+    g.mark_output(out);
+
+    let mut params = Params::new();
+    for (n, dims) in [
+        ("W_x", vec![h, h]),
+        ("b_x", vec![h]),
+        ("U_0", vec![h, h]),
+        ("U_1", vec![h, h]),
+        ("Emb", vec![VOCAB, h]),
+    ] {
+        params.set(n, init_param(n, &dims));
+    }
+
+    Model {
+        name: "DAG-RNN".to_string(),
+        graph: g,
+        hidden: h,
+        max_children: 2,
+        params,
+        output: out.id(),
+        aux_outputs: Vec::new(),
+        refactor_split: None,
+        leaf: LeafInit::Embedding,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::verify;
+    use cortex_core::ra::RaSchedule;
+    use cortex_ds::datasets;
+
+    #[test]
+    fn matches_reference_on_grid() {
+        let m = dag_rnn(6);
+        let d = datasets::grid_dag(4, 5, 30);
+        let want = reference::dag_rnn(&d, &m.params, 6);
+        verify::assert_matches(&m, &d, &RaSchedule::default(), &want, 1e-4);
+    }
+
+    #[test]
+    fn input_transform_is_precomputed() {
+        let m = dag_rnn(4);
+        let p = m.lower(&RaSchedule::default()).unwrap();
+        assert!(
+            p.kernels.iter().any(|k| k.name == "precompute"),
+            "x must be hoisted to a precompute kernel: {p}"
+        );
+    }
+
+    #[test]
+    fn unfused_matches_reference() {
+        let m = dag_rnn(4);
+        let d = datasets::grid_dag(3, 4, 31);
+        let want = reference::dag_rnn(&d, &m.params, 4);
+        verify::assert_matches(&m, &d, &RaSchedule::unoptimized(), &want, 1e-4);
+    }
+
+    #[test]
+    fn wavefronts_are_antidiagonals() {
+        let d = datasets::grid_dag(5, 5, 0);
+        let lin = cortex_ds::linearizer::Linearizer::new().linearize(&d).unwrap();
+        // 5x5 grid: heights 0..8, so 8 internal wavefronts + the leaf.
+        assert_eq!(lin.internal_batches().len(), 8);
+    }
+}

@@ -1,0 +1,112 @@
+//! Small helpers for writing model bodies in the Recursive API.
+
+use cortex_core::expr::{BoolExpr, CmpOp, IdxExpr, Ufn, ValExpr};
+use cortex_core::ra::{BodyCtx, RaTensor};
+
+use cortex_ds::datasets::VOCAB_SIZE;
+
+/// Vocabulary size used for all word-embedding tables.
+pub const VOCAB: usize = VOCAB_SIZE as usize;
+
+/// Reads one element of the child-sum `Σ_c state[child_c(n), k]`.
+///
+/// With `exact` arity (parse trees have exactly two children per internal
+/// node; sequences exactly one) the sum reads every slot unconditionally.
+/// Otherwise (DAGs) each slot is guarded by the child count, which the
+/// executor evaluates lazily.
+pub fn child_sum(
+    c: &BodyCtx,
+    state: RaTensor,
+    k: &IdxExpr,
+    slots: usize,
+    exact: bool,
+) -> ValExpr {
+    let mut acc: Option<ValExpr> = None;
+    for s in 0..slots {
+        let child = IdxExpr::Ufn(Ufn::Child(s as u8), vec![c.node()]);
+        let read = c.read(state, &[child, k.clone()]);
+        let term = if exact {
+            read
+        } else {
+            ValExpr::Select {
+                cond: BoolExpr::Cmp(
+                    CmpOp::Lt,
+                    IdxExpr::Const(s as i64),
+                    IdxExpr::Ufn(Ufn::NumChildren, vec![c.node()]),
+                ),
+                then: Box::new(read),
+                otherwise: Box::new(ValExpr::Const(0.0)),
+            }
+        };
+        acc = Some(match acc {
+            None => term,
+            Some(prev) => prev.add(term),
+        });
+    }
+    acc.expect("at least one child slot")
+}
+
+/// An embedding lookup `emb[words[n] % mod, i]` (with `mod = 0` meaning no
+/// reduction — the full vocabulary).
+pub fn embed(c: &BodyCtx, emb: RaTensor, modulus: usize) -> ValExpr {
+    let word = c.node().word();
+    let row = if modulus == 0 {
+        word
+    } else {
+        IdxExpr::Bin(
+            cortex_core::expr::IdxBinOp::Rem,
+            Box::new(word),
+            Box::new(IdxExpr::Const(modulus as i64)),
+        )
+    };
+    c.read(emb, &[row, c.axis(0)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cortex_core::ra::RaGraph;
+
+    #[test]
+    fn child_sum_builds_exact_and_guarded_forms() {
+        let mut g = RaGraph::new();
+        let ph = g.placeholder("h", &[4]);
+        let _exact = g.compute("sum2", &[4], |c| {
+            let k = c.axis(0);
+            child_sum(c, ph, &k, 2, true)
+        });
+        let guarded = g.compute("sumg", &[4], |c| {
+            let k = c.axis(0);
+            child_sum(c, ph, &k, 2, false)
+        });
+        // The guarded form contains Selects; the exact form does not.
+        match &g.ops()[guarded.id().0 as usize].kind {
+            cortex_core::ra::RaOpKind::Compute { body, .. } => {
+                fn has_select(e: &ValExpr) -> bool {
+                    match e {
+                        ValExpr::Select { .. } => true,
+                        ValExpr::Bin(_, a, b) => has_select(a) || has_select(b),
+                        ValExpr::Unary(_, a) => has_select(a),
+                        _ => false,
+                    }
+                }
+                assert!(has_select(body));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn embed_applies_modulus() {
+        let mut g = RaGraph::new();
+        let emb = g.input("E", &[16, 4]);
+        let t = g.compute("e", &[4], |c| embed(c, emb, 16));
+        match &g.ops()[t.id().0 as usize].kind {
+            cortex_core::ra::RaOpKind::Compute { body, .. } => {
+                let s = format!("{body}");
+                assert!(s.contains('%'), "{s}");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The recursive deep learning models of the Cortex paper (Table 2),
+//! expressed in the Recursive API, plus pure-Rust reference
+//! implementations used to validate every schedule's output.
+//!
+//! | Constructor | Paper model | Dataset |
+//! | --- | --- | --- |
+//! | [`tree_fc`](treefc::tree_fc) | TreeFC (TensorFlow Fold benchmark) | perfect binary trees, height 7 |
+//! | [`tree_rnn`](treernn::tree_rnn) | TreeRNN (§7.4) | SST-like trees |
+//! | [`tree_gru`](treegru::tree_gru) | Child-sum TreeGRU | SST-like trees |
+//! | [`simple_tree_gru`](treegru::simple_tree_gru) | SimpleTreeGRU (§7.4 footnote) | SST-like trees |
+//! | [`tree_lstm`](treelstm::tree_lstm) | Child-sum TreeLSTM | SST-like trees |
+//! | [`mv_rnn`](mvrnn::mv_rnn) | MV-RNN | SST-like trees |
+//! | [`dag_rnn`](dagrnn::dag_rnn) | DAG-RNN (recursive portion) | 10×10 grid DAGs |
+//! | [`seq_lstm`](seq::seq_lstm) / [`seq_gru`](seq::seq_gru) | sequential LSTM/GRU (Fig. 9) | length-100 sequences |
+//!
+//! Following the paper's protocol (§7.1), the models cover the *recursive*
+//! portion: input matrix–vector products are independent operators that
+//! Cortex hoists into a precompute kernel, and leaf states are either zero
+//! (hoisted away, §4.3) or embedding lookups, selected by [`LeafInit`].
+
+pub mod dagrnn;
+pub mod dsl;
+pub mod model;
+pub mod mvrnn;
+pub mod reference;
+pub mod seq;
+pub mod treefc;
+pub mod treegru;
+pub mod treelstm;
+pub mod treernn;
+pub mod verify;
+
+pub use model::{LeafInit, Model, ModelError};

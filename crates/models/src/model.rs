@@ -1,0 +1,176 @@
+//! The [`Model`] wrapper: an RA graph bundled with its parameters and the
+//! metadata the benchmark harness needs.
+
+use std::error::Error;
+use std::fmt;
+
+use cortex_backend::device::DeviceSpec;
+use cortex_backend::exec::{self, ExecError, RunResult};
+use cortex_backend::params::Params;
+use cortex_core::expr::TensorId;
+use cortex_core::ilir::IlirProgram;
+use cortex_core::lower::{lower, LowerError, StructureInfo};
+use cortex_core::ra::{RaGraph, RaSchedule};
+use cortex_ds::linearizer::{Linearized, LinearizeError, Linearizer};
+use cortex_ds::RecStructure;
+use cortex_tensor::Tensor;
+
+/// How a model initializes its recursion at the leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafInit {
+    /// The zero tensor — constant-propagated away entirely (§4.3).
+    Zero,
+    /// An embedding lookup per leaf word.
+    Embedding,
+}
+
+/// Errors from building or running a model.
+#[derive(Debug)]
+pub enum ModelError {
+    /// Lowering failed.
+    Lower(LowerError),
+    /// Execution failed.
+    Exec(ExecError),
+    /// Linearization failed.
+    Linearize(LinearizeError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Lower(e) => write!(f, "lowering: {e}"),
+            ModelError::Exec(e) => write!(f, "execution: {e}"),
+            ModelError::Linearize(e) => write!(f, "linearization: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+impl From<LowerError> for ModelError {
+    fn from(e: LowerError) -> Self {
+        ModelError::Lower(e)
+    }
+}
+
+impl From<ExecError> for ModelError {
+    fn from(e: ExecError) -> Self {
+        ModelError::Exec(e)
+    }
+}
+
+impl From<LinearizeError> for ModelError {
+    fn from(e: LinearizeError) -> Self {
+        ModelError::Linearize(e)
+    }
+}
+
+/// A recursive model: RA graph, deterministic parameters and harness
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Model name (Table 2 short name).
+    pub name: String,
+    /// The RA computation.
+    pub graph: RaGraph,
+    /// Hidden size `H`.
+    pub hidden: usize,
+    /// Maximum children per node of the structures this model consumes.
+    pub max_children: usize,
+    /// Deterministically initialized parameters.
+    pub params: Params,
+    /// The primary (hidden-state) recursion output.
+    pub output: TensorId,
+    /// Additional outputs (e.g. the TreeLSTM cell state).
+    pub aux_outputs: Vec<TensorId>,
+    /// The op at which recursive refactoring splits this model (Fig. 4),
+    /// when the experiment calls for it.
+    pub refactor_split: Option<TensorId>,
+    /// Leaf initialization.
+    pub leaf: LeafInit,
+}
+
+impl Model {
+    /// Lowers the model under a schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LowerError`] for invalid schedule combinations.
+    pub fn lower(&self, schedule: &RaSchedule) -> Result<IlirProgram, ModelError> {
+        Ok(lower(&self.graph, schedule, StructureInfo { max_children: self.max_children })?)
+    }
+
+    /// The default schedule with this model's refactor split applied.
+    pub fn refactored_schedule(&self) -> RaSchedule {
+        RaSchedule { refactor_split: self.refactor_split, ..RaSchedule::default() }
+    }
+
+    /// Linearizes `structure` and runs the model end to end on `device`,
+    /// filling the linearization time into the profile (§7.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] for lowering, linearization or execution
+    /// failures.
+    pub fn run(
+        &self,
+        structure: &RecStructure,
+        schedule: &RaSchedule,
+        device: &DeviceSpec,
+    ) -> Result<(RunResult, Linearized), ModelError> {
+        let program = self.lower(schedule)?;
+        let (lin, lin_time) = Linearizer::new().linearize_timed(structure)?;
+        let mut result = exec::run(&program, &lin, &self.params, device)?;
+        result.profile.linearize_time = lin_time;
+        result.latency = device.latency(&result.profile);
+        Ok((result, lin))
+    }
+
+    /// Runs and returns just the primary output tensor (node-major hidden
+    /// states in linearized numbering).
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn infer(
+        &self,
+        structure: &RecStructure,
+        schedule: &RaSchedule,
+    ) -> Result<(Tensor, Linearized), ModelError> {
+        let (mut result, lin) =
+            self.run(structure, schedule, &DeviceSpec::v100())?;
+        let out = result
+            .outputs
+            .remove(&self.output)
+            .expect("primary output produced by execution");
+        Ok((out, lin))
+    }
+}
+
+/// Deterministic parameter initialization: uniform in `[-1/sqrt(fan_in),
+/// 1/sqrt(fan_in))`, seeded from the parameter name so every run of every
+/// experiment sees identical weights.
+pub fn init_param(name: &str, dims: &[usize]) -> Tensor {
+    let fan_in = dims.last().copied().unwrap_or(1).max(1);
+    let bound = 1.0 / (fan_in as f32).sqrt();
+    let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    });
+    Tensor::random(dims, bound, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_param_is_deterministic_and_scaled() {
+        let a = init_param("U_r", &[8, 8]);
+        let b = init_param("U_r", &[8, 8]);
+        let c = init_param("U_z", &[8, 8]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let bound = 1.0 / (8f32).sqrt();
+        assert!(a.as_slice().iter().all(|&x| x.abs() <= bound));
+    }
+}

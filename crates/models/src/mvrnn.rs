@@ -1,0 +1,183 @@
+//! MV-RNN (Socher et al. 2012): matrix–vector recursive network.
+//!
+//! Every node carries a vector `a ∈ R^H` and a matrix `A ∈ R^{H×H}`:
+//!
+//! ```text
+//! p(n) = tanh(W_1 · (A_r · a_l) + W_2 · (A_l · a_r) + b)
+//! A(n) = W_M1 · A_l + W_M2 · A_r
+//! ```
+//!
+//! Leaves take `a` from a word-embedding table and `A` from a (reduced)
+//! word-matrix table. The chained reductions (`W · (A · a)`) give MV-RNN a
+//! sync depth of 2 and make it by far the heaviest model per node, which
+//! is why the paper evaluates it at hidden sizes 64/128 instead of
+//! 256/512.
+
+use cortex_core::expr::{IdxBinOp, IdxExpr};
+use cortex_core::ra::RaGraph;
+
+use cortex_backend::params::Params;
+
+use crate::dsl::{embed, VOCAB};
+use crate::model::{init_param, LeafInit, Model};
+
+/// Size of the word-matrix table (`A` embeddings are indexed by
+/// `word % MAT_VOCAB` to keep the table within laptop memory; the
+/// experiments only consume topology and arithmetic shape).
+pub const MAT_VOCAB: usize = 64;
+
+/// Builds the MV-RNN model at hidden size `h`. Leaves always use
+/// embeddings (a zero leaf matrix would collapse the recursion).
+pub fn mv_rnn(h: usize) -> Model {
+    let mut g = RaGraph::new();
+    let w1 = g.input("W_1", &[h, h]);
+    let w2 = g.input("W_2", &[h, h]);
+    let b = g.input("b", &[h]);
+    let wm1 = g.input("W_M1", &[h, h]);
+    let wm2 = g.input("W_M2", &[h, h]);
+    let emb = g.input("Emb", &[VOCAB, h]);
+    let emb_m = g.input("Emb_M", &[MAT_VOCAB, h, h]);
+    let a_ph = g.placeholder("a_ph", &[h]);
+    let m_ph = g.placeholder("A_ph", &[h, h]);
+
+    // Ba: the right child's matrix applied to the left child's vector.
+    let mva = g.compute("mva", &[h], |c| {
+        let i = c.axis(0);
+        let node = c.node();
+        c.sum(h, |c, k| {
+            c.read(m_ph, &[node.clone().child(1), i.clone(), k.clone()])
+                .mul(c.read(a_ph, &[node.clone().child(0), k]))
+        })
+    });
+    // Ab: the left child's matrix applied to the right child's vector.
+    let mvb = g.compute("mvb", &[h], |c| {
+        let i = c.axis(0);
+        let node = c.node();
+        c.sum(h, |c, k| {
+            c.read(m_ph, &[node.clone().child(0), i.clone(), k.clone()])
+                .mul(c.read(a_ph, &[node.clone().child(1), k]))
+        })
+    });
+    let a_rec = g.compute("a_rec", &[h], |c| {
+        let i = c.axis(0);
+        let node = c.node();
+        let p1 = c.sum(h, |c, k| {
+            c.read(w1, &[i.clone(), k.clone()]).mul(c.read(mva, &[node.clone(), k]))
+        });
+        let p2 = c.sum(h, |c, k| {
+            c.read(w2, &[i.clone(), k.clone()]).mul(c.read(mvb, &[node.clone(), k]))
+        });
+        p1.add(p2).add(c.read(b, &[i])).tanh()
+    });
+    let m_rec = g.compute("A_rec", &[h, h], |c| {
+        let i = c.axis(0);
+        let j = c.axis(1);
+        let node = c.node();
+        let p1 = c.sum(h, |c, k| {
+            c.read(wm1, &[i.clone(), k.clone()])
+                .mul(c.read(m_ph, &[node.clone().child(0), k, j.clone()]))
+        });
+        let p2 = c.sum(h, |c, k| {
+            c.read(wm2, &[i.clone(), k.clone()])
+                .mul(c.read(m_ph, &[node.clone().child(1), k, j.clone()]))
+        });
+        p1.add(p2)
+    });
+    let a_leaf = g.compute("a_leaf", &[h], |c| embed(c, emb, 0));
+    let m_leaf = g.compute("A_leaf", &[h, h], |c| {
+        let row = IdxExpr::Bin(
+            IdxBinOp::Rem,
+            Box::new(c.node().word()),
+            Box::new(IdxExpr::Const(MAT_VOCAB as i64)),
+        );
+        c.read(emb_m, &[row, c.axis(0), c.axis(1)])
+    });
+    let a_body = g.if_then_else("a_body", a_leaf, a_rec).expect("same shapes");
+    let m_body = g.if_then_else("A_body", m_leaf, m_rec).expect("same shapes");
+    let a_out = g.recursion(a_ph, a_body).expect("vector recursion");
+    let m_out = g.recursion(m_ph, m_body).expect("matrix recursion");
+    g.mark_output(a_out);
+    g.mark_output(m_out);
+
+    let mut params = Params::new();
+    for (n, dims) in [
+        ("W_1", vec![h, h]),
+        ("W_2", vec![h, h]),
+        ("b", vec![h]),
+        ("W_M1", vec![h, h]),
+        ("W_M2", vec![h, h]),
+        ("Emb", vec![VOCAB, h]),
+        ("Emb_M", vec![MAT_VOCAB, h, h]),
+    ] {
+        params.set(n, init_param(n, &dims));
+    }
+    Model {
+        name: "MV-RNN".to_string(),
+        graph: g,
+        hidden: h,
+        max_children: 2,
+        params,
+        output: a_out.id(),
+        aux_outputs: vec![m_out.id()],
+        refactor_split: None,
+        leaf: LeafInit::Embedding,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::verify;
+    use cortex_core::ra::{analyze, RaSchedule};
+    use cortex_ds::datasets;
+
+    #[test]
+    fn matches_reference_on_sst_trees() {
+        let m = mv_rnn(6);
+        let t = datasets::random_binary_tree(7, 20);
+        let want = reference::mv_rnn(&t, &m.params, 6);
+        verify::assert_matches(&m, &t, &RaSchedule::default(), &want.a, 1e-4);
+    }
+
+    #[test]
+    fn matrix_recursion_matches_reference() {
+        let m = mv_rnn(5);
+        let t = datasets::random_binary_tree(6, 21);
+        let want = reference::mv_rnn(&t, &m.params, 5);
+        let (result, lin) = m
+            .run(&t, &RaSchedule::default(), &cortex_backend::DeviceSpec::v100())
+            .unwrap();
+        let mats = &result.outputs[&m.aux_outputs[0]];
+        // Flatten the H×H matrices row-major for comparison.
+        let flat: Vec<Vec<f32>> = want.mats;
+        let h = 5;
+        for node in t.iter() {
+            let id = lin.from_structure_id(node) as usize;
+            for i in 0..h {
+                for j in 0..h {
+                    let got = mats[[id, i, j]];
+                    let exp = flat[node.index()][i * h + j];
+                    assert!(
+                        (got - exp).abs() < 1e-4,
+                        "A mismatch at node {node} ({i},{j}): {got} vs {exp}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mv_rnn_sync_depth_is_two() {
+        let m = mv_rnn(4);
+        assert_eq!(analyze(&m.graph).sync_depth, 2);
+    }
+
+    #[test]
+    fn unfused_matches_reference() {
+        let m = mv_rnn(4);
+        let t = datasets::random_binary_tree(5, 22);
+        let want = reference::mv_rnn(&t, &m.params, 4);
+        verify::assert_matches(&m, &t, &RaSchedule::unoptimized(), &want.a, 1e-4);
+    }
+}

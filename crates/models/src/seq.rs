@@ -1,0 +1,64 @@
+//! Sequential LSTM and GRU (Fig. 9): the models GRNN hand-optimizes,
+//! expressed as the degenerate single-child case of the tree cells.
+//!
+//! A sequence is a chain structure (`cortex_ds::datasets::sequence`), so
+//! the child-sum reduces to "the previous step's state" and every
+//! wavefront holds one node per sequence in the batch — exactly the
+//! step-wise parallelism a persistent RNN kernel exploits.
+
+use crate::model::{LeafInit, Model};
+use crate::treegru::build_gru;
+use crate::treelstm::build_lstm;
+
+/// Sequential LSTM at hidden size `h` (Fig. 9 left).
+pub fn seq_lstm(h: usize) -> Model {
+    build_lstm("LSTM", h, LeafInit::Embedding, 1)
+}
+
+/// Sequential GRU at hidden size `h` (Fig. 9 right). Recursive refactoring
+/// applies to it exactly as to TreeGRU (§7.4: "We also use recursive
+/// refactoring in the sequential GRU model implementation").
+pub fn seq_gru(h: usize) -> Model {
+    build_gru("GRU", h, LeafInit::Embedding, 1, true, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::verify;
+    use cortex_core::ra::RaSchedule;
+    use cortex_ds::datasets;
+
+    #[test]
+    fn seq_lstm_matches_reference() {
+        let m = seq_lstm(8);
+        let s = datasets::sequence(20, 40);
+        let want = reference::tree_lstm(&s, &m.params, 8, LeafInit::Embedding);
+        verify::assert_matches(&m, &s, &RaSchedule::default(), &want.h, 1e-4);
+    }
+
+    #[test]
+    fn seq_gru_matches_reference() {
+        let m = seq_gru(8);
+        let s = datasets::sequence(20, 41);
+        let want = reference::tree_gru(&s, &m.params, 8, LeafInit::Embedding, false);
+        verify::assert_matches(&m, &s, &RaSchedule::default(), &want, 1e-4);
+    }
+
+    #[test]
+    fn refactored_seq_gru_matches_reference() {
+        let m = seq_gru(6);
+        let s = datasets::sequence(15, 42);
+        let want = reference::tree_gru(&s, &m.params, 6, LeafInit::Embedding, false);
+        verify::assert_matches(&m, &s, &m.refactored_schedule(), &want, 1e-4);
+    }
+
+    #[test]
+    fn batched_sequences_give_wide_waves() {
+        let m = seq_lstm(4);
+        let batch = datasets::batch_of(|s| datasets::sequence(10, s), 8, 43);
+        let want = reference::tree_lstm(&batch, &m.params, 4, LeafInit::Embedding);
+        verify::assert_matches(&m, &batch, &RaSchedule::default(), &want.h, 1e-4);
+    }
+}

@@ -1,0 +1,111 @@
+//! TreeFC: the fully-connected-layer benchmark model from TensorFlow Fold
+//! (Looks et al. 2017), run on perfect binary trees of height 7 (Table 2):
+//! `h(n) = tanh(W_l · h_l + W_r · h_r + b)` — a fully connected layer over
+//! the concatenation of the children states.
+
+use cortex_core::expr::ValExpr;
+use cortex_core::ra::RaGraph;
+
+use cortex_backend::params::Params;
+
+use crate::dsl::{embed, VOCAB};
+use crate::model::{init_param, LeafInit, Model};
+
+/// Builds the TreeFC model at hidden size `h`.
+pub fn tree_fc(h: usize, leaf: LeafInit) -> Model {
+    let mut g = RaGraph::new();
+    // W (H, 2H) split into the left and right halves of the concat.
+    let wl = g.input("W_l", &[h, h]);
+    let wr = g.input("W_r", &[h, h]);
+    let b = g.input("b", &[h]);
+    let emb = g.input("Emb", &[VOCAB, h]);
+    let ph = g.placeholder("h_ph", &[h]);
+    let rec = g.compute("h_rec", &[h], |c| {
+        let i = c.axis(0);
+        let node = c.node();
+        let mvl = c.sum(h, |c, k| {
+            c.read(wl, &[i.clone(), k.clone()])
+                .mul(c.read(ph, &[node.clone().child(0), k]))
+        });
+        let mvr = c.sum(h, |c, k| {
+            c.read(wr, &[i.clone(), k.clone()])
+                .mul(c.read(ph, &[node.clone().child(1), k]))
+        });
+        mvl.add(mvr).add(c.read(b, &[i])).tanh()
+    });
+    let leaf_op = match leaf {
+        LeafInit::Zero => g.compute("h_leaf", &[h], |_| ValExpr::Const(0.0)),
+        LeafInit::Embedding => g.compute("h_leaf", &[h], |c| embed(c, emb, 0)),
+    };
+    let body = g.if_then_else("h_body", leaf_op, rec).expect("same shapes");
+    let out = g.recursion(ph, body).expect("placeholder recursion");
+    g.mark_output(out);
+
+    let mut params = Params::new();
+    params.set("W_l", init_param("W_l", &[h, h]));
+    params.set("W_r", init_param("W_r", &[h, h]));
+    params.set("b", init_param("b", &[h]));
+    params.set("Emb", init_param("Emb", &[VOCAB, h]));
+
+    Model {
+        name: "TreeFC".to_string(),
+        graph: g,
+        hidden: h,
+        max_children: 2,
+        params,
+        output: out.id(),
+        aux_outputs: Vec::new(),
+        refactor_split: None,
+        leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::verify;
+    use cortex_core::ra::{FusionMode, RaSchedule};
+    use cortex_ds::datasets;
+
+    #[test]
+    fn matches_reference_on_perfect_trees() {
+        let m = tree_fc(8, LeafInit::Embedding);
+        let t = datasets::perfect_binary_tree(4, 0);
+        let want = reference::tree_fc(&t, &m.params, 8, LeafInit::Embedding);
+        verify::assert_matches(&m, &t, &RaSchedule::default(), &want, 1e-5);
+    }
+
+    #[test]
+    fn unfused_and_unspecialized_match_reference() {
+        let m = tree_fc(6, LeafInit::Embedding);
+        let t = datasets::perfect_binary_tree(3, 1);
+        let want = reference::tree_fc(&t, &m.params, 6, LeafInit::Embedding);
+        verify::assert_matches(&m, &t, &RaSchedule::unoptimized(), &want, 1e-5);
+        verify::assert_matches(
+            &m,
+            &t,
+            &RaSchedule {
+                fusion: FusionMode::Maximal,
+                specialize: false,
+                ..RaSchedule::default()
+            },
+            &want,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn batched_forest_matches_reference() {
+        let m = tree_fc(4, LeafInit::Embedding);
+        let f = datasets::batch_of(|s| datasets::perfect_binary_tree(3, s), 4, 9);
+        let want = reference::tree_fc(&f, &m.params, 4, LeafInit::Embedding);
+        verify::assert_matches(&m, &f, &RaSchedule::default(), &want, 1e-5);
+    }
+
+    #[test]
+    fn sync_depth_is_one() {
+        let m = tree_fc(8, LeafInit::Embedding);
+        assert_eq!(cortex_core::ra::analyze(&m.graph).sync_depth, 1);
+    }
+}

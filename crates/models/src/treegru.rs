@@ -1,0 +1,191 @@
+//! Child-sum TreeGRU and the SimpleTreeGRU variant of §7.4.
+//!
+//! ```text
+//! hsum = Σ_c h(c)
+//! r    = σ(U_r · hsum + b_r)
+//! z    = σ(U_z · hsum + b_z)
+//! h'   = tanh(U_h · (r ∘ hsum) + b_h)
+//! h    = z ∘ hsum + (1 − z) ∘ h'      (TreeGRU)
+//! h    = (1 − z) ∘ h'                 (SimpleTreeGRU, footnote 4)
+//! ```
+//!
+//! The chained reductions (`h'` reduces over the same-wave tensor
+//! `r ∘ hsum`) give the GRU cell a sync depth of 2 — two barrier-separated
+//! segments per wavefront — which is what recursive refactoring targets
+//! (Fig. 10c): the refactor split is at the `h'` operator.
+
+use cortex_core::expr::{TensorId, ValExpr};
+use cortex_core::ra::RaGraph;
+
+use cortex_backend::params::Params;
+
+use crate::dsl::{child_sum, embed, VOCAB};
+use crate::model::{init_param, LeafInit, Model};
+
+/// Builds the child-sum TreeGRU.
+pub fn tree_gru(h: usize, leaf: LeafInit) -> Model {
+    build_gru("TreeGRU", h, leaf, 2, true, false)
+}
+
+/// Builds SimpleTreeGRU (`h = (1 − z) ∘ h'`).
+pub fn simple_tree_gru(h: usize, leaf: LeafInit) -> Model {
+    build_gru("SimpleTreeGRU", h, leaf, 2, true, true)
+}
+
+/// Shared GRU-cell builder; also used for the sequential GRU (Fig. 9) via
+/// `slots = 1`.
+pub(crate) fn build_gru(
+    name: &str,
+    h: usize,
+    leaf: LeafInit,
+    slots: usize,
+    exact: bool,
+    simple: bool,
+) -> Model {
+    let mut g = RaGraph::new();
+    let ur = g.input("U_r", &[h, h]);
+    let uz = g.input("U_z", &[h, h]);
+    let uh = g.input("U_h", &[h, h]);
+    let br = g.input("b_r", &[h]);
+    let bz = g.input("b_z", &[h]);
+    let bh = g.input("b_h", &[h]);
+    let emb = g.input("Emb", &[VOCAB, h]);
+    let ph = g.placeholder("h_ph", &[h]);
+
+    let hsum = g.compute("hsum", &[h], |c| {
+        let k = c.axis(0);
+        child_sum(c, ph, &k, slots, exact)
+    });
+    let r = g.compute("r", &[h], |c| {
+        let i = c.axis(0);
+        let node = c.node();
+        let mv = c.sum(h, |c, k| {
+            c.read(ur, &[i.clone(), k.clone()]).mul(c.read(hsum, &[node.clone(), k]))
+        });
+        mv.add(c.read(br, &[i])).sigmoid()
+    });
+    let z = g.compute("z", &[h], |c| {
+        let i = c.axis(0);
+        let node = c.node();
+        let mv = c.sum(h, |c, k| {
+            c.read(uz, &[i.clone(), k.clone()]).mul(c.read(hsum, &[node.clone(), k]))
+        });
+        mv.add(c.read(bz, &[i])).sigmoid()
+    });
+    let hp = g.compute("hp", &[h], |c| {
+        let i = c.axis(0);
+        let node = c.node();
+        let mv = c.sum(h, |c, k| {
+            let gated = c
+                .read(r, &[node.clone(), k.clone()])
+                .mul(c.read(hsum, &[node.clone(), k.clone()]));
+            c.read(uh, &[i.clone(), k]).mul(gated)
+        });
+        mv.add(c.read(bh, &[i])).tanh()
+    });
+    let rec = g.compute("h_rec", &[h], |c| {
+        let i = c.axis(0);
+        let node = c.node();
+        let zv = c.read(z, &[node.clone(), i.clone()]);
+        let hpv = c.read(hp, &[node.clone(), i.clone()]);
+        let keep = ValExpr::Const(1.0).sub(zv.clone()).mul(hpv);
+        if simple {
+            keep
+        } else {
+            zv.mul(c.read(hsum, &[node, i])).add(keep)
+        }
+    });
+    let leaf_op = match leaf {
+        LeafInit::Zero => g.compute("h_leaf", &[h], |_| ValExpr::Const(0.0)),
+        LeafInit::Embedding => g.compute("h_leaf", &[h], |c| embed(c, emb, 0)),
+    };
+    let body = g.if_then_else("h_body", leaf_op, rec).expect("same shapes");
+    let out = g.recursion(ph, body).expect("placeholder recursion");
+    g.mark_output(out);
+
+    let mut params = Params::new();
+    for (n, dims) in [
+        ("U_r", vec![h, h]),
+        ("U_z", vec![h, h]),
+        ("U_h", vec![h, h]),
+        ("b_r", vec![h]),
+        ("b_z", vec![h]),
+        ("b_h", vec![h]),
+        ("Emb", vec![VOCAB, h]),
+    ] {
+        params.set(n, init_param(n, &dims));
+    }
+
+    Model {
+        name: name.to_string(),
+        graph: g,
+        hidden: h,
+        max_children: slots,
+        params,
+        output: out.id(),
+        aux_outputs: Vec::new(),
+        refactor_split: Some(TensorId(hp.id().0)),
+        leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::verify;
+    use cortex_core::ra::{analyze, analyze_refactor, RaSchedule};
+    use cortex_ds::datasets;
+
+    #[test]
+    fn tree_gru_matches_reference() {
+        let m = tree_gru(8, LeafInit::Embedding);
+        let t = datasets::random_binary_tree(10, 2);
+        let want = reference::tree_gru(&t, &m.params, 8, LeafInit::Embedding, false);
+        verify::assert_matches(&m, &t, &RaSchedule::default(), &want, 1e-4);
+    }
+
+    #[test]
+    fn simple_tree_gru_matches_reference() {
+        let m = simple_tree_gru(8, LeafInit::Embedding);
+        let t = datasets::random_binary_tree(10, 3);
+        let want = reference::tree_gru(&t, &m.params, 8, LeafInit::Embedding, true);
+        verify::assert_matches(&m, &t, &RaSchedule::default(), &want, 1e-4);
+    }
+
+    #[test]
+    fn gru_has_sync_depth_two() {
+        let m = tree_gru(8, LeafInit::Zero);
+        assert_eq!(analyze(&m.graph).sync_depth, 2, "chained matvecs need two segments");
+    }
+
+    #[test]
+    fn refactoring_reduces_depth_and_crosses_tensors() {
+        // Both variants materialize {hsum, r, z} across the moved boundary;
+        // the full TreeGRU additionally re-reads hsum elementwise in its
+        // h-gate, which shows up as extra traffic at runtime (the reason
+        // Fig. 10c reports little benefit for TreeGRU).
+        for m in [tree_gru(8, LeafInit::Zero), simple_tree_gru(8, LeafInit::Zero)] {
+            let info = analyze_refactor(&m.graph, m.refactor_split.unwrap()).unwrap();
+            assert_eq!(info.depth_before, 2, "{}", m.name);
+            assert_eq!(info.depth_after, 1, "{}", m.name);
+            assert_eq!(info.crossing_tensors.len(), 3, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn refactored_schedule_matches_reference() {
+        let m = simple_tree_gru(6, LeafInit::Embedding);
+        let t = datasets::random_binary_tree(12, 4);
+        let want = reference::tree_gru(&t, &m.params, 6, LeafInit::Embedding, true);
+        verify::assert_matches(&m, &t, &m.refactored_schedule(), &want, 1e-4);
+    }
+
+    #[test]
+    fn refactored_tree_gru_matches_reference() {
+        let m = tree_gru(6, LeafInit::Embedding);
+        let t = datasets::random_binary_tree(9, 8);
+        let want = reference::tree_gru(&t, &m.params, 6, LeafInit::Embedding, false);
+        verify::assert_matches(&m, &t, &m.refactored_schedule(), &want, 1e-4);
+    }
+}

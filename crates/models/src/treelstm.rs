@@ -1,0 +1,198 @@
+//! Child-sum TreeLSTM (Tai et al. 2015) — the paper's flagship model.
+//!
+//! ```text
+//! hsum = Σ_c h(c)
+//! i    = σ(U_i · hsum + b_i)
+//! o    = σ(U_o · hsum + b_o)
+//! u    = tanh(U_u · hsum + b_u)
+//! f_c  = σ(U_f · h(c) + b_f)        (one forget gate per child)
+//! c'   = i ∘ u + Σ_c f_c ∘ c(c)
+//! h    = o ∘ tanh(c')
+//! ```
+//!
+//! Two recursions are tied jointly (cell state `c` and hidden state `h`);
+//! the `c` recursion is declared first so its stores precede the `h`
+//! stores that read it within the same wave. All reductions read only
+//! previous-wave data, so the cell's sync depth is 1 — a single barrier
+//! per wavefront, matching GRNN's persistent LSTM.
+
+use cortex_core::expr::ValExpr;
+use cortex_core::ra::RaGraph;
+
+use cortex_backend::params::Params;
+
+use crate::dsl::{child_sum, embed, VOCAB};
+use crate::model::{init_param, LeafInit, Model};
+
+/// Builds the child-sum TreeLSTM.
+pub fn tree_lstm(h: usize, leaf: LeafInit) -> Model {
+    build_lstm("TreeLSTM", h, leaf, 2)
+}
+
+/// Shared LSTM-cell builder; `slots = 1` yields the sequential LSTM.
+pub(crate) fn build_lstm(name: &str, h: usize, leaf: LeafInit, slots: usize) -> Model {
+    let mut g = RaGraph::new();
+    let ui = g.input("U_i", &[h, h]);
+    let uo = g.input("U_o", &[h, h]);
+    let uu = g.input("U_u", &[h, h]);
+    let uf = g.input("U_f", &[h, h]);
+    let bi = g.input("b_i", &[h]);
+    let bo = g.input("b_o", &[h]);
+    let bu = g.input("b_u", &[h]);
+    let bf = g.input("b_f", &[h]);
+    let emb_c = g.input("Emb_c", &[VOCAB, h]);
+    let emb_h = g.input("Emb_h", &[VOCAB, h]);
+    let c_ph = g.placeholder("c_ph", &[h]);
+    let h_ph = g.placeholder("h_ph", &[h]);
+
+    let gate = |g: &mut RaGraph, name: &str, w, b, sig: bool| {
+        let t = g.compute(name, &[h], |c| {
+            let i = c.axis(0);
+            let mv = c.sum(h, |c, k| {
+                c.read(w, &[i.clone(), k.clone()]).mul(child_sum(c, h_ph, &k, slots, true))
+            });
+            let pre = mv.add(c.read(b, &[i]));
+            if sig {
+                pre.sigmoid()
+            } else {
+                pre.tanh()
+            }
+        });
+        t
+    };
+    let i_g = gate(&mut g, "i", ui, bi, true);
+    let o_g = gate(&mut g, "o", uo, bo, true);
+    let u_g = gate(&mut g, "u", uu, bu, false);
+    // Per-child forget gates.
+    let f_gs: Vec<_> = (0..slots)
+        .map(|s| {
+            g.compute(&format!("f{s}"), &[h], |c| {
+                let i = c.axis(0);
+                let node = c.node();
+                let mv = c.sum(h, |c, k| {
+                    c.read(uf, &[i.clone(), k.clone()])
+                        .mul(c.read(h_ph, &[node.clone().child(s as u8), k]))
+                });
+                mv.add(c.read(bf, &[i])).sigmoid()
+            })
+        })
+        .collect();
+
+    let c_rec_body = g.compute("c_rec", &[h], |c| {
+        let i = c.axis(0);
+        let node = c.node();
+        let mut acc = c
+            .read(i_g, &[node.clone(), i.clone()])
+            .mul(c.read(u_g, &[node.clone(), i.clone()]));
+        for (s, f_g) in f_gs.iter().enumerate() {
+            let forget = c.read(*f_g, &[node.clone(), i.clone()]);
+            let child_c = c.read(c_ph, &[node.clone().child(s as u8), i.clone()]);
+            acc = acc.add(forget.mul(child_c));
+        }
+        acc
+    });
+    let c_leaf = match leaf {
+        LeafInit::Zero => g.compute("c_leaf", &[h], |_| ValExpr::Const(0.0)),
+        LeafInit::Embedding => g.compute("c_leaf", &[h], |c| embed(c, emb_c, 0)),
+    };
+    let c_body = g.if_then_else("c_body", c_leaf, c_rec_body).expect("same shapes");
+    let c_out = g.recursion(c_ph, c_body).expect("cell recursion");
+
+    let h_rec_body = g.compute("h_rec", &[h], |c| {
+        let i = c.axis(0);
+        let node = c.node();
+        let cell = c.read(c_out, &[node.clone(), i.clone()]);
+        c.read(o_g, &[node, i]).mul(cell.tanh())
+    });
+    let h_leaf = match leaf {
+        LeafInit::Zero => g.compute("h_leaf", &[h], |_| ValExpr::Const(0.0)),
+        LeafInit::Embedding => g.compute("h_leaf", &[h], |c| embed(c, emb_h, 0)),
+    };
+    let h_body = g.if_then_else("h_body", h_leaf, h_rec_body).expect("same shapes");
+    let h_out = g.recursion(h_ph, h_body).expect("hidden recursion");
+    g.mark_output(c_out);
+    g.mark_output(h_out);
+
+    let mut params = Params::new();
+    for (n, dims) in [
+        ("U_i", vec![h, h]),
+        ("U_o", vec![h, h]),
+        ("U_u", vec![h, h]),
+        ("U_f", vec![h, h]),
+        ("b_i", vec![h]),
+        ("b_o", vec![h]),
+        ("b_u", vec![h]),
+        ("b_f", vec![h]),
+        ("Emb_c", vec![VOCAB, h]),
+        ("Emb_h", vec![VOCAB, h]),
+    ] {
+        params.set(n, init_param(n, &dims));
+    }
+
+    Model {
+        name: name.to_string(),
+        graph: g,
+        hidden: h,
+        max_children: slots,
+        params,
+        output: h_out.id(),
+        aux_outputs: vec![c_out.id()],
+        refactor_split: None,
+        leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::verify;
+    use cortex_core::ra::{analyze, RaSchedule};
+    use cortex_ds::datasets;
+
+    #[test]
+    fn matches_reference_on_sst_trees() {
+        let m = tree_lstm(8, LeafInit::Embedding);
+        let t = datasets::random_binary_tree(9, 11);
+        let want = reference::tree_lstm(&t, &m.params, 8, LeafInit::Embedding);
+        verify::assert_matches(&m, &t, &RaSchedule::default(), &want.h, 1e-4);
+    }
+
+    #[test]
+    fn cell_state_also_matches() {
+        let m = tree_lstm(6, LeafInit::Embedding);
+        let t = datasets::random_binary_tree(7, 12);
+        let want = reference::tree_lstm(&t, &m.params, 6, LeafInit::Embedding);
+        let (result, lin) = m
+            .run(&t, &RaSchedule::default(), &cortex_backend::DeviceSpec::v100())
+            .unwrap();
+        let c = &result.outputs[&m.aux_outputs[0]];
+        verify::compare_output(c, &lin, &t, &want.c, 1e-4).unwrap();
+    }
+
+    #[test]
+    fn zero_leaves_hoist_and_match() {
+        let m = tree_lstm(8, LeafInit::Zero);
+        let t = datasets::random_binary_tree(13, 13);
+        let want = reference::tree_lstm(&t, &m.params, 8, LeafInit::Zero);
+        verify::assert_matches(&m, &t, &RaSchedule::default(), &want.h, 1e-4);
+        let p = m.lower(&RaSchedule::default()).unwrap();
+        assert!(p.meta.leaf_zero);
+    }
+
+    #[test]
+    fn lstm_sync_depth_is_one() {
+        // All reductions read previous-wave data: one barrier per wave,
+        // the property GRNN's persistent LSTM exploits (§7.2, Fig. 9).
+        let m = tree_lstm(8, LeafInit::Zero);
+        assert_eq!(analyze(&m.graph).sync_depth, 1);
+    }
+
+    #[test]
+    fn unoptimized_schedule_matches_reference() {
+        let m = tree_lstm(4, LeafInit::Embedding);
+        let t = datasets::random_binary_tree(6, 14);
+        let want = reference::tree_lstm(&t, &m.params, 4, LeafInit::Embedding);
+        verify::assert_matches(&m, &t, &RaSchedule::unoptimized(), &want.h, 1e-4);
+    }
+}

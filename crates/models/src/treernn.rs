@@ -1,0 +1,92 @@
+//! TreeRNN: the simple recursive model of §7.4, an extension of the
+//! sequential RNN to trees: `h(n) = tanh(W · (h_l + h_r) + b)`.
+
+use cortex_core::expr::ValExpr;
+use cortex_core::ra::RaGraph;
+
+use crate::dsl::{child_sum, embed, VOCAB};
+use crate::model::{init_param, LeafInit, Model};
+
+use cortex_backend::params::Params;
+
+/// Builds the TreeRNN model at hidden size `h`.
+pub fn tree_rnn(h: usize, leaf: LeafInit) -> Model {
+    let mut g = RaGraph::new();
+    let w = g.input("W", &[h, h]);
+    let b = g.input("b", &[h]);
+    let emb = g.input("Emb", &[VOCAB, h]);
+    let ph = g.placeholder("h_ph", &[h]);
+    let rec = g.compute("h_rec", &[h], |c| {
+        let i = c.axis(0);
+        let mv = c.sum(h, |c, k| {
+            c.read(w, &[i.clone(), k.clone()]).mul(child_sum(c, ph, &k, 2, true))
+        });
+        mv.add(c.read(b, &[i])).tanh()
+    });
+    let leaf_op = match leaf {
+        LeafInit::Zero => g.compute("h_leaf", &[h], |_| ValExpr::Const(0.0)),
+        LeafInit::Embedding => g.compute("h_leaf", &[h], |c| embed(c, emb, 0)),
+    };
+    let body = g.if_then_else("h_body", leaf_op, rec).expect("same shapes");
+    let out = g.recursion(ph, body).expect("placeholder recursion");
+    g.mark_output(out);
+
+    let mut params = Params::new();
+    params.set("W", init_param("W", &[h, h]));
+    params.set("b", init_param("b", &[h]));
+    params.set("Emb", init_param("Emb", &[VOCAB, h]));
+
+    Model {
+        name: "TreeRNN".to_string(),
+        graph: g,
+        hidden: h,
+        max_children: 2,
+        params,
+        output: out.id(),
+        aux_outputs: Vec::new(),
+        refactor_split: None,
+        leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::verify;
+    use cortex_core::ra::RaSchedule;
+    use cortex_ds::datasets;
+
+    #[test]
+    fn matches_reference_on_sst_trees() {
+        let m = tree_rnn(8, LeafInit::Embedding);
+        let t = datasets::random_binary_tree(11, 5);
+        let want = reference::tree_rnn(&t, &m.params, 8, LeafInit::Embedding);
+        verify::assert_matches(&m, &t, &RaSchedule::default(), &want, 1e-5);
+    }
+
+    #[test]
+    fn zero_leaves_match_reference_and_hoist() {
+        let m = tree_rnn(8, LeafInit::Zero);
+        let t = datasets::random_binary_tree(9, 6);
+        let want = reference::tree_rnn(&t, &m.params, 8, LeafInit::Zero);
+        verify::assert_matches(&m, &t, &RaSchedule::default(), &want, 1e-5);
+        let p = m.lower(&RaSchedule::default()).unwrap();
+        assert!(p.meta.leaf_zero, "zero leaf case should be constant-propagated");
+    }
+
+    #[test]
+    fn unrolled_schedule_matches_reference() {
+        let m = tree_rnn(4, LeafInit::Embedding);
+        let t = datasets::random_binary_tree(17, 7);
+        let want = reference::tree_rnn(&t, &m.params, 4, LeafInit::Embedding);
+        let s = RaSchedule { unroll: Some(2), unroll_block_local: true, ..RaSchedule::default() };
+        verify::assert_matches(&m, &t, &s, &want, 1e-5);
+    }
+
+    #[test]
+    fn sync_depth_is_one() {
+        let m = tree_rnn(8, LeafInit::Embedding);
+        assert_eq!(cortex_core::ra::analyze(&m.graph).sync_depth, 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Output verification: compare an executed program's node-major outputs
+//! against reference values computed on the original structure.
+
+use cortex_core::ra::RaSchedule;
+use cortex_ds::linearizer::Linearized;
+use cortex_ds::RecStructure;
+use cortex_tensor::Tensor;
+
+use crate::model::Model;
+
+/// Compares a node-major output tensor (in linearized numbering) against
+/// per-structure-node reference rows.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first mismatch.
+pub fn compare_output(
+    output: &Tensor,
+    lin: &Linearized,
+    structure: &RecStructure,
+    want: &[Vec<f32>],
+    tol: f32,
+) -> Result<(), String> {
+    let row_len: usize = output.shape().dims().iter().skip(1).product();
+    for node in structure.iter() {
+        let id = lin.from_structure_id(node) as usize;
+        let expect = &want[node.index()];
+        if expect.len() != row_len {
+            return Err(format!(
+                "node {node}: reference row has {} elements, output rows have {row_len}",
+                expect.len()
+            ));
+        }
+        let got = &output.as_slice()[id * row_len..(id + 1) * row_len];
+        for (i, (&g, &w)) in got.iter().zip(expect).enumerate() {
+            if (g - w).abs() > tol {
+                return Err(format!(
+                    "node {node} (linearized id {id}) element {i}: got {g}, want {w} \
+                     (|Δ| = {} > {tol})",
+                    (g - w).abs()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `model` under `schedule` and asserts the primary output matches
+/// the reference.
+///
+/// # Panics
+///
+/// Panics with a diagnostic message on any mismatch or execution error.
+pub fn assert_matches(
+    model: &Model,
+    structure: &RecStructure,
+    schedule: &RaSchedule,
+    want: &[Vec<f32>],
+    tol: f32,
+) {
+    let (out, lin) = model
+        .infer(structure, schedule)
+        .unwrap_or_else(|e| panic!("{}: execution failed: {e}", model.name));
+    compare_output(&out, &lin, structure, want, tol)
+        .unwrap_or_else(|msg| panic!("{}: {msg}", model.name));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cortex_ds::linearizer::Linearizer;
+    use cortex_ds::{datasets, StructureBuilder, StructureKind};
+
+    #[test]
+    fn compare_detects_mismatch() {
+        let mut b = StructureBuilder::new(StructureKind::Tree);
+        let l = b.leaf(0);
+        let r = b.leaf(1);
+        b.internal(&[l, r]).unwrap();
+        let t = b.finish().unwrap();
+        let lin = Linearizer::new().linearize(&t).unwrap();
+        let out = Tensor::zeros(&[3, 2]);
+        let good = vec![vec![0.0, 0.0]; 3];
+        assert!(compare_output(&out, &lin, &t, &good, 1e-6).is_ok());
+        let mut bad = good.clone();
+        bad[0][1] = 1.0;
+        let err = compare_output(&out, &lin, &t, &bad, 1e-6).unwrap_err();
+        assert!(err.contains("element 1"), "{err}");
+    }
+
+    #[test]
+    fn compare_handles_matrix_outputs() {
+        let t = datasets::random_binary_tree(2, 0);
+        let lin = Linearizer::new().linearize(&t).unwrap();
+        let out = Tensor::zeros(&[3, 2, 2]);
+        let want = vec![vec![0.0; 4]; 3];
+        assert!(compare_output(&out, &lin, &t, &want, 1e-6).is_ok());
+    }
+}

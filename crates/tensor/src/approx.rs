@@ -1,0 +1,160 @@
+//! Nonlinearities, exact and approximated.
+//!
+//! Appendix A.5 of the Cortex paper: *"We use rational approximations for
+//! the `tanh` and `sigmoid` functions, which makes exploiting SIMD
+//! instructions on CPUs easier."* This module provides both the exact
+//! functions (used by reference implementations) and branch-free rational
+//! approximations (used by Cortex-generated CPU kernels), so tests can
+//! quantify and bound the substitution error.
+
+/// Exact hyperbolic tangent.
+pub fn tanh_exact(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Exact logistic sigmoid.
+pub fn sigmoid_exact(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Rational approximation of `tanh`: a degree-13 odd polynomial over a
+/// degree-6 even polynomial, clamped to the saturation region at |x| = 9.
+///
+/// These are the classic single-precision coefficients used by SIMD math
+/// libraries (Eigen's `ptanh`, among others). The body is straight-line
+/// arithmetic plus one clamp, so a vectorizing compiler keeps it branch-free.
+///
+/// Maximum absolute error against `tanh` is below `1e-4` on all of ℝ
+/// (asserted by tests).
+pub fn tanh_rational(x: f32) -> f32 {
+    const ALPHA: [f32; 7] = [
+        4.893_524_6e-3,   // x^1
+        6.372_619_3e-4,   // x^3
+        1.485_722_4e-5,   // x^5
+        5.122_297_1e-8,   // x^7
+        -8.604_671_5e-11, // x^9
+        2.000_187_9e-13,  // x^11
+        -2.760_768_5e-16, // x^13
+    ];
+    const BETA: [f32; 4] = [
+        4.893_525_2e-3, // x^0
+        2.268_434_6e-3, // x^2
+        1.185_347_1e-4, // x^4
+        1.198_258_4e-6, // x^6
+    ];
+    let x = x.clamp(-9.0, 9.0);
+    let x2 = x * x;
+    let mut p = ALPHA[6];
+    for a in ALPHA[..6].iter().rev() {
+        p = p * x2 + a;
+    }
+    let p = p * x;
+    let mut q = BETA[3];
+    for b in BETA[..3].iter().rev() {
+        q = q * x2 + b;
+    }
+    p / q
+}
+
+/// Rational approximation of the logistic sigmoid via [`tanh_rational`],
+/// using `σ(x) = (1 + tanh(x/2)) / 2`.
+///
+/// Maximum absolute error is below `2e-3` (asserted by tests).
+pub fn sigmoid_rational(x: f32) -> f32 {
+    0.5 * (1.0 + tanh_rational(0.5 * x))
+}
+
+/// Which implementation of the nonlinearities a backend should use.
+///
+/// Cortex CPU kernels pick [`Rational`](NonlinearityMode::Rational) (App.
+/// A.5); reference implementations and the "vendor library" kernels use
+/// [`Exact`](NonlinearityMode::Exact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NonlinearityMode {
+    /// `libm`-exact `tanh`/`sigmoid`.
+    #[default]
+    Exact,
+    /// Rational approximations (SIMD-friendly).
+    Rational,
+}
+
+impl NonlinearityMode {
+    /// Applies `tanh` in this mode.
+    pub fn tanh(self, x: f32) -> f32 {
+        match self {
+            NonlinearityMode::Exact => tanh_exact(x),
+            NonlinearityMode::Rational => tanh_rational(x),
+        }
+    }
+
+    /// Applies the sigmoid in this mode.
+    pub fn sigmoid(self, x: f32) -> f32 {
+        match self {
+            NonlinearityMode::Exact => sigmoid_exact(x),
+            NonlinearityMode::Rational => sigmoid_rational(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(f: impl Fn(f32) -> f32, g: impl Fn(f32) -> f32) -> f32 {
+        let mut max_err = 0.0f32;
+        let mut x = -10.0f32;
+        while x <= 10.0 {
+            max_err = max_err.max((f(x) - g(x)).abs());
+            x += 0.001;
+        }
+        max_err
+    }
+
+    #[test]
+    fn tanh_rational_error_bound() {
+        let err = sweep(tanh_exact, tanh_rational);
+        assert!(err < 1e-4, "tanh approximation error {err} too large");
+    }
+
+    #[test]
+    fn sigmoid_rational_error_bound() {
+        let err = sweep(sigmoid_exact, sigmoid_rational);
+        assert!(err < 1e-4, "sigmoid approximation error {err} too large");
+    }
+
+    #[test]
+    fn tanh_rational_saturates_and_is_odd() {
+        assert!((tanh_rational(100.0) - 1.0).abs() < 1e-4);
+        assert!((tanh_rational(-100.0) + 1.0).abs() < 1e-4);
+        for &x in &[0.1f32, 0.7, 1.9, 3.0] {
+            assert!((tanh_rational(x) + tanh_rational(-x)).abs() < 1e-6);
+        }
+        assert_eq!(tanh_rational(0.0), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_rational_bounds_and_midpoint() {
+        assert!((sigmoid_rational(0.0) - 0.5).abs() < 1e-6);
+        assert!((sigmoid_rational(100.0) - 1.0).abs() < 1e-4);
+        assert!(sigmoid_rational(-100.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mode_dispatch() {
+        assert_eq!(NonlinearityMode::Exact.tanh(0.5), tanh_exact(0.5));
+        assert_eq!(NonlinearityMode::Rational.sigmoid(0.5), sigmoid_rational(0.5));
+        assert_eq!(NonlinearityMode::default(), NonlinearityMode::Exact);
+    }
+
+    #[test]
+    fn rational_tanh_monotone_on_grid() {
+        let mut prev = tanh_rational(-5.0);
+        let mut x = -5.0f32;
+        while x <= 5.0 {
+            let y = tanh_rational(x);
+            assert!(y >= prev - 1e-6, "not monotone at {x}");
+            prev = y;
+            x += 0.01;
+        }
+    }
+}

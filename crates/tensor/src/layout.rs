@@ -1,0 +1,250 @@
+//! Strided data layouts and the split / reorder / fuse layout primitives.
+//!
+//! §5.1 of the Cortex paper: *"the ILIR exposes data layout primitives,
+//! which allow tensor dimensions to be split, reordered and fused, similar
+//! to the corresponding loop transformations."* A [`Layout`] maps a logical
+//! tensor index to a physical storage offset; the transformations below
+//! change the physical order without touching the logical shape seen by the
+//! computation.
+
+use crate::shape::Shape;
+
+/// A physical data layout for a logical [`Shape`].
+///
+/// The layout is represented as a chain applied to a logical index:
+/// the logical dimensions are (possibly) split into sub-dimensions, the
+/// sub-dimensions are permuted, and the result is stored row-major.
+///
+/// # Example
+///
+/// Splitting the hidden dimension of an `[N, H]` tensor by 8 and moving the
+/// inner sub-dimension innermost gives the `[N, H/8, 8]` "banked" layout
+/// used for vectorized scratchpad accesses:
+///
+/// ```
+/// use cortex_tensor::{Layout, Shape};
+///
+/// let layout = Layout::row_major(Shape::new(&[4, 16]))
+///     .split(1, 8)      // [4, 2, 8]
+///     .reorder(&[1, 0, 2]); // physical order [2, 4, 8]
+/// assert_eq!(layout.physical_dims(), &[2, 4, 8]);
+/// // logical element (3, 9) = sub-index (3, 1, 1) -> physical (1, 3, 1)
+/// assert_eq!(layout.offset(&[3, 9]), (1 * 4 + 3) * 8 + 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    logical: Shape,
+    /// For each physical dimension: (logical dim it came from, stride within
+    /// that logical dim, extent of this physical dim).
+    pieces: Vec<Piece>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Piece {
+    logical_dim: usize,
+    /// Stride in logical-coordinate units: the piece's value is
+    /// `(logical_coord / stride) % extent`.
+    stride: usize,
+    extent: usize,
+}
+
+impl Layout {
+    /// The identity row-major layout for a logical shape.
+    pub fn row_major(logical: Shape) -> Self {
+        let pieces = logical
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(d, &extent)| Piece { logical_dim: d, stride: 1, extent })
+            .collect();
+        Layout { logical, pieces }
+    }
+
+    /// The logical shape this layout stores.
+    pub fn logical_shape(&self) -> &Shape {
+        &self.logical
+    }
+
+    /// Extents of the physical dimensions, outermost first.
+    pub fn physical_dims(&self) -> Vec<usize> {
+        self.pieces.iter().map(|p| p.extent).collect()
+    }
+
+    /// Total storage size in elements.
+    ///
+    /// Splits round the split dimension up, so this may exceed
+    /// `logical_shape().len()` (padding), mirroring how tensor compilers pad
+    /// storage for split layouts.
+    pub fn storage_len(&self) -> usize {
+        self.pieces.iter().map(|p| p.extent).product::<usize>().max(1)
+    }
+
+    /// Splits physical dimension `dim` by `factor`.
+    ///
+    /// The dimension becomes an outer part of extent `ceil(extent/factor)`
+    /// followed by an inner part of extent `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0` or `dim` is out of range.
+    #[must_use]
+    pub fn split(mut self, dim: usize, factor: usize) -> Self {
+        assert!(factor > 0, "split factor must be positive");
+        let piece = self.pieces.remove(dim);
+        let outer_extent = piece.extent.div_ceil(factor);
+        let outer = Piece {
+            logical_dim: piece.logical_dim,
+            stride: piece.stride * factor,
+            extent: outer_extent,
+        };
+        let inner = Piece { logical_dim: piece.logical_dim, stride: piece.stride, extent: factor };
+        self.pieces.insert(dim, inner);
+        self.pieces.insert(dim, outer);
+        self
+    }
+
+    /// Reorders the physical dimensions according to `perm`, where
+    /// `perm[i]` names the current physical dimension that should move to
+    /// position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..physical rank`.
+    #[must_use]
+    pub fn reorder(mut self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.pieces.len(), "permutation rank mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        self.pieces = perm.iter().map(|&p| self.pieces[p].clone()).collect();
+        self
+    }
+
+    /// Fuses adjacent physical dimensions `dim` and `dim + 1` into one.
+    ///
+    /// The two dimensions must derive from the same logical dimension with
+    /// compatible strides (i.e. they were produced by a previous
+    /// [`split`](Self::split) and are still adjacent); this restriction
+    /// mirrors the legality condition of loop fusion after splitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions cannot be fused.
+    #[must_use]
+    pub fn fuse(mut self, dim: usize) -> Self {
+        assert!(dim + 1 < self.pieces.len(), "fuse dimension out of range");
+        let outer = self.pieces[dim].clone();
+        let inner = self.pieces[dim + 1].clone();
+        assert_eq!(
+            outer.logical_dim, inner.logical_dim,
+            "can only fuse pieces of the same logical dimension"
+        );
+        assert_eq!(
+            outer.stride,
+            inner.stride * inner.extent,
+            "pieces are not contiguous parts of one logical dimension"
+        );
+        let fused = Piece {
+            logical_dim: outer.logical_dim,
+            stride: inner.stride,
+            extent: outer.extent * inner.extent,
+        };
+        self.pieces.remove(dim + 1);
+        self.pieces[dim] = fused;
+        self
+    }
+
+    /// Maps a logical index to a physical storage offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank does not match the logical shape.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.logical.rank(), "layout index rank mismatch");
+        let mut flat = 0usize;
+        for piece in &self.pieces {
+            let coord = (index[piece.logical_dim] / piece.stride) % piece.extent;
+            flat = flat * piece.extent + coord;
+        }
+        flat
+    }
+
+    /// Whether this layout is the plain row-major identity for its shape.
+    pub fn is_row_major(&self) -> bool {
+        self.pieces.len() == self.logical.rank()
+            && self
+                .pieces
+                .iter()
+                .enumerate()
+                .all(|(d, p)| p.logical_dim == d && p.stride == 1 && p.extent == self.logical.dim(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_identity() {
+        let s = Shape::new(&[3, 5]);
+        let l = Layout::row_major(s.clone());
+        assert!(l.is_row_major());
+        for flat in 0..s.len() {
+            let ix = s.delinearize(flat);
+            assert_eq!(l.offset(&ix), flat);
+        }
+    }
+
+    #[test]
+    fn split_preserves_bijectivity_when_divisible() {
+        let s = Shape::new(&[4, 16]);
+        let l = Layout::row_major(s.clone()).split(1, 4);
+        assert_eq!(l.physical_dims(), &[4, 4, 4]);
+        let mut seen = vec![false; l.storage_len()];
+        for flat in 0..s.len() {
+            let ix = s.delinearize(flat);
+            let off = l.offset(&ix);
+            assert!(!seen[off], "offset collision at {ix:?}");
+            seen[off] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn split_pads_when_not_divisible() {
+        let s = Shape::new(&[10]);
+        let l = Layout::row_major(s).split(0, 4);
+        assert_eq!(l.physical_dims(), &[3, 4]);
+        assert_eq!(l.storage_len(), 12);
+        assert_eq!(l.offset(&[9]), 2 * 4 + 1);
+    }
+
+    #[test]
+    fn reorder_transposes() {
+        let s = Shape::new(&[2, 3]);
+        let l = Layout::row_major(s).reorder(&[1, 0]);
+        // (i, j) stored at j * 2 + i (column-major).
+        assert_eq!(l.offset(&[1, 2]), 2 * 2 + 1);
+    }
+
+    #[test]
+    fn split_then_fuse_is_identity() {
+        let s = Shape::new(&[4, 16]);
+        let l = Layout::row_major(s.clone()).split(1, 4).fuse(1);
+        assert!(l.is_row_major());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permutation")]
+    fn bad_permutation_panics() {
+        let _ = Layout::row_major(Shape::new(&[2, 2])).reorder(&[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same logical dimension")]
+    fn fusing_unrelated_dims_panics() {
+        let _ = Layout::row_major(Shape::new(&[2, 2])).fuse(0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Dense tensor substrate for the Cortex recursive-model compiler.
+//!
+//! The Cortex paper (MLSys 2021) extends a tensor compiler; this crate is the
+//! from-scratch tensor layer that the rest of the reproduction builds on. It
+//! provides:
+//!
+//! * [`Shape`] — tensor extents with row-major index arithmetic,
+//! * [`Layout`] — strided layouts supporting the split / reorder / fuse
+//!   dimension transformations that the ILIR exposes as data-layout
+//!   scheduling primitives (§5.1 of the paper),
+//! * [`Tensor`] — an owned dense `f32` tensor,
+//! * [`kernels`] — the numeric kernels (gemm, gemv, elementwise, concat)
+//!   used both by Cortex-generated code and by the baseline frameworks'
+//!   "vendor library" calls,
+//! * [`approx`] — rational approximations of `tanh`/`sigmoid` (App. A.5).
+//!
+//! # Example
+//!
+//! ```
+//! use cortex_tensor::{Tensor, kernels};
+//!
+//! let w = Tensor::from_fn(&[2, 3], |ix| (ix[0] * 3 + ix[1]) as f32);
+//! let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+//! let y = kernels::gemv(&w, &x).unwrap();
+//! assert_eq!(y.as_slice(), &[8.0, 26.0]);
+//! ```
+
+pub mod approx;
+pub mod kernels;
+pub mod layout;
+pub mod shape;
+pub mod tensor;
+
+pub use layout::Layout;
+pub use shape::Shape;
+pub use tensor::{Tensor, TensorError};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

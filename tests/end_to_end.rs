@@ -1,0 +1,185 @@
+//! End-to-end integration tests: every model × every meaningful schedule
+//! combination, executed through the full pipeline (RA → lowering → ILIR
+//! → linearization → execution) and checked against the pure-Rust
+//! reference implementations.
+
+use cortex::core::ra::{BarrierMode, FusionMode, LeafCheckMode, RaSchedule};
+use cortex::models::{
+    dagrnn, mvrnn, reference, seq, treefc, treegru, treelstm, treernn, verify, LeafInit, Model,
+};
+use cortex::prelude::*;
+
+fn schedules() -> Vec<(&'static str, RaSchedule)> {
+    vec![
+        ("default", RaSchedule::default()),
+        ("unoptimized", RaSchedule::unoptimized()),
+        (
+            "fused-unspecialized",
+            RaSchedule { specialize: false, ..RaSchedule::default() },
+        ),
+        ("unbatched", RaSchedule { dynamic_batch: false, ..RaSchedule::default() }),
+        ("peeled", RaSchedule { peel: Some(4), ..RaSchedule::default() }),
+        (
+            "conservative-barriers",
+            RaSchedule { barrier: BarrierMode::Conservative, ..RaSchedule::default() },
+        ),
+        (
+            "leaf-check-by-load",
+            RaSchedule {
+                specialize: false,
+                leaf_check: LeafCheckMode::Load,
+                ..RaSchedule::default()
+            },
+        ),
+        (
+            "no-dense-indexing",
+            RaSchedule { dense_intermediates: false, ..RaSchedule::default() },
+        ),
+        (
+            "unfused-unspecialized",
+            RaSchedule {
+                fusion: FusionMode::None,
+                specialize: false,
+                persist: false,
+                dense_intermediates: false,
+                ..RaSchedule::default()
+            },
+        ),
+    ]
+}
+
+fn sst_forest(n: usize, seed: u64) -> RecStructure {
+    let corpus = cortex::ds::datasets::sentiment_treebank(n, seed);
+    let refs: Vec<&RecStructure> = corpus.iter().collect();
+    RecStructure::merge(&refs)
+}
+
+fn check_all_schedules(model: &Model, structure: &RecStructure, want: &[Vec<f32>]) {
+    for (name, schedule) in schedules() {
+        let (out, lin) = model
+            .infer(structure, &schedule)
+            .unwrap_or_else(|e| panic!("{} under {name}: {e}", model.name));
+        verify::compare_output(&out, &lin, structure, want, 1e-3)
+            .unwrap_or_else(|msg| panic!("{} under {name}: {msg}", model.name));
+    }
+}
+
+#[test]
+fn tree_fc_all_schedules() {
+    let m = treefc::tree_fc(16, LeafInit::Embedding);
+    let t = cortex::ds::datasets::batch_of(
+        |s| cortex::ds::datasets::perfect_binary_tree(4, s),
+        3,
+        1,
+    );
+    let want = reference::tree_fc(&t, &m.params, 16, LeafInit::Embedding);
+    check_all_schedules(&m, &t, &want);
+}
+
+#[test]
+fn tree_rnn_all_schedules() {
+    let m = treernn::tree_rnn(12, LeafInit::Embedding);
+    let t = sst_forest(3, 2);
+    let want = reference::tree_rnn(&t, &m.params, 12, LeafInit::Embedding);
+    check_all_schedules(&m, &t, &want);
+}
+
+#[test]
+fn tree_gru_all_schedules() {
+    let m = treegru::tree_gru(12, LeafInit::Embedding);
+    let t = sst_forest(3, 3);
+    let want = reference::tree_gru(&t, &m.params, 12, LeafInit::Embedding, false);
+    check_all_schedules(&m, &t, &want);
+}
+
+#[test]
+fn tree_lstm_all_schedules() {
+    let m = treelstm::tree_lstm(12, LeafInit::Embedding);
+    let t = sst_forest(3, 4);
+    let want = reference::tree_lstm(&t, &m.params, 12, LeafInit::Embedding);
+    check_all_schedules(&m, &t, &want.h);
+}
+
+#[test]
+fn mv_rnn_all_schedules() {
+    let m = mvrnn::mv_rnn(8);
+    let t = sst_forest(2, 5);
+    let want = reference::mv_rnn(&t, &m.params, 8);
+    check_all_schedules(&m, &t, &want.a);
+}
+
+#[test]
+fn dag_rnn_all_schedules() {
+    let m = dagrnn::dag_rnn(12);
+    let d = cortex::ds::datasets::batch_of(|s| cortex::ds::datasets::grid_dag(5, 6, s), 3, 6);
+    let want = reference::dag_rnn(&d, &m.params, 12);
+    check_all_schedules(&m, &d, &want);
+}
+
+#[test]
+fn sequences_all_schedules() {
+    let m = seq::seq_lstm(12);
+    let s = cortex::ds::datasets::batch_of(|x| cortex::ds::datasets::sequence(15, x), 4, 7);
+    let want = reference::tree_lstm(&s, &m.params, 12, LeafInit::Embedding);
+    check_all_schedules(&m, &s, &want.h);
+}
+
+#[test]
+fn unroll_and_refactor_schedules() {
+    // Tree-only schedules, checked separately (they reject DAGs).
+    let m = treernn::tree_rnn(8, LeafInit::Embedding);
+    let t = sst_forest(4, 8);
+    let want = reference::tree_rnn(&t, &m.params, 8, LeafInit::Embedding);
+    for block_local in [false, true] {
+        let s = RaSchedule {
+            unroll: Some(2),
+            unroll_block_local: block_local,
+            ..RaSchedule::default()
+        };
+        let (out, lin) = m.infer(&t, &s).unwrap();
+        cortex::models::verify::compare_output(&out, &lin, &t, &want, 1e-4).unwrap();
+    }
+    let gm = treegru::simple_tree_gru(8, LeafInit::Embedding);
+    let want = reference::tree_gru(&t, &gm.params, 8, LeafInit::Embedding, true);
+    let (out, lin) = gm.infer(&t, &gm.refactored_schedule()).unwrap();
+    cortex::models::verify::compare_output(&out, &lin, &t, &want, 1e-4).unwrap();
+}
+
+#[test]
+fn rational_nonlinearities_stay_close_to_exact() {
+    // Appendix A.5: the rational tanh/sigmoid approximations change
+    // results by less than the documented bound end to end.
+    let m = treelstm::tree_lstm(12, LeafInit::Embedding);
+    let t = sst_forest(2, 9);
+    let exact = RaSchedule::default();
+    let rational = RaSchedule {
+        nonlinearity: cortex::tensor::approx::NonlinearityMode::Rational,
+        ..RaSchedule::default()
+    };
+    let (a, lin) = m.infer(&t, &exact).unwrap();
+    let (b, _) = m.infer(&t, &rational).unwrap();
+    let mut max_err = 0.0f32;
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        max_err = max_err.max((x - y).abs());
+    }
+    let _ = lin;
+    assert!(max_err > 0.0, "modes must actually differ");
+    assert!(max_err < 5e-3, "approximation drift {max_err} too large");
+}
+
+#[test]
+fn bounds_inference_validates_all_lowered_models() {
+    use cortex::core::bounds::{check_program, ModelSizes};
+    for model in [
+        treefc::tree_fc(8, LeafInit::Embedding),
+        treegru::tree_gru(8, LeafInit::Zero),
+        treelstm::tree_lstm(8, LeafInit::Embedding),
+        dagrnn::dag_rnn(8),
+        mvrnn::mv_rnn(6),
+    ] {
+        let p = model.lower(&RaSchedule::default()).unwrap();
+        let report = check_program(&p, ModelSizes::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", model.name));
+        assert!(report.proven_in_bounds > 0, "{}", model.name);
+    }
+}
