@@ -104,7 +104,11 @@ impl DeviceSpec {
     /// A V100 whose global barrier uses the lock-free implementation of
     /// Xiao & Feng (2010), as GRNN does (Fig. 9).
     pub fn v100_lockfree_barrier() -> Self {
-        DeviceSpec { global_barrier_s: 1.0e-6, name: "GPU (lock-free barrier)".to_string(), ..Self::v100() }
+        DeviceSpec {
+            global_barrier_s: 1.0e-6,
+            name: "GPU (lock-free barrier)".to_string(),
+            ..Self::v100()
+        }
     }
 
     /// Fraction of the device kept busy by a wave `width` nodes wide.
@@ -125,8 +129,7 @@ impl DeviceSpec {
         let mut accounted_bytes = 0u64;
         let wave_bytes_total: u64 = profile.waves.iter().map(|w| w.bytes).sum();
         let reuse_factor = if wave_bytes_total > 0 {
-            1.0 - (profile.cache_reuse_bytes.min(wave_bytes_total) as f64
-                / wave_bytes_total as f64)
+            1.0 - (profile.cache_reuse_bytes.min(wave_bytes_total) as f64 / wave_bytes_total as f64)
         } else {
             1.0
         };
@@ -150,8 +153,7 @@ impl DeviceSpec {
         }
         // Work outside any recorded wave: compute at full utilization,
         // residual traffic at full bandwidth.
-        let resid_c =
-            profile.flops.saturating_sub(accounted_flops) as f64 / self.peak_flops;
+        let resid_c = profile.flops.saturating_sub(accounted_flops) as f64 / self.peak_flops;
         let resid_m = profile.total_global_bytes().saturating_sub(accounted_bytes) as f64
             / self.mem_bandwidth;
         compute_s += resid_c;
@@ -213,7 +215,10 @@ mod tests {
         let arm = DeviceSpec::arm_graviton2();
         assert!(gpu.peak_flops > intel.peak_flops && intel.peak_flops > arm.peak_flops);
         assert!(gpu.mem_bandwidth > intel.mem_bandwidth);
-        assert!(gpu.launch_overhead_s > intel.launch_overhead_s, "GPU launches are expensive");
+        assert!(
+            gpu.launch_overhead_s > intel.launch_overhead_s,
+            "GPU launches are expensive"
+        );
     }
 
     #[test]
@@ -227,8 +232,16 @@ mod tests {
     #[test]
     fn launches_dominate_small_work() {
         let gpu = DeviceSpec::v100();
-        let many_launches = Profile { launches: 1000, flops: 1000, ..Profile::default() };
-        let one_launch = Profile { launches: 1, flops: 1000, ..Profile::default() };
+        let many_launches = Profile {
+            launches: 1000,
+            flops: 1000,
+            ..Profile::default()
+        };
+        let one_launch = Profile {
+            launches: 1,
+            flops: 1000,
+            ..Profile::default()
+        };
         let a = gpu.latency(&many_launches);
         let b = gpu.latency(&one_launch);
         assert!(a.total_s > 100.0 * b.total_s);
@@ -239,12 +252,20 @@ mod tests {
         let gpu = DeviceSpec::v100();
         let narrow = Profile {
             flops: 1_000_000,
-            waves: vec![WaveStat { flops: 1_000_000, width: 1, bytes: 0 }],
+            waves: vec![WaveStat {
+                flops: 1_000_000,
+                width: 1,
+                bytes: 0,
+            }],
             ..Profile::default()
         };
         let wide = Profile {
             flops: 1_000_000,
-            waves: vec![WaveStat { flops: 1_000_000, width: 128, bytes: 0 }],
+            waves: vec![WaveStat {
+                flops: 1_000_000,
+                width: 128,
+                bytes: 0,
+            }],
             ..Profile::default()
         };
         assert!(gpu.latency(&narrow).compute_s > 10.0 * gpu.latency(&wide).compute_s);
@@ -254,7 +275,10 @@ mod tests {
     fn lock_free_barrier_is_cheaper() {
         let locked = DeviceSpec::v100();
         let free = DeviceSpec::v100_lockfree_barrier();
-        let p = Profile { barriers_global: 100, ..Profile::default() };
+        let p = Profile {
+            barriers_global: 100,
+            ..Profile::default()
+        };
         assert!(free.latency(&p).barrier_s < locked.latency(&p).barrier_s);
     }
 

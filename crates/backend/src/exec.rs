@@ -14,19 +14,20 @@
 //!    Appendix C's roofline analysis performs.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use cortex_core::expr::{BoolExpr, CmpOp, IdxBinOp, IdxExpr, RtScalar, TensorId, Ufn, ValExpr};
-use cortex_core::ilir::{
-    DimExtent, IlirProgram, LaunchPattern, Stmt, StorageClass,
-};
-use cortex_ds::linearizer::{Batch, Linearized, LinearizeError};
+use cortex_core::ilir::{DimExtent, IlirProgram, LaunchPattern, Stmt, StorageClass};
+use cortex_ds::linearizer::{Batch, LinearizeError, Linearized};
 use cortex_tensor::approx::NonlinearityMode;
-use cortex_tensor::Tensor;
+use cortex_tensor::{kernels, Tensor};
 
 use crate::device::{DeviceSpec, LatencyEstimate};
+use crate::fastdot::DotPlan;
 use crate::params::Params;
 use crate::persist::{check_persistence, PersistDecision};
 use crate::profile::{Profile, WaveStat};
+use crate::wave::{SumSite, WavePlan};
 
 /// Errors from program execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,8 +53,15 @@ impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::MissingParam(n) => write!(f, "parameter '{n}' is not bound"),
-            ExecError::ParamShape { name, expected, found } => {
-                write!(f, "parameter '{name}' has shape {found:?}, expected {expected:?}")
+            ExecError::ParamShape {
+                name,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "parameter '{name}' has shape {found:?}, expected {expected:?}"
+                )
             }
             ExecError::Unroll(e) => write!(f, "unrolled schedule: {e}"),
             ExecError::Internal(msg) => write!(f, "internal executor error: {msg}"),
@@ -95,10 +103,7 @@ pub fn run(
     params: &Params,
     device: &DeviceSpec,
 ) -> Result<RunResult, ExecError> {
-    let persist = check_persistence(program, device);
-    let (outputs, profile) = execute(program, lin, params, persist.active())?;
-    let latency = device.latency(&profile);
-    Ok(RunResult { outputs, profile, latency, persist })
+    Engine::new(program).run(lin, params, device)
 }
 
 /// Executes without a device model, returning outputs and raw counters.
@@ -112,9 +117,240 @@ pub fn execute(
     params: &Params,
     persist_active: bool,
 ) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
-    let mut interp = Interp::new(program, lin, params, persist_active)?;
-    interp.run_all()?;
-    interp.finish()
+    Engine::new(program).execute(lin, params, persist_active)
+}
+
+// ---------------------------------------------------------------------
+// Execution engine
+// ---------------------------------------------------------------------
+
+/// Which executor paths are enabled.
+///
+/// All three configurations compute identical results (a property test
+/// asserts agreement on random programs); they differ in speed and serve
+/// as each other's cross-checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Run recognized reductions as tight strided loops ([`DotPlan`]).
+    /// With this off, every `Sum` goes through the generic interpreter.
+    pub fastdot: bool,
+    /// Execute recognized reduction *waves* as one packed GEMM per site
+    /// per wave (the batched wavefront engine).
+    pub wave_gemm: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            fastdot: true,
+            wave_gemm: true,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// The generic interpreter: no reduction fast paths at all.
+    pub fn generic() -> Self {
+        ExecOptions {
+            fastdot: false,
+            wave_gemm: false,
+        }
+    }
+
+    /// The scalar fast path: per-element strided dots, no wave batching.
+    pub fn scalar() -> Self {
+        ExecOptions {
+            fastdot: true,
+            wave_gemm: false,
+        }
+    }
+}
+
+/// A reusable execution engine for one lowered program.
+///
+/// Compiling kernels (dense slot remapping), analyzing wave plans, and
+/// pattern-matching reduction bodies are all done **once** here and then
+/// reused by every run. Within a run, packed weight matrices and per-site
+/// scratch buffers are shared across all waves and kernel launches;
+/// weights are re-packed at the start of each run (parameter bindings may
+/// change between runs) while scratch buffers persist. Use this instead
+/// of the free [`execute`] function when running the same program many
+/// times (benchmarks, serving loops):
+///
+/// ```ignore
+/// let mut engine = Engine::new(&program);
+/// for lin in inputs {
+///     let (outputs, profile) = engine.execute(&lin, &params, true)?;
+/// }
+/// ```
+pub struct Engine<'p> {
+    program: &'p IlirProgram,
+    opts: ExecOptions,
+    compiled: Rc<Vec<CompiledKernel>>,
+    wave_plans: Rc<HashMap<usize, WavePlan>>,
+    max_slots: usize,
+    caches: Caches,
+}
+
+impl<'p> Engine<'p> {
+    /// Builds an engine with the default options (all fast paths on).
+    pub fn new(program: &'p IlirProgram) -> Self {
+        Engine::with_options(program, ExecOptions::default())
+    }
+
+    /// Builds an engine with explicit executor options.
+    pub fn with_options(program: &'p IlirProgram, opts: ExecOptions) -> Self {
+        let compiled: Vec<CompiledKernel> = program
+            .kernels
+            .iter()
+            .map(CompiledKernel::compile)
+            .collect();
+        let max_slots = compiled.iter().map(|k| k.num_slots).max().unwrap_or(0);
+        let wave_plans = if opts.wave_gemm {
+            let bodies: Vec<&[Stmt]> = compiled.iter().map(|k| k.body.as_slice()).collect();
+            crate::wave::analyze(&bodies)
+        } else {
+            HashMap::new()
+        };
+        Engine {
+            program,
+            opts,
+            compiled: Rc::new(compiled),
+            wave_plans: Rc::new(wave_plans),
+            max_slots,
+            caches: Caches::default(),
+        }
+    }
+
+    /// The options this engine was built with.
+    pub fn options(&self) -> ExecOptions {
+        self.opts
+    }
+
+    /// Number of `d_batch` loops that will execute as batched GEMM waves.
+    pub fn num_wave_plans(&self) -> usize {
+        self.wave_plans.len()
+    }
+
+    /// Executes the program, returning outputs and raw counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`execute`].
+    pub fn execute(
+        &mut self,
+        lin: &Linearized,
+        params: &Params,
+        persist_active: bool,
+    ) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
+        // Packed weights are derived from this run's parameter bindings.
+        self.caches.weight_cache.clear();
+        let mut caches = std::mem::take(&mut self.caches);
+        let result = (|| {
+            let mut interp = Interp::new(
+                self.program,
+                lin,
+                params,
+                persist_active,
+                self.opts,
+                self.compiled.clone(),
+                self.wave_plans.clone(),
+                self.max_slots,
+                &mut caches,
+            )?;
+            interp.run_all()?;
+            interp.finish()
+        })();
+        self.caches = caches;
+        result
+    }
+
+    /// Executes against a device model, like the free [`run`] function.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`].
+    pub fn run(
+        &mut self,
+        lin: &Linearized,
+        params: &Params,
+        device: &DeviceSpec,
+    ) -> Result<RunResult, ExecError> {
+        let persist = check_persistence(self.program, device);
+        let (outputs, profile) = self.execute(lin, params, persist.active())?;
+        let latency = device.latency(&profile);
+        Ok(RunResult {
+            outputs,
+            profile,
+            latency,
+            persist,
+        })
+    }
+}
+
+/// State the engine keeps across runs: memoized reduction plans (keyed by
+/// the `Sum` body's address within the compiled kernels, stable for the
+/// engine's lifetime), packed weight matrices (per run), and per-site
+/// gather/output scratch buffers.
+#[derive(Default)]
+struct Caches {
+    plan_cache: HashMap<usize, Option<Rc<DotPlan>>>,
+    /// Packed weights keyed by `(site, base, k, store-generation)` — the
+    /// reduction extent is part of the key because a site's extent may
+    /// legally vary between waves (it is only required to be invariant
+    /// *within* one), and the source tensor's store generation invalidates
+    /// packs whose weight was rewritten since packing.
+    weight_cache: HashMap<(usize, usize, usize, u64), Rc<Vec<f32>>>,
+    site_bufs: HashMap<usize, SiteBufs>,
+}
+
+/// Reusable buffers for one reduction site.
+#[derive(Default)]
+struct SiteBufs {
+    /// Packed operand rows, `[wave_len][k]`.
+    rows: Vec<f32>,
+    /// GEMM output, `[wave_len][h]`.
+    out: Vec<f32>,
+    /// Per-row accounting metadata.
+    meta: Vec<RowMeta>,
+}
+
+/// Accounting metadata for one packed row, mirroring exactly what the
+/// scalar `eval_dot` would have recorded per element.
+#[derive(Debug, Clone, Default)]
+struct RowMeta {
+    /// A guard failed (or `k == 0`): the scalar path returns `0.0`
+    /// *before* any accounting, so the memo does the same.
+    zero: bool,
+    /// Reduction-invariant scalar factor, applied after the dot.
+    scale: f32,
+    /// Stream count including the weight stream (the `+1`-free part of
+    /// `flops += k·(streams+1)`).
+    streams: u64,
+    /// Touched tensor ids (with multiplicity), including the weight.
+    tensors: Vec<u32>,
+}
+
+/// A resolved multiplicative operand of a reduction.
+enum Res {
+    /// `data[base + k*stride]` of one tensor.
+    Stream(usize, usize, usize),
+    /// Sum of streams (child-sum).
+    AddStreams(Vec<(usize, usize, usize)>),
+    /// Guard failed: whole product is zero.
+    Zero,
+}
+
+/// A site currently served from a wave's GEMM result.
+struct ActiveSite {
+    site_key: usize,
+    out: Vec<f32>,
+    rows: Vec<f32>,
+    meta: Vec<RowMeta>,
+    h: usize,
+    k: u64,
+    feat_slot: usize,
+    n_idx_slot: usize,
 }
 
 // ---------------------------------------------------------------------
@@ -136,7 +372,12 @@ impl Buffer {
         for d in (0..dims.len().saturating_sub(1)).rev() {
             strides[d] = strides[d + 1] * dims[d + 1];
         }
-        Buffer { data: vec![0.0; len.max(1)], dims, strides, class }
+        Buffer {
+            data: vec![0.0; len.max(1)],
+            dims,
+            strides,
+            class,
+        }
     }
 
     fn bytes(&self) -> u64 {
@@ -203,8 +444,10 @@ impl RtEnv {
 
 #[derive(Default)]
 struct Scope {
-    /// tensor -> (loads, stores) within this scope.
-    touch: HashMap<TensorId, (u64, u64)>,
+    /// Per-tensor `(loads, stores)` within this scope, indexed by tensor
+    /// id. A flat array, not a map: these counters are bumped on every
+    /// interpreted load/store, the hottest accounting path there is.
+    touch: Vec<(u64, u64)>,
     flops_start: u64,
     /// Flops already attributed to nested (wave) scopes, so the outer
     /// launch scope only reports its own residual work.
@@ -233,17 +476,35 @@ struct Interp<'a> {
     persisted_loads: Vec<u64>,
     persist_active: bool,
     nonlin: NonlinearityMode,
-    /// Memoized reduction fast paths, keyed by the `Sum` body's address
-    /// within the compiled kernels (stable for the duration of a run).
-    plan_cache: HashMap<usize, Option<std::rc::Rc<crate::fastdot::DotPlan>>>,
+    opts: ExecOptions,
+    compiled: Rc<Vec<CompiledKernel>>,
+    wave_plans: Rc<HashMap<usize, WavePlan>>,
+    caches: &'a mut Caches,
+    /// Sites of the wave currently executing, served from GEMM results.
+    active: Vec<ActiveSite>,
+    /// `Sum`-body address → index into `active`.
+    memo: HashMap<usize, usize>,
+    /// Zeroed per-tensor touch arrays, recycled across scopes.
+    scope_pool: Vec<Vec<(u64, u64)>>,
+    /// Per-tensor store generation: bumped on every interpreted store, so
+    /// packed-weight cache entries are invalidated the moment their
+    /// source tensor is written (a non-`Param` weight may legally be
+    /// produced by a precompute kernel — or rewritten between waves).
+    store_gens: Vec<u64>,
 }
 
 impl<'a> Interp<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         program: &'a IlirProgram,
         lin: &'a Linearized,
         params: &Params,
         persist_active: bool,
+        opts: ExecOptions,
+        compiled: Rc<Vec<CompiledKernel>>,
+        wave_plans: Rc<HashMap<usize, WavePlan>>,
+        max_slots: usize,
+        caches: &'a mut Caches,
     ) -> Result<Self, ExecError> {
         let rt = RtEnv::new(program, lin)?;
         let n_tensors = program.tensors.len();
@@ -285,21 +546,24 @@ impl<'a> Interp<'a> {
             rt,
             bufs,
             profile,
-            slots: Vec::new(),
+            slots: vec![0; max_slots],
             scopes: Vec::new(),
             persisted_loads: vec![0; n_tensors],
+            store_gens: vec![0; n_tensors],
             persist_active,
             nonlin: program.meta.schedule.nonlinearity,
-            plan_cache: HashMap::new(),
+            opts,
+            compiled,
+            wave_plans,
+            caches,
+            active: Vec::new(),
+            memo: HashMap::new(),
+            scope_pool: Vec::new(),
         })
     }
 
     fn run_all(&mut self) -> Result<(), ExecError> {
-        // Compile each kernel: dense variable slots for fast environments.
-        let compiled: Vec<CompiledKernel> =
-            self.program.kernels.iter().map(CompiledKernel::compile).collect();
-        let max_slots = compiled.iter().map(|k| k.num_slots).max().unwrap_or(0);
-        self.slots = vec![0; max_slots];
+        let compiled = self.compiled.clone();
 
         // Per-batch kernels run once per internal batch when specialized;
         // without specialization the leaf wave joins the batch table too.
@@ -346,8 +610,10 @@ impl<'a> Interp<'a> {
                 // Fig. 11: the barrier cannot be amortized across the
                 // groups of a super wave — each unrolled call region
                 // synchronizes its own stages.
-                self.profile.barriers_global =
-                    self.profile.barriers_global.max(self.rt.unamortized_barriers as u64);
+                self.profile.barriers_global = self
+                    .profile
+                    .barriers_global
+                    .max(self.rt.unamortized_barriers as u64);
             }
             let per_edge_bytes: u64 = self
                 .program
@@ -366,8 +632,7 @@ impl<'a> Interp<'a> {
                         * 4
                 })
                 .sum();
-            self.profile.cache_reuse_bytes =
-                self.rt.intra_group_edges as u64 * per_edge_bytes;
+            self.profile.cache_reuse_bytes = self.rt.intra_group_edges as u64 * per_edge_bytes;
         }
         // Recursive refactoring: the fused A2/A1 stage boundary is a
         // block-local sync per wave (per-subtree blocking), accounted here.
@@ -404,8 +669,13 @@ impl<'a> Interp<'a> {
 
     fn push_scope(&mut self, is_wave: bool) {
         let flops = self.profile.flops;
+        let touch = self
+            .scope_pool
+            .pop()
+            .unwrap_or_else(|| vec![(0, 0); self.bufs.len()]);
+        debug_assert!(touch.iter().all(|&t| t == (0, 0)));
         self.scopes.push(Scope {
-            touch: HashMap::new(),
+            touch,
             flops_start: flops,
             flops_attributed: 0,
             width: 0,
@@ -414,15 +684,22 @@ impl<'a> Interp<'a> {
     }
 
     fn pop_scope(&mut self) {
-        let scope = self.scopes.pop().expect("scope underflow");
+        let mut scope = self.scopes.pop().expect("scope underflow");
         let delta = self.profile.flops - scope.flops_start;
         let own = delta - scope.flops_attributed;
         if let Some(parent) = self.scopes.last_mut() {
             parent.flops_attributed += delta;
         }
         let mut wave_bytes = 0u64;
-        for (tensor, (loads, stores)) in scope.touch {
-            let Some(buf) = &self.bufs[tensor.0 as usize] else { continue };
+        for (t, counts) in scope.touch.iter_mut().enumerate() {
+            let (loads, stores) = std::mem::take(counts);
+            if loads == 0 && stores == 0 {
+                continue;
+            }
+            let tensor = TensorId(t as u32);
+            let Some(buf) = &self.bufs[tensor.0 as usize] else {
+                continue;
+            };
             let size = buf.bytes();
             match buf.class {
                 StorageClass::Param => {
@@ -457,17 +734,21 @@ impl<'a> Interp<'a> {
                 bytes: wave_bytes,
             });
         }
+        self.scope_pool.push(scope.touch);
     }
 
+    #[inline]
     fn record_load(&mut self, tensor: TensorId) {
         if let Some(scope) = self.scopes.last_mut() {
-            scope.touch.entry(tensor).or_default().0 += 1;
+            scope.touch[tensor.0 as usize].0 += 1;
         }
     }
 
+    #[inline]
     fn record_store(&mut self, tensor: TensorId) {
+        self.store_gens[tensor.0 as usize] += 1;
         if let Some(scope) = self.scopes.last_mut() {
-            scope.touch.entry(tensor).or_default().1 += 1;
+            scope.touch[tensor.0 as usize].1 += 1;
         }
     }
 
@@ -492,7 +773,13 @@ impl<'a> Interp<'a> {
 
     fn exec_stmt(&mut self, s: &Stmt) {
         match s {
-            Stmt::For { var, extent, dim, body, .. } => {
+            Stmt::For {
+                var,
+                extent,
+                dim,
+                body,
+                ..
+            } => {
                 let n = self.eval_idx(extent);
                 let slot = var.id() as usize;
                 let is_wave = matches!(dim, Some(d) if d.0 == "d_all_batches");
@@ -500,6 +787,17 @@ impl<'a> Interp<'a> {
                 if is_node_loop {
                     if let Some(scope) = self.scopes.last_mut() {
                         scope.width = scope.width.max(n.max(0) as u64);
+                    }
+                }
+                // Batched wavefront execution: if this node loop has a
+                // wave plan, run each recognized reduction site as one
+                // packed GEMM over the whole wave, then interpret the loop
+                // normally with `Sum`s served from the result matrices.
+                let mut activated = 0usize;
+                if n > 0 && !self.wave_plans.is_empty() {
+                    let plans = self.wave_plans.clone();
+                    if let Some(plan) = plans.get(&(s as *const Stmt as usize)) {
+                        activated = self.prepare_wave(plan, n as usize);
                     }
                 }
                 for i in 0..n.max(0) {
@@ -514,6 +812,9 @@ impl<'a> Interp<'a> {
                         self.pop_scope();
                     }
                 }
+                if activated > 0 {
+                    self.finish_wave(activated);
+                }
             }
             Stmt::Let { var, value, body } => {
                 let v = self.eval_idx(value);
@@ -522,16 +823,30 @@ impl<'a> Interp<'a> {
                     self.exec_stmt(st);
                 }
             }
-            Stmt::Store { tensor, index, value } => {
+            Stmt::Store {
+                tensor,
+                index,
+                value,
+            } => {
                 let v = self.eval_val(value);
                 let off = self.offset(*tensor, index);
                 self.record_store(*tensor);
-                let buf = self.bufs[tensor.0 as usize].as_mut().expect("stored tensor allocated");
+                let buf = self.bufs[tensor.0 as usize]
+                    .as_mut()
+                    .expect("stored tensor allocated");
                 buf.data[off] = v;
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.profile.branch_checks += 1;
-                let branch = if self.eval_bool(cond) { then_branch } else { else_branch };
+                let branch = if self.eval_bool(cond) {
+                    then_branch
+                } else {
+                    else_branch
+                };
                 for st in branch {
                     self.exec_stmt(st);
                 }
@@ -547,10 +862,11 @@ impl<'a> Interp<'a> {
         for (d, e) in index.iter().enumerate() {
             coords[d] = self.eval_idx(e);
         }
-        let buf = self.bufs[tensor.0 as usize].as_ref().expect("tensor allocated");
+        let buf = self.bufs[tensor.0 as usize]
+            .as_ref()
+            .expect("tensor allocated");
         let mut off = 0usize;
-        for d in 0..index.len() {
-            let c = coords[d];
+        for (d, &c) in coords.iter().enumerate().take(index.len()) {
             debug_assert!(
                 c >= 0 && (c as usize) < buf.dims[d],
                 "index {} out of bounds for dim {} of {:?} (tensor {tensor})",
@@ -647,7 +963,10 @@ impl<'a> Interp<'a> {
             ValExpr::Load { tensor, index } => {
                 let off = self.offset(*tensor, index);
                 self.record_load(*tensor);
-                self.bufs[tensor.0 as usize].as_ref().expect("loaded tensor allocated").data[off]
+                self.bufs[tensor.0 as usize]
+                    .as_ref()
+                    .expect("loaded tensor allocated")
+                    .data[off]
             }
             ValExpr::Unary(op, a) => {
                 let x = self.eval_val(a);
@@ -676,13 +995,39 @@ impl<'a> Interp<'a> {
             ValExpr::Sum { var, extent, body } => {
                 let n = self.eval_idx(extent).max(0);
                 let key = &**body as *const ValExpr as usize;
-                let plan = match self.plan_cache.get(&key) {
-                    Some(p) => p.clone(),
-                    None => {
-                        let p = crate::fastdot::compile(*var, body).map(std::rc::Rc::new);
-                        self.plan_cache.insert(key, p.clone());
-                        p
+                // Wave memo: this reduction was computed by the wave's
+                // GEMM — serve the element and charge the exact counters
+                // the scalar dot would have.
+                if let Some(&idx) = self.memo.get(&key) {
+                    let site = &self.active[idx];
+                    let r = self.slots[site.n_idx_slot] as usize;
+                    let m = &site.meta[r];
+                    if m.zero {
+                        // The scalar path short-circuits before any
+                        // accounting when a guard kills the product.
+                        return 0.0;
                     }
+                    let i = self.slots[site.feat_slot] as usize;
+                    let value = m.scale * site.out[r * site.h + i];
+                    self.profile.flops += site.k * (m.streams + 1);
+                    if let Some(scope) = self.scopes.last_mut() {
+                        for &t in &m.tensors {
+                            scope.touch[t as usize].0 += site.k;
+                        }
+                    }
+                    return value;
+                }
+                let plan = if self.opts.fastdot {
+                    match self.caches.plan_cache.get(&key) {
+                        Some(p) => p.clone(),
+                        None => {
+                            let p = crate::fastdot::compile(*var, body).map(Rc::new);
+                            self.caches.plan_cache.insert(key, p.clone());
+                            p
+                        }
+                    }
+                } else {
+                    None
                 };
                 if let Some(plan) = plan {
                     self.eval_dot(&plan, n)
@@ -697,7 +1042,11 @@ impl<'a> Interp<'a> {
                     acc
                 }
             }
-            ValExpr::Select { cond, then, otherwise } => {
+            ValExpr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
                 self.profile.branch_checks += 1;
                 if self.eval_bool(cond) {
                     self.eval_val(then)
@@ -708,19 +1057,10 @@ impl<'a> Interp<'a> {
         }
     }
 
-    /// Executes a compiled reduction as tight strided loops.
-    fn eval_dot(&mut self, plan: &crate::fastdot::DotPlan, n: i64) -> f32 {
+    /// Resolves the multiplicative operands of a reduction into streams
+    /// (shared by the scalar dot path and the wave packing phase).
+    fn resolve_product(&mut self, operands: &[crate::fastdot::Operand]) -> (Vec<Res>, f32) {
         use crate::fastdot::Operand;
-
-        /// A resolved multiplicative operand.
-        enum Res {
-            /// `data[base + k*stride]` of one tensor.
-            Stream(usize, usize, usize),
-            /// Sum of streams (child-sum).
-            AddStreams(Vec<(usize, usize, usize)>),
-            /// Guard failed: whole product is zero.
-            Zero,
-        }
 
         fn resolve_streams(
             interp: &mut Interp<'_>,
@@ -728,19 +1068,27 @@ impl<'a> Interp<'a> {
             out: &mut Vec<(usize, usize, usize)>,
         ) -> bool {
             match op {
-                Operand::Load { tensor, index, k_pos } => {
+                Operand::Load {
+                    tensor,
+                    index,
+                    k_pos,
+                } => {
                     let mut base = 0usize;
                     for (d, e) in index.iter().enumerate() {
                         if d == *k_pos {
                             continue;
                         }
                         let c = interp.eval_idx(e);
-                        let stride =
-                            interp.bufs[tensor.0 as usize].as_ref().expect("allocated").strides[d];
+                        let stride = interp.bufs[tensor.0 as usize]
+                            .as_ref()
+                            .expect("allocated")
+                            .strides[d];
                         base += c as usize * stride;
                     }
-                    let stride =
-                        interp.bufs[tensor.0 as usize].as_ref().expect("allocated").strides[*k_pos];
+                    let stride = interp.bufs[tensor.0 as usize]
+                        .as_ref()
+                        .expect("allocated")
+                        .strides[*k_pos];
                     out.push((tensor.0 as usize, base, stride));
                     true
                 }
@@ -761,9 +1109,9 @@ impl<'a> Interp<'a> {
             }
         }
 
-        let mut resolved: Vec<Res> = Vec::with_capacity(plan.operands.len());
+        let mut resolved: Vec<Res> = Vec::with_capacity(operands.len());
         let mut scale = 1.0f32;
-        for op in &plan.operands {
+        for op in operands {
             match op {
                 Operand::Scalar(e) => scale *= self.eval_val(e),
                 Operand::Guarded { cond, inner } => {
@@ -772,7 +1120,9 @@ impl<'a> Interp<'a> {
                         resolve_streams(self, inner, &mut streams);
                         match streams.len() {
                             0 => resolved.push(Res::Zero),
-                            1 => resolved.push(Res::Stream(streams[0].0, streams[0].1, streams[0].2)),
+                            1 => {
+                                resolved.push(Res::Stream(streams[0].0, streams[0].1, streams[0].2))
+                            }
                             _ => resolved.push(Res::AddStreams(streams)),
                         }
                     } else {
@@ -796,6 +1146,12 @@ impl<'a> Interp<'a> {
                 }
             }
         }
+        (resolved, scale)
+    }
+
+    /// Executes a compiled reduction as tight strided loops.
+    fn eval_dot(&mut self, plan: &crate::fastdot::DotPlan, n: i64) -> f32 {
+        let (resolved, scale) = self.resolve_product(&plan.operands);
         if resolved.iter().any(|r| matches!(r, Res::Zero)) || n == 0 {
             return 0.0;
         }
@@ -807,14 +1163,14 @@ impl<'a> Interp<'a> {
                 Res::Stream(t, _, _) => {
                     stream_count += 1;
                     if let Some(scope) = self.scopes.last_mut() {
-                        scope.touch.entry(TensorId(*t as u32)).or_default().0 += n as u64;
+                        scope.touch[*t].0 += n as u64;
                     }
                 }
                 Res::AddStreams(v) => {
                     stream_count += v.len() as u64;
                     for (t, _, _) in v {
                         if let Some(scope) = self.scopes.last_mut() {
-                            scope.touch.entry(TensorId(*t as u32)).or_default().0 += n as u64;
+                            scope.touch[*t].0 += n as u64;
                         }
                     }
                 }
@@ -829,8 +1185,7 @@ impl<'a> Interp<'a> {
         // Specialize the overwhelmingly common case: product of exactly
         // two plain streams (a matvec row).
         if resolved.len() == 2 {
-            if let (Res::Stream(t0, b0, s0), Res::Stream(t1, b1, s1)) =
-                (&resolved[0], &resolved[1])
+            if let (Res::Stream(t0, b0, s0), Res::Stream(t1, b1, s1)) = (&resolved[0], &resolved[1])
             {
                 let (d0, d1) = (data(*t0), data(*t1));
                 if *s0 == 1 && *s1 == 1 {
@@ -865,6 +1220,269 @@ impl<'a> Interp<'a> {
         }
         scale * acc
     }
+
+    // -- batched wavefront execution ----------------------------------
+
+    /// Runs the GEMM phase for every site of a wave plan, making their
+    /// `Sum`s servable from result matrices. Returns the number of sites
+    /// activated.
+    ///
+    /// Accounting discipline: the scalar path evaluates guards, scalar
+    /// factors and stream bases once per *element* (`wave_len × h`
+    /// times); the packing phase evaluates them once per *node* and
+    /// multiplies the counter deltas by `h`, while the per-element loads
+    /// and flops of the dot itself are charged at memo-hit time. The
+    /// resulting `Profile` is identical to the scalar path's.
+    fn prepare_wave(&mut self, plan: &WavePlan, wave_len: usize) -> usize {
+        let mut activated = 0;
+        for site in &plan.sites {
+            if self.memo.contains_key(&site.key) {
+                continue; // defensive: a site is active at most once
+            }
+            if let Some(active) = self.prepare_site(plan, site, wave_len) {
+                self.memo.insert(site.key, self.active.len());
+                self.active.push(active);
+                activated += 1;
+            }
+        }
+        activated
+    }
+
+    /// Packs one site's weight and operand rows and runs the wave GEMM.
+    ///
+    /// Returns `None` (scalar fallback, bit-identical results) when the
+    /// resolved weight window falls outside its buffer.
+    fn prepare_site(
+        &mut self,
+        plan: &WavePlan,
+        site: &SumSite,
+        wave_len: usize,
+    ) -> Option<ActiveSite> {
+        let k_len = self.eval_idx(&site.extent).max(0) as usize;
+        let h = site.feat_extent;
+
+        // Resolve and pack the weight once per run (cached): the analysis
+        // guarantees the non-(i,k) index positions are wave-invariant.
+        let wt = site.weight.tensor.0 as usize;
+        let mut wbase = 0usize;
+        {
+            let mut coords = [0i64; 8];
+            for (d, e) in site.weight.index.iter().enumerate() {
+                if d == site.weight.i_pos || d == site.weight.k_pos {
+                    continue;
+                }
+                coords[d] = self.eval_idx(e);
+                if coords[d] < 0 {
+                    return None;
+                }
+            }
+            let buf = self.bufs[wt].as_ref().expect("weight allocated");
+            for (d, _) in site.weight.index.iter().enumerate() {
+                if d == site.weight.i_pos || d == site.weight.k_pos {
+                    continue;
+                }
+                wbase += coords[d] as usize * buf.strides[d];
+            }
+        }
+        let (si, sk, wlen) = {
+            let buf = self.bufs[wt].as_ref().expect("weight allocated");
+            (
+                buf.strides[site.weight.i_pos],
+                buf.strides[site.weight.k_pos],
+                buf.data.len(),
+            )
+        };
+        if k_len > 0 && h > 0 && wbase + (h - 1) * si + (k_len - 1) * sk >= wlen {
+            return None; // out-of-window weight: leave it to the scalar path
+        }
+        let wgen = self.store_gens[wt];
+        let packed_w = match self
+            .caches
+            .weight_cache
+            .get(&(site.key, wbase, k_len, wgen))
+        {
+            Some(w) => w.clone(),
+            None => {
+                let buf = self.bufs[wt].as_ref().expect("weight allocated");
+                let mut w = vec![0.0f32; h * k_len];
+                for i in 0..h {
+                    let src_base = wbase + i * si;
+                    let dst = &mut w[i * k_len..(i + 1) * k_len];
+                    if sk == 1 {
+                        dst.copy_from_slice(&buf.data[src_base..src_base + k_len]);
+                    } else {
+                        for (kk, dv) in dst.iter_mut().enumerate() {
+                            *dv = buf.data[src_base + kk * sk];
+                        }
+                    }
+                }
+                let w = Rc::new(w);
+                self.caches
+                    .weight_cache
+                    .insert((site.key, wbase, k_len, wgen), w.clone());
+                w
+            }
+        };
+
+        // Gather phase: resolve guards/child-sums/scalars once per node
+        // and pack the operand rows.
+        let mut bufs = self.caches.site_bufs.remove(&site.key).unwrap_or_default();
+        bufs.rows.clear();
+        bufs.rows.resize(wave_len * k_len, 0.0);
+        bufs.meta.clear();
+        for r in 0..wave_len {
+            self.slots[plan.n_idx_slot] = r as i64;
+            if let Some((slot, value)) = &plan.node_let {
+                self.slots[*slot] = self.eval_idx(value);
+            }
+            let meta = self.pack_row(
+                site,
+                r,
+                k_len,
+                h,
+                &mut bufs.rows[r * k_len..(r + 1) * k_len],
+            );
+            bufs.meta.push(meta);
+        }
+
+        // One cache-blocked NT GEMM for the whole wave. Guard-zero rows
+        // need no special handling here: the memo hit short-circuits to
+        // exactly 0.0 (matching the scalar path, which never touches the
+        // weight — inf/NaN containment happens at that early return) so
+        // their slots in `out` are never read.
+        bufs.out.clear();
+        bufs.out.resize(wave_len * h, 0.0);
+        kernels::gemm_nt_into(&mut bufs.out, &bufs.rows, &packed_w, wave_len, h, k_len);
+
+        Some(ActiveSite {
+            site_key: site.key,
+            out: std::mem::take(&mut bufs.out),
+            rows: std::mem::take(&mut bufs.rows),
+            meta: std::mem::take(&mut bufs.meta),
+            h,
+            k: k_len as u64,
+            feat_slot: site.feat_slot,
+            n_idx_slot: plan.n_idx_slot,
+        })
+    }
+
+    /// Resolves one node's operands and packs its reduction row,
+    /// replicating the scalar path's per-element accounting (`×h`).
+    fn pack_row(
+        &mut self,
+        site: &SumSite,
+        _row: usize,
+        k_len: usize,
+        h: usize,
+        out_row: &mut [f32],
+    ) -> RowMeta {
+        let before = (
+            self.profile.flops,
+            self.profile.leaf_check_loads,
+            self.profile.branch_checks,
+        );
+        let (resolved, scale) = self.resolve_product(&site.rest);
+        // The scalar path would repeat this resolution for every one of
+        // the `h` output elements; replay the counter deltas h-1 times.
+        let extra = (h as u64).saturating_sub(1);
+        self.profile.flops += (self.profile.flops - before.0) * extra;
+        self.profile.leaf_check_loads += (self.profile.leaf_check_loads - before.1) * extra;
+        self.profile.branch_checks += (self.profile.branch_checks - before.2) * extra;
+
+        if resolved.iter().any(|r| matches!(r, Res::Zero)) || k_len == 0 {
+            return RowMeta {
+                zero: true,
+                scale,
+                streams: 0,
+                tensors: Vec::new(),
+            };
+        }
+        let mut tensors: Vec<u32> = vec![site.weight.tensor.0];
+        let mut streams = 1u64; // the weight stream
+        for r in &resolved {
+            match r {
+                Res::Stream(t, _, _) => {
+                    streams += 1;
+                    tensors.push(*t as u32);
+                }
+                Res::AddStreams(v) => {
+                    streams += v.len() as u64;
+                    tensors.extend(v.iter().map(|(t, _, _)| *t as u32));
+                }
+                Res::Zero => unreachable!("filtered above"),
+            }
+        }
+        let bufs = &self.bufs;
+        let data = |t: usize| -> &[f32] { &bufs[t].as_ref().expect("allocated").data };
+        // Fast case: a single plain stream (the matvec row) is a strided
+        // copy; anything else folds the product elementwise.
+        match resolved.as_slice() {
+            [Res::Stream(t, b, s)] => {
+                let d = data(*t);
+                if *s == 1 {
+                    out_row.copy_from_slice(&d[*b..*b + k_len]);
+                } else {
+                    for (kk, ov) in out_row.iter_mut().enumerate() {
+                        *ov = d[b + kk * s];
+                    }
+                }
+            }
+            [Res::AddStreams(v)] => {
+                for (t, b, s) in v {
+                    let d = data(*t);
+                    if *s == 1 {
+                        kernels::axpy(out_row, &d[*b..*b + k_len]);
+                    } else {
+                        for (kk, ov) in out_row.iter_mut().enumerate() {
+                            *ov += d[b + kk * s];
+                        }
+                    }
+                }
+            }
+            _ => {
+                for (kk, ov) in out_row.iter_mut().enumerate() {
+                    let mut prod = 1.0f32;
+                    for r in &resolved {
+                        match r {
+                            Res::Stream(t, b, s) => prod *= data(*t)[b + kk * s],
+                            Res::AddStreams(v) => {
+                                let mut sum = 0.0f32;
+                                for (t, b, s) in v {
+                                    sum += data(*t)[b + kk * s];
+                                }
+                                prod *= sum;
+                            }
+                            Res::Zero => unreachable!("filtered above"),
+                        }
+                    }
+                    *ov = prod;
+                }
+            }
+        }
+        RowMeta {
+            zero: false,
+            scale,
+            streams,
+            tensors,
+        }
+    }
+
+    /// Deactivates the last `count` wave sites, returning their buffers
+    /// to the per-site pools.
+    fn finish_wave(&mut self, count: usize) {
+        for _ in 0..count {
+            let site = self.active.pop().expect("active site");
+            self.memo.remove(&site.site_key);
+            self.caches.site_bufs.insert(
+                site.site_key,
+                SiteBufs {
+                    rows: site.rows,
+                    out: site.out,
+                    meta: site.meta,
+                },
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -895,7 +1513,11 @@ impl CompiledKernel {
     fn compile(kernel: &cortex_core::ilir::Kernel) -> Self {
         let mut slots = SlotMap::default();
         let batch_slot = kernel.batch_var.map(|v| slots.slot(v).id() as usize);
-        let body = kernel.body.iter().map(|s| remap_stmt(s, &mut slots)).collect();
+        let body = kernel
+            .body
+            .iter()
+            .map(|s| remap_stmt(s, &mut slots))
+            .collect();
         CompiledKernel {
             launch: kernel.launch,
             batch_slot,
@@ -907,7 +1529,13 @@ impl CompiledKernel {
 
 fn remap_stmt(s: &Stmt, m: &mut SlotMap) -> Stmt {
     match s {
-        Stmt::For { var, extent, kind, dim, body } => Stmt::For {
+        Stmt::For {
+            var,
+            extent,
+            kind,
+            dim,
+            body,
+        } => Stmt::For {
             var: m.slot(*var),
             extent: remap_idx(extent, m),
             kind: *kind,
@@ -919,12 +1547,20 @@ fn remap_stmt(s: &Stmt, m: &mut SlotMap) -> Stmt {
             value: remap_idx(value, m),
             body: body.iter().map(|st| remap_stmt(st, m)).collect(),
         },
-        Stmt::Store { tensor, index, value } => Stmt::Store {
+        Stmt::Store {
+            tensor,
+            index,
+            value,
+        } => Stmt::Store {
             tensor: *tensor,
             index: index.iter().map(|e| remap_idx(e, m)).collect(),
             value: remap_val(value, m),
         },
-        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
             cond: remap_bool(cond, m),
             then_branch: then_branch.iter().map(|st| remap_stmt(st, m)).collect(),
             else_branch: else_branch.iter().map(|st| remap_stmt(st, m)).collect(),
@@ -972,7 +1608,11 @@ fn remap_val(e: &ValExpr, m: &mut SlotMap) -> ValExpr {
             extent: remap_idx(extent, m),
             body: Box::new(remap_val(body, m)),
         },
-        ValExpr::Select { cond, then, otherwise } => ValExpr::Select {
+        ValExpr::Select {
+            cond,
+            then,
+            otherwise,
+        } => ValExpr::Select {
             cond: remap_bool(cond, m),
             then: Box::new(remap_val(then, m)),
             otherwise: Box::new(remap_val(otherwise, m)),
@@ -997,7 +1637,9 @@ mod tests {
         let lh = g.compute("lh", &[h], |c| c.read(ph, &[c.node().child(0), c.axis(0)]));
         let rh = g.compute("rh", &[h], |c| c.read(ph, &[c.node().child(1), c.axis(0)]));
         let rec = g.compute("rec", &[h], |c| {
-            c.read(lh, &[c.node(), c.axis(0)]).add(c.read(rh, &[c.node(), c.axis(0)])).tanh()
+            c.read(lh, &[c.node(), c.axis(0)])
+                .add(c.read(rh, &[c.node(), c.axis(0)]))
+                .tanh()
         });
         let body = g.if_then_else("body", leaf, rec).unwrap();
         let rnn = g.recursion(ph, body).unwrap();
@@ -1005,11 +1647,7 @@ mod tests {
         (g, rnn.id())
     }
 
-    fn reference_tree_rnn(
-        lin: &Linearized,
-        emb: &Tensor,
-        h: usize,
-    ) -> Vec<Vec<f32>> {
+    fn reference_tree_rnn(lin: &Linearized, emb: &Tensor, h: usize) -> Vec<Vec<f32>> {
         let mut vals = vec![vec![0.0f32; h]; lin.num_nodes()];
         for &n in lin.post_order() {
             if lin.is_leaf(n) {
@@ -1018,9 +1656,11 @@ mod tests {
             } else {
                 let l = lin.child(0, n).unwrap() as usize;
                 let r = lin.child(1, n).unwrap() as usize;
-                for i in 0..h {
-                    vals[n as usize][i] = (vals[l][i] + vals[r][i]).tanh();
-                }
+                vals[n as usize] = vals[l]
+                    .iter()
+                    .zip(&vals[r])
+                    .map(|(a, b)| (a + b).tanh())
+                    .collect();
             }
         }
         vals
@@ -1063,7 +1703,10 @@ mod tests {
     #[test]
     fn no_specialization_matches_reference() {
         check_against_reference(
-            &RaSchedule { specialize: false, ..RaSchedule::default() },
+            &RaSchedule {
+                specialize: false,
+                ..RaSchedule::default()
+            },
             5,
         );
     }
@@ -1071,19 +1714,34 @@ mod tests {
     #[test]
     fn unbatched_matches_reference() {
         check_against_reference(
-            &RaSchedule { dynamic_batch: false, ..RaSchedule::default() },
+            &RaSchedule {
+                dynamic_batch: false,
+                ..RaSchedule::default()
+            },
             6,
         );
     }
 
     #[test]
     fn peeled_matches_reference() {
-        check_against_reference(&RaSchedule { peel: Some(4), ..RaSchedule::default() }, 7);
+        check_against_reference(
+            &RaSchedule {
+                peel: Some(4),
+                ..RaSchedule::default()
+            },
+            7,
+        );
     }
 
     #[test]
     fn unrolled_matches_reference() {
-        check_against_reference(&RaSchedule { unroll: Some(2), ..RaSchedule::default() }, 8);
+        check_against_reference(
+            &RaSchedule {
+                unroll: Some(2),
+                ..RaSchedule::default()
+            },
+            8,
+        );
     }
 
     #[test]
@@ -1108,8 +1766,12 @@ mod tests {
         let mut params = Params::new();
         params.set("Emb", emb);
 
-        let fused =
-            lower(&g, &RaSchedule::default(), StructureInfo { max_children: 2 }).unwrap();
+        let fused = lower(
+            &g,
+            &RaSchedule::default(),
+            StructureInfo { max_children: 2 },
+        )
+        .unwrap();
         let unfused = lower(
             &g,
             &RaSchedule {
@@ -1134,8 +1796,12 @@ mod tests {
     fn persistence_reduces_param_traffic() {
         let h = 8;
         let (g, _) = tree_rnn(h);
-        let program =
-            lower(&g, &RaSchedule::default(), StructureInfo { max_children: 2 }).unwrap();
+        let program = lower(
+            &g,
+            &RaSchedule::default(),
+            StructureInfo { max_children: 2 },
+        )
+        .unwrap();
         let tree = datasets::perfect_binary_tree(6, 0);
         let lin = Linearizer::new().linearize(&tree).unwrap();
         let emb = Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42);
@@ -1155,8 +1821,12 @@ mod tests {
         let emb = Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42);
         let mut params = Params::new();
         params.set("Emb", emb);
-        let dflt =
-            lower(&g, &RaSchedule::default(), StructureInfo { max_children: 2 }).unwrap();
+        let dflt = lower(
+            &g,
+            &RaSchedule::default(),
+            StructureInfo { max_children: 2 },
+        )
+        .unwrap();
         let cons = lower(
             &g,
             &RaSchedule {
@@ -1179,8 +1849,12 @@ mod tests {
     #[test]
     fn missing_param_is_reported() {
         let (g, _) = tree_rnn(4);
-        let program =
-            lower(&g, &RaSchedule::default(), StructureInfo { max_children: 2 }).unwrap();
+        let program = lower(
+            &g,
+            &RaSchedule::default(),
+            StructureInfo { max_children: 2 },
+        )
+        .unwrap();
         let tree = datasets::perfect_binary_tree(2, 0);
         let lin = Linearizer::new().linearize(&tree).unwrap();
         let err = execute(&program, &lin, &Params::new(), true).unwrap_err();
@@ -1190,8 +1864,12 @@ mod tests {
     #[test]
     fn param_shape_is_checked() {
         let (g, _) = tree_rnn(4);
-        let program =
-            lower(&g, &RaSchedule::default(), StructureInfo { max_children: 2 }).unwrap();
+        let program = lower(
+            &g,
+            &RaSchedule::default(),
+            StructureInfo { max_children: 2 },
+        )
+        .unwrap();
         let tree = datasets::perfect_binary_tree(2, 0);
         let lin = Linearizer::new().linearize(&tree).unwrap();
         let mut params = Params::new();
@@ -1213,7 +1891,10 @@ mod tests {
         params.set("Emb", emb);
         let numbering = lower(
             &g,
-            &RaSchedule { specialize: false, ..RaSchedule::default() },
+            &RaSchedule {
+                specialize: false,
+                ..RaSchedule::default()
+            },
             StructureInfo { max_children: 2 },
         )
         .unwrap();

@@ -110,7 +110,11 @@ fn compile_operand(var: Var, e: &ValExpr) -> Option<Operand> {
                     _ => {}
                 }
             }
-            Some(Operand::Load { tensor: *tensor, index: index.clone(), k_pos: k_pos? })
+            Some(Operand::Load {
+                tensor: *tensor,
+                index: index.clone(),
+                k_pos: k_pos?,
+            })
         }
         ValExpr::Bin(BinOp::Add, a, b) => {
             let a = compile_operand(var, a)?;
@@ -125,7 +129,11 @@ fn compile_operand(var: Var, e: &ValExpr) -> Option<Operand> {
             }
             Some(Operand::Add(parts))
         }
-        ValExpr::Select { cond, then, otherwise } => {
+        ValExpr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
             if bool_uses_var(cond, var) {
                 return None;
             }
@@ -152,7 +160,7 @@ fn flatten_add(op: Operand, out: &mut Vec<Operand>) {
     }
 }
 
-fn idx_uses_var(e: &IdxExpr, var: Var) -> bool {
+pub(crate) fn idx_uses_var(e: &IdxExpr, var: Var) -> bool {
     match e {
         IdxExpr::Var(v) => *v == var,
         IdxExpr::Const(_) | IdxExpr::Rt(_) => false,
@@ -161,31 +169,27 @@ fn idx_uses_var(e: &IdxExpr, var: Var) -> bool {
     }
 }
 
-fn bool_uses_var(e: &BoolExpr, var: Var) -> bool {
+pub(crate) fn bool_uses_var(e: &BoolExpr, var: Var) -> bool {
     match e {
         BoolExpr::Cmp(_, a, b) => idx_uses_var(a, var) || idx_uses_var(b, var),
         BoolExpr::IsLeaf(a) => idx_uses_var(a, var),
-        BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
-            bool_uses_var(a, var) || bool_uses_var(b, var)
-        }
+        BoolExpr::And(a, b) | BoolExpr::Or(a, b) => bool_uses_var(a, var) || bool_uses_var(b, var),
         BoolExpr::Not(a) => bool_uses_var(a, var),
     }
 }
 
-fn val_uses_var(e: &ValExpr, var: Var) -> bool {
+pub(crate) fn val_uses_var(e: &ValExpr, var: Var) -> bool {
     match e {
         ValExpr::Const(_) => false,
         ValExpr::Load { index, .. } => index.iter().any(|i| idx_uses_var(i, var)),
         ValExpr::Unary(_, a) => val_uses_var(a, var),
         ValExpr::Bin(_, a, b) => val_uses_var(a, var) || val_uses_var(b, var),
-        ValExpr::Sum { extent, body, .. } => {
-            idx_uses_var(extent, var) || val_uses_var(body, var)
-        }
-        ValExpr::Select { cond, then, otherwise } => {
-            bool_uses_var(cond, var)
-                || val_uses_var(then, var)
-                || val_uses_var(otherwise, var)
-        }
+        ValExpr::Sum { extent, body, .. } => idx_uses_var(extent, var) || val_uses_var(body, var),
+        ValExpr::Select {
+            cond,
+            then,
+            otherwise,
+        } => bool_uses_var(cond, var) || val_uses_var(then, var) || val_uses_var(otherwise, var),
     }
 }
 
@@ -204,8 +208,9 @@ mod tests {
         let i = v(1);
         let n = v(2);
         // W[i,k] * h[n,k]
-        let body = ValExpr::load(TensorId(0), vec![IdxExpr::Var(i), IdxExpr::Var(k)])
-            .mul(ValExpr::load(TensorId(1), vec![IdxExpr::Var(n), IdxExpr::Var(k)]));
+        let body = ValExpr::load(TensorId(0), vec![IdxExpr::Var(i), IdxExpr::Var(k)]).mul(
+            ValExpr::load(TensorId(1), vec![IdxExpr::Var(n), IdxExpr::Var(k)]),
+        );
         let plan = compile(k, &body).expect("matvec should compile");
         assert_eq!(plan.operands.len(), 2);
         assert!(matches!(plan.operands[0], Operand::Load { k_pos: 1, .. }));
@@ -252,10 +257,7 @@ mod tests {
     fn nonaffine_k_use_is_rejected() {
         let k = v(0);
         // h[k*2] — strided through an expression, not a plain stream.
-        let body = ValExpr::load(
-            TensorId(0),
-            vec![IdxExpr::Var(k).mul(IdxExpr::Const(2))],
-        );
+        let body = ValExpr::load(TensorId(0), vec![IdxExpr::Var(k).mul(IdxExpr::Const(2))]);
         assert!(compile(k, &body).is_none());
     }
 

@@ -55,8 +55,9 @@ pub mod fastdot;
 pub mod params;
 pub mod persist;
 pub mod profile;
+mod wave;
 
 pub use device::DeviceSpec;
-pub use exec::{run, ExecError, RunResult};
+pub use exec::{run, Engine, ExecError, ExecOptions, RunResult};
 pub use params::Params;
 pub use profile::Profile;

@@ -95,7 +95,11 @@ fn collect_wave_param_reads(
                 collect_wave_param_reads(st, in_wave, program, out);
             }
         }
-        Stmt::If { then_branch, else_branch, .. } => {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             for st in then_branch.iter().chain(else_branch) {
                 collect_wave_param_reads(st, in_wave, program, out);
             }
@@ -122,7 +126,11 @@ fn collect_value_reads(e: &ValExpr, out: &mut HashSet<TensorId>) {
             collect_value_reads(b, out);
         }
         ValExpr::Sum { body, .. } => collect_value_reads(body, out),
-        ValExpr::Select { cond, then, otherwise } => {
+        ValExpr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
             let _ = cond as &BoolExpr;
             collect_value_reads(then, out);
             collect_value_reads(otherwise, out);
@@ -152,7 +160,13 @@ pub fn check_persistence(program: &IlirProgram, device: &DeviceSpec) -> PersistD
     } else {
         None
     };
-    PersistDecision { requested, feasible, param_bytes: bytes, required_bytes: required, reason }
+    PersistDecision {
+        requested,
+        feasible,
+        param_bytes: bytes,
+        required_bytes: required,
+        reason,
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +179,9 @@ mod tests {
     /// for gate counts (4 for LSTM, 3 for GRU).
     fn model_with_params(h: usize, n_mats: usize, schedule: &RaSchedule) -> IlirProgram {
         let mut g = RaGraph::new();
-        let ws: Vec<_> = (0..n_mats).map(|i| g.input(&format!("U{i}"), &[h, h])).collect();
+        let ws: Vec<_> = (0..n_mats)
+            .map(|i| g.input(&format!("U{i}"), &[h, h]))
+            .collect();
         let ph = g.placeholder("h_ph", &[h]);
         let hsum = g.compute("hsum", &[h], |c| {
             c.read(ph, &[c.node().child(0), c.axis(0)])
@@ -179,7 +195,8 @@ mod tests {
                 let i = c.axis(0);
                 let node = c.node();
                 c.sum(h, |c, k| {
-                    c.read(*w, &[i.clone(), k.clone()]).mul(c.read(last, &[node.clone(), k]))
+                    c.read(*w, &[i.clone(), k.clone()])
+                        .mul(c.read(last, &[node.clone(), k]))
                 })
             });
         }
@@ -203,7 +220,10 @@ mod tests {
     #[test]
     fn unrolling_precludes_persistence_for_lstm_sized_models() {
         // Appendix D: unrolling + persistence do not fit for TreeLSTM.
-        let s = RaSchedule { unroll: Some(2), ..RaSchedule::default() };
+        let s = RaSchedule {
+            unroll: Some(2),
+            ..RaSchedule::default()
+        };
         let p = model_with_params(256, 4, &s);
         let d = check_persistence(&p, &DeviceSpec::v100());
         assert!(d.requested && !d.feasible, "{d:?}");
@@ -212,7 +232,10 @@ mod tests {
     #[test]
     fn peeling_precludes_persistence_for_lstm_sized_models() {
         // Appendix D: peeling + persistence cannot combine for TreeLSTM.
-        let s = RaSchedule { peel: Some(4), ..RaSchedule::default() };
+        let s = RaSchedule {
+            peel: Some(4),
+            ..RaSchedule::default()
+        };
         let p = model_with_params(256, 4, &s);
         let d = check_persistence(&p, &DeviceSpec::v100());
         assert!(!d.feasible, "{d:?}");
@@ -221,7 +244,10 @@ mod tests {
     #[test]
     fn smaller_models_survive_unrolling() {
         // TreeRNN-sized (no weight matrices beyond a small one).
-        let s = RaSchedule { unroll: Some(2), ..RaSchedule::default() };
+        let s = RaSchedule {
+            unroll: Some(2),
+            ..RaSchedule::default()
+        };
         let p = model_with_params(64, 1, &s);
         let d = check_persistence(&p, &DeviceSpec::v100());
         assert!(d.active(), "{:?}", d.reason);
@@ -240,7 +266,10 @@ mod tests {
 
     #[test]
     fn unrequested_persistence_is_not_active() {
-        let s = RaSchedule { persist: false, ..RaSchedule::default() };
+        let s = RaSchedule {
+            persist: false,
+            ..RaSchedule::default()
+        };
         let p = model_with_params(64, 1, &s);
         let d = check_persistence(&p, &DeviceSpec::v100());
         assert!(!d.requested && d.feasible && !d.active());

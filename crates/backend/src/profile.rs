@@ -124,8 +124,9 @@ impl Profile {
         self.branch_checks += other.branch_checks;
         self.leaf_check_loads += other.leaf_check_loads;
         self.allocated_bytes = self.allocated_bytes.max(other.allocated_bytes);
-        self.scratch_allocated_bytes =
-            self.scratch_allocated_bytes.max(other.scratch_allocated_bytes);
+        self.scratch_allocated_bytes = self
+            .scratch_allocated_bytes
+            .max(other.scratch_allocated_bytes);
         self.host_api_calls += other.host_api_calls;
         self.memcpy_bytes += other.memcpy_bytes;
         self.waves.extend_from_slice(&other.waves);
@@ -175,8 +176,16 @@ mod tests {
 
     #[test]
     fn merge_accumulates_and_maxes() {
-        let mut a = Profile { launches: 2, allocated_bytes: 100, ..Profile::default() };
-        let b = Profile { launches: 3, allocated_bytes: 50, ..Profile::default() };
+        let mut a = Profile {
+            launches: 2,
+            allocated_bytes: 100,
+            ..Profile::default()
+        };
+        let b = Profile {
+            launches: 3,
+            allocated_bytes: 50,
+            ..Profile::default()
+        };
         a.merge(&b);
         assert_eq!(a.launches, 5);
         assert_eq!(a.allocated_bytes, 100, "allocation is a peak, not a sum");

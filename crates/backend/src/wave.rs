@@ -1,0 +1,635 @@
+//! Batched wavefront execution: compile-time analysis.
+//!
+//! The scalar executor evaluates each recognized reduction ([`DotPlan`])
+//! once **per output element**: a wave of `R` nodes × `H` hidden units
+//! costs `R·H` independent stream resolutions and dot loops. This module
+//! extends the `fastdot` pattern match from "one reduction row" to "one
+//! reduction wave": for a parallel `d_batch` node loop it finds every
+//! reduction of the shape
+//!
+//! ```text
+//! for n_idx in 0..wave_len:          # d_batch, parallel
+//!   node = base + n_idx
+//!   for i in 0..H:                   # d_hidden, vectorized
+//!     t[…, i] = f( Σ_k W[i,k] · X(node, k), … )
+//! ```
+//!
+//! and emits a [`SumSite`]: the node-invariant *weight* operand `W`
+//! (packed once per run into a contiguous `[H][K]` matrix) and the
+//! node-dependent *row* operands `X` (guards and child-sums resolved once
+//! per node, gathered into a packed `[R][K]` matrix). The executor then
+//! computes the whole wave with one cache-blocked NT GEMM from
+//! `cortex-tensor` instead of `R·H` interpreted dots, and serves each
+//! `Sum` evaluation from the result matrix.
+//!
+//! The analysis is purely syntactic and conservative: any shape outside
+//! the recognized form (rank-2 features, feature-dependent guards, loads
+//! in reduction-invariant factors, …) is skipped, and the executor falls
+//! back to the scalar interpreter for that site. Crucially, every
+//! accepted site preserves the *exact* `Profile` accounting of the scalar
+//! path — see the executor's wave-memo bookkeeping.
+
+use std::collections::HashMap;
+
+use cortex_core::expr::{IdxExpr, TensorId, Ufn, ValExpr, Var};
+use cortex_core::ilir::{LoopKind, Stmt};
+
+use crate::fastdot::{self, bool_uses_var, idx_uses_var, val_uses_var, Operand};
+
+/// A batched execution plan for one `d_batch` parallel node loop.
+#[derive(Debug)]
+pub(crate) struct WavePlan {
+    /// Slot of the loop variable (`n_idx`).
+    pub n_idx_slot: usize,
+    /// The `let node = value` binding directly under the loop, if any.
+    pub node_let: Option<(usize, IdxExpr)>,
+    /// Reductions executable as one GEMM per wave.
+    pub sites: Vec<SumSite>,
+}
+
+/// One batched reduction site.
+#[derive(Debug)]
+pub(crate) struct SumSite {
+    /// Identity of the `Sum` body (`&*body` address), shared with the
+    /// executor's plan cache and wave memo.
+    pub key: usize,
+    /// Reduction extent `K` (node- and feature-invariant).
+    pub extent: IdxExpr,
+    /// Feature loop variable slot (`i`).
+    pub feat_slot: usize,
+    /// Feature extent `H`.
+    pub feat_extent: usize,
+    /// The feature-dependent operand, packed once per run.
+    pub weight: WeightRef,
+    /// The remaining (node-dependent or invariant) operands, gathered
+    /// per node into the packed row matrix.
+    pub rest: Vec<Operand>,
+}
+
+/// The node-invariant, feature-dependent operand of a site: a plain load
+/// `W[…, i, …, k, …]` whose other indices are wave-invariant.
+#[derive(Debug)]
+pub(crate) struct WeightRef {
+    /// The parameter (or global) tensor read.
+    pub tensor: TensorId,
+    /// Full index expressions; positions `i_pos` / `k_pos` are the
+    /// feature and reduction variables.
+    pub index: Vec<IdxExpr>,
+    /// Index position carrying the feature variable.
+    pub i_pos: usize,
+    /// Index position carrying the reduction variable.
+    pub k_pos: usize,
+}
+
+/// Analyzes compiled kernel bodies, returning wave plans keyed by the
+/// address of their `For` statement.
+///
+/// Statement addresses are stable for the lifetime of the compiled
+/// kernels (the bodies are never mutated), which is the same keying
+/// discipline the executor's reduction plan cache uses.
+pub(crate) fn analyze(bodies: &[&[Stmt]]) -> HashMap<usize, WavePlan> {
+    let mut plans = HashMap::new();
+    for body in bodies {
+        for stmt in *body {
+            visit(stmt, &mut plans);
+        }
+    }
+    plans
+}
+
+fn visit(stmt: &Stmt, plans: &mut HashMap<usize, WavePlan>) {
+    if let Stmt::For {
+        var,
+        kind: LoopKind::Parallel,
+        dim: Some(d),
+        body,
+        ..
+    } = stmt
+    {
+        if d.0 == "d_batch" {
+            if let Some(plan) = plan_wave(*var, body) {
+                plans.insert(stmt as *const Stmt as usize, plan);
+                return; // sites under this loop are covered by the plan
+            }
+        }
+    }
+    match stmt {
+        Stmt::For { body, .. } | Stmt::Let { body, .. } => {
+            body.iter().for_each(|s| visit(s, plans));
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            then_branch.iter().for_each(|s| visit(s, plans));
+            else_branch.iter().for_each(|s| visit(s, plans));
+        }
+        Stmt::Store { .. } | Stmt::Barrier => {}
+    }
+}
+
+/// Builds a plan for one `d_batch` loop body, or `None` if nothing under
+/// it batches.
+fn plan_wave(n_idx: Var, body: &[Stmt]) -> Option<WavePlan> {
+    let (node_let, stmts): (Option<(usize, IdxExpr)>, &[Stmt]) = match body {
+        [Stmt::Let { var, value, body }] => {
+            (Some((var.id() as usize, value.clone())), body.as_slice())
+        }
+        other => (None, other),
+    };
+    let node = node_let
+        .as_ref()
+        .map(|(slot, _)| Var::from_raw(*slot as u32));
+    // The packing phase evaluates the node binding once per row on top of
+    // the loop's own per-iteration evaluation; like the reduction extent,
+    // it must therefore be free of counter-bumping uninterpreted
+    // functions or the bit-for-bit Profile contract breaks.
+    if let Some((_, value)) = &node_let {
+        if idx_has_counting_ufn(value) {
+            return None;
+        }
+    }
+    // Intra-wave dependence check: the packing phase reads operand rows
+    // for the *whole* wave before any iteration's stores run, so a site
+    // may not read a tensor this loop writes (same-iteration producers
+    // like the refactored GRU's hsum, or cross-iteration node/child
+    // aliasing). Collect every store target under the loop.
+    let mut stored = std::collections::HashSet::new();
+    for stmt in stmts {
+        collect_stored(stmt, &mut stored);
+    }
+    let mut sites = Vec::new();
+    for stmt in stmts {
+        // Only depth-1 feature loops directly under the node binding are
+        // candidates; everything else simply runs through the scalar
+        // interpreter.
+        let Stmt::For {
+            var: feat,
+            extent: IdxExpr::Const(h),
+            body: inner,
+            ..
+        } = stmt
+        else {
+            continue;
+        };
+        let [Stmt::Store { value, .. }] = inner.as_slice() else {
+            continue;
+        };
+        if *h <= 0 {
+            continue;
+        }
+        collect_sites(value, n_idx, node, *feat, *h as usize, &stored, &mut sites);
+    }
+    if sites.is_empty() {
+        None
+    } else {
+        Some(WavePlan {
+            n_idx_slot: n_idx.id() as usize,
+            node_let,
+            sites,
+        })
+    }
+}
+
+/// Records every tensor stored under a statement.
+fn collect_stored(stmt: &Stmt, out: &mut std::collections::HashSet<TensorId>) {
+    stmt.visit(&mut |s| {
+        if let Stmt::Store { tensor, .. } = s {
+            out.insert(*tensor);
+        }
+    });
+}
+
+/// Whether an operand's loads are safe to gather before the wave loop
+/// runs, given the set of tensors the loop stores to.
+fn operand_reads_safe(
+    op: &Operand,
+    stored: &std::collections::HashSet<TensorId>,
+    n_idx: Var,
+    node: Option<Var>,
+) -> bool {
+    let uses_wave_var =
+        |e: &IdxExpr| idx_uses_var(e, n_idx) || node.is_some_and(|nv| idx_uses_var(e, nv));
+    match op {
+        Operand::Load {
+            tensor,
+            index,
+            k_pos,
+        } => {
+            if !stored.contains(tensor) {
+                return true; // read-only within this loop
+            }
+            // Stored tensor: every wave-dependent index must be a child
+            // indirection rooted at the wave's node (a strictly earlier
+            // wave's row — the invariant the linearizer guarantees), and
+            // the row must actually vary with the node (a fixed row of a
+            // stored tensor could alias any iteration's store).
+            let mut via_child = false;
+            for (d, e) in index.iter().enumerate() {
+                if d == *k_pos {
+                    continue;
+                }
+                if uses_wave_var(e) {
+                    if is_wave_child_indirection(e, n_idx, node) {
+                        via_child = true;
+                    } else {
+                        return false;
+                    }
+                }
+            }
+            via_child
+        }
+        Operand::Add(parts) => parts
+            .iter()
+            .all(|p| operand_reads_safe(p, stored, n_idx, node)),
+        // Guard conditions read no tensors.
+        Operand::Guarded { inner, .. } => operand_reads_safe(inner, stored, n_idx, node),
+        // Scalars are pure (checked separately): no loads.
+        Operand::Scalar(_) => true,
+    }
+}
+
+/// Whether an index is a `Child` indirection chain that bottoms out at
+/// the wave's own node variable — `child(node)`, `child(child(node))`, …
+/// Anything else (`child(node) + 1`, `child(word(node))`) could alias a
+/// row this wave writes, so it is not accepted.
+fn is_wave_child_indirection(e: &IdxExpr, n_idx: Var, node: Option<Var>) -> bool {
+    match e {
+        IdxExpr::Ufn(Ufn::Child(_), args) => match args.first() {
+            Some(IdxExpr::Var(v)) => *v == n_idx || node == Some(*v),
+            Some(inner) => is_wave_child_indirection(inner, n_idx, node),
+            None => false,
+        },
+        _ => false,
+    }
+}
+
+/// Collects batchable top-level `Sum`s from a stored value expression.
+fn collect_sites(
+    e: &ValExpr,
+    n_idx: Var,
+    node: Option<Var>,
+    feat: Var,
+    h: usize,
+    stored: &std::collections::HashSet<TensorId>,
+    out: &mut Vec<SumSite>,
+) {
+    match e {
+        ValExpr::Sum { var, extent, body } => {
+            if let Some(site) = plan_site(*var, extent, body, n_idx, node, feat, h, stored) {
+                out.push(site);
+            }
+            // Nested sums inside `body` are part of this reduction (and
+            // reject the fastdot match anyway): do not descend.
+        }
+        ValExpr::Unary(_, a) => collect_sites(a, n_idx, node, feat, h, stored, out),
+        ValExpr::Bin(_, a, b) => {
+            collect_sites(a, n_idx, node, feat, h, stored, out);
+            collect_sites(b, n_idx, node, feat, h, stored, out);
+        }
+        // A `Sum` under a value-level `Select` is evaluated only when its
+        // branch is taken; batching it would gather operand rows (and
+        // replay accounting) for nodes whose guard never reaches the
+        // reduction — including child indirections that are `NO_CHILD`
+        // there. Guards belong *inside* the reduction
+        // ([`Operand::Guarded`]), which the packing phase resolves per
+        // node; conditional values outside it stay on the scalar path.
+        ValExpr::Select { .. } => {}
+        ValExpr::Const(_) | ValExpr::Load { .. } => {}
+    }
+}
+
+/// Tries to turn one `Sum` into a [`SumSite`].
+#[allow(clippy::too_many_arguments)]
+fn plan_site(
+    k: Var,
+    extent: &IdxExpr,
+    body: &ValExpr,
+    n_idx: Var,
+    node: Option<Var>,
+    feat: Var,
+    h: usize,
+    stored: &std::collections::HashSet<TensorId>,
+) -> Option<SumSite> {
+    // The extent must be loop-invariant (evaluable once per wave) and
+    // free of counting uninterpreted functions, so evaluating it in the
+    // packing phase adds no profile counters the scalar path would not.
+    if idx_uses_var(extent, feat)
+        || idx_uses_var(extent, n_idx)
+        || node.is_some_and(|nv| idx_uses_var(extent, nv))
+        || idx_has_counting_ufn(extent)
+    {
+        return None;
+    }
+    let plan = fastdot::compile(k, body)?;
+    // Reject reductions that may read something this wave loop writes:
+    // the packing phase gathers every node's rows *before* any iteration
+    // stores. Reads of a stored tensor are only safe through a child
+    // indirection — the wavefront schedule places children in strictly
+    // earlier waves, so those rows are final (this is exactly the fused
+    // TreeLSTM shape). A bare same-node read (the refactored GRU's hsum)
+    // is a genuine intra-wave dependence and falls back to the scalar
+    // path.
+    if !plan
+        .operands
+        .iter()
+        .all(|op| operand_reads_safe(op, stored, n_idx, node))
+    {
+        return None;
+    }
+    // Exactly one operand may depend on the feature variable, and it must
+    // be a plain strided load — the weight matrix.
+    let mut weight: Option<WeightRef> = None;
+    let mut rest = Vec::new();
+    for op in plan.operands {
+        if !operand_uses_var(&op, feat) {
+            // Row operands are re-resolved once per node; loads hiding in
+            // reduction-invariant factors would need per-element load
+            // accounting, so only pure scalars pass.
+            if let Operand::Scalar(e) = &op {
+                if !val_is_pure(e) {
+                    return None;
+                }
+            }
+            rest.push(op);
+            continue;
+        }
+        if weight.is_some() {
+            return None; // two feature-dependent operands (e.g. MV-RNN)
+        }
+        let Operand::Load {
+            tensor,
+            index,
+            k_pos,
+        } = op
+        else {
+            return None;
+        };
+        let mut i_pos = None;
+        for (d, ix) in index.iter().enumerate() {
+            if d == k_pos {
+                continue;
+            }
+            match ix {
+                IdxExpr::Var(v) if *v == feat => {
+                    if i_pos.is_some() {
+                        return None;
+                    }
+                    i_pos = Some(d);
+                }
+                other => {
+                    // Remaining positions must be wave-invariant so the
+                    // packed weight is shared by every node of every
+                    // wave, and counter-free because the packing phase
+                    // evaluates them outside the scalar path's cadence.
+                    if idx_uses_var(other, feat)
+                        || idx_uses_var(other, n_idx)
+                        || node.is_some_and(|nv| idx_uses_var(other, nv))
+                        || idx_has_counting_ufn(other)
+                    {
+                        return None;
+                    }
+                }
+            }
+        }
+        weight = Some(WeightRef {
+            tensor,
+            index,
+            i_pos: i_pos?,
+            k_pos,
+        });
+    }
+    Some(SumSite {
+        key: body as *const ValExpr as usize,
+        extent: extent.clone(),
+        feat_slot: feat.id() as usize,
+        feat_extent: h,
+        weight: weight?,
+        rest,
+    })
+}
+
+fn operand_uses_var(op: &Operand, v: Var) -> bool {
+    match op {
+        Operand::Load { index, .. } => index.iter().any(|i| idx_uses_var(i, v)),
+        Operand::Add(parts) => parts.iter().any(|p| operand_uses_var(p, v)),
+        Operand::Guarded { cond, inner } => bool_uses_var(cond, v) || operand_uses_var(inner, v),
+        Operand::Scalar(e) => val_uses_var(e, v),
+    }
+}
+
+/// Whether evaluating this value can touch memory or profile counters
+/// beyond plain flops (loads, selects, nested reductions).
+fn val_is_pure(e: &ValExpr) -> bool {
+    match e {
+        ValExpr::Const(_) => true,
+        ValExpr::Load { .. } | ValExpr::Sum { .. } | ValExpr::Select { .. } => false,
+        ValExpr::Unary(_, a) => val_is_pure(a),
+        ValExpr::Bin(_, a, b) => val_is_pure(a) && val_is_pure(b),
+    }
+}
+
+/// Whether an index expression contains an uninterpreted function that
+/// bumps profile counters when evaluated (`NumChildren`).
+fn idx_has_counting_ufn(e: &IdxExpr) -> bool {
+    match e {
+        IdxExpr::Const(_) | IdxExpr::Var(_) | IdxExpr::Rt(_) => false,
+        IdxExpr::Ufn(f, args) => {
+            matches!(f, Ufn::NumChildren) || args.iter().any(idx_has_counting_ufn)
+        }
+        IdxExpr::Bin(_, a, b) => idx_has_counting_ufn(a) || idx_has_counting_ufn(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cortex_core::expr::TensorId;
+    use cortex_core::ilir::DimName;
+
+    fn v(id: u32) -> Var {
+        Var::from_raw(id)
+    }
+
+    /// Builds the canonical wave loop: for n_idx { let node = n_idx {
+    /// for i in 0..h { t[node,i] = tanh(sum_k W[i,k] * s[node,k] + b[i]) } } }
+    fn wave_loop(h: i64, k_extent: i64) -> Stmt {
+        let (n_idx, node, i, k) = (v(0), v(1), v(2), v(3));
+        let sum = ValExpr::Sum {
+            var: k,
+            extent: IdxExpr::Const(k_extent),
+            body: Box::new(
+                ValExpr::load(TensorId(0), vec![IdxExpr::Var(i), IdxExpr::Var(k)]).mul(
+                    ValExpr::load(TensorId(1), vec![IdxExpr::Var(node), IdxExpr::Var(k)]),
+                ),
+            ),
+        };
+        let value = sum
+            .add(ValExpr::load(TensorId(2), vec![IdxExpr::Var(i)]))
+            .tanh();
+        Stmt::For {
+            var: n_idx,
+            extent: IdxExpr::Const(4),
+            kind: LoopKind::Parallel,
+            dim: Some(DimName::batch()),
+            body: vec![Stmt::Let {
+                var: node,
+                value: IdxExpr::Var(n_idx),
+                body: vec![Stmt::For {
+                    var: i,
+                    extent: IdxExpr::Const(h),
+                    kind: LoopKind::Vectorized,
+                    dim: Some(DimName::feature(0)),
+                    body: vec![Stmt::Store {
+                        tensor: TensorId(3),
+                        index: vec![IdxExpr::Var(node), IdxExpr::Var(i)],
+                        value,
+                    }],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn sum_under_value_level_select_is_not_planned() {
+        // select(guard, sum_k …, 0): the scalar interpreter evaluates the
+        // reduction only when the branch is taken; batching it would
+        // resolve child indirections on nodes where they are NO_CHILD.
+        let (n_idx, node, i, k) = (v(0), v(1), v(2), v(3));
+        let child = IdxExpr::Ufn(Ufn::Child(1), vec![IdxExpr::Var(node)]);
+        let sum = ValExpr::Sum {
+            var: k,
+            extent: IdxExpr::Const(4),
+            body: Box::new(
+                ValExpr::load(TensorId(0), vec![IdxExpr::Var(i), IdxExpr::Var(k)])
+                    .mul(ValExpr::load(TensorId(1), vec![child, IdxExpr::Var(k)])),
+            ),
+        };
+        let value = ValExpr::Select {
+            cond: cortex_core::expr::BoolExpr::Cmp(
+                cortex_core::expr::CmpOp::Lt,
+                IdxExpr::Const(1),
+                IdxExpr::Ufn(Ufn::NumChildren, vec![IdxExpr::Var(node)]),
+            ),
+            then: Box::new(sum),
+            otherwise: Box::new(ValExpr::Const(0.0)),
+        };
+        let stmt = Stmt::For {
+            var: n_idx,
+            extent: IdxExpr::Const(4),
+            kind: LoopKind::Parallel,
+            dim: Some(DimName::batch()),
+            body: vec![Stmt::Let {
+                var: node,
+                value: IdxExpr::Var(n_idx),
+                body: vec![Stmt::For {
+                    var: i,
+                    extent: IdxExpr::Const(4),
+                    kind: LoopKind::Vectorized,
+                    dim: Some(DimName::feature(0)),
+                    body: vec![Stmt::Store {
+                        tensor: TensorId(2),
+                        index: vec![IdxExpr::Var(node), IdxExpr::Var(i)],
+                        value,
+                    }],
+                }],
+            }],
+        };
+        let body = [stmt];
+        assert!(analyze(&[&body]).is_empty());
+    }
+
+    #[test]
+    fn child_indirection_must_be_rooted_at_the_wave_node() {
+        // `stored[child0(word(node)), k]`: the outer constructor is a
+        // Child ufn, but the chain does not bottom out at the node
+        // variable, so the earlier-wave invariant does not apply.
+        let (n_idx, node) = (v(0), v(1));
+        let rooted = IdxExpr::Ufn(Ufn::Child(0), vec![IdxExpr::Var(node)]);
+        let nested = IdxExpr::Ufn(Ufn::Child(1), vec![rooted.clone()]);
+        let unrooted = IdxExpr::Ufn(
+            Ufn::Child(0),
+            vec![IdxExpr::Ufn(Ufn::Word, vec![IdxExpr::Var(node)])],
+        );
+        assert!(is_wave_child_indirection(&rooted, n_idx, Some(node)));
+        assert!(is_wave_child_indirection(&nested, n_idx, Some(node)));
+        assert!(!is_wave_child_indirection(&unrooted, n_idx, Some(node)));
+        assert!(!is_wave_child_indirection(
+            &IdxExpr::Var(node),
+            n_idx,
+            Some(node)
+        ));
+    }
+
+    #[test]
+    fn canonical_gate_loop_is_planned() {
+        let stmt = wave_loop(8, 8);
+        let body = [stmt];
+        let plans = analyze(&[&body]);
+        assert_eq!(plans.len(), 1);
+        let plan = plans.values().next().unwrap();
+        assert_eq!(plan.sites.len(), 1);
+        let site = &plan.sites[0];
+        assert_eq!(site.feat_extent, 8);
+        assert_eq!(site.weight.tensor, TensorId(0));
+        assert_eq!(site.weight.i_pos, 0);
+        assert_eq!(site.weight.k_pos, 1);
+        assert_eq!(site.rest.len(), 1);
+    }
+
+    #[test]
+    fn serial_or_unnamed_loops_are_not_planned() {
+        let Stmt::For {
+            var, extent, body, ..
+        } = wave_loop(8, 8)
+        else {
+            unreachable!()
+        };
+        let serial = Stmt::For {
+            var,
+            extent,
+            kind: LoopKind::Serial,
+            dim: Some(DimName::node()),
+            body,
+        };
+        let body = [serial];
+        // The inner feature loop is reachable but the loop itself is not a
+        // d_batch parallel loop, so nothing batches.
+        assert!(analyze(&[&body]).is_empty());
+    }
+
+    #[test]
+    fn two_feature_dependent_operands_reject() {
+        // sum_k A[i,k] * B[i,k]: both operands ride the feature variable.
+        let (n_idx, i, k) = (v(0), v(2), v(3));
+        let sum = ValExpr::Sum {
+            var: k,
+            extent: IdxExpr::Const(4),
+            body: Box::new(
+                ValExpr::load(TensorId(0), vec![IdxExpr::Var(i), IdxExpr::Var(k)]).mul(
+                    ValExpr::load(TensorId(1), vec![IdxExpr::Var(i), IdxExpr::Var(k)]),
+                ),
+            ),
+        };
+        let stmt = Stmt::For {
+            var: n_idx,
+            extent: IdxExpr::Const(4),
+            kind: LoopKind::Parallel,
+            dim: Some(DimName::batch()),
+            body: vec![Stmt::For {
+                var: i,
+                extent: IdxExpr::Const(4),
+                kind: LoopKind::Vectorized,
+                dim: Some(DimName::feature(0)),
+                body: vec![Stmt::Store {
+                    tensor: TensorId(3),
+                    index: vec![IdxExpr::Var(n_idx), IdxExpr::Var(i)],
+                    value: sum,
+                }],
+            }],
+        };
+        let body = [stmt];
+        assert!(analyze(&[&body]).is_empty());
+    }
+}

@@ -68,7 +68,8 @@ pub fn run(model: &Model, structure: &RecStructure, device: &DeviceSpec) -> Fram
         let new_states = if height == 0 {
             cell.leaf_wave(&model.params, &wave, h, model.leaf, &mut ctx)
         } else {
-            cell.internal_wave(&model.params, &wave, &states, h, &mut ctx).0
+            cell.internal_wave(&model.params, &wave, &states, h, &mut ctx)
+                .0
         };
         for (st, &n) in new_states.into_iter().zip(nodes) {
             ctx.alloc(cell.state_bytes(h));
@@ -106,7 +107,12 @@ mod tests {
         let t = cortex_ds::datasets::random_binary_tree(20, 71);
         let cavs = run(&m, &t, &DeviceSpec::v100());
         let dy = dynet::run(&m, &t, &DeviceSpec::v100(), DynetOptions::default());
-        assert!(cavs.profile.launches < dy.profile.launches, "{} vs {}", cavs.profile.launches, dy.profile.launches);
+        assert!(
+            cavs.profile.launches < dy.profile.launches,
+            "{} vs {}",
+            cavs.profile.launches,
+            dy.profile.launches
+        );
     }
 
     #[test]
@@ -117,13 +123,18 @@ mod tests {
         let a = run(&m, &small, &DeviceSpec::v100());
         let b = run(&m, &large, &DeviceSpec::v100());
         // Vertex compilation is O(ops); allow generous slack for timer
-        // noise but it must not scale with node count the way DyNet's does.
-        let dy_small =
-            dynet::run(&m, &small, &DeviceSpec::v100(), DynetOptions::default());
-        let dy_large =
-            dynet::run(&m, &large, &DeviceSpec::v100(), DynetOptions::default());
-        assert!(
+        // noise but it must not scale with node count the way DyNet's
+        // does. These are measured wall-clock micro-durations, so a
+        // loaded machine can transiently invert them — retry before
+        // declaring failure.
+        let ok = (0..3).any(|_| {
+            let dy_small = dynet::run(&m, &small, &DeviceSpec::v100(), DynetOptions::default());
+            let dy_large = dynet::run(&m, &large, &DeviceSpec::v100(), DynetOptions::default());
             dy_large.profile.graph_construction_time >= dy_small.profile.graph_construction_time
+        });
+        assert!(
+            ok,
+            "DyNet graph construction should scale with node count (3 attempts)"
         );
         // Sanity: both Cavs runs measured something tiny.
         assert!(a.profile.graph_construction_time.as_micros() < 1000);

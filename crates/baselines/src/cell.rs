@@ -99,15 +99,15 @@ impl CellKind {
     /// driver).
     pub fn ops_per_internal(&self, slots: usize) -> usize {
         match self {
-            CellKind::TreeFc => 3,                    // 2 matvec + combine
-            CellKind::TreeRnn => 3,                   // hsum, matvec, combine
+            CellKind::TreeFc => 3,  // 2 matvec + combine
+            CellKind::TreeRnn => 3, // hsum, matvec, combine
             CellKind::TreeGru { simple } => {
                 // hsum, 2×(matvec+act), gate mul, matvec+act, final blend
                 8 + usize::from(!*simple)
             }
-            CellKind::TreeLstm => 8 + 2 * slots,      // hsum, 3×(mv+act), per-child f, c, h
-            CellKind::MvRnn => 7,                     // 2 dyn-mv, 2 mv, combine, 2 matmat
-            CellKind::DagRnn => 2 + slots,            // per-dir matvec, combine, (x precomputed)
+            CellKind::TreeLstm => 8 + 2 * slots, // hsum, 3×(mv+act), per-child f, c, h
+            CellKind::MvRnn => 7,                // 2 dyn-mv, 2 mv, combine, 2 matmat
+            CellKind::DagRnn => 2 + slots,       // per-dir matvec, combine, (x precomputed)
         }
     }
 
@@ -152,7 +152,11 @@ impl CellKind {
                 };
                 cs.into_iter()
                     .zip(hs)
-                    .map(|(c, hv)| NodeState { h: hv, c, mat: Vec::new() })
+                    .map(|(c, hv)| NodeState {
+                        h: hv,
+                        c,
+                        mat: Vec::new(),
+                    })
                     .collect()
             }
             CellKind::MvRnn => {
@@ -170,7 +174,11 @@ impl CellKind {
                 });
                 a.into_iter()
                     .zip(mats)
-                    .map(|(hv, mat)| NodeState { h: hv, c: Vec::new(), mat })
+                    .map(|(hv, mat)| NodeState {
+                        h: hv,
+                        c: Vec::new(),
+                        mat,
+                    })
                     .collect()
             }
             CellKind::DagRnn => {
@@ -190,7 +198,12 @@ impl CellKind {
                     LeafInit::Zero => vec![vec![0.0; h]; nodes.len()],
                     LeafInit::Embedding => gather(ctx, param(params, "Emb"), 0),
                 };
-                hs.into_iter().map(|hv| NodeState { h: hv, ..NodeState::default() }).collect()
+                hs.into_iter()
+                    .map(|hv| NodeState {
+                        h: hv,
+                        ..NodeState::default()
+                    })
+                    .collect()
             }
         }
     }
@@ -254,17 +267,29 @@ impl CellKind {
                         })
                         .collect::<Vec<_>>()
                 });
-                (out.into_iter().map(|hv| NodeState { h: hv, ..NodeState::default() }).collect(), intermediates)
+                (
+                    out.into_iter()
+                        .map(|hv| NodeState {
+                            h: hv,
+                            ..NodeState::default()
+                        })
+                        .collect(),
+                    intermediates,
+                )
             }
             CellKind::TreeFc => {
                 let wl = param(params, "W_l");
                 let wr = param(params, "W_r");
                 let bias = param(params, "b");
                 ctx.contiguity_copy(2 * b as u64 * row_bytes);
-                let ls: Vec<&[f32]> =
-                    nodes.iter().map(|n| states[n.children[0]].h.as_slice()).collect();
-                let rs: Vec<&[f32]> =
-                    nodes.iter().map(|n| states[n.children[1]].h.as_slice()).collect();
+                let ls: Vec<&[f32]> = nodes
+                    .iter()
+                    .map(|n| states[n.children[0]].h.as_slice())
+                    .collect();
+                let rs: Vec<&[f32]> = nodes
+                    .iter()
+                    .map(|n| states[n.children[1]].h.as_slice())
+                    .collect();
                 let mvl = ctx.batched_matvec(wl, &ls);
                 track(ctx, b as u64);
                 let mvr = ctx.batched_matvec(wr, &rs);
@@ -281,7 +306,15 @@ impl CellKind {
                         })
                         .collect::<Vec<_>>()
                 });
-                (out.into_iter().map(|hv| NodeState { h: hv, ..NodeState::default() }).collect(), intermediates)
+                (
+                    out.into_iter()
+                        .map(|hv| NodeState {
+                            h: hv,
+                            ..NodeState::default()
+                        })
+                        .collect(),
+                    intermediates,
+                )
             }
             CellKind::TreeGru { simple } => {
                 let refs: Vec<&[f32]> = hsum.iter().map(Vec::as_slice).collect();
@@ -342,34 +375,39 @@ impl CellKind {
                         })
                         .collect()
                 });
-                (out.into_iter().map(|hv| NodeState { h: hv, ..NodeState::default() }).collect(), intermediates)
+                (
+                    out.into_iter()
+                        .map(|hv| NodeState {
+                            h: hv,
+                            ..NodeState::default()
+                        })
+                        .collect(),
+                    intermediates,
+                )
             }
             CellKind::TreeLstm => {
                 let refs: Vec<&[f32]> = hsum.iter().map(Vec::as_slice).collect();
-                let gate = |ctx: &mut VendorCtx,
-                            wn: &str,
-                            bn: &str,
-                            refs: &[&[f32]],
-                            sigmoid: bool| {
-                    let pre = ctx.batched_matvec(param(params, wn), refs);
-                    let bias = param(params, bn);
-                    ctx.batched_elementwise(refs.len(), h, 2, 1, || {
-                        pre.iter()
-                            .map(|row| {
-                                row.iter()
-                                    .zip(bias.as_slice())
-                                    .map(|(x, bb)| {
-                                        if sigmoid {
-                                            sig(x + bb)
-                                        } else {
-                                            (x + bb).tanh()
-                                        }
-                                    })
-                                    .collect::<Vec<f32>>()
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                };
+                let gate =
+                    |ctx: &mut VendorCtx, wn: &str, bn: &str, refs: &[&[f32]], sigmoid: bool| {
+                        let pre = ctx.batched_matvec(param(params, wn), refs);
+                        let bias = param(params, bn);
+                        ctx.batched_elementwise(refs.len(), h, 2, 1, || {
+                            pre.iter()
+                                .map(|row| {
+                                    row.iter()
+                                        .zip(bias.as_slice())
+                                        .map(|(x, bb)| {
+                                            if sigmoid {
+                                                sig(x + bb)
+                                            } else {
+                                                (x + bb).tanh()
+                                            }
+                                        })
+                                        .collect::<Vec<f32>>()
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    };
                 let ig = gate(ctx, "U_i", "b_i", &refs, true);
                 let og = gate(ctx, "U_o", "b_o", &refs, true);
                 let ug = gate(ctx, "U_u", "b_u", &refs, false);
@@ -378,8 +416,10 @@ impl CellKind {
                 let mut fgs: Vec<Vec<Vec<f32>>> = Vec::new(); // [slot][node][i]
                 for s in 0..max_slots {
                     ctx.contiguity_copy(b as u64 * row_bytes);
-                    let hs: Vec<&[f32]> =
-                        nodes.iter().map(|n| states[n.children[s]].h.as_slice()).collect();
+                    let hs: Vec<&[f32]> = nodes
+                        .iter()
+                        .map(|n| states[n.children[s]].h.as_slice())
+                        .collect();
                     fgs.push(gate(ctx, "U_f", "b_f", &hs, true));
                     track(ctx, 2 * b as u64);
                 }
@@ -408,7 +448,11 @@ impl CellKind {
                     h_new
                         .into_iter()
                         .zip(c_new)
-                        .map(|(hv, cv)| NodeState { h: hv, c: cv, mat: Vec::new() })
+                        .map(|(hv, cv)| NodeState {
+                            h: hv,
+                            c: cv,
+                            mat: Vec::new(),
+                        })
                         .collect(),
                     intermediates,
                 )
@@ -418,7 +462,10 @@ impl CellKind {
                 let ba_pairs: Vec<(&[f32], &[f32])> = nodes
                     .iter()
                     .map(|n| {
-                        (states[n.children[1]].mat.as_slice(), states[n.children[0]].h.as_slice())
+                        (
+                            states[n.children[1]].mat.as_slice(),
+                            states[n.children[0]].h.as_slice(),
+                        )
                     })
                     .collect();
                 let ba = ctx.batched_dyn_matvec(&ba_pairs, h);
@@ -426,7 +473,10 @@ impl CellKind {
                 let ab_pairs: Vec<(&[f32], &[f32])> = nodes
                     .iter()
                     .map(|n| {
-                        (states[n.children[0]].mat.as_slice(), states[n.children[1]].h.as_slice())
+                        (
+                            states[n.children[0]].mat.as_slice(),
+                            states[n.children[1]].h.as_slice(),
+                        )
                     })
                     .collect();
                 let ab = ctx.batched_dyn_matvec(&ab_pairs, h);
@@ -463,7 +513,11 @@ impl CellKind {
                     a_new
                         .into_iter()
                         .zip(mats)
-                        .map(|(hv, mat)| NodeState { h: hv, c: Vec::new(), mat })
+                        .map(|(hv, mat)| NodeState {
+                            h: hv,
+                            c: Vec::new(),
+                            mat,
+                        })
                         .collect(),
                     intermediates,
                 )
@@ -499,7 +553,15 @@ impl CellKind {
                         .map(|row| row.into_iter().map(|x| x.tanh()).collect())
                         .collect()
                 });
-                (out.into_iter().map(|hv| NodeState { h: hv, ..NodeState::default() }).collect(), intermediates)
+                (
+                    out.into_iter()
+                        .map(|hv| NodeState {
+                            h: hv,
+                            ..NodeState::default()
+                        })
+                        .collect(),
+                    intermediates,
+                )
             }
         }
     }
@@ -515,7 +577,9 @@ impl CellKind {
 }
 
 fn param<'a>(params: &'a Params, name: &str) -> &'a Tensor {
-    params.get(name).unwrap_or_else(|| panic!("baseline: missing parameter '{name}'"))
+    params
+        .get(name)
+        .unwrap_or_else(|| panic!("baseline: missing parameter '{name}'"))
 }
 
 /// DAG-RNN input transform `x = W_x · Emb[word] + b_x` for a wave.
@@ -553,7 +617,11 @@ fn batched_matmat(
         ctx.profile.global_bytes_written += b * (h * h * 4) as u64;
         let flops = b * 2 * (h as u64).pow(3);
         ctx.profile.flops += flops;
-        ctx.profile.waves.push(WaveStat { flops, width: b, bytes });
+        ctx.profile.waves.push(WaveStat {
+            flops,
+            width: b,
+            bytes,
+        });
     }
     nodes
         .iter()
@@ -587,7 +655,10 @@ mod tests {
     #[test]
     fn cell_kind_dispatch() {
         let m = treegru::tree_gru(4, LeafInit::Zero);
-        assert_eq!(CellKind::for_model(&m), Some(CellKind::TreeGru { simple: false }));
+        assert_eq!(
+            CellKind::for_model(&m),
+            Some(CellKind::TreeGru { simple: false })
+        );
         let m = cortex_models::seq::seq_lstm(4);
         assert_eq!(CellKind::for_model(&m), Some(CellKind::TreeLstm));
     }
@@ -604,13 +675,7 @@ mod tests {
         let mut ctx = VendorCtx::new(MemoryMeter::inference(), false);
         // Two leaves + one internal node.
         let t = cortex_ds::datasets::random_binary_tree(2, 0);
-        let want = cortex_models::reference::tree_gru(
-            &t,
-            &m.params,
-            4,
-            LeafInit::Embedding,
-            false,
-        );
+        let want = cortex_models::reference::tree_gru(&t, &m.params, 4, LeafInit::Embedding, false);
         let leaves: Vec<_> = t.iter().filter(|&n| t.is_leaf(n)).collect();
         let internal: Vec<_> = t.iter().filter(|&n| !t.is_leaf(n)).collect();
         let cell = CellKind::for_model(&m).unwrap();

@@ -52,8 +52,11 @@ pub fn run(
     let cell = CellKind::for_model(model)
         .unwrap_or_else(|| panic!("no DyNet cell for model {}", model.name));
     let h = model.hidden;
-    let meter =
-        if opts.inference_mode { MemoryMeter::inference() } else { MemoryMeter::training() };
+    let meter = if opts.inference_mode {
+        MemoryMeter::inference()
+    } else {
+        MemoryMeter::training()
+    };
     let mut ctx = VendorCtx::new(meter, false);
     ctx.alloc(model.params.total_bytes());
 
@@ -63,7 +66,11 @@ pub fn run(
     let mut graph: Vec<OpVertex> = Vec::new();
     for node in structure.iter() {
         let height = structure.height(node);
-        let n_ops = if structure.is_leaf(node) { 1 } else { ops_per_internal };
+        let n_ops = if structure.is_leaf(node) {
+            1
+        } else {
+            ops_per_internal
+        };
         for sig in 0..n_ops {
             graph.push(OpVertex {
                 sig,
@@ -178,7 +185,10 @@ mod tests {
         let r = run(&m, &t, &DeviceSpec::v100(), DynetOptions::default());
         assert!(r.profile.graph_construction_time.as_nanos() > 0);
         assert!(r.profile.dynamic_batching_time.as_nanos() > 0);
-        assert!(r.profile.memcpy_bytes > 0, "contiguity copies must be counted");
+        assert!(
+            r.profile.memcpy_bytes > 0,
+            "contiguity copies must be counted"
+        );
     }
 
     #[test]
@@ -186,7 +196,14 @@ mod tests {
         let m = treelstm::tree_lstm(8, LeafInit::Zero);
         let t = cortex_ds::datasets::random_binary_tree(30, 63);
         let training = run(&m, &t, &DeviceSpec::v100(), DynetOptions::default());
-        let inference = run(&m, &t, &DeviceSpec::v100(), DynetOptions { inference_mode: true });
+        let inference = run(
+            &m,
+            &t,
+            &DeviceSpec::v100(),
+            DynetOptions {
+                inference_mode: true,
+            },
+        );
         assert!(inference.profile.allocated_bytes < training.profile.allocated_bytes);
     }
 }

@@ -37,7 +37,8 @@ pub fn run(model: &Model, structure: &RecStructure, device: &DeviceSpec) -> Fram
     let steps = structure.max_height() as u64; // internal steps per sequence
     let (hidden, gates, barriers_per_step): (Vec<Vec<f32>>, u64, u64) = match model.name.as_str() {
         "LSTM" => {
-            let r = reference::tree_lstm(structure, &model.params, model.hidden, LeafInit::Embedding);
+            let r =
+                reference::tree_lstm(structure, &model.params, model.hidden, LeafInit::Embedding);
             (r.h, 4, 1)
         }
         // GRNN applies its refactoring to the GRU, bringing it to one
@@ -69,10 +70,13 @@ pub fn run(model: &Model, structure: &RecStructure, device: &DeviceSpec) -> Fram
     profile.flops = steps * flops_per_step;
     let bytes_per_step = 2 * batch * state_words * 4; // read prev, write new
     profile.waves = (0..steps)
-        .map(|_| WaveStat { flops: flops_per_step, width: batch, bytes: bytes_per_step })
+        .map(|_| WaveStat {
+            flops: flops_per_step,
+            width: batch,
+            bytes: bytes_per_step,
+        })
         .collect();
-    profile.allocated_bytes =
-        model.params.total_bytes() + (steps + 1) * batch * state_words * 4;
+    profile.allocated_bytes = model.params.total_bytes() + (steps + 1) * batch * state_words * 4;
 
     FrameworkRun::finish(hidden, profile, device)
 }

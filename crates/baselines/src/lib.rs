@@ -55,6 +55,10 @@ pub struct FrameworkRun {
 impl FrameworkRun {
     pub(crate) fn finish(hidden: Vec<Vec<f32>>, profile: Profile, device: &DeviceSpec) -> Self {
         let latency = device.latency(&profile);
-        FrameworkRun { hidden, profile, latency }
+        FrameworkRun {
+            hidden,
+            profile,
+            latency,
+        }
     }
 }

@@ -29,13 +29,19 @@ impl MemoryMeter {
     /// A meter that never frees (DyNet/Cavs keep intermediates for
     /// backprop).
     pub fn training() -> Self {
-        MemoryMeter { allow_free: false, ..MemoryMeter::default() }
+        MemoryMeter {
+            allow_free: false,
+            ..MemoryMeter::default()
+        }
     }
 
     /// A meter that frees tensors when released (PyTorch eager, DyNet's
     /// simulated inference mode).
     pub fn inference() -> Self {
-        MemoryMeter { allow_free: true, ..MemoryMeter::default() }
+        MemoryMeter {
+            allow_free: true,
+            ..MemoryMeter::default()
+        }
     }
 
     /// Records an allocation of `bytes`.
@@ -110,7 +116,11 @@ impl VendorCtx {
         self.profile.global_bytes_written += b * m as u64 * 4;
         let flops = b * 2 * (m as u64) * (k as u64);
         self.profile.flops += flops;
-        self.profile.waves.push(WaveStat { flops, width: b, bytes });
+        self.profile.waves.push(WaveStat {
+            flops,
+            width: b,
+            bytes,
+        });
         xs.iter()
             .map(|x| (0..m).map(|i| kernels::dot(w.row(i), x)).collect())
             .collect()
@@ -127,7 +137,11 @@ impl VendorCtx {
         self.profile.global_bytes_written += b * h as u64 * 4;
         let flops = b * 2 * (h as u64) * (h as u64);
         self.profile.flops += flops;
-        self.profile.waves.push(WaveStat { flops, width: b, bytes });
+        self.profile.waves.push(WaveStat {
+            flops,
+            width: b,
+            bytes,
+        });
         pairs
             .iter()
             .map(|(m, x)| {
@@ -162,7 +176,11 @@ impl VendorCtx {
         self.profile.flops += flops;
         self.profile.global_bytes_read += b * reads * len as u64 * 4;
         self.profile.global_bytes_written += b * len as u64 * 4;
-        self.profile.waves.push(WaveStat { flops, width: b, bytes });
+        self.profile.waves.push(WaveStat {
+            flops,
+            width: b,
+            bytes,
+        });
         f()
     }
 

@@ -1,38 +1,24 @@
-//! Criterion benches wrapping every experiment regenerator at smoke scale
-//! (hidden sizes ÷8), so `cargo bench` re-derives each table and figure
-//! with statistically sampled timings while staying fast.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Benches wrapping every experiment regenerator at smoke scale (hidden
+//! sizes ÷8), so `cargo bench` re-derives each table and figure with
+//! sampled timings while staying fast.
 
 use cortex_bench_harness::experiments as e;
+use cortex_bench_harness::timing::Bench;
 use cortex_bench_harness::Scale;
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(600))
-}
-
-fn bench_experiments(c: &mut Criterion) {
+fn main() {
     let s = Scale::Smoke;
-    c.bench_function("fig6_speedup_over_pytorch", |b| b.iter(|| e::fig6::run(s)));
-    c.bench_function("fig7_latency_vs_hidden", |b| b.iter(|| e::fig7::run(s)));
-    c.bench_function("fig9_vs_grnn", |b| b.iter(|| e::fig9::run(s)));
-    c.bench_function("fig10a_fusion_spec_persist", |b| b.iter(|| e::fig10::run_a(s)));
-    c.bench_function("fig10b_unrolling", |b| b.iter(|| e::fig10::run_b(s)));
-    c.bench_function("fig10c_refactoring", |b| b.iter(|| e::fig10::run_c(s)));
-    c.bench_function("fig12_peak_memory", |b| b.iter(|| e::fig12::run(s)));
-    c.bench_function("table4_cavs_vs_cortex", |b| b.iter(|| e::table4::run(s)));
-    c.bench_function("table5_dynet_vs_cortex", |b| b.iter(|| e::table5::run(s)));
-    c.bench_function("table6_activity_breakdown", |b| b.iter(|| e::table6::run(s)));
-    c.bench_function("sec75_linearization", |b| b.iter(|| e::linearize::run(s)));
-    c.bench_function("appc_roofline", |b| b.iter(|| e::roofline::run(s)));
+    let mut b = Bench::new(5, std::time::Duration::from_millis(120));
+    b.run("fig6_speedup_over_pytorch", || e::fig6::run(s));
+    b.run("fig7_latency_vs_hidden", || e::fig7::run(s));
+    b.run("fig9_vs_grnn", || e::fig9::run(s));
+    b.run("fig10a_fusion_spec_persist", || e::fig10::run_a(s));
+    b.run("fig10b_unrolling", || e::fig10::run_b(s));
+    b.run("fig10c_refactoring", || e::fig10::run_c(s));
+    b.run("fig12_peak_memory", || e::fig12::run(s));
+    b.run("table4_cavs_vs_cortex", || e::table4::run(s));
+    b.run("table5_dynet_vs_cortex", || e::table5::run(s));
+    b.run("table6_activity_breakdown", || e::table6::run(s));
+    b.run("sec75_linearization", || e::linearize::run(s));
+    b.run("appc_roofline", || e::roofline::run(s));
 }
-
-criterion_group! {
-    name = experiments;
-    config = config();
-    targets = bench_experiments
-}
-criterion_main!(experiments);

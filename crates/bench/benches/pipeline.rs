@@ -1,50 +1,47 @@
-//! Criterion micro-benches of the compiler pipeline stages: the
-//! real-wall-clock components of the system (linearization §7.5, RA
-//! lowering §4, executor kernels, and the Appendix-B leaf-check ablation).
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+//! Micro-benches of the compiler pipeline stages: the real-wall-clock
+//! components of the system (linearization §7.5, RA lowering §4, executor
+//! kernels, and the Appendix-B leaf-check ablation).
 
 use cortex_backend::{exec, params::Params};
 use cortex_bench_harness::registry::ModelId;
+use cortex_bench_harness::timing::Bench;
 use cortex_core::ra::RaSchedule;
 use cortex_ds::datasets;
 use cortex_ds::linearizer::Linearizer;
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(800))
-}
+fn main() {
+    let mut bench = Bench::default();
 
-fn bench_pipeline(c: &mut Criterion) {
     // Linearization over the Table 2 datasets (the §7.5 measurement).
     for (name, data) in [
         ("treebank_bs10", ModelId::TreeLstm.dataset(10, 1)),
         ("grids_bs10", ModelId::DagRnn.dataset(10, 1)),
         ("perfect_trees_bs10", ModelId::TreeFc.dataset(10, 1)),
     ] {
-        c.bench_function(&format!("linearize_{name}"), |b| {
-            b.iter(|| Linearizer::new().linearize(&data).unwrap())
+        bench.run(&format!("linearize_{name}"), || {
+            Linearizer::new().linearize(&data).unwrap()
         });
     }
 
     // RA lowering (compile time) for the heaviest model.
     let model = ModelId::TreeLstm.build(64);
-    c.bench_function("lower_treelstm", |b| {
-        b.iter(|| model.lower(&RaSchedule::default()).unwrap())
+    bench.run("lower_treelstm", || {
+        model.lower(&RaSchedule::default()).unwrap()
     });
 
     // End-to-end execution of the fused program (the "generated code").
     let program = model.lower(&RaSchedule::default()).unwrap();
     let data = ModelId::TreeLstm.dataset(4, 2);
     let lin = Linearizer::new().linearize(&data).unwrap();
-    c.bench_function("execute_treelstm_h64_bs4", |b| {
-        b.iter_batched(
-            || (),
-            |()| exec::execute(&program, &lin, &model.params, true).unwrap(),
-            BatchSize::SmallInput,
-        )
+    bench.run("execute_treelstm_h64_bs4", || {
+        exec::execute(&program, &lin, &model.params, true).unwrap()
+    });
+
+    // Same pipeline through a reusable engine (compiled kernels, wave
+    // plans, packed weights and scratch cached across runs).
+    let mut engine = exec::Engine::new(&program);
+    bench.run("engine_treelstm_h64_bs4", || {
+        engine.execute(&lin, &model.params, true).unwrap()
     });
 
     // Appendix B ablation: leaf check via numbering vs memory load. The
@@ -56,41 +53,27 @@ fn bench_pipeline(c: &mut Criterion) {
     let forest = datasets::batch_of(|s| datasets::random_binary_tree(40, s), 2_000, 3);
     let lin = Linearizer::new().linearize(&forest).unwrap();
     let n = lin.num_nodes() as u32;
-    let probes: Vec<u32> =
-        (0..n).map(|i| i.wrapping_mul(2_654_435_761) % n).collect();
-    c.bench_function("leaf_check_numbering", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for &p in &probes {
-                acc += u32::from(lin.is_leaf(p));
-            }
-            acc
-        })
+    let probes: Vec<u32> = (0..n).map(|i| i.wrapping_mul(2_654_435_761) % n).collect();
+    bench.run("leaf_check_numbering", || {
+        let mut acc = 0u32;
+        for &p in &probes {
+            acc += u32::from(lin.is_leaf(p));
+        }
+        acc
     });
-    c.bench_function("leaf_check_by_load", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for &p in &probes {
-                acc += u32::from(lin.is_leaf_by_load(p));
-            }
-            acc
-        })
+    bench.run("leaf_check_by_load", || {
+        let mut acc = 0u32;
+        for &p in &probes {
+            acc += u32::from(lin.is_leaf_by_load(p));
+        }
+        acc
     });
 
-    // Keep an unused Params import meaningful: parameter initialization
-    // cost (table construction for big embeddings).
-    c.bench_function("init_params_treegru_h64", |b| {
-        b.iter(|| {
-            let m = ModelId::TreeGru.build(64);
-            let p: &Params = &m.params;
-            p.total_bytes()
-        })
+    // Parameter initialization cost (table construction for big
+    // embeddings).
+    bench.run("init_params_treegru_h64", || {
+        let m = ModelId::TreeGru.build(64);
+        let p: &Params = &m.params;
+        p.total_bytes()
     });
 }
-
-criterion_group! {
-    name = pipeline;
-    config = config();
-    targets = bench_pipeline
-}
-criterion_main!(pipeline);

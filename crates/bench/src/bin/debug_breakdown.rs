@@ -1,6 +1,6 @@
-use cortex_bench_harness::registry::ModelId;
-use cortex_bench_harness::runner::{cortex, baseline, Baseline};
 use cortex_backend::device::DeviceSpec;
+use cortex_bench_harness::registry::ModelId;
+use cortex_bench_harness::runner::{baseline, cortex, Baseline};
 use cortex_core::ra::RaSchedule;
 
 fn main() {
@@ -12,9 +12,16 @@ fn main() {
     println!("cortex seqlstm: total={:.4}ms launch={:.4} barrier={:.4} compute={:.4} mem={:.4} host={:.4}",
         m.latency_ms, m.breakdown.launch_s*1e3, m.breakdown.barrier_s*1e3,
         m.breakdown.compute_s*1e3, m.breakdown.mem_s*1e3, m.breakdown.host_s*1e3);
-    println!("  launches={} barriers={} flops={} waves={} bytes_r={} bytes_w={} param={}",
-        m.profile.launches, m.profile.barriers_global, m.profile.flops, m.profile.waves.len(),
-        m.profile.global_bytes_read, m.profile.global_bytes_written, m.profile.param_bytes_read);
+    println!(
+        "  launches={} barriers={} flops={} waves={} bytes_r={} bytes_w={} param={}",
+        m.profile.launches,
+        m.profile.barriers_global,
+        m.profile.flops,
+        m.profile.waves.len(),
+        m.profile.global_bytes_read,
+        m.profile.global_bytes_written,
+        m.profile.param_bytes_read
+    );
     let w0: Vec<_> = m.profile.waves.iter().take(8).collect();
     println!("  first waves: {:?}", w0);
 
@@ -25,9 +32,20 @@ fn main() {
     println!("cortex treefc: total={:.4}ms launch={:.4} barrier={:.4} compute={:.4} mem={:.4} host={:.4}",
         m.latency_ms, m.breakdown.launch_s*1e3, m.breakdown.barrier_s*1e3,
         m.breakdown.compute_s*1e3, m.breakdown.mem_s*1e3, m.breakdown.host_s*1e3);
-    println!("  launches={} barriers={} flops={} waves={}",
-        m.profile.launches, m.profile.barriers_global, m.profile.flops, m.profile.waves.len());
-    println!("  first waves: {:?}", m.profile.waves.iter().take(10).collect::<Vec<_>>());
+    println!(
+        "  launches={} barriers={} flops={} waves={}",
+        m.profile.launches,
+        m.profile.barriers_global,
+        m.profile.flops,
+        m.profile.waves.len()
+    );
+    println!(
+        "  first waves: {:?}",
+        m.profile.waves.iter().take(10).collect::<Vec<_>>()
+    );
     let c = baseline(Baseline::Cavs, &model, &data, &gpu);
-    println!("cavs treefc: total={:.4}ms launches={} flops={}", c.latency_ms, c.profile.launches, c.profile.flops);
+    println!(
+        "cavs treefc: total={:.4}ms launches={} flops={}",
+        c.latency_ms, c.profile.launches, c.profile.flops
+    );
 }

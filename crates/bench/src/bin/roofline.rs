@@ -2,5 +2,8 @@
 
 fn main() {
     let scale = cortex_bench_harness::Scale::from_env();
-    println!("{}", cortex_bench_harness::experiments::roofline::run(scale));
+    println!(
+        "{}",
+        cortex_bench_harness::experiments::roofline::run(scale)
+    );
 }

@@ -10,7 +10,9 @@ use cortex_bench_harness::table::{ms, Table};
 use cortex_bench_harness::tune;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "treelstm".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "treelstm".to_string());
     let id = match which.as_str() {
         "treefc" => ModelId::TreeFc,
         "treernn" => ModelId::TreeRnn,
@@ -28,7 +30,11 @@ fn main() {
         &["rank", "latency (ms)", "schedule"],
     );
     for (i, c) in ranked.iter().enumerate().take(12) {
-        t.row_owned(vec![(i + 1).to_string(), ms(c.measured.latency_ms), c.label.clone()]);
+        t.row_owned(vec![
+            (i + 1).to_string(),
+            ms(c.measured.latency_ms),
+            c.label.clone(),
+        ]);
     }
     println!("{}", t.render());
 }

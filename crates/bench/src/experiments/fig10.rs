@@ -27,7 +27,10 @@ pub fn ablation_schedules() -> [(&'static str, RaSchedule); 4] {
         ),
         (
             "+specialization",
-            RaSchedule { persist: false, ..RaSchedule::default() },
+            RaSchedule {
+                persist: false,
+                ..RaSchedule::default()
+            },
         ),
         ("+persistence", RaSchedule::default()),
     ]
@@ -38,9 +41,21 @@ pub fn run_a(scale: Scale) -> String {
     let gpu = DeviceSpec::v100();
     let mut t = Table::new(
         "Fig. 10a: kernel fusion, specialization and persistence (GPU, H=256)",
-        &["model", "batch", "no fusion", "max fusion", "+specialization", "+persistence"],
+        &[
+            "model",
+            "batch",
+            "no fusion",
+            "max fusion",
+            "+specialization",
+            "+persistence",
+        ],
     );
-    for id in [ModelId::TreeFc, ModelId::DagRnn, ModelId::TreeGru, ModelId::TreeLstm] {
+    for id in [
+        ModelId::TreeFc,
+        ModelId::DagRnn,
+        ModelId::TreeGru,
+        ModelId::TreeLstm,
+    ] {
         let model = id.build_recursive_only(scale.hidden(256));
         for bs in [1usize, 10] {
             let data = id.dataset(bs, super::SEED);
@@ -60,7 +75,14 @@ pub fn run_b(scale: Scale) -> String {
     let gpu = DeviceSpec::v100();
     let mut t = Table::new(
         "Fig. 10b: unrolling (GPU, H=256); barrier counts illustrate Fig. 11",
-        &["model", "batch", "not unrolled (ms)", "unrolled (ms)", "barriers", "barriers unrolled"],
+        &[
+            "model",
+            "batch",
+            "not unrolled (ms)",
+            "unrolled (ms)",
+            "barriers",
+            "barriers unrolled",
+        ],
     );
     for (id, block_local) in [(ModelId::TreeRnn, true), (ModelId::TreeLstm, false)] {
         let model = id.build_recursive_only(scale.hidden(256));
@@ -91,7 +113,13 @@ pub fn run_c(scale: Scale) -> String {
     let gpu = DeviceSpec::v100();
     let mut t = Table::new(
         "Fig. 10c: recursive refactoring (GPU, H=256)",
-        &["model", "batch", "unhoisted (ms)", "hoisted (ms)", "improvement %"],
+        &[
+            "model",
+            "batch",
+            "unhoisted (ms)",
+            "hoisted (ms)",
+            "improvement %",
+        ],
     );
     for id in [ModelId::SimpleTreeGru, ModelId::TreeGru] {
         let model = id.build_recursive_only(scale.hidden(256));
@@ -152,7 +180,10 @@ mod tests {
         assert!(tree[2] < tree[1], "TreeLSTM: {} -> {}", tree[1], tree[2]);
         let dag = latencies_for(ModelId::DagRnn, 10);
         let change = (dag[1] - dag[2]).abs() / dag[1];
-        assert!(change < 0.25, "DAG-RNN should be roughly flat, changed {change:.2}");
+        assert!(
+            change < 0.25,
+            "DAG-RNN should be roughly flat, changed {change:.2}"
+        );
     }
 
     #[test]
@@ -171,7 +202,10 @@ mod tests {
         let unrolled = cortex(
             &lstm,
             &data,
-            &RaSchedule { unroll: Some(2), ..RaSchedule::default() },
+            &RaSchedule {
+                unroll: Some(2),
+                ..RaSchedule::default()
+            },
             &gpu,
         );
         assert!(
@@ -216,7 +250,10 @@ mod tests {
         };
         let simple = improvement(ModelId::SimpleTreeGru);
         let full = improvement(ModelId::TreeGru);
-        assert!(simple > 0.05, "SimpleTreeGRU should improve noticeably: {simple:.3}");
+        assert!(
+            simple > 0.05,
+            "SimpleTreeGRU should improve noticeably: {simple:.3}"
+        );
         assert!(
             simple > full,
             "refactoring must help SimpleTreeGRU more than TreeGRU: {simple:.3} vs {full:.3}"

@@ -17,7 +17,14 @@ pub fn run(scale: Scale) -> String {
     let gpu = DeviceSpec::v100();
     let mut t = Table::new(
         "Fig. 12: peak memory (KB), batch 10, hidden hs",
-        &["model", "PyTorch", "DyNet", "DyNet (inference)", "Cavs", "Cortex"],
+        &[
+            "model",
+            "PyTorch",
+            "DyNet",
+            "DyNet (inference)",
+            "Cavs",
+            "Cortex",
+        ],
     );
     for id in MAIN_MODELS {
         let model = id.build(id.hs(scale));
@@ -45,11 +52,21 @@ pub fn peaks(id: ModelId, scale: Scale) -> [u64; 5] {
     let model = id.build(id.hs(scale));
     let data = id.dataset(10, super::SEED);
     [
-        baseline(Baseline::PyTorch, &model, &data, &gpu).profile.allocated_bytes,
-        baseline(Baseline::DyNet, &model, &data, &gpu).profile.allocated_bytes,
-        baseline(Baseline::DyNetInference, &model, &data, &gpu).profile.allocated_bytes,
-        baseline(Baseline::Cavs, &model, &data, &gpu).profile.allocated_bytes,
-        cortex(&model, &data, &RaSchedule::default(), &gpu).profile.allocated_bytes,
+        baseline(Baseline::PyTorch, &model, &data, &gpu)
+            .profile
+            .allocated_bytes,
+        baseline(Baseline::DyNet, &model, &data, &gpu)
+            .profile
+            .allocated_bytes,
+        baseline(Baseline::DyNetInference, &model, &data, &gpu)
+            .profile
+            .allocated_bytes,
+        baseline(Baseline::Cavs, &model, &data, &gpu)
+            .profile
+            .allocated_bytes,
+        cortex(&model, &data, &RaSchedule::default(), &gpu)
+            .profile
+            .allocated_bytes,
     ]
 }
 
@@ -64,8 +81,14 @@ mod tests {
         // Cortex, which materializes fewer intermediates due to fusion.
         let [torch, dynet, dynet_inf, cavs, ours] = peaks(ModelId::TreeGru, Scale::Smoke);
         assert!(torch < ours, "PyTorch frees everything: {torch} vs {ours}");
-        assert!(dynet > dynet_inf, "training mode keeps more: {dynet} vs {dynet_inf}");
-        assert!(dynet_inf > ours, "even inference DyNet materializes more: {dynet_inf} vs {ours}");
+        assert!(
+            dynet > dynet_inf,
+            "training mode keeps more: {dynet} vs {dynet_inf}"
+        );
+        assert!(
+            dynet_inf > ours,
+            "even inference DyNet materializes more: {dynet_inf} vs {ours}"
+        );
         assert!(cavs > ours);
     }
 

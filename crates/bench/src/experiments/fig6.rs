@@ -62,8 +62,14 @@ mod tests {
         let (gpu10, _) = measure(ModelId::TreeLstm, 10, Scale::Smoke, &devices);
         let s1 = gpu1.0 / gpu1.1;
         let s10 = gpu10.0 / gpu10.1;
-        assert!(s1 > 1.0, "cortex must beat eager even at batch 1 ({s1:.2}x)");
-        assert!(s10 > s1, "speedup must grow with batch size: {s10:.2} vs {s1:.2}");
+        assert!(
+            s1 > 1.0,
+            "cortex must beat eager even at batch 1 ({s1:.2}x)"
+        );
+        assert!(
+            s10 > s1,
+            "speedup must grow with batch size: {s10:.2} vs {s1:.2}"
+        );
     }
 
     #[test]

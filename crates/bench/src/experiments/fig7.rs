@@ -24,7 +24,13 @@ pub fn run(scale: Scale) -> String {
     let data = ModelId::TreeLstm.dataset(10, super::SEED);
     let mut t = Table::new(
         "Fig. 7: latency vs hidden size, recursive TreeLSTM, batch 10",
-        &["hidden", "DyNet GPU (ms)", "Cavs GPU (ms)", "DyNet Intel (ms)", "Cavs Intel (ms)"],
+        &[
+            "hidden",
+            "DyNet GPU (ms)",
+            "Cavs GPU (ms)",
+            "DyNet Intel (ms)",
+            "Cavs Intel (ms)",
+        ],
     );
     for h in hidden_sizes(scale) {
         let model = ModelId::TreeLstm.build_recursive_only(h);
@@ -72,8 +78,7 @@ mod tests {
             tiny.latency_ms
         );
         // And the overhead share at H=1 is large.
-        let overhead =
-            tiny.breakdown.host_s + tiny.breakdown.launch_s + tiny.breakdown.memcpy_s;
+        let overhead = tiny.breakdown.host_s + tiny.breakdown.launch_s + tiny.breakdown.memcpy_s;
         assert!(overhead > 0.5 * tiny.breakdown.total_s);
     }
 

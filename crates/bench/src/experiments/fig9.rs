@@ -14,7 +14,13 @@ pub fn run(scale: Scale) -> String {
     let gpu = DeviceSpec::v100();
     let mut t = Table::new(
         "Fig. 9: Cortex vs hand-optimized GRNN (seq len 100, H=256)",
-        &["model", "batch", "GRNN (ms)", "GRNN lock-based (ms)", "Cortex (ms)"],
+        &[
+            "model",
+            "batch",
+            "GRNN (ms)",
+            "GRNN lock-based (ms)",
+            "Cortex (ms)",
+        ],
     );
     for id in [ModelId::SeqLstm, ModelId::SeqGru] {
         let model = id.build(scale.hidden(256));

@@ -19,7 +19,9 @@ pub fn linearize_us(id: ModelId, bs: usize, reps: usize) -> f64 {
     let data = id.dataset(bs, super::SEED);
     let mut times: Vec<f64> = (0..reps)
         .map(|_| {
-            let (_, d) = Linearizer::new().linearize_timed(&data).expect("linearizable");
+            let (_, d) = Linearizer::new()
+                .linearize_timed(&data)
+                .expect("linearizable");
             d.as_secs_f64() * 1e6
         })
         .collect();
@@ -31,7 +33,12 @@ pub fn linearize_us(id: ModelId, bs: usize, reps: usize) -> f64 {
 pub fn run(scale: Scale) -> String {
     let mut t = Table::new(
         "Sec. 7.5: linearization times (µs) and share of GPU runtime (batch 10, hs)",
-        &["dataset", "batch 1 (µs)", "batch 10 (µs)", "% of runtime (bs 10)"],
+        &[
+            "dataset",
+            "batch 1 (µs)",
+            "batch 10 (µs)",
+            "% of runtime (bs 10)",
+        ],
     );
     let gpu = DeviceSpec::v100();
     for (label, id) in [
@@ -63,7 +70,10 @@ mod tests {
     fn linearization_scales_with_input_size() {
         let small = linearize_us(ModelId::TreeFc, 1, 5);
         let large = linearize_us(ModelId::TreeFc, 10, 5);
-        assert!(large > small, "batch 10 must take longer: {large} vs {small}");
+        assert!(
+            large > small,
+            "batch 10 must take longer: {large} vs {small}"
+        );
     }
 
     #[test]

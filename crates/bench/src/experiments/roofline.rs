@@ -47,7 +47,13 @@ pub fn analytic(n0: f64, b: f64) -> (f64, f64, f64) {
 pub fn run(scale: Scale) -> String {
     let mut t = Table::new(
         "Appendix C: operational intensity (flops/byte), TreeFC, hidden hs",
-        &["batch", "Cortex (measured)", "DyNet (measured)", "PyTorch (measured)", "analytic (C/D/P)"],
+        &[
+            "batch",
+            "Cortex (measured)",
+            "DyNet (measured)",
+            "PyTorch (measured)",
+            "analytic (C/D/P)",
+        ],
     );
     let n0 = ModelId::TreeFc.hs(scale) as f64;
     for bs in [1usize, 10] {
@@ -77,8 +83,7 @@ mod tests {
     }
 
     #[test]
-    fn pytorch_intensity_is_near_half()
-    {
+    fn pytorch_intensity_is_near_half() {
         // Appendix C: O_pytorch ≈ 0.5 — parameters re-read per node kill
         // all reuse.
         let (_, _, p) = measure(Scale::Smoke, 10);

@@ -25,14 +25,19 @@ pub fn measure(id: ModelId, h: usize, bs: usize) -> [Cell; 3] {
     let data = id.dataset(bs, super::SEED);
     let ours = cortex_multi(&model, &data, &RaSchedule::default(), &devs);
     let dynet = baseline_multi(crate::runner::Baseline::DyNet, &model, &data, &devs);
-    [0, 1, 2].map(|i| Cell { dynet_ms: dynet[i].latency_ms, cortex_ms: ours[i].latency_ms })
+    [0, 1, 2].map(|i| Cell {
+        dynet_ms: dynet[i].latency_ms,
+        cortex_ms: ours[i].latency_ms,
+    })
 }
 
 /// Regenerates Table 5.
 pub fn run(scale: Scale) -> String {
     let mut t = Table::new(
         "Table 5: DyNet vs Cortex (DyNet ms / Cortex ms, speedup)",
-        &["backend", "hidden", "batch", "TreeFC", "DAG-RNN", "TreeGRU", "TreeLSTM", "MV-RNN"],
+        &[
+            "backend", "hidden", "batch", "TreeFC", "DAG-RNN", "TreeGRU", "TreeLSTM", "MV-RNN",
+        ],
     );
     // Gather all cells first (execution is device-independent).
     let mut rows: Vec<Vec<String>> = Vec::new();

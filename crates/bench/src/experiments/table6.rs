@@ -98,15 +98,24 @@ mod tests {
         // Table 6: DyNet 389 calls, Cavs 122, Cortex 1 (order matters, the
         // absolute numbers depend on tree shapes).
         let [dynet, cavs, cortex] = measure(Scale::Smoke);
-        assert!(dynet.kernel_calls > cavs.kernel_calls, "{dynet:?} vs {cavs:?}");
+        assert!(
+            dynet.kernel_calls > cavs.kernel_calls,
+            "{dynet:?} vs {cavs:?}"
+        );
         assert!(cavs.kernel_calls > cortex.kernel_calls);
-        assert!(cortex.kernel_calls <= 4, "Cortex fuses to a handful of kernels");
+        assert!(
+            cortex.kernel_calls <= 4,
+            "Cortex fuses to a handful of kernels"
+        );
     }
 
     #[test]
     fn cortex_has_negligible_batching_and_memcpy_overheads() {
         let [dynet, _, cortex] = measure(Scale::Smoke);
-        assert!(cortex.mem_mgmt_ms < 1e-6, "no contiguity copies: {cortex:?}");
+        assert!(
+            cortex.mem_mgmt_ms < 1e-6,
+            "no contiguity copies: {cortex:?}"
+        );
         assert!(
             cortex.batching_ms < dynet.batching_ms,
             "linearization is cheaper than graph construction + batching"

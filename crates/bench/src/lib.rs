@@ -33,6 +33,7 @@ pub mod experiments;
 pub mod registry;
 pub mod runner;
 pub mod table;
+pub mod timing;
 pub mod tune;
 
 /// Scaling knob for experiments: `Paper` uses the exact paper

@@ -29,8 +29,13 @@ pub enum ModelId {
 }
 
 /// The paper's five main evaluation models, in Table 2 order.
-pub const MAIN_MODELS: [ModelId; 5] =
-    [ModelId::TreeFc, ModelId::DagRnn, ModelId::TreeGru, ModelId::TreeLstm, ModelId::MvRnn];
+pub const MAIN_MODELS: [ModelId; 5] = [
+    ModelId::TreeFc,
+    ModelId::DagRnn,
+    ModelId::TreeGru,
+    ModelId::TreeLstm,
+    ModelId::MvRnn,
+];
 
 impl ModelId {
     /// Table 2 short name.

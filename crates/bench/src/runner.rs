@@ -22,7 +22,11 @@ pub struct Measured {
 
 impl Measured {
     fn new(profile: Profile, latency: LatencyEstimate) -> Self {
-        Measured { latency_ms: latency.total_ms(), breakdown: latency, profile }
+        Measured {
+            latency_ms: latency.total_ms(),
+            breakdown: latency,
+            profile,
+        }
     }
 
     /// The device-side latency in ms (everything except measured host
@@ -92,13 +96,16 @@ pub fn baseline(
     let run = match which {
         Baseline::PyTorch => eager::run(model, structure, device),
         Baseline::DyNet => dynet::run(model, structure, device, DynetOptions::default()),
-        Baseline::DyNetInference => {
-            dynet::run(model, structure, device, DynetOptions { inference_mode: true })
-        }
+        Baseline::DyNetInference => dynet::run(
+            model,
+            structure,
+            device,
+            DynetOptions {
+                inference_mode: true,
+            },
+        ),
         Baseline::Cavs => cavs::run(model, structure, device),
-        Baseline::GrnnLockFree => {
-            grnn::run(model, structure, &lockfree_variant(device))
-        }
+        Baseline::GrnnLockFree => grnn::run(model, structure, &lockfree_variant(device)),
         Baseline::GrnnLockBased => grnn::run(model, structure, device),
     };
     Measured::new(run.profile, run.latency)
@@ -114,7 +121,11 @@ fn lockfree_variant(device: &DeviceSpec) -> DeviceSpec {
 
 /// The three evaluation backends of Table 3.
 pub fn devices() -> [DeviceSpec; 3] {
-    [DeviceSpec::v100(), DeviceSpec::intel_cascadelake(), DeviceSpec::arm_graviton2()]
+    [
+        DeviceSpec::v100(),
+        DeviceSpec::intel_cascadelake(),
+        DeviceSpec::arm_graviton2(),
+    ]
 }
 
 /// Runs Cortex once per distinct persistence decision and prices the
@@ -199,7 +210,17 @@ mod tests {
         let c = cortex(&model, &data, &RaSchedule::default(), &gpu);
         let d = baseline(Baseline::DyNet, &model, &data, &gpu);
         let p = baseline(Baseline::PyTorch, &model, &data, &gpu);
-        assert!(p.latency_ms > d.latency_ms, "pytorch {} vs dynet {}", p.latency_ms, d.latency_ms);
-        assert!(d.latency_ms > c.latency_ms, "dynet {} vs cortex {}", d.latency_ms, c.latency_ms);
+        assert!(
+            p.latency_ms > d.latency_ms,
+            "pytorch {} vs dynet {}",
+            p.latency_ms,
+            d.latency_ms
+        );
+        assert!(
+            d.latency_ms > c.latency_ms,
+            "dynet {} vs cortex {}",
+            d.latency_ms,
+            c.latency_ms
+        );
     }
 }

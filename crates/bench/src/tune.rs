@@ -81,11 +81,7 @@ pub fn grid(model: &Model, kind: StructureKind) -> Vec<(String, RaSchedule)> {
 /// Runs the grid and returns candidates sorted by ascending latency.
 /// Unsupported combinations (rejected by lowering or the runtime) are
 /// pruned silently.
-pub fn grid_search(
-    model: &Model,
-    structure: &RecStructure,
-    device: &DeviceSpec,
-) -> Vec<Candidate> {
+pub fn grid_search(model: &Model, structure: &RecStructure, device: &DeviceSpec) -> Vec<Candidate> {
     let mut results: Vec<Candidate> = grid(model, structure.kind())
         .into_iter()
         .filter_map(|(label, schedule)| {
@@ -95,7 +91,11 @@ pub fn grid_search(
                 cortex(model, structure, &schedule, device)
             }))
             .ok()?;
-            Some(Candidate { label, schedule, measured: run })
+            Some(Candidate {
+                label,
+                schedule,
+                measured: run,
+            })
         })
         .collect();
     results.sort_by(|a, b| a.measured.latency_ms.total_cmp(&b.measured.latency_ms));
@@ -133,7 +133,12 @@ mod tests {
             worst.label
         );
         // The winner must use fusion — the paper's headline optimization.
-        assert_eq!(best.schedule.fusion, FusionMode::Maximal, "winner: {}", best.label);
+        assert_eq!(
+            best.schedule.fusion,
+            FusionMode::Maximal,
+            "winner: {}",
+            best.label
+        );
     }
 
     #[test]

@@ -68,11 +68,21 @@ pub enum BoundsError {
 impl fmt::Display for BoundsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BoundsError::RankMismatch { tensor, declared, used } => {
-                write!(f, "store to {tensor} uses {used} indices but {declared} are declared")
+            BoundsError::RankMismatch {
+                tensor,
+                declared,
+                used,
+            } => {
+                write!(
+                    f,
+                    "store to {tensor} uses {used} indices but {declared} are declared"
+                )
             }
             BoundsError::ProvenOutOfBounds { tensor, dim } => {
-                write!(f, "store to {tensor} provably exceeds extent of dimension {dim}")
+                write!(
+                    f,
+                    "store to {tensor} provably exceeds extent of dimension {dim}"
+                )
             }
         }
     }
@@ -97,7 +107,12 @@ pub struct ModelSizes {
 
 impl Default for ModelSizes {
     fn default() -> Self {
-        ModelSizes { num_nodes: 1024, num_internal: 511, max_batch: 513, num_internal_batches: 9 }
+        ModelSizes {
+            num_nodes: 1024,
+            num_internal: 511,
+            max_batch: 513,
+            num_internal_batches: 9,
+        }
     }
 }
 
@@ -117,7 +132,12 @@ pub fn check_program(
     for kernel in &program.kernels {
         let mut env = LoopEnv::new(sizes);
         if let Some(b) = kernel.batch_var {
-            env.push_var(b, 0, sizes.num_internal_batches - 1, Some(DimName::all_batches()));
+            env.push_var(
+                b,
+                0,
+                sizes.num_internal_batches - 1,
+                Some(DimName::all_batches()),
+            );
         }
         for s in &kernel.body {
             walk(program, s, &mut env, &mut report)?;
@@ -138,8 +158,7 @@ struct LoopEnv {
 
 impl LoopEnv {
     fn new(sizes: ModelSizes) -> Self {
-        let mut ctx = ProofContext::new()
-            .with_structure_facts(sizes.num_nodes, sizes.num_internal);
+        let mut ctx = ProofContext::new().with_structure_facts(sizes.num_nodes, sizes.num_internal);
         ctx.assume_rt(RtScalar::MaxBatchLen, sizes.max_batch, sizes.max_batch);
         ctx.assume_rt(
             RtScalar::NumInternalBatches,
@@ -147,7 +166,12 @@ impl LoopEnv {
             sizes.num_internal_batches,
         );
         ctx.assume_rt(RtScalar::NumRoots, 1, sizes.num_nodes);
-        LoopEnv { sizes, ctx, dims: HashMap::new(), lets: HashMap::new() }
+        LoopEnv {
+            sizes,
+            ctx,
+            dims: HashMap::new(),
+            lets: HashMap::new(),
+        }
     }
 
     fn push_var(&mut self, v: Var, lo: i64, hi: i64, dim: Option<DimName>) {
@@ -234,7 +258,13 @@ fn walk(
     report: &mut BoundsReport,
 ) -> Result<(), BoundsError> {
     match s {
-        Stmt::For { var, extent, dim, body, .. } => {
+        Stmt::For {
+            var,
+            extent,
+            dim,
+            body,
+            ..
+        } => {
             let hi = env.extent_hint(extent).unwrap_or(env.sizes.num_nodes);
             env.push_var(*var, 0, hi - 1, dim.clone());
             for st in body {
@@ -252,12 +282,20 @@ fn walk(
                 walk(program, st, env, report)?;
             }
         }
-        Stmt::If { then_branch, else_branch, .. } => {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             for st in then_branch.iter().chain(else_branch) {
                 walk(program, st, env, report)?;
             }
         }
-        Stmt::Store { tensor, index, value } => {
+        Stmt::Store {
+            tensor,
+            index,
+            value,
+        } => {
             check_store(program, *tensor, index, env, report)?;
             check_value_loads(program, value, env, report)?;
         }
@@ -285,7 +323,9 @@ fn check_value_loads(
             env.push_var(*var, 0, hi - 1, None);
             check_value_loads(program, body, env, report)
         }
-        ValExpr::Select { then, otherwise, .. } => {
+        ValExpr::Select {
+            then, otherwise, ..
+        } => {
             check_value_loads(program, then, env, report)?;
             check_value_loads(program, otherwise, env, report)
         }
@@ -324,11 +364,12 @@ fn check_store(
             DimExtent::MaxBatch => IdxExpr::Rt(RtScalar::MaxBatchLen),
         };
         let resolved = env.resolve_lets(idx);
-        match env.ctx.prove_cmp(crate::expr::CmpOp::Lt, &resolved, &extent) {
+        match env
+            .ctx
+            .prove_cmp(crate::expr::CmpOp::Lt, &resolved, &extent)
+        {
             Verdict::Proven => report.proven_in_bounds += 1,
-            Verdict::Disproven => {
-                return Err(BoundsError::ProvenOutOfBounds { tensor, dim: d })
-            }
+            Verdict::Disproven => return Err(BoundsError::ProvenOutOfBounds { tensor, dim: d }),
             Verdict::Unknown => report.undecided += 1,
         }
     }
@@ -350,12 +391,19 @@ mod tests {
         let lh = g.compute("lh", &[h], |c| c.read(ph, &[c.node().child(0), c.axis(0)]));
         let rh = g.compute("rh", &[h], |c| c.read(ph, &[c.node().child(1), c.axis(0)]));
         let rec = g.compute("rec", &[h], |c| {
-            c.read(lh, &[c.node(), c.axis(0)]).add(c.read(rh, &[c.node(), c.axis(0)])).tanh()
+            c.read(lh, &[c.node(), c.axis(0)])
+                .add(c.read(rh, &[c.node(), c.axis(0)]))
+                .tanh()
         });
         let body = g.if_then_else("body", leaf, rec).unwrap();
         let rnn = g.recursion(ph, body).unwrap();
         g.mark_output(rnn);
-        lower(&g, &RaSchedule::default(), StructureInfo { max_children: 2 }).unwrap()
+        lower(
+            &g,
+            &RaSchedule::default(),
+            StructureInfo { max_children: 2 },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -387,11 +435,13 @@ mod tests {
     fn feature_dims_relate_one_to_one() {
         let p = fig1_program();
         let report = check_program(&p, ModelSizes::default()).unwrap();
-        assert!(report
-            .relations
-            .iter()
-            .any(|r| r.dim_name == DimName::feature(0)
-                && r.loop_dims == vec![DimName::feature(0)]));
+        assert!(
+            report
+                .relations
+                .iter()
+                .any(|r| r.dim_name == DimName::feature(0)
+                    && r.loop_dims == vec![DimName::feature(0)])
+        );
     }
 
     #[test]
@@ -410,7 +460,11 @@ mod tests {
                             return true;
                         }
                     }
-                    Stmt::If { then_branch, else_branch, .. } => {
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
                         if truncate_first_store(then_branch) || truncate_first_store(else_branch) {
                             return true;
                         }

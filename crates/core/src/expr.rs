@@ -68,7 +68,10 @@ impl VarGen {
 
     /// The diagnostic name of `v`, if it was produced by this generator.
     pub fn name(&self, v: Var) -> &str {
-        self.names.get(v.id as usize).map(String::as_str).unwrap_or("?")
+        self.names
+            .get(v.id as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
     }
 }
 
@@ -212,16 +215,19 @@ impl IdxExpr {
     }
 
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: IdxExpr) -> Self {
         IdxExpr::Bin(IdxBinOp::Add, Box::new(self), Box::new(other))
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: IdxExpr) -> Self {
         IdxExpr::Bin(IdxBinOp::Sub, Box::new(self), Box::new(other))
     }
 
     /// `self * other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: IdxExpr) -> Self {
         IdxExpr::Bin(IdxBinOp::Mul, Box::new(self), Box::new(other))
     }
@@ -268,9 +274,12 @@ impl IdxExpr {
         match self {
             IdxExpr::Var(v) if *v == var => replacement.clone(),
             IdxExpr::Const(_) | IdxExpr::Var(_) | IdxExpr::Rt(_) => self.clone(),
-            IdxExpr::Ufn(f, args) => {
-                IdxExpr::Ufn(*f, args.iter().map(|a| a.substitute(var, replacement)).collect())
-            }
+            IdxExpr::Ufn(f, args) => IdxExpr::Ufn(
+                *f,
+                args.iter()
+                    .map(|a| a.substitute(var, replacement))
+                    .collect(),
+            ),
             IdxExpr::Bin(op, a, b) => IdxExpr::Bin(
                 *op,
                 Box::new(a.substitute(var, replacement)),
@@ -378,9 +387,11 @@ impl BoolExpr {
     /// Substitutes a variable in all contained index expressions.
     pub fn substitute(&self, var: Var, replacement: &IdxExpr) -> BoolExpr {
         match self {
-            BoolExpr::Cmp(op, a, b) => {
-                BoolExpr::Cmp(*op, a.substitute(var, replacement), b.substitute(var, replacement))
-            }
+            BoolExpr::Cmp(op, a, b) => BoolExpr::Cmp(
+                *op,
+                a.substitute(var, replacement),
+                b.substitute(var, replacement),
+            ),
             BoolExpr::IsLeaf(e) => BoolExpr::IsLeaf(e.substitute(var, replacement)),
             BoolExpr::And(a, b) => BoolExpr::And(
                 Box::new(a.substitute(var, replacement)),
@@ -492,16 +503,19 @@ impl ValExpr {
     }
 
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: ValExpr) -> Self {
         ValExpr::Bin(BinOp::Add, Box::new(self), Box::new(other))
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: ValExpr) -> Self {
         ValExpr::Bin(BinOp::Sub, Box::new(self), Box::new(other))
     }
 
     /// `self * other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: ValExpr) -> Self {
         ValExpr::Bin(BinOp::Mul, Box::new(self), Box::new(other))
     }
@@ -522,7 +536,10 @@ impl ValExpr {
             ValExpr::Const(_) => self.clone(),
             ValExpr::Load { tensor, index } => ValExpr::Load {
                 tensor: *tensor,
-                index: index.iter().map(|i| i.substitute(var, replacement)).collect(),
+                index: index
+                    .iter()
+                    .map(|i| i.substitute(var, replacement))
+                    .collect(),
             },
             ValExpr::Unary(op, a) => ValExpr::Unary(*op, Box::new(a.substitute(var, replacement))),
             ValExpr::Bin(op, a, b) => ValExpr::Bin(
@@ -530,7 +547,11 @@ impl ValExpr {
                 Box::new(a.substitute(var, replacement)),
                 Box::new(b.substitute(var, replacement)),
             ),
-            ValExpr::Sum { var: rv, extent, body } => {
+            ValExpr::Sum {
+                var: rv,
+                extent,
+                body,
+            } => {
                 // Reduction variables are always fresh; shadowing cannot occur.
                 debug_assert_ne!(*rv, var, "substituting a bound reduction variable");
                 ValExpr::Sum {
@@ -539,7 +560,11 @@ impl ValExpr {
                     body: Box::new(body.substitute(var, replacement)),
                 }
             }
-            ValExpr::Select { cond, then, otherwise } => ValExpr::Select {
+            ValExpr::Select {
+                cond,
+                then,
+                otherwise,
+            } => ValExpr::Select {
                 cond: cond.substitute(var, replacement),
                 then: Box::new(then.substitute(var, replacement)),
                 otherwise: Box::new(otherwise.substitute(var, replacement)),
@@ -567,15 +592,21 @@ impl ValExpr {
             ValExpr::Const(_) => self.clone(),
             ValExpr::Load { tensor, index } => f(*tensor, index.clone()),
             ValExpr::Unary(op, a) => ValExpr::Unary(*op, Box::new(a.transform_loads(f))),
-            ValExpr::Bin(op, a, b) => {
-                ValExpr::Bin(*op, Box::new(a.transform_loads(f)), Box::new(b.transform_loads(f)))
-            }
+            ValExpr::Bin(op, a, b) => ValExpr::Bin(
+                *op,
+                Box::new(a.transform_loads(f)),
+                Box::new(b.transform_loads(f)),
+            ),
             ValExpr::Sum { var, extent, body } => ValExpr::Sum {
                 var: *var,
                 extent: extent.clone(),
                 body: Box::new(body.transform_loads(f)),
             },
-            ValExpr::Select { cond, then, otherwise } => ValExpr::Select {
+            ValExpr::Select {
+                cond,
+                then,
+                otherwise,
+            } => ValExpr::Select {
                 cond: cond.clone(),
                 then: Box::new(then.transform_loads(f)),
                 otherwise: Box::new(otherwise.transform_loads(f)),
@@ -598,7 +629,9 @@ impl ValExpr {
                 b.loaded_tensors(out);
             }
             ValExpr::Sum { body, .. } => body.loaded_tensors(out),
-            ValExpr::Select { then, otherwise, .. } => {
+            ValExpr::Select {
+                then, otherwise, ..
+            } => {
                 then.loaded_tensors(out);
                 otherwise.loaded_tensors(out);
             }
@@ -614,9 +647,9 @@ impl ValExpr {
             ValExpr::Unary(_, a) => a.contains_reduction(),
             ValExpr::Bin(_, a, b) => a.contains_reduction() || b.contains_reduction(),
             ValExpr::Sum { .. } => true,
-            ValExpr::Select { then, otherwise, .. } => {
-                then.contains_reduction() || otherwise.contains_reduction()
-            }
+            ValExpr::Select {
+                then, otherwise, ..
+            } => then.contains_reduction() || otherwise.contains_reduction(),
         }
     }
 
@@ -633,9 +666,9 @@ impl ValExpr {
                 // body flops + one add per reduction step.
                 n * (body.flops(extent_of) + 1)
             }
-            ValExpr::Select { then, otherwise, .. } => {
-                1 + then.flops(extent_of).max(otherwise.flops(extent_of))
-            }
+            ValExpr::Select {
+                then, otherwise, ..
+            } => 1 + then.flops(extent_of).max(otherwise.flops(extent_of)),
         }
     }
 }
@@ -678,7 +711,11 @@ impl fmt::Display for ValExpr {
             ValExpr::Sum { var, extent, body } => {
                 write!(f, "sum({var} < {extent}) {body}")
             }
-            ValExpr::Select { cond, then, otherwise } => {
+            ValExpr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
                 write!(f, "select({cond}, {then}, {otherwise})")
             }
         }
@@ -715,7 +752,10 @@ mod tests {
         let n = g.fresh("n");
         let e = IdxExpr::var(n).child(0).add(IdxExpr::Const(1));
         let s = e.substitute(n, &IdxExpr::Const(5));
-        assert_eq!(s, IdxExpr::Ufn(Ufn::Child(0), vec![IdxExpr::Const(5)]).add(IdxExpr::Const(1)));
+        assert_eq!(
+            s,
+            IdxExpr::Ufn(Ufn::Child(0), vec![IdxExpr::Const(5)]).add(IdxExpr::Const(1))
+        );
     }
 
     #[test]
@@ -772,7 +812,9 @@ mod tests {
             body: Box::new(ValExpr::load(t, vec![IdxExpr::var(k)])),
         };
         assert!(matvec.contains_reduction());
-        assert!(!ValExpr::Const(1.0).add(ValExpr::Const(2.0)).contains_reduction());
+        assert!(!ValExpr::Const(1.0)
+            .add(ValExpr::Const(2.0))
+            .contains_reduction());
     }
 
     #[test]
@@ -785,7 +827,8 @@ mod tests {
             var: k,
             extent: IdxExpr::Const(256),
             body: Box::new(
-                ValExpr::load(w, vec![IdxExpr::var(k)]).mul(ValExpr::load(x, vec![IdxExpr::var(k)])),
+                ValExpr::load(w, vec![IdxExpr::var(k)])
+                    .mul(ValExpr::load(x, vec![IdxExpr::var(k)])),
             ),
         };
         let flops = e.flops(&|e| match e {
@@ -799,7 +842,11 @@ mod tests {
     fn display_is_readable() {
         let mut g = vg();
         let n = g.fresh("n");
-        let e = ValExpr::load(TensorId(3), vec![IdxExpr::var(n).child(0), IdxExpr::Const(2)]).tanh();
+        let e = ValExpr::load(
+            TensorId(3),
+            vec![IdxExpr::var(n).child(0), IdxExpr::Const(2)],
+        )
+        .tanh();
         assert_eq!(format!("{e}"), "tanh(t3[left[v0], 2])");
         let b = BoolExpr::IsLeaf(IdxExpr::var(n));
         assert_eq!(format!("{b}"), "isleaf(v0)");

@@ -191,7 +191,13 @@ pub enum Stmt {
 impl Stmt {
     /// Convenience constructor for a serial loop.
     pub fn loop_over(var: Var, extent: IdxExpr, body: Vec<Stmt>) -> Stmt {
-        Stmt::For { var, extent, kind: LoopKind::Serial, dim: None, body }
+        Stmt::For {
+            var,
+            extent,
+            kind: LoopKind::Serial,
+            dim: None,
+            body,
+        }
     }
 
     /// Visits every statement (pre-order), including nested ones.
@@ -201,7 +207,11 @@ impl Stmt {
             Stmt::For { body, .. } | Stmt::Let { body, .. } => {
                 body.iter().for_each(|s| s.visit(f));
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 then_branch.iter().for_each(|s| s.visit(f));
                 else_branch.iter().for_each(|s| s.visit(f));
             }
@@ -294,7 +304,9 @@ impl IlirProgram {
     ///
     /// Panics if the tensor was eliminated or never declared.
     pub fn tensor(&self, id: TensorId) -> &TensorDecl {
-        self.tensors[id.0 as usize].as_ref().expect("tensor not declared")
+        self.tensors[id.0 as usize]
+            .as_ref()
+            .expect("tensor not declared")
     }
 
     /// Looks up a declared tensor, if present.
@@ -315,7 +327,10 @@ impl IlirProgram {
     /// Total barrier statements across all kernels (static count; the
     /// dynamic count depends on runtime batch counts).
     pub fn static_barrier_count(&self) -> usize {
-        self.kernels.iter().map(|k| k.count(|s| matches!(s, Stmt::Barrier))).sum()
+        self.kernels
+            .iter()
+            .map(|k| k.count(|s| matches!(s, Stmt::Barrier)))
+            .sum()
     }
 }
 
@@ -335,13 +350,21 @@ impl fmt::Display for IlirProgram {
                 }
                 write!(f, "{d}:{n}")?;
             }
-            writeln!(f, "){}{}", if t.persist { " persist" } else { "" }, if t.is_output { " out" } else { "" })?;
+            writeln!(
+                f,
+                "){}{}",
+                if t.persist { " persist" } else { "" },
+                if t.is_output { " out" } else { "" }
+            )?;
         }
         for k in &self.kernels {
             let launch = match k.launch {
                 LaunchPattern::Once => "once".to_string(),
                 LaunchPattern::PerInternalBatch => {
-                    format!("per-batch({})", k.batch_var.map(|v| v.to_string()).unwrap_or_default())
+                    format!(
+                        "per-batch({})",
+                        k.batch_var.map(|v| v.to_string()).unwrap_or_default()
+                    )
                 }
             };
             writeln!(f, "kernel {} [{}] {{", k.name, launch)?;
@@ -357,7 +380,13 @@ impl fmt::Display for IlirProgram {
 fn fmt_stmt(f: &mut fmt::Formatter<'_>, s: &Stmt, depth: usize) -> fmt::Result {
     let pad = "  ".repeat(depth);
     match s {
-        Stmt::For { var, extent, kind, dim, body } => {
+        Stmt::For {
+            var,
+            extent,
+            kind,
+            dim,
+            body,
+        } => {
             let k = match kind {
                 LoopKind::Serial => "",
                 LoopKind::Parallel => " @parallel",
@@ -377,7 +406,11 @@ fn fmt_stmt(f: &mut fmt::Formatter<'_>, s: &Stmt, depth: usize) -> fmt::Result {
             }
             Ok(())
         }
-        Stmt::Store { tensor, index, value } => {
+        Stmt::Store {
+            tensor,
+            index,
+            value,
+        } => {
             write!(f, "{pad}{tensor}[")?;
             for (i, e) in index.iter().enumerate() {
                 if i > 0 {
@@ -387,7 +420,11 @@ fn fmt_stmt(f: &mut fmt::Formatter<'_>, s: &Stmt, depth: usize) -> fmt::Result {
             }
             writeln!(f, "] = {value}")
         }
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             writeln!(f, "{pad}if {cond}:")?;
             for st in then_branch {
                 fmt_stmt(f, st, depth + 1)?;

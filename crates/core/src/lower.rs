@@ -224,9 +224,9 @@ impl LowerCtx<'_> {
             if matches!(op.kind, RaOpKind::IfThenElse { .. }) {
                 let id = TensorId(i as u32);
                 let consumers = self.consumers_of(id);
-                let only_recursions = consumers.iter().all(|c| {
-                    matches!(self.op_kind(*c), RaOpKind::Recursion { body, .. } if *body == id)
-                });
+                let only_recursions = consumers.iter().all(
+                    |c| matches!(self.op_kind(*c), RaOpKind::Recursion { body, .. } if *body == id),
+                );
                 if !only_recursions || consumers.is_empty() {
                     return Err(LowerError::UnsupportedSchedule(
                         "if_then_else is only supported as a recursion body".to_string(),
@@ -266,8 +266,11 @@ impl LowerCtx<'_> {
                 self.moved[t.0 as usize] = true;
             }
         }
-        let crossing: Vec<TensorId> =
-            self.refactor.as_ref().map(|r| r.crossing_tensors.clone()).unwrap_or_default();
+        let crossing: Vec<TensorId> = self
+            .refactor
+            .as_ref()
+            .map(|r| r.crossing_tensors.clone())
+            .unwrap_or_default();
         // Inlining under maximal fusion: elementwise ops, plus recursion
         // branch ops whose only consumer is their conditional (these write
         // straight into the recursion storage — no separate kernel, no
@@ -402,7 +405,10 @@ impl LowerCtx<'_> {
             ValExpr::Load { tensor, index } => {
                 let index: Vec<IdxExpr> = index.clone();
                 if let Some(rec) = self.ph_to_rec.get(tensor) {
-                    return ValExpr::Load { tensor: *rec, index };
+                    return ValExpr::Load {
+                        tensor: *rec,
+                        index,
+                    };
                 }
                 let i = tensor.0 as usize;
                 if self.inlined[i] {
@@ -417,19 +423,28 @@ impl LowerCtx<'_> {
                     }
                     return out;
                 }
-                ValExpr::Load { tensor: *tensor, index }
+                ValExpr::Load {
+                    tensor: *tensor,
+                    index,
+                }
             }
             ValExpr::Const(_) => e.clone(),
             ValExpr::Unary(op, a) => ValExpr::Unary(*op, Box::new(self.resolve_expr(a))),
-            ValExpr::Bin(op, a, b) => {
-                ValExpr::Bin(*op, Box::new(self.resolve_expr(a)), Box::new(self.resolve_expr(b)))
-            }
+            ValExpr::Bin(op, a, b) => ValExpr::Bin(
+                *op,
+                Box::new(self.resolve_expr(a)),
+                Box::new(self.resolve_expr(b)),
+            ),
             ValExpr::Sum { var, extent, body } => ValExpr::Sum {
                 var: *var,
                 extent: extent.clone(),
                 body: Box::new(self.resolve_expr(body)),
             },
-            ValExpr::Select { cond, then, otherwise } => ValExpr::Select {
+            ValExpr::Select {
+                cond,
+                then,
+                otherwise,
+            } => ValExpr::Select {
                 cond: cond.clone(),
                 then: Box::new(self.resolve_expr(then)),
                 otherwise: Box::new(self.resolve_expr(otherwise)),
@@ -487,7 +502,15 @@ impl LowerCtx<'_> {
         };
         let mut index = vec![index0];
         index.extend(axes.iter().map(|a| IdxExpr::Var(*a)));
-        wrap_feature_loops(Stmt::Store { tensor: id, index, value }, &axes, &shape)
+        wrap_feature_loops(
+            Stmt::Store {
+                tensor: id,
+                index,
+                value,
+            },
+            &axes,
+            &shape,
+        )
     }
 
     /// Stores writing the `branch` value into recursion storage `rec` at
@@ -521,11 +544,22 @@ impl LowerCtx<'_> {
             };
             let mut src = vec![src0];
             src.extend(axes.iter().map(|a| IdxExpr::Var(*a)));
-            ValExpr::Load { tensor: branch, index: src }
+            ValExpr::Load {
+                tensor: branch,
+                index: src,
+            }
         };
         let mut index = vec![IdxExpr::Var(node)];
         index.extend(axes.iter().map(|a| IdxExpr::Var(*a)));
-        wrap_feature_loops(Stmt::Store { tensor: rec, index, value }, &axes, &shape)
+        wrap_feature_loops(
+            Stmt::Store {
+                tensor: rec,
+                index,
+                value,
+            },
+            &axes,
+            &shape,
+        )
     }
 
     /// Effective emission level of a materialized wave op.
@@ -547,6 +581,7 @@ impl LowerCtx<'_> {
         let n = self.graph.len();
         let mut tensors: Vec<Option<TensorDecl>> = vec![None; n];
         // Parameter and materialized-tensor declarations.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let id = TensorId(i as u32);
             let op = &self.graph.ops()[i];
@@ -555,7 +590,11 @@ impl LowerCtx<'_> {
                     tensors[i] = Some(TensorDecl {
                         id,
                         name: op.name.clone(),
-                        dims: op.feature_shape.iter().map(|&d| DimExtent::Fixed(d)).collect(),
+                        dims: op
+                            .feature_shape
+                            .iter()
+                            .map(|&d| DimExtent::Fixed(d))
+                            .collect(),
                         dim_names: (0..op.feature_shape.len()).map(DimName::feature).collect(),
                         class: StorageClass::Param,
                         persist: self.schedule.persist,
@@ -579,18 +618,28 @@ impl LowerCtx<'_> {
                 }
                 RaOpKind::Compute { .. } if self.materialized[i] => {
                     let scratch = self.scratch[i];
-                    let mut dims =
-                        vec![if scratch { DimExtent::MaxBatch } else { DimExtent::Nodes }];
+                    let mut dims = vec![if scratch {
+                        DimExtent::MaxBatch
+                    } else {
+                        DimExtent::Nodes
+                    }];
                     dims.extend(op.feature_shape.iter().map(|&d| DimExtent::Fixed(d)));
-                    let mut names =
-                        vec![if scratch { DimName::batch() } else { DimName::node() }];
+                    let mut names = vec![if scratch {
+                        DimName::batch()
+                    } else {
+                        DimName::node()
+                    }];
                     names.extend((0..op.feature_shape.len()).map(DimName::feature));
                     tensors[i] = Some(TensorDecl {
                         id,
                         name: op.name.clone(),
                         dims,
                         dim_names: names,
-                        class: if scratch { StorageClass::Scratch } else { StorageClass::Global },
+                        class: if scratch {
+                            StorageClass::Scratch
+                        } else {
+                            StorageClass::Global
+                        },
                         persist: false,
                         is_output: self.graph.outputs().contains(&id),
                     });
@@ -666,17 +715,18 @@ impl LowerCtx<'_> {
             .map(TensorId)
             .filter(|id| {
                 let i = id.0 as usize;
-                self.materialized[i]
-                    && self.depends_ph[i]
-                    && self.in_body[i]
-                    && !self.moved[i]
+                self.materialized[i] && self.depends_ph[i] && self.in_body[i] && !self.moved[i]
             })
             .collect();
         let moved_ops: Vec<TensorId> = (0..n as u32)
             .map(TensorId)
             .filter(|id| self.materialized[id.0 as usize] && self.moved[id.0 as usize])
             .collect();
-        let depth = if let Some(r) = &self.refactor { r.depth_after } else { sync_depth };
+        let depth = if let Some(r) = &self.refactor {
+            r.depth_after
+        } else {
+            sync_depth
+        };
 
         match self.schedule.fusion {
             FusionMode::Maximal => {
@@ -735,8 +785,11 @@ impl LowerCtx<'_> {
             .iter()
             .map(|t| self.ph_to_rec.get(t).copied().unwrap_or(*t))
             .collect();
-        let crossing =
-            self.refactor.as_ref().map(|r| r.crossing_tensors.clone()).unwrap_or_default();
+        let crossing = self
+            .refactor
+            .as_ref()
+            .map(|r| r.crossing_tensors.clone())
+            .unwrap_or_default();
 
         let mut program = IlirProgram {
             tensors,
@@ -762,15 +815,20 @@ impl LowerCtx<'_> {
 
     /// A `for` nest computing `id` over its guard's contiguous node range
     /// (Appendix-B numbering turns branch guards into ranges).
-    fn range_loop_for_guard(&mut self, id: TensorId, guard: Guard) -> Result<Vec<Stmt>, LowerError> {
+    fn range_loop_for_guard(
+        &mut self,
+        id: TensorId,
+        guard: Guard,
+    ) -> Result<Vec<Stmt>, LowerError> {
         let n_idx = self.fresh();
         let node = self.fresh();
         let (extent, base): (IdxExpr, IdxExpr) = match guard {
             Guard::All => (IdxExpr::Rt(RtScalar::NumNodes), IdxExpr::Const(0)),
             Guard::InternalOnly => (IdxExpr::Rt(RtScalar::NumInternal), IdxExpr::Const(0)),
-            Guard::LeafOnly => {
-                (IdxExpr::Rt(RtScalar::NumLeaves), IdxExpr::Rt(RtScalar::LeafBegin))
-            }
+            Guard::LeafOnly => (
+                IdxExpr::Rt(RtScalar::NumLeaves),
+                IdxExpr::Rt(RtScalar::LeafBegin),
+            ),
         };
         let stores = self.op_stores(id, node, None);
         Ok(vec![Stmt::For {
@@ -854,7 +912,9 @@ impl LowerCtx<'_> {
                         IdxExpr::Const(slot as i64),
                         IdxExpr::Ufn(Ufn::NumChildren, vec![IdxExpr::Var(node)]),
                     )),
-                    Box::new(BoolExpr::Not(Box::new(self.leaf_check(IdxExpr::Var(child))))),
+                    Box::new(BoolExpr::Not(Box::new(
+                        self.leaf_check(IdxExpr::Var(child)),
+                    ))),
                 );
                 per_node.push(Stmt::Let {
                     var: child,
@@ -1027,7 +1087,11 @@ impl LowerCtx<'_> {
             internal_stores = Vec::new(); // ops emitted once, with the first recursion
             per_node.push(Stmt::If {
                 cond: self.leaf_check(IdxExpr::Var(node)),
-                then_branch: if self.schedule.specialize { Vec::new() } else { leaf_stores },
+                then_branch: if self.schedule.specialize {
+                    Vec::new()
+                } else {
+                    leaf_stores
+                },
                 else_branch: internal_all,
             });
         }
@@ -1055,8 +1119,7 @@ impl LowerCtx<'_> {
             Op(TensorId),
             Rec(TensorId, TensorId, TensorId),
         }
-        let mut items: Vec<(u32, Item)> =
-            wave_ops.iter().map(|id| (id.0, Item::Op(*id))).collect();
+        let mut items: Vec<(u32, Item)> = wave_ops.iter().map(|id| (id.0, Item::Op(*id))).collect();
         for (rec, then, otherwise) in self.recursions.clone() {
             items.push((rec.0, Item::Rec(rec, then, otherwise)));
         }
@@ -1079,8 +1142,11 @@ impl LowerCtx<'_> {
         let b = self.fresh();
         let n_idx = self.fresh();
         let node = self.fresh();
-        let batch_index =
-            if specialize { IdxExpr::Var(b).add(IdxExpr::Const(1)) } else { IdxExpr::Var(b) };
+        let batch_index = if specialize {
+            IdxExpr::Var(b).add(IdxExpr::Const(1))
+        } else {
+            IdxExpr::Var(b)
+        };
         let stores = self.op_stores(id, node, None);
         let body = if specialize {
             stores
@@ -1122,8 +1188,11 @@ impl LowerCtx<'_> {
         let b = self.fresh();
         let n_idx = self.fresh();
         let node = self.fresh();
-        let batch_index =
-            if specialize { IdxExpr::Var(b).add(IdxExpr::Const(1)) } else { IdxExpr::Var(b) };
+        let batch_index = if specialize {
+            IdxExpr::Var(b).add(IdxExpr::Const(1))
+        } else {
+            IdxExpr::Var(b)
+        };
         let internal_stores = self.rec_stores(rec, otherwise, node, None);
         let body = if specialize {
             internal_stores
@@ -1196,7 +1265,11 @@ fn wrap_feature_loops(store: Stmt, axes: &[Var], shape: &[usize]) -> Vec<Stmt> {
         stmt = Stmt::For {
             var: *ax,
             extent: IdxExpr::Const(shape[d] as i64),
-            kind: if d == axes.len() - 1 { LoopKind::Vectorized } else { LoopKind::Serial },
+            kind: if d == axes.len() - 1 {
+                LoopKind::Vectorized
+            } else {
+                LoopKind::Serial
+            },
             dim: Some(DimName::feature(d)),
             body: vec![stmt],
         };
@@ -1221,7 +1294,9 @@ fn check_loads(e: &ValExpr, target: TensorId, ok: &mut bool, consumed: &mut bool
             check_loads(b, target, ok, consumed);
         }
         ValExpr::Sum { body, .. } => check_loads(body, target, ok, consumed),
-        ValExpr::Select { then, otherwise, .. } => {
+        ValExpr::Select {
+            then, otherwise, ..
+        } => {
             check_loads(then, target, ok, consumed);
             check_loads(otherwise, target, ok, consumed);
         }
@@ -1266,7 +1341,11 @@ fn collect_idx_vars(e: &ValExpr, f: &mut impl FnMut(Var)) {
             idx(extent, f);
             collect_idx_vars(body, f);
         }
-        ValExpr::Select { cond: c, then, otherwise } => {
+        ValExpr::Select {
+            cond: c,
+            then,
+            otherwise,
+        } => {
             cond(c, f);
             collect_idx_vars(then, f);
             collect_idx_vars(otherwise, f);
@@ -1287,7 +1366,9 @@ mod tests {
         let lh = g.compute("lh", &[h], |c| c.read(ph, &[c.node().child(0), c.axis(0)]));
         let rh = g.compute("rh", &[h], |c| c.read(ph, &[c.node().child(1), c.axis(0)]));
         let rec = g.compute("rec", &[h], |c| {
-            c.read(lh, &[c.node(), c.axis(0)]).add(c.read(rh, &[c.node(), c.axis(0)])).tanh()
+            c.read(lh, &[c.node(), c.axis(0)])
+                .add(c.read(rh, &[c.node(), c.axis(0)]))
+                .tanh()
         });
         let body = g.if_then_else("body", leaf, rec).unwrap();
         let rnn = g.recursion(ph, body).unwrap();
@@ -1316,8 +1397,7 @@ mod tests {
         let p = lower(&g, &RaSchedule::default(), info()).unwrap();
         // lh and rh disappear: only the recursion storage remains declared
         // (plus the parameter).
-        let declared: Vec<&str> =
-            p.declared_tensors().map(|t| t.name.as_str()).collect();
+        let declared: Vec<&str> = p.declared_tensors().map(|t| t.name.as_str()).collect();
         assert!(declared.contains(&"Emb"));
         assert!(declared.iter().any(|n| n.starts_with("rec(")));
         assert!(!declared.contains(&"lh"));
@@ -1332,8 +1412,11 @@ mod tests {
         let p = lower(&g, &s, info()).unwrap();
         // lh, rh, rec each get a per-batch kernel plus the recursion copy
         // kernel and the leaf kernel.
-        let per_batch =
-            p.kernels.iter().filter(|k| k.launch == LaunchPattern::PerInternalBatch).count();
+        let per_batch = p
+            .kernels
+            .iter()
+            .filter(|k| k.launch == LaunchPattern::PerInternalBatch)
+            .count();
         assert!(per_batch >= 3, "{}", p);
         assert!(p.declared_tensors().any(|t| t.name == "lh"));
     }
@@ -1344,17 +1427,28 @@ mod tests {
         let p = lower(&g, &RaSchedule::default(), info()).unwrap();
         assert!(p.kernels.iter().any(|k| k.name == "leaf"));
         // Specialized: no leaf conditional inside the fused kernel.
-        let fused = p.kernels.iter().find(|k| k.name == "recursion_fused").unwrap();
+        let fused = p
+            .kernels
+            .iter()
+            .find(|k| k.name == "recursion_fused")
+            .unwrap();
         assert_eq!(fused.count(|s| matches!(s, Stmt::If { .. })), 0, "{}", p);
     }
 
     #[test]
     fn without_specialization_conditional_operator_appears() {
         let g = fig1_graph(8);
-        let s = RaSchedule { specialize: false, ..RaSchedule::default() };
+        let s = RaSchedule {
+            specialize: false,
+            ..RaSchedule::default()
+        };
         let p = lower(&g, &s, info()).unwrap();
         assert!(!p.kernels.iter().any(|k| k.name == "leaf"));
-        let fused = p.kernels.iter().find(|k| k.name == "recursion_fused").unwrap();
+        let fused = p
+            .kernels
+            .iter()
+            .find(|k| k.name == "recursion_fused")
+            .unwrap();
         assert!(fused.count(|s| matches!(s, Stmt::If { .. })) > 0, "{}", p);
     }
 
@@ -1388,7 +1482,8 @@ mod tests {
             let i = c.axis(0);
             let node = c.node();
             c.sum(h, |c, k| {
-                c.read(w, &[i.clone(), k.clone()]).mul(c.read(emb, &[node.clone().word(), k]))
+                c.read(w, &[i.clone(), k.clone()])
+                    .mul(c.read(emb, &[node.clone().word(), k]))
             })
         });
         let leaf = g.compute("leaf", &[h], |c| c.read(x, &[c.node(), c.axis(0)]));
@@ -1417,7 +1512,10 @@ mod tests {
         let default = lower(&g, &RaSchedule::default(), info()).unwrap();
         let conservative = lower(
             &g,
-            &RaSchedule { barrier: BarrierMode::Conservative, ..RaSchedule::default() },
+            &RaSchedule {
+                barrier: BarrierMode::Conservative,
+                ..RaSchedule::default()
+            },
             info(),
         )
         .unwrap();
@@ -1448,21 +1546,38 @@ mod tests {
         let g = fig1_graph(8);
         // Split at the recursive-case op (id 5: emb=0, ph=1, leaf=2, lh=3,
         // rh=4, rec=5).
-        let s = RaSchedule { refactor_split: Some(TensorId(5)), ..RaSchedule::default() };
+        let s = RaSchedule {
+            refactor_split: Some(TensorId(5)),
+            ..RaSchedule::default()
+        };
         let p = lower(&g, &s, info()).unwrap();
-        assert!(p.kernels.iter().any(|k| k.name == "refactor_epilogue"), "{p}");
+        assert!(
+            p.kernels.iter().any(|k| k.name == "refactor_epilogue"),
+            "{p}"
+        );
     }
 
     #[test]
     fn unbatched_lowering_iterates_post_order() {
         let g = fig1_graph(8);
-        let s = RaSchedule { dynamic_batch: false, ..RaSchedule::default() };
+        let s = RaSchedule {
+            dynamic_batch: false,
+            ..RaSchedule::default()
+        };
         let p = lower(&g, &s, info()).unwrap();
-        let fused = p.kernels.iter().find(|k| k.name == "recursion_fused").unwrap();
+        let fused = p
+            .kernels
+            .iter()
+            .find(|k| k.name == "recursion_fused")
+            .unwrap();
         let mut found_node_at = false;
         for st in &fused.body {
             st.visit(&mut |s| {
-                if let Stmt::Let { value: IdxExpr::Ufn(Ufn::NodeAt, _), .. } = s {
+                if let Stmt::Let {
+                    value: IdxExpr::Ufn(Ufn::NodeAt, _),
+                    ..
+                } = s
+                {
                     found_node_at = true;
                 }
             });

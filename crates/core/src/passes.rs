@@ -62,7 +62,13 @@ fn is_variable_extent(e: &IdxExpr) -> bool {
 
 fn peel_stmt(s: Stmt, factor: usize, next_var: &mut u32, report: &mut PeelReport) -> Vec<Stmt> {
     match s {
-        Stmt::For { var, extent, kind, dim, body } => {
+        Stmt::For {
+            var,
+            extent,
+            kind,
+            dim,
+            body,
+        } => {
             let body: Vec<Stmt> = body
                 .into_iter()
                 .flat_map(|st| peel_stmt(st, factor, next_var, report))
@@ -71,7 +77,13 @@ fn peel_stmt(s: Stmt, factor: usize, next_var: &mut u32, report: &mut PeelReport
                 && dim == Some(DimName::batch())
                 && is_variable_extent(&extent);
             if !peelable {
-                return vec![Stmt::For { var, extent, kind, dim, body }];
+                return vec![Stmt::For {
+                    var,
+                    extent,
+                    kind,
+                    dim,
+                    body,
+                }];
             }
             report.loops_peeled += 1;
             let f = factor as i64;
@@ -133,9 +145,16 @@ fn peel_stmt(s: Stmt, factor: usize, next_var: &mut u32, report: &mut PeelReport
         Stmt::Let { var, value, body } => vec![Stmt::Let {
             var,
             value,
-            body: body.into_iter().flat_map(|st| peel_stmt(st, factor, next_var, report)).collect(),
+            body: body
+                .into_iter()
+                .flat_map(|st| peel_stmt(st, factor, next_var, report))
+                .collect(),
         }],
-        Stmt::If { cond, then_branch, else_branch } => vec![Stmt::If {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => vec![Stmt::If {
             cond,
             then_branch: then_branch
                 .into_iter()
@@ -163,7 +182,13 @@ pub fn make_barriers_conservative(program: &mut IlirProgram) {
 
 fn conservative_stmt(s: Stmt) -> Stmt {
     match s {
-        Stmt::For { var, extent, kind, dim, body } => {
+        Stmt::For {
+            var,
+            extent,
+            kind,
+            dim,
+            body,
+        } => {
             let is_all_batches = dim == Some(DimName::all_batches());
             let is_node_loop = dim == Some(DimName::batch());
             let mut body: Vec<Stmt> = body
@@ -174,14 +199,24 @@ fn conservative_stmt(s: Stmt) -> Stmt {
             if is_node_loop {
                 body.insert(0, Stmt::Barrier);
             }
-            Stmt::For { var, extent, kind, dim, body }
+            Stmt::For {
+                var,
+                extent,
+                kind,
+                dim,
+                body,
+            }
         }
         Stmt::Let { var, value, body } => Stmt::Let {
             var,
             value,
             body: body.into_iter().map(conservative_stmt).collect(),
         },
-        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
             cond,
             then_branch: then_branch.into_iter().map(conservative_stmt).collect(),
             else_branch: else_branch.into_iter().map(conservative_stmt).collect(),
@@ -194,9 +229,7 @@ fn conservative_stmt(s: Stmt) -> Stmt {
 mod tests {
     use super::*;
     use crate::expr::{RtScalar, TensorId, ValExpr};
-    use crate::ilir::{
-        DimExtent, Kernel, LaunchPattern, ProgramMeta, StorageClass, TensorDecl,
-    };
+    use crate::ilir::{DimExtent, Kernel, LaunchPattern, ProgramMeta, StorageClass, TensorDecl};
     use crate::ra::RaSchedule;
 
     fn batch_loop_program() -> (IlirProgram, u32) {
@@ -254,7 +287,10 @@ mod tests {
             },
             vg: crate::expr::VarGen::new(),
         };
-        (program, { next += 1; next })
+        (program, {
+            next += 1;
+            next
+        })
     }
 
     #[test]
@@ -296,10 +332,12 @@ mod tests {
         let mut node_loop_has_barrier = false;
         for s in &k.body {
             s.visit(&mut |st| {
-                if let Stmt::For { dim: Some(d), body, .. } = st {
+                if let Stmt::For {
+                    dim: Some(d), body, ..
+                } = st
+                {
                     if *d == DimName::batch() {
-                        node_loop_has_barrier =
-                            matches!(body.first(), Some(Stmt::Barrier));
+                        node_loop_has_barrier = matches!(body.first(), Some(Stmt::Barrier));
                     }
                 }
             });

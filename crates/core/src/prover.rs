@@ -27,7 +27,10 @@ pub struct Interval {
 impl Interval {
     /// The unbounded interval.
     pub fn top() -> Self {
-        Interval { lo: i64::MIN / 4, hi: i64::MAX / 4 }
+        Interval {
+            lo: i64::MIN / 4,
+            hi: i64::MAX / 4,
+        }
     }
 
     /// A single point.
@@ -46,11 +49,17 @@ impl Interval {
     }
 
     fn add(self, o: Interval) -> Interval {
-        Interval { lo: self.lo.saturating_add(o.lo), hi: self.hi.saturating_add(o.hi) }
+        Interval {
+            lo: self.lo.saturating_add(o.lo),
+            hi: self.hi.saturating_add(o.hi),
+        }
     }
 
     fn sub(self, o: Interval) -> Interval {
-        Interval { lo: self.lo.saturating_sub(o.hi), hi: self.hi.saturating_sub(o.lo) }
+        Interval {
+            lo: self.lo.saturating_sub(o.hi),
+            hi: self.hi.saturating_sub(o.lo),
+        }
     }
 
     fn mul(self, o: Interval) -> Interval {
@@ -67,11 +76,17 @@ impl Interval {
     }
 
     fn min(self, o: Interval) -> Interval {
-        Interval { lo: self.lo.min(o.lo), hi: self.hi.min(o.hi) }
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.min(o.hi),
+        }
     }
 
     fn max(self, o: Interval) -> Interval {
-        Interval { lo: self.lo.max(o.lo), hi: self.hi.max(o.hi) }
+        Interval {
+            lo: self.lo.max(o.lo),
+            hi: self.hi.max(o.hi),
+        }
     }
 }
 
@@ -119,12 +134,22 @@ impl ProofContext {
     /// Installs the standard facts implied by a linearized structure with
     /// `num_nodes` total and `num_internal` internal nodes.
     pub fn with_structure_facts(mut self, num_nodes: i64, num_internal: i64) -> Self {
-        self.rt.insert(RtScalar::NumNodes, Interval::point(num_nodes));
-        self.rt.insert(RtScalar::NumInternal, Interval::point(num_internal));
-        self.rt.insert(RtScalar::NumLeaves, Interval::point(num_nodes - num_internal));
-        self.rt.insert(RtScalar::LeafBegin, Interval::point(num_internal));
-        self.rt.insert(RtScalar::MaxBatchLen, Interval::new(0, num_nodes.max(0)));
-        self.rt.insert(RtScalar::NumInternalBatches, Interval::new(0, num_internal.max(0)));
+        self.rt
+            .insert(RtScalar::NumNodes, Interval::point(num_nodes));
+        self.rt
+            .insert(RtScalar::NumInternal, Interval::point(num_internal));
+        self.rt.insert(
+            RtScalar::NumLeaves,
+            Interval::point(num_nodes - num_internal),
+        );
+        self.rt
+            .insert(RtScalar::LeafBegin, Interval::point(num_internal));
+        self.rt
+            .insert(RtScalar::MaxBatchLen, Interval::new(0, num_nodes.max(0)));
+        self.rt.insert(
+            RtScalar::NumInternalBatches,
+            Interval::new(0, num_internal.max(0)),
+        );
         self
     }
 
@@ -136,17 +161,31 @@ impl ProofContext {
             IdxExpr::Rt(r) => self.rt.get(r).copied().unwrap_or_else(Interval::top),
             IdxExpr::Ufn(f, _args) => {
                 // Ranges implied by the linearizer's construction.
-                let nodes = self.rt.get(&RtScalar::NumNodes).copied().unwrap_or_else(Interval::top);
+                let nodes = self
+                    .rt
+                    .get(&RtScalar::NumNodes)
+                    .copied()
+                    .unwrap_or_else(Interval::top);
                 match f {
                     // Child ids are node ids (Appendix B: strictly greater
                     // than the parent's, but at minimum valid node ids).
-                    Ufn::Child(_) | Ufn::NodeAt | Ufn::RootAt | Ufn::StageNodeAt => {
-                        Interval { lo: 0, hi: (nodes.hi - 1).max(0) }
-                    }
-                    Ufn::Word => Interval { lo: 0, hi: i64::MAX / 4 },
+                    Ufn::Child(_) | Ufn::NodeAt | Ufn::RootAt | Ufn::StageNodeAt => Interval {
+                        lo: 0,
+                        hi: (nodes.hi - 1).max(0),
+                    },
+                    Ufn::Word => Interval {
+                        lo: 0,
+                        hi: i64::MAX / 4,
+                    },
                     Ufn::NumChildren => Interval { lo: 0, hi: 64 },
-                    Ufn::BatchBegin => Interval { lo: 0, hi: nodes.hi.max(0) },
-                    Ufn::BatchLength | Ufn::StageLength => Interval { lo: 0, hi: nodes.hi.max(0) },
+                    Ufn::BatchBegin => Interval {
+                        lo: 0,
+                        hi: nodes.hi.max(0),
+                    },
+                    Ufn::BatchLength | Ufn::StageLength => Interval {
+                        lo: 0,
+                        hi: nodes.hi.max(0),
+                    },
                 }
             }
             IdxExpr::Bin(op, a, b) => {
@@ -158,14 +197,20 @@ impl ProofContext {
                     IdxBinOp::Mul => ia.mul(ib),
                     IdxBinOp::Div => {
                         if ib.lo > 0 {
-                            Interval { lo: ia.lo.div_euclid(ib.lo.max(1)), hi: ia.hi.div_euclid(1) }
+                            Interval {
+                                lo: ia.lo.div_euclid(ib.lo.max(1)),
+                                hi: ia.hi.div_euclid(1),
+                            }
                         } else {
                             Interval::top()
                         }
                     }
                     IdxBinOp::Rem => {
                         if ib.lo > 0 {
-                            Interval { lo: 0, hi: ib.hi - 1 }
+                            Interval {
+                                lo: 0,
+                                hi: ib.hi - 1,
+                            }
                         } else {
                             Interval::top()
                         }
@@ -342,7 +387,10 @@ mod tests {
             ctx.prove_cmp(CmpOp::Lt, &c, &IdxExpr::Rt(RtScalar::NumNodes)),
             Verdict::Proven
         );
-        assert_eq!(ctx.prove_cmp(CmpOp::Ge, &c, &IdxExpr::Const(0)), Verdict::Proven);
+        assert_eq!(
+            ctx.prove_cmp(CmpOp::Ge, &c, &IdxExpr::Const(0)),
+            Verdict::Proven
+        );
     }
 
     #[test]
@@ -365,7 +413,10 @@ mod tests {
         let mut g = VarGen::new();
         let n = g.fresh("n");
         let ctx = ProofContext::new();
-        assert_eq!(ctx.prove(&BoolExpr::IsLeaf(IdxExpr::var(n))), Verdict::Unknown);
+        assert_eq!(
+            ctx.prove(&BoolExpr::IsLeaf(IdxExpr::var(n))),
+            Verdict::Unknown
+        );
     }
 
     #[test]
@@ -373,8 +424,17 @@ mod tests {
         let ctx = ProofContext::new();
         let t = BoolExpr::lt(IdxExpr::Const(0), IdxExpr::Const(1));
         let f = BoolExpr::lt(IdxExpr::Const(1), IdxExpr::Const(0));
-        assert_eq!(ctx.prove(&BoolExpr::And(Box::new(t.clone()), Box::new(f.clone()))), Verdict::Disproven);
-        assert_eq!(ctx.prove(&BoolExpr::Or(Box::new(t.clone()), Box::new(f.clone()))), Verdict::Proven);
-        assert_eq!(ctx.prove(&BoolExpr::And(Box::new(t.clone()), Box::new(t))), Verdict::Proven);
+        assert_eq!(
+            ctx.prove(&BoolExpr::And(Box::new(t.clone()), Box::new(f.clone()))),
+            Verdict::Disproven
+        );
+        assert_eq!(
+            ctx.prove(&BoolExpr::Or(Box::new(t.clone()), Box::new(f.clone()))),
+            Verdict::Proven
+        );
+        assert_eq!(
+            ctx.prove(&BoolExpr::And(Box::new(t.clone()), Box::new(t))),
+            Verdict::Proven
+        );
     }
 }

@@ -144,16 +144,28 @@ impl fmt::Display for RaError {
         match self {
             RaError::UnknownTensor(t) => write!(f, "unknown tensor {t}"),
             RaError::BranchShapeMismatch { then, otherwise } => {
-                write!(f, "if_then_else branches {then} and {otherwise} have different shapes")
+                write!(
+                    f,
+                    "if_then_else branches {then} and {otherwise} have different shapes"
+                )
             }
             RaError::RecursionShapeMismatch { placeholder, body } => {
-                write!(f, "recursion body {body} does not match placeholder {placeholder} shape")
+                write!(
+                    f,
+                    "recursion body {body} does not match placeholder {placeholder} shape"
+                )
             }
             RaError::NotAPlaceholder(t) => write!(f, "{t} is not a placeholder"),
-            RaError::UnboundPlaceholder(t) => write!(f, "placeholder {t} is never tied by a recursion"),
-            RaError::DoublyBoundPlaceholder(t) => write!(f, "placeholder {t} tied by two recursions"),
+            RaError::UnboundPlaceholder(t) => {
+                write!(f, "placeholder {t} is never tied by a recursion")
+            }
+            RaError::DoublyBoundPlaceholder(t) => {
+                write!(f, "placeholder {t} tied by two recursions")
+            }
             RaError::NoOutputs => write!(f, "graph has no outputs marked"),
-            RaError::BadRefactorSplit(t) => write!(f, "refactor split {t} is not a recursion-body op"),
+            RaError::BadRefactorSplit(t) => {
+                write!(f, "refactor split {t} is not a recursion-body op")
+            }
         }
     }
 }
@@ -207,7 +219,10 @@ impl BodyCtx<'_> {
             expect,
             index.len()
         );
-        ValExpr::Load { tensor: t.id, index: index.to_vec() }
+        ValExpr::Load {
+            tensor: t.id,
+            index: index.to_vec(),
+        }
     }
 
     /// Builds a reduction `sum over k in 0..extent of f(ctx, k)`.
@@ -217,7 +232,11 @@ impl BodyCtx<'_> {
     pub fn sum(&mut self, extent: usize, f: impl FnOnce(&Self, IdxExpr) -> ValExpr) -> ValExpr {
         let k = self.vg.fresh("k");
         let body = f(self, IdxExpr::Var(k));
-        ValExpr::Sum { var: k, extent: IdxExpr::Const(extent as i64), body: Box::new(body) }
+        ValExpr::Sum {
+            var: k,
+            extent: IdxExpr::Const(extent as i64),
+            body: Box::new(body),
+        }
     }
 
     /// The leaf predicate on the current node.
@@ -249,7 +268,11 @@ impl RaGraph {
     /// Declares a model parameter/input with a fully static shape
     /// (`input_tensor` in Listing 1).
     pub fn input(&mut self, name: &str, shape: &[usize]) -> RaTensor {
-        self.push(RaOp { name: name.to_string(), kind: RaOpKind::Input, feature_shape: shape.to_vec() })
+        self.push(RaOp {
+            name: name.to_string(),
+            kind: RaOpKind::Input,
+            feature_shape: shape.to_vec(),
+        })
     }
 
     /// Declares a placeholder for recursive-call results with the given
@@ -272,16 +295,25 @@ impl RaGraph {
         f: impl FnOnce(&mut BodyCtx) -> ValExpr,
     ) -> RaTensor {
         let node_var = self.vg.fresh(&format!("{name}.n"));
-        let axes: Vec<Var> =
-            (0..feature_shape.len()).map(|d| self.vg.fresh(&format!("{name}.i{d}"))).collect();
+        let axes: Vec<Var> = (0..feature_shape.len())
+            .map(|d| self.vg.fresh(&format!("{name}.i{d}")))
+            .collect();
         let body = {
-            let mut ctx =
-                BodyCtx { node_var, axes: axes.clone(), vg: &mut self.vg, ops: &self.ops };
+            let mut ctx = BodyCtx {
+                node_var,
+                axes: axes.clone(),
+                vg: &mut self.vg,
+                ops: &self.ops,
+            };
             f(&mut ctx)
         };
         self.push(RaOp {
             name: name.to_string(),
-            kind: RaOpKind::Compute { node_var, axes, body },
+            kind: RaOpKind::Compute {
+                node_var,
+                axes,
+                body,
+            },
             feature_shape: feature_shape.to_vec(),
         })
     }
@@ -303,11 +335,17 @@ impl RaGraph {
         let ts = self.op(then.id)?.feature_shape.clone();
         let os = self.op(otherwise.id)?.feature_shape.clone();
         if ts != os {
-            return Err(RaError::BranchShapeMismatch { then: then.id, otherwise: otherwise.id });
+            return Err(RaError::BranchShapeMismatch {
+                then: then.id,
+                otherwise: otherwise.id,
+            });
         }
         Ok(self.push(RaOp {
             name: name.to_string(),
-            kind: RaOpKind::IfThenElse { then: then.id, otherwise: otherwise.id },
+            kind: RaOpKind::IfThenElse {
+                then: then.id,
+                otherwise: otherwise.id,
+            },
             feature_shape: ts,
         }))
     }
@@ -319,7 +357,11 @@ impl RaGraph {
     ///
     /// Returns [`RaError::NotAPlaceholder`] or
     /// [`RaError::RecursionShapeMismatch`] on misuse.
-    pub fn recursion(&mut self, placeholder: RaTensor, body: RaTensor) -> Result<RaTensor, RaError> {
+    pub fn recursion(
+        &mut self,
+        placeholder: RaTensor,
+        body: RaTensor,
+    ) -> Result<RaTensor, RaError> {
         let ph = self.op(placeholder.id)?;
         if !matches!(ph.kind, RaOpKind::Placeholder) {
             return Err(RaError::NotAPlaceholder(placeholder.id));
@@ -335,7 +377,10 @@ impl RaGraph {
         let name = format!("rec({})", self.ops[placeholder.id.0 as usize].name);
         Ok(self.push(RaOp {
             name,
-            kind: RaOpKind::Recursion { placeholder: placeholder.id, body: body.id },
+            kind: RaOpKind::Recursion {
+                placeholder: placeholder.id,
+                body: body.id,
+            },
             feature_shape: ph_shape,
         }))
     }
@@ -364,7 +409,9 @@ impl RaGraph {
     ///
     /// Returns [`RaError::UnknownTensor`] if out of range.
     pub fn op(&self, id: TensorId) -> Result<&RaOp, RaError> {
-        self.ops.get(id.0 as usize).ok_or(RaError::UnknownTensor(id))
+        self.ops
+            .get(id.0 as usize)
+            .ok_or(RaError::UnknownTensor(id))
     }
 
     /// Number of operators.
@@ -407,12 +454,15 @@ impl RaGraph {
 
     /// The recursion op tying `placeholder`, if any.
     pub fn recursion_for(&self, placeholder: TensorId) -> Option<TensorId> {
-        self.ops.iter().enumerate().find_map(|(i, op)| match op.kind {
-            RaOpKind::Recursion { placeholder: ph, .. } if ph == placeholder => {
-                Some(TensorId(i as u32))
-            }
-            _ => None,
-        })
+        self.ops
+            .iter()
+            .enumerate()
+            .find_map(|(i, op)| match op.kind {
+                RaOpKind::Recursion {
+                    placeholder: ph, ..
+                } if ph == placeholder => Some(TensorId(i as u32)),
+                _ => None,
+            })
     }
 
     /// Tensors read by op `id` (direct dependencies).
@@ -589,7 +639,11 @@ pub fn analyze(graph: &RaGraph) -> GraphAnalysis {
         .max()
         .unwrap_or(0)
         .max(1);
-    GraphAnalysis { level, in_recursion_body: in_body, sync_depth }
+    GraphAnalysis {
+        level,
+        in_recursion_body: in_body,
+        sync_depth,
+    }
 }
 
 fn compute_level(e: &ValExpr, level: &[u32], inside_reduction: bool) -> u32 {
@@ -612,10 +666,13 @@ fn compute_level(e: &ValExpr, level: &[u32], inside_reduction: bool) -> u32 {
             compute_level(a, level, inside_reduction).max(compute_level(b, level, inside_reduction))
         }
         ValExpr::Sum { body, .. } => compute_level(body, level, true).max(1),
-        ValExpr::Select { then, otherwise, .. } => {
-            compute_level(then, level, inside_reduction)
-                .max(compute_level(otherwise, level, inside_reduction))
-        }
+        ValExpr::Select {
+            then, otherwise, ..
+        } => compute_level(then, level, inside_reduction).max(compute_level(
+            otherwise,
+            level,
+            inside_reduction,
+        )),
     }
 }
 
@@ -727,7 +784,9 @@ pub fn analyze_refactor(graph: &RaGraph, split: TensorId) -> Result<RefactorAnal
                 && (0..n).any(|j| {
                     moved[j]
                         && matches!(graph.ops()[j].kind, RaOpKind::Compute { .. })
-                        && graph.reads_of(TensorId(j as u32)).contains(&TensorId(i as u32))
+                        && graph
+                            .reads_of(TensorId(j as u32))
+                            .contains(&TensorId(i as u32))
                 })
         })
         .map(|i| TensorId(i as u32))
@@ -735,7 +794,10 @@ pub fn analyze_refactor(graph: &RaGraph, split: TensorId) -> Result<RefactorAnal
     Ok(RefactorAnalysis {
         depth_before: base.sync_depth,
         depth_after,
-        moved: (0..n).filter(|&i| moved[i]).map(|i| TensorId(i as u32)).collect(),
+        moved: (0..n)
+            .filter(|&i| moved[i])
+            .map(|i| TensorId(i as u32))
+            .collect(),
         crossing_tensors: crossing,
     })
 }
@@ -753,7 +815,9 @@ mod tests {
         let lh = g.compute("lh", &[h], |c| c.read(ph, &[c.node().child(0), c.axis(0)]));
         let rh = g.compute("rh", &[h], |c| c.read(ph, &[c.node().child(1), c.axis(0)]));
         let rec = g.compute("rec", &[h], |c| {
-            c.read(lh, &[c.node(), c.axis(0)]).add(c.read(rh, &[c.node(), c.axis(0)])).tanh()
+            c.read(lh, &[c.node(), c.axis(0)])
+                .add(c.read(rh, &[c.node(), c.axis(0)]))
+                .tanh()
         });
         let body = g.if_then_else("body", leaf, rec).unwrap();
         let rnn = g.recursion(ph, body).unwrap();
@@ -775,7 +839,8 @@ mod tests {
             let i = c.axis(0);
             let node = c.node();
             let red = c.sum(h, |c, k| {
-                c.read(u, &[i.clone(), k.clone()]).mul(c.read(hsum, &[node.clone(), k]))
+                c.read(u, &[i.clone(), k.clone()])
+                    .mul(c.read(hsum, &[node.clone(), k]))
             });
             red.sigmoid()
         });
@@ -828,7 +893,10 @@ mod tests {
         let mut g = RaGraph::new();
         let a = g.compute("a", &[4], |_| ValExpr::Const(1.0));
         let b = g.compute("b", &[4], |_| ValExpr::Const(2.0));
-        assert_eq!(g.recursion(a, b).unwrap_err(), RaError::NotAPlaceholder(a.id()));
+        assert_eq!(
+            g.recursion(a, b).unwrap_err(),
+            RaError::NotAPlaceholder(a.id())
+        );
     }
 
     #[test]
@@ -846,14 +914,20 @@ mod tests {
     fn elementwise_model_has_sync_depth_one() {
         let (g, _) = tree_rnn(8);
         let a = analyze(&g);
-        assert_eq!(a.sync_depth, 1, "tanh(lh+rh) needs only the wave-entry barrier");
+        assert_eq!(
+            a.sync_depth, 1,
+            "tanh(lh+rh) needs only the wave-entry barrier"
+        );
     }
 
     #[test]
     fn chained_matvecs_have_sync_depth_two() {
         let g = chained_matvec(8);
         let a = analyze(&g);
-        assert_eq!(a.sync_depth, 2, "reduction over a same-wave tensor adds a barrier");
+        assert_eq!(
+            a.sync_depth, 2,
+            "reduction over a same-wave tensor adds a barrier"
+        );
     }
 
     #[test]
@@ -865,7 +939,8 @@ mod tests {
             let i = c.axis(0);
             let node = c.node();
             let red = c.sum(8, |c, k| {
-                c.read(w, &[i.clone(), k.clone()]).mul(c.read(ph, &[node.clone().child(0), k]))
+                c.read(w, &[i.clone(), k.clone()])
+                    .mul(c.read(ph, &[node.clone().child(0), k]))
             });
             red.tanh()
         });
@@ -885,14 +960,20 @@ mod tests {
         let info = analyze_refactor(&g, hp).unwrap();
         assert_eq!(info.depth_before, 2);
         assert_eq!(info.depth_after, 1, "moved reduction reads prior-wave data");
-        assert!(!info.crossing_tensors.is_empty(), "r and hsum must cross the boundary");
+        assert!(
+            !info.crossing_tensors.is_empty(),
+            "r and hsum must cross the boundary"
+        );
     }
 
     #[test]
     fn refactor_split_must_be_in_body() {
         let (g, _) = tree_rnn(4);
         let bad = TensorId(0); // the embedding input
-        assert!(matches!(analyze_refactor(&g, bad), Err(RaError::BadRefactorSplit(_))));
+        assert!(matches!(
+            analyze_refactor(&g, bad),
+            Err(RaError::BadRefactorSplit(_))
+        ));
     }
 
     #[test]

@@ -115,7 +115,11 @@ pub fn simplify_bool(e: &BoolExpr) -> BoolExpr {
 
 /// Canonical constant-true/false encodings (`0 == 0` / `0 == 1`).
 pub fn constant_bool(v: bool) -> BoolExpr {
-    BoolExpr::Cmp(CmpOp::Eq, IdxExpr::Const(0), IdxExpr::Const(if v { 0 } else { 1 }))
+    BoolExpr::Cmp(
+        CmpOp::Eq,
+        IdxExpr::Const(0),
+        IdxExpr::Const(if v { 0 } else { 1 }),
+    )
 }
 
 /// Recognizes the canonical constant encodings (and any decided constant
@@ -199,9 +203,17 @@ pub fn simplify_val(e: &ValExpr) -> ValExpr {
             if let IdxExpr::Const(0) = extent {
                 return ValExpr::Const(0.0);
             }
-            ValExpr::Sum { var: *var, extent, body: Box::new(body) }
+            ValExpr::Sum {
+                var: *var,
+                extent,
+                body: Box::new(body),
+            }
         }
-        ValExpr::Select { cond, then, otherwise } => {
+        ValExpr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
             let cond = simplify_bool(cond);
             let then = simplify_val(then);
             let otherwise = simplify_val(otherwise);
@@ -243,24 +255,45 @@ mod tests {
 
     #[test]
     fn folds_idx_arithmetic() {
-        let e = IdxExpr::Const(3).add(IdxExpr::Const(4)).mul(IdxExpr::Const(2));
+        let e = IdxExpr::Const(3)
+            .add(IdxExpr::Const(4))
+            .mul(IdxExpr::Const(2));
         assert_eq!(simplify_idx(&e), IdxExpr::Const(14));
     }
 
     #[test]
     fn removes_idx_identities() {
         let (_, v) = n();
-        assert_eq!(simplify_idx(&IdxExpr::var(v).add(IdxExpr::Const(0))), IdxExpr::var(v));
-        assert_eq!(simplify_idx(&IdxExpr::var(v).mul(IdxExpr::Const(1))), IdxExpr::var(v));
-        assert_eq!(simplify_idx(&IdxExpr::var(v).mul(IdxExpr::Const(0))), IdxExpr::Const(0));
-        assert_eq!(simplify_idx(&IdxExpr::var(v).sub(IdxExpr::var(v))), IdxExpr::Const(0));
-        assert_eq!(simplify_idx(&IdxExpr::var(v).min(IdxExpr::var(v))), IdxExpr::var(v));
+        assert_eq!(
+            simplify_idx(&IdxExpr::var(v).add(IdxExpr::Const(0))),
+            IdxExpr::var(v)
+        );
+        assert_eq!(
+            simplify_idx(&IdxExpr::var(v).mul(IdxExpr::Const(1))),
+            IdxExpr::var(v)
+        );
+        assert_eq!(
+            simplify_idx(&IdxExpr::var(v).mul(IdxExpr::Const(0))),
+            IdxExpr::Const(0)
+        );
+        assert_eq!(
+            simplify_idx(&IdxExpr::var(v).sub(IdxExpr::var(v))),
+            IdxExpr::Const(0)
+        );
+        assert_eq!(
+            simplify_idx(&IdxExpr::var(v).min(IdxExpr::var(v))),
+            IdxExpr::var(v)
+        );
     }
 
     #[test]
     fn preserves_division_by_zero() {
         // Must not fold away UB; the expression is kept for runtime diagnosis.
-        let e = IdxExpr::Bin(IdxBinOp::Div, Box::new(IdxExpr::Const(4)), Box::new(IdxExpr::Const(0)));
+        let e = IdxExpr::Bin(
+            IdxBinOp::Div,
+            Box::new(IdxExpr::Const(4)),
+            Box::new(IdxExpr::Const(0)),
+        );
         assert_eq!(simplify_idx(&e), e);
     }
 
@@ -306,7 +339,10 @@ mod tests {
         let x = ValExpr::load(TensorId(0), vec![IdxExpr::Const(0)]);
         assert_eq!(simplify_val(&x.clone().add(ValExpr::Const(0.0))), x);
         assert_eq!(simplify_val(&x.clone().mul(ValExpr::Const(1.0))), x);
-        assert_eq!(simplify_val(&x.clone().mul(ValExpr::Const(0.0))), ValExpr::Const(0.0));
+        assert_eq!(
+            simplify_val(&x.clone().mul(ValExpr::Const(0.0))),
+            ValExpr::Const(0.0)
+        );
     }
 
     #[test]

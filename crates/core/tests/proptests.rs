@@ -1,19 +1,21 @@
-//! Property-based soundness tests for the compiler core.
+//! Randomized soundness tests for the compiler core.
 //!
 //! * The simplifier must preserve the value of every expression in every
 //!   environment (checked with a small reference evaluator).
 //! * The prover must be *sound*: whenever it says `Proven`, sampling the
 //!   assumed variable ranges may never find a counterexample (and dually
 //!   for `Disproven`).
+//!
+//! Expressions are generated with the workspace's deterministic
+//! [`cortex_rng::Rng`] so every failure is reproducible.
 
-use cortex_core::expr::{
-    BinOp, BoolExpr, CmpOp, IdxBinOp, IdxExpr, UnaryOp, ValExpr, Var,
-};
+use cortex_core::expr::{BinOp, BoolExpr, CmpOp, IdxBinOp, IdxExpr, UnaryOp, ValExpr, Var};
 use cortex_core::prover::{ProofContext, Verdict};
 use cortex_core::simplify::{simplify_bool, simplify_idx, simplify_val};
-use proptest::prelude::*;
+use cortex_rng::Rng;
 
 const VARS: usize = 3;
+const CASES: usize = 300;
 
 fn var(i: usize) -> Var {
     Var::from_raw(i as u32)
@@ -22,72 +24,86 @@ fn var(i: usize) -> Var {
 /// Random integer index expressions over a small set of variables.
 /// (No uninterpreted functions: their semantics need a structure; they
 /// are exercised by the executor tests instead.)
-fn arb_idx(depth: u32) -> BoxedStrategy<IdxExpr> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(IdxExpr::Const),
-        (0usize..VARS).prop_map(|i| IdxExpr::Var(var(i))),
-    ];
-    leaf.prop_recursive(depth, 64, 2, |inner| {
-        (inner.clone(), inner, prop::sample::select(vec![
-            IdxBinOp::Add,
-            IdxBinOp::Sub,
-            IdxBinOp::Mul,
-            IdxBinOp::Min,
-            IdxBinOp::Max,
-        ]))
-            .prop_map(|(a, b, op)| IdxExpr::Bin(op, Box::new(a), Box::new(b)))
-    })
-    .boxed()
+fn arb_idx(rng: &mut Rng, depth: u32) -> IdxExpr {
+    if depth == 0 || rng.below_usize(3) == 0 {
+        return if rng.bool() {
+            IdxExpr::Const(rng.range_i64(-20, 20))
+        } else {
+            IdxExpr::Var(var(rng.below_usize(VARS)))
+        };
+    }
+    let op = *rng.pick(&[
+        IdxBinOp::Add,
+        IdxBinOp::Sub,
+        IdxBinOp::Mul,
+        IdxBinOp::Min,
+        IdxBinOp::Max,
+    ]);
+    IdxExpr::Bin(
+        op,
+        Box::new(arb_idx(rng, depth - 1)),
+        Box::new(arb_idx(rng, depth - 1)),
+    )
 }
 
-fn arb_bool(depth: u32) -> BoxedStrategy<BoolExpr> {
-    let leaf = (
-        arb_idx(2),
-        arb_idx(2),
-        prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]),
-    )
-        .prop_map(|(a, b, op)| BoolExpr::Cmp(op, a, b));
-    leaf.prop_recursive(depth, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BoolExpr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BoolExpr::Or(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| BoolExpr::Not(Box::new(a))),
-        ]
-    })
-    .boxed()
+fn arb_bool(rng: &mut Rng, depth: u32) -> BoolExpr {
+    if depth == 0 || rng.below_usize(3) == 0 {
+        let op = *rng.pick(&[
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ]);
+        return BoolExpr::Cmp(op, arb_idx(rng, 2), arb_idx(rng, 2));
+    }
+    match rng.below_usize(3) {
+        0 => BoolExpr::And(
+            Box::new(arb_bool(rng, depth - 1)),
+            Box::new(arb_bool(rng, depth - 1)),
+        ),
+        1 => BoolExpr::Or(
+            Box::new(arb_bool(rng, depth - 1)),
+            Box::new(arb_bool(rng, depth - 1)),
+        ),
+        _ => BoolExpr::Not(Box::new(arb_bool(rng, depth - 1))),
+    }
 }
 
 /// Random value expressions (constants and arithmetic over index-driven
 /// selects; loads are exercised by the executor).
-fn arb_val(depth: u32) -> BoxedStrategy<ValExpr> {
-    let leaf = (-4.0f32..4.0).prop_map(ValExpr::Const);
-    leaf.prop_recursive(depth, 48, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop::sample::select(vec![
-                BinOp::Add,
-                BinOp::Sub,
-                BinOp::Mul,
-                BinOp::Max,
-                BinOp::Min,
-            ]))
-                .prop_map(|(a, b, op)| ValExpr::Bin(op, Box::new(a), Box::new(b))),
-            (inner.clone(), prop::sample::select(vec![
-                UnaryOp::Neg,
-                UnaryOp::Tanh,
-                UnaryOp::Sigmoid,
-                UnaryOp::Relu,
-            ]))
-                .prop_map(|(a, op)| ValExpr::Unary(op, Box::new(a))),
-            (arb_bool(1), inner.clone(), inner.clone()).prop_map(|(c, t, o)| ValExpr::Select {
-                cond: c,
-                then: Box::new(t),
-                otherwise: Box::new(o),
-            }),
-        ]
-    })
-    .boxed()
+fn arb_val(rng: &mut Rng, depth: u32) -> ValExpr {
+    if depth == 0 || rng.below_usize(3) == 0 {
+        return ValExpr::Const(rng.range_f32(-4.0, 4.0));
+    }
+    match rng.below_usize(3) {
+        0 => {
+            let op = *rng.pick(&[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Max, BinOp::Min]);
+            ValExpr::Bin(
+                op,
+                Box::new(arb_val(rng, depth - 1)),
+                Box::new(arb_val(rng, depth - 1)),
+            )
+        }
+        1 => {
+            let op = *rng.pick(&[UnaryOp::Neg, UnaryOp::Tanh, UnaryOp::Sigmoid, UnaryOp::Relu]);
+            ValExpr::Unary(op, Box::new(arb_val(rng, depth - 1)))
+        }
+        _ => ValExpr::Select {
+            cond: arb_bool(rng, 1),
+            then: Box::new(arb_val(rng, depth - 1)),
+            otherwise: Box::new(arb_val(rng, depth - 1)),
+        },
+    }
+}
+
+fn arb_env(rng: &mut Rng) -> [i64; VARS] {
+    [
+        rng.range_i64(-15, 15),
+        rng.range_i64(-15, 15),
+        rng.range_i64(-15, 15),
+    ]
 }
 
 // ----------------------------------------------------------------------
@@ -171,7 +187,11 @@ fn eval_val(e: &ValExpr, env: &[i64; VARS]) -> f32 {
                 BinOp::Min => x.min(y),
             }
         }
-        ValExpr::Select { cond, then, otherwise } => {
+        ValExpr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
             if eval_bool(cond, env) {
                 eval_val(then, env)
             } else {
@@ -181,60 +201,76 @@ fn eval_val(e: &ValExpr, env: &[i64; VARS]) -> f32 {
     }
 }
 
-proptest! {
-    #[test]
-    fn simplify_idx_preserves_value(
-        e in arb_idx(4),
-        env in prop::array::uniform3(-15i64..15),
-    ) {
+#[test]
+fn simplify_idx_preserves_value() {
+    let mut rng = Rng::new(0x31);
+    for _ in 0..CASES {
+        let e = arb_idx(&mut rng, 4);
+        let env = arb_env(&mut rng);
         let s = simplify_idx(&e);
-        prop_assert_eq!(eval_idx(&e, &env), eval_idx(&s, &env), "{} vs {}", e, s);
+        assert_eq!(eval_idx(&e, &env), eval_idx(&s, &env), "{e} vs {s}");
     }
+}
 
-    #[test]
-    fn simplify_bool_preserves_value(
-        e in arb_bool(3),
-        env in prop::array::uniform3(-15i64..15),
-    ) {
+#[test]
+fn simplify_bool_preserves_value() {
+    let mut rng = Rng::new(0x32);
+    for _ in 0..CASES {
+        let e = arb_bool(&mut rng, 3);
+        let env = arb_env(&mut rng);
         let s = simplify_bool(&e);
-        prop_assert_eq!(eval_bool(&e, &env), eval_bool(&s, &env), "{} vs {}", e, s);
+        assert_eq!(eval_bool(&e, &env), eval_bool(&s, &env), "{e} vs {s}");
     }
+}
 
-    #[test]
-    fn simplify_val_preserves_value(
-        e in arb_val(4),
-        env in prop::array::uniform3(-15i64..15),
-    ) {
+#[test]
+fn simplify_val_preserves_value() {
+    let mut rng = Rng::new(0x33);
+    for _ in 0..CASES {
+        let e = arb_val(&mut rng, 4);
+        let env = arb_env(&mut rng);
         let s = simplify_val(&e);
         let a = eval_val(&e, &env);
         let b = eval_val(&s, &env);
         // Folding uses the same f32 ops, so results match exactly unless
         // both are NaN (possible through Div… which we do generate via
         // sigmoid but never with NaN inputs; keep the guard anyway).
-        prop_assert!(a == b || (a.is_nan() && b.is_nan()), "{} -> {}: {} vs {}", e, s, a, b);
+        assert!(
+            a == b || (a.is_nan() && b.is_nan()),
+            "{e} -> {s}: {a} vs {b}"
+        );
     }
+}
 
-    #[test]
-    fn prover_is_sound_on_comparisons(
-        a in arb_idx(3),
-        b in arb_idx(3),
-        lo in -8i64..0,
-        width in 1i64..12,
-        samples in prop::array::uniform16(0u64..1_000_000),
-    ) {
+#[test]
+fn prover_is_sound_on_comparisons() {
+    let mut rng = Rng::new(0x34);
+    for _ in 0..CASES {
+        let a = arb_idx(&mut rng, 3);
+        let b = arb_idx(&mut rng, 3);
+        let lo = rng.range_i64(-8, 0);
+        let width = rng.range_i64(1, 12);
         let hi = lo + width;
         let mut ctx = ProofContext::new();
         for i in 0..VARS {
             ctx.assume_var(var(i), lo, hi);
         }
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ge,
+            CmpOp::Gt,
+            CmpOp::Ne,
+        ] {
             let verdict = ctx.prove_cmp(op, &a, &b);
             if verdict == Verdict::Unknown {
                 continue;
             }
             // Sample assignments within the assumed ranges; a sound
             // verdict can never be contradicted.
-            for s in &samples {
+            for _ in 0..16 {
+                let s = rng.below_u64(1_000_000);
                 let env = [
                     lo + (s % width as u64) as i64,
                     lo + ((s / 7) % width as u64) as i64,
@@ -250,24 +286,26 @@ proptest! {
                     CmpOp::Ge => x >= y,
                 };
                 match verdict {
-                    Verdict::Proven => prop_assert!(
-                        holds,
-                        "{a} {op:?} {b} proven but fails at {env:?}"
-                    ),
-                    Verdict::Disproven => prop_assert!(
-                        !holds,
-                        "{a} {op:?} {b} disproven but holds at {env:?}"
-                    ),
+                    Verdict::Proven => {
+                        assert!(holds, "{a} {op:?} {b} proven but fails at {env:?}");
+                    }
+                    Verdict::Disproven => {
+                        assert!(!holds, "{a} {op:?} {b} disproven but holds at {env:?}");
+                    }
                     Verdict::Unknown => unreachable!(),
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn simplification_is_idempotent(e in arb_idx(4)) {
+#[test]
+fn simplification_is_idempotent() {
+    let mut rng = Rng::new(0x35);
+    for _ in 0..CASES {
+        let e = arb_idx(&mut rng, 4);
         let once = simplify_idx(&e);
         let twice = simplify_idx(&once);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
 }

@@ -14,8 +14,7 @@
 //! leaf word ids are consumed by any experiment, so this preserves the
 //! batching/wavefront behaviour the measurements depend on (see DESIGN.md).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cortex_rng::Rng;
 
 use crate::structure::{RecStructure, StructureBuilder, StructureKind};
 
@@ -37,9 +36,11 @@ pub const VOCAB_SIZE: u32 = 10_000;
 /// assert_eq!(t.max_height(), 7);
 /// ```
 pub fn perfect_binary_tree(height: u32, seed: u64) -> RecStructure {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e2f);
+    let mut rng = Rng::new(seed ^ 0x7e2f);
     let mut b = StructureBuilder::new(StructureKind::Tree);
-    let mut level: Vec<_> = (0..1u32 << height).map(|_| b.leaf(rng.gen_range(0..VOCAB_SIZE))).collect();
+    let mut level: Vec<_> = (0..1u32 << height)
+        .map(|_| b.leaf(rng.below_u32(VOCAB_SIZE)))
+        .collect();
     while level.len() > 1 {
         level = level
             .chunks(2)
@@ -59,13 +60,16 @@ pub fn perfect_binary_tree(height: u32, seed: u64) -> RecStructure {
 /// Panics if `num_leaves == 0`.
 pub fn random_binary_tree(num_leaves: usize, seed: u64) -> RecStructure {
     assert!(num_leaves > 0, "a parse tree needs at least one token");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x51ab);
+    let mut rng = Rng::new(seed ^ 0x51ab);
     let mut b = StructureBuilder::new(StructureKind::Tree);
-    let mut frontier: Vec<_> =
-        (0..num_leaves).map(|_| b.leaf(rng.gen_range(0..VOCAB_SIZE))).collect();
+    let mut frontier: Vec<_> = (0..num_leaves)
+        .map(|_| b.leaf(rng.below_u32(VOCAB_SIZE)))
+        .collect();
     while frontier.len() > 1 {
-        let i = rng.gen_range(0..frontier.len() - 1);
-        let merged = b.internal(&[frontier[i], frontier[i + 1]]).expect("fresh children");
+        let i = rng.below_usize(frontier.len() - 1);
+        let merged = b
+            .internal(&[frontier[i], frontier[i + 1]])
+            .expect("fresh children");
         frontier[i] = merged;
         frontier.remove(i + 1);
     }
@@ -74,13 +78,13 @@ pub fn random_binary_tree(num_leaves: usize, seed: u64) -> RecStructure {
 
 /// Samples a sentence length following the SST dev-set distribution
 /// (min 2, max 55, mean ≈ 19.3): a clamped log-normal.
-fn sst_sentence_length(rng: &mut StdRng) -> usize {
+fn sst_sentence_length(rng: &mut Rng) -> usize {
     // ln-normal with mu, sigma chosen so the clamped mean lands near 19.3.
     let mu = 2.85f64;
     let sigma = 0.55f64;
-    // Box-Muller from two uniforms (StdRng has no normal distribution here).
-    let u1: f64 = rng.gen_range(1e-9..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
+    // Box-Muller from two uniforms.
+    let u1: f64 = rng.f64().max(1e-9);
+    let u2: f64 = rng.f64();
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     let len = (mu + sigma * z).exp().round() as i64;
     len.clamp(2, 55) as usize
@@ -91,7 +95,7 @@ fn sst_sentence_length(rng: &mut StdRng) -> usize {
 ///
 /// Deterministic in `seed`, so every experiment sees the same corpus.
 pub fn sentiment_treebank(count: usize, seed: u64) -> Vec<RecStructure> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x557);
+    let mut rng = Rng::new(seed ^ 0x557);
     (0..count)
         .map(|i| {
             let len = sst_sentence_length(&mut rng);
@@ -118,17 +122,19 @@ pub fn sentiment_treebank(count: usize, seed: u64) -> Vec<RecStructure> {
 /// ```
 pub fn grid_dag(rows: usize, cols: usize, seed: u64) -> RecStructure {
     assert!(rows > 0 && cols > 0, "grid must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xda6);
+    let mut rng = Rng::new(seed ^ 0xda6);
     let mut b = StructureBuilder::new(StructureKind::Dag);
     let mut ids = vec![vec![None; cols]; rows];
     // Anti-diagonal order guarantees children exist before parents.
     for diag in 0..rows + cols - 1 {
         for i in 0..rows {
-            let Some(j) = diag.checked_sub(i) else { continue };
+            let Some(j) = diag.checked_sub(i) else {
+                continue;
+            };
             if j >= cols {
                 continue;
             }
-            let word = rng.gen_range(0..VOCAB_SIZE);
+            let word = rng.below_u32(VOCAB_SIZE);
             let mut kids = Vec::new();
             if i > 0 {
                 kids.push(ids[i - 1][j].expect("upper neighbour exists"));
@@ -158,12 +164,12 @@ pub fn grid_dag(rows: usize, cols: usize, seed: u64) -> RecStructure {
 /// Panics if `length == 0`.
 pub fn sequence(length: usize, seed: u64) -> RecStructure {
     assert!(length > 0, "sequence must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e9);
+    let mut rng = Rng::new(seed ^ 0x5e9);
     let mut b = StructureBuilder::new(StructureKind::Sequence);
-    let mut prev = b.leaf(rng.gen_range(0..VOCAB_SIZE));
+    let mut prev = b.leaf(rng.below_u32(VOCAB_SIZE));
     for _ in 1..length {
         prev = b
-            .internal_with_word(&[prev], rng.gen_range(0..VOCAB_SIZE))
+            .internal_with_word(&[prev], rng.below_u32(VOCAB_SIZE))
             .expect("fresh child");
     }
     b.finish().expect("non-empty sequence")
@@ -172,7 +178,9 @@ pub fn sequence(length: usize, seed: u64) -> RecStructure {
 /// A batch of `batch_size` inputs merged into one forest, matching how the
 /// paper's "batch size" parameter presents work to the runtime.
 pub fn batch_of(f: impl Fn(u64) -> RecStructure, batch_size: usize, seed: u64) -> RecStructure {
-    let parts: Vec<_> = (0..batch_size).map(|i| f(seed.wrapping_add(i as u64 * 7919))).collect();
+    let parts: Vec<_> = (0..batch_size)
+        .map(|i| f(seed.wrapping_add(i as u64 * 7919)))
+        .collect();
     let refs: Vec<&RecStructure> = parts.iter().collect();
     RecStructure::merge(&refs)
 }

@@ -82,7 +82,10 @@ impl fmt::Display for LinearizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LinearizeError::UnrollOnDag => {
-                write!(f, "unrolling is only supported for trees and sequences, not DAGs")
+                write!(
+                    f,
+                    "unrolling is only supported for trees and sequences, not DAGs"
+                )
             }
             LinearizeError::UnrollDepthTooSmall(d) => {
                 write!(f, "unroll depth must be >= 2, got {d}")
@@ -140,8 +143,10 @@ impl Linearizer {
         let mut internal_batches: Vec<Batch> = vec![Batch { begin: 0, len: 0 }; max_h as usize];
         for h in (1..=max_h).rev() {
             offsets[h as usize] = next;
-            internal_batches[h as usize - 1] =
-                Batch { begin: next, len: height_counts[h as usize] };
+            internal_batches[h as usize - 1] = Batch {
+                begin: next,
+                len: height_counts[h as usize],
+            };
             next += height_counts[h as usize];
         }
         let mut new_to_old = vec![0u32; n];
@@ -162,7 +167,10 @@ impl Linearizer {
             new_to_old[slot as usize] = node.index() as u32;
             old_to_new[node.index()] = slot;
         }
-        let leaf_batch = Batch { begin: leaf_begin, len: next - leaf_begin };
+        let leaf_batch = Batch {
+            begin: leaf_begin,
+            len: next - leaf_begin,
+        };
 
         // --- Child-slot arrays (the `left`/`right` arrays of Fig. 2) ---
         let slots = s.max_children();
@@ -180,8 +188,11 @@ impl Linearizer {
         }
 
         let roots: Vec<u32> = s.roots().iter().map(|r| old_to_new[r.index()]).collect();
-        let post_order: Vec<u32> =
-            s.post_order().iter().map(|o| old_to_new[o.index()]).collect();
+        let post_order: Vec<u32> = s
+            .post_order()
+            .iter()
+            .map(|o| old_to_new[o.index()])
+            .collect();
 
         Ok(Linearized {
             kind: s.kind(),
@@ -420,8 +431,9 @@ impl Linearized {
             wave[g] = w;
         }
         let max_wave = wave.iter().copied().max().map_or(0, |w| w + 1);
-        let mut super_waves: Vec<SuperWave> =
-            (0..max_wave).map(|_| SuperWave { stages: Vec::new() }).collect();
+        let mut super_waves: Vec<SuperWave> = (0..max_wave)
+            .map(|_| SuperWave { stages: Vec::new() })
+            .collect();
         // First pass: size each wave's stage list to its deepest group, so
         // groups can be right-aligned (group roots in the final stage).
         for g in 0..num_groups {
@@ -445,8 +457,10 @@ impl Linearized {
                 stage.sort_unstable();
             }
         }
-        let group_stage_total =
-            groups.iter().map(|g| g.iter().map(|&(_, d)| d).max().unwrap_or(0) + 1).sum();
+        let group_stage_total = groups
+            .iter()
+            .map(|g| g.iter().map(|&(_, d)| d).max().unwrap_or(0) + 1)
+            .sum();
         Ok(UnrolledSchedule {
             super_waves,
             intra_group_edges: self.count_intra_group_edges(&group_of),
@@ -654,8 +668,12 @@ mod tests {
     fn post_order_respects_dependences() {
         let d = datasets::grid_dag(5, 5, 2);
         let lin = Linearizer::new().linearize(&d).unwrap();
-        let pos: std::collections::HashMap<u32, usize> =
-            lin.post_order().iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: std::collections::HashMap<u32, usize> = lin
+            .post_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
         for id in 0..lin.num_nodes() as u32 {
             for c in lin.children_of(id) {
                 assert!(pos[&c] < pos[&id]);
@@ -750,7 +768,10 @@ mod tests {
         assert_eq!(lin.unrolled(2).unwrap_err(), LinearizeError::UnrollOnDag);
         let t = datasets::perfect_binary_tree(3, 0);
         let lin = Linearizer::new().linearize(&t).unwrap();
-        assert_eq!(lin.unrolled(1).unwrap_err(), LinearizeError::UnrollDepthTooSmall(1));
+        assert_eq!(
+            lin.unrolled(1).unwrap_err(),
+            LinearizeError::UnrollDepthTooSmall(1)
+        );
     }
 
     #[test]

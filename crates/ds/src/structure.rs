@@ -98,7 +98,12 @@ pub struct StructureBuilder {
 impl StructureBuilder {
     /// Creates an empty builder for the declared structure kind.
     pub fn new(kind: StructureKind) -> Self {
-        StructureBuilder { kind, children: Vec::new(), words: Vec::new(), parent_count: Vec::new() }
+        StructureBuilder {
+            kind,
+            children: Vec::new(),
+            words: Vec::new(),
+            parent_count: Vec::new(),
+        }
     }
 
     /// Adds a leaf node carrying a word (input feature) id.
@@ -139,11 +144,16 @@ impl StructureBuilder {
                 return Err(StructureError::UnknownChild(c));
             }
             if self.kind != StructureKind::Dag && self.parent_count[c.index()] > 0 {
-                return Err(StructureError::MultipleParents { child: c, kind: self.kind });
+                return Err(StructureError::MultipleParents {
+                    child: c,
+                    kind: self.kind,
+                });
             }
         }
         if self.kind == StructureKind::Sequence && children.len() > 1 {
-            return Err(StructureError::SequenceFanOut(NodeId(self.children.len() as u32)));
+            return Err(StructureError::SequenceFanOut(NodeId(
+                self.children.len() as u32
+            )));
         }
         for &c in children {
             self.parent_count[c.index()] += 1;
@@ -278,7 +288,10 @@ impl RecStructure {
     pub fn merge(parts: &[&RecStructure]) -> RecStructure {
         let first = parts.first().expect("merge of at least one structure");
         let kind = first.kind;
-        assert!(parts.iter().all(|p| p.kind == kind), "cannot merge structures of mixed kinds");
+        assert!(
+            parts.iter().all(|p| p.kind == kind),
+            "cannot merge structures of mixed kinds"
+        );
         let mut children = Vec::new();
         let mut words = Vec::new();
         let mut heights = Vec::new();
@@ -288,7 +301,10 @@ impl RecStructure {
         for part in parts {
             for node in part.iter() {
                 children.push(
-                    part.children(node).iter().map(|c| NodeId(c.0 + base)).collect::<Vec<_>>(),
+                    part.children(node)
+                        .iter()
+                        .map(|c| NodeId(c.0 + base))
+                        .collect::<Vec<_>>(),
                 );
                 words.push(part.word(node));
                 heights.push(part.height(node));
@@ -297,7 +313,14 @@ impl RecStructure {
             max_children = max_children.max(part.max_children);
             base += part.num_nodes() as u32;
         }
-        RecStructure { kind, children, words, heights, roots, max_children }
+        RecStructure {
+            kind,
+            children,
+            words,
+            heights,
+            roots,
+            max_children,
+        }
     }
 
     /// Post-order traversal from the roots (children before parents).
@@ -396,7 +419,10 @@ mod tests {
         let mut b = StructureBuilder::new(StructureKind::Sequence);
         let a = b.leaf(0);
         let c = b.leaf(1);
-        assert!(matches!(b.internal(&[a, c]), Err(StructureError::SequenceFanOut(_))));
+        assert!(matches!(
+            b.internal(&[a, c]),
+            Err(StructureError::SequenceFanOut(_))
+        ));
     }
 
     #[test]

@@ -59,7 +59,8 @@ pub fn dag_rnn(h: usize) -> Model {
         let i = c.axis(0);
         let node = c.node();
         let mv = c.sum(h, |c, k| {
-            c.read(wx, &[i.clone(), k.clone()]).mul(c.read(emb, &[node.clone().word(), k]))
+            c.read(wx, &[i.clone(), k.clone()])
+                .mul(c.read(emb, &[node.clone().word(), k]))
         });
         mv.add(c.read(bx, &[i]))
     });
@@ -71,9 +72,7 @@ pub fn dag_rnn(h: usize) -> Model {
         c.read(x, &[c.node(), i]).add(mv0).add(mv1).tanh()
     });
     // The leaf (grid origin) has no predecessors: h = tanh(x).
-    let leaf_op = g.compute("h_leaf", &[h], |c| {
-        c.read(x, &[c.node(), c.axis(0)]).tanh()
-    });
+    let leaf_op = g.compute("h_leaf", &[h], |c| c.read(x, &[c.node(), c.axis(0)]).tanh());
     let body = g.if_then_else("h_body", leaf_op, rec).expect("same shapes");
     let out = g.recursion(ph, body).expect("placeholder recursion");
     g.mark_output(out);
@@ -139,7 +138,9 @@ mod tests {
     #[test]
     fn wavefronts_are_antidiagonals() {
         let d = datasets::grid_dag(5, 5, 0);
-        let lin = cortex_ds::linearizer::Linearizer::new().linearize(&d).unwrap();
+        let lin = cortex_ds::linearizer::Linearizer::new()
+            .linearize(&d)
+            .unwrap();
         // 5x5 grid: heights 0..8, so 8 internal wavefronts + the leaf.
         assert_eq!(lin.internal_batches().len(), 8);
     }

@@ -14,13 +14,7 @@ pub const VOCAB: usize = VOCAB_SIZE as usize;
 /// node; sequences exactly one) the sum reads every slot unconditionally.
 /// Otherwise (DAGs) each slot is guarded by the child count, which the
 /// executor evaluates lazily.
-pub fn child_sum(
-    c: &BodyCtx,
-    state: RaTensor,
-    k: &IdxExpr,
-    slots: usize,
-    exact: bool,
-) -> ValExpr {
+pub fn child_sum(c: &BodyCtx, state: RaTensor, k: &IdxExpr, slots: usize, exact: bool) -> ValExpr {
     let mut acc: Option<ValExpr> = None;
     for s in 0..slots {
         let child = IdxExpr::Ufn(Ufn::Child(s as u8), vec![c.node()]);

@@ -11,7 +11,7 @@ use cortex_core::expr::TensorId;
 use cortex_core::ilir::IlirProgram;
 use cortex_core::lower::{lower, LowerError, StructureInfo};
 use cortex_core::ra::{RaGraph, RaSchedule};
-use cortex_ds::linearizer::{Linearized, LinearizeError, Linearizer};
+use cortex_ds::linearizer::{LinearizeError, Linearized, Linearizer};
 use cortex_ds::RecStructure;
 use cortex_tensor::Tensor;
 
@@ -97,12 +97,21 @@ impl Model {
     ///
     /// Propagates [`LowerError`] for invalid schedule combinations.
     pub fn lower(&self, schedule: &RaSchedule) -> Result<IlirProgram, ModelError> {
-        Ok(lower(&self.graph, schedule, StructureInfo { max_children: self.max_children })?)
+        Ok(lower(
+            &self.graph,
+            schedule,
+            StructureInfo {
+                max_children: self.max_children,
+            },
+        )?)
     }
 
     /// The default schedule with this model's refactor split applied.
     pub fn refactored_schedule(&self) -> RaSchedule {
-        RaSchedule { refactor_split: self.refactor_split, ..RaSchedule::default() }
+        RaSchedule {
+            refactor_split: self.refactor_split,
+            ..RaSchedule::default()
+        }
     }
 
     /// Linearizes `structure` and runs the model end to end on `device`,
@@ -137,8 +146,7 @@ impl Model {
         structure: &RecStructure,
         schedule: &RaSchedule,
     ) -> Result<(Tensor, Linearized), ModelError> {
-        let (mut result, lin) =
-            self.run(structure, schedule, &DeviceSpec::v100())?;
+        let (mut result, lin) = self.run(structure, schedule, &DeviceSpec::v100())?;
         let out = result
             .outputs
             .remove(&self.output)

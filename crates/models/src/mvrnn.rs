@@ -62,10 +62,12 @@ pub fn mv_rnn(h: usize) -> Model {
         let i = c.axis(0);
         let node = c.node();
         let p1 = c.sum(h, |c, k| {
-            c.read(w1, &[i.clone(), k.clone()]).mul(c.read(mva, &[node.clone(), k]))
+            c.read(w1, &[i.clone(), k.clone()])
+                .mul(c.read(mva, &[node.clone(), k]))
         });
         let p2 = c.sum(h, |c, k| {
-            c.read(w2, &[i.clone(), k.clone()]).mul(c.read(mvb, &[node.clone(), k]))
+            c.read(w2, &[i.clone(), k.clone()])
+                .mul(c.read(mvb, &[node.clone(), k]))
         });
         p1.add(p2).add(c.read(b, &[i])).tanh()
     });
@@ -92,8 +94,12 @@ pub fn mv_rnn(h: usize) -> Model {
         );
         c.read(emb_m, &[row, c.axis(0), c.axis(1)])
     });
-    let a_body = g.if_then_else("a_body", a_leaf, a_rec).expect("same shapes");
-    let m_body = g.if_then_else("A_body", m_leaf, m_rec).expect("same shapes");
+    let a_body = g
+        .if_then_else("a_body", a_leaf, a_rec)
+        .expect("same shapes");
+    let m_body = g
+        .if_then_else("A_body", m_leaf, m_rec)
+        .expect("same shapes");
     let a_out = g.recursion(a_ph, a_body).expect("vector recursion");
     let m_out = g.recursion(m_ph, m_body).expect("matrix recursion");
     g.mark_output(a_out);
@@ -146,7 +152,11 @@ mod tests {
         let t = datasets::random_binary_tree(6, 21);
         let want = reference::mv_rnn(&t, &m.params, 5);
         let (result, lin) = m
-            .run(&t, &RaSchedule::default(), &cortex_backend::DeviceSpec::v100())
+            .run(
+                &t,
+                &RaSchedule::default(),
+                &cortex_backend::DeviceSpec::v100(),
+            )
             .unwrap();
         let mats = &result.outputs[&m.aux_outputs[0]];
         // Flatten the H×H matrices row-major for comparison.

@@ -17,7 +17,9 @@ use cortex_tensor::{kernels, Tensor};
 use crate::model::LeafInit;
 
 fn p<'a>(params: &'a Params, name: &str) -> &'a Tensor {
-    params.get(name).unwrap_or_else(|| panic!("reference: missing parameter '{name}'"))
+    params
+        .get(name)
+        .unwrap_or_else(|| panic!("reference: missing parameter '{name}'"))
 }
 
 /// `W · x` accumulated in the same order as the executor's fast path
@@ -28,7 +30,11 @@ fn mv(w: &Tensor, x: &[f32]) -> Vec<f32> {
 }
 
 fn add3(a: &[f32], b: &[f32], c: &[f32]) -> Vec<f32> {
-    a.iter().zip(b).zip(c).map(|((x, y), z)| x + y + z).collect()
+    a.iter()
+        .zip(b)
+        .zip(c)
+        .map(|((x, y), z)| x + y + z)
+        .collect()
 }
 
 fn child_sum(vals: &[Vec<f32>], children: &[usize], h: usize) -> Vec<f32> {
@@ -88,7 +94,10 @@ pub fn tree_fc(s: &RecStructure, params: &Params, h: usize, leaf: LeafInit) -> V
         } else {
             let l = mv(wl, &vals[kids[0].index()]);
             let r = mv(wr, &vals[kids[1].index()]);
-            add3(&l, &r, b.as_slice()).iter().map(|x| x.tanh()).collect()
+            add3(&l, &r, b.as_slice())
+                .iter()
+                .map(|x| x.tanh())
+                .collect()
         };
     }
     vals
@@ -179,12 +188,21 @@ pub fn tree_lstm(s: &RecStructure, params: &Params, h: usize, leaf: LeafInit) ->
             hv[n.index()] = leaf_vec(leaf, emb_h, s.word(n), h);
         } else {
             let hs = child_sum(&hv, &kids, h);
-            let ig: Vec<f32> =
-                mv(ui, &hs).iter().zip(bi.as_slice()).map(|(x, b)| sigmoid(x + b)).collect();
-            let og: Vec<f32> =
-                mv(uo, &hs).iter().zip(bo.as_slice()).map(|(x, b)| sigmoid(x + b)).collect();
-            let ug: Vec<f32> =
-                mv(uu, &hs).iter().zip(bu.as_slice()).map(|(x, b)| (x + b).tanh()).collect();
+            let ig: Vec<f32> = mv(ui, &hs)
+                .iter()
+                .zip(bi.as_slice())
+                .map(|(x, b)| sigmoid(x + b))
+                .collect();
+            let og: Vec<f32> = mv(uo, &hs)
+                .iter()
+                .zip(bo.as_slice())
+                .map(|(x, b)| sigmoid(x + b))
+                .collect();
+            let ug: Vec<f32> = mv(uu, &hs)
+                .iter()
+                .zip(bu.as_slice())
+                .map(|(x, b)| (x + b).tanh())
+                .collect();
             let fgs: Vec<Vec<f32>> = kids
                 .iter()
                 .map(|&c| {
@@ -258,8 +276,10 @@ pub fn mv_rnn(s: &RecStructure, params: &Params, h: usize) -> MvRef {
             let ab = mat_mv(&mats[l], &av[r]);
             let p1 = mv(w1, &ba);
             let p2 = mv(w2, &ab);
-            av[n.index()] =
-                add3(&p1, &p2, b.as_slice()).iter().map(|x| x.tanh()).collect();
+            av[n.index()] = add3(&p1, &p2, b.as_slice())
+                .iter()
+                .map(|x| x.tanh())
+                .collect();
             // A(n)[i][j] = Σ_k WM1[i,k] A_l[k,j] + Σ_k WM2[i,k] A_r[k,j]
             let mut m_new = vec![0.0f32; h * h];
             for i in 0..h {

@@ -60,7 +60,8 @@ pub(crate) fn build_gru(
         let i = c.axis(0);
         let node = c.node();
         let mv = c.sum(h, |c, k| {
-            c.read(ur, &[i.clone(), k.clone()]).mul(c.read(hsum, &[node.clone(), k]))
+            c.read(ur, &[i.clone(), k.clone()])
+                .mul(c.read(hsum, &[node.clone(), k]))
         });
         mv.add(c.read(br, &[i])).sigmoid()
     });
@@ -68,7 +69,8 @@ pub(crate) fn build_gru(
         let i = c.axis(0);
         let node = c.node();
         let mv = c.sum(h, |c, k| {
-            c.read(uz, &[i.clone(), k.clone()]).mul(c.read(hsum, &[node.clone(), k]))
+            c.read(uz, &[i.clone(), k.clone()])
+                .mul(c.read(hsum, &[node.clone(), k]))
         });
         mv.add(c.read(bz, &[i])).sigmoid()
     });
@@ -156,7 +158,11 @@ mod tests {
     #[test]
     fn gru_has_sync_depth_two() {
         let m = tree_gru(8, LeafInit::Zero);
-        assert_eq!(analyze(&m.graph).sync_depth, 2, "chained matvecs need two segments");
+        assert_eq!(
+            analyze(&m.graph).sync_depth,
+            2,
+            "chained matvecs need two segments"
+        );
     }
 
     #[test]
@@ -165,7 +171,10 @@ mod tests {
         // the full TreeGRU additionally re-reads hsum elementwise in its
         // h-gate, which shows up as extra traffic at runtime (the reason
         // Fig. 10c reports little benefit for TreeGRU).
-        for m in [tree_gru(8, LeafInit::Zero), simple_tree_gru(8, LeafInit::Zero)] {
+        for m in [
+            tree_gru(8, LeafInit::Zero),
+            simple_tree_gru(8, LeafInit::Zero),
+        ] {
             let info = analyze_refactor(&m.graph, m.refactor_split.unwrap()).unwrap();
             assert_eq!(info.depth_before, 2, "{}", m.name);
             assert_eq!(info.depth_after, 1, "{}", m.name);

@@ -46,10 +46,11 @@ pub(crate) fn build_lstm(name: &str, h: usize, leaf: LeafInit, slots: usize) -> 
     let h_ph = g.placeholder("h_ph", &[h]);
 
     let gate = |g: &mut RaGraph, name: &str, w, b, sig: bool| {
-        let t = g.compute(name, &[h], |c| {
+        g.compute(name, &[h], |c| {
             let i = c.axis(0);
             let mv = c.sum(h, |c, k| {
-                c.read(w, &[i.clone(), k.clone()]).mul(child_sum(c, h_ph, &k, slots, true))
+                c.read(w, &[i.clone(), k.clone()])
+                    .mul(child_sum(c, h_ph, &k, slots, true))
             });
             let pre = mv.add(c.read(b, &[i]));
             if sig {
@@ -57,8 +58,7 @@ pub(crate) fn build_lstm(name: &str, h: usize, leaf: LeafInit, slots: usize) -> 
             } else {
                 pre.tanh()
             }
-        });
-        t
+        })
     };
     let i_g = gate(&mut g, "i", ui, bi, true);
     let o_g = gate(&mut g, "o", uo, bo, true);
@@ -95,7 +95,9 @@ pub(crate) fn build_lstm(name: &str, h: usize, leaf: LeafInit, slots: usize) -> 
         LeafInit::Zero => g.compute("c_leaf", &[h], |_| ValExpr::Const(0.0)),
         LeafInit::Embedding => g.compute("c_leaf", &[h], |c| embed(c, emb_c, 0)),
     };
-    let c_body = g.if_then_else("c_body", c_leaf, c_rec_body).expect("same shapes");
+    let c_body = g
+        .if_then_else("c_body", c_leaf, c_rec_body)
+        .expect("same shapes");
     let c_out = g.recursion(c_ph, c_body).expect("cell recursion");
 
     let h_rec_body = g.compute("h_rec", &[h], |c| {
@@ -108,7 +110,9 @@ pub(crate) fn build_lstm(name: &str, h: usize, leaf: LeafInit, slots: usize) -> 
         LeafInit::Zero => g.compute("h_leaf", &[h], |_| ValExpr::Const(0.0)),
         LeafInit::Embedding => g.compute("h_leaf", &[h], |c| embed(c, emb_h, 0)),
     };
-    let h_body = g.if_then_else("h_body", h_leaf, h_rec_body).expect("same shapes");
+    let h_body = g
+        .if_then_else("h_body", h_leaf, h_rec_body)
+        .expect("same shapes");
     let h_out = g.recursion(h_ph, h_body).expect("hidden recursion");
     g.mark_output(c_out);
     g.mark_output(h_out);
@@ -164,7 +168,11 @@ mod tests {
         let t = datasets::random_binary_tree(7, 12);
         let want = reference::tree_lstm(&t, &m.params, 6, LeafInit::Embedding);
         let (result, lin) = m
-            .run(&t, &RaSchedule::default(), &cortex_backend::DeviceSpec::v100())
+            .run(
+                &t,
+                &RaSchedule::default(),
+                &cortex_backend::DeviceSpec::v100(),
+            )
             .unwrap();
         let c = &result.outputs[&m.aux_outputs[0]];
         verify::compare_output(c, &lin, &t, &want.c, 1e-4).unwrap();

@@ -19,7 +19,8 @@ pub fn tree_rnn(h: usize, leaf: LeafInit) -> Model {
     let rec = g.compute("h_rec", &[h], |c| {
         let i = c.axis(0);
         let mv = c.sum(h, |c, k| {
-            c.read(w, &[i.clone(), k.clone()]).mul(child_sum(c, ph, &k, 2, true))
+            c.read(w, &[i.clone(), k.clone()])
+                .mul(child_sum(c, ph, &k, 2, true))
         });
         mv.add(c.read(b, &[i])).tanh()
     });
@@ -72,7 +73,10 @@ mod tests {
         let want = reference::tree_rnn(&t, &m.params, 8, LeafInit::Zero);
         verify::assert_matches(&m, &t, &RaSchedule::default(), &want, 1e-5);
         let p = m.lower(&RaSchedule::default()).unwrap();
-        assert!(p.meta.leaf_zero, "zero leaf case should be constant-propagated");
+        assert!(
+            p.meta.leaf_zero,
+            "zero leaf case should be constant-propagated"
+        );
     }
 
     #[test]
@@ -80,7 +84,11 @@ mod tests {
         let m = tree_rnn(4, LeafInit::Embedding);
         let t = datasets::random_binary_tree(17, 7);
         let want = reference::tree_rnn(&t, &m.params, 4, LeafInit::Embedding);
-        let s = RaSchedule { unroll: Some(2), unroll_block_local: true, ..RaSchedule::default() };
+        let s = RaSchedule {
+            unroll: Some(2),
+            unroll_block_local: true,
+            ..RaSchedule::default()
+        };
         verify::assert_matches(&m, &t, &s, &want, 1e-5);
     }
 

@@ -27,6 +27,7 @@ pub fn sigmoid_exact(x: f32) -> f32 {
 /// Maximum absolute error against `tanh` is below `1e-4` on all of ℝ
 /// (asserted by tests).
 pub fn tanh_rational(x: f32) -> f32 {
+    #[allow(clippy::excessive_precision)]
     const ALPHA: [f32; 7] = [
         4.893_524_6e-3,   // x^1
         6.372_619_3e-4,   // x^3
@@ -36,6 +37,7 @@ pub fn tanh_rational(x: f32) -> f32 {
         2.000_187_9e-13,  // x^11
         -2.760_768_5e-16, // x^13
     ];
+    #[allow(clippy::excessive_precision)]
     const BETA: [f32; 4] = [
         4.893_525_2e-3, // x^0
         2.268_434_6e-3, // x^2
@@ -142,7 +144,10 @@ mod tests {
     #[test]
     fn mode_dispatch() {
         assert_eq!(NonlinearityMode::Exact.tanh(0.5), tanh_exact(0.5));
-        assert_eq!(NonlinearityMode::Rational.sigmoid(0.5), sigmoid_rational(0.5));
+        assert_eq!(
+            NonlinearityMode::Rational.sigmoid(0.5),
+            sigmoid_rational(0.5)
+        );
         assert_eq!(NonlinearityMode::default(), NonlinearityMode::Exact);
     }
 

@@ -55,7 +55,11 @@ impl Layout {
             .dims()
             .iter()
             .enumerate()
-            .map(|(d, &extent)| Piece { logical_dim: d, stride: 1, extent })
+            .map(|(d, &extent)| Piece {
+                logical_dim: d,
+                stride: 1,
+                extent,
+            })
             .collect();
         Layout { logical, pieces }
     }
@@ -76,7 +80,11 @@ impl Layout {
     /// `logical_shape().len()` (padding), mirroring how tensor compilers pad
     /// storage for split layouts.
     pub fn storage_len(&self) -> usize {
-        self.pieces.iter().map(|p| p.extent).product::<usize>().max(1)
+        self.pieces
+            .iter()
+            .map(|p| p.extent)
+            .product::<usize>()
+            .max(1)
     }
 
     /// Splits physical dimension `dim` by `factor`.
@@ -97,7 +105,11 @@ impl Layout {
             stride: piece.stride * factor,
             extent: outer_extent,
         };
-        let inner = Piece { logical_dim: piece.logical_dim, stride: piece.stride, extent: factor };
+        let inner = Piece {
+            logical_dim: piece.logical_dim,
+            stride: piece.stride,
+            extent: factor,
+        };
         self.pieces.insert(dim, inner);
         self.pieces.insert(dim, outer);
         self
@@ -162,7 +174,11 @@ impl Layout {
     ///
     /// Panics if the index rank does not match the logical shape.
     pub fn offset(&self, index: &[usize]) -> usize {
-        assert_eq!(index.len(), self.logical.rank(), "layout index rank mismatch");
+        assert_eq!(
+            index.len(),
+            self.logical.rank(),
+            "layout index rank mismatch"
+        );
         let mut flat = 0usize;
         for piece in &self.pieces {
             let coord = (index[piece.logical_dim] / piece.stride) % piece.extent;
@@ -174,11 +190,9 @@ impl Layout {
     /// Whether this layout is the plain row-major identity for its shape.
     pub fn is_row_major(&self) -> bool {
         self.pieces.len() == self.logical.rank()
-            && self
-                .pieces
-                .iter()
-                .enumerate()
-                .all(|(d, p)| p.logical_dim == d && p.stride == 1 && p.extent == self.logical.dim(d))
+            && self.pieces.iter().enumerate().all(|(d, p)| {
+                p.logical_dim == d && p.stride == 1 && p.extent == self.logical.dim(d)
+            })
     }
 }
 

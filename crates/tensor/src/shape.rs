@@ -27,7 +27,9 @@ impl Shape {
     ///
     /// A rank-0 (scalar) shape is allowed and has `len() == 1`.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Creates a scalar (rank-0) shape.
@@ -62,7 +64,7 @@ impl Shape {
 
     /// Whether any extent is zero.
     pub fn is_empty(&self) -> bool {
-        self.dims.iter().any(|&d| d == 0)
+        self.dims.contains(&0)
     }
 
     /// Row-major strides (in elements) for this shape.
@@ -95,7 +97,10 @@ impl Shape {
         );
         let mut flat = 0usize;
         for (d, (&i, &extent)) in index.iter().zip(&self.dims).enumerate() {
-            debug_assert!(i < extent, "index {i} out of bounds for dim {d} (extent {extent})");
+            debug_assert!(
+                i < extent,
+                "index {i} out of bounds for dim {d} (extent {extent})"
+            );
             flat = flat * extent + i;
         }
         flat
@@ -107,7 +112,10 @@ impl Shape {
     ///
     /// Panics if `flat >= len()`.
     pub fn delinearize(&self, mut flat: usize) -> Vec<usize> {
-        assert!(flat < self.len().max(1), "flat index {flat} out of bounds for {self:?}");
+        assert!(
+            flat < self.len().max(1),
+            "flat index {flat} out of bounds for {self:?}"
+        );
         let mut index = vec![0usize; self.dims.len()];
         for d in (0..self.dims.len()).rev() {
             index[d] = flat % self.dims[d];
@@ -118,7 +126,11 @@ impl Shape {
 
     /// Iterator over all multi-dimensional indices in row-major order.
     pub fn indices(&self) -> Indices {
-        Indices { shape: self.clone(), next: 0, total: self.len() }
+        Indices {
+            shape: self.clone(),
+            next: 0,
+            total: self.len(),
+        }
     }
 }
 

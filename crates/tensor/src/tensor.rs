@@ -3,9 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cortex_rng::Rng;
 
 use crate::shape::Shape;
 
@@ -42,7 +40,10 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch: expected {expected}, found {found}")
             }
             TensorError::LengthMismatch { expected, found } => {
-                write!(f, "buffer length {found} does not match shape ({expected} elements)")
+                write!(
+                    f,
+                    "buffer length {found} does not match shape ({expected} elements)"
+                )
             }
             TensorError::AxisOutOfRange { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank-{rank} tensor")
@@ -79,19 +80,28 @@ impl Tensor {
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        Tensor { shape, data: vec![0.0; len] }
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor filled with a constant.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        Tensor { shape, data: vec![value; len] }
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// Creates a rank-0 tensor holding one value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// Creates a tensor by evaluating `f` at every index (row-major order).
@@ -117,7 +127,10 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> crate::Result<Self> {
         let shape = Shape::new(dims);
         if data.len() != shape.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.len(), found: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                found: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -125,10 +138,9 @@ impl Tensor {
     /// Creates a tensor with uniform values in `[-bound, bound)`, seeded
     /// deterministically so experiments are reproducible.
     pub fn random(dims: &[usize], bound: f32, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let dist = Uniform::new(-bound, bound);
+        let mut rng = Rng::new(seed);
         let shape = Shape::new(dims);
-        let data = (0..shape.len()).map(|_| dist.sample(&mut rng)).collect();
+        let data = (0..shape.len()).map(|_| rng.uniform_f32(bound)).collect();
         Tensor { shape, data }
     }
 
@@ -212,7 +224,10 @@ impl Tensor {
     pub fn reshape(mut self, dims: &[usize]) -> crate::Result<Self> {
         let shape = Shape::new(dims);
         if shape.len() != self.data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.len(), found: self.data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                found: self.data.len(),
+            });
         }
         self.shape = shape;
         Ok(self)
@@ -220,7 +235,10 @@ impl Tensor {
 
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Combines two same-shaped tensors elementwise.
@@ -235,8 +253,16 @@ impl Tensor {
                 found: format!("{}", other.shape),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Maximum absolute difference against another tensor.
@@ -273,7 +299,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, "{:?}", self.data)
         } else {
-            write!(f, "[{:?}, {:?}, … ; {} elems]", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                "[{:?}, {:?}, … ; {} elems]",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }
@@ -338,7 +370,10 @@ mod tests {
     fn zip_shape_mismatch_errors() {
         let a = Tensor::zeros(&[2, 2]);
         let b = Tensor::zeros(&[4]);
-        assert!(matches!(a.zip(&b, |x, y| x + y), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.zip(&b, |x, y| x + y),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -366,7 +401,13 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        let err = TensorError::LengthMismatch { expected: 6, found: 5 };
-        assert_eq!(err.to_string(), "buffer length 5 does not match shape (6 elements)");
+        let err = TensorError::LengthMismatch {
+            expected: 6,
+            found: 5,
+        };
+        assert_eq!(
+            err.to_string(),
+            "buffer length 5 does not match shape (6 elements)"
+        );
     }
 }

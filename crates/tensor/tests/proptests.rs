@@ -1,92 +1,147 @@
-//! Property-based tests for the tensor substrate.
+//! Randomized property tests for the tensor substrate.
+//!
+//! Driven by the workspace's deterministic [`cortex_rng::Rng`] instead of
+//! an external property-testing framework: each test samples a few hundred
+//! random cases from a fixed seed, so failures are reproducible and the
+//! build has no registry dependencies.
 
+use cortex_rng::Rng;
 use cortex_tensor::{kernels, Layout, Shape, Tensor};
-use proptest::prelude::*;
 
-fn small_dims() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..6, 1..4)
+const CASES: usize = 200;
+
+fn small_dims(rng: &mut Rng) -> Vec<usize> {
+    let rank = rng.range_usize(1, 4);
+    (0..rank).map(|_| rng.range_usize(1, 6)).collect()
 }
 
-proptest! {
-    #[test]
-    fn linearize_delinearize_roundtrip(dims in small_dims(), seed in 0usize..1000) {
-        let shape = Shape::new(&dims);
-        let flat = seed % shape.len();
+#[test]
+fn linearize_delinearize_roundtrip() {
+    let mut rng = Rng::new(0x11);
+    for _ in 0..CASES {
+        let shape = Shape::new(&small_dims(&mut rng));
+        let flat = rng.below_usize(shape.len());
         let ix = shape.delinearize(flat);
-        prop_assert_eq!(shape.linearize(&ix), flat);
+        assert_eq!(shape.linearize(&ix), flat);
     }
+}
 
-    #[test]
-    fn layout_split_is_injective(extent in 1usize..40, factor in 1usize..9) {
+#[test]
+fn layout_split_is_injective() {
+    let mut rng = Rng::new(0x12);
+    for _ in 0..CASES {
+        let extent = rng.range_usize(1, 40);
+        let factor = rng.range_usize(1, 9);
         let shape = Shape::new(&[extent]);
         let layout = Layout::row_major(shape.clone()).split(0, factor);
         let mut seen = std::collections::HashSet::new();
         for i in 0..extent {
-            prop_assert!(seen.insert(layout.offset(&[i])), "collision at {}", i);
+            assert!(seen.insert(layout.offset(&[i])), "collision at {i}");
         }
     }
+}
 
-    #[test]
-    fn layout_reorder_is_bijective(a in 1usize..6, b in 1usize..6, c in 1usize..6) {
+#[test]
+fn layout_reorder_is_bijective() {
+    let mut rng = Rng::new(0x13);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            rng.range_usize(1, 6),
+            rng.range_usize(1, 6),
+            rng.range_usize(1, 6),
+        );
         let shape = Shape::new(&[a, b, c]);
         let layout = Layout::row_major(shape.clone()).reorder(&[2, 0, 1]);
         let mut seen = std::collections::HashSet::new();
         for ix in shape.indices() {
-            prop_assert!(seen.insert(layout.offset(&ix)));
+            assert!(seen.insert(layout.offset(&ix)));
         }
-        prop_assert_eq!(seen.len(), shape.len());
+        assert_eq!(seen.len(), shape.len());
     }
+}
 
-    #[test]
-    fn gemm_is_linear_in_first_argument(
-        m in 1usize..8, k in 1usize..8, n in 1usize..8,
-        alpha in -3.0f32..3.0,
-    ) {
+#[test]
+fn gemm_is_linear_in_first_argument() {
+    let mut rng = Rng::new(0x14);
+    for _ in 0..CASES {
+        let (m, k, n) = (
+            rng.range_usize(1, 8),
+            rng.range_usize(1, 8),
+            rng.range_usize(1, 8),
+        );
+        let alpha = rng.range_f32(-3.0, 3.0);
         let a = Tensor::random(&[m, k], 1.0, 7);
         let b = Tensor::random(&[k, n], 1.0, 8);
         let scaled_a = a.map(|x| alpha * x);
         let lhs = kernels::gemm(&scaled_a, &b).unwrap();
         let rhs = kernels::gemm(&a, &b).unwrap().map(|x| alpha * x);
-        prop_assert!(lhs.all_close(&rhs, 1e-3));
+        assert!(lhs.all_close(&rhs, 1e-3));
     }
+}
 
-    #[test]
-    fn add_commutes(dims in small_dims(), s1 in 0u64..100, s2 in 0u64..100) {
+#[test]
+fn add_commutes() {
+    let mut rng = Rng::new(0x15);
+    for _ in 0..CASES {
+        let dims = small_dims(&mut rng);
+        let (s1, s2) = (rng.below_u64(100), rng.below_u64(100));
         let a = Tensor::random(&dims, 1.0, s1);
         let b = Tensor::random(&dims, 1.0, s2);
         let ab = kernels::add(&a, &b).unwrap();
         let ba = kernels::add(&b, &a).unwrap();
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba);
     }
+}
 
-    #[test]
-    fn transpose_gemm_identity(m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+#[test]
+fn transpose_gemm_identity() {
+    let mut rng = Rng::new(0x16);
+    for _ in 0..CASES {
         // (A B)^T == B^T A^T
+        let (m, k, n) = (
+            rng.range_usize(1, 6),
+            rng.range_usize(1, 6),
+            rng.range_usize(1, 6),
+        );
         let a = Tensor::random(&[m, k], 1.0, 11);
         let b = Tensor::random(&[k, n], 1.0, 12);
         let lhs = kernels::transpose(&kernels::gemm(&a, &b).unwrap()).unwrap();
         let rhs = kernels::gemm(
             &kernels::transpose(&b).unwrap(),
             &kernels::transpose(&a).unwrap(),
-        ).unwrap();
-        prop_assert!(lhs.all_close(&rhs, 1e-4));
+        )
+        .unwrap();
+        assert!(lhs.all_close(&rhs, 1e-4));
     }
+}
 
-    #[test]
-    fn tensor_map_then_zip_agree(dims in small_dims(), s in 0u64..50) {
+#[test]
+fn tensor_map_then_zip_agree() {
+    let mut rng = Rng::new(0x17);
+    for _ in 0..CASES {
+        let dims = small_dims(&mut rng);
+        let s = rng.below_u64(50);
         let a = Tensor::random(&dims, 2.0, s);
         let doubled = a.map(|x| 2.0 * x);
         let summed = kernels::add(&a, &a).unwrap();
-        prop_assert!(doubled.all_close(&summed, 1e-6));
+        assert!(doubled.all_close(&summed, 1e-6));
     }
+}
 
-    #[test]
-    fn concat_length_and_content(na in 0usize..6, nb in 0usize..6) {
+#[test]
+fn concat_length_and_content() {
+    let mut rng = Rng::new(0x18);
+    for _ in 0..CASES {
+        let (na, nb) = (rng.below_usize(6), rng.below_usize(6));
         let a = Tensor::from_fn(&[na], |ix| ix[0] as f32);
         let b = Tensor::from_fn(&[nb], |ix| 100.0 + ix[0] as f32);
         let c = kernels::concat(&[&a, &b]);
-        prop_assert_eq!(c.len(), na + nb);
-        for i in 0..na { prop_assert_eq!(c.as_slice()[i], i as f32); }
-        for i in 0..nb { prop_assert_eq!(c.as_slice()[na + i], 100.0 + i as f32); }
+        assert_eq!(c.len(), na + nb);
+        for i in 0..na {
+            assert_eq!(c.as_slice()[i], i as f32);
+        }
+        for i in 0..nb {
+            assert_eq!(c.as_slice()[na + i], 100.0 + i as f32);
+        }
     }
 }

@@ -45,7 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let i = c.axis(0);
         let node = c.node();
         c.sum(h, |c, k| {
-            c.read(w, &[i.clone(), k.clone()]).mul(c.read(ph, &[node.clone().child(0), k]))
+            c.read(w, &[i.clone(), k.clone()])
+                .mul(c.read(ph, &[node.clone().child(0), k]))
         })
         .tanh()
     });
@@ -53,7 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let i = c.axis(0);
         let node = c.node();
         c.sum(h, |c, k| {
-            c.read(w, &[i.clone(), k.clone()]).mul(c.read(ph, &[node.clone().child(1), k]))
+            c.read(w, &[i.clone(), k.clone()])
+                .mul(c.read(ph, &[node.clone().child(1), k]))
         })
         .tanh()
     });
@@ -62,16 +64,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let node = c.node();
         let gv = c.read(gate, &[node.clone(), i.clone()]);
         let lt = gv.clone().mul(c.read(left_mv, &[node.clone(), i.clone()]));
-        let rt = ValExpr::Const(1.0).sub(gv).mul(c.read(right_mv, &[node, i]));
+        let rt = ValExpr::Const(1.0)
+            .sub(gv)
+            .mul(c.read(right_mv, &[node, i]));
         ValExpr::Bin(BinOp::Max, Box::new(lt), Box::new(rt))
     });
-    let leaf = g.compute("h_leaf", &[h], |c| c.read(emb, &[c.node().word(), c.axis(0)]));
+    let leaf = g.compute("h_leaf", &[h], |c| {
+        c.read(emb, &[c.node().word(), c.axis(0)])
+    });
     let body = g.if_then_else("h_body", leaf, rec)?;
     let out = g.recursion(ph, body)?;
     g.mark_output(out);
 
     // --- Compile and run. ----------------------------------------------
-    let program = lower(&g, &RaSchedule::default(), StructureInfo { max_children: 2 })?;
+    let program = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )?;
     println!(
         "compiled TreeMaxGate: {} kernels, sync depth {}",
         program.num_kernels(),
@@ -84,7 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let emb_t = Tensor::random(&[vocab, h], 0.5, 1);
     let w_t = Tensor::random(&[h, h], 0.3, 2);
     let u_t = Tensor::random(&[h, h], 0.3, 3);
-    params.set("Emb", emb_t.clone()).set("W", w_t.clone()).set("U", u_t.clone());
+    params
+        .set("Emb", emb_t.clone())
+        .set("W", w_t.clone())
+        .set("U", u_t.clone());
     let result = cortex::backend::exec::run(&program, &lin, &params, &DeviceSpec::v100())?;
     let got = &result.outputs[&out.id()];
 
@@ -97,8 +110,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             emb_t.row(tree.word(n) as usize).to_vec()
         } else {
             let (l, r) = (kids[0].index(), kids[1].index());
-            let hsum: Vec<f32> =
-                (0..h).map(|i| vals[l][i] + vals[r][i]).collect();
+            let hsum: Vec<f32> = (0..h).map(|i| vals[l][i] + vals[r][i]).collect();
             (0..h)
                 .map(|i| {
                     let gv = sig(kernels::dot(u_t.row(i), &hsum));

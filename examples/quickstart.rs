@@ -19,11 +19,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut g = RaGraph::new();
     let emb = g.input("Emb", &[vocab, h]);
     let rnn_ph = g.placeholder("rnn_ph", &[h]);
-    let leaf_case = g.compute("leaf_case", &[h], |c| c.read(emb, &[c.node().word(), c.axis(0)]));
-    let lh = g.compute("lh", &[h], |c| c.read(rnn_ph, &[c.node().child(0), c.axis(0)]));
-    let rh = g.compute("rh", &[h], |c| c.read(rnn_ph, &[c.node().child(1), c.axis(0)]));
+    let leaf_case = g.compute("leaf_case", &[h], |c| {
+        c.read(emb, &[c.node().word(), c.axis(0)])
+    });
+    let lh = g.compute("lh", &[h], |c| {
+        c.read(rnn_ph, &[c.node().child(0), c.axis(0)])
+    });
+    let rh = g.compute("rh", &[h], |c| {
+        c.read(rnn_ph, &[c.node().child(1), c.axis(0)])
+    });
     let recursive_case = g.compute("recursive_case", &[h], |c| {
-        c.read(lh, &[c.node(), c.axis(0)]).add(c.read(rh, &[c.node(), c.axis(0)])).tanh()
+        c.read(lh, &[c.node(), c.axis(0)])
+            .add(c.read(rh, &[c.node(), c.axis(0)]))
+            .tanh()
     });
     let body = g.if_then_else("body", leaf_case, recursive_case)?;
     let rnn = g.recursion(rnn_ph, body)?;
@@ -64,9 +72,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = &result.outputs[&rnn.id()];
     let root_id = lin.from_structure_id(root) as usize;
     println!("=== Inference ===");
-    println!("root state   = {:?}", &out.as_slice()[root_id * h..(root_id + 1) * h]);
+    println!(
+        "root state   = {:?}",
+        &out.as_slice()[root_id * h..(root_id + 1) * h]
+    );
     println!("kernels      = {}", result.profile.launches);
     println!("barriers     = {}", result.profile.barriers_global);
-    println!("est. latency = {:.3} ms on {}", result.latency.total_ms(), device.name);
+    println!(
+        "est. latency = {:.3} ms on {}",
+        result.latency.total_ms(),
+        device.name
+    );
     Ok(())
 }

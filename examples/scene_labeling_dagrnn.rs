@@ -17,8 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = 64;
     let model = dagrnn::dag_rnn(h);
     // A batch of ten 10x10 "images" (Table 2's DAG-RNN workload).
-    let grid =
-        cortex::ds::datasets::batch_of(|s| cortex::ds::datasets::grid_dag(10, 10, s), 10, 7);
+    let grid = cortex::ds::datasets::batch_of(|s| cortex::ds::datasets::grid_dag(10, 10, s), 10, 7);
     println!(
         "DAG-RNN: {} grid nodes, {} anti-diagonal wavefronts, max {} children\n",
         grid.num_nodes(),
@@ -31,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = model.lower(&RaSchedule::default())?;
     println!(
         "kernels: {:?}\n",
-        program.kernels.iter().map(|k| k.name.as_str()).collect::<Vec<_>>()
+        program
+            .kernels
+            .iter()
+            .map(|k| k.name.as_str())
+            .collect::<Vec<_>>()
     );
 
     // Latency on the three Table 3 backends.
@@ -52,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Tree-only schedules are rejected for DAGs at runtime: nodes with
     // multiple parents would be recomputed (§3.1).
-    let unroll = RaSchedule { unroll: Some(2), ..RaSchedule::default() };
+    let unroll = RaSchedule {
+        unroll: Some(2),
+        ..RaSchedule::default()
+    };
     let err = model.run(&grid, &unroll, &DeviceSpec::v100()).unwrap_err();
     println!("\nunrolling a DAG is rejected: {err}");
     Ok(())

@@ -14,7 +14,10 @@ use cortex::models::{treelstm, LeafInit};
 use cortex::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let h: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let h: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let batch = 10;
     println!("TreeLSTM, hidden {h}, batch {batch} (synthetic sentiment treebank)\n");
 
@@ -35,7 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Cortex under three schedules (the Fig. 10a story). -----------
     for (name, schedule) in [
         ("unoptimized (no fusion)", RaSchedule::unoptimized()),
-        ("fused + specialized", RaSchedule { persist: false, ..RaSchedule::default() }),
+        (
+            "fused + specialized",
+            RaSchedule {
+                persist: false,
+                ..RaSchedule::default()
+            },
+        ),
         ("fused + specialized + persistent", RaSchedule::default()),
     ] {
         let (result, _lin) = model.run(&forest, &schedule, &device)?;

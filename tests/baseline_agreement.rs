@@ -74,8 +74,7 @@ fn all_frameworks_agree_on_dags() {
 fn grnn_agrees_on_sequences() {
     let gpu = DeviceSpec::v100();
     for model in [seq::seq_lstm(8), seq::seq_gru(8)] {
-        let s =
-            cortex::ds::datasets::batch_of(|x| cortex::ds::datasets::sequence(20, x), 3, 13);
+        let s = cortex::ds::datasets::batch_of(|x| cortex::ds::datasets::sequence(20, x), 3, 13);
         let ours = cortex_hidden(&model, &s);
         let g = grnn::run(&model, &s, &gpu);
         assert_rows_close(&ours, &g.hidden, 1e-3, &format!("{} grnn", model.name));

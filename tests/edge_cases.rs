@@ -77,7 +77,14 @@ fn dense_indexing_trades_global_for_scratch_traffic() {
 
     let (dense, _) = m.run(&f, &RaSchedule::default(), &gpu).unwrap();
     let (sparse, _) = m
-        .run(&f, &RaSchedule { dense_intermediates: false, ..RaSchedule::default() }, &gpu)
+        .run(
+            &f,
+            &RaSchedule {
+                dense_intermediates: false,
+                ..RaSchedule::default()
+            },
+            &gpu,
+        )
         .unwrap();
     assert!(dense.profile.scratch_allocated_bytes > 0);
     assert_eq!(sparse.profile.scratch_allocated_bytes, 0);

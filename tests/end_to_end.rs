@@ -15,13 +15,31 @@ fn schedules() -> Vec<(&'static str, RaSchedule)> {
         ("unoptimized", RaSchedule::unoptimized()),
         (
             "fused-unspecialized",
-            RaSchedule { specialize: false, ..RaSchedule::default() },
+            RaSchedule {
+                specialize: false,
+                ..RaSchedule::default()
+            },
         ),
-        ("unbatched", RaSchedule { dynamic_batch: false, ..RaSchedule::default() }),
-        ("peeled", RaSchedule { peel: Some(4), ..RaSchedule::default() }),
+        (
+            "unbatched",
+            RaSchedule {
+                dynamic_batch: false,
+                ..RaSchedule::default()
+            },
+        ),
+        (
+            "peeled",
+            RaSchedule {
+                peel: Some(4),
+                ..RaSchedule::default()
+            },
+        ),
         (
             "conservative-barriers",
-            RaSchedule { barrier: BarrierMode::Conservative, ..RaSchedule::default() },
+            RaSchedule {
+                barrier: BarrierMode::Conservative,
+                ..RaSchedule::default()
+            },
         ),
         (
             "leaf-check-by-load",
@@ -33,7 +51,10 @@ fn schedules() -> Vec<(&'static str, RaSchedule)> {
         ),
         (
             "no-dense-indexing",
-            RaSchedule { dense_intermediates: false, ..RaSchedule::default() },
+            RaSchedule {
+                dense_intermediates: false,
+                ..RaSchedule::default()
+            },
         ),
         (
             "unfused-unspecialized",
@@ -67,11 +88,8 @@ fn check_all_schedules(model: &Model, structure: &RecStructure, want: &[Vec<f32>
 #[test]
 fn tree_fc_all_schedules() {
     let m = treefc::tree_fc(16, LeafInit::Embedding);
-    let t = cortex::ds::datasets::batch_of(
-        |s| cortex::ds::datasets::perfect_binary_tree(4, s),
-        3,
-        1,
-    );
+    let t =
+        cortex::ds::datasets::batch_of(|s| cortex::ds::datasets::perfect_binary_tree(4, s), 3, 1);
     let want = reference::tree_fc(&t, &m.params, 16, LeafInit::Embedding);
     check_all_schedules(&m, &t, &want);
 }

@@ -1,50 +1,45 @@
-//! Property-based schedule-safety tests: no combination of Cortex's
+//! Randomized schedule-safety tests: no combination of Cortex's
 //! scheduling primitives may change a model's outputs, on any input
 //! structure. This is the compiler's core soundness contract.
 
 use cortex::core::ra::{BarrierMode, FusionMode, LeafCheckMode, RaSchedule};
 use cortex::models::{reference, treegru, treelstm, treernn, LeafInit};
 use cortex::prelude::*;
-use proptest::prelude::*;
+use cortex_rng::Rng;
 
-/// Random schedule generator over the supported combination space.
-fn any_schedule() -> impl Strategy<Value = RaSchedule> {
-    (
-        any::<bool>(), // dynamic_batch
-        any::<bool>(), // specialize
-        any::<bool>(), // fusion maximal?
-        any::<bool>(), // persist
-        any::<bool>(), // dense intermediates
-        any::<bool>(), // leaf check by numbering?
-        any::<bool>(), // conservative barriers
-        prop::option::of(2usize..5), // peel factor
-    )
-        .prop_map(
-            |(dynamic_batch, specialize, maximal, persist, dense, numbering, conservative, peel)| {
-                let fusion = if maximal { FusionMode::Maximal } else { FusionMode::None };
-                // Respect the lowering's documented constraints.
-                let dynamic_batch = dynamic_batch || fusion == FusionMode::None;
-                RaSchedule {
-                    dynamic_batch,
-                    specialize,
-                    fusion,
-                    persist,
-                    dense_intermediates: dense,
-                    leaf_check: if numbering {
-                        LeafCheckMode::Numbering
-                    } else {
-                        LeafCheckMode::Load
-                    },
-                    barrier: if conservative {
-                        BarrierMode::Conservative
-                    } else {
-                        BarrierMode::DependenceAware
-                    },
-                    peel,
-                    ..RaSchedule::default()
-                }
-            },
-        )
+/// Random schedule over the supported combination space.
+fn any_schedule(rng: &mut Rng) -> RaSchedule {
+    let maximal = rng.bool();
+    let fusion = if maximal {
+        FusionMode::Maximal
+    } else {
+        FusionMode::None
+    };
+    // Respect the lowering's documented constraints.
+    let dynamic_batch = rng.bool() || fusion == FusionMode::None;
+    RaSchedule {
+        dynamic_batch,
+        specialize: rng.bool(),
+        fusion,
+        persist: rng.bool(),
+        dense_intermediates: rng.bool(),
+        leaf_check: if rng.bool() {
+            LeafCheckMode::Numbering
+        } else {
+            LeafCheckMode::Load
+        },
+        barrier: if rng.bool() {
+            BarrierMode::Conservative
+        } else {
+            BarrierMode::DependenceAware
+        },
+        peel: if rng.bool() {
+            Some(rng.range_usize(2, 5))
+        } else {
+            None
+        },
+        ..RaSchedule::default()
+    }
 }
 
 fn random_forest(trees: usize, leaves: usize, seed: u64) -> RecStructure {
@@ -55,16 +50,14 @@ fn random_forest(trees: usize, leaves: usize, seed: u64) -> RecStructure {
     RecStructure::merge(&refs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn tree_rnn_invariant_under_scheduling(
-        schedule in any_schedule(),
-        trees in 1usize..4,
-        leaves in 2usize..12,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn tree_rnn_invariant_under_scheduling() {
+    let mut rng = Rng::new(0x41);
+    for _ in 0..16 {
+        let schedule = any_schedule(&mut rng);
+        let trees = rng.range_usize(1, 4);
+        let leaves = rng.range_usize(2, 12);
+        let seed = rng.below_u64(1000);
         let m = treernn::tree_rnn(6, LeafInit::Embedding);
         let f = random_forest(trees, leaves, seed);
         let want = reference::tree_rnn(&f, &m.params, 6, LeafInit::Embedding);
@@ -74,17 +67,22 @@ proptest! {
             for i in 0..6 {
                 let g = out[[id, i]];
                 let w = want[n.index()][i];
-                prop_assert!((g - w).abs() < 1e-4, "node {n} elem {i}: {g} vs {w} under {schedule:?}");
+                assert!(
+                    (g - w).abs() < 1e-4,
+                    "node {n} elem {i}: {g} vs {w} under {schedule:?}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn tree_lstm_invariant_under_scheduling(
-        schedule in any_schedule(),
-        leaves in 2usize..10,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn tree_lstm_invariant_under_scheduling() {
+    let mut rng = Rng::new(0x42);
+    for _ in 0..16 {
+        let schedule = any_schedule(&mut rng);
+        let leaves = rng.range_usize(2, 10);
+        let seed = rng.below_u64(1000);
         let m = treelstm::tree_lstm(5, LeafInit::Zero);
         let f = random_forest(2, leaves, seed);
         let want = reference::tree_lstm(&f, &m.params, 5, LeafInit::Zero);
@@ -92,45 +90,63 @@ proptest! {
         for n in f.iter() {
             let id = lin.from_structure_id(n) as usize;
             for i in 0..5 {
-                prop_assert!((out[[id, i]] - want.h[n.index()][i]).abs() < 1e-4);
+                assert!(
+                    (out[[id, i]] - want.h[n.index()][i]).abs() < 1e-4,
+                    "under {schedule:?}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn tree_gru_unroll_and_refactor_invariant(
-        leaves in 2usize..10,
-        seed in 0u64..1000,
-        depth in 2usize..4,
-        refactor in any::<bool>(),
-    ) {
+#[test]
+fn tree_gru_unroll_and_refactor_invariant() {
+    let mut rng = Rng::new(0x43);
+    for _ in 0..16 {
+        let leaves = rng.range_usize(2, 10);
+        let seed = rng.below_u64(1000);
+        let depth = rng.range_usize(2, 4);
+        let refactor = rng.bool();
         let m = treegru::tree_gru(5, LeafInit::Embedding);
         let f = random_forest(2, leaves, seed);
         let want = reference::tree_gru(&f, &m.params, 5, LeafInit::Embedding, false);
         let schedule = if refactor {
             m.refactored_schedule()
         } else {
-            RaSchedule { unroll: Some(depth), ..RaSchedule::default() }
+            RaSchedule {
+                unroll: Some(depth),
+                ..RaSchedule::default()
+            }
         };
         let (out, lin) = m.infer(&f, &schedule).expect("supported schedule");
         for n in f.iter() {
             let id = lin.from_structure_id(n) as usize;
             for i in 0..5 {
-                prop_assert!((out[[id, i]] - want[n.index()][i]).abs() < 1e-4);
+                assert!((out[[id, i]] - want[n.index()][i]).abs() < 1e-4);
             }
         }
     }
+}
 
-    #[test]
-    fn device_latency_is_monotone_in_counters(
-        launches in 0u64..1000,
-        extra in 1u64..500,
-        barriers in 0u64..1000,
-    ) {
-        use cortex::backend::profile::Profile;
-        let gpu = DeviceSpec::v100();
-        let base = Profile { launches, barriers_global: barriers, ..Profile::default() };
-        let more = Profile { launches: launches + extra, barriers_global: barriers, ..Profile::default() };
-        prop_assert!(gpu.latency(&more).total_s > gpu.latency(&base).total_s);
+#[test]
+fn device_latency_is_monotone_in_counters() {
+    use cortex::backend::profile::Profile;
+    let mut rng = Rng::new(0x44);
+    let gpu = DeviceSpec::v100();
+    for _ in 0..32 {
+        let launches = rng.below_u64(1000);
+        let extra = rng.range_usize(1, 500) as u64;
+        let barriers = rng.below_u64(1000);
+        let base = Profile {
+            launches,
+            barriers_global: barriers,
+            ..Profile::default()
+        };
+        let more = Profile {
+            launches: launches + extra,
+            barriers_global: barriers,
+            ..Profile::default()
+        };
+        assert!(gpu.latency(&more).total_s > gpu.latency(&base).total_s);
     }
 }

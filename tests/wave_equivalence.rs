@@ -1,0 +1,326 @@
+//! Equivalence of the three executor configurations.
+//!
+//! The batched wavefront engine (`wave_gemm`), the scalar reduction fast
+//! path (`fastdot`), and the fully generic interpreter must agree on
+//! every model, schedule, and input structure:
+//!
+//! * outputs within 1e-5 (different summation orders, same math), and
+//! * **identical** `Profile` counters between the scalar and batched
+//!   paths — the wave engine replays the exact per-element accounting it
+//!   optimizes away.
+
+use cortex::backend::exec::{Engine, ExecOptions};
+use cortex::backend::profile::Profile;
+use cortex::core::ra::RaSchedule;
+use cortex::ds::linearizer::Linearizer;
+use cortex::ds::{datasets, RecStructure};
+use cortex::models::{dagrnn, mvrnn, seq, treefc, treegru, treelstm, treernn, LeafInit, Model};
+use cortex_rng::Rng;
+
+fn models(h: usize) -> Vec<Model> {
+    vec![
+        treernn::tree_rnn(h, LeafInit::Embedding),
+        treefc::tree_fc(h, LeafInit::Embedding),
+        treegru::tree_gru(h, LeafInit::Embedding),
+        treelstm::tree_lstm(h, LeafInit::Zero),
+        mvrnn::mv_rnn(h),
+        dagrnn::dag_rnn(h),
+        seq::seq_lstm(h),
+    ]
+}
+
+fn structure_for(model: &Model, rng: &mut Rng) -> RecStructure {
+    let seed = rng.next_u64();
+    match model.name.as_str() {
+        "DAG-RNN" => datasets::grid_dag(rng.range_usize(2, 6), rng.range_usize(2, 6), seed),
+        "LSTM" | "GRU" => datasets::sequence(rng.range_usize(3, 30), seed),
+        _ => {
+            let parts: Vec<RecStructure> = (0..rng.range_usize(1, 4))
+                .map(|i| {
+                    datasets::random_binary_tree(
+                        rng.range_usize(2, 14),
+                        seed.wrapping_add(i as u64),
+                    )
+                })
+                .collect();
+            let refs: Vec<&RecStructure> = parts.iter().collect();
+            RecStructure::merge(&refs)
+        }
+    }
+}
+
+/// Counter fields that must match exactly between scalar and batched
+/// execution (wave stats included).
+fn assert_profiles_identical(a: &Profile, b: &Profile, ctx: &str) {
+    assert_eq!(a.launches, b.launches, "launches: {ctx}");
+    assert_eq!(a.flops, b.flops, "flops: {ctx}");
+    assert_eq!(
+        a.global_bytes_read, b.global_bytes_read,
+        "global reads: {ctx}"
+    );
+    assert_eq!(
+        a.global_bytes_written, b.global_bytes_written,
+        "global writes: {ctx}"
+    );
+    assert_eq!(a.param_bytes_read, b.param_bytes_read, "param reads: {ctx}");
+    assert_eq!(
+        a.scratch_bytes_accessed, b.scratch_bytes_accessed,
+        "scratch: {ctx}"
+    );
+    assert_eq!(a.branch_checks, b.branch_checks, "branch checks: {ctx}");
+    assert_eq!(
+        a.leaf_check_loads, b.leaf_check_loads,
+        "leaf-check loads: {ctx}"
+    );
+    assert_eq!(
+        a.barriers_global, b.barriers_global,
+        "global barriers: {ctx}"
+    );
+    assert_eq!(a.barriers_block, b.barriers_block, "block barriers: {ctx}");
+    assert_eq!(a.waves, b.waves, "wave stats: {ctx}");
+}
+
+#[test]
+fn three_executors_agree_on_random_models_and_trees() {
+    let mut rng = Rng::new(0x51);
+    for case in 0..24 {
+        let h = rng.range_usize(3, 11);
+        for model in models(h) {
+            let structure = structure_for(&model, &mut rng);
+            let program = model.lower(&RaSchedule::default()).unwrap();
+            let lin = Linearizer::new().linearize(&structure).unwrap();
+
+            let (out_g, _) = Engine::with_options(&program, ExecOptions::generic())
+                .execute(&lin, &model.params, true)
+                .unwrap();
+            let (out_s, prof_s) = Engine::with_options(&program, ExecOptions::scalar())
+                .execute(&lin, &model.params, true)
+                .unwrap();
+            let (out_w, prof_w) = Engine::new(&program)
+                .execute(&lin, &model.params, true)
+                .unwrap();
+
+            let ctx = format!("{} h={h} case={case}", model.name);
+            for (id, t_g) in &out_g {
+                let t_s = &out_s[id];
+                let t_w = &out_w[id];
+                assert!(
+                    t_s.all_close(t_g, 1e-5),
+                    "scalar vs generic diverge ({ctx}): {:?}",
+                    t_s.max_abs_diff(t_g)
+                );
+                assert!(
+                    t_w.all_close(t_g, 1e-5),
+                    "batched vs generic diverge ({ctx}): {:?}",
+                    t_w.max_abs_diff(t_g)
+                );
+            }
+            assert_profiles_identical(&prof_s, &prof_w, &ctx);
+        }
+    }
+}
+
+#[test]
+fn executors_agree_across_random_schedules() {
+    use cortex::core::ra::{BarrierMode, LeafCheckMode};
+    let mut rng = Rng::new(0x52);
+    for _ in 0..12 {
+        let schedule = RaSchedule {
+            specialize: rng.bool(),
+            persist: rng.bool(),
+            dense_intermediates: rng.bool(),
+            leaf_check: if rng.bool() {
+                LeafCheckMode::Numbering
+            } else {
+                LeafCheckMode::Load
+            },
+            barrier: if rng.bool() {
+                BarrierMode::Conservative
+            } else {
+                BarrierMode::DependenceAware
+            },
+            peel: if rng.bool() {
+                Some(rng.range_usize(2, 4))
+            } else {
+                None
+            },
+            ..RaSchedule::default()
+        };
+        let h = rng.range_usize(3, 9);
+        let model = treelstm::tree_lstm(h, LeafInit::Embedding);
+        let structure = structure_for(&model, &mut rng);
+        let program = model.lower(&schedule).unwrap();
+        let lin = Linearizer::new().linearize(&structure).unwrap();
+        let (out_s, prof_s) = Engine::with_options(&program, ExecOptions::scalar())
+            .execute(&lin, &model.params, true)
+            .unwrap();
+        let (out_w, prof_w) = Engine::new(&program)
+            .execute(&lin, &model.params, true)
+            .unwrap();
+        let ctx = format!("TreeLSTM h={h} schedule={schedule:?}");
+        for (id, t_s) in &out_s {
+            assert!(out_w[id].all_close(t_s, 1e-5), "{ctx}");
+        }
+        assert_profiles_identical(&prof_s, &prof_w, &ctx);
+    }
+}
+
+#[test]
+fn batched_engine_matches_reference_models_at_paper_width() {
+    // The acceptance-bar check at realistic width: TreeLSTM h=64 on a
+    // ≥256-node forest, batched engine vs the pure-Rust reference.
+    use cortex::models::reference;
+    let h = 64;
+    let model = treelstm::tree_lstm(h, LeafInit::Embedding);
+    let corpus = datasets::sentiment_treebank(16, 9);
+    let refs: Vec<&RecStructure> = corpus.iter().collect();
+    let forest = RecStructure::merge(&refs);
+    assert!(forest.num_nodes() >= 256);
+    let want = reference::tree_lstm(&forest, &model.params, h, LeafInit::Embedding);
+
+    let program = model.lower(&RaSchedule::default()).unwrap();
+    let lin = Linearizer::new().linearize(&forest).unwrap();
+    let mut engine = Engine::new(&program);
+    assert!(
+        engine.num_wave_plans() > 0,
+        "TreeLSTM must take the batched path"
+    );
+    let (out, _) = engine.execute(&lin, &model.params, true).unwrap();
+    let got = &out[&model.output];
+    for n in forest.iter() {
+        let id = lin.from_structure_id(n) as usize;
+        for i in 0..h {
+            let g = got[[id, i]];
+            let w = want.h[n.index()][i];
+            assert!((g - w).abs() < 1e-4, "node {n} elem {i}: {g} vs {w}");
+        }
+    }
+}
+
+/// With the `parallel` feature, wave GEMMs run on a scoped thread pool.
+/// Threading must not perturb a single counter (`Profile` accounting all
+/// happens outside the threaded kernels) and must stay deterministic.
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_execution_keeps_profile_identical_to_sequential_accounting() {
+    let mut rng = Rng::new(0x53);
+    for _ in 0..6 {
+        let h = rng.range_usize(16, 40);
+        let model = treelstm::tree_lstm(h, LeafInit::Embedding);
+        let structure = structure_for(&model, &mut rng);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let lin = Linearizer::new().linearize(&structure).unwrap();
+        let (out_s, prof_s) = Engine::with_options(&program, ExecOptions::scalar())
+            .execute(&lin, &model.params, true)
+            .unwrap();
+        let (out_w1, prof_w) = Engine::new(&program)
+            .execute(&lin, &model.params, true)
+            .unwrap();
+        let (out_w2, _) = Engine::new(&program)
+            .execute(&lin, &model.params, true)
+            .unwrap();
+        assert_profiles_identical(&prof_s, &prof_w, "threaded TreeLSTM");
+        for (id, t1) in &out_w1 {
+            assert_eq!(t1, &out_w2[id], "threaded runs must be deterministic");
+            assert!(out_s[id].all_close(t1, 1e-5));
+        }
+    }
+}
+
+/// Regression: a user may formulate the DAG child guard *outside* the
+/// reduction — `select(guard, Σ_k U[i,k]·h[child(n),k], 0)` instead of
+/// guarding inside the sum. The reduction must then stay on the scalar
+/// path: batching it would resolve `child(n)` for border nodes where it
+/// is NO_CHILD (out-of-bounds) and replay accounting for never-taken
+/// branches.
+#[test]
+fn guard_outside_reduction_stays_on_scalar_path_and_agrees() {
+    use cortex::backend::params::Params;
+    use cortex::core::expr::{BoolExpr, CmpOp, IdxExpr, Ufn, ValExpr};
+    use cortex::core::lower::{lower, StructureInfo};
+    use cortex::core::ra::RaGraph;
+    use cortex::tensor::Tensor;
+
+    let h = 6;
+    let vocab = datasets::VOCAB_SIZE as usize;
+    let mut g = RaGraph::new();
+    let u = g.input("U", &[h, h]);
+    let emb = g.input("Emb", &[vocab, h]);
+    let ph = g.placeholder("ph", &[h]);
+    let leaf = g.compute("leaf", &[h], |c| c.read(emb, &[c.node().word(), c.axis(0)]));
+    let rec = g.compute("rec", &[h], |c| {
+        let i = c.axis(0);
+        let node = c.node();
+        let mut acc: Option<ValExpr> = None;
+        for slot in 0..2u8 {
+            let child = IdxExpr::Ufn(Ufn::Child(slot), vec![node.clone()]);
+            let mv = c.sum(h, |c, k| {
+                c.read(u, &[i.clone(), k.clone()])
+                    .mul(c.read(ph, &[child.clone(), k]))
+            });
+            let guarded = ValExpr::Select {
+                cond: BoolExpr::Cmp(
+                    CmpOp::Lt,
+                    IdxExpr::Const(i64::from(slot)),
+                    IdxExpr::Ufn(Ufn::NumChildren, vec![node.clone()]),
+                ),
+                then: Box::new(mv),
+                otherwise: Box::new(ValExpr::Const(0.0)),
+            };
+            acc = Some(match acc {
+                None => guarded,
+                Some(prev) => prev.add(guarded),
+            });
+        }
+        acc.expect("two slots").tanh()
+    });
+    let body = g.if_then_else("body", leaf, rec).unwrap();
+    let rnn = g.recursion(ph, body).unwrap();
+    g.mark_output(rnn);
+
+    let program = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    // A grid DAG has border internal nodes with a single child: slot 1 is
+    // NO_CHILD there, which the select short-circuits around.
+    let d = datasets::grid_dag(5, 5, 3);
+    let lin = Linearizer::new().linearize(&d).unwrap();
+    let mut params = Params::new();
+    params.set("U", Tensor::random(&[h, h], 0.4, 1));
+    params.set("Emb", Tensor::random(&[vocab, h], 0.4, 2));
+
+    let (out_s, prof_s) = Engine::with_options(&program, ExecOptions::scalar())
+        .execute(&lin, &params, true)
+        .unwrap();
+    let (out_w, prof_w) = Engine::new(&program).execute(&lin, &params, true).unwrap();
+    for (id, t_s) in &out_s {
+        assert!(out_w[id].all_close(t_s, 1e-5));
+    }
+    assert_profiles_identical(&prof_s, &prof_w, "guard outside reduction");
+}
+
+#[test]
+fn engine_reuse_across_runs_is_stable() {
+    // Cached compiled kernels / packed weights / scratch must not leak
+    // state between runs or inputs.
+    let model = treegru::tree_gru(8, LeafInit::Embedding);
+    let program = model.lower(&RaSchedule::default()).unwrap();
+    let mut engine = Engine::new(&program);
+    let mut baseline = Vec::new();
+    for seed in 0..4u64 {
+        let t = datasets::random_binary_tree(11, seed);
+        let lin = Linearizer::new().linearize(&t).unwrap();
+        let (out, prof) = engine.execute(&lin, &model.params, true).unwrap();
+        baseline.push((out[&model.output].clone(), prof.flops));
+    }
+    for seed in 0..4u64 {
+        let t = datasets::random_binary_tree(11, seed);
+        let lin = Linearizer::new().linearize(&t).unwrap();
+        let (out, prof) = engine.execute(&lin, &model.params, true).unwrap();
+        assert_eq!(out[&model.output], baseline[seed as usize].0, "seed {seed}");
+        assert_eq!(prof.flops, baseline[seed as usize].1, "seed {seed}");
+    }
+}
