@@ -27,7 +27,7 @@ use crate::fastdot::DotPlan;
 use crate::params::Params;
 use crate::persist::{check_persistence, PersistDecision};
 use crate::profile::{Profile, WaveStat};
-use crate::wave::{SumSite, WavePlan};
+use crate::wave::{GroupKind, SiteGroup, SumSite, WavePlan};
 
 /// Errors from program execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,9 +124,22 @@ pub fn execute(
 // Execution engine
 // ---------------------------------------------------------------------
 
+/// Default for [`ExecOptions::min_wave_width`]: waves narrower than this
+/// skip the gather/pack phase and run on the scalar fastdot path.
+/// Results and `Profile` are identical either way; this is purely a
+/// latency tuning knob.
+///
+/// Measured with the `tune_wave_width` sweep (single-core x86, h=256):
+/// gate stacking makes even width-1 waves profitable — one stacked GEMM
+/// replaces `h` per-element stream resolutions — so the default batches
+/// everything (`seqlstm_h256_bs1` is 23 ms batched vs 36 ms skipped;
+/// thresholds ≥2 only ever lose). Raise this on hardware where the
+/// gather/pack phase is comparatively more expensive.
+pub const MIN_WAVE_WIDTH: usize = 1;
+
 /// Which executor paths are enabled.
 ///
-/// All three configurations compute identical results (a property test
+/// All configurations compute identical results (a property test
 /// asserts agreement on random programs); they differ in speed and serve
 /// as each other's cross-checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,9 +147,17 @@ pub struct ExecOptions {
     /// Run recognized reductions as tight strided loops ([`DotPlan`]).
     /// With this off, every `Sum` goes through the generic interpreter.
     pub fastdot: bool,
-    /// Execute recognized reduction *waves* as one packed GEMM per site
-    /// per wave (the batched wavefront engine).
+    /// Execute recognized reduction *waves* as packed GEMMs (the batched
+    /// wavefront engine).
     pub wave_gemm: bool,
+    /// Stack compatible sites of a wave into one GEMM per group (shared
+    /// gathered rows → vertically stacked weights; shared weight →
+    /// row-stacked gathers). With this off every site runs its own GEMM
+    /// (the pre-stacking path, kept as a cross-check).
+    pub gate_stacking: bool,
+    /// Waves narrower than this many rows stay on the scalar fastdot
+    /// path ([`MIN_WAVE_WIDTH`]).
+    pub min_wave_width: usize,
 }
 
 impl Default for ExecOptions {
@@ -144,6 +165,8 @@ impl Default for ExecOptions {
         ExecOptions {
             fastdot: true,
             wave_gemm: true,
+            gate_stacking: true,
+            min_wave_width: MIN_WAVE_WIDTH,
         }
     }
 }
@@ -154,6 +177,8 @@ impl ExecOptions {
         ExecOptions {
             fastdot: false,
             wave_gemm: false,
+            gate_stacking: false,
+            min_wave_width: 0,
         }
     }
 
@@ -162,8 +187,46 @@ impl ExecOptions {
         ExecOptions {
             fastdot: true,
             wave_gemm: false,
+            gate_stacking: false,
+            min_wave_width: 0,
         }
     }
+
+    /// The batched engine with gate stacking disabled: one GEMM per site
+    /// per wave, exactly the pre-stacking executor.
+    pub fn unstacked() -> Self {
+        ExecOptions {
+            gate_stacking: false,
+            ..ExecOptions::default()
+        }
+    }
+}
+
+/// Diagnostic counters of the batched wavefront engine, reset on every
+/// [`Engine::execute`]. Unlike [`Profile`] these describe the *executor
+/// strategy* (how many GEMMs served the run, how much stacking engaged),
+/// not the modeled device work — the scalar and batched paths
+/// intentionally report different [`ExecStats`] while their `Profile`s
+/// are identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Wave GEMM launches.
+    pub wave_gemms: u64,
+    /// Total rows across all wave GEMMs.
+    pub gemm_rows: u64,
+    /// Waves that ran the batched path.
+    pub waves_batched: u64,
+    /// Reduction sites served from wave GEMMs.
+    pub sites_batched: u64,
+    /// Multi-site groups executed as one stacked GEMM.
+    pub stacked_groups: u64,
+    /// Sites that shared a stacked GEMM (members of the above).
+    pub stacked_sites: u64,
+    /// Waves skipped by the min-width heuristic.
+    pub narrow_waves_skipped: u64,
+    /// Sites that failed a runtime check (weight window) and fell back
+    /// to the scalar path.
+    pub fallback_sites: u64,
 }
 
 /// A reusable execution engine for one lowered program.
@@ -208,7 +271,7 @@ impl<'p> Engine<'p> {
         let max_slots = compiled.iter().map(|k| k.num_slots).max().unwrap_or(0);
         let wave_plans = if opts.wave_gemm {
             let bodies: Vec<&[Stmt]> = compiled.iter().map(|k| k.body.as_slice()).collect();
-            crate::wave::analyze(&bodies)
+            crate::wave::analyze(&bodies, opts.gate_stacking)
         } else {
             HashMap::new()
         };
@@ -232,6 +295,11 @@ impl<'p> Engine<'p> {
         self.wave_plans.len()
     }
 
+    /// Diagnostic counters of the most recent [`Engine::execute`] call.
+    pub fn stats(&self) -> ExecStats {
+        self.caches.stats
+    }
+
     /// Executes the program, returning outputs and raw counters.
     ///
     /// # Errors
@@ -245,6 +313,7 @@ impl<'p> Engine<'p> {
     ) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
         // Packed weights are derived from this run's parameter bindings.
         self.caches.weight_cache.clear();
+        self.caches.stats = ExecStats::default();
         let mut caches = std::mem::take(&mut self.caches);
         let result = (|| {
             let mut interp = Interp::new(
@@ -290,26 +359,44 @@ impl<'p> Engine<'p> {
 
 /// State the engine keeps across runs: memoized reduction plans (keyed by
 /// the `Sum` body's address within the compiled kernels, stable for the
-/// engine's lifetime), packed weight matrices (per run), and per-site
-/// gather/output scratch buffers.
+/// engine's lifetime), stacked packed-weight matrices (per run), and
+/// per-group gather/output scratch buffers.
 #[derive(Default)]
 struct Caches {
     plan_cache: HashMap<usize, Option<Rc<DotPlan>>>,
-    /// Packed weights keyed by `(site, base, k, store-generation)` — the
-    /// reduction extent is part of the key because a site's extent may
-    /// legally vary between waves (it is only required to be invariant
-    /// *within* one), and the source tensor's store generation invalidates
-    /// packs whose weight was rewritten since packing.
-    weight_cache: HashMap<(usize, usize, usize, u64), Rc<Vec<f32>>>,
-    site_bufs: HashMap<usize, SiteBufs>,
+    /// Stacked packed weights keyed by `(group leader site key,
+    /// reduction extent)` — the extent is part of the key because a
+    /// site's extent may legally vary between waves (it is only required
+    /// to be invariant *within* one), and keying it keeps both variants
+    /// cached instead of repacking every wave. The signature (per-member
+    /// site key, weight window base, source-tensor store generation) is
+    /// validated on every hit and the pack rebuilt on mismatch — a
+    /// non-`Param` weight may be rewritten by a precompute kernel
+    /// mid-run.
+    weight_cache: HashMap<(usize, usize), StackedWeight>,
+    /// Reusable gather/output buffers keyed by group leader site key.
+    group_bufs: HashMap<usize, GroupBufs>,
+    stats: ExecStats,
 }
 
-/// Reusable buffers for one reduction site.
+/// One packed (possibly vertically stacked) weight matrix.
+struct StackedWeight {
+    /// Per-member `(site key, window base, store generation)`.
+    sig: Vec<(usize, usize, u64)>,
+    /// `[ΣH][K]` row-major.
+    data: Rc<Vec<f32>>,
+}
+
+/// Reusable buffers for one stacking group. All three vectors are
+/// engine-lifetime scratch: they round-trip through [`ActiveGroup`] and
+/// back into the cache after each wave, so steady-state waves allocate
+/// nothing (the `RowMeta` entries are recycled in place, `tensors`
+/// capacity included).
 #[derive(Default)]
-struct SiteBufs {
-    /// Packed operand rows, `[wave_len][k]`.
+struct GroupBufs {
+    /// Packed operand rows, `[rows][k]`.
     rows: Vec<f32>,
-    /// GEMM output, `[wave_len][h]`.
+    /// GEMM output, `[rows][cols]`.
     out: Vec<f32>,
     /// Per-row accounting metadata.
     meta: Vec<RowMeta>,
@@ -324,10 +411,13 @@ struct RowMeta {
     zero: bool,
     /// Reduction-invariant scalar factor, applied after the dot.
     scale: f32,
-    /// Stream count including the weight stream (the `+1`-free part of
-    /// `flops += k·(streams+1)`).
+    /// Stream count **excluding** the weight stream (sites of a stacked
+    /// group share row metadata but read different weight tensors, so
+    /// the weight's load/flop share is charged at memo-hit time from
+    /// [`ActiveSite::weight_tensor`]).
     streams: u64,
-    /// Touched tensor ids (with multiplicity), including the weight.
+    /// Touched row-side tensor ids (with multiplicity); the weight
+    /// tensor is *not* included.
     tensors: Vec<u32>,
 }
 
@@ -341,14 +431,39 @@ enum Res {
     Zero,
 }
 
-/// A site currently served from a wave's GEMM result.
+/// One stacked GEMM currently serving a wave: the packed rows, the
+/// result matrix, and the per-row accounting shared by its sites.
+struct ActiveGroup {
+    /// Group leader's site key (the scratch-buffer cache key).
+    leader_key: usize,
+    /// GEMM output, `[rows][cols]` row-major.
+    out: Vec<f32>,
+    /// Packed operand rows (kept only to return the buffer to the pool).
+    rows: Vec<f32>,
+    /// Per-row metadata; sites index it via their `meta_off`.
+    meta: Vec<RowMeta>,
+    /// Output row length (ΣH of the stacked sites, or H when rows are
+    /// stacked instead).
+    cols: usize,
+}
+
+/// A site currently served from an [`ActiveGroup`]'s GEMM result.
 struct ActiveSite {
     site_key: usize,
-    out: Vec<f32>,
-    rows: Vec<f32>,
-    meta: Vec<RowMeta>,
-    h: usize,
+    /// Index into `Interp::active_groups`.
+    group: usize,
+    /// Row offset of this site's block in the group result
+    /// (`member_index · wave_len` for row-stacked groups, else 0).
+    row_off: usize,
+    /// Column offset of this site's block (prefix sum of stacked `h`s
+    /// for weight-stacked groups, else 0).
+    col_off: usize,
+    /// Offset into the group's `meta` (row-stacked groups carry one
+    /// metadata entry per site per row; weight-stacked share one set).
+    meta_off: usize,
     k: u64,
+    /// Weight tensor id, charged per element at memo-hit time.
+    weight_tensor: u32,
     feat_slot: usize,
     n_idx_slot: usize,
 }
@@ -482,8 +597,13 @@ struct Interp<'a> {
     caches: &'a mut Caches,
     /// Sites of the wave currently executing, served from GEMM results.
     active: Vec<ActiveSite>,
-    /// `Sum`-body address → index into `active`.
-    memo: HashMap<usize, usize>,
+    /// Stacked GEMMs of the wave currently executing.
+    active_groups: Vec<ActiveGroup>,
+    /// `(Sum-body address, index into active)` of the active sites. A
+    /// linear scan: waves have a handful of sites, and this lookup runs
+    /// once per interpreted `Sum` element — the hottest path there is,
+    /// where a `HashMap` hash would dominate.
+    memo: Vec<(usize, usize)>,
     /// Zeroed per-tensor touch arrays, recycled across scopes.
     scope_pool: Vec<Vec<(u64, u64)>>,
     /// Per-tensor store generation: bumped on every interpreted store, so
@@ -557,7 +677,8 @@ impl<'a> Interp<'a> {
             wave_plans,
             caches,
             active: Vec::new(),
-            memo: HashMap::new(),
+            active_groups: Vec::new(),
+            memo: Vec::new(),
             scope_pool: Vec::new(),
         })
     }
@@ -790,14 +911,22 @@ impl<'a> Interp<'a> {
                     }
                 }
                 // Batched wavefront execution: if this node loop has a
-                // wave plan, run each recognized reduction site as one
-                // packed GEMM over the whole wave, then interpret the loop
-                // normally with `Sum`s served from the result matrices.
-                let mut activated = 0usize;
+                // wave plan, run each stacking group of recognized
+                // reduction sites as one packed GEMM over the whole wave,
+                // then interpret the loop normally with `Sum`s served
+                // from the result matrices. Waves below the width
+                // threshold skip packing entirely — the scalar fastdot
+                // path is cheaper there and produces the identical
+                // `Profile`.
+                let mut activated = (0usize, 0usize);
                 if n > 0 && !self.wave_plans.is_empty() {
                     let plans = self.wave_plans.clone();
                     if let Some(plan) = plans.get(&(s as *const Stmt as usize)) {
-                        activated = self.prepare_wave(plan, n as usize);
+                        if (n as usize) < self.opts.min_wave_width {
+                            self.caches.stats.narrow_waves_skipped += 1;
+                        } else {
+                            activated = self.prepare_wave(plan, n as usize);
+                        }
                     }
                 }
                 for i in 0..n.max(0) {
@@ -812,7 +941,7 @@ impl<'a> Interp<'a> {
                         self.pop_scope();
                     }
                 }
-                if activated > 0 {
+                if activated != (0, 0) {
                     self.finish_wave(activated);
                 }
             }
@@ -995,22 +1124,28 @@ impl<'a> Interp<'a> {
             ValExpr::Sum { var, extent, body } => {
                 let n = self.eval_idx(extent).max(0);
                 let key = &**body as *const ValExpr as usize;
-                // Wave memo: this reduction was computed by the wave's
-                // GEMM — serve the element and charge the exact counters
-                // the scalar dot would have.
-                if let Some(&idx) = self.memo.get(&key) {
+                // Wave memo: this reduction was computed by a wave GEMM —
+                // serve the element and charge the exact counters the
+                // scalar dot would have.
+                if let Some(&(_, idx)) = self.memo.iter().find(|(k, _)| *k == key) {
                     let site = &self.active[idx];
+                    let group = &self.active_groups[site.group];
                     let r = self.slots[site.n_idx_slot] as usize;
-                    let m = &site.meta[r];
+                    let m = &group.meta[site.meta_off + r];
                     if m.zero {
                         // The scalar path short-circuits before any
                         // accounting when a guard kills the product.
                         return 0.0;
                     }
                     let i = self.slots[site.feat_slot] as usize;
-                    let value = m.scale * site.out[r * site.h + i];
-                    self.profile.flops += site.k * (m.streams + 1);
+                    let value =
+                        m.scale * group.out[(site.row_off + r) * group.cols + site.col_off + i];
+                    // `m.streams` excludes the weight stream: `+1` for the
+                    // weight, `+1` for the accumulate — the scalar path's
+                    // `flops += k·(streams+1)` with the weight included.
+                    self.profile.flops += site.k * (m.streams + 2);
                     if let Some(scope) = self.scopes.last_mut() {
+                        scope.touch[site.weight_tensor as usize].0 += site.k;
                         for &t in &m.tensors {
                             scope.touch[t as usize].0 += site.k;
                         }
@@ -1223,195 +1358,315 @@ impl<'a> Interp<'a> {
 
     // -- batched wavefront execution ----------------------------------
 
-    /// Runs the GEMM phase for every site of a wave plan, making their
-    /// `Sum`s servable from result matrices. Returns the number of sites
-    /// activated.
+    /// Runs the GEMM phase for every stacking group of a wave plan,
+    /// making their `Sum`s servable from result matrices. Returns the
+    /// number of `(sites, groups)` activated.
     ///
     /// Accounting discipline: the scalar path evaluates guards, scalar
-    /// factors and stream bases once per *element* (`wave_len × h`
-    /// times); the packing phase evaluates them once per *node* and
-    /// multiplies the counter deltas by `h`, while the per-element loads
+    /// factors and stream bases once per *element* (`wave_len × h` times
+    /// per site); the packing phase evaluates them once per *gathered
+    /// row* and multiplies the counter deltas by the summed feature
+    /// extents of every site the row serves, while the per-element loads
     /// and flops of the dot itself are charged at memo-hit time. The
     /// resulting `Profile` is identical to the scalar path's.
-    fn prepare_wave(&mut self, plan: &WavePlan, wave_len: usize) -> usize {
-        let mut activated = 0;
-        for site in &plan.sites {
-            if self.memo.contains_key(&site.key) {
-                continue; // defensive: a site is active at most once
-            }
-            if let Some(active) = self.prepare_site(plan, site, wave_len) {
-                self.memo.insert(site.key, self.active.len());
-                self.active.push(active);
-                activated += 1;
+    fn prepare_wave(&mut self, plan: &WavePlan, wave_len: usize) -> (usize, usize) {
+        let mut sites = 0usize;
+        let mut groups = 0usize;
+        for group in &plan.groups {
+            let n = self.prepare_group(plan, group, wave_len);
+            if n > 0 {
+                sites += n;
+                groups += 1;
             }
         }
-        activated
+        if groups > 0 {
+            self.caches.stats.waves_batched += 1;
+        }
+        (sites, groups)
     }
 
-    /// Packs one site's weight and operand rows and runs the wave GEMM.
+    /// Resolves a site's weight window for this wave: `(base, i-stride,
+    /// k-stride, store generation)`, or `None` when the window falls
+    /// outside its buffer (scalar fallback, bit-identical results).
     ///
-    /// Returns `None` (scalar fallback, bit-identical results) when the
-    /// resolved weight window falls outside its buffer.
-    fn prepare_site(
+    /// The analysis guarantees the non-`(i,k)` index positions are
+    /// wave-invariant and counter-free, so evaluating them here is
+    /// invisible to the `Profile`.
+    fn resolve_weight_window(
         &mut self,
-        plan: &WavePlan,
         site: &SumSite,
-        wave_len: usize,
-    ) -> Option<ActiveSite> {
-        let k_len = self.eval_idx(&site.extent).max(0) as usize;
-        let h = site.feat_extent;
-
-        // Resolve and pack the weight once per run (cached): the analysis
-        // guarantees the non-(i,k) index positions are wave-invariant.
+        k_len: usize,
+    ) -> Option<(usize, usize, usize, u64)> {
         let wt = site.weight.tensor.0 as usize;
-        let mut wbase = 0usize;
-        {
-            let mut coords = [0i64; 8];
-            for (d, e) in site.weight.index.iter().enumerate() {
-                if d == site.weight.i_pos || d == site.weight.k_pos {
-                    continue;
-                }
-                coords[d] = self.eval_idx(e);
-                if coords[d] < 0 {
-                    return None;
-                }
+        let mut coords = [0i64; 8];
+        for (d, e) in site.weight.index.iter().enumerate() {
+            if d == site.weight.i_pos || d == site.weight.k_pos {
+                continue;
             }
-            let buf = self.bufs[wt].as_ref().expect("weight allocated");
-            for (d, _) in site.weight.index.iter().enumerate() {
-                if d == site.weight.i_pos || d == site.weight.k_pos {
-                    continue;
-                }
-                wbase += coords[d] as usize * buf.strides[d];
+            coords[d] = self.eval_idx(e);
+            if coords[d] < 0 {
+                return None;
             }
         }
-        let (si, sk, wlen) = {
-            let buf = self.bufs[wt].as_ref().expect("weight allocated");
-            (
-                buf.strides[site.weight.i_pos],
-                buf.strides[site.weight.k_pos],
-                buf.data.len(),
-            )
-        };
-        if k_len > 0 && h > 0 && wbase + (h - 1) * si + (k_len - 1) * sk >= wlen {
+        let buf = self.bufs[wt].as_ref().expect("weight allocated");
+        let mut wbase = 0usize;
+        for (d, _) in site.weight.index.iter().enumerate() {
+            if d == site.weight.i_pos || d == site.weight.k_pos {
+                continue;
+            }
+            wbase += coords[d] as usize * buf.strides[d];
+        }
+        let si = buf.strides[site.weight.i_pos];
+        let sk = buf.strides[site.weight.k_pos];
+        let h = site.feat_extent;
+        if k_len > 0 && h > 0 && wbase + (h - 1) * si + (k_len - 1) * sk >= buf.data.len() {
             return None; // out-of-window weight: leave it to the scalar path
         }
-        let wgen = self.store_gens[wt];
-        let packed_w = match self
-            .caches
-            .weight_cache
-            .get(&(site.key, wbase, k_len, wgen))
-        {
-            Some(w) => w.clone(),
-            None => {
-                let buf = self.bufs[wt].as_ref().expect("weight allocated");
-                let mut w = vec![0.0f32; h * k_len];
-                for i in 0..h {
-                    let src_base = wbase + i * si;
-                    let dst = &mut w[i * k_len..(i + 1) * k_len];
-                    if sk == 1 {
-                        dst.copy_from_slice(&buf.data[src_base..src_base + k_len]);
+        Some((wbase, si, sk, self.store_gens[wt]))
+    }
+
+    /// Packs one stacking group's weights and operand rows, runs its
+    /// GEMM, and activates its member sites. Returns the number of sites
+    /// activated (members that fail a runtime check fall back to the
+    /// scalar path individually).
+    fn prepare_group(&mut self, plan: &WavePlan, group: &SiteGroup, wave_len: usize) -> usize {
+        struct Prep<'s> {
+            site: &'s SumSite,
+            wbase: usize,
+            si: usize,
+            sk: usize,
+            wgen: u64,
+        }
+
+        // The analyzer guarantees every member shares the reduction
+        // extent (grouping requires structurally equal extents).
+        let leader = &plan.sites[group.members[0]];
+        let k_len = self.eval_idx(&leader.extent).max(0) as usize;
+
+        let mut preps: Vec<Prep<'_>> = Vec::with_capacity(group.members.len());
+        let mut attempted = 0usize;
+        for &mi in &group.members {
+            let site = &plan.sites[mi];
+            if self.memo.iter().any(|(k, _)| *k == site.key) {
+                continue; // defensive: a site is active at most once
+            }
+            attempted += 1;
+            if let Some((wbase, si, sk, wgen)) = self.resolve_weight_window(site, k_len) {
+                preps.push(Prep {
+                    site,
+                    wbase,
+                    si,
+                    sk,
+                    wgen,
+                });
+            }
+        }
+        self.caches.stats.fallback_sites += (attempted - preps.len()) as u64;
+        if preps.is_empty() {
+            return 0;
+        }
+
+        // Pack (or reuse) the stacked weight matrix: the members'
+        // `[h][K]` windows vertically concatenated for shared-rows
+        // groups, the one shared `[H][K]` window for row-stacked groups.
+        let leader_key = preps[0].site.key;
+        let to_pack = match group.kind {
+            GroupKind::SharedRows => preps.len(),
+            GroupKind::SharedWeight => 1,
+        };
+        let cols: usize = preps[..to_pack].iter().map(|p| p.site.feat_extent).sum();
+        // Validate the cached pack without materializing a signature —
+        // this is the per-wave steady state and must not allocate.
+        let cache_key = (leader_key, k_len);
+        let cached = self.caches.weight_cache.get(&cache_key).is_some_and(|w| {
+            w.sig.len() == preps.len()
+                && w.sig
+                    .iter()
+                    .zip(&preps)
+                    .all(|(s, p)| *s == (p.site.key, p.wbase, p.wgen))
+        });
+        if !cached {
+            let sig: Vec<(usize, usize, u64)> = preps
+                .iter()
+                .map(|p| (p.site.key, p.wbase, p.wgen))
+                .collect();
+            let mut data = vec![0.0f32; cols * k_len];
+            let mut row0 = 0usize;
+            for p in &preps[..to_pack] {
+                let buf = self.bufs[p.site.weight.tensor.0 as usize]
+                    .as_ref()
+                    .expect("weight allocated");
+                for i in 0..p.site.feat_extent {
+                    let src = p.wbase + i * p.si;
+                    let dst = &mut data[(row0 + i) * k_len..(row0 + i + 1) * k_len];
+                    if p.sk == 1 {
+                        dst.copy_from_slice(&buf.data[src..src + k_len]);
                     } else {
                         for (kk, dv) in dst.iter_mut().enumerate() {
-                            *dv = buf.data[src_base + kk * sk];
+                            *dv = buf.data[src + kk * p.sk];
                         }
                     }
                 }
-                let w = Rc::new(w);
-                self.caches
-                    .weight_cache
-                    .insert((site.key, wbase, k_len, wgen), w.clone());
-                w
+                row0 += p.site.feat_extent;
             }
-        };
-
-        // Gather phase: resolve guards/child-sums/scalars once per node
-        // and pack the operand rows.
-        let mut bufs = self.caches.site_bufs.remove(&site.key).unwrap_or_default();
-        bufs.rows.clear();
-        bufs.rows.resize(wave_len * k_len, 0.0);
-        bufs.meta.clear();
-        for r in 0..wave_len {
-            self.slots[plan.n_idx_slot] = r as i64;
-            if let Some((slot, value)) = &plan.node_let {
-                self.slots[*slot] = self.eval_idx(value);
-            }
-            let meta = self.pack_row(
-                site,
-                r,
-                k_len,
-                h,
-                &mut bufs.rows[r * k_len..(r + 1) * k_len],
+            self.caches.weight_cache.insert(
+                cache_key,
+                StackedWeight {
+                    sig,
+                    data: Rc::new(data),
+                },
             );
-            bufs.meta.push(meta);
+        }
+        let packed_w = self.caches.weight_cache[&cache_key].data.clone();
+
+        // Gather phase: resolve guards/child-sums/scalars once per row
+        // and pack the operand rows. Shared-rows groups gather one row
+        // per node (serving every member); row-stacked groups gather one
+        // block of rows per member.
+        let gemm_rows = match group.kind {
+            GroupKind::SharedRows => wave_len,
+            GroupKind::SharedWeight => preps.len() * wave_len,
+        };
+        let mut bufs = self
+            .caches
+            .group_bufs
+            .remove(&leader_key)
+            .unwrap_or_default();
+        bufs.rows.clear();
+        bufs.rows.resize(gemm_rows * k_len, 0.0);
+        bufs.meta.resize_with(gemm_rows, RowMeta::default);
+        match group.kind {
+            GroupKind::SharedRows => {
+                // The members' row operands are structurally equal, so
+                // the leader's resolution stands in for all of them; the
+                // scalar path would have resolved once per element of
+                // every member, hence the Σh replay factor.
+                let replay: u64 = preps.iter().map(|p| p.site.feat_extent as u64).sum();
+                let rest = &preps[0].site.rest;
+                for r in 0..wave_len {
+                    self.slots[plan.n_idx_slot] = r as i64;
+                    if let Some((slot, value)) = &plan.node_let {
+                        self.slots[*slot] = self.eval_idx(value);
+                    }
+                    let row = &mut bufs.rows[r * k_len..(r + 1) * k_len];
+                    let meta = &mut bufs.meta[r];
+                    self.pack_row(rest, k_len, replay, row, meta);
+                }
+            }
+            GroupKind::SharedWeight => {
+                for (g, p) in preps.iter().enumerate() {
+                    for r in 0..wave_len {
+                        self.slots[plan.n_idx_slot] = r as i64;
+                        if let Some((slot, value)) = &plan.node_let {
+                            self.slots[*slot] = self.eval_idx(value);
+                        }
+                        let at = g * wave_len + r;
+                        let row = &mut bufs.rows[at * k_len..(at + 1) * k_len];
+                        let meta = &mut bufs.meta[at];
+                        self.pack_row(&p.site.rest, k_len, p.site.feat_extent as u64, row, meta);
+                    }
+                }
+            }
         }
 
-        // One cache-blocked NT GEMM for the whole wave. Guard-zero rows
+        // One cache-blocked NT GEMM for the whole group. Guard-zero rows
         // need no special handling here: the memo hit short-circuits to
         // exactly 0.0 (matching the scalar path, which never touches the
         // weight — inf/NaN containment happens at that early return) so
         // their slots in `out` are never read.
         bufs.out.clear();
-        bufs.out.resize(wave_len * h, 0.0);
-        kernels::gemm_nt_into(&mut bufs.out, &bufs.rows, &packed_w, wave_len, h, k_len);
+        bufs.out.resize(gemm_rows * cols, 0.0);
+        kernels::gemm_nt_into(&mut bufs.out, &bufs.rows, &packed_w, gemm_rows, cols, k_len);
 
-        Some(ActiveSite {
-            site_key: site.key,
+        let stats = &mut self.caches.stats;
+        stats.wave_gemms += 1;
+        stats.gemm_rows += gemm_rows as u64;
+        stats.sites_batched += preps.len() as u64;
+        if preps.len() > 1 {
+            stats.stacked_groups += 1;
+            stats.stacked_sites += preps.len() as u64;
+        }
+
+        let group_idx = self.active_groups.len();
+        self.active_groups.push(ActiveGroup {
+            leader_key,
             out: std::mem::take(&mut bufs.out),
             rows: std::mem::take(&mut bufs.rows),
             meta: std::mem::take(&mut bufs.meta),
-            h,
-            k: k_len as u64,
-            feat_slot: site.feat_slot,
-            n_idx_slot: plan.n_idx_slot,
-        })
+            cols,
+        });
+        let mut col_off = 0usize;
+        for (g, p) in preps.iter().enumerate() {
+            let (row_off, c_off, meta_off) = match group.kind {
+                GroupKind::SharedRows => (0, col_off, 0),
+                GroupKind::SharedWeight => (g * wave_len, 0, g * wave_len),
+            };
+            col_off += p.site.feat_extent;
+            self.memo.push((p.site.key, self.active.len()));
+            self.active.push(ActiveSite {
+                site_key: p.site.key,
+                group: group_idx,
+                row_off,
+                col_off: c_off,
+                meta_off,
+                k: k_len as u64,
+                weight_tensor: p.site.weight.tensor.0,
+                feat_slot: p.site.feat_slot,
+                n_idx_slot: plan.n_idx_slot,
+            });
+        }
+        preps.len()
     }
 
-    /// Resolves one node's operands and packs its reduction row,
-    /// replicating the scalar path's per-element accounting (`×h`).
+    /// Resolves one node's row operands and packs its reduction row,
+    /// replicating the scalar path's per-element accounting ×`replay`
+    /// (the summed feature extents of every site this row serves). The
+    /// metadata entry is rewritten in place so its `tensors` allocation
+    /// is recycled across waves.
     fn pack_row(
         &mut self,
-        site: &SumSite,
-        _row: usize,
+        rest: &[crate::fastdot::Operand],
         k_len: usize,
-        h: usize,
+        replay: u64,
         out_row: &mut [f32],
-    ) -> RowMeta {
+        meta: &mut RowMeta,
+    ) {
         let before = (
             self.profile.flops,
             self.profile.leaf_check_loads,
             self.profile.branch_checks,
         );
-        let (resolved, scale) = self.resolve_product(&site.rest);
-        // The scalar path would repeat this resolution for every one of
-        // the `h` output elements; replay the counter deltas h-1 times.
-        let extra = (h as u64).saturating_sub(1);
+        let (resolved, scale) = self.resolve_product(rest);
+        // The scalar path would repeat this resolution for every served
+        // output element; replay the counter deltas replay-1 more times.
+        let extra = replay.saturating_sub(1);
         self.profile.flops += (self.profile.flops - before.0) * extra;
         self.profile.leaf_check_loads += (self.profile.leaf_check_loads - before.1) * extra;
         self.profile.branch_checks += (self.profile.branch_checks - before.2) * extra;
 
+        meta.tensors.clear();
+        meta.scale = scale;
         if resolved.iter().any(|r| matches!(r, Res::Zero)) || k_len == 0 {
-            return RowMeta {
-                zero: true,
-                scale,
-                streams: 0,
-                tensors: Vec::new(),
-            };
+            meta.zero = true;
+            meta.streams = 0;
+            return;
         }
-        let mut tensors: Vec<u32> = vec![site.weight.tensor.0];
-        let mut streams = 1u64; // the weight stream
+        meta.zero = false;
+        let mut streams = 0u64;
         for r in &resolved {
             match r {
                 Res::Stream(t, _, _) => {
                     streams += 1;
-                    tensors.push(*t as u32);
+                    meta.tensors.push(*t as u32);
                 }
                 Res::AddStreams(v) => {
                     streams += v.len() as u64;
-                    tensors.extend(v.iter().map(|(t, _, _)| *t as u32));
+                    meta.tensors.extend(v.iter().map(|(t, _, _)| *t as u32));
                 }
                 Res::Zero => unreachable!("filtered above"),
             }
         }
+        meta.streams = streams;
         let bufs = &self.bufs;
         let data = |t: usize| -> &[f32] { &bufs[t].as_ref().expect("allocated").data };
         // Fast case: a single plain stream (the matvec row) is a strided
@@ -1459,26 +1714,28 @@ impl<'a> Interp<'a> {
                 }
             }
         }
-        RowMeta {
-            zero: false,
-            scale,
-            streams,
-            tensors,
-        }
     }
 
-    /// Deactivates the last `count` wave sites, returning their buffers
-    /// to the per-site pools.
-    fn finish_wave(&mut self, count: usize) {
-        for _ in 0..count {
+    /// Deactivates the last `(sites, groups)` of a wave, returning the
+    /// group buffers to the per-group pools.
+    fn finish_wave(&mut self, (sites, groups): (usize, usize)) {
+        for _ in 0..sites {
             let site = self.active.pop().expect("active site");
-            self.memo.remove(&site.site_key);
-            self.caches.site_bufs.insert(
-                site.site_key,
-                SiteBufs {
-                    rows: site.rows,
-                    out: site.out,
-                    meta: site.meta,
+            let pos = self
+                .memo
+                .iter()
+                .position(|(k, _)| *k == site.site_key)
+                .expect("memoized site");
+            self.memo.swap_remove(pos);
+        }
+        for _ in 0..groups {
+            let group = self.active_groups.pop().expect("active group");
+            self.caches.group_bufs.insert(
+                group.leader_key,
+                GroupBufs {
+                    rows: group.rows,
+                    out: group.out,
+                    meta: group.meta,
                 },
             );
         }

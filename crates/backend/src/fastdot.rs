@@ -16,7 +16,12 @@
 use cortex_core::expr::{BinOp, BoolExpr, IdxExpr, TensorId, ValExpr, Var};
 
 /// One multiplicative operand of a reduction.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is structural (used by the wave analyzer's gate-stacking
+/// signature match); note it compares reduction variables literally, so
+/// cross-site comparison must ignore each site's own `k` position — see
+/// `wave::operand_sig_equal`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Operand {
     /// A tensor load with the reduction variable at one index position
     /// (that position must be *exactly* the reduction variable).

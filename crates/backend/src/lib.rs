@@ -58,6 +58,6 @@ pub mod profile;
 mod wave;
 
 pub use device::DeviceSpec;
-pub use exec::{run, Engine, ExecError, ExecOptions, RunResult};
+pub use exec::{run, Engine, ExecError, ExecOptions, ExecStats, RunResult};
 pub use params::Params;
 pub use profile::Profile;

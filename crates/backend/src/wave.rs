@@ -45,6 +45,32 @@ pub(crate) struct WavePlan {
     pub node_let: Option<(usize, IdxExpr)>,
     /// Reductions executable as one GEMM per wave.
     pub sites: Vec<SumSite>,
+    /// Stacking groups over `sites`: each group runs as **one** GEMM.
+    pub groups: Vec<SiteGroup>,
+}
+
+/// How the members of a [`SiteGroup`] share one GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GroupKind {
+    /// Members gather identical operand rows (TreeLSTM's i/o/u gates all
+    /// consume the child-sum row): the rows are packed **once** and the
+    /// per-site weights are stacked vertically into one `[ΣH]×[K]`
+    /// matrix. A singleton group is the ordinary one-site GEMM.
+    SharedRows,
+    /// Members read the **same** weight window over different rows (the
+    /// per-child forget gates both multiply `U_f`): their gathered rows
+    /// are stacked into one `[G·R]×[K]` matrix against the one packed
+    /// weight.
+    SharedWeight,
+}
+
+/// A set of sites executed as one stacked GEMM.
+#[derive(Debug)]
+pub(crate) struct SiteGroup {
+    /// Sharing shape of the group.
+    pub kind: GroupKind,
+    /// Indices into [`WavePlan::sites`].
+    pub members: Vec<usize>,
 }
 
 /// One batched reduction site.
@@ -82,22 +108,25 @@ pub(crate) struct WeightRef {
 }
 
 /// Analyzes compiled kernel bodies, returning wave plans keyed by the
-/// address of their `For` statement.
+/// address of their `For` statement. With `stack` set, sites with
+/// compatible signatures are grouped into stacked GEMMs; without it each
+/// site forms its own singleton group (the pre-stacking behavior, kept
+/// as an executor option so the two paths can cross-check each other).
 ///
 /// Statement addresses are stable for the lifetime of the compiled
 /// kernels (the bodies are never mutated), which is the same keying
 /// discipline the executor's reduction plan cache uses.
-pub(crate) fn analyze(bodies: &[&[Stmt]]) -> HashMap<usize, WavePlan> {
+pub(crate) fn analyze(bodies: &[&[Stmt]], stack: bool) -> HashMap<usize, WavePlan> {
     let mut plans = HashMap::new();
     for body in bodies {
         for stmt in *body {
-            visit(stmt, &mut plans);
+            visit(stmt, stack, &mut plans);
         }
     }
     plans
 }
 
-fn visit(stmt: &Stmt, plans: &mut HashMap<usize, WavePlan>) {
+fn visit(stmt: &Stmt, stack: bool, plans: &mut HashMap<usize, WavePlan>) {
     if let Stmt::For {
         var,
         kind: LoopKind::Parallel,
@@ -107,7 +136,7 @@ fn visit(stmt: &Stmt, plans: &mut HashMap<usize, WavePlan>) {
     } = stmt
     {
         if d.0 == "d_batch" {
-            if let Some(plan) = plan_wave(*var, body) {
+            if let Some(plan) = plan_wave(*var, body, stack) {
                 plans.insert(stmt as *const Stmt as usize, plan);
                 return; // sites under this loop are covered by the plan
             }
@@ -115,15 +144,15 @@ fn visit(stmt: &Stmt, plans: &mut HashMap<usize, WavePlan>) {
     }
     match stmt {
         Stmt::For { body, .. } | Stmt::Let { body, .. } => {
-            body.iter().for_each(|s| visit(s, plans));
+            body.iter().for_each(|s| visit(s, stack, plans));
         }
         Stmt::If {
             then_branch,
             else_branch,
             ..
         } => {
-            then_branch.iter().for_each(|s| visit(s, plans));
-            else_branch.iter().for_each(|s| visit(s, plans));
+            then_branch.iter().for_each(|s| visit(s, stack, plans));
+            else_branch.iter().for_each(|s| visit(s, stack, plans));
         }
         Stmt::Store { .. } | Stmt::Barrier => {}
     }
@@ -131,7 +160,7 @@ fn visit(stmt: &Stmt, plans: &mut HashMap<usize, WavePlan>) {
 
 /// Builds a plan for one `d_batch` loop body, or `None` if nothing under
 /// it batches.
-fn plan_wave(n_idx: Var, body: &[Stmt]) -> Option<WavePlan> {
+fn plan_wave(n_idx: Var, body: &[Stmt], stack: bool) -> Option<WavePlan> {
     let (node_let, stmts): (Option<(usize, IdxExpr)>, &[Stmt]) = match body {
         [Stmt::Let { var, value, body }] => {
             (Some((var.id() as usize, value.clone())), body.as_slice())
@@ -184,11 +213,163 @@ fn plan_wave(n_idx: Var, body: &[Stmt]) -> Option<WavePlan> {
     if sites.is_empty() {
         None
     } else {
+        let groups = group_sites(&sites, stack);
         Some(WavePlan {
             n_idx_slot: n_idx.id() as usize,
             node_let,
             sites,
+            groups,
         })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gate stacking: site grouping by structural signature
+// ---------------------------------------------------------------------
+
+/// Partitions the sites of one wave into stacking groups.
+///
+/// Pass 1 groups sites whose reduction extent and row operands are
+/// structurally equal modulo each site's own reduction variable
+/// ([`GroupKind::SharedRows`] — one gather, vertically stacked weights).
+/// Pass 2 groups leftover singletons that read the same weight window
+/// ([`GroupKind::SharedWeight`] — one packed weight, row-stacked
+/// gathers). Whatever remains is a singleton `SharedRows` group, which
+/// the executor runs exactly like the pre-stacking per-site GEMM.
+fn group_sites(sites: &[SumSite], stack: bool) -> Vec<SiteGroup> {
+    if !stack {
+        return (0..sites.len())
+            .map(|i| SiteGroup {
+                kind: GroupKind::SharedRows,
+                members: vec![i],
+            })
+            .collect();
+    }
+    let mut groups = Vec::new();
+    let mut grouped = vec![false; sites.len()];
+    let mut singles = Vec::new();
+    for i in 0..sites.len() {
+        if grouped[i] {
+            continue;
+        }
+        let mut members = vec![i];
+        for j in i + 1..sites.len() {
+            if !grouped[j] && rows_sig_equal(&sites[i], &sites[j]) {
+                grouped[j] = true;
+                members.push(j);
+            }
+        }
+        grouped[i] = true;
+        if members.len() > 1 {
+            groups.push(SiteGroup {
+                kind: GroupKind::SharedRows,
+                members,
+            });
+        } else {
+            singles.push(i);
+        }
+    }
+    let mut single_grouped = vec![false; singles.len()];
+    for a in 0..singles.len() {
+        if single_grouped[a] {
+            continue;
+        }
+        let i = singles[a];
+        let mut members = vec![i];
+        for (b, &j) in singles.iter().enumerate().skip(a + 1) {
+            if !single_grouped[b] && weight_sig_equal(&sites[i], &sites[j]) {
+                single_grouped[b] = true;
+                members.push(j);
+            }
+        }
+        single_grouped[a] = true;
+        groups.push(SiteGroup {
+            kind: if members.len() > 1 {
+                GroupKind::SharedWeight
+            } else {
+                GroupKind::SharedRows
+            },
+            members,
+        });
+    }
+    groups
+}
+
+/// Whether two sites gather identical operand rows: equal reduction
+/// extents and pairwise structurally-equal `rest` operands (modulo each
+/// site's own reduction variable). Such sites share one packed row
+/// matrix; their weights stack vertically.
+fn rows_sig_equal(a: &SumSite, b: &SumSite) -> bool {
+    a.extent == b.extent
+        && a.rest.len() == b.rest.len()
+        && a.rest
+            .iter()
+            .zip(&b.rest)
+            .all(|(x, y)| operand_sig_equal(x, y))
+}
+
+/// Whether two sites read the same weight window: same tensor, same
+/// feature/reduction index positions and extents, and equal
+/// wave-invariant indices everywhere else. Such sites share one packed
+/// weight; their gathered rows stack.
+fn weight_sig_equal(a: &SumSite, b: &SumSite) -> bool {
+    let (wa, wb) = (&a.weight, &b.weight);
+    a.extent == b.extent
+        && a.feat_extent == b.feat_extent
+        && wa.tensor == wb.tensor
+        && wa.i_pos == wb.i_pos
+        && wa.k_pos == wb.k_pos
+        && wa.index.len() == wb.index.len()
+        && wa
+            .index
+            .iter()
+            .zip(&wb.index)
+            .enumerate()
+            .all(|(d, (x, y))| d == wa.i_pos || d == wa.k_pos || x == y)
+}
+
+/// Structural operand equality ignoring each side's own reduction
+/// variable (which sits at `k_pos` of every load, and nowhere else —
+/// `fastdot::compile` guarantees guards, scalars, and the remaining
+/// index positions are reduction-invariant).
+pub(crate) fn operand_sig_equal(a: &Operand, b: &Operand) -> bool {
+    match (a, b) {
+        (
+            Operand::Load {
+                tensor: ta,
+                index: ia,
+                k_pos: ka,
+            },
+            Operand::Load {
+                tensor: tb,
+                index: ib,
+                k_pos: kb,
+            },
+        ) => {
+            ta == tb
+                && ka == kb
+                && ia.len() == ib.len()
+                && ia
+                    .iter()
+                    .zip(ib)
+                    .enumerate()
+                    .all(|(d, (x, y))| d == *ka || x == y)
+        }
+        (Operand::Add(pa), Operand::Add(pb)) => {
+            pa.len() == pb.len() && pa.iter().zip(pb).all(|(x, y)| operand_sig_equal(x, y))
+        }
+        (
+            Operand::Guarded {
+                cond: ca,
+                inner: xa,
+            },
+            Operand::Guarded {
+                cond: cb,
+                inner: xb,
+            },
+        ) => ca == cb && operand_sig_equal(xa, xb),
+        (Operand::Scalar(ea), Operand::Scalar(eb)) => ea == eb,
+        _ => false,
     }
 }
 
@@ -537,7 +718,7 @@ mod tests {
             }],
         };
         let body = [stmt];
-        assert!(analyze(&[&body]).is_empty());
+        assert!(analyze(&[&body], true).is_empty());
     }
 
     #[test]
@@ -566,7 +747,7 @@ mod tests {
     fn canonical_gate_loop_is_planned() {
         let stmt = wave_loop(8, 8);
         let body = [stmt];
-        let plans = analyze(&[&body]);
+        let plans = analyze(&[&body], true);
         assert_eq!(plans.len(), 1);
         let plan = plans.values().next().unwrap();
         assert_eq!(plan.sites.len(), 1);
@@ -596,7 +777,113 @@ mod tests {
         let body = [serial];
         // The inner feature loop is reachable but the loop itself is not a
         // d_batch parallel loop, so nothing batches.
-        assert!(analyze(&[&body]).is_empty());
+        assert!(analyze(&[&body], true).is_empty());
+    }
+
+    /// Builds a TreeLSTM-shaped wave loop: `gates` sites reading the
+    /// shared row `s[node,k]` with distinct weights `W_g`, plus
+    /// `forgets` sites reading `Uf[i,k] * h[child_s(node),k]` — the same
+    /// weight tensor over different child rows. Each site has its own
+    /// feature/reduction variables, as slot remapping produces.
+    fn multi_gate_loop(gates: usize, forgets: usize, k_extent: i64) -> Stmt {
+        let (n_idx, node) = (v(0), v(1));
+        let mut body = Vec::new();
+        let mut next_var = 2u32;
+        for g in 0..gates + forgets {
+            let i = v(next_var);
+            let k = v(next_var + 1);
+            next_var += 2;
+            let weight = if g < gates {
+                ValExpr::load(
+                    TensorId(10 + g as u32),
+                    vec![IdxExpr::Var(i), IdxExpr::Var(k)],
+                )
+            } else {
+                ValExpr::load(TensorId(20), vec![IdxExpr::Var(i), IdxExpr::Var(k)])
+            };
+            let row = if g < gates {
+                ValExpr::load(TensorId(1), vec![IdxExpr::Var(node), IdxExpr::Var(k)])
+            } else {
+                let child = IdxExpr::Ufn(Ufn::Child((g - gates) as u8), vec![IdxExpr::Var(node)]);
+                ValExpr::load(TensorId(2), vec![child, IdxExpr::Var(k)])
+            };
+            let sum = ValExpr::Sum {
+                var: k,
+                extent: IdxExpr::Const(k_extent),
+                body: Box::new(weight.mul(row)),
+            };
+            body.push(Stmt::For {
+                var: i,
+                extent: IdxExpr::Const(4),
+                kind: LoopKind::Vectorized,
+                dim: Some(DimName::feature(0)),
+                body: vec![Stmt::Store {
+                    tensor: TensorId(30 + g as u32),
+                    index: vec![IdxExpr::Var(node), IdxExpr::Var(i)],
+                    value: sum.tanh(),
+                }],
+            });
+        }
+        Stmt::For {
+            var: n_idx,
+            extent: IdxExpr::Const(4),
+            kind: LoopKind::Parallel,
+            dim: Some(DimName::batch()),
+            body: vec![Stmt::Let {
+                var: node,
+                value: IdxExpr::Var(n_idx),
+                body,
+            }],
+        }
+    }
+
+    #[test]
+    fn gates_sharing_rows_stack_and_forget_gates_share_weight() {
+        let body = [multi_gate_loop(3, 2, 8)];
+        let plans = analyze(&[&body], true);
+        let plan = plans.values().next().unwrap();
+        assert_eq!(plan.sites.len(), 5);
+        let shared_rows: Vec<_> = plan
+            .groups
+            .iter()
+            .filter(|g| g.kind == GroupKind::SharedRows && g.members.len() > 1)
+            .collect();
+        let shared_weight: Vec<_> = plan
+            .groups
+            .iter()
+            .filter(|g| g.kind == GroupKind::SharedWeight)
+            .collect();
+        assert_eq!(shared_rows.len(), 1, "i/o/u gates form one stacked group");
+        assert_eq!(shared_rows[0].members.len(), 3);
+        assert_eq!(shared_weight.len(), 1, "forget gates share one weight");
+        assert_eq!(shared_weight[0].members.len(), 2);
+        // 5 sites → 2 GEMMs per wave.
+        assert_eq!(plan.groups.len(), 2);
+        // Every site appears in exactly one group.
+        let mut seen: Vec<usize> = plan.groups.iter().flat_map(|g| g.members.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stacking_disabled_yields_singleton_groups() {
+        let body = [multi_gate_loop(3, 2, 8)];
+        let plans = analyze(&[&body], false);
+        let plan = plans.values().next().unwrap();
+        assert_eq!(plan.groups.len(), 5);
+        assert!(plan
+            .groups
+            .iter()
+            .all(|g| g.kind == GroupKind::SharedRows && g.members.len() == 1));
+    }
+
+    #[test]
+    fn canonical_single_gate_is_a_singleton_group() {
+        let body = [wave_loop(8, 8)];
+        let plans = analyze(&[&body], true);
+        let plan = plans.values().next().unwrap();
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].members, vec![0]);
     }
 
     #[test]
@@ -630,6 +917,6 @@ mod tests {
             }],
         };
         let body = [stmt];
-        assert!(analyze(&[&body]).is_empty());
+        assert!(analyze(&[&body], true).is_empty());
     }
 }

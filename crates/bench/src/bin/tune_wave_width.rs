@@ -1,0 +1,71 @@
+//! Sweeps [`ExecOptions::min_wave_width`] over narrow-wave workloads.
+//!
+//! The min-wave-width heuristic decides when a wave is too narrow for
+//! the gather/pack phase to pay for itself and should stay on the scalar
+//! fastdot path instead. This sweep times the workloads that actually
+//! have narrow waves — sequences (every wave is the batch size) and
+//! single trees (late waves approach width 1) — across thresholds, to
+//! pick the default ([`cortex_backend::exec::MIN_WAVE_WIDTH`]). Re-run
+//! when moving to new hardware.
+//!
+//! Usage: `cargo run --release -p cortex-bench-harness --bin
+//! tune_wave_width`
+
+use cortex_backend::exec::{Engine, ExecOptions};
+use cortex_bench_harness::timing::median_run;
+use cortex_core::ra::RaSchedule;
+use cortex_ds::linearizer::Linearizer;
+use cortex_ds::{datasets, RecStructure};
+use cortex_models::{seq, treelstm, LeafInit, Model};
+
+fn time_ms(model: &Model, structure: &RecStructure, width: usize, samples: u32) -> f64 {
+    let program = model.lower(&RaSchedule::default()).expect("lowers");
+    let lin = Linearizer::new().linearize(structure).expect("linearizes");
+    let mut engine = Engine::with_options(
+        &program,
+        ExecOptions {
+            min_wave_width: width,
+            ..ExecOptions::default()
+        },
+    );
+    median_run(samples, || {
+        engine.execute(&lin, &model.params, true).expect("runs");
+    })
+    .as_secs_f64()
+        * 1e3
+}
+
+fn main() {
+    let widths = [0usize, 2, 4, 8, 16, 32, usize::MAX];
+    let cases: Vec<(&str, Model, RecStructure)> = vec![
+        (
+            "seqlstm_h256_bs1",
+            seq::seq_lstm(256),
+            datasets::sequence(100, 3),
+        ),
+        (
+            "seqlstm_h256_bs10",
+            seq::seq_lstm(256),
+            datasets::batch_of(|s| datasets::sequence(100, s), 10, 44),
+        ),
+        (
+            "treelstm_h256_bs1",
+            treelstm::tree_lstm(256, LeafInit::Embedding),
+            datasets::random_binary_tree(160, 7),
+        ),
+    ];
+    println!("{:<20} batched ms by min_wave_width", "workload");
+    for (name, model, structure) in &cases {
+        print!("{name:<20}");
+        for &w in &widths {
+            let label = if w == usize::MAX {
+                "off".to_string()
+            } else {
+                w.to_string()
+            };
+            let ms = time_ms(model, structure, w, 5);
+            print!(" {label}:{ms:.1}");
+        }
+        println!();
+    }
+}

@@ -11,8 +11,11 @@
 //!
 //! The matrix products share one cache-blocked **NT micro-kernel**
 //! ([`gemm_nt_into`]): `C[i,j] = Σ_k A[i,k]·B[j,k]` with both operands
-//! row-major, so every inner loop is a contiguous dual-stream dot product
-//! the autovectorizer turns into FMAs. `gemm` (the NN layout) packs
+//! row-major, so every inner loop is a contiguous dual-stream dot
+//! product. Those inner loops ([`dot`], `dot4`, [`axpy`]) dispatch at
+//! runtime to explicit AVX2/FMA or AVX-512 kernels when the CPU supports
+//! them, with the unrolled scalar loop as the always-correct fallback —
+//! see the [`crate::simd`] module. `gemm` (the NN layout) packs
 //! transposed panels of `B` and calls the same kernel. There is **no**
 //! zero-skipping: a branch on `a == 0.0` both blocks vectorization and
 //! silently changes IEEE semantics (`0 · ∞` must be `NaN`, not skipped) —
@@ -25,10 +28,11 @@
 
 use crate::tensor::{Tensor, TensorError};
 
-/// Rows of `B` (= columns of the output) packed per panel.
-const NT_JB: usize = 4;
-/// K-extent of a packed panel: 4 rows × 1024 × 4 B = 16 KiB, L1-resident.
-const NT_KB: usize = 1024;
+/// Rows of `B` (= columns of the output) packed per panel: eight
+/// independent accumulator chains per pass over an `a` row (`dot8`).
+const NT_JB: usize = 8;
+/// K-extent of a packed panel: 8 rows × 512 × 4 B = 16 KiB, L1-resident.
+const NT_KB: usize = 512;
 /// Minimum `m·n·k` before threading is worth the fork (≈0.25 Mflop).
 #[cfg(feature = "parallel")]
 const PAR_MIN_WORK: usize = 1 << 18;
@@ -167,10 +171,10 @@ pub(crate) fn gemm_nt_rows(c: &mut [f32], a: &[f32], b: &[f32], m: usize, n: usi
     }
 }
 
-/// The NT micro-kernel: `jb ≤ 4` output elements from one `a` row and a
-/// row accessor over `B`. One pass over `a_row` feeds all four
-/// accumulator chains, each an 8-wide unrolled dot. Both the packed-panel
-/// and the in-place layouts dispatch here via their accessor.
+/// The NT micro-kernel: `jb ≤ 8` output elements from one `a` row and a
+/// row accessor over `B`. One pass over `a_row` feeds all accumulator
+/// chains (`dot8`/`dot4`, SIMD-dispatched). Both the packed-panel and
+/// the in-place layouts dispatch here via their accessor.
 #[inline]
 fn nt_microkernel_rows<'b>(
     c_row: &mut [f32],
@@ -180,18 +184,37 @@ fn nt_microkernel_rows<'b>(
     first: bool,
 ) {
     match jb {
-        4 => {
-            let [d0, d1, d2, d3] = dot4(a_row, row(0), row(1), row(2), row(3));
+        8 => {
+            let b: [&[f32]; 8] = std::array::from_fn(&row);
+            let d = crate::simd::dot8(a_row, &b);
             if first {
-                c_row[0] = d0;
-                c_row[1] = d1;
-                c_row[2] = d2;
-                c_row[3] = d3;
+                c_row[..8].copy_from_slice(&d);
             } else {
-                c_row[0] += d0;
-                c_row[1] += d1;
-                c_row[2] += d2;
-                c_row[3] += d3;
+                for (cv, dv) in c_row.iter_mut().zip(d) {
+                    *cv += dv;
+                }
+            }
+        }
+        4..=7 => {
+            // Tail panels of 4-7 columns: a dot4 covers the first four
+            // (one shared pass over `a_row`), leaving at most three
+            // single-dot columns — the slow per-column path never runs
+            // more than 3 wide.
+            let d = dot4(a_row, row(0), row(1), row(2), row(3));
+            if first {
+                c_row[..4].copy_from_slice(&d);
+            } else {
+                for (cv, dv) in c_row.iter_mut().zip(d) {
+                    *cv += dv;
+                }
+            }
+            for (jj, cv) in c_row.iter_mut().enumerate().skip(4) {
+                let d = dot(a_row, row(jj));
+                if first {
+                    *cv = d;
+                } else {
+                    *cv += d;
+                }
             }
         }
         _ => {
@@ -241,35 +264,11 @@ fn nt_microkernel_strided(
     );
 }
 
-/// Four simultaneous dot products sharing one pass over `a`.
+/// Four simultaneous dot products sharing one pass over `a`, dispatched
+/// to the widest available SIMD level ([`crate::simd::dot4`]).
 #[inline]
 fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
-    let n = a.len();
-    debug_assert!(b0.len() >= n && b1.len() >= n && b2.len() >= n && b3.len() >= n);
-    let mut acc = [[0.0f32; 4]; 4];
-    let chunks = n / 4;
-    for cidx in 0..chunks {
-        let i = cidx * 4;
-        for u in 0..4 {
-            let av = a[i + u];
-            acc[u][0] += av * b0[i + u];
-            acc[u][1] += av * b1[i + u];
-            acc[u][2] += av * b2[i + u];
-            acc[u][3] += av * b3[i + u];
-        }
-    }
-    let mut out = [0.0f32; 4];
-    for (j, o) in out.iter_mut().enumerate() {
-        *o = acc[0][j] + acc[1][j] + acc[2][j] + acc[3][j];
-    }
-    for i in chunks * 4..n {
-        let av = a[i];
-        out[0] += av * b0[i];
-        out[1] += av * b1[i];
-        out[2] += av * b2[i];
-        out[3] += av * b3[i];
-    }
-    out
+    crate::simd::dot4(a, b0, b1, b2, b3)
 }
 
 /// Dense matrix–vector product: `y[m] = sum_k A[m,k] * x[k]`.
@@ -305,26 +304,15 @@ pub fn gemv(a: &Tensor, x: &Tensor) -> crate::Result<Tensor> {
     Tensor::from_vec(y, &[m])
 }
 
-/// Dot product of two equal-length slices, unrolled eight-wide.
+/// Dot product of two equal-length slices, dispatched to the widest
+/// available SIMD level ([`crate::simd::dot`]).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot of unequal lengths");
-    let mut acc = [0.0f32; 8];
-    let chunks = a.len() / 8;
-    for c in 0..chunks {
-        let i = c * 8;
-        for (u, av) in acc.iter_mut().enumerate() {
-            *av += a[i + u] * b[i + u];
-        }
-    }
-    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
-    for i in chunks * 8..a.len() {
-        sum += a[i] * b[i];
-    }
-    sum
+    crate::simd::dot(a, b)
 }
 
 // ---------------------------------------------------------------------
@@ -389,16 +377,15 @@ struct SendPtr(*mut f32);
 #[cfg(feature = "parallel")]
 unsafe impl Sync for SendPtr {}
 
-/// `y += x` over slices.
+/// `y += x` over slices, dispatched to the widest available SIMD level
+/// ([`crate::simd::axpy`]).
 ///
 /// # Panics
 ///
 /// Panics if lengths differ.
+#[inline]
 pub fn axpy(y: &mut [f32], x: &[f32]) {
-    assert_eq!(y.len(), x.len(), "axpy of unequal lengths");
-    for (yv, &xv) in y.iter_mut().zip(x) {
-        *yv += xv;
-    }
+    crate::simd::axpy(y, x);
 }
 
 /// Elementwise addition.

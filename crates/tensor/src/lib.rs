@@ -12,6 +12,9 @@
 //! * [`kernels`] — the numeric kernels (gemm, gemv, elementwise, concat)
 //!   used both by Cortex-generated code and by the baseline frameworks'
 //!   "vendor library" calls,
+//! * [`simd`] — explicit AVX2/AVX-512 micro-kernels with runtime feature
+//!   dispatch (and the always-correct scalar fallback) that the matrix
+//!   kernels bottom out in,
 //! * [`approx`] — rational approximations of `tanh`/`sigmoid` (App. A.5).
 //!
 //! # Example
@@ -29,6 +32,7 @@ pub mod approx;
 pub mod kernels;
 pub mod layout;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use layout::Layout;

@@ -1,0 +1,787 @@
+//! Explicit SIMD micro-kernels with runtime feature dispatch.
+//!
+//! The NT micro-kernel, GEMV, and the row-gather/pack loops all bottom
+//! out in three primitives — [`dot`], [`dot4`] (four dots sharing one
+//! pass over `a`), and [`axpy`] — which this module provides in three
+//! implementations:
+//!
+//! * **Scalar** — the unrolled loops the autovectorizer handles; this is
+//!   the always-correct fallback and the reference the wide paths are
+//!   tested against.
+//! * **AVX2+FMA** — 8-lane `f32` with fused multiply-add, two
+//!   accumulator chains per output to hide FMA latency.
+//! * **AVX-512F** — 16-lane `f32` with masked tail loads (no scalar
+//!   remainder loop at all).
+//!
+//! The active level is detected once per process with
+//! `is_x86_feature_detected!` and cached ([`level`]); the
+//! `CORTEX_SIMD` environment variable (`scalar` / `avx2` / `avx512`)
+//! clamps it for benchmarking and tests. Every entry point also exists
+//! in a `*_with` form taking an explicit [`Level`] so tests can compare
+//! the wide paths against the scalar path on the same inputs.
+//!
+//! Numerics: the wide paths reassociate the reduction (lane-striped
+//! partial sums) and contract `a*b+c` into FMAs, so results may differ
+//! from the scalar path by normal rounding — but IEEE special values
+//! flow through unchanged (`0·∞ → NaN` is preserved; FMA propagates
+//! NaN/∞ exactly like mul+add does).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Instruction-set level of the dispatched kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Unrolled scalar loops (autovectorizer-friendly); always available.
+    Scalar,
+    /// 8-lane AVX2 with FMA.
+    Avx2,
+    /// 16-lane AVX-512F with masked tails.
+    Avx512,
+}
+
+const LEVEL_UNKNOWN: u8 = 0;
+const LEVEL_SCALAR: u8 = 1;
+const LEVEL_AVX2: u8 = 2;
+const LEVEL_AVX512: u8 = 3;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNKNOWN);
+
+/// Detects the best supported level (respecting `CORTEX_SIMD`), cached
+/// after the first call.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        LEVEL_SCALAR => Level::Scalar,
+        LEVEL_AVX2 => Level::Avx2,
+        LEVEL_AVX512 => Level::Avx512,
+        _ => {
+            let l = detect();
+            LEVEL.store(
+                match l {
+                    Level::Scalar => LEVEL_SCALAR,
+                    Level::Avx2 => LEVEL_AVX2,
+                    Level::Avx512 => LEVEL_AVX512,
+                },
+                Ordering::Relaxed,
+            );
+            l
+        }
+    }
+}
+
+/// Uncached detection: hardware capability clamped by `CORTEX_SIMD`.
+pub fn detect() -> Level {
+    clamp_level(
+        detect_hardware(),
+        std::env::var("CORTEX_SIMD").ok().as_deref(),
+    )
+}
+
+/// Applies a `CORTEX_SIMD`-style override to a detected hardware level
+/// (the override can only lower the level, never exceed the hardware).
+fn clamp_level(hw: Level, env: Option<&str>) -> Level {
+    match env {
+        Some("scalar") => Level::Scalar,
+        Some("avx2") if hw != Level::Scalar => Level::Avx2,
+        Some("avx512") => hw, // cannot exceed the hardware
+        _ => hw,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_hardware() -> Level {
+    if is_x86_feature_detected!("avx512f") {
+        Level::Avx512
+    } else if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        Level::Avx2
+    } else {
+        Level::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_hardware() -> Level {
+    Level::Scalar
+}
+
+/// Levels the current process can actually execute (for tests).
+pub fn available_levels() -> Vec<Level> {
+    let mut out = vec![Level::Scalar];
+    match detect_hardware() {
+        Level::Avx512 => {
+            out.push(Level::Avx2);
+            out.push(Level::Avx512);
+        }
+        Level::Avx2 => out.push(Level::Avx2),
+        Level::Scalar => {}
+    }
+    out
+}
+
+/// Whether this process can execute kernels at `l`. The `*_with` entry
+/// points are safe because they check this (falling back to scalar on
+/// an unsupported level) — `is_x86_feature_detected!` caches, so the
+/// check is an atomic load, negligible against any kernel body.
+#[inline]
+pub fn level_supported(l: Level) -> bool {
+    match l {
+        Level::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 => is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx512 => is_x86_feature_detected!("avx512f"),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// dot
+// ---------------------------------------------------------------------
+
+/// Dot product of two equal-length slices at the detected level.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_with(level(), a, b)
+}
+
+/// [`dot`] at an explicit level; an unsupported level falls back to the
+/// scalar kernel (see [`level_supported`]), keeping this safe to call
+/// with any `Level`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_with(l: Level, a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    match l {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the feature is verified on this CPU, and the slices
+        // are equal-length (asserted above).
+        Level::Avx2 if level_supported(l) => unsafe { dot_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx512 if level_supported(l) => unsafe { dot_avx512(a, b) },
+        _ => dot_scalar(a, b),
+    }
+}
+
+/// Scalar `dot`: eight partial accumulators, pairwise-combined.
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let i = c * 8;
+        for (u, av) in acc.iter_mut().enumerate() {
+            *av += a[i + u] * b[i + u];
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for i in chunks * 8..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+// ---------------------------------------------------------------------
+// dot4
+// ---------------------------------------------------------------------
+
+/// Four simultaneous dot products sharing one pass over `a`, at the
+/// detected level. This is the inner kernel of both the NT GEMM and
+/// GEMV.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if any `b` row is shorter than `a`.
+#[inline]
+pub fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    dot4_with(level(), a, b0, b1, b2, b3)
+}
+
+/// [`dot4`] at an explicit level; an unsupported level falls back to
+/// the scalar kernel.
+///
+/// # Panics
+///
+/// Panics if any `b` row is shorter than `a` (a real assert, not a
+/// debug one: the wide paths do unchecked unaligned loads up to
+/// `a.len()` and must not be reachable out of bounds from safe code).
+#[inline]
+pub fn dot4_with(l: Level, a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let n = a.len();
+    assert!(
+        b0.len() >= n && b1.len() >= n && b2.len() >= n && b3.len() >= n,
+        "dot4: b rows shorter than a"
+    );
+    match l {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the feature is verified on this CPU, and every row is
+        // at least `a.len()` long (asserted above).
+        Level::Avx2 if level_supported(l) => unsafe { dot4_avx2(a, b0, b1, b2, b3) },
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx512 if level_supported(l) => unsafe { dot4_avx512(a, b0, b1, b2, b3) },
+        _ => dot4_scalar(a, b0, b1, b2, b3),
+    }
+}
+
+/// Scalar `dot4`: 4×4 accumulator grid, one pass over `a`.
+pub fn dot4_scalar(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let n = a.len();
+    let mut acc = [[0.0f32; 4]; 4];
+    let chunks = n / 4;
+    for cidx in 0..chunks {
+        let i = cidx * 4;
+        for u in 0..4 {
+            let av = a[i + u];
+            acc[u][0] += av * b0[i + u];
+            acc[u][1] += av * b1[i + u];
+            acc[u][2] += av * b2[i + u];
+            acc[u][3] += av * b3[i + u];
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = acc[0][j] + acc[1][j] + acc[2][j] + acc[3][j];
+    }
+    for i in chunks * 4..n {
+        let av = a[i];
+        out[0] += av * b0[i];
+        out[1] += av * b1[i];
+        out[2] += av * b2[i];
+        out[3] += av * b3[i];
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// dot8
+// ---------------------------------------------------------------------
+
+/// Eight simultaneous dot products sharing one pass over `a` — the
+/// widest accumulator shape of the NT micro-kernel (eight independent
+/// FMA chains amortize each `a` load and hide FMA latency).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if any `b` row is shorter than `a`.
+#[inline]
+pub fn dot8(a: &[f32], b: &[&[f32]; 8]) -> [f32; 8] {
+    dot8_with(level(), a, b)
+}
+
+/// [`dot8`] at an explicit level; an unsupported level falls back to
+/// the scalar kernel.
+///
+/// # Panics
+///
+/// Panics if any `b` row is shorter than `a` (a real assert — see
+/// [`dot4_with`]).
+#[inline]
+pub fn dot8_with(l: Level, a: &[f32], b: &[&[f32]; 8]) -> [f32; 8] {
+    assert!(
+        b.iter().all(|r| r.len() >= a.len()),
+        "dot8: b rows shorter than a"
+    );
+    match l {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the feature is verified on this CPU, and every row is
+        // at least `a.len()` long (asserted above).
+        Level::Avx2 if level_supported(l) => unsafe { dot8_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx512 if level_supported(l) => unsafe { dot8_avx512(a, b) },
+        _ => dot8_scalar(a, b),
+    }
+}
+
+/// Scalar `dot8`: one pass over `a`, eight running sums.
+pub fn dot8_scalar(a: &[f32], b: &[&[f32]; 8]) -> [f32; 8] {
+    let mut out = [0.0f32; 8];
+    for (i, &av) in a.iter().enumerate() {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o += av * b[j][i];
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// axpy
+// ---------------------------------------------------------------------
+
+/// `y += x` over slices at the detected level (the child-sum
+/// accumulation of the wave packer's gather loop).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy(y: &mut [f32], x: &[f32]) {
+    axpy_with(level(), y, x);
+}
+
+/// [`axpy`] at an explicit level; an unsupported level falls back to
+/// the scalar kernel.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy_with(l: Level, y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy of unequal lengths");
+    match l {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the feature is verified on this CPU, and the slices
+        // are equal-length (asserted above).
+        Level::Avx2 if level_supported(l) => unsafe { axpy_avx2(y, x) },
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx512 if level_supported(l) => unsafe { axpy_avx512(y, x) },
+        _ => axpy_scalar(y, x),
+    }
+}
+
+/// Scalar `axpy`.
+pub fn axpy_scalar(y: &mut [f32], x: &[f32]) {
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += xv;
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 + FMA (8-lane)
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    #[inline]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        // SAFETY: caller guarantees AVX is available.
+        unsafe {
+            let lo = _mm256_castps256_ps128(v);
+            let hi = _mm256_extractf128_ps(v, 1);
+            let s = _mm_add_ps(lo, hi);
+            let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+            _mm_cvtss_f32(s)
+        }
+    }
+
+    /// 8-lane dot with two accumulator chains (hides FMA latency).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY (all pointer arithmetic below): `i + 16 <= n` /
+        // `i + 8 <= n` bounds every unaligned load to the slices.
+        unsafe {
+            let n = a.len();
+            let (ap, bp) = (a.as_ptr(), b.as_ptr());
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut i = 0usize;
+            while i + 16 <= n {
+                acc0 =
+                    _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+                acc1 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(ap.add(i + 8)),
+                    _mm256_loadu_ps(bp.add(i + 8)),
+                    acc1,
+                );
+                i += 16;
+            }
+            if i + 8 <= n {
+                acc0 =
+                    _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+                i += 8;
+            }
+            let mut sum = hsum256(_mm256_add_ps(acc0, acc1));
+            while i < n {
+                sum = a[i].mul_add(b[i], sum);
+                i += 1;
+            }
+            sum
+        }
+    }
+
+    /// Four dots sharing one pass over `a`, 8-lane FMA per row.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot4_avx2(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+        // SAFETY: the caller checks every row is at least `a.len()`
+        // long; loads stay inside `i + 8 <= n`.
+        unsafe {
+            let n = a.len();
+            let ap = a.as_ptr();
+            let bps = [b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr()];
+            let mut acc = [_mm256_setzero_ps(); 4];
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let va = _mm256_loadu_ps(ap.add(i));
+                for j in 0..4 {
+                    acc[j] = _mm256_fmadd_ps(va, _mm256_loadu_ps(bps[j].add(i)), acc[j]);
+                }
+                i += 8;
+            }
+            let mut out = [
+                hsum256(acc[0]),
+                hsum256(acc[1]),
+                hsum256(acc[2]),
+                hsum256(acc[3]),
+            ];
+            while i < n {
+                let av = a[i];
+                out[0] = av.mul_add(b0[i], out[0]);
+                out[1] = av.mul_add(b1[i], out[1]);
+                out[2] = av.mul_add(b2[i], out[2]);
+                out[3] = av.mul_add(b3[i], out[3]);
+                i += 1;
+            }
+            out
+        }
+    }
+
+    /// Eight dots sharing one pass over `a`: eight 8-lane FMA chains.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot8_avx2(a: &[f32], b: &[&[f32]; 8]) -> [f32; 8] {
+        // SAFETY: rows are at least `a.len()` long (caller-checked);
+        // loads stay inside `i + 8 <= n`.
+        unsafe {
+            let n = a.len();
+            let ap = a.as_ptr();
+            let mut acc = [_mm256_setzero_ps(); 8];
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let va = _mm256_loadu_ps(ap.add(i));
+                for j in 0..8 {
+                    acc[j] = _mm256_fmadd_ps(va, _mm256_loadu_ps(b[j].as_ptr().add(i)), acc[j]);
+                }
+                i += 8;
+            }
+            let mut out = [0.0f32; 8];
+            for (j, o) in out.iter_mut().enumerate() {
+                *o = hsum256(acc[j]);
+            }
+            while i < n {
+                let av = a[i];
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o = av.mul_add(b[j][i], *o);
+                }
+                i += 1;
+            }
+            out
+        }
+    }
+
+    /// 8-lane `y += x`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy_avx2(y: &mut [f32], x: &[f32]) {
+        // SAFETY: `i + 8 <= n` bounds every load/store; lengths are
+        // checked equal by the caller.
+        unsafe {
+            let n = y.len();
+            let yp = y.as_mut_ptr();
+            let xp = x.as_ptr();
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let v = _mm256_add_ps(_mm256_loadu_ps(yp.add(i)), _mm256_loadu_ps(xp.add(i)));
+                _mm256_storeu_ps(yp.add(i), v);
+                i += 8;
+            }
+            while i < n {
+                y[i] += x[i];
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{axpy_avx2, dot4_avx2, dot8_avx2, dot_avx2};
+
+// ---------------------------------------------------------------------
+// AVX-512F (16-lane, masked tails)
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use std::arch::x86_64::*;
+
+    /// 16-lane dot with two accumulator chains and a masked tail.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dot_avx512(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: full loads are bounded by `i + 16/32 <= n`; the tail
+        // load is masked to the remaining `n - i` lanes.
+        unsafe {
+            let n = a.len();
+            let (ap, bp) = (a.as_ptr(), b.as_ptr());
+            let mut acc0 = _mm512_setzero_ps();
+            let mut acc1 = _mm512_setzero_ps();
+            let mut i = 0usize;
+            while i + 32 <= n {
+                acc0 =
+                    _mm512_fmadd_ps(_mm512_loadu_ps(ap.add(i)), _mm512_loadu_ps(bp.add(i)), acc0);
+                acc1 = _mm512_fmadd_ps(
+                    _mm512_loadu_ps(ap.add(i + 16)),
+                    _mm512_loadu_ps(bp.add(i + 16)),
+                    acc1,
+                );
+                i += 32;
+            }
+            if i + 16 <= n {
+                acc0 =
+                    _mm512_fmadd_ps(_mm512_loadu_ps(ap.add(i)), _mm512_loadu_ps(bp.add(i)), acc0);
+                i += 16;
+            }
+            if i < n {
+                let m: __mmask16 = (1u16 << (n - i)) - 1;
+                acc1 = _mm512_fmadd_ps(
+                    _mm512_maskz_loadu_ps(m, ap.add(i)),
+                    _mm512_maskz_loadu_ps(m, bp.add(i)),
+                    acc1,
+                );
+            }
+            _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1))
+        }
+    }
+
+    /// Four dots sharing one pass over `a`, 16-lane FMA per row.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dot4_avx512(
+        a: &[f32],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+    ) -> [f32; 4] {
+        // SAFETY: rows are at least `a.len()` long (caller-checked);
+        // the tail is masked.
+        unsafe {
+            let n = a.len();
+            let ap = a.as_ptr();
+            let bps = [b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr()];
+            let mut acc = [_mm512_setzero_ps(); 4];
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let va = _mm512_loadu_ps(ap.add(i));
+                for j in 0..4 {
+                    acc[j] = _mm512_fmadd_ps(va, _mm512_loadu_ps(bps[j].add(i)), acc[j]);
+                }
+                i += 16;
+            }
+            if i < n {
+                let m: __mmask16 = (1u16 << (n - i)) - 1;
+                let va = _mm512_maskz_loadu_ps(m, ap.add(i));
+                for j in 0..4 {
+                    acc[j] = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, bps[j].add(i)), acc[j]);
+                }
+            }
+            [
+                _mm512_reduce_add_ps(acc[0]),
+                _mm512_reduce_add_ps(acc[1]),
+                _mm512_reduce_add_ps(acc[2]),
+                _mm512_reduce_add_ps(acc[3]),
+            ]
+        }
+    }
+
+    /// Eight dots sharing one pass over `a`: eight 16-lane FMA chains.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dot8_avx512(a: &[f32], b: &[&[f32]; 8]) -> [f32; 8] {
+        // SAFETY: rows are at least `a.len()` long (caller-checked);
+        // the tail is masked.
+        unsafe {
+            let n = a.len();
+            let ap = a.as_ptr();
+            let mut acc = [_mm512_setzero_ps(); 8];
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let va = _mm512_loadu_ps(ap.add(i));
+                for j in 0..8 {
+                    acc[j] = _mm512_fmadd_ps(va, _mm512_loadu_ps(b[j].as_ptr().add(i)), acc[j]);
+                }
+                i += 16;
+            }
+            if i < n {
+                let m: __mmask16 = (1u16 << (n - i)) - 1;
+                let va = _mm512_maskz_loadu_ps(m, ap.add(i));
+                for j in 0..8 {
+                    acc[j] =
+                        _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, b[j].as_ptr().add(i)), acc[j]);
+                }
+            }
+            let mut out = [0.0f32; 8];
+            for (j, o) in out.iter_mut().enumerate() {
+                *o = _mm512_reduce_add_ps(acc[j]);
+            }
+            out
+        }
+    }
+
+    /// 16-lane `y += x` with a masked tail.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn axpy_avx512(y: &mut [f32], x: &[f32]) {
+        // SAFETY: full ops bounded by `i + 16 <= n`; tail masked.
+        unsafe {
+            let n = y.len();
+            let yp = y.as_mut_ptr();
+            let xp = x.as_ptr();
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let v = _mm512_add_ps(_mm512_loadu_ps(yp.add(i)), _mm512_loadu_ps(xp.add(i)));
+                _mm512_storeu_ps(yp.add(i), v);
+                i += 16;
+            }
+            if i < n {
+                let m: __mmask16 = (1u16 << (n - i)) - 1;
+                let v = _mm512_add_ps(
+                    _mm512_maskz_loadu_ps(m, yp.add(i)),
+                    _mm512_maskz_loadu_ps(m, xp.add(i)),
+                );
+                _mm512_mask_storeu_ps(yp.add(i), m, v);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx512::{axpy_avx512, dot4_avx512, dot8_avx512, dot_avx512};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    /// Relative-ish tolerance for reassociated/FMA-contracted sums.
+    fn close(a: f32, b: f32, tol: f32) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn detection_is_cached_and_consistent() {
+        assert_eq!(level(), level());
+        assert!(available_levels().contains(&Level::Scalar));
+    }
+
+    #[test]
+    fn wide_dot_matches_scalar_on_all_tail_lengths() {
+        for l in available_levels() {
+            for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 130, 257] {
+                let a = Tensor::random(&[n.max(1)], 1.0, n as u64 + 1);
+                let b = Tensor::random(&[n.max(1)], 1.0, n as u64 + 1000);
+                let (a, b) = (&a.as_slice()[..n], &b.as_slice()[..n]);
+                let want = dot_scalar(a, b);
+                let got = dot_with(l, a, b);
+                assert!(close(got, want, 1e-5), "{l:?} n={n}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_dot4_matches_scalar_on_edge_shapes() {
+        for l in available_levels() {
+            for n in [0usize, 1, 2, 5, 8, 15, 16, 17, 40, 129] {
+                let a = Tensor::random(&[n.max(1)], 1.0, 7);
+                let rows = Tensor::random(&[4, n.max(1)], 1.0, 8);
+                let a = &a.as_slice()[..n];
+                let r = |j: usize| &rows.row(j)[..n];
+                let want = dot4_scalar(a, r(0), r(1), r(2), r(3));
+                let got = dot4_with(l, a, r(0), r(1), r(2), r(3));
+                for j in 0..4 {
+                    assert!(
+                        close(got[j], want[j], 1e-5),
+                        "{l:?} n={n} j={j}: {} vs {}",
+                        got[j],
+                        want[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_dot8_matches_scalar_on_edge_shapes() {
+        for l in available_levels() {
+            for n in [0usize, 1, 7, 8, 15, 16, 17, 31, 33, 100] {
+                let a = Tensor::random(&[n.max(1)], 1.0, 9);
+                let rows = Tensor::random(&[8, n.max(1)], 1.0, 10);
+                let a = &a.as_slice()[..n];
+                let b: [&[f32]; 8] = std::array::from_fn(|j| &rows.row(j)[..n]);
+                let want = dot8_scalar(a, &b);
+                let got = dot8_with(l, a, &b);
+                for j in 0..8 {
+                    assert!(
+                        close(got[j], want[j], 1e-5),
+                        "{l:?} n={n} j={j}: {} vs {}",
+                        got[j],
+                        want[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_axpy_matches_scalar() {
+        for l in available_levels() {
+            for n in [0usize, 1, 7, 8, 9, 16, 17, 50, 255] {
+                let x = Tensor::random(&[n.max(1)], 1.0, 3);
+                let x = &x.as_slice()[..n];
+                let mut want: Vec<f32> = (0..n).map(|i| i as f32).collect();
+                let mut got = want.clone();
+                axpy_scalar(&mut want, x);
+                axpy_with(l, &mut got, x);
+                assert_eq!(got, want, "{l:?} n={n}: axpy is exact, no reassociation");
+            }
+        }
+    }
+
+    #[test]
+    fn all_levels_propagate_nan_and_inf() {
+        // 0·∞ → NaN must survive in every lane position, including the
+        // masked/scalar tails.
+        for l in available_levels() {
+            for n in [1usize, 8, 16, 17, 33] {
+                for pos in [0, n / 2, n - 1] {
+                    let mut a = vec![1.0f32; n];
+                    let mut b = vec![1.0f32; n];
+                    a[pos] = 0.0;
+                    b[pos] = f32::INFINITY;
+                    assert!(
+                        dot_with(l, &a, &b).is_nan(),
+                        "{l:?} n={n} pos={pos}: 0·∞ must poison the dot"
+                    );
+                    b[pos] = f32::NAN;
+                    assert!(dot_with(l, &a, &b).is_nan());
+                    let got = dot4_with(l, &a, &b, &b, &b, &b);
+                    assert!(got.iter().all(|v| v.is_nan()), "{l:?} dot4 tail");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_extent_reductions_are_exactly_zero() {
+        for l in available_levels() {
+            assert_eq!(dot_with(l, &[], &[]), 0.0, "{l:?}: K=0 dot");
+            let z = dot4_with(l, &[], &[], &[], &[], &[]);
+            assert_eq!(z, [0.0; 4], "{l:?}: K=0 dot4");
+            let mut y: [f32; 0] = [];
+            axpy_with(l, &mut y, &[]);
+        }
+    }
+
+    #[test]
+    fn override_clamps_but_never_exceeds_hardware() {
+        // Tested through the pure clamp (no process-global env mutation,
+        // which would race sibling tests against the `level()` cache).
+        for hw in available_levels() {
+            assert_eq!(clamp_level(hw, Some("scalar")), Level::Scalar);
+            assert_eq!(clamp_level(hw, None), hw);
+            assert_eq!(clamp_level(hw, Some("avx512")), hw, "cannot exceed hw");
+        }
+        assert_eq!(clamp_level(Level::Avx512, Some("avx2")), Level::Avx2);
+        assert_eq!(clamp_level(Level::Scalar, Some("avx2")), Level::Scalar);
+    }
+}

@@ -1,13 +1,15 @@
-//! Equivalence of the three executor configurations.
+//! Equivalence of the executor configurations.
 //!
-//! The batched wavefront engine (`wave_gemm`), the scalar reduction fast
-//! path (`fastdot`), and the fully generic interpreter must agree on
-//! every model, schedule, and input structure:
+//! The batched wavefront engine (`wave_gemm`, with and without gate
+//! stacking), the scalar reduction fast path (`fastdot`), and the fully
+//! generic interpreter must agree on every model, schedule, and input
+//! structure:
 //!
 //! * outputs within 1e-5 (different summation orders, same math), and
 //! * **identical** `Profile` counters between the scalar and batched
 //!   paths — the wave engine replays the exact per-element accounting it
-//!   optimizes away.
+//!   optimizes away, whether a site runs its own GEMM or shares a
+//!   stacked one.
 
 use cortex::backend::exec::{Engine, ExecOptions};
 use cortex::backend::profile::Profile;
@@ -117,6 +119,131 @@ fn three_executors_agree_on_random_models_and_trees() {
             }
             assert_profiles_identical(&prof_s, &prof_w, &ctx);
         }
+    }
+}
+
+/// Property test for the gate-stacking tentpole: on randomized
+/// TreeLSTM/TreeGRU forests the stacked path must match the per-site
+/// path element-for-element within 1e-4 (they reassociate the stacked
+/// GEMM's tail columns differently) and counter-for-counter exactly,
+/// while actually issuing fewer GEMMs.
+#[test]
+fn stacked_path_matches_per_site_path_on_random_forests() {
+    let mut rng = Rng::new(0x54);
+    for case in 0..10 {
+        let h = rng.range_usize(3, 24);
+        for model in [
+            treelstm::tree_lstm(h, LeafInit::Embedding),
+            treelstm::tree_lstm(h, LeafInit::Zero),
+            treegru::tree_gru(h, LeafInit::Embedding),
+        ] {
+            let structure = structure_for(&model, &mut rng);
+            let program = model.lower(&RaSchedule::default()).unwrap();
+            let lin = Linearizer::new().linearize(&structure).unwrap();
+
+            let mut stacked = Engine::new(&program);
+            let mut per_site = Engine::with_options(&program, ExecOptions::unstacked());
+            let (out_g, prof_g) = stacked.execute(&lin, &model.params, true).unwrap();
+            let (out_u, prof_u) = per_site.execute(&lin, &model.params, true).unwrap();
+
+            let ctx = format!("{} h={h} case={case}", model.name);
+            for (id, t_g) in &out_g {
+                assert!(
+                    out_u[id].all_close(t_g, 1e-4),
+                    "stacked vs per-site diverge ({ctx}): {:?}",
+                    out_u[id].max_abs_diff(t_g)
+                );
+            }
+            assert_profiles_identical(&prof_u, &prof_g, &ctx);
+            // Stacking must actually reduce GEMM launches: TreeLSTM's
+            // i/o/u gates share one GEMM and its forget gates another;
+            // TreeGRU's r/z gates stack likewise.
+            let (sg, su) = (stacked.stats(), per_site.stats());
+            assert_eq!(su.stacked_groups, 0, "{ctx}: unstacked ran stacked GEMMs");
+            if su.wave_gemms > 0 {
+                assert!(
+                    sg.stacked_groups > 0 && sg.wave_gemms < su.wave_gemms,
+                    "{ctx}: stacking did not engage ({sg:?} vs {su:?})"
+                );
+                assert_eq!(
+                    sg.sites_batched, su.sites_batched,
+                    "{ctx}: stacking changed which sites batch"
+                );
+            }
+        }
+    }
+}
+
+/// Mixed waves — some sites stackable, some not — must split correctly.
+/// TreeLSTM is exactly that shape: i/o/u stack by shared rows, the two
+/// forget gates stack by shared weight, and at `h` where guards differ
+/// none of them may leak into each other's groups.
+#[test]
+fn treelstm_gemm_count_drops_three_fold_with_stacking() {
+    let h = 16;
+    let model = treelstm::tree_lstm(h, LeafInit::Embedding);
+    let corpus = datasets::sentiment_treebank(4, 21);
+    let refs: Vec<&RecStructure> = corpus.iter().collect();
+    let forest = RecStructure::merge(&refs);
+    let program = model.lower(&RaSchedule::default()).unwrap();
+    let lin = Linearizer::new().linearize(&forest).unwrap();
+
+    let mut stacked = Engine::new(&program);
+    let mut per_site = Engine::with_options(&program, ExecOptions::unstacked());
+    let (out_s, _) = stacked.execute(&lin, &model.params, true).unwrap();
+    let (out_u, _) = per_site.execute(&lin, &model.params, true).unwrap();
+    for (id, t) in &out_s {
+        assert!(out_u[id].all_close(t, 1e-4));
+    }
+    let (sg, su) = (stacked.stats(), per_site.stats());
+    // 5 sites per wave (i, o, u, f0, f1) → 2 GEMMs (i/o/u weight-stacked,
+    // f0/f1 row-stacked): a 2.5× launch reduction, every site served.
+    assert_eq!(
+        su.wave_gemms,
+        5 * su.waves_batched,
+        "per-site: 5 GEMMs/wave"
+    );
+    assert_eq!(sg.wave_gemms, 2 * sg.waves_batched, "stacked: 2 GEMMs/wave");
+    assert_eq!(sg.sites_batched, su.sites_batched);
+    assert_eq!(
+        sg.stacked_sites, sg.sites_batched,
+        "all 5 sites share GEMMs"
+    );
+}
+
+/// The min-wave-width heuristic: an engine that skips every wave must
+/// behave exactly like the scalar fastdot path (outputs and `Profile`
+/// both), and report that it batched nothing.
+#[test]
+fn min_wave_width_skip_is_equivalent_to_scalar_path() {
+    let mut rng = Rng::new(0x55);
+    for _ in 0..6 {
+        let h = rng.range_usize(3, 16);
+        let model = treelstm::tree_lstm(h, LeafInit::Embedding);
+        let structure = structure_for(&model, &mut rng);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let lin = Linearizer::new().linearize(&structure).unwrap();
+
+        let mut skipping = Engine::with_options(
+            &program,
+            ExecOptions {
+                min_wave_width: usize::MAX,
+                ..ExecOptions::default()
+            },
+        );
+        let (out_k, prof_k) = skipping.execute(&lin, &model.params, true).unwrap();
+        let (out_s, prof_s) = Engine::with_options(&program, ExecOptions::scalar())
+            .execute(&lin, &model.params, true)
+            .unwrap();
+        let ctx = format!("TreeLSTM h={h} all waves skipped");
+        for (id, t_s) in &out_s {
+            assert!(out_k[id].all_close(t_s, 1e-5), "{ctx}");
+        }
+        assert_profiles_identical(&prof_s, &prof_k, &ctx);
+        let st = skipping.stats();
+        assert_eq!(st.wave_gemms, 0, "{ctx}: no GEMM may launch");
+        assert_eq!(st.sites_batched, 0);
+        assert!(st.narrow_waves_skipped > 0, "{ctx}: skips must be counted");
     }
 }
 
