@@ -27,7 +27,9 @@ use crate::fastdot::DotPlan;
 use crate::params::Params;
 use crate::persist::{check_persistence, PersistDecision};
 use crate::profile::{Profile, WaveStat};
-use crate::wave::{GroupKind, SiteGroup, SumSite, WavePlan};
+use crate::wave::{
+    GroupKind, InnerDim, SiteGroup, SumSite, SuperEntry, SuperKey, SuperWaveAcc, WavePlan,
+};
 
 /// Errors from program execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +78,11 @@ impl From<LinearizeError> for ExecError {
         ExecError::Unroll(e)
     }
 }
+
+/// One request's raw execution result: output tensors by id plus the
+/// exact counters ([`Engine::execute`]'s return shape, also produced
+/// per request by [`Engine::execute_many`]).
+pub type RunOutput = (HashMap<TensorId, Tensor>, Profile);
 
 /// The result of running a lowered program on a device model.
 #[derive(Debug, Clone)]
@@ -227,6 +234,18 @@ pub struct ExecStats {
     /// Sites that failed a runtime check (weight window) and fell back
     /// to the scalar path.
     pub fallback_sites: u64,
+    /// Stacked-weight matrices (re)packed: 0 in the steady state of a
+    /// serving engine, whose packs persist per `(model, params
+    /// generation)` across runs and across a batch's requests.
+    pub weight_packs: u64,
+    /// Merged super-wave GEMMs (one GEMM serving the same wave depth of
+    /// several queued requests) executed by [`Engine::execute_many`].
+    pub super_gemms: u64,
+    /// Rows across merged super-wave GEMMs.
+    pub super_gemm_rows: u64,
+    /// Sum over merged GEMMs of the number of requests each served (so
+    /// `super_gemm_requests / super_gemms` is the mean merge width).
+    pub super_gemm_requests: u64,
 }
 
 /// A reusable execution engine for one lowered program.
@@ -251,9 +270,27 @@ pub struct Engine<'p> {
     opts: ExecOptions,
     compiled: Rc<Vec<CompiledKernel>>,
     wave_plans: Rc<HashMap<usize, WavePlan>>,
+    /// Addresses of statements whose subtree contains a planned wave
+    /// loop — the only paths the resumable step machine must walk
+    /// frame-by-frame; everything else executes atomically.
+    wave_ancestors: Rc<std::collections::HashSet<usize>>,
     max_slots: usize,
     caches: Caches,
+    /// Shared parameter arena: one read-only allocation per `Param`
+    /// tensor, bound once per `(model, params generation)` and shared
+    /// by every run and every request of a batch (each interpreter's
+    /// `Param` buffers are `Rc` views of these).
+    param_arena: HashMap<u32, Rc<Vec<f32>>>,
+    /// The `Params::generation` the packed-weight cache and parameter
+    /// arena were built against; a different generation invalidates
+    /// both.
+    params_gen: Option<u64>,
 }
+
+/// Packed-weight cache eviction bound: a long-lived serving engine
+/// re-packs (cheap, amortized) rather than growing without limit when a
+/// program produces more distinct stacked-weight windows than this.
+const WEIGHT_CACHE_CAP: usize = 64;
 
 impl<'p> Engine<'p> {
     /// Builds an engine with the default options (all fast paths on).
@@ -275,13 +312,22 @@ impl<'p> Engine<'p> {
         } else {
             HashMap::new()
         };
+        let mut wave_ancestors = std::collections::HashSet::new();
+        for kernel in &compiled {
+            for stmt in &kernel.body {
+                collect_wave_ancestors(stmt, &wave_plans, &mut wave_ancestors);
+            }
+        }
         Engine {
             program,
             opts,
             compiled: Rc::new(compiled),
             wave_plans: Rc::new(wave_plans),
+            wave_ancestors: Rc::new(wave_ancestors),
             max_slots,
             caches: Caches::default(),
+            param_arena: HashMap::new(),
+            params_gen: None,
         }
     }
 
@@ -311,12 +357,63 @@ impl<'p> Engine<'p> {
         params: &Params,
         persist_active: bool,
     ) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
-        // Packed weights are derived from this run's parameter bindings.
-        self.caches.weight_cache.clear();
+        self.refresh_weight_cache(params);
         self.caches.stats = ExecStats::default();
-        let mut caches = std::mem::take(&mut self.caches);
-        let result = (|| {
-            let mut interp = Interp::new(
+        let mut interp = Interp::new(
+            self.program,
+            lin,
+            params,
+            persist_active,
+            self.opts,
+            self.compiled.clone(),
+            self.wave_plans.clone(),
+            self.wave_ancestors.clone(),
+            self.max_slots,
+            &mut self.param_arena,
+        )?;
+        std::mem::swap(&mut self.caches, &mut interp.caches);
+        let result = interp.run_all();
+        std::mem::swap(&mut self.caches, &mut interp.caches);
+        result?;
+        interp.finish()
+    }
+
+    /// Executes the program over a *batch* of independent inputs, fusing
+    /// their wavefronts: at each wave depth, the per-request wave GEMMs
+    /// of the same stacking group merge into one **super-wave** GEMM
+    /// over the concatenation of every request's gathered rows (width
+    /// `Σ bs` instead of `bs`), so GEMM launches scale with the number
+    /// of wave depths, not with the number of requests.
+    ///
+    /// Outputs and `Profile`s are returned per request, **exactly**
+    /// equal to running each input through [`Engine::execute`] alone:
+    /// the merged GEMM computes each output element from the same row
+    /// and weight data in the same reduction order, and all accounting
+    /// is per-request by construction (the GEMM itself is
+    /// accounting-free; counters are charged during each request's own
+    /// gather and memo-serve phases). [`Engine::stats`] afterwards
+    /// describes the whole batch (one `wave_gemms` launch may serve many
+    /// requests — that is the amortization being measured).
+    ///
+    /// # Errors
+    ///
+    /// See [`execute`]; the first failing request aborts the batch.
+    pub fn execute_many(
+        &mut self,
+        lins: &[&Linearized],
+        params: &Params,
+        persist_active: bool,
+    ) -> Result<Vec<RunOutput>, ExecError> {
+        self.refresh_weight_cache(params);
+        self.caches.stats = ExecStats::default();
+        if lins.is_empty() {
+            return Ok(Vec::new());
+        }
+        let compiled = self.compiled.clone();
+        let mut interps = Vec::with_capacity(lins.len());
+        let mut cursors = Vec::with_capacity(lins.len());
+        for lin in lins {
+            interps.push(Interp::new(
                 self.program,
                 lin,
                 params,
@@ -324,14 +421,104 @@ impl<'p> Engine<'p> {
                 self.opts,
                 self.compiled.clone(),
                 self.wave_plans.clone(),
+                self.wave_ancestors.clone(),
                 self.max_slots,
-                &mut caches,
-            )?;
-            interp.run_all()?;
-            interp.finish()
-        })();
-        self.caches = caches;
-        result
+                &mut self.param_arena,
+            )?);
+            cursors.push(RunCursor::new(launch_units(&compiled, self.program, lin)));
+        }
+
+        // Cooperative round-robin: each request runs until it parks at a
+        // planned wave loop (gathered rows registered, GEMM pending) or
+        // completes. Once every live request is parked, the accumulated
+        // GEMMs flush — merged across requests — results are installed,
+        // and everyone resumes. Merging is opportunistic: requests at
+        // different depths (or past their last wave) simply stop
+        // contributing rows, so mixed-depth batches stay correct.
+        let mut acc = SuperWaveAcc::default();
+        let mut parked = vec![false; interps.len()];
+        loop {
+            let mut progressed = false;
+            for r in 0..interps.len() {
+                if cursors[r].done || parked[r] {
+                    continue;
+                }
+                progressed = true;
+                // The shared caches (reduction plans, packed weights,
+                // scratch pools, stats) shuttle into whichever request
+                // is stepping — this is what makes weights pack once
+                // per batch instead of once per request.
+                std::mem::swap(&mut self.caches, &mut interps[r].caches);
+                let outcome = interps[r].step(&mut cursors[r], &compiled, &mut acc, r);
+                std::mem::swap(&mut self.caches, &mut interps[r].caches);
+                if matches!(outcome, StepOutcome::Paused) {
+                    parked[r] = true;
+                }
+            }
+            if !acc.is_empty() {
+                self.flush_super_waves(&mut acc, &mut interps);
+                parked.iter_mut().for_each(|p| *p = false);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        debug_assert!(cursors.iter().all(|c| c.done), "all requests must finish");
+        interps.into_iter().map(Interp::finish).collect()
+    }
+
+    /// Runs every pending super-wave GEMM and hands each registered
+    /// request its block of the shared result matrix.
+    fn flush_super_waves(&mut self, acc: &mut SuperWaveAcc, interps: &mut [Interp<'_>]) {
+        for entry in acc.take_entries() {
+            let SuperEntry {
+                key,
+                weight,
+                rows,
+                total_rows,
+                registrants,
+            } = entry;
+            let mut out = vec![0.0f32; total_rows * key.cols];
+            kernels::gemm_nt_into(&mut out, &rows, &weight, total_rows, key.cols, key.k_len);
+            let shared = Rc::new(out);
+            let stats = &mut self.caches.stats;
+            stats.wave_gemms += 1;
+            stats.gemm_rows += total_rows as u64;
+            if registrants.len() > 1 {
+                stats.super_gemms += 1;
+                stats.super_gemm_rows += total_rows as u64;
+                stats.super_gemm_requests += registrants.len() as u64;
+            }
+            for reg in &registrants {
+                interps[reg.request].install_wave_result(
+                    reg.group_idx,
+                    shared.clone(),
+                    reg.base_row,
+                );
+            }
+            acc.recycle(rows);
+        }
+    }
+
+    /// Packed weights are cached per `(program, params generation)` —
+    /// i.e. once per model per binding state, across runs and across the
+    /// requests of a serving batch — instead of being rebuilt every run.
+    /// Packs of non-`Param` weights (tensors a kernel may rewrite with
+    /// input-dependent values) never survive a run boundary, and the
+    /// whole cache is bounded by [`WEIGHT_CACHE_CAP`].
+    fn refresh_weight_cache(&mut self, params: &Params) {
+        let gen = params.generation();
+        if self.params_gen != Some(gen) {
+            self.caches.weight_cache.clear();
+            self.param_arena.clear();
+            self.params_gen = Some(gen);
+        } else {
+            self.caches.weight_cache.retain(|_, w| w.params_only);
+            if self.caches.weight_cache.len() > WEIGHT_CACHE_CAP {
+                self.caches.weight_cache.clear();
+            }
+        }
     }
 
     /// Executes against a device model, like the free [`run`] function.
@@ -355,6 +542,103 @@ impl<'p> Engine<'p> {
             persist,
         })
     }
+
+    /// Batched counterpart of [`Engine::run`]: executes a queue of
+    /// independent inputs through one merged super-wave schedule (see
+    /// [`Engine::execute_many`]) and returns one [`RunResult`] per
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`].
+    pub fn run_many(
+        &mut self,
+        lins: &[&Linearized],
+        params: &Params,
+        device: &DeviceSpec,
+    ) -> Result<Vec<RunResult>, ExecError> {
+        let persist = check_persistence(self.program, device);
+        let results = self.execute_many(lins, params, persist.active())?;
+        Ok(results
+            .into_iter()
+            .map(|(outputs, profile)| RunResult {
+                latency: device.latency(&profile),
+                outputs,
+                profile,
+                persist: persist.clone(),
+            })
+            .collect())
+    }
+}
+
+/// Marks every statement whose subtree contains a planned wave loop
+/// (including the loop itself). Returns whether `stmt`'s subtree does.
+fn collect_wave_ancestors(
+    stmt: &Stmt,
+    plans: &HashMap<usize, WavePlan>,
+    out: &mut std::collections::HashSet<usize>,
+) -> bool {
+    let mut contains = plans.contains_key(&(stmt as *const Stmt as usize));
+    match stmt {
+        Stmt::For { body, .. } | Stmt::Let { body, .. } => {
+            for s in body {
+                contains |= collect_wave_ancestors(s, plans, out);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for s in then_branch.iter().chain(else_branch) {
+                contains |= collect_wave_ancestors(s, plans, out);
+            }
+        }
+        Stmt::Store { .. } | Stmt::Barrier => {}
+    }
+    if contains {
+        out.insert(stmt as *const Stmt as usize);
+    }
+    contains
+}
+
+/// The flat launch schedule [`Interp::run_all`] executes: `Once` kernels
+/// in order, each `PerInternalBatch` run expanded over the input's batch
+/// indices. Precomputing it lets the resumable step machine treat every
+/// kernel launch uniformly.
+fn launch_units(
+    compiled: &[CompiledKernel],
+    program: &IlirProgram,
+    lin: &Linearized,
+) -> Vec<(usize, Option<i64>)> {
+    let num_internal_batches = if program.meta.schedule.specialize {
+        lin.internal_batches().len() as i64
+    } else {
+        lin.internal_batches().len() as i64 + 1
+    };
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < compiled.len() {
+        match compiled[i].launch {
+            LaunchPattern::Once => {
+                units.push((i, None));
+                i += 1;
+            }
+            LaunchPattern::PerInternalBatch => {
+                let mut j = i;
+                while j < compiled.len() && compiled[j].launch == LaunchPattern::PerInternalBatch {
+                    j += 1;
+                }
+                for b in 0..num_internal_batches {
+                    for k in i..j {
+                        units.push((k, Some(b)));
+                    }
+                }
+                i = j;
+            }
+        }
+    }
+    units
 }
 
 /// State the engine keeps across runs: memoized reduction plans (keyed by
@@ -364,6 +648,12 @@ impl<'p> Engine<'p> {
 #[derive(Default)]
 struct Caches {
     plan_cache: HashMap<usize, Option<Rc<DotPlan>>>,
+    /// Compiled bulk feature-loop plans keyed by `For` statement
+    /// address ([`BulkPlan`]); `None` caches a failed match.
+    bulk_cache: HashMap<usize, Option<Rc<BulkPlan>>>,
+    /// Scratch rows for bulk evaluation (one per live expression-tree
+    /// level), recycled across loops.
+    row_pool: Vec<Vec<f32>>,
     /// Stacked packed weights keyed by `(group leader site key,
     /// reduction extent)` — the extent is part of the key because a
     /// site's extent may legally vary between waves (it is only required
@@ -374,8 +664,11 @@ struct Caches {
     /// non-`Param` weight may be rewritten by a precompute kernel
     /// mid-run.
     weight_cache: HashMap<(usize, usize), StackedWeight>,
-    /// Reusable gather/output buffers keyed by group leader site key.
-    group_bufs: HashMap<usize, GroupBufs>,
+    /// Reusable gather/output buffers keyed by group leader site key. A
+    /// stack per key: during `execute_many` several requests hold the
+    /// same group's buffers at once (their waves overlap in time), so
+    /// one slot per key would churn allocations.
+    group_bufs: HashMap<usize, Vec<GroupBufs>>,
     stats: ExecStats,
 }
 
@@ -383,6 +676,19 @@ struct Caches {
 struct StackedWeight {
     /// Per-member `(site key, window base, store generation)`.
     sig: Vec<(usize, usize, u64)>,
+    /// Whether every packed window reads a `Param`-class tensor: only
+    /// such packs may cross an interpreter boundary (non-`Param`
+    /// weights can be rewritten with input-dependent values between
+    /// runs — or between the requests of a batch — without a
+    /// store-generation change being observable across fresh interps,
+    /// whose generations all start at zero).
+    params_only: bool,
+    /// The [`Interp::cache_epoch`] that packed this entry. Non-`Param`
+    /// packs only validate within the same epoch: two equal-sized
+    /// requests of one batch drive identical store counts to a
+    /// kernel-written weight tensor, so the store-generation signature
+    /// alone cannot tell their (possibly different) values apart.
+    epoch: u64,
     /// `[ΣH][K]` row-major.
     data: Rc<Vec<f32>>,
 }
@@ -421,6 +727,17 @@ struct RowMeta {
     tensors: Vec<u32>,
 }
 
+/// A stacking-group member that passed its runtime weight-window check:
+/// the resolved window base/strides and the source tensor's store
+/// generation at resolution time.
+struct SitePrep<'s> {
+    site: &'s SumSite,
+    wbase: usize,
+    si: usize,
+    sk: usize,
+    wgen: u64,
+}
+
 /// A resolved multiplicative operand of a reduction.
 enum Res {
     /// `data[base + k*stride]` of one tensor.
@@ -431,20 +748,45 @@ enum Res {
     Zero,
 }
 
+/// Where a wave's GEMM result lives.
+enum GroupOut {
+    /// Deferred into a super-wave GEMM that has not flushed yet; reading
+    /// it is a bug (the request is parked until results install).
+    Pending,
+    /// This request's own GEMM (the single-run path).
+    Owned(Vec<f32>),
+    /// A block of a merged super-wave result shared by several requests;
+    /// this request's rows start at `base`.
+    Shared { buf: Rc<Vec<f32>>, base: usize },
+}
+
 /// One stacked GEMM currently serving a wave: the packed rows, the
 /// result matrix, and the per-row accounting shared by its sites.
 struct ActiveGroup {
     /// Group leader's site key (the scratch-buffer cache key).
     leader_key: usize,
-    /// GEMM output, `[rows][cols]` row-major.
-    out: Vec<f32>,
-    /// Packed operand rows (kept only to return the buffer to the pool).
+    /// GEMM output, `[rows][cols]` row-major (owned or a shared block).
+    out: GroupOut,
+    /// Packed operand rows (kept only to return the buffer to the pool;
+    /// empty when the rows were gathered into a super-wave matrix).
     rows: Vec<f32>,
     /// Per-row metadata; sites index it via their `meta_off`.
     meta: Vec<RowMeta>,
     /// Output row length (ΣH of the stacked sites, or H when rows are
     /// stacked instead).
     cols: usize,
+}
+
+impl ActiveGroup {
+    /// One element of the GEMM result.
+    #[inline]
+    fn value(&self, row: usize, col: usize) -> f32 {
+        match &self.out {
+            GroupOut::Owned(v) => v[row * self.cols + col],
+            GroupOut::Shared { buf, base } => buf[(base + row) * self.cols + col],
+            GroupOut::Pending => unreachable!("wave GEMM result read before its flush"),
+        }
+    }
 }
 
 /// A site currently served from an [`ActiveGroup`]'s GEMM result.
@@ -465,6 +807,9 @@ struct ActiveSite {
     /// Weight tensor id, charged per element at memo-hit time.
     weight_tensor: u32,
     feat_slot: usize,
+    /// Row-side feature dimension of a rank-2 site: the served row is
+    /// `n_idx · extent + j` instead of `n_idx`.
+    inner: Option<InnerDim>,
     n_idx_slot: usize,
 }
 
@@ -472,9 +817,52 @@ struct ActiveSite {
 // Storage
 // ---------------------------------------------------------------------
 
+/// Backing storage of a [`Buffer`]: owned and writable, or a read-only
+/// view of the engine's shared parameter arena. Sharing parameters is
+/// what keeps a serving batch's K simultaneous interpreters from each
+/// copying (and keeping resident) the full weight + embedding set —
+/// parameters are bound once per `(model, params generation)` and every
+/// run/request of the engine reads the same allocation.
+#[derive(Debug, Clone)]
+enum BufData {
+    Owned(Vec<f32>),
+    Shared(Rc<Vec<f32>>),
+}
+
+impl std::ops::Deref for BufData {
+    type Target = [f32];
+
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        match self {
+            BufData::Owned(v) => v,
+            BufData::Shared(r) => r,
+        }
+    }
+}
+
+impl BufData {
+    /// Mutable access — only owned storage is writable (the lowering
+    /// never emits stores to `Param` tensors, the one shared class).
+    #[inline]
+    fn as_mut(&mut self) -> &mut [f32] {
+        match self {
+            BufData::Owned(v) => v,
+            BufData::Shared(_) => unreachable!("store to a shared parameter buffer"),
+        }
+    }
+
+    fn into_vec(self) -> Vec<f32> {
+        match self {
+            BufData::Owned(v) => v,
+            BufData::Shared(r) => r.as_ref().clone(),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Buffer {
-    data: Vec<f32>,
+    data: BufData,
     dims: Vec<usize>,
     strides: Vec<usize>,
     class: StorageClass,
@@ -488,7 +876,7 @@ impl Buffer {
             strides[d] = strides[d + 1] * dims[d + 1];
         }
         Buffer {
-            data: vec![0.0; len.max(1)],
+            data: BufData::Owned(vec![0.0; len.max(1)]),
             dims,
             strides,
             class,
@@ -594,7 +982,12 @@ struct Interp<'a> {
     opts: ExecOptions,
     compiled: Rc<Vec<CompiledKernel>>,
     wave_plans: Rc<HashMap<usize, WavePlan>>,
-    caches: &'a mut Caches,
+    wave_ancestors: Rc<std::collections::HashSet<usize>>,
+    /// Shared engine state, *shuttled* in and out around execution: the
+    /// engine swaps its caches into exactly one interpreter at a time
+    /// (the running one), which is how `execute_many`'s requests share
+    /// packed weights and scratch pools without aliasing.
+    caches: Caches,
     /// Sites of the wave currently executing, served from GEMM results.
     active: Vec<ActiveSite>,
     /// Stacked GEMMs of the wave currently executing.
@@ -611,7 +1004,17 @@ struct Interp<'a> {
     /// source tensor is written (a non-`Param` weight may legally be
     /// produced by a precompute kernel — or rewritten between waves).
     store_gens: Vec<u64>,
+    /// Process-unique id of this interpreter instance. Non-`Param`
+    /// packed-weight entries only validate within the epoch that packed
+    /// them: store generations are per-interpreter (all start at 0), so
+    /// two requests of one batch — or two consecutive runs — can reach
+    /// identical generation counts for a kernel-written weight holding
+    /// different values.
+    cache_epoch: u64,
 }
+
+/// Source of [`Interp::cache_epoch`] values.
+static NEXT_CACHE_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl<'a> Interp<'a> {
     #[allow(clippy::too_many_arguments)]
@@ -623,8 +1026,9 @@ impl<'a> Interp<'a> {
         opts: ExecOptions,
         compiled: Rc<Vec<CompiledKernel>>,
         wave_plans: Rc<HashMap<usize, WavePlan>>,
+        wave_ancestors: Rc<std::collections::HashSet<usize>>,
         max_slots: usize,
-        caches: &'a mut Caches,
+        param_arena: &mut HashMap<u32, Rc<Vec<f32>>>,
     ) -> Result<Self, ExecError> {
         let rt = RtEnv::new(program, lin)?;
         let n_tensors = program.tensors.len();
@@ -652,7 +1056,15 @@ impl<'a> Interp<'a> {
                         found: bound.shape().dims().to_vec(),
                     });
                 }
-                buf.data.copy_from_slice(bound.as_slice());
+                // Parameters are read-only to the generated code: every
+                // interpreter shares the engine arena's one allocation
+                // (filled on first use per params generation) instead of
+                // copying the full weight + embedding set per run.
+                let shared = param_arena
+                    .entry(decl.id.0)
+                    .or_insert_with(|| Rc::new(bound.as_slice().to_vec()));
+                debug_assert_eq!(shared.len(), bound.len());
+                buf.data = BufData::Shared(shared.clone());
             }
             if decl.class == StorageClass::Scratch {
                 profile.scratch_allocated_bytes += buf.bytes();
@@ -675,48 +1087,31 @@ impl<'a> Interp<'a> {
             opts,
             compiled,
             wave_plans,
-            caches,
+            wave_ancestors,
+            caches: Caches::default(),
             active: Vec::new(),
             active_groups: Vec::new(),
             memo: Vec::new(),
             scope_pool: Vec::new(),
+            cache_epoch: NEXT_CACHE_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         })
     }
 
     fn run_all(&mut self) -> Result<(), ExecError> {
         let compiled = self.compiled.clone();
-
         // Per-batch kernels run once per internal batch when specialized;
-        // without specialization the leaf wave joins the batch table too.
-        let num_internal_batches = if self.program.meta.schedule.specialize {
-            self.lin.internal_batches().len() as i64
-        } else {
-            self.lin.internal_batches().len() as i64 + 1
-        };
-        let mut i = 0;
-        while i < compiled.len() {
-            match compiled[i].launch {
-                LaunchPattern::Once => {
-                    self.launch(&compiled[i], None);
-                    i += 1;
-                }
-                LaunchPattern::PerInternalBatch => {
-                    let mut j = i;
-                    while j < compiled.len()
-                        && compiled[j].launch == LaunchPattern::PerInternalBatch
-                    {
-                        j += 1;
-                    }
-                    for b in 0..num_internal_batches {
-                        for k in &compiled[i..j] {
-                            self.launch(k, Some(b));
-                        }
-                    }
-                    i = j;
-                }
-            }
+        // without specialization the leaf wave joins the batch table too
+        // (see [`launch_units`]).
+        for (ki, b) in launch_units(&compiled, self.program, self.lin) {
+            self.launch(&compiled[ki], b);
         }
+        self.finalize_run();
+        Ok(())
+    }
 
+    /// Post-run accounting shared by [`run_all`](Self::run_all) and the
+    /// resumable step machine.
+    fn finalize_run(&mut self) {
         // Unrolled schedules: reclassify stage barriers and credit cache
         // reuse along intra-group edges (Fig. 3's yellow boxes).
         if self.program.meta.schedule.unroll.is_some() {
@@ -770,7 +1165,6 @@ impl<'a> Interp<'a> {
                 }
             }
         }
-        Ok(())
     }
 
     fn finish(mut self) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
@@ -779,7 +1173,7 @@ impl<'a> Interp<'a> {
             let buf = self.bufs[id.0 as usize]
                 .take()
                 .ok_or_else(|| ExecError::Internal(format!("output {id} has no buffer")))?;
-            let t = Tensor::from_vec(buf.data, &buf.dims)
+            let t = Tensor::from_vec(buf.data.into_vec(), &buf.dims)
                 .map_err(|e| ExecError::Internal(e.to_string()))?;
             outputs.insert(*id, t);
         }
@@ -921,24 +1315,45 @@ impl<'a> Interp<'a> {
                 let mut activated = (0usize, 0usize);
                 if n > 0 && !self.wave_plans.is_empty() {
                     let plans = self.wave_plans.clone();
-                    if let Some(plan) = plans.get(&(s as *const Stmt as usize)) {
+                    let for_key = s as *const Stmt as usize;
+                    if let Some(plan) = plans.get(&for_key) {
                         if (n as usize) < self.opts.min_wave_width {
                             self.caches.stats.narrow_waves_skipped += 1;
                         } else {
-                            activated = self.prepare_wave(plan, n as usize);
+                            activated = self.prepare_wave(plan, for_key, n as usize, None);
                         }
                     }
                 }
-                for i in 0..n.max(0) {
-                    if is_wave {
-                        self.push_scope(true);
+                // Bulk-served feature loops: one strided row pass over
+                // the whole extent instead of `n` interpreted element
+                // walks, with identical values and counters.
+                let mut served = false;
+                if n > 0 && !is_wave && self.opts.fastdot {
+                    let key = s as *const Stmt as usize;
+                    let plan = match self.caches.bulk_cache.get(&key) {
+                        Some(p) => p.clone(),
+                        None => {
+                            let p = compile_bulk(s).map(Rc::new);
+                            self.caches.bulk_cache.insert(key, p.clone());
+                            p
+                        }
+                    };
+                    if let Some(plan) = plan {
+                        served = self.exec_bulk(&plan);
                     }
-                    self.slots[slot] = i;
-                    for st in body {
-                        self.exec_stmt(st);
-                    }
-                    if is_wave {
-                        self.pop_scope();
+                }
+                if !served {
+                    for i in 0..n.max(0) {
+                        if is_wave {
+                            self.push_scope(true);
+                        }
+                        self.slots[slot] = i;
+                        for st in body {
+                            self.exec_stmt(st);
+                        }
+                        if is_wave {
+                            self.pop_scope();
+                        }
                     }
                 }
                 if activated != (0, 0) {
@@ -963,7 +1378,7 @@ impl<'a> Interp<'a> {
                 let buf = self.bufs[tensor.0 as usize]
                     .as_mut()
                     .expect("stored tensor allocated");
-                buf.data[off] = v;
+                buf.data.as_mut()[off] = v;
             }
             Stmt::If {
                 cond,
@@ -1131,15 +1546,19 @@ impl<'a> Interp<'a> {
                     let site = &self.active[idx];
                     let group = &self.active_groups[site.group];
                     let r = self.slots[site.n_idx_slot] as usize;
-                    let m = &group.meta[site.meta_off + r];
+                    // Rank-2 sites gather one row per (node, j) pair.
+                    let row = match site.inner {
+                        None => r,
+                        Some(d) => r * d.extent + self.slots[d.slot] as usize,
+                    };
+                    let m = &group.meta[site.meta_off + row];
                     if m.zero {
                         // The scalar path short-circuits before any
                         // accounting when a guard kills the product.
                         return 0.0;
                     }
                     let i = self.slots[site.feat_slot] as usize;
-                    let value =
-                        m.scale * group.out[(site.row_off + r) * group.cols + site.col_off + i];
+                    let value = m.scale * group.value(site.row_off + row, site.col_off + i);
                     // `m.streams` excludes the weight stream: `+1` for the
                     // weight, `+1` for the accumulate — the scalar path's
                     // `flops += k·(streams+1)` with the weight included.
@@ -1356,24 +1775,250 @@ impl<'a> Interp<'a> {
         scale * acc
     }
 
+    // -- bulk feature-loop serving ------------------------------------
+
+    /// Runs a compiled feature loop as strided row passes. Returns
+    /// `false` (nothing executed) when a referenced reduction is not
+    /// currently wave-served — the caller falls back to the per-element
+    /// interpreter, e.g. on the scalar path or for rank-2 sites.
+    fn exec_bulk(&mut self, plan: &BulkPlan) -> bool {
+        // Every Sum must be served by an active rank-1 site.
+        for &key in &plan.sum_keys {
+            let Some(&(_, idx)) = self.memo.iter().find(|(k, _)| *k == key) else {
+                return false;
+            };
+            if self.active[idx].inner.is_some() {
+                return false;
+            }
+        }
+        let h = plan.h;
+        let mut pool = std::mem::take(&mut self.caches.row_pool);
+        let mut out = pool.pop().unwrap_or_default();
+        out.resize(h, 0.0);
+        self.eval_bulk(&plan.expr, plan.feat_slot, &mut out, &mut pool);
+
+        // The store: offset evaluated once (the index is counter-free),
+        // one strided write, accounting ×h exactly as `record_store`
+        // per element would have.
+        let (base, stride) = self.strided_offset(plan.tensor, &plan.index, Some(plan.i_pos));
+        self.store_gens[plan.tensor.0 as usize] += h as u64;
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.touch[plan.tensor.0 as usize].1 += h as u64;
+        }
+        let buf = self.bufs[plan.tensor.0 as usize]
+            .as_mut()
+            .expect("stored tensor allocated");
+        let data = buf.data.as_mut();
+        for (jj, v) in out.iter().enumerate() {
+            data[base + jj * stride] = *v;
+        }
+        pool.push(out);
+        self.caches.row_pool = pool;
+        true
+    }
+
+    /// Base offset and `i`-stride of an index list whose non-`i`
+    /// positions are loop-invariant (evaluated once).
+    fn strided_offset(
+        &mut self,
+        tensor: TensorId,
+        index: &[IdxExpr],
+        i_pos: Option<usize>,
+    ) -> (usize, usize) {
+        let mut coords = [0i64; 8];
+        for (d, e) in index.iter().enumerate() {
+            if Some(d) == i_pos {
+                continue;
+            }
+            coords[d] = self.eval_idx(e);
+        }
+        let buf = self.bufs[tensor.0 as usize]
+            .as_ref()
+            .expect("tensor allocated");
+        let mut base = 0usize;
+        for (d, _) in index.iter().enumerate() {
+            if Some(d) == i_pos {
+                continue;
+            }
+            base += coords[d] as usize * buf.strides[d];
+        }
+        (base, i_pos.map_or(0, |d| buf.strides[d]))
+    }
+
+    /// Evaluates a bulk expression over the whole feature extent,
+    /// charging per-element counters ×`out.len()`. Values are
+    /// bit-identical to per-element evaluation: each element's value is
+    /// produced by the same operation tree in the same order.
+    fn eval_bulk(
+        &mut self,
+        e: &BulkExpr,
+        feat_slot: usize,
+        out: &mut [f32],
+        pool: &mut Vec<Vec<f32>>,
+    ) {
+        let h = out.len();
+        match e {
+            BulkExpr::Const(c) => out.fill(*c),
+            BulkExpr::Load {
+                tensor,
+                index,
+                i_pos,
+            } => {
+                let (base, stride) = self.strided_offset(*tensor, index, *i_pos);
+                if let Some(scope) = self.scopes.last_mut() {
+                    scope.touch[tensor.0 as usize].0 += h as u64;
+                }
+                let data = &self.bufs[tensor.0 as usize]
+                    .as_ref()
+                    .expect("loaded tensor allocated")
+                    .data;
+                if stride == 1 {
+                    out.copy_from_slice(&data[base..base + h]);
+                } else {
+                    for (jj, o) in out.iter_mut().enumerate() {
+                        *o = data[base + jj * stride];
+                    }
+                }
+            }
+            BulkExpr::MemoSum(key) => {
+                let (_, idx) = *self
+                    .memo
+                    .iter()
+                    .find(|(k, _)| *k == *key)
+                    .expect("memo-active (checked by exec_bulk)");
+                let site = &self.active[idx];
+                let group = &self.active_groups[site.group];
+                let r = self.slots[site.n_idx_slot] as usize;
+                let m = &group.meta[site.meta_off + r];
+                if m.zero {
+                    // The scalar path short-circuits before accounting.
+                    out.fill(0.0);
+                    return;
+                }
+                let (scale, row) = (m.scale, site.row_off + r);
+                if site.feat_slot == feat_slot {
+                    // The site's columns are contiguous in the result
+                    // row: serve the whole extent as one scaled copy.
+                    let (buf, base_row): (&[f32], usize) = match &group.out {
+                        GroupOut::Owned(v) => (v, 0),
+                        GroupOut::Shared { buf, base } => (buf, *base),
+                        GroupOut::Pending => {
+                            unreachable!("wave GEMM result read before its flush")
+                        }
+                    };
+                    let at = (base_row + row) * group.cols + site.col_off;
+                    for (o, v) in out.iter_mut().zip(&buf[at..at + h]) {
+                        *o = scale * v;
+                    }
+                } else {
+                    // The site's feature variable is bound outside this
+                    // loop: one column, broadcast.
+                    let col = site.col_off + self.slots[site.feat_slot] as usize;
+                    out.fill(scale * group.value(row, col));
+                }
+                let (k, wt, streams) = (site.k, site.weight_tensor, m.streams);
+                let per_tensor = k * h as u64;
+                self.profile.flops += k * (streams + 2) * h as u64;
+                let tensors = &self.active_groups[self.active[idx].group].meta
+                    [self.active[idx].meta_off + r]
+                    .tensors;
+                if let Some(scope) = self.scopes.last_mut() {
+                    scope.touch[wt as usize].0 += per_tensor;
+                    for &t in tensors {
+                        scope.touch[t as usize].0 += per_tensor;
+                    }
+                }
+            }
+            BulkExpr::Unary(op, a) => {
+                self.eval_bulk(a, feat_slot, out, pool);
+                self.profile.flops += h as u64;
+                match op {
+                    cortex_core::expr::UnaryOp::Neg => out.iter_mut().for_each(|x| *x = -*x),
+                    cortex_core::expr::UnaryOp::Tanh => {
+                        let nl = self.nonlin;
+                        out.iter_mut().for_each(|x| *x = nl.tanh(*x));
+                    }
+                    cortex_core::expr::UnaryOp::Sigmoid => {
+                        let nl = self.nonlin;
+                        out.iter_mut().for_each(|x| *x = nl.sigmoid(*x));
+                    }
+                    cortex_core::expr::UnaryOp::Relu => {
+                        out.iter_mut().for_each(|x| *x = x.max(0.0));
+                    }
+                    cortex_core::expr::UnaryOp::Exp => {
+                        out.iter_mut().for_each(|x| *x = x.exp());
+                    }
+                }
+            }
+            BulkExpr::Bin(op, a, b) => {
+                self.eval_bulk(a, feat_slot, out, pool);
+                let mut rhs = pool.pop().unwrap_or_default();
+                rhs.resize(h, 0.0);
+                self.eval_bulk(b, feat_slot, &mut rhs, pool);
+                self.profile.flops += h as u64;
+                match op {
+                    cortex_core::expr::BinOp::Add => {
+                        out.iter_mut().zip(&rhs).for_each(|(x, y)| *x += *y)
+                    }
+                    cortex_core::expr::BinOp::Sub => {
+                        out.iter_mut().zip(&rhs).for_each(|(x, y)| *x -= *y)
+                    }
+                    cortex_core::expr::BinOp::Mul => {
+                        out.iter_mut().zip(&rhs).for_each(|(x, y)| *x *= *y)
+                    }
+                    cortex_core::expr::BinOp::Div => {
+                        out.iter_mut().zip(&rhs).for_each(|(x, y)| *x /= *y)
+                    }
+                    cortex_core::expr::BinOp::Max => {
+                        out.iter_mut().zip(&rhs).for_each(|(x, y)| *x = x.max(*y))
+                    }
+                    cortex_core::expr::BinOp::Min => {
+                        out.iter_mut().zip(&rhs).for_each(|(x, y)| *x = x.min(*y))
+                    }
+                }
+                pool.push(rhs);
+            }
+        }
+    }
+
     // -- batched wavefront execution ----------------------------------
 
     /// Runs the GEMM phase for every stacking group of a wave plan,
     /// making their `Sum`s servable from result matrices. Returns the
     /// number of `(sites, groups)` activated.
     ///
+    /// With `defer` set (the `execute_many` path), the gathered rows are
+    /// registered into the super-wave accumulator instead of running the
+    /// GEMM immediately: the caller parks this request until the merged
+    /// GEMMs flush and their results install.
+    ///
     /// Accounting discipline: the scalar path evaluates guards, scalar
     /// factors and stream bases once per *element* (`wave_len × h` times
     /// per site); the packing phase evaluates them once per *gathered
-    /// row* and multiplies the counter deltas by the summed feature
-    /// extents of every site the row serves, while the per-element loads
+    /// row* and multiplies the counter deltas by the served element
+    /// count of every site the row serves, while the per-element loads
     /// and flops of the dot itself are charged at memo-hit time. The
-    /// resulting `Profile` is identical to the scalar path's.
-    fn prepare_wave(&mut self, plan: &WavePlan, wave_len: usize) -> (usize, usize) {
+    /// resulting `Profile` is identical to the scalar path's — and
+    /// entirely per-request: the GEMM itself touches no counters, which
+    /// is what makes cross-request merging invisible to the `Profile`.
+    fn prepare_wave(
+        &mut self,
+        plan: &WavePlan,
+        for_key: usize,
+        wave_len: usize,
+        mut defer: Option<(&mut SuperWaveAcc, usize)>,
+    ) -> (usize, usize) {
         let mut sites = 0usize;
         let mut groups = 0usize;
-        for group in &plan.groups {
-            let n = self.prepare_group(plan, group, wave_len);
+        for (ordinal, group) in plan.groups.iter().enumerate() {
+            let n = self.prepare_group(
+                plan,
+                group,
+                for_key,
+                ordinal,
+                wave_len,
+                defer.as_mut().map(|(acc, req)| (&mut **acc, *req)),
+            );
             if n > 0 {
                 sites += n;
                 groups += 1;
@@ -1426,24 +2071,25 @@ impl<'a> Interp<'a> {
     }
 
     /// Packs one stacking group's weights and operand rows, runs its
-    /// GEMM, and activates its member sites. Returns the number of sites
-    /// activated (members that fail a runtime check fall back to the
-    /// scalar path individually).
-    fn prepare_group(&mut self, plan: &WavePlan, group: &SiteGroup, wave_len: usize) -> usize {
-        struct Prep<'s> {
-            site: &'s SumSite,
-            wbase: usize,
-            si: usize,
-            sk: usize,
-            wgen: u64,
-        }
-
+    /// GEMM (or registers the rows into a pending super-wave GEMM), and
+    /// activates its member sites. Returns the number of sites activated
+    /// (members that fail a runtime check fall back to the scalar path
+    /// individually).
+    fn prepare_group(
+        &mut self,
+        plan: &WavePlan,
+        group: &SiteGroup,
+        for_key: usize,
+        ordinal: usize,
+        wave_len: usize,
+        defer: Option<(&mut SuperWaveAcc, usize)>,
+    ) -> usize {
         // The analyzer guarantees every member shares the reduction
         // extent (grouping requires structurally equal extents).
         let leader = &plan.sites[group.members[0]];
         let k_len = self.eval_idx(&leader.extent).max(0) as usize;
 
-        let mut preps: Vec<Prep<'_>> = Vec::with_capacity(group.members.len());
+        let mut preps: Vec<SitePrep<'_>> = Vec::with_capacity(group.members.len());
         let mut attempted = 0usize;
         for &mi in &group.members {
             let site = &plan.sites[mi];
@@ -1452,7 +2098,7 @@ impl<'a> Interp<'a> {
             }
             attempted += 1;
             if let Some((wbase, si, sk, wgen)) = self.resolve_weight_window(site, k_len) {
-                preps.push(Prep {
+                preps.push(SitePrep {
                     site,
                     wbase,
                     si,
@@ -1479,17 +2125,26 @@ impl<'a> Interp<'a> {
         // this is the per-wave steady state and must not allocate.
         let cache_key = (leader_key, k_len);
         let cached = self.caches.weight_cache.get(&cache_key).is_some_and(|w| {
-            w.sig.len() == preps.len()
+            (w.params_only || w.epoch == self.cache_epoch)
+                && w.sig.len() == preps.len()
                 && w.sig
                     .iter()
                     .zip(&preps)
                     .all(|(s, p)| *s == (p.site.key, p.wbase, p.wgen))
         });
         if !cached {
+            self.caches.stats.weight_packs += 1;
             let sig: Vec<(usize, usize, u64)> = preps
                 .iter()
                 .map(|p| (p.site.key, p.wbase, p.wgen))
                 .collect();
+            let params_only = preps[..to_pack].iter().all(|p| {
+                self.bufs[p.site.weight.tensor.0 as usize]
+                    .as_ref()
+                    .expect("weight allocated")
+                    .class
+                    == StorageClass::Param
+            });
             let mut data = vec![0.0f32; cols * k_len];
             let mut row0 = 0usize;
             for p in &preps[..to_pack] {
@@ -1513,6 +2168,8 @@ impl<'a> Interp<'a> {
                 cache_key,
                 StackedWeight {
                     sig,
+                    params_only,
+                    epoch: self.cache_epoch,
                     data: Rc::new(data),
                 },
             );
@@ -1523,74 +2180,95 @@ impl<'a> Interp<'a> {
         // and pack the operand rows. Shared-rows groups gather one row
         // per node (serving every member); row-stacked groups gather one
         // block of rows per member.
+        // Rank-2 sites gather one row per (node, j) pair; the analyzer
+        // guarantees a shared-rows group agrees on the inner dimension
+        // and keeps rank-2 sites out of row-stacked groups.
+        let rows_per_node = match group.kind {
+            GroupKind::SharedRows => preps[0].site.inner.map_or(1, |d| d.extent),
+            GroupKind::SharedWeight => 1,
+        };
         let gemm_rows = match group.kind {
-            GroupKind::SharedRows => wave_len,
+            GroupKind::SharedRows => wave_len * rows_per_node,
             GroupKind::SharedWeight => preps.len() * wave_len,
         };
         let mut bufs = self
             .caches
             .group_bufs
-            .remove(&leader_key)
+            .get_mut(&leader_key)
+            .and_then(Vec::pop)
             .unwrap_or_default();
-        bufs.rows.clear();
-        bufs.rows.resize(gemm_rows * k_len, 0.0);
         bufs.meta.resize_with(gemm_rows, RowMeta::default);
-        match group.kind {
-            GroupKind::SharedRows => {
-                // The members' row operands are structurally equal, so
-                // the leader's resolution stands in for all of them; the
-                // scalar path would have resolved once per element of
-                // every member, hence the Σh replay factor.
-                let replay: u64 = preps.iter().map(|p| p.site.feat_extent as u64).sum();
-                let rest = &preps[0].site.rest;
-                for r in 0..wave_len {
-                    self.slots[plan.n_idx_slot] = r as i64;
-                    if let Some((slot, value)) = &plan.node_let {
-                        self.slots[*slot] = self.eval_idx(value);
-                    }
-                    let row = &mut bufs.rows[r * k_len..(r + 1) * k_len];
-                    let meta = &mut bufs.meta[r];
-                    self.pack_row(rest, k_len, replay, row, meta);
-                }
-            }
-            GroupKind::SharedWeight => {
-                for (g, p) in preps.iter().enumerate() {
-                    for r in 0..wave_len {
-                        self.slots[plan.n_idx_slot] = r as i64;
-                        if let Some((slot, value)) = &plan.node_let {
-                            self.slots[*slot] = self.eval_idx(value);
-                        }
-                        let at = g * wave_len + r;
-                        let row = &mut bufs.rows[at * k_len..(at + 1) * k_len];
-                        let meta = &mut bufs.meta[at];
-                        self.pack_row(&p.site.rest, k_len, p.site.feat_extent as u64, row, meta);
-                    }
-                }
-            }
-        }
 
-        // One cache-blocked NT GEMM for the whole group. Guard-zero rows
-        // need no special handling here: the memo hit short-circuits to
-        // exactly 0.0 (matching the scalar path, which never touches the
-        // weight — inf/NaN containment happens at that early return) so
-        // their slots in `out` are never read.
-        bufs.out.clear();
-        bufs.out.resize(gemm_rows * cols, 0.0);
-        kernels::gemm_nt_into(&mut bufs.out, &bufs.rows, &packed_w, gemm_rows, cols, k_len);
+        let group_idx = self.active_groups.len();
+        let deferred = if let Some((acc, request)) = defer {
+            // Register this request's block of the merged super-wave
+            // GEMM and gather straight into it; the GEMM runs at flush.
+            let key = SuperKey {
+                for_key,
+                group_ordinal: ordinal,
+                leader_key,
+                cols,
+                k_len,
+            };
+            let (entry, base) = acc.register(key, &packed_w, gemm_rows, request, group_idx);
+            let rows = acc.rows_mut(entry, base, gemm_rows);
+            self.gather_rows(
+                plan,
+                group.kind,
+                &preps,
+                k_len,
+                rows_per_node,
+                wave_len,
+                rows,
+                &mut bufs.meta,
+            );
+            true
+        } else {
+            bufs.rows.clear();
+            bufs.rows.resize(gemm_rows * k_len, 0.0);
+            let GroupBufs { rows, meta, .. } = &mut bufs;
+            self.gather_rows(
+                plan,
+                group.kind,
+                &preps,
+                k_len,
+                rows_per_node,
+                wave_len,
+                rows,
+                meta,
+            );
+            // One cache-blocked NT GEMM for the whole group. Guard-zero
+            // rows need no special handling here: the memo hit
+            // short-circuits to exactly 0.0 (matching the scalar path,
+            // which never touches the weight — inf/NaN containment
+            // happens at that early return) so their slots in `out` are
+            // never read.
+            bufs.out.clear();
+            bufs.out.resize(gemm_rows * cols, 0.0);
+            kernels::gemm_nt_into(&mut bufs.out, &bufs.rows, &packed_w, gemm_rows, cols, k_len);
+            false
+        };
 
         let stats = &mut self.caches.stats;
-        stats.wave_gemms += 1;
-        stats.gemm_rows += gemm_rows as u64;
+        if !deferred {
+            // Deferred GEMMs are counted at flush time, where several
+            // requests' waves may share one launch.
+            stats.wave_gemms += 1;
+            stats.gemm_rows += gemm_rows as u64;
+        }
         stats.sites_batched += preps.len() as u64;
         if preps.len() > 1 {
             stats.stacked_groups += 1;
             stats.stacked_sites += preps.len() as u64;
         }
 
-        let group_idx = self.active_groups.len();
         self.active_groups.push(ActiveGroup {
             leader_key,
-            out: std::mem::take(&mut bufs.out),
+            out: if deferred {
+                GroupOut::Pending
+            } else {
+                GroupOut::Owned(std::mem::take(&mut bufs.out))
+            },
             rows: std::mem::take(&mut bufs.rows),
             meta: std::mem::take(&mut bufs.meta),
             cols,
@@ -1612,10 +2290,72 @@ impl<'a> Interp<'a> {
                 k: k_len as u64,
                 weight_tensor: p.site.weight.tensor.0,
                 feat_slot: p.site.feat_slot,
+                inner: p.site.inner,
                 n_idx_slot: plan.n_idx_slot,
             });
         }
         preps.len()
+    }
+
+    /// Gathers a group's operand rows (resolving guards, child-sums and
+    /// scalars once per row, with the scalar path's per-element counter
+    /// deltas replayed per served element) into `rows`/`meta`.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_rows(
+        &mut self,
+        plan: &WavePlan,
+        kind: GroupKind,
+        preps: &[SitePrep<'_>],
+        k_len: usize,
+        rows_per_node: usize,
+        wave_len: usize,
+        rows: &mut [f32],
+        meta: &mut [RowMeta],
+    ) {
+        match kind {
+            GroupKind::SharedRows => {
+                // The members' row operands are structurally equal, so
+                // the leader's resolution stands in for all of them; the
+                // scalar path would have resolved once per served
+                // element of every member, hence the Σ replay factor.
+                let replay: u64 = preps.iter().map(|p| p.site.served_per_row as u64).sum();
+                let rest = &preps[0].site.rest;
+                let inner = preps[0].site.inner;
+                for r in 0..wave_len {
+                    self.slots[plan.n_idx_slot] = r as i64;
+                    if let Some((slot, value)) = &plan.node_let {
+                        self.slots[*slot] = self.eval_idx(value);
+                    }
+                    for jv in 0..rows_per_node {
+                        if let Some(d) = inner {
+                            self.slots[d.slot] = jv as i64;
+                        }
+                        let at = r * rows_per_node + jv;
+                        let row = &mut rows[at * k_len..(at + 1) * k_len];
+                        self.pack_row(rest, k_len, replay, row, &mut meta[at]);
+                    }
+                }
+            }
+            GroupKind::SharedWeight => {
+                for (g, p) in preps.iter().enumerate() {
+                    for r in 0..wave_len {
+                        self.slots[plan.n_idx_slot] = r as i64;
+                        if let Some((slot, value)) = &plan.node_let {
+                            self.slots[*slot] = self.eval_idx(value);
+                        }
+                        let at = g * wave_len + r;
+                        let row = &mut rows[at * k_len..(at + 1) * k_len];
+                        self.pack_row(
+                            &p.site.rest,
+                            k_len,
+                            p.site.served_per_row as u64,
+                            row,
+                            &mut meta[at],
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// Resolves one node's row operands and packs its reduction row,
@@ -1730,15 +2470,452 @@ impl<'a> Interp<'a> {
         }
         for _ in 0..groups {
             let group = self.active_groups.pop().expect("active group");
-            self.caches.group_bufs.insert(
-                group.leader_key,
-                GroupBufs {
+            // Shared (super-wave) results are dropped with their `Rc`;
+            // only owned output buffers return to the pool.
+            let out = match group.out {
+                GroupOut::Owned(v) => v,
+                GroupOut::Shared { .. } | GroupOut::Pending => Vec::new(),
+            };
+            self.caches
+                .group_bufs
+                .entry(group.leader_key)
+                .or_default()
+                .push(GroupBufs {
                     rows: group.rows,
-                    out: group.out,
+                    out,
                     meta: group.meta,
-                },
-            );
+                });
         }
+    }
+
+    /// Hands this request its block of a flushed super-wave GEMM result.
+    fn install_wave_result(&mut self, group_idx: usize, buf: Rc<Vec<f32>>, base: usize) {
+        debug_assert!(matches!(
+            self.active_groups[group_idx].out,
+            GroupOut::Pending
+        ));
+        self.active_groups[group_idx].out = GroupOut::Shared { buf, base };
+    }
+
+    // -- resumable execution (the `execute_many` step machine) ---------
+
+    /// Advances this request until it parks at a planned wave loop whose
+    /// GEMMs were deferred into `acc` ([`StepOutcome::Paused`] — resume
+    /// after the flush installs results) or until the whole launch
+    /// schedule completes ([`StepOutcome::Done`]).
+    ///
+    /// The machine walks statement paths that contain planned wave loops
+    /// frame-by-frame (so it can suspend mid-loop with slot state
+    /// intact) and delegates every other subtree to the recursive
+    /// [`exec_stmt`](Self::exec_stmt) — both replicate the single-run
+    /// executor's accounting exactly.
+    fn step<'k>(
+        &mut self,
+        cur: &mut RunCursor<'k>,
+        compiled: &'k [CompiledKernel],
+        acc: &mut SuperWaveAcc,
+        request: usize,
+    ) -> StepOutcome {
+        loop {
+            if cur.frames.is_empty() {
+                if cur.in_launch {
+                    self.pop_scope();
+                    cur.in_launch = false;
+                    cur.unit += 1;
+                }
+                let Some(&(ki, b)) = cur.units.get(cur.unit) else {
+                    if !cur.done {
+                        cur.done = true;
+                        self.finalize_run();
+                    }
+                    return StepOutcome::Done;
+                };
+                let kernel = &compiled[ki];
+                self.profile.launches += 1;
+                self.profile.host_api_calls += 1;
+                self.push_scope(kernel.launch == LaunchPattern::PerInternalBatch);
+                if let Some(bv) = kernel.batch_slot {
+                    self.slots[bv] = b.expect("per-batch kernel needs a batch index");
+                }
+                cur.in_launch = true;
+                cur.frames.push(Frame::Block {
+                    stmts: &kernel.body,
+                    idx: 0,
+                });
+                continue;
+            }
+            enum Action<'k> {
+                Exec(&'k Stmt),
+                PopBlock,
+                LoopContinue,
+            }
+            let action = match cur.frames.last_mut().expect("frame") {
+                Frame::Block { stmts, idx } => {
+                    if *idx < stmts.len() {
+                        let s = &stmts[*idx];
+                        *idx += 1;
+                        Action::Exec(s)
+                    } else {
+                        Action::PopBlock
+                    }
+                }
+                Frame::Loop { .. } => Action::LoopContinue,
+            };
+            match action {
+                Action::PopBlock => {
+                    cur.frames.pop();
+                }
+                Action::LoopContinue => self.loop_continue(cur),
+                Action::Exec(s) => {
+                    if !self.wave_ancestors.contains(&(s as *const Stmt as usize)) {
+                        // No planned wave loop below: run it atomically
+                        // through the ordinary recursive interpreter.
+                        self.exec_stmt(s);
+                        continue;
+                    }
+                    match s {
+                        Stmt::For { .. } => {
+                            if self.enter_for(s, cur, acc, request) {
+                                return StepOutcome::Paused;
+                            }
+                        }
+                        Stmt::Let { var, value, body } => {
+                            let v = self.eval_idx(value);
+                            self.slots[var.id() as usize] = v;
+                            cur.frames.push(Frame::Block {
+                                stmts: body,
+                                idx: 0,
+                            });
+                        }
+                        Stmt::If {
+                            cond,
+                            then_branch,
+                            else_branch,
+                        } => {
+                            self.profile.branch_checks += 1;
+                            let branch = if self.eval_bool(cond) {
+                                then_branch
+                            } else {
+                                else_branch
+                            };
+                            cur.frames.push(Frame::Block {
+                                stmts: branch,
+                                idx: 0,
+                            });
+                        }
+                        Stmt::Store { .. } | Stmt::Barrier => self.exec_stmt(s),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The step machine's mirror of [`exec_stmt`](Self::exec_stmt)'s
+    /// `For` entry: evaluates the extent, records wave width, runs the
+    /// wave-plan prepare phase (with GEMMs deferred into `acc`), and
+    /// pushes the loop's first iteration. Returns whether the request
+    /// must park for a super-wave flush.
+    fn enter_for<'k>(
+        &mut self,
+        s: &'k Stmt,
+        cur: &mut RunCursor<'k>,
+        acc: &mut SuperWaveAcc,
+        request: usize,
+    ) -> bool {
+        let Stmt::For {
+            var,
+            extent,
+            dim,
+            body,
+            ..
+        } = s
+        else {
+            unreachable!("enter_for on a non-For statement")
+        };
+        let n = self.eval_idx(extent);
+        let slot = var.id() as usize;
+        let is_wave = matches!(dim, Some(d) if d.0 == "d_all_batches");
+        if matches!(dim, Some(d) if d.0 == "d_batch") {
+            if let Some(scope) = self.scopes.last_mut() {
+                scope.width = scope.width.max(n.max(0) as u64);
+            }
+        }
+        let mut activated = (0usize, 0usize);
+        let mut paused = false;
+        if n > 0 && !self.wave_plans.is_empty() {
+            let plans = self.wave_plans.clone();
+            let for_key = s as *const Stmt as usize;
+            if let Some(plan) = plans.get(&for_key) {
+                if (n as usize) < self.opts.min_wave_width {
+                    self.caches.stats.narrow_waves_skipped += 1;
+                } else {
+                    activated = self.prepare_wave(plan, for_key, n as usize, Some((acc, request)));
+                    paused = activated.1 > 0;
+                }
+            }
+        }
+        if n > 0 {
+            cur.frames.push(Frame::Loop {
+                stmt: s,
+                i: 0,
+                n,
+                is_wave,
+                activated,
+            });
+            if is_wave {
+                self.push_scope(true);
+            }
+            self.slots[slot] = 0;
+            cur.frames.push(Frame::Block {
+                stmts: body,
+                idx: 0,
+            });
+        }
+        paused
+    }
+
+    /// One loop-body completion in the step machine: close the finished
+    /// iteration's wave scope, then either start the next iteration or
+    /// pop the loop (deactivating its wave sites).
+    fn loop_continue<'k>(&mut self, cur: &mut RunCursor<'k>) {
+        let next_body: Option<&'k [Stmt]> = {
+            let Some(Frame::Loop {
+                stmt,
+                i,
+                n,
+                is_wave,
+                ..
+            }) = cur.frames.last_mut()
+            else {
+                unreachable!("loop_continue without a loop frame")
+            };
+            if *is_wave {
+                self.pop_scope();
+            }
+            *i += 1;
+            if *i < *n {
+                let Stmt::For { var, body, .. } = *stmt else {
+                    unreachable!("loop frame holds a For")
+                };
+                if *is_wave {
+                    self.push_scope(true);
+                }
+                self.slots[var.id() as usize] = *i;
+                Some(body)
+            } else {
+                None
+            }
+        };
+        match next_body {
+            Some(body) => cur.frames.push(Frame::Block {
+                stmts: body,
+                idx: 0,
+            }),
+            None => {
+                let Some(Frame::Loop { activated, .. }) = cur.frames.pop() else {
+                    unreachable!("loop frame")
+                };
+                if activated != (0, 0) {
+                    self.finish_wave(activated);
+                }
+            }
+        }
+    }
+}
+
+/// Whether a [`Interp::step`] call suspended or finished the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepOutcome {
+    /// Parked at a planned wave loop; pending super-wave GEMMs must
+    /// flush (and install) before the next `step`.
+    Paused,
+    /// The launch schedule completed and post-run accounting ran.
+    Done,
+}
+
+/// One suspended position in a kernel body.
+enum Frame<'k> {
+    /// Executing `stmts[idx..]` of a statement list.
+    Block { stmts: &'k [Stmt], idx: usize },
+    /// A `For` loop mid-flight: iteration `i` of `n` is on the frame
+    /// stack above (as a `Block`), with `activated` wave sites to
+    /// deactivate when the loop closes.
+    Loop {
+        stmt: &'k Stmt,
+        i: i64,
+        n: i64,
+        is_wave: bool,
+        activated: (usize, usize),
+    },
+}
+
+/// The resumable execution state of one request in a batch: its launch
+/// schedule position plus the frame stack of the statement walk. Loop
+/// variables live in the interpreter's slot array (which nothing
+/// unwinds), so suspending at a wave loop and resuming after the flush
+/// needs no re-evaluation of any control expression — the counters
+/// stay exactly those of an uninterrupted run.
+struct RunCursor<'k> {
+    units: Vec<(usize, Option<i64>)>,
+    unit: usize,
+    in_launch: bool,
+    frames: Vec<Frame<'k>>,
+    done: bool,
+}
+
+impl<'k> RunCursor<'k> {
+    fn new(units: Vec<(usize, Option<i64>)>) -> Self {
+        RunCursor {
+            units,
+            unit: 0,
+            in_launch: false,
+            frames: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bulk feature-loop serving
+// ---------------------------------------------------------------------
+
+/// A compiled feature-store loop `for i in 0..H { t[…, i] = expr(i) }`
+/// whose body the executor can serve with strided row passes instead of
+/// `H` interpreted element walks: every `Sum` is served from an active
+/// wave GEMM, every load is a plain `i`-strided stream, and the
+/// per-element profile counters are *uniform in `i`* (no selects, no
+/// counting uninterpreted functions), so the exact scalar accounting is
+/// replayed in bulk (`×H`). This is the interpreter's stand-in for the
+/// vectorized elementwise epilogue generated code would fuse after the
+/// wave GEMM — without it, serving-side batching wins drown in
+/// per-element interpretation overhead.
+struct BulkPlan {
+    /// Loop extent `H`.
+    h: usize,
+    /// Slot of the loop variable `i`.
+    feat_slot: usize,
+    /// Stored tensor and its index (position `i_pos` is `i`).
+    tensor: TensorId,
+    index: Vec<IdxExpr>,
+    i_pos: usize,
+    /// The stored value as a bulk-evaluable expression tree.
+    expr: BulkExpr,
+    /// `Sum` body keys that must be memo-active for the plan to run.
+    sum_keys: Vec<usize>,
+}
+
+/// One node of a bulk-evaluable expression.
+enum BulkExpr {
+    Const(f32),
+    /// A load with `i` at `i_pos` as a plain variable (or absent —
+    /// a loop-invariant broadcast).
+    Load {
+        tensor: TensorId,
+        index: Vec<IdxExpr>,
+        i_pos: Option<usize>,
+    },
+    /// A reduction served from the wave memo (`Sum` body address).
+    MemoSum(usize),
+    Unary(cortex_core::expr::UnaryOp, Box<BulkExpr>),
+    Bin(cortex_core::expr::BinOp, Box<BulkExpr>, Box<BulkExpr>),
+}
+
+/// Tries to compile a feature loop into a [`BulkPlan`].
+fn compile_bulk(stmt: &Stmt) -> Option<BulkPlan> {
+    let Stmt::For {
+        var: feat,
+        extent: IdxExpr::Const(h),
+        body,
+        ..
+    } = stmt
+    else {
+        return None;
+    };
+    if *h <= 0 {
+        return None;
+    }
+    let [Stmt::Store {
+        tensor,
+        index,
+        value,
+    }] = body.as_slice()
+    else {
+        return None;
+    };
+    let i_pos = plain_i_position(index, *feat)?;
+    let i_pos = i_pos?; // the store must actually ride `i`
+    let mut sum_keys = Vec::new();
+    let expr = compile_bulk_expr(value, *feat, &mut sum_keys)?;
+    Some(BulkPlan {
+        h: *h as usize,
+        feat_slot: feat.id() as usize,
+        tensor: *tensor,
+        index: index.clone(),
+        i_pos,
+        expr,
+        sum_keys,
+    })
+}
+
+/// Validates an index list for bulk serving: at most one position is
+/// the plain variable `i`; every other position must be `i`-free and
+/// counter-free (it is evaluated once instead of once per element).
+/// Returns `None` on an invalid list, `Some(pos)` otherwise.
+#[allow(clippy::option_option)]
+fn plain_i_position(index: &[IdxExpr], feat: cortex_core::Var) -> Option<Option<usize>> {
+    let mut i_pos = None;
+    for (d, e) in index.iter().enumerate() {
+        match e {
+            IdxExpr::Var(v) if *v == feat => {
+                if i_pos.is_some() {
+                    return None;
+                }
+                i_pos = Some(d);
+            }
+            other => {
+                if crate::fastdot::idx_uses_var(other, feat)
+                    || crate::wave::idx_has_counting_ufn(other)
+                {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(i_pos)
+}
+
+fn compile_bulk_expr(
+    e: &ValExpr,
+    feat: cortex_core::Var,
+    sums: &mut Vec<usize>,
+) -> Option<BulkExpr> {
+    match e {
+        ValExpr::Const(c) => Some(BulkExpr::Const(*c)),
+        ValExpr::Load { tensor, index } => {
+            let i_pos = plain_i_position(index, feat)?;
+            Some(BulkExpr::Load {
+                tensor: *tensor,
+                index: index.clone(),
+                i_pos,
+            })
+        }
+        ValExpr::Unary(op, a) => Some(BulkExpr::Unary(
+            *op,
+            Box::new(compile_bulk_expr(a, feat, sums)?),
+        )),
+        ValExpr::Bin(op, a, b) => Some(BulkExpr::Bin(
+            *op,
+            Box::new(compile_bulk_expr(a, feat, sums)?),
+            Box::new(compile_bulk_expr(b, feat, sums)?),
+        )),
+        ValExpr::Sum { body, .. } => {
+            let key = &**body as *const ValExpr as usize;
+            sums.push(key);
+            Some(BulkExpr::MemoSum(key))
+        }
+        // Selects evaluate one branch per element (and count a branch
+        // check): not uniform — stay on the per-element path.
+        ValExpr::Select { .. } => None,
     }
 }
 

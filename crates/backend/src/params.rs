@@ -21,7 +21,14 @@ use cortex_tensor::Tensor;
 #[derive(Debug, Clone, Default)]
 pub struct Params {
     by_name: HashMap<String, Tensor>,
+    generation: u64,
 }
+
+/// Process-wide generation counter: every mutation of any `Params` gets
+/// a fresh value, so a generation uniquely identifies one binding state
+/// (clones share it until either side mutates — which is exactly the
+/// sharing the packed-weight cache wants to recognize).
+static NEXT_GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl Params {
     /// Creates an empty parameter set.
@@ -32,7 +39,17 @@ impl Params {
     /// Binds (or replaces) a parameter by name.
     pub fn set(&mut self, name: &str, value: Tensor) -> &mut Self {
         self.by_name.insert(name.to_string(), value);
+        self.generation = NEXT_GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self
+    }
+
+    /// An identity for the current binding state. Two calls return the
+    /// same value iff no [`set`](Self::set) happened in between, which
+    /// lets the executor keep packed-weight caches across runs (and
+    /// across requests of a serving batch) instead of repacking every
+    /// run — and invalidate them the moment a binding changes.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Looks up a parameter.
@@ -74,6 +91,25 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.total_bytes(), (6 + 3) * 4);
         assert_eq!(p.get("W").unwrap().shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn generation_changes_on_set_and_sticks_otherwise() {
+        let mut p = Params::new();
+        let g0 = p.generation();
+        p.set("W", Tensor::zeros(&[2]));
+        let g1 = p.generation();
+        assert_ne!(g0, g1);
+        assert_eq!(p.generation(), g1, "reads do not advance the generation");
+        let clone = p.clone();
+        assert_eq!(clone.generation(), g1, "clones share the binding state");
+        p.set("W", Tensor::zeros(&[2]));
+        assert_ne!(
+            p.generation(),
+            g1,
+            "rebinding advances even with equal shape"
+        );
+        assert_eq!(clone.generation(), g1);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! path — see the executor's wave-memo bookkeeping.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use cortex_core::expr::{IdxExpr, TensorId, Ufn, ValExpr, Var};
 use cortex_core::ilir::{LoopKind, Stmt};
@@ -73,6 +74,19 @@ pub(crate) struct SiteGroup {
     pub members: Vec<usize>,
 }
 
+/// The second (row-side) feature dimension of a rank-2 site: in
+/// `Σ_k W[i,k]·M(n,k,j)` the `j` loop rides the *gathered rows*, not the
+/// packed weight, so the site gathers `wave_len·H_j` rows and runs one
+/// GEMM per wave where the scalar path would run a per-node matrix
+/// product (MV-RNN's `A(n) = W_M·A_child` recursions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct InnerDim {
+    /// Slot of the row-side feature variable (`j`).
+    pub slot: usize,
+    /// Its extent `H_j`.
+    pub extent: usize,
+}
+
 /// One batched reduction site.
 #[derive(Debug)]
 pub(crate) struct SumSite {
@@ -85,6 +99,14 @@ pub(crate) struct SumSite {
     pub feat_slot: usize,
     /// Feature extent `H`.
     pub feat_extent: usize,
+    /// Row-side feature dimension of a rank-2 site, if any.
+    pub inner: Option<InnerDim>,
+    /// How many stored elements the scalar path serves from one gathered
+    /// row: `H_i` for rank-1 and rank-2 sites, `H_i·H_j` for a
+    /// `j`-invariant reduction nested under a two-level feature loop
+    /// (one row per node serves the whole `i×j` tile). This is the
+    /// accounting replay factor for the packing phase.
+    pub served_per_row: usize,
     /// The feature-dependent operand, packed once per run.
     pub weight: WeightRef,
     /// The remaining (node-dependent or invariant) operands, gathered
@@ -190,25 +212,56 @@ fn plan_wave(n_idx: Var, body: &[Stmt], stack: bool) -> Option<WavePlan> {
     }
     let mut sites = Vec::new();
     for stmt in stmts {
-        // Only depth-1 feature loops directly under the node binding are
-        // candidates; everything else simply runs through the scalar
-        // interpreter.
+        // Feature loops directly under the node binding are candidates:
+        // a single `for i { store }` (vector sites) or a two-level
+        // `for i { for j { store } }` nest (matrix sites — MV-RNN's
+        // per-node products). Everything else simply runs through the
+        // scalar interpreter.
         let Stmt::For {
-            var: feat,
-            extent: IdxExpr::Const(h),
+            var: outer,
+            extent: IdxExpr::Const(ho),
             body: inner,
             ..
         } = stmt
         else {
             continue;
         };
-        let [Stmt::Store { value, .. }] = inner.as_slice() else {
-            continue;
-        };
-        if *h <= 0 {
+        if *ho <= 0 {
             continue;
         }
-        collect_sites(value, n_idx, node, *feat, *h as usize, &stored, &mut sites);
+        match inner.as_slice() {
+            [Stmt::Store { value, .. }] => {
+                collect_sites(
+                    value,
+                    n_idx,
+                    node,
+                    (*outer, *ho as usize),
+                    None,
+                    &stored,
+                    &mut sites,
+                );
+            }
+            [Stmt::For {
+                var: inner_var,
+                extent: IdxExpr::Const(hi),
+                body: innermost,
+                ..
+            }] if *hi > 0 => {
+                let [Stmt::Store { value, .. }] = innermost.as_slice() else {
+                    continue;
+                };
+                collect_sites(
+                    value,
+                    n_idx,
+                    node,
+                    (*outer, *ho as usize),
+                    Some((*inner_var, *hi as usize)),
+                    &stored,
+                    &mut sites,
+                );
+            }
+            _ => {}
+        }
     }
     if sites.is_empty() {
         None
@@ -276,10 +329,18 @@ fn group_sites(sites: &[SumSite], stack: bool) -> Vec<SiteGroup> {
         }
         let i = singles[a];
         let mut members = vec![i];
-        for (b, &j) in singles.iter().enumerate().skip(a + 1) {
-            if !single_grouped[b] && weight_sig_equal(&sites[i], &sites[j]) {
-                single_grouped[b] = true;
-                members.push(j);
+        // Rank-2 sites gather `wave_len·H_j` rows per member; stacking
+        // them row-wise would break the fixed `member·wave_len` block
+        // layout, so they stay singleton (their GEMM is already large).
+        if sites[i].inner.is_none() {
+            for (b, &j) in singles.iter().enumerate().skip(a + 1) {
+                if !single_grouped[b]
+                    && sites[j].inner.is_none()
+                    && weight_sig_equal(&sites[i], &sites[j])
+                {
+                    single_grouped[b] = true;
+                    members.push(j);
+                }
             }
         }
         single_grouped[a] = true;
@@ -296,11 +357,14 @@ fn group_sites(sites: &[SumSite], stack: bool) -> Vec<SiteGroup> {
 }
 
 /// Whether two sites gather identical operand rows: equal reduction
-/// extents and pairwise structurally-equal `rest` operands (modulo each
-/// site's own reduction variable). Such sites share one packed row
-/// matrix; their weights stack vertically.
+/// extents, the same row-side feature dimension (rank-2 sites gather one
+/// row per `(node, j)` pair — they may only share rows with sites using
+/// the *same* `j` loop), and pairwise structurally-equal `rest` operands
+/// (modulo each site's own reduction variable). Such sites share one
+/// packed row matrix; their weights stack vertically.
 fn rows_sig_equal(a: &SumSite, b: &SumSite) -> bool {
     a.extent == b.extent
+        && a.inner == b.inner
         && a.rest.len() == b.rest.len()
         && a.rest
             .iter()
@@ -447,27 +511,49 @@ fn is_wave_child_indirection(e: &IdxExpr, n_idx: Var, node: Option<Var>) -> bool
 }
 
 /// Collects batchable top-level `Sum`s from a stored value expression.
+///
+/// `outer`/`inner` are the feature loop variables of the store's loop
+/// nest (with extents). Which of them is the weight-side feature `i` is
+/// decided per site: the variable the weight operand rides; the other
+/// (if used) becomes the row-side `j` of a rank-2 site.
 fn collect_sites(
     e: &ValExpr,
     n_idx: Var,
     node: Option<Var>,
-    feat: Var,
-    h: usize,
+    outer: (Var, usize),
+    inner: Option<(Var, usize)>,
     stored: &std::collections::HashSet<TensorId>,
     out: &mut Vec<SumSite>,
 ) {
     match e {
         ValExpr::Sum { var, extent, body } => {
-            if let Some(site) = plan_site(*var, extent, body, n_idx, node, feat, h, stored) {
+            let site =
+                plan_site(*var, extent, body, n_idx, node, outer, inner, stored).or_else(|| {
+                    // The weight may ride the inner loop instead (the
+                    // outer var then becomes the row-side dimension).
+                    inner.and_then(|inner_dim| {
+                        plan_site(
+                            *var,
+                            extent,
+                            body,
+                            n_idx,
+                            node,
+                            inner_dim,
+                            Some(outer),
+                            stored,
+                        )
+                    })
+                });
+            if let Some(site) = site {
                 out.push(site);
             }
             // Nested sums inside `body` are part of this reduction (and
             // reject the fastdot match anyway): do not descend.
         }
-        ValExpr::Unary(_, a) => collect_sites(a, n_idx, node, feat, h, stored, out),
+        ValExpr::Unary(_, a) => collect_sites(a, n_idx, node, outer, inner, stored, out),
         ValExpr::Bin(_, a, b) => {
-            collect_sites(a, n_idx, node, feat, h, stored, out);
-            collect_sites(b, n_idx, node, feat, h, stored, out);
+            collect_sites(a, n_idx, node, outer, inner, stored, out);
+            collect_sites(b, n_idx, node, outer, inner, stored, out);
         }
         // A `Sum` under a value-level `Select` is evaluated only when its
         // branch is taken; batching it would gather operand rows (and
@@ -481,7 +567,11 @@ fn collect_sites(
     }
 }
 
-/// Tries to turn one `Sum` into a [`SumSite`].
+/// Tries to turn one `Sum` into a [`SumSite`] with `feat` as the
+/// weight-side feature variable. `other` is the remaining loop variable
+/// of a two-level feature nest, if any: the weight must not ride it, and
+/// if the row operands do, the site is rank-2 (`inner` set) and gathers
+/// one row per `(node, j)` pair.
 #[allow(clippy::too_many_arguments)]
 fn plan_site(
     k: Var,
@@ -489,8 +579,8 @@ fn plan_site(
     body: &ValExpr,
     n_idx: Var,
     node: Option<Var>,
-    feat: Var,
-    h: usize,
+    (feat, h): (Var, usize),
+    other: Option<(Var, usize)>,
     stored: &std::collections::HashSet<TensorId>,
 ) -> Option<SumSite> {
     // The extent must be loop-invariant (evaluable once per wave) and
@@ -499,6 +589,7 @@ fn plan_site(
     if idx_uses_var(extent, feat)
         || idx_uses_var(extent, n_idx)
         || node.is_some_and(|nv| idx_uses_var(extent, nv))
+        || other.is_some_and(|(jv, _)| idx_uses_var(extent, jv))
         || idx_has_counting_ufn(extent)
     {
         return None;
@@ -559,15 +650,17 @@ fn plan_site(
                     }
                     i_pos = Some(d);
                 }
-                other => {
-                    // Remaining positions must be wave-invariant so the
-                    // packed weight is shared by every node of every
-                    // wave, and counter-free because the packing phase
-                    // evaluates them outside the scalar path's cadence.
-                    if idx_uses_var(other, feat)
-                        || idx_uses_var(other, n_idx)
-                        || node.is_some_and(|nv| idx_uses_var(other, nv))
-                        || idx_has_counting_ufn(other)
+                ix_other => {
+                    // Remaining positions must be wave- and row-feature-
+                    // invariant so the packed weight is shared by every
+                    // node (and every `j` row) of every wave, and
+                    // counter-free because the packing phase evaluates
+                    // them outside the scalar path's cadence.
+                    if idx_uses_var(ix_other, feat)
+                        || idx_uses_var(ix_other, n_idx)
+                        || node.is_some_and(|nv| idx_uses_var(ix_other, nv))
+                        || other.is_some_and(|(jv, _)| idx_uses_var(ix_other, jv))
+                        || idx_has_counting_ufn(ix_other)
                     {
                         return None;
                     }
@@ -581,11 +674,30 @@ fn plan_site(
             k_pos,
         });
     }
+    // Row operands riding the other feature loop make this a rank-2
+    // site: one gathered row per `(node, j)`. A `j`-invariant reduction
+    // under a two-level nest gathers one row per node but serves the
+    // whole `i×j` tile from it (the scalar path re-resolves per
+    // element, hence the larger replay factor).
+    let uses_other = other.is_some_and(|(jv, _)| rest.iter().any(|op| operand_uses_var(op, jv)));
+    let (inner, served_per_row) = match (other, uses_other) {
+        (Some((jv, hj)), true) => (
+            Some(InnerDim {
+                slot: jv.id() as usize,
+                extent: hj,
+            }),
+            h,
+        ),
+        (Some((_, hj)), false) => (None, h * hj),
+        (None, _) => (None, h),
+    };
     Some(SumSite {
         key: body as *const ValExpr as usize,
         extent: extent.clone(),
         feat_slot: feat.id() as usize,
         feat_extent: h,
+        inner,
+        served_per_row,
         weight: weight?,
         rest,
     })
@@ -611,9 +723,138 @@ fn val_is_pure(e: &ValExpr) -> bool {
     }
 }
 
+// ---------------------------------------------------------------------
+// Cross-request super-waves: merging per-request wave GEMMs
+// ---------------------------------------------------------------------
+
+/// Identity of a mergeable wave GEMM: two requests' wave instances fuse
+/// into one super-wave GEMM exactly when they are the *same* stacking
+/// group of the *same* planned loop with the same packed-weight shape —
+/// the result matrices then differ only in which rows belong to whom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SuperKey {
+    /// Address of the planned `For` statement.
+    pub for_key: usize,
+    /// Ordinal of the stacking group within its [`WavePlan`].
+    pub group_ordinal: usize,
+    /// Group leader's site key.
+    pub leader_key: usize,
+    /// GEMM output columns (ΣH of the stacked sites).
+    pub cols: usize,
+    /// Reduction extent.
+    pub k_len: usize,
+}
+
+/// One request's share of a super-wave GEMM.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Registrant {
+    /// Index of the request in the `run_many` batch.
+    pub request: usize,
+    /// Index into that request's active-group list.
+    pub group_idx: usize,
+    /// First row of the request's block in the merged matrices.
+    pub base_row: usize,
+}
+
+/// One pending super-wave GEMM: merged gathered rows from every
+/// registered request against one shared packed weight.
+pub(crate) struct SuperEntry {
+    pub key: SuperKey,
+    /// The shared packed weight (from the engine's weight cache).
+    pub weight: Rc<Vec<f32>>,
+    /// Merged row matrix, `[total_rows][k_len]` row-major.
+    pub rows: Vec<f32>,
+    pub total_rows: usize,
+    pub registrants: Vec<Registrant>,
+}
+
+/// Accumulates per-request wave GEMMs between executor rendezvous
+/// points and merges compatible ones ([`merge_plans`]) so one GEMM
+/// serves every queued request at that wave depth.
+#[derive(Default)]
+pub(crate) struct SuperWaveAcc {
+    entries: Vec<SuperEntry>,
+    pool: Vec<Vec<f32>>,
+}
+
+/// Finds the entry a wave instance merges into, or opens a new one.
+/// Merging requires the same [`SuperKey`] *and* the same packed-weight
+/// allocation (`Rc` identity): requests whose weights diverged (a
+/// precompute-written weight with different store generations) keep
+/// separate GEMMs, which is always correct — merging is opportunistic.
+pub(crate) fn merge_plans(
+    entries: &mut Vec<SuperEntry>,
+    pool: &mut Vec<Vec<f32>>,
+    key: SuperKey,
+    weight: &Rc<Vec<f32>>,
+) -> usize {
+    if let Some(i) = entries
+        .iter()
+        .position(|e| e.key == key && Rc::ptr_eq(&e.weight, weight))
+    {
+        return i;
+    }
+    entries.push(SuperEntry {
+        key,
+        weight: weight.clone(),
+        rows: pool.pop().unwrap_or_default(),
+        total_rows: 0,
+        registrants: Vec::new(),
+    });
+    entries.len() - 1
+}
+
+impl SuperWaveAcc {
+    /// Registers `n_rows` gathered rows for `request`, returning the
+    /// entry index and the block's base row. The row storage is zeroed
+    /// and ready to be packed via [`SuperWaveAcc::rows_mut`].
+    pub fn register(
+        &mut self,
+        key: SuperKey,
+        weight: &Rc<Vec<f32>>,
+        n_rows: usize,
+        request: usize,
+        group_idx: usize,
+    ) -> (usize, usize) {
+        let e = merge_plans(&mut self.entries, &mut self.pool, key, weight);
+        let entry = &mut self.entries[e];
+        let base = entry.total_rows;
+        entry.total_rows += n_rows;
+        entry.rows.resize(entry.total_rows * key.k_len, 0.0);
+        entry.registrants.push(Registrant {
+            request,
+            group_idx,
+            base_row: base,
+        });
+        (e, base)
+    }
+
+    /// The mutable row block `[base..base+n_rows]` of an entry.
+    pub fn rows_mut(&mut self, entry: usize, base: usize, n_rows: usize) -> &mut [f32] {
+        let k = self.entries[entry].key.k_len;
+        &mut self.entries[entry].rows[base * k..(base + n_rows) * k]
+    }
+
+    /// Whether any GEMMs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drains the pending entries for the flush phase.
+    pub fn take_entries(&mut self) -> Vec<SuperEntry> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Returns a flushed entry's row buffer to the pool.
+    pub fn recycle(&mut self, mut rows: Vec<f32>) {
+        rows.clear();
+        self.pool.push(rows);
+    }
+}
+
 /// Whether an index expression contains an uninterpreted function that
 /// bumps profile counters when evaluated (`NumChildren`).
-fn idx_has_counting_ufn(e: &IdxExpr) -> bool {
+pub(crate) fn idx_has_counting_ufn(e: &IdxExpr) -> bool {
     match e {
         IdxExpr::Const(_) | IdxExpr::Var(_) | IdxExpr::Rt(_) => false,
         IdxExpr::Ufn(f, args) => {
@@ -884,6 +1125,152 @@ mod tests {
         let plan = plans.values().next().unwrap();
         assert_eq!(plan.groups.len(), 1);
         assert_eq!(plan.groups[0].members, vec![0]);
+    }
+
+    /// Builds an MV-RNN-shaped rank-2 wave loop:
+    /// `for i { for j { A[node,i,j] = sum_k WM[i,k] * M[child0(node),k,j] } }`.
+    fn rank2_loop(hi: i64, hj: i64, k_extent: i64) -> Stmt {
+        let (n_idx, node, i, j, k) = (v(0), v(1), v(2), v(3), v(4));
+        let child = IdxExpr::Ufn(Ufn::Child(0), vec![IdxExpr::Var(node)]);
+        let sum = ValExpr::Sum {
+            var: k,
+            extent: IdxExpr::Const(k_extent),
+            body: Box::new(
+                ValExpr::load(TensorId(0), vec![IdxExpr::Var(i), IdxExpr::Var(k)]).mul(
+                    ValExpr::load(TensorId(1), vec![child, IdxExpr::Var(k), IdxExpr::Var(j)]),
+                ),
+            ),
+        };
+        Stmt::For {
+            var: n_idx,
+            extent: IdxExpr::Const(4),
+            kind: LoopKind::Parallel,
+            dim: Some(DimName::batch()),
+            body: vec![Stmt::Let {
+                var: node,
+                value: IdxExpr::Var(n_idx),
+                body: vec![Stmt::For {
+                    var: i,
+                    extent: IdxExpr::Const(hi),
+                    kind: LoopKind::Serial,
+                    dim: Some(DimName::feature(0)),
+                    body: vec![Stmt::For {
+                        var: j,
+                        extent: IdxExpr::Const(hj),
+                        kind: LoopKind::Vectorized,
+                        dim: Some(DimName::feature(1)),
+                        body: vec![Stmt::Store {
+                            tensor: TensorId(1),
+                            index: vec![IdxExpr::Var(node), IdxExpr::Var(i), IdxExpr::Var(j)],
+                            value: sum,
+                        }],
+                    }],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn rank2_matrix_site_is_planned() {
+        let body = [rank2_loop(5, 7, 5)];
+        let plans = analyze(&[&body], true);
+        assert_eq!(plans.len(), 1);
+        let plan = plans.values().next().unwrap();
+        assert_eq!(plan.sites.len(), 1);
+        let site = &plan.sites[0];
+        assert_eq!(site.feat_extent, 5);
+        assert_eq!(site.weight.tensor, TensorId(0));
+        let inner = site.inner.expect("row-side feature dimension");
+        assert_eq!(inner.extent, 7);
+        assert_eq!(inner.slot, 3);
+        assert_eq!(site.served_per_row, 5, "one (n,j) row serves H_i elements");
+        // Rank-2 sites stay singleton groups.
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].members, vec![0]);
+    }
+
+    #[test]
+    fn j_invariant_sum_under_two_level_nest_serves_full_tile() {
+        // for i { for j { t[n,i,j] = sum_k W[i,k]·s[node,k] } }: the sum
+        // ignores j, so one row per node serves the whole H_i×H_j tile.
+        let (n_idx, node, i, j, k) = (v(0), v(1), v(2), v(3), v(4));
+        let sum = ValExpr::Sum {
+            var: k,
+            extent: IdxExpr::Const(6),
+            body: Box::new(
+                ValExpr::load(TensorId(0), vec![IdxExpr::Var(i), IdxExpr::Var(k)]).mul(
+                    ValExpr::load(TensorId(1), vec![IdxExpr::Var(node), IdxExpr::Var(k)]),
+                ),
+            ),
+        };
+        let stmt = Stmt::For {
+            var: n_idx,
+            extent: IdxExpr::Const(4),
+            kind: LoopKind::Parallel,
+            dim: Some(DimName::batch()),
+            body: vec![Stmt::Let {
+                var: node,
+                value: IdxExpr::Var(n_idx),
+                body: vec![Stmt::For {
+                    var: i,
+                    extent: IdxExpr::Const(3),
+                    kind: LoopKind::Serial,
+                    dim: Some(DimName::feature(0)),
+                    body: vec![Stmt::For {
+                        var: j,
+                        extent: IdxExpr::Const(5),
+                        kind: LoopKind::Vectorized,
+                        dim: Some(DimName::feature(1)),
+                        body: vec![Stmt::Store {
+                            tensor: TensorId(2),
+                            index: vec![IdxExpr::Var(node), IdxExpr::Var(i), IdxExpr::Var(j)],
+                            value: sum,
+                        }],
+                    }],
+                }],
+            }],
+        };
+        let body = [stmt];
+        let plans = analyze(&[&body], true);
+        let plan = plans.values().next().unwrap();
+        assert_eq!(plan.sites.len(), 1);
+        assert!(plan.sites[0].inner.is_none());
+        assert_eq!(plan.sites[0].served_per_row, 15);
+    }
+
+    #[test]
+    fn merge_plans_fuses_same_key_and_weight_only() {
+        let w1 = Rc::new(vec![1.0f32; 8]);
+        let w2 = Rc::new(vec![1.0f32; 8]);
+        let key = SuperKey {
+            for_key: 1,
+            group_ordinal: 0,
+            leader_key: 7,
+            cols: 2,
+            k_len: 4,
+        };
+        let other_key = SuperKey {
+            group_ordinal: 1,
+            ..key
+        };
+        let mut acc = SuperWaveAcc::default();
+        let (e0, b0) = acc.register(key, &w1, 3, 0, 0);
+        let (e1, b1) = acc.register(key, &w1, 2, 1, 0);
+        assert_eq!((e0, b0), (0, 0));
+        assert_eq!((e1, b1), (0, 3), "same key+weight fuses, rows appended");
+        let (e2, _) = acc.register(other_key, &w1, 1, 2, 0);
+        assert_eq!(e2, 1, "different group ordinal stays separate");
+        let (e3, _) = acc.register(key, &w2, 1, 3, 0);
+        assert_eq!(
+            e3, 2,
+            "equal-valued but distinct weight packs stay separate"
+        );
+        let entries = acc.take_entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].total_rows, 5);
+        assert_eq!(entries[0].rows.len(), 5 * 4);
+        assert_eq!(entries[0].registrants.len(), 2);
+        assert_eq!(entries[0].registrants[1].base_row, 3);
     }
 
     #[test]

@@ -14,13 +14,15 @@
 //!
 //! ```json
 //! {
-//!   "schema": "cortex-bench-pipeline/v2",
+//!   "schema": "cortex-bench-pipeline/v3",
 //!   "results": [
 //!     {"bench": "treelstm_h256_bs16", "nodes": 1234, "hidden": 256,
 //!      "scalar_ms": 12.3, "batched_ms": 3.2, "generic_ms": 88.0,
 //!      "speedup_batched_vs_scalar": 3.84, "verified": true,
 //!      "wave_gemms": 120, "waves_batched": 60, "gemms_per_wave": 2.0,
-//!      "gemm_rows": 1800, "stacked_groups": 60, "stacked_sites": 180}
+//!      "gemm_rows": 1800, "stacked_groups": 60, "stacked_sites": 180,
+//!      "requests_per_batch": 1, "superwave_width": 15.0,
+//!      "throughput_rps": 312.5}
 //!   ]
 //! }
 //! ```
@@ -29,7 +31,11 @@
 //! run: how many GEMM launches served the program, how many waves
 //! batched, and how much gate stacking engaged (`gemms_per_wave` is the
 //! stacking headline — TreeLSTM's five reduction sites run as two GEMMs
-//! per wave).
+//! per wave). Schema v3 adds the serving-side fields shared with
+//! `bench_serving`: `requests_per_batch` (1 here — these are single-run
+//! benches; the serving bench sweeps queue depths), `superwave_width`
+//! (mean GEMM rows per launch) and `throughput_rps` (runs per second of
+//! the batched engine), so the two trajectories join on one schema.
 
 use std::fmt::Write as _;
 
@@ -214,7 +220,7 @@ fn main() {
     }
 
     let mut json =
-        String::from("{\n  \"schema\": \"cortex-bench-pipeline/v2\",\n  \"results\": [\n");
+        String::from("{\n  \"schema\": \"cortex-bench-pipeline/v3\",\n  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
             json,
@@ -222,7 +228,9 @@ fn main() {
              \"generic_ms\": {:.4}, \"scalar_ms\": {:.4}, \"batched_ms\": {:.4}, \
              \"speedup_batched_vs_scalar\": {:.3}, \"verified\": {}, \
              \"wave_gemms\": {}, \"waves_batched\": {}, \"gemms_per_wave\": {:.3}, \
-             \"gemm_rows\": {}, \"stacked_groups\": {}, \"stacked_sites\": {}}}{}",
+             \"gemm_rows\": {}, \"stacked_groups\": {}, \"stacked_sites\": {}, \
+             \"requests_per_batch\": 1, \"superwave_width\": {:.3}, \
+             \"throughput_rps\": {:.3}}}{}",
             r.bench,
             r.nodes,
             r.hidden,
@@ -237,6 +245,8 @@ fn main() {
             r.stats.gemm_rows,
             r.stats.stacked_groups,
             r.stats.stacked_sites,
+            r.stats.gemm_rows as f64 / r.stats.wave_gemms.max(1) as f64,
+            1e3 / r.batched_ms,
             if i + 1 < records.len() { ",\n" } else { "\n" }
         );
     }
@@ -266,10 +276,11 @@ fn main() {
         println!("acceptance: {speedup:.2}x (enforcement disabled)");
     } else {
         assert!(
-            speedup >= 3.5,
-            "acceptance: batched wave engine must be ≥3.5x over scalar eval_dot \
-             (the PR-1 seed floor), got {speedup:.2}x"
+            speedup >= 15.0,
+            "acceptance: batched wave engine must be ≥15x over scalar eval_dot \
+             (bulk feature-loop serving raised the PR-2 floor of 3.5x; measured \
+             42x on the dev box), got {speedup:.2}x"
         );
-        println!("acceptance: {speedup:.2}x ≥ 3.5x ✓");
+        println!("acceptance: {speedup:.2}x ≥ 15x ✓");
     }
 }

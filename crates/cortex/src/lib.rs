@@ -65,6 +65,7 @@ pub use cortex_baselines as baselines;
 pub use cortex_core as core;
 pub use cortex_ds as ds;
 pub use cortex_models as models;
+pub use cortex_serve as serve;
 pub use cortex_tensor as tensor;
 
 /// The most commonly used items, for glob import.

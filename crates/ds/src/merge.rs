@@ -1,0 +1,223 @@
+//! Cross-request wave composition for serving batches.
+//!
+//! A serving queue pushes several independently linearized inputs through
+//! one merged wave schedule (the backend's super-wave executor). This
+//! module provides the request-side bookkeeping for that: globally
+//! unique **request-tagged node ids** ([`TaggedId`]) and the
+//! **cross-forest depth map** ([`DepthMap`]) describing, per wave depth,
+//! which requests contribute nodes and how wide the merged super-wave
+//! is. The depth map is what a batcher consults to predict merge quality
+//! (`Σ bs` super-wave width vs. per-request `bs`) and what the serving
+//! benchmark reports as `superwave_width`.
+
+use crate::linearizer::Linearized;
+
+/// A node id qualified by the request it belongs to: the merged
+/// schedule interleaves many requests' waves, so a bare node id is
+/// ambiguous the moment two inputs sit in one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaggedId {
+    /// Index of the request within its batch.
+    pub request: u32,
+    /// Node id in that request's linearized numbering.
+    pub node: u32,
+}
+
+impl TaggedId {
+    /// Packs the tag into one `u64` (`request` in the high half), the
+    /// form scope arrays and profile attribution tables key on.
+    pub fn pack(self) -> u64 {
+        (u64::from(self.request) << 32) | u64::from(self.node)
+    }
+
+    /// Inverse of [`TaggedId::pack`].
+    pub fn unpack(packed: u64) -> Self {
+        TaggedId {
+            request: (packed >> 32) as u32,
+            node: packed as u32,
+        }
+    }
+}
+
+/// One request's contribution to one wave depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthSlice {
+    /// Index of the request within the batch.
+    pub request: u32,
+    /// Width (node count) of the request's batch at this depth.
+    pub width: u32,
+}
+
+/// Per-depth composition of a batch of linearized inputs: depth `d`
+/// holds one [`DepthSlice`] per request whose height-`d+1` internal
+/// wavefront is non-empty. Requests shallower than the deepest one
+/// simply stop appearing — exactly the waves they skip in the merged
+/// schedule.
+#[derive(Debug, Clone, Default)]
+pub struct DepthMap {
+    depths: Vec<Vec<DepthSlice>>,
+    leaf_widths: Vec<u32>,
+}
+
+impl DepthMap {
+    /// Builds the depth map for a batch of linearized inputs (ordered as
+    /// submitted — the index in `lins` is the request tag).
+    pub fn build(lins: &[&Linearized]) -> Self {
+        let max_depth = lins
+            .iter()
+            .map(|l| l.internal_batches().len())
+            .max()
+            .unwrap_or(0);
+        let mut depths = vec![Vec::new(); max_depth];
+        for (r, lin) in lins.iter().enumerate() {
+            for (d, batch) in lin.internal_batches().iter().enumerate() {
+                if !batch.is_empty() {
+                    depths[d].push(DepthSlice {
+                        request: r as u32,
+                        width: batch.len() as u32,
+                    });
+                }
+            }
+        }
+        let leaf_widths = lins.iter().map(|l| l.leaf_batch().len() as u32).collect();
+        DepthMap {
+            depths,
+            leaf_widths,
+        }
+    }
+
+    /// Number of internal wave depths of the merged schedule (the
+    /// deepest request's).
+    pub fn num_depths(&self) -> usize {
+        self.depths.len()
+    }
+
+    /// The requests contributing at depth `d`, with their widths.
+    pub fn slices(&self, d: usize) -> &[DepthSlice] {
+        &self.depths[d]
+    }
+
+    /// Width of the merged super-wave at depth `d`: `Σ` of every
+    /// contributing request's wavefront width.
+    pub fn super_width(&self, d: usize) -> usize {
+        self.depths[d].iter().map(|s| s.width as usize).sum()
+    }
+
+    /// The widest merged super-wave.
+    pub fn max_super_width(&self) -> usize {
+        (0..self.num_depths())
+            .map(|d| self.super_width(d))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean merged super-wave width over all depths (0 when empty).
+    pub fn mean_super_width(&self) -> f64 {
+        if self.depths.is_empty() {
+            return 0.0;
+        }
+        let total: usize = (0..self.num_depths()).map(|d| self.super_width(d)).sum();
+        total as f64 / self.depths.len() as f64
+    }
+
+    /// Number of requests contributing at depth `d`.
+    pub fn requests_at(&self, d: usize) -> usize {
+        self.depths[d].len()
+    }
+
+    /// Width of the merged leaf wave (`Σ` leaf-batch lengths).
+    pub fn leaf_super_width(&self) -> usize {
+        self.leaf_widths.iter().map(|&w| w as usize).sum()
+    }
+
+    /// Request-tagged node ids composing the merged wave at depth `d`,
+    /// in request-major order — the row order the super-wave executor
+    /// concatenates gathered rows in.
+    pub fn tagged_wave(&self, d: usize, lins: &[&Linearized]) -> Vec<TaggedId> {
+        let mut out = Vec::with_capacity(self.super_width(d));
+        for s in &self.depths[d] {
+            let batch = lins[s.request as usize].internal_batches()[d];
+            out.extend(batch.iter().map(|node| TaggedId {
+                request: s.request,
+                node,
+            }));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use crate::linearizer::Linearizer;
+
+    #[test]
+    fn tagged_id_roundtrips() {
+        let t = TaggedId {
+            request: 7,
+            node: 0xDEAD_BEEF,
+        };
+        assert_eq!(TaggedId::unpack(t.pack()), t);
+        assert_eq!(TaggedId::unpack(0).request, 0);
+    }
+
+    #[test]
+    fn depth_map_merges_mixed_depth_requests() {
+        let deep = datasets::perfect_binary_tree(4, 0); // depths 1..=4
+        let shallow = datasets::perfect_binary_tree(2, 1); // depths 1..=2
+        let l1 = Linearizer::new().linearize(&deep).unwrap();
+        let l2 = Linearizer::new().linearize(&shallow).unwrap();
+        let map = DepthMap::build(&[&l1, &l2]);
+        assert_eq!(map.num_depths(), 4);
+        // Depth 0 (height-1 wavefront): both contribute.
+        assert_eq!(map.requests_at(0), 2);
+        assert_eq!(map.super_width(0), 8 + 2);
+        // Depth 2: only the deep request remains.
+        assert_eq!(map.requests_at(2), 1);
+        assert_eq!(map.super_width(2), 2);
+        assert_eq!(map.max_super_width(), 10);
+        assert_eq!(map.leaf_super_width(), 16 + 4);
+    }
+
+    #[test]
+    fn tagged_wave_is_request_major_and_complete() {
+        let a = datasets::random_binary_tree(9, 3);
+        let b = datasets::random_binary_tree(9, 4);
+        let la = Linearizer::new().linearize(&a).unwrap();
+        let lb = Linearizer::new().linearize(&b).unwrap();
+        let lins = [&la, &lb];
+        let map = DepthMap::build(&lins);
+        for d in 0..map.num_depths() {
+            let wave = map.tagged_wave(d, &lins);
+            assert_eq!(wave.len(), map.super_width(d));
+            // Request-major: tags are non-decreasing.
+            assert!(wave.windows(2).all(|w| w[0].request <= w[1].request));
+            for t in &wave {
+                let lin = lins[t.request as usize];
+                assert!(lin.internal_batches()[d].contains(t.node));
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_merge_into_wide_super_waves() {
+        // The SeqLSTM serving case: 4 queued length-10 sequences have
+        // width-1 waves alone but width-4 super-waves merged.
+        let lins: Vec<_> = (0..4u64)
+            .map(|s| {
+                Linearizer::new()
+                    .linearize(&datasets::sequence(10, s))
+                    .unwrap()
+            })
+            .collect();
+        let refs: Vec<&Linearized> = lins.iter().collect();
+        let map = DepthMap::build(&refs);
+        assert_eq!(map.num_depths(), 9);
+        for d in 0..9 {
+            assert_eq!(map.super_width(d), 4);
+            assert_eq!(map.requests_at(d), 4);
+        }
+        assert!((map.mean_super_width() - 4.0).abs() < 1e-9);
+    }
+}

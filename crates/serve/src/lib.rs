@@ -1,0 +1,475 @@
+//! # cortex-serve — cross-request super-wave batching
+//!
+//! Serving a recursive model means many small, structurally independent
+//! requests: each one alone pays full wave planning and per-wave GEMM
+//! launches over waves only `bs` nodes wide (for sequences, width 1 —
+//! the worst launch-bound case in the paper's Fig. 9 gap). This crate
+//! adds the queueing layer over the backend's super-wave executor
+//! ([`Engine::execute_many`]): a [`Batcher`] collects submissions,
+//! flushes them as one batch through a **merged wave schedule** — one
+//! gather and one stacked GEMM per (wave depth × stacking group) across
+//! *all* queued requests — and hands back per-request responses that are
+//! bit-for-bit what a solo run would have produced (outputs *and*
+//! `Profile` counters; a property test in `tests/wave_equivalence.rs`
+//! asserts exactly that).
+//!
+//! Flush policy is the classic serving trade-off: a bigger batch means
+//! wider super-waves (throughput), a longer wait means worse latency.
+//! [`BatcherOptions::max_batch`] bounds the first, and
+//! [`BatcherOptions::max_delay`] bounds the second (checked on every
+//! [`Batcher::poll`]).
+//!
+//! ```no_run
+//! use cortex_serve::{Batcher, BatcherOptions};
+//! # fn demo(program: &cortex_core::ilir::IlirProgram,
+//! #         params: cortex_backend::params::Params,
+//! #         inputs: Vec<cortex_ds::linearizer::Linearized>) {
+//! let mut batcher = Batcher::new(program, params, BatcherOptions::default());
+//! let tickets: Vec<_> = inputs
+//!     .into_iter()
+//!     .map(|lin| batcher.submit(lin).unwrap())
+//!     .collect();
+//! for t in tickets {
+//!     // Poll drives deadline-based flushing; a full queue flushes on
+//!     // submit. Each response is exactly the solo-run result.
+//!     let response = batcher.poll(t).unwrap().expect("flushed");
+//!     let _ = response.outputs;
+//! }
+//! # }
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use cortex_backend::exec::{Engine, ExecError, ExecStats};
+use cortex_backend::params::Params;
+use cortex_backend::profile::Profile;
+use cortex_core::expr::TensorId;
+use cortex_core::ilir::IlirProgram;
+use cortex_ds::linearizer::Linearized;
+use cortex_ds::merge::DepthMap;
+use cortex_tensor::Tensor;
+
+/// Flush policy of a [`Batcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherOptions {
+    /// Flush as soon as this many requests are queued (the super-wave
+    /// width budget). A submission that fills the queue flushes
+    /// synchronously.
+    pub max_batch: usize,
+    /// Flush whenever the *oldest* queued request has waited this long,
+    /// checked on every [`Batcher::poll`]/[`Batcher::pending`] call —
+    /// the latency bound of the throughput/latency trade-off.
+    /// `Duration::ZERO` makes every poll flush (lowest latency, no
+    /// cross-request merging beyond what one poll interval collects).
+    pub max_delay: Duration,
+    /// Run with model persistence active (the default serving mode:
+    /// recurrent weights pinned on-chip).
+    pub persist: bool,
+}
+
+impl Default for BatcherOptions {
+    fn default() -> Self {
+        BatcherOptions {
+            max_batch: 16,
+            max_delay: Duration::from_millis(2),
+            persist: true,
+        }
+    }
+}
+
+/// Handle to one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+/// The result of one request, exactly equal to a solo
+/// [`Engine::execute`] run on the same input.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Output tensors by id (node-major, this request's numbering).
+    pub outputs: HashMap<TensorId, Tensor>,
+    /// Execution counters — per-request, identical to a solo run.
+    pub profile: Profile,
+    /// How many requests shared this request's flush.
+    pub batch_size: usize,
+    /// Mean merged super-wave width of the flush (from the batch's
+    /// [`DepthMap`]): the amortization actually achieved.
+    pub superwave_width: f64,
+    /// How long the request waited in the queue before its flush.
+    pub queue_delay: Duration,
+}
+
+struct PendingRequest {
+    ticket: u64,
+    lin: Linearized,
+    submitted: Instant,
+}
+
+/// A submission queue in front of one [`Engine`]: collects independent
+/// requests and executes them through merged super-wave schedules.
+pub struct Batcher<'p> {
+    engine: Engine<'p>,
+    params: Params,
+    opts: BatcherOptions,
+    queue: VecDeque<PendingRequest>,
+    ready: HashMap<u64, Response>,
+    /// Tickets whose flush failed, with the error: polling one of these
+    /// reports the failure instead of waiting forever.
+    failed: HashMap<u64, ExecError>,
+    next_ticket: u64,
+    flushes: u64,
+}
+
+impl<'p> Batcher<'p> {
+    /// Builds a batcher serving `program` with fixed parameters.
+    pub fn new(program: &'p IlirProgram, params: Params, opts: BatcherOptions) -> Self {
+        Batcher::with_engine(Engine::new(program), params, opts)
+    }
+
+    /// Builds a batcher over a pre-configured engine (e.g. with explicit
+    /// [`cortex_backend::exec::ExecOptions`]).
+    pub fn with_engine(engine: Engine<'p>, params: Params, opts: BatcherOptions) -> Self {
+        Batcher {
+            engine,
+            params,
+            opts,
+            queue: VecDeque::new(),
+            ready: HashMap::new(),
+            failed: HashMap::new(),
+            next_ticket: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Enqueues a linearized input. Flushes synchronously when the queue
+    /// reaches [`BatcherOptions::max_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from a synchronous flush; the affected
+    /// chunk's tickets (including the one being submitted) report the
+    /// same error on their next [`Batcher::poll`].
+    pub fn submit(&mut self, lin: Linearized) -> Result<Ticket, ExecError> {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.queue.push_back(PendingRequest {
+            ticket,
+            lin,
+            submitted: Instant::now(),
+        });
+        if self.queue.len() >= self.opts.max_batch {
+            self.flush()?;
+        }
+        Ok(Ticket(ticket))
+    }
+
+    /// Retrieves a finished response, driving the deadline policy: if
+    /// the oldest queued request has exceeded
+    /// [`BatcherOptions::max_delay`], the queue flushes first.
+    ///
+    /// Returns `Ok(None)` while the request is still queued within its
+    /// deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from a deadline flush — and from a
+    /// *past* flush that failed this ticket's chunk (each such ticket
+    /// reports its failure exactly once; nothing waits forever).
+    pub fn poll(&mut self, ticket: Ticket) -> Result<Option<Response>, ExecError> {
+        if let Some(r) = self.ready.remove(&ticket.0) {
+            return Ok(Some(r));
+        }
+        if let Some(e) = self.failed.remove(&ticket.0) {
+            return Err(e);
+        }
+        if self
+            .queue
+            .front()
+            .is_some_and(|p| p.submitted.elapsed() >= self.opts.max_delay)
+        {
+            self.flush()?;
+        }
+        if let Some(e) = self.failed.remove(&ticket.0) {
+            return Err(e);
+        }
+        Ok(self.ready.remove(&ticket.0))
+    }
+
+    /// Flushes every queued request through one merged super-wave
+    /// execution (in chunks of [`BatcherOptions::max_batch`]), making
+    /// their responses pollable. Returns how many requests ran.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first chunk's [`ExecError`]. The failing chunk's
+    /// tickets are marked failed (their next [`Batcher::poll`] returns
+    /// the error); chunks after the failure stay queued for a later
+    /// flush.
+    pub fn flush(&mut self) -> Result<usize, ExecError> {
+        let mut flushed = 0usize;
+        while !self.queue.is_empty() {
+            let take = self.queue.len().min(self.opts.max_batch.max(1));
+            let batch: Vec<PendingRequest> = self.queue.drain(..take).collect();
+            let lins: Vec<&Linearized> = batch.iter().map(|p| &p.lin).collect();
+            let map = DepthMap::build(&lins);
+            let results = match self
+                .engine
+                .execute_many(&lins, &self.params, self.opts.persist)
+            {
+                Ok(r) => r,
+                Err(e) => {
+                    for pending in &batch {
+                        self.failed.insert(pending.ticket, e.clone());
+                    }
+                    return Err(e);
+                }
+            };
+            self.flushes += 1;
+            let width = map.mean_super_width();
+            for (pending, (outputs, profile)) in batch.iter().zip(results) {
+                self.ready.insert(
+                    pending.ticket,
+                    Response {
+                        outputs,
+                        profile,
+                        batch_size: batch.len(),
+                        superwave_width: width,
+                        queue_delay: pending.submitted.elapsed(),
+                    },
+                );
+            }
+            flushed += take;
+        }
+        Ok(flushed)
+    }
+
+    /// Number of requests waiting for a flush.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of flushed-but-unpolled responses.
+    pub fn ready(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Executor-strategy counters of the most recent flush (see
+    /// [`Engine::stats`]); `super_gemms > 0` means cross-request merging
+    /// engaged.
+    pub fn stats(&self) -> ExecStats {
+        self.engine.stats()
+    }
+
+    /// How many merged executions have run.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cortex_backend::exec;
+    use cortex_core::ra::RaSchedule;
+    use cortex_ds::linearizer::Linearizer;
+    use cortex_ds::{datasets, RecStructure};
+    use cortex_models::{treelstm, LeafInit};
+
+    fn lin(s: &RecStructure) -> Linearized {
+        Linearizer::new().linearize(s).unwrap()
+    }
+
+    #[test]
+    fn batched_responses_equal_solo_runs_exactly() {
+        let model = treelstm::tree_lstm(9, LeafInit::Embedding);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let trees: Vec<RecStructure> = (0..5u64)
+            .map(|s| datasets::random_binary_tree(6 + 3 * s as usize, s))
+            .collect();
+
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: trees.len(),
+                max_delay: Duration::from_secs(3600),
+                persist: true,
+            },
+        );
+        let tickets: Vec<Ticket> = trees
+            .iter()
+            .map(|t| batcher.submit(lin(t)).unwrap())
+            .collect();
+        // The queue filled exactly: the last submit flushed everything.
+        assert_eq!(batcher.pending(), 0);
+        assert!(batcher.stats().super_gemms > 0, "merging must engage");
+
+        for (t, ticket) in trees.iter().zip(tickets) {
+            let response = batcher.poll(ticket).unwrap().expect("flushed");
+            let (solo_out, solo_prof) =
+                exec::execute(&program, &lin(t), &model.params, true).unwrap();
+            assert_eq!(response.batch_size, trees.len());
+            assert_eq!(response.profile.flops, solo_prof.flops);
+            assert_eq!(response.profile.launches, solo_prof.launches);
+            for (id, tensor) in &solo_out {
+                assert_eq!(&response.outputs[id], tensor, "bit-exact outputs");
+            }
+        }
+        assert_eq!(batcher.ready(), 0, "every response polled exactly once");
+    }
+
+    #[test]
+    fn zero_delay_polls_flush_immediately() {
+        let model = treelstm::tree_lstm(4, LeafInit::Zero);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 64,
+                max_delay: Duration::ZERO,
+                persist: true,
+            },
+        );
+        let t = batcher
+            .submit(lin(&datasets::random_binary_tree(8, 1)))
+            .unwrap();
+        assert_eq!(batcher.pending(), 1, "queue holds until a poll");
+        let r = batcher.poll(t).unwrap().expect("deadline flush on poll");
+        assert_eq!(r.batch_size, 1);
+        assert_eq!(batcher.pending(), 0);
+    }
+
+    #[test]
+    fn long_delay_keeps_queueing_until_batch_full() {
+        let model = treelstm::tree_lstm(4, LeafInit::Zero);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 3,
+                max_delay: Duration::from_secs(3600),
+                persist: true,
+            },
+        );
+        let t0 = batcher
+            .submit(lin(&datasets::random_binary_tree(6, 2)))
+            .unwrap();
+        assert!(
+            batcher.poll(t0).unwrap().is_none(),
+            "within deadline: waits"
+        );
+        let _t1 = batcher
+            .submit(lin(&datasets::random_binary_tree(7, 3)))
+            .unwrap();
+        assert_eq!(batcher.pending(), 2);
+        let t2 = batcher
+            .submit(lin(&datasets::random_binary_tree(8, 4)))
+            .unwrap();
+        // Third submission hit max_batch: everyone flushed together.
+        assert_eq!(batcher.pending(), 0);
+        assert_eq!(batcher.flushes(), 1);
+        assert_eq!(batcher.poll(t0).unwrap().unwrap().batch_size, 3);
+        assert_eq!(batcher.poll(t2).unwrap().unwrap().batch_size, 3);
+    }
+
+    #[test]
+    fn failed_flushes_report_through_poll_instead_of_hanging() {
+        // Unbound parameters make every execution fail: the tickets of
+        // the failing chunk must surface the error on poll (exactly
+        // once) rather than spin forever as "still queued".
+        let model = treelstm::tree_lstm(4, LeafInit::Zero);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let mut batcher = Batcher::new(
+            &program,
+            cortex_backend::params::Params::new(), // nothing bound
+            BatcherOptions {
+                max_batch: 2,
+                max_delay: Duration::from_secs(3600),
+                persist: true,
+            },
+        );
+        let t0 = batcher
+            .submit(lin(&datasets::random_binary_tree(5, 7)))
+            .unwrap();
+        // The second submission fills the batch; its synchronous flush
+        // fails and reports the error to the submitter.
+        let err = batcher
+            .submit(lin(&datasets::random_binary_tree(6, 8)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            cortex_backend::exec::ExecError::MissingParam(_)
+        ));
+        assert_eq!(batcher.pending(), 0, "the failing chunk was drained");
+        // ... and to the first ticket's poll, exactly once.
+        assert!(batcher.poll(t0).is_err());
+        assert!(batcher.poll(t0).unwrap().is_none());
+    }
+
+    #[test]
+    fn responses_route_to_the_right_ticket() {
+        // Distinguishable inputs: different tree shapes give different
+        // node counts, so the output tensor's first dimension identifies
+        // which request a response belongs to.
+        let model = treelstm::tree_lstm(5, LeafInit::Embedding);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let sizes = [5usize, 9, 13, 17];
+        let trees: Vec<RecStructure> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| datasets::random_binary_tree(n, i as u64))
+            .collect();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: trees.len(),
+                max_delay: Duration::from_secs(3600),
+                persist: true,
+            },
+        );
+        let tickets: Vec<Ticket> = trees
+            .iter()
+            .map(|t| batcher.submit(lin(t)).unwrap())
+            .collect();
+        for (t, ticket) in trees.iter().zip(tickets) {
+            let r = batcher.poll(ticket).unwrap().unwrap();
+            let out = &r.outputs[&model.output];
+            assert_eq!(out.shape().dim(0), t.num_nodes());
+        }
+    }
+
+    #[test]
+    fn queued_sequences_report_wide_superwaves() {
+        use cortex_models::seq;
+        let model = seq::seq_lstm(6);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 4,
+                max_delay: Duration::from_secs(3600),
+                persist: true,
+            },
+        );
+        let tickets: Vec<Ticket> = (0..4u64)
+            .map(|s| batcher.submit(lin(&datasets::sequence(12, s))).unwrap())
+            .collect();
+        let r = batcher.poll(tickets[0]).unwrap().unwrap();
+        assert!(
+            (r.superwave_width - 4.0).abs() < 1e-9,
+            "4 width-1 sequence waves merge into width-4 super-waves, got {}",
+            r.superwave_width
+        );
+        assert!(batcher.stats().super_gemms > 0);
+        let mean_requests =
+            batcher.stats().super_gemm_requests as f64 / batcher.stats().super_gemms.max(1) as f64;
+        assert!(
+            mean_requests > 3.0,
+            "nearly every GEMM should serve all 4 requests, got {mean_requests:.2}"
+        );
+    }
+}

@@ -154,6 +154,11 @@ pub fn gemm_nt_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, n: usize, k: 
 }
 
 /// Sequential NT product over a row range (the per-thread body).
+///
+/// Full 8-column panels process `a` rows in pairs ([`crate::simd::dot8x2`]):
+/// each `b` panel load feeds two rows' FMA chains, which is what makes
+/// multi-row (super-wave) GEMMs faster *per row* than the one-row GEMV
+/// shape. Per-row results are bit-identical to single-row execution.
 pub(crate) fn gemm_nt_rows(c: &mut [f32], a: &[f32], b: &[f32], m: usize, n: usize, k: usize) {
     for j0 in (0..n).step_by(NT_JB) {
         let jb = NT_JB.min(n - j0);
@@ -162,7 +167,28 @@ pub(crate) fn gemm_nt_rows(c: &mut [f32], a: &[f32], b: &[f32], m: usize, n: usi
             // B rows are already contiguous in the NT layout: "packing" is
             // just the 4-row window starting at j0 (no copy when kb == k).
             let first = k0 == 0;
-            for i in 0..m {
+            let mut i = 0usize;
+            if jb == 8 {
+                let row = |j: usize| &b[(j0 + j) * k + k0..(j0 + j) * k + k0 + kb];
+                let bp: [&[f32]; 8] = std::array::from_fn(row);
+                while i + 2 <= m {
+                    let a0 = &a[i * k + k0..i * k + k0 + kb];
+                    let a1 = &a[(i + 1) * k + k0..(i + 1) * k + k0 + kb];
+                    let d = crate::simd::dot8x2(a0, a1, &bp);
+                    for (r, dr) in d.iter().enumerate() {
+                        let c_row = &mut c[(i + r) * n + j0..(i + r) * n + j0 + 8];
+                        if first {
+                            c_row.copy_from_slice(dr);
+                        } else {
+                            for (cv, dv) in c_row.iter_mut().zip(dr) {
+                                *cv += dv;
+                            }
+                        }
+                    }
+                    i += 2;
+                }
+            }
+            for i in i..m {
                 let a_row = &a[i * k + k0..i * k + k0 + kb];
                 let c_row = &mut c[i * n + j0..i * n + j0 + jb];
                 nt_microkernel_strided(c_row, a_row, b, (j0, k, k0), jb, kb, first);

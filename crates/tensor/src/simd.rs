@@ -309,6 +309,58 @@ pub fn dot8_scalar(a: &[f32], b: &[&[f32]; 8]) -> [f32; 8] {
 }
 
 // ---------------------------------------------------------------------
+// dot8x2
+// ---------------------------------------------------------------------
+
+/// Two `a` rows against the same eight `b` rows: sixteen simultaneous
+/// dot products where each `b` load feeds **two** FMA chains. This is
+/// the row-pair register blocking of the NT micro-kernel for multi-row
+/// (super-wave) GEMMs — the b-panel traffic per row halves, which is
+/// what bounds the 16-accumulator AVX-512 shape. Results are
+/// **bit-identical** to two independent [`dot8`] calls (each row's
+/// chains accumulate in the same order).
+///
+/// # Panics
+///
+/// Panics if `a1` is shorter than `a0` or any `b` row is shorter than
+/// `a0`.
+#[inline]
+pub fn dot8x2(a0: &[f32], a1: &[f32], b: &[&[f32]; 8]) -> [[f32; 8]; 2] {
+    dot8x2_with(level(), a0, a1, b)
+}
+
+/// [`dot8x2`] at an explicit level; an unsupported level falls back to
+/// the scalar kernel. AVX2 has too few vector registers for sixteen
+/// accumulators and runs the two rows as consecutive [`dot8`]s.
+///
+/// # Panics
+///
+/// See [`dot8x2`].
+#[inline]
+pub fn dot8x2_with(l: Level, a0: &[f32], a1: &[f32], b: &[&[f32]; 8]) -> [[f32; 8]; 2] {
+    assert!(a1.len() >= a0.len(), "dot8x2: a1 shorter than a0");
+    assert!(
+        b.iter().all(|r| r.len() >= a0.len()),
+        "dot8x2: b rows shorter than a0"
+    );
+    let a1 = &a1[..a0.len()];
+    match l {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the feature is verified on this CPU, and every row is
+        // at least `a0.len()` long (asserted above).
+        Level::Avx512 if level_supported(l) => unsafe { dot8x2_avx512(a0, a1, b) },
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 if level_supported(l) => unsafe { [dot8_avx2(a0, b), dot8_avx2(a1, b)] },
+        _ => dot8x2_scalar(a0, a1, b),
+    }
+}
+
+/// Scalar `dot8x2`: two independent [`dot8_scalar`] passes.
+pub fn dot8x2_scalar(a0: &[f32], a1: &[f32], b: &[&[f32]; 8]) -> [[f32; 8]; 2] {
+    [dot8_scalar(a0, b), dot8_scalar(a1, b)]
+}
+
+// ---------------------------------------------------------------------
 // axpy
 // ---------------------------------------------------------------------
 
@@ -619,6 +671,49 @@ mod avx512 {
         }
     }
 
+    /// Sixteen dots as an 2×8 register block: each 16-lane `b` load
+    /// feeds two FMA chains (one per `a` row). Per-row accumulation
+    /// order is identical to [`dot8_avx512`], so results are
+    /// bit-identical to two independent calls.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dot8x2_avx512(a0: &[f32], a1: &[f32], b: &[&[f32]; 8]) -> [[f32; 8]; 2] {
+        // SAFETY: rows are at least `a0.len()` long (caller-checked);
+        // the tail is masked.
+        unsafe {
+            let n = a0.len();
+            let (ap0, ap1) = (a0.as_ptr(), a1.as_ptr());
+            let mut acc0 = [_mm512_setzero_ps(); 8];
+            let mut acc1 = [_mm512_setzero_ps(); 8];
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let va0 = _mm512_loadu_ps(ap0.add(i));
+                let va1 = _mm512_loadu_ps(ap1.add(i));
+                for j in 0..8 {
+                    let vb = _mm512_loadu_ps(b[j].as_ptr().add(i));
+                    acc0[j] = _mm512_fmadd_ps(va0, vb, acc0[j]);
+                    acc1[j] = _mm512_fmadd_ps(va1, vb, acc1[j]);
+                }
+                i += 16;
+            }
+            if i < n {
+                let m: __mmask16 = (1u16 << (n - i)) - 1;
+                let va0 = _mm512_maskz_loadu_ps(m, ap0.add(i));
+                let va1 = _mm512_maskz_loadu_ps(m, ap1.add(i));
+                for j in 0..8 {
+                    let vb = _mm512_maskz_loadu_ps(m, b[j].as_ptr().add(i));
+                    acc0[j] = _mm512_fmadd_ps(va0, vb, acc0[j]);
+                    acc1[j] = _mm512_fmadd_ps(va1, vb, acc1[j]);
+                }
+            }
+            let mut out = [[0.0f32; 8]; 2];
+            for j in 0..8 {
+                out[0][j] = _mm512_reduce_add_ps(acc0[j]);
+                out[1][j] = _mm512_reduce_add_ps(acc1[j]);
+            }
+            out
+        }
+    }
+
     /// 16-lane `y += x` with a masked tail.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn axpy_avx512(y: &mut [f32], x: &[f32]) {
@@ -646,7 +741,7 @@ mod avx512 {
 }
 
 #[cfg(target_arch = "x86_64")]
-use avx512::{axpy_avx512, dot4_avx512, dot8_avx512, dot_avx512};
+use avx512::{axpy_avx512, dot4_avx512, dot8_avx512, dot8x2_avx512, dot_avx512};
 
 #[cfg(test)]
 mod tests {
@@ -718,6 +813,24 @@ mod tests {
                         want[j]
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn dot8x2_is_bit_identical_to_two_dot8s() {
+        // The row-pair block must not change a single bit vs per-row
+        // execution — the super-wave executor's equivalence contract
+        // (merged GEMMs ≡ solo GEMMs) rests on this.
+        for l in available_levels() {
+            for n in [0usize, 1, 7, 15, 16, 17, 31, 33, 100, 256] {
+                let a = Tensor::random(&[2, n.max(1)], 1.0, 21);
+                let rows = Tensor::random(&[8, n.max(1)], 1.0, 22);
+                let (a0, a1) = (&a.row(0)[..n], &a.row(1)[..n]);
+                let b: [&[f32]; 8] = std::array::from_fn(|j| &rows.row(j)[..n]);
+                let got = dot8x2_with(l, a0, a1, &b);
+                assert_eq!(got[0], dot8_with(l, a0, &b), "{l:?} n={n} row 0");
+                assert_eq!(got[1], dot8_with(l, a1, &b), "{l:?} n={n} row 1");
             }
         }
     }

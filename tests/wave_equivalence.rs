@@ -429,6 +429,198 @@ fn guard_outside_reduction_stays_on_scalar_path_and_agrees() {
     assert_profiles_identical(&prof_s, &prof_w, "guard outside reduction");
 }
 
+/// The cross-request super-wave tentpole: `run_many` over K random
+/// inputs must produce outputs **bit-for-bit** equal and `Profile`
+/// counters **exactly** equal to K independent `run` calls — the merged
+/// GEMM computes every output element from the same rows, weights and
+/// reduction order, and all accounting stays per-request. Covers mixed
+/// depths (a batch mixes deep and shallow inputs), rank-2 sites
+/// (MV-RNN), sequences (the width-1 → width-K case), and DAG inputs
+/// whose guarded sites individually fall back to the scalar path.
+#[test]
+fn execute_many_equals_independent_runs_exactly() {
+    let mut rng = Rng::new(0x56);
+    for case in 0..4 {
+        let h = rng.range_usize(3, 10);
+        for model in [
+            treelstm::tree_lstm(h, LeafInit::Embedding),
+            treegru::tree_gru(h, LeafInit::Embedding),
+            mvrnn::mv_rnn(h),
+            seq::seq_lstm(h),
+            dagrnn::dag_rnn(h),
+        ] {
+            let k = rng.range_usize(2, 6);
+            let structures: Vec<RecStructure> = (0..k)
+                .map(|i| {
+                    let seed = rng.next_u64();
+                    match model.name.as_str() {
+                        "DAG-RNN" => {
+                            datasets::grid_dag(rng.range_usize(2, 5), rng.range_usize(2, 5), seed)
+                        }
+                        "LSTM" => datasets::sequence(rng.range_usize(1, 20), seed),
+                        // Mixed depths on purpose: request 0 is tiny
+                        // (often a single wave or leaf-only), later
+                        // requests grow.
+                        _ => datasets::random_binary_tree(1 + 5 * i, seed),
+                    }
+                })
+                .collect();
+            let program = model.lower(&RaSchedule::default()).unwrap();
+            let lins: Vec<_> = structures
+                .iter()
+                .map(|s| Linearizer::new().linearize(s).unwrap())
+                .collect();
+            let refs: Vec<&_> = lins.iter().collect();
+
+            let mut engine = Engine::new(&program);
+            let many = engine.execute_many(&refs, &model.params, true).unwrap();
+            assert_eq!(many.len(), k);
+
+            let mut solo_engine = Engine::new(&program);
+            for (r, (out_m, prof_m)) in many.iter().enumerate() {
+                let (out_s, prof_s) = solo_engine.execute(&lins[r], &model.params, true).unwrap();
+                let ctx = format!("{} h={h} case={case} request={r}/{k}", model.name);
+                assert_eq!(out_m.len(), out_s.len(), "{ctx}");
+                for (id, t_s) in &out_s {
+                    assert_eq!(
+                        &out_m[id], t_s,
+                        "batched output must be bit-identical ({ctx})"
+                    );
+                }
+                assert_profiles_identical(&prof_s, prof_m, &ctx);
+            }
+        }
+    }
+}
+
+/// Merging must actually amortize: K equal-length queued sequences run
+/// ~K× fewer wave GEMMs than K solo runs, with every merged GEMM
+/// serving all K requests.
+#[test]
+fn execute_many_amortizes_gemm_launches_across_requests() {
+    let k = 8usize;
+    let model = seq::seq_lstm(12);
+    let program = model.lower(&RaSchedule::default()).unwrap();
+    let lins: Vec<_> = (0..k as u64)
+        .map(|s| {
+            Linearizer::new()
+                .linearize(&datasets::sequence(40, s))
+                .unwrap()
+        })
+        .collect();
+    let refs: Vec<&_> = lins.iter().collect();
+
+    let mut engine = Engine::new(&program);
+    engine.execute_many(&refs, &model.params, true).unwrap();
+    let many_stats = engine.stats();
+
+    let mut solo = Engine::new(&program);
+    solo.execute(&lins[0], &model.params, true).unwrap();
+    let solo_stats = solo.stats();
+
+    assert!(many_stats.super_gemms > 0, "merging must engage");
+    assert_eq!(
+        many_stats.wave_gemms, solo_stats.wave_gemms,
+        "K equal-depth requests collapse to one GEMM per wave: the \
+         batch launches exactly what one request launches alone"
+    );
+    let mean_requests = many_stats.super_gemm_requests as f64 / many_stats.super_gemms as f64;
+    assert!(
+        (mean_requests - k as f64).abs() < 1e-9,
+        "every merged GEMM serves all {k} requests, got {mean_requests}"
+    );
+    assert_eq!(
+        many_stats.gemm_rows,
+        k as u64 * solo_stats.gemm_rows,
+        "super-waves carry Σ rows"
+    );
+}
+
+/// Rank-2 feature sites (MV-RNN's `A(n) = W_M1·A_l + W_M2·A_r` matrix
+/// recursions) must run as wave GEMMs now instead of falling back to
+/// the scalar path: 4 batched sites per wave (2 vector gates + 2
+/// matrix products), with the matrix sites contributing `wave_len·H`
+/// GEMM rows each.
+#[test]
+fn mvrnn_rank2_sites_batch_as_wave_gemms() {
+    let h = 8;
+    let model = mvrnn::mv_rnn(h);
+    let tree = datasets::random_binary_tree(20, 11);
+    let program = model.lower(&RaSchedule::default()).unwrap();
+    let lin = Linearizer::new().linearize(&tree).unwrap();
+    let mut engine = Engine::new(&program);
+    let (_, _) = engine.execute(&lin, &model.params, true).unwrap();
+    let stats = engine.stats();
+    // Each wave depth runs two batched loops (the mva/mvb + A_rec loop,
+    // then the a_rec loop), together serving 4 sites: a_rec's two
+    // vector gates and A_rec's two rank-2 matrix products.
+    let depths = lin.internal_batches().len() as u64;
+    assert!(depths > 0);
+    assert_eq!(
+        stats.waves_batched,
+        2 * depths,
+        "both loops batch per depth"
+    );
+    assert_eq!(
+        stats.sites_batched,
+        4 * depths,
+        "a_rec's two gates + A_rec's two rank-2 products all batch"
+    );
+    assert_eq!(
+        stats.weight_packs, 4,
+        "W_1, W_2 and the rank-2 W_M1, W_M2 all pack"
+    );
+    // Rank-2 sites gather wave_len·H rows each, so total GEMM rows far
+    // exceed the 4·Σwave_len a rank-1-only engine would gather.
+    let internal_nodes: u64 = lin.internal_batches().iter().map(|b| b.len() as u64).sum();
+    assert!(
+        stats.gemm_rows >= 2 * (h as u64) * internal_nodes,
+        "matrix sites contribute H rows per node: {} rows for {} nodes",
+        stats.gemm_rows,
+        internal_nodes
+    );
+}
+
+/// The packed-weight cache persists per `(model, params generation)`:
+/// repeated runs — and every request of a batch — reuse the packs; a
+/// parameter rebind invalidates them.
+#[test]
+fn weight_packs_amortize_across_runs_and_requests() {
+    let mut model = treelstm::tree_lstm(10, LeafInit::Embedding);
+    let program = model.lower(&RaSchedule::default()).unwrap();
+    let lins: Vec<_> = (0..4u64)
+        .map(|s| {
+            Linearizer::new()
+                .linearize(&datasets::random_binary_tree(12, s))
+                .unwrap()
+        })
+        .collect();
+    let refs: Vec<&_> = lins.iter().collect();
+
+    let mut engine = Engine::new(&program);
+    engine.execute(&lins[0], &model.params, true).unwrap();
+    let first = engine.stats().weight_packs;
+    assert!(first > 0, "first run packs");
+    engine.execute(&lins[1], &model.params, true).unwrap();
+    assert_eq!(engine.stats().weight_packs, 0, "second run reuses packs");
+
+    engine.execute_many(&refs, &model.params, true).unwrap();
+    assert_eq!(
+        engine.stats().weight_packs,
+        0,
+        "a whole batch reuses the packs too — weights amortize across requests"
+    );
+
+    // Rebinding a parameter invalidates the cache (fresh generation).
+    let w = model.params.get("U_i").unwrap().clone();
+    model.params.set("U_i", w);
+    engine.execute(&lins[0], &model.params, true).unwrap();
+    assert!(
+        engine.stats().weight_packs > 0,
+        "parameter rebind must repack"
+    );
+}
+
 #[test]
 fn engine_reuse_across_runs_is_stable() {
     // Cached compiled kernels / packed weights / scratch must not leak
