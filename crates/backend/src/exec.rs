@@ -165,6 +165,27 @@ pub struct ExecOptions {
     /// Waves narrower than this many rows stay on the scalar fastdot
     /// path ([`MIN_WAVE_WIDTH`]).
     pub min_wave_width: usize,
+    /// Serve store loops in bulk (strided row passes, fused whole-wave
+    /// epilogues) instead of interpreting them per element. Results are
+    /// **bit-identical** either way (in `Exact` nonlinearity mode) and
+    /// the `Profile` counters are exactly equal; this switch exists as
+    /// the cross-check for that claim and as a diagnostic.
+    pub bulk: bool,
+    /// Which `tanh`/`sigmoid` implementation the executor applies — the
+    /// paper's App. A.5 schedule choice, exposed as a per-engine knob
+    /// (TVM-style: exact vs approximate nonlinearities are a scheduling
+    /// decision, not a model property).
+    ///
+    /// [`Exact`](NonlinearityMode::Exact) (the default) uses `libm` and
+    /// keeps every executor configuration bit-identical.
+    /// [`Rational`](NonlinearityMode::Rational) substitutes the
+    /// branch-free rational approximations — SIMD-vectorized over bulk
+    /// feature rows via `cortex_tensor::simd` — with end-to-end error
+    /// ≤ 1e-4 against the exact results (property-tested). `Profile`
+    /// counters are unaffected: the modes differ in arithmetic, never in
+    /// accounting. A program whose schedule already requests `Rational`
+    /// keeps it regardless of this option.
+    pub nonlinearity: NonlinearityMode,
 }
 
 impl Default for ExecOptions {
@@ -174,6 +195,8 @@ impl Default for ExecOptions {
             wave_gemm: true,
             gate_stacking: true,
             min_wave_width: MIN_WAVE_WIDTH,
+            bulk: true,
+            nonlinearity: NonlinearityMode::Exact,
         }
     }
 }
@@ -186,6 +209,8 @@ impl ExecOptions {
             wave_gemm: false,
             gate_stacking: false,
             min_wave_width: 0,
+            bulk: false,
+            nonlinearity: NonlinearityMode::Exact,
         }
     }
 
@@ -196,6 +221,17 @@ impl ExecOptions {
             wave_gemm: false,
             gate_stacking: false,
             min_wave_width: 0,
+            bulk: true,
+            nonlinearity: NonlinearityMode::Exact,
+        }
+    }
+
+    /// The default batched engine with the rational-nonlinearity
+    /// epilogue (App. A.5) enabled.
+    pub fn rational() -> Self {
+        ExecOptions {
+            nonlinearity: NonlinearityMode::Rational,
+            ..ExecOptions::default()
         }
     }
 
@@ -246,6 +282,16 @@ pub struct ExecStats {
     /// Sum over merged GEMMs of the number of requests each served (so
     /// `super_gemm_requests / super_gemms` is the mean merge width).
     pub super_gemm_requests: u64,
+    /// Waves whose whole body ran as the fused bulk epilogue (one
+    /// loop-interchanged row pass per body statement instead of
+    /// `wave_len` per-node body walks).
+    pub fused_waves: u64,
+    /// Wall-clock nanoseconds spent in **fused wave** epilogue passes —
+    /// the post-GEMM serve/nonlinearity cost the `Rational` mode
+    /// targets. Timed at wave granularity only: per-node bulk loops
+    /// outside fused waves are not counted (a clock read per row pass
+    /// would distort both the metric and the path).
+    pub epilogue_ns: u64,
 }
 
 /// A reusable execution engine for one lowered program.
@@ -270,6 +316,17 @@ pub struct Engine<'p> {
     opts: ExecOptions,
     compiled: Rc<Vec<CompiledKernel>>,
     wave_plans: Rc<HashMap<usize, WavePlan>>,
+    /// Bulk feature-loop plans, compiled **once per engine** from its
+    /// own kernels and keyed by `(kernel index, For statement address)`
+    /// — the kernel index makes the key self-describing and collision
+    /// -free by construction: there is no runtime insertion, so a key
+    /// can never outlive or alias the statement it was built from (the
+    /// old per-run `bulk_cache` keyed by bare address relied on
+    /// allocator behavior for that).
+    bulk_plans: Rc<HashMap<(usize, usize), Rc<BulkPlan>>>,
+    /// Fused whole-wave epilogues: parallel `d_batch` loops whose whole
+    /// body bulk-serves, keyed like [`Engine::bulk_plans`].
+    fused_waves: Rc<HashMap<(usize, usize), FusedWave>>,
     /// Addresses of statements whose subtree contains a planned wave
     /// loop — the only paths the resumable step machine must walk
     /// frame-by-frame; everything else executes atomically.
@@ -318,11 +375,28 @@ impl<'p> Engine<'p> {
                 collect_wave_ancestors(stmt, &wave_plans, &mut wave_ancestors);
             }
         }
+        // Bulk feature-loop plans and fused wave epilogues are purely
+        // syntactic: compile them once here, per `(kernel, statement)`,
+        // instead of caching per run.
+        let mut bulk_plans = HashMap::new();
+        for (ki, kernel) in compiled.iter().enumerate() {
+            for stmt in &kernel.body {
+                collect_bulk_plans(stmt, ki, &mut bulk_plans);
+            }
+        }
+        let mut fused_waves = HashMap::new();
+        for (ki, kernel) in compiled.iter().enumerate() {
+            for stmt in &kernel.body {
+                collect_fused_waves(stmt, ki, &bulk_plans, &mut fused_waves);
+            }
+        }
         Engine {
             program,
             opts,
             compiled: Rc::new(compiled),
             wave_plans: Rc::new(wave_plans),
+            bulk_plans: Rc::new(bulk_plans),
+            fused_waves: Rc::new(fused_waves),
             wave_ancestors: Rc::new(wave_ancestors),
             max_slots,
             caches: Caches::default(),
@@ -367,6 +441,8 @@ impl<'p> Engine<'p> {
             self.opts,
             self.compiled.clone(),
             self.wave_plans.clone(),
+            self.bulk_plans.clone(),
+            self.fused_waves.clone(),
             self.wave_ancestors.clone(),
             self.max_slots,
             &mut self.param_arena,
@@ -421,6 +497,8 @@ impl<'p> Engine<'p> {
                 self.opts,
                 self.compiled.clone(),
                 self.wave_plans.clone(),
+                self.bulk_plans.clone(),
+                self.fused_waves.clone(),
                 self.wave_ancestors.clone(),
                 self.max_slots,
                 &mut self.param_arena,
@@ -506,18 +584,25 @@ impl<'p> Engine<'p> {
     /// requests of a serving batch — instead of being rebuilt every run.
     /// Packs of non-`Param` weights (tensors a kernel may rewrite with
     /// input-dependent values) never survive a run boundary, and the
-    /// whole cache is bounded by [`WEIGHT_CACHE_CAP`].
+    /// whole cache is bounded by [`WEIGHT_CACHE_CAP`] with
+    /// least-recently-used eviction: packs touched by the most recent
+    /// run (the in-flight working set — during `run_many` that is every
+    /// request of the batch, since eviction only runs between
+    /// executions) carry the newest stamp and are evicted last, so a
+    /// program whose working set fits the cap repacks **nothing** in
+    /// the steady state even when its lifetime-distinct pack count
+    /// exceeds the cap. (The old policy cleared the whole cache at the
+    /// cap, forcing a mid-service full repack.)
     fn refresh_weight_cache(&mut self, params: &Params) {
         let gen = params.generation();
+        self.caches.run_stamp += 1;
         if self.params_gen != Some(gen) {
             self.caches.weight_cache.clear();
             self.param_arena.clear();
             self.params_gen = Some(gen);
         } else {
             self.caches.weight_cache.retain(|_, w| w.params_only);
-            if self.caches.weight_cache.len() > WEIGHT_CACHE_CAP {
-                self.caches.weight_cache.clear();
-            }
+            evict_weight_cache_lru(&mut self.caches.weight_cache, WEIGHT_CACHE_CAP);
         }
     }
 
@@ -648,12 +733,12 @@ fn launch_units(
 #[derive(Default)]
 struct Caches {
     plan_cache: HashMap<usize, Option<Rc<DotPlan>>>,
-    /// Compiled bulk feature-loop plans keyed by `For` statement
-    /// address ([`BulkPlan`]); `None` caches a failed match.
-    bulk_cache: HashMap<usize, Option<Rc<BulkPlan>>>,
     /// Scratch rows for bulk evaluation (one per live expression-tree
     /// level), recycled across loops.
     row_pool: Vec<Vec<f32>>,
+    /// Monotonic execution counter, stamped onto weight-cache entries on
+    /// every hit or insert — the recency order the LRU eviction uses.
+    run_stamp: u64,
     /// Stacked packed weights keyed by `(group leader site key,
     /// reduction extent)` — the extent is part of the key because a
     /// site's extent may legally vary between waves (it is only required
@@ -689,8 +774,27 @@ struct StackedWeight {
     /// kernel-written weight tensor, so the store-generation signature
     /// alone cannot tell their (possibly different) values apart.
     epoch: u64,
+    /// [`Caches::run_stamp`] of the last execution that used this pack;
+    /// eviction removes the stalest entries first.
+    last_used: u64,
     /// `[ΣH][K]` row-major.
     data: Rc<Vec<f32>>,
+}
+
+/// Evicts the least-recently-used entries of the packed-weight cache
+/// down to `cap`. Entries stamped by the most recent execution (the
+/// in-flight working set) are the newest and go last — they are only
+/// evicted when a single run's working set itself exceeds the cap.
+fn evict_weight_cache_lru(cache: &mut HashMap<(usize, usize), StackedWeight>, cap: usize) {
+    if cache.len() <= cap {
+        return;
+    }
+    let mut stamps: Vec<((usize, usize), u64)> =
+        cache.iter().map(|(k, w)| (*k, w.last_used)).collect();
+    stamps.sort_by_key(|&(_, used)| used);
+    for (key, _) in stamps.iter().take(cache.len() - cap) {
+        cache.remove(key);
+    }
 }
 
 /// Reusable buffers for one stacking group. All three vectors are
@@ -982,6 +1086,11 @@ struct Interp<'a> {
     opts: ExecOptions,
     compiled: Rc<Vec<CompiledKernel>>,
     wave_plans: Rc<HashMap<usize, WavePlan>>,
+    bulk_plans: Rc<HashMap<(usize, usize), Rc<BulkPlan>>>,
+    fused_waves: Rc<HashMap<(usize, usize), FusedWave>>,
+    /// Index of the kernel currently launching — the kernel half of the
+    /// bulk-plan keys.
+    cur_kernel: usize,
     wave_ancestors: Rc<std::collections::HashSet<usize>>,
     /// Shared engine state, *shuttled* in and out around execution: the
     /// engine swaps its caches into exactly one interpreter at a time
@@ -1026,6 +1135,8 @@ impl<'a> Interp<'a> {
         opts: ExecOptions,
         compiled: Rc<Vec<CompiledKernel>>,
         wave_plans: Rc<HashMap<usize, WavePlan>>,
+        bulk_plans: Rc<HashMap<(usize, usize), Rc<BulkPlan>>>,
+        fused_waves: Rc<HashMap<(usize, usize), FusedWave>>,
         wave_ancestors: Rc<std::collections::HashSet<usize>>,
         max_slots: usize,
         param_arena: &mut HashMap<u32, Rc<Vec<f32>>>,
@@ -1083,10 +1194,19 @@ impl<'a> Interp<'a> {
             persisted_loads: vec![0; n_tensors],
             store_gens: vec![0; n_tensors],
             persist_active,
-            nonlin: program.meta.schedule.nonlinearity,
+            // The rational substitution is a schedule choice either side
+            // can make: the engine option or the program's schedule.
+            nonlin: if opts.nonlinearity == NonlinearityMode::Rational {
+                NonlinearityMode::Rational
+            } else {
+                program.meta.schedule.nonlinearity
+            },
             opts,
             compiled,
             wave_plans,
+            bulk_plans,
+            fused_waves,
+            cur_kernel: 0,
             wave_ancestors,
             caches: Caches::default(),
             active: Vec::new(),
@@ -1103,7 +1223,7 @@ impl<'a> Interp<'a> {
         // without specialization the leaf wave joins the batch table too
         // (see [`launch_units`]).
         for (ki, b) in launch_units(&compiled, self.program, self.lin) {
-            self.launch(&compiled[ki], b);
+            self.launch(ki, &compiled[ki], b);
         }
         self.finalize_run();
         Ok(())
@@ -1269,7 +1389,8 @@ impl<'a> Interp<'a> {
 
     // -- launching ----------------------------------------------------
 
-    fn launch(&mut self, kernel: &CompiledKernel, batch_index: Option<i64>) {
+    fn launch(&mut self, kernel_idx: usize, kernel: &CompiledKernel, batch_index: Option<i64>) {
+        self.cur_kernel = kernel_idx;
         self.profile.launches += 1;
         self.profile.host_api_calls += 1;
         // Per-batch kernels are wave work: their parameter reads recur
@@ -1324,22 +1445,33 @@ impl<'a> Interp<'a> {
                         }
                     }
                 }
-                // Bulk-served feature loops: one strided row pass over
-                // the whole extent instead of `n` interpreted element
-                // walks, with identical values and counters.
+                // Bulk serving: a fused wave runs the whole loop body as
+                // loop-interchanged row passes (one pass per body
+                // statement over every node); a bulk feature loop runs
+                // one strided row pass over its extent. Either way the
+                // values and counters are identical to per-element
+                // interpretation.
                 let mut served = false;
-                if n > 0 && !is_wave && self.opts.fastdot {
-                    let key = s as *const Stmt as usize;
-                    let plan = match self.caches.bulk_cache.get(&key) {
-                        Some(p) => p.clone(),
-                        None => {
-                            let p = compile_bulk(s).map(Rc::new);
-                            self.caches.bulk_cache.insert(key, p.clone());
-                            p
+                if n > 0 && !is_wave && self.opts.fastdot && self.opts.bulk {
+                    let key = (self.cur_kernel, s as *const Stmt as usize);
+                    let fused = self.fused_waves.clone();
+                    if let Some(fw) = fused.get(&key) {
+                        if self.fused_servable(fw) {
+                            self.exec_fused_wave(fw, n as usize);
+                            served = true;
                         }
-                    };
-                    if let Some(plan) = plan {
-                        served = self.exec_bulk(&plan);
+                    } else {
+                        let plans = self.bulk_plans.clone();
+                        if let Some(plan) = plans.get(&key) {
+                            if self.bulk_servable(plan) {
+                                // Not timed: a clock pair per row pass
+                                // would distort both the metric and the
+                                // path ([`ExecStats::epilogue_ns`] is
+                                // charged at fused-wave granularity).
+                                self.exec_bulk(plan);
+                                served = true;
+                            }
+                        }
                     }
                 }
                 if !served {
@@ -1611,6 +1743,27 @@ impl<'a> Interp<'a> {
         }
     }
 
+    /// Evaluates a site's value-level `Select` guards without touching a
+    /// single profile counter (the interpreter pays the `Select`'s
+    /// counters itself, once per served element). Guard conditions are
+    /// index-level booleans — they load no tensors — so restoring the
+    /// three counters an `IdxExpr` evaluation can bump makes the
+    /// evaluation fully invisible.
+    fn eval_guards_silently(&mut self, guards: &[(BoolExpr, bool)]) -> bool {
+        let saved = (
+            self.profile.flops,
+            self.profile.leaf_check_loads,
+            self.profile.branch_checks,
+        );
+        let ok = guards
+            .iter()
+            .all(|(cond, want)| self.eval_bool(cond) == *want);
+        self.profile.flops = saved.0;
+        self.profile.leaf_check_loads = saved.1;
+        self.profile.branch_checks = saved.2;
+        ok
+    }
+
     /// Resolves the multiplicative operands of a reduction into streams
     /// (shared by the scalar dot path and the wave packing phase).
     fn resolve_product(&mut self, operands: &[crate::fastdot::Operand]) -> (Vec<Res>, f32) {
@@ -1777,20 +1930,20 @@ impl<'a> Interp<'a> {
 
     // -- bulk feature-loop serving ------------------------------------
 
-    /// Runs a compiled feature loop as strided row passes. Returns
-    /// `false` (nothing executed) when a referenced reduction is not
-    /// currently wave-served — the caller falls back to the per-element
-    /// interpreter, e.g. on the scalar path or for rank-2 sites.
-    fn exec_bulk(&mut self, plan: &BulkPlan) -> bool {
-        // Every Sum must be served by an active rank-1 site.
-        for &key in &plan.sum_keys {
-            let Some(&(_, idx)) = self.memo.iter().find(|(k, _)| *k == key) else {
-                return false;
-            };
-            if self.active[idx].inner.is_some() {
-                return false;
-            }
-        }
+    /// Whether every reduction a bulk plan references is currently
+    /// wave-served (rank-1 or rank-2). When not — e.g. on the scalar
+    /// path, after a site's runtime fallback, or for reductions the
+    /// analyzer rejected — the caller falls back to the per-element
+    /// interpreter.
+    fn bulk_servable(&self, plan: &BulkPlan) -> bool {
+        plan.sum_keys
+            .iter()
+            .all(|key| self.memo.iter().any(|(k, _)| k == key))
+    }
+
+    /// Runs a compiled feature loop as strided row passes. The caller
+    /// must have checked [`bulk_servable`](Self::bulk_servable).
+    fn exec_bulk(&mut self, plan: &BulkPlan) {
         let h = plan.h;
         let mut pool = std::mem::take(&mut self.caches.row_pool);
         let mut out = pool.pop().unwrap_or_default();
@@ -1814,7 +1967,44 @@ impl<'a> Interp<'a> {
         }
         pool.push(out);
         self.caches.row_pool = pool;
-        true
+    }
+
+    /// Whether every bulk plan of a fused wave can serve right now
+    /// (every referenced reduction memo-active — e.g. not skipped by the
+    /// min-width heuristic and not fallen back at a runtime check).
+    fn fused_servable(&self, fw: &FusedWave) -> bool {
+        self.opts.fastdot
+            && self.opts.bulk
+            && fw.loops.iter().all(|fl| self.bulk_servable(&fl.plan))
+    }
+
+    /// Runs a fused wave: one row pass per body statement over every
+    /// node, in body order — the interpreter's stand-in for the fused
+    /// elementwise epilogue generated code would emit after the wave
+    /// GEMMs. Values and `Profile` counters are identical to per-node
+    /// interpretation (see [`FusedWave`]).
+    fn exec_fused_wave(&mut self, fw: &FusedWave, wave_len: usize) {
+        let t0 = std::time::Instant::now();
+        for fl in &fw.loops {
+            for r in 0..wave_len {
+                self.slots[fw.n_idx_slot] = r as i64;
+                if let Some((slot, value)) = &fw.node_let {
+                    self.slots[*slot] = self.eval_idx(value);
+                }
+                match fl.outer {
+                    None => self.exec_bulk(&fl.plan),
+                    Some((slot, extent)) => {
+                        for i in 0..extent {
+                            self.slots[slot] = i as i64;
+                            self.exec_bulk(&fl.plan);
+                        }
+                    }
+                }
+            }
+        }
+        let stats = &mut self.caches.stats;
+        stats.fused_waves += 1;
+        stats.epilogue_ns += t0.elapsed().as_nanos() as u64;
     }
 
     /// Base offset and `i`-stride of an index list whose non-`i`
@@ -1886,16 +2076,60 @@ impl<'a> Interp<'a> {
                     .iter()
                     .find(|(k, _)| *k == *key)
                     .expect("memo-active (checked by exec_bulk)");
+                // Disjoint field borrows: the group (rows, metadata) is
+                // read while the profile/scope counters are written.
                 let site = &self.active[idx];
-                let group = &self.active_groups[site.group];
+                let groups = &self.active_groups;
+                let profile = &mut self.profile;
+                let scopes = &mut self.scopes;
+                let group = &groups[site.group];
                 let r = self.slots[site.n_idx_slot] as usize;
-                let m = &group.meta[site.meta_off + r];
+                let (k, wt) = (site.k, site.weight_tensor);
+                if let Some(d) = site.inner.filter(|d| d.slot == feat_slot) {
+                    // Rank-2 site whose row-side dimension rides this
+                    // loop: one result element per `(node, j)` row, each
+                    // with its **own** metadata (guards may differ per
+                    // row), read as a strided column pass over the
+                    // result matrix. Accounting is per element, exactly
+                    // the scalar cadence.
+                    let col = site.col_off + self.slots[site.feat_slot] as usize;
+                    let mut scope = scopes.last_mut();
+                    let mut flops = 0u64;
+                    for (jj, o) in out.iter_mut().enumerate() {
+                        let row = r * d.extent + jj;
+                        let m = &group.meta[site.meta_off + row];
+                        if m.zero {
+                            // The scalar path short-circuits before any
+                            // accounting for this element.
+                            *o = 0.0;
+                            continue;
+                        }
+                        *o = m.scale * group.value(site.row_off + row, col);
+                        flops += k * (m.streams + 2);
+                        if let Some(scope) = scope.as_deref_mut() {
+                            scope.touch[wt as usize].0 += k;
+                            for &t in &m.tensors {
+                                scope.touch[t as usize].0 += k;
+                            }
+                        }
+                    }
+                    profile.flops += flops;
+                    return;
+                }
+                // Rank-1 sites (one row per node) and rank-2 sites whose
+                // row-side variable is bound outside this loop share one
+                // row — and one metadata entry — for the whole extent.
+                let row = match site.inner {
+                    None => r,
+                    Some(d) => r * d.extent + self.slots[d.slot] as usize,
+                };
+                let m = &group.meta[site.meta_off + row];
                 if m.zero {
                     // The scalar path short-circuits before accounting.
                     out.fill(0.0);
                     return;
                 }
-                let (scale, row) = (m.scale, site.row_off + r);
+                let (scale, grow) = (m.scale, site.row_off + row);
                 if site.feat_slot == feat_slot {
                     // The site's columns are contiguous in the result
                     // row: serve the whole extent as one scaled copy.
@@ -1906,7 +2140,7 @@ impl<'a> Interp<'a> {
                             unreachable!("wave GEMM result read before its flush")
                         }
                     };
-                    let at = (base_row + row) * group.cols + site.col_off;
+                    let at = (base_row + grow) * group.cols + site.col_off;
                     for (o, v) in out.iter_mut().zip(&buf[at..at + h]) {
                         *o = scale * v;
                     }
@@ -1914,17 +2148,14 @@ impl<'a> Interp<'a> {
                     // The site's feature variable is bound outside this
                     // loop: one column, broadcast.
                     let col = site.col_off + self.slots[site.feat_slot] as usize;
-                    out.fill(scale * group.value(row, col));
+                    out.fill(scale * group.value(grow, col));
                 }
-                let (k, wt, streams) = (site.k, site.weight_tensor, m.streams);
+                let streams = m.streams;
                 let per_tensor = k * h as u64;
-                self.profile.flops += k * (streams + 2) * h as u64;
-                let tensors = &self.active_groups[self.active[idx].group].meta
-                    [self.active[idx].meta_off + r]
-                    .tensors;
-                if let Some(scope) = self.scopes.last_mut() {
+                profile.flops += k * (streams + 2) * h as u64;
+                if let Some(scope) = scopes.last_mut() {
                     scope.touch[wt as usize].0 += per_tensor;
-                    for &t in tensors {
+                    for &t in &m.tensors {
                         scope.touch[t as usize].0 += per_tensor;
                     }
                 }
@@ -1934,14 +2165,28 @@ impl<'a> Interp<'a> {
                 self.profile.flops += h as u64;
                 match op {
                     cortex_core::expr::UnaryOp::Neg => out.iter_mut().for_each(|x| *x = -*x),
-                    cortex_core::expr::UnaryOp::Tanh => {
-                        let nl = self.nonlin;
-                        out.iter_mut().for_each(|x| *x = nl.tanh(*x));
-                    }
-                    cortex_core::expr::UnaryOp::Sigmoid => {
-                        let nl = self.nonlin;
-                        out.iter_mut().for_each(|x| *x = nl.sigmoid(*x));
-                    }
+                    // In `Exact` mode the per-element libm calls keep
+                    // bulk rows bit-identical to scalar interpretation;
+                    // `Rational` substitutes the SIMD-vectorized App.
+                    // A.5 approximations (≤ 1e-4 end-to-end, same
+                    // counters).
+                    cortex_core::expr::UnaryOp::Tanh => match self.nonlin {
+                        NonlinearityMode::Exact => {
+                            out.iter_mut().for_each(|x| *x = x.tanh());
+                        }
+                        NonlinearityMode::Rational => {
+                            cortex_tensor::simd::tanh_rational_slice(out);
+                        }
+                    },
+                    cortex_core::expr::UnaryOp::Sigmoid => match self.nonlin {
+                        NonlinearityMode::Exact => {
+                            out.iter_mut()
+                                .for_each(|x| *x = cortex_tensor::approx::sigmoid_exact(*x));
+                        }
+                        NonlinearityMode::Rational => {
+                            cortex_tensor::simd::sigmoid_rational_slice(out);
+                        }
+                    },
                     cortex_core::expr::UnaryOp::Relu => {
                         out.iter_mut().for_each(|x| *x = x.max(0.0));
                     }
@@ -1977,6 +2222,33 @@ impl<'a> Interp<'a> {
                     }
                 }
                 pool.push(rhs);
+            }
+            BulkExpr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                // The condition is feature-invariant (checked at
+                // compile), so one evaluation decides every lane; the
+                // scalar path would check the branch — and pay the
+                // condition's counters (e.g. `NumChildren` loads) —
+                // once per element, so the one evaluation's counter
+                // deltas are replayed ×`h`.
+                let before = (
+                    self.profile.flops,
+                    self.profile.leaf_check_loads,
+                    self.profile.branch_checks,
+                );
+                self.profile.branch_checks += 1;
+                let take = self.eval_bool(cond);
+                let extra = (h as u64).saturating_sub(1);
+                self.profile.flops += (self.profile.flops - before.0) * extra;
+                self.profile.leaf_check_loads += (self.profile.leaf_check_loads - before.1) * extra;
+                self.profile.branch_checks += (self.profile.branch_checks - before.2) * extra;
+                // Only the taken branch is evaluated — bit-identical to
+                // per-element interpretation, where every lane takes the
+                // same arm.
+                self.eval_bulk(if take { then } else { otherwise }, feat_slot, out, pool);
             }
         }
     }
@@ -2124,14 +2396,25 @@ impl<'a> Interp<'a> {
         // Validate the cached pack without materializing a signature —
         // this is the per-wave steady state and must not allocate.
         let cache_key = (leader_key, k_len);
-        let cached = self.caches.weight_cache.get(&cache_key).is_some_and(|w| {
-            (w.params_only || w.epoch == self.cache_epoch)
-                && w.sig.len() == preps.len()
-                && w.sig
-                    .iter()
-                    .zip(&preps)
-                    .all(|(s, p)| *s == (p.site.key, p.wbase, p.wgen))
-        });
+        let run_stamp = self.caches.run_stamp;
+        let cached = self
+            .caches
+            .weight_cache
+            .get_mut(&cache_key)
+            .is_some_and(|w| {
+                let valid = (w.params_only || w.epoch == self.cache_epoch)
+                    && w.sig.len() == preps.len()
+                    && w.sig
+                        .iter()
+                        .zip(&preps)
+                        .all(|(s, p)| *s == (p.site.key, p.wbase, p.wgen));
+                if valid {
+                    // Recency stamp for the LRU eviction: packs the
+                    // current execution touches are the working set.
+                    w.last_used = run_stamp;
+                }
+                valid
+            });
         if !cached {
             self.caches.stats.weight_packs += 1;
             let sig: Vec<(usize, usize, u64)> = preps
@@ -2170,6 +2453,7 @@ impl<'a> Interp<'a> {
                     sig,
                     params_only,
                     epoch: self.cache_epoch,
+                    last_used: run_stamp,
                     data: Rc::new(data),
                 },
             );
@@ -2318,8 +2602,11 @@ impl<'a> Interp<'a> {
                 // the leader's resolution stands in for all of them; the
                 // scalar path would have resolved once per served
                 // element of every member, hence the Σ replay factor.
+                // (Grouping requires equal `select_guards` too, so the
+                // leader's guards stand in for all members.)
                 let replay: u64 = preps.iter().map(|p| p.site.served_per_row as u64).sum();
                 let rest = &preps[0].site.rest;
+                let guards = &preps[0].site.select_guards;
                 let inner = preps[0].site.inner;
                 for r in 0..wave_len {
                     self.slots[plan.n_idx_slot] = r as i64;
@@ -2332,7 +2619,7 @@ impl<'a> Interp<'a> {
                         }
                         let at = r * rows_per_node + jv;
                         let row = &mut rows[at * k_len..(at + 1) * k_len];
-                        self.pack_row(rest, k_len, replay, row, &mut meta[at]);
+                        self.pack_row(rest, guards, k_len, replay, row, &mut meta[at]);
                     }
                 }
             }
@@ -2347,6 +2634,7 @@ impl<'a> Interp<'a> {
                         let row = &mut rows[at * k_len..(at + 1) * k_len];
                         self.pack_row(
                             &p.site.rest,
+                            &p.site.select_guards,
                             k_len,
                             p.site.served_per_row as u64,
                             row,
@@ -2363,14 +2651,29 @@ impl<'a> Interp<'a> {
     /// (the summed feature extents of every site this row serves). The
     /// metadata entry is rewritten in place so its `tensors` allocation
     /// is recycled across waves.
+    #[allow(clippy::too_many_arguments)]
     fn pack_row(
         &mut self,
         rest: &[crate::fastdot::Operand],
+        guards: &[(BoolExpr, bool)],
         k_len: usize,
         replay: u64,
         out_row: &mut [f32],
         meta: &mut RowMeta,
     ) {
+        // Value-level `Select` guards: when one fails, the scalar path
+        // never reaches this reduction for this node — no resolution,
+        // no accounting, and the (pre-zeroed) row is never read, so its
+        // child indirections (possibly NO_CHILD) are never resolved.
+        // The evaluation is silent: the interpreter still walks each
+        // `Select` per served element and pays its counters there.
+        if !guards.is_empty() && !self.eval_guards_silently(guards) {
+            meta.tensors.clear();
+            meta.scale = 0.0;
+            meta.zero = true;
+            meta.streams = 0;
+            return;
+        }
         let before = (
             self.profile.flops,
             self.profile.leaf_check_loads,
@@ -2531,6 +2834,7 @@ impl<'a> Interp<'a> {
                     return StepOutcome::Done;
                 };
                 let kernel = &compiled[ki];
+                self.cur_kernel = ki;
                 self.profile.launches += 1;
                 self.profile.host_api_calls += 1;
                 self.push_scope(kernel.launch == LaunchPattern::PerInternalBatch);
@@ -2548,6 +2852,7 @@ impl<'a> Interp<'a> {
                 Exec(&'k Stmt),
                 PopBlock,
                 LoopContinue,
+                RunFused,
             }
             let action = match cur.frames.last_mut().expect("frame") {
                 Frame::Block { stmts, idx } => {
@@ -2560,12 +2865,27 @@ impl<'a> Interp<'a> {
                     }
                 }
                 Frame::Loop { .. } => Action::LoopContinue,
+                Frame::Fused { .. } => Action::RunFused,
             };
             match action {
                 Action::PopBlock => {
                     cur.frames.pop();
                 }
                 Action::LoopContinue => self.loop_continue(cur),
+                Action::RunFused => {
+                    let Some(Frame::Fused { key, n, activated }) = cur.frames.pop() else {
+                        unreachable!("fused frame")
+                    };
+                    // Resumed after the super-wave flush installed this
+                    // request's result blocks: the whole wave's epilogue
+                    // runs as fused row passes, then its sites retire.
+                    let fused = self.fused_waves.clone();
+                    let fw = fused.get(&key).expect("fused wave planned");
+                    self.exec_fused_wave(fw, n);
+                    if activated != (0, 0) {
+                        self.finish_wave(activated);
+                    }
+                }
                 Action::Exec(s) => {
                     if !self.wave_ancestors.contains(&(s as *const Stmt as usize)) {
                         // No planned wave loop below: run it atomically
@@ -2655,6 +2975,23 @@ impl<'a> Interp<'a> {
             }
         }
         if n > 0 {
+            // A parked fusable wave runs its whole body as fused row
+            // passes once the flush installs results, instead of
+            // resuming per-node frames.
+            if paused {
+                let key = (self.cur_kernel, s as *const Stmt as usize);
+                let fused = self.fused_waves.clone();
+                if let Some(fw) = fused.get(&key) {
+                    if self.fused_servable(fw) {
+                        cur.frames.push(Frame::Fused {
+                            key,
+                            n: n as usize,
+                            activated,
+                        });
+                        return true;
+                    }
+                }
+            }
             cur.frames.push(Frame::Loop {
                 stmt: s,
                 i: 0,
@@ -2747,6 +3084,15 @@ enum Frame<'k> {
         is_wave: bool,
         activated: (usize, usize),
     },
+    /// A parked fusable wave loop: once the pending super-wave flush
+    /// installs this request's result blocks, the whole body runs as
+    /// fused bulk passes ([`Interp::exec_fused_wave`]) and the wave's
+    /// `activated` sites retire.
+    Fused {
+        key: (usize, usize),
+        n: usize,
+        activated: (usize, usize),
+    },
 }
 
 /// The resumable execution state of one request in a batch: its launch
@@ -2818,6 +3164,265 @@ enum BulkExpr {
     MemoSum(usize),
     Unary(cortex_core::expr::UnaryOp, Box<BulkExpr>),
     Bin(cortex_core::expr::BinOp, Box<BulkExpr>, Box<BulkExpr>),
+    /// A value-level select whose condition is feature-invariant: one
+    /// (masked) evaluation decides every lane of the row, with the
+    /// condition's counters replayed ×`h` — the branch-free form of the
+    /// DAG guard `select(slot < nc(n), …, 0)`.
+    Select {
+        cond: BoolExpr,
+        then: Box<BulkExpr>,
+        otherwise: Box<BulkExpr>,
+    },
+}
+
+/// A parallel `d_batch` (wave) loop whose **whole body** bulk-serves: an
+/// optional node binding plus one [`BulkPlan`] per body statement
+/// (rank-2 store nests keep their outer feature loop in
+/// [`FusedLoop::outer`]). The executor runs it as loop-interchanged row
+/// passes — pass `p` serves statement `p` for every node of the wave —
+/// instead of `wave_len` per-node body walks, so per-loop constants
+/// (plan lookup, pool round-trips) amortize over the wave, and in
+/// `run_many` over every parked request of a super-wave flush. The
+/// interchange is valid because [`fused_loads_safe`] restricts
+/// cross-statement reads to each node's own rows (pass order ≡ body
+/// order per row) or strictly-earlier-wave rows (child indirections);
+/// all profile counters are order-independent sums, so the `Profile` is
+/// bit-identical to per-node interpretation.
+struct FusedWave {
+    /// Slot of the wave loop variable.
+    n_idx_slot: usize,
+    /// The `let node = value` binding directly under the loop. Its value
+    /// is counter-free (checked at plan time), so re-evaluating it once
+    /// per (pass, node) instead of once per node is invisible.
+    node_let: Option<(usize, IdxExpr)>,
+    /// One entry per body statement, in body order.
+    loops: Vec<FusedLoop>,
+}
+
+/// One fused body statement: a bulk-served feature loop, with the outer
+/// loop of a rank-2 store nest if present.
+struct FusedLoop {
+    /// `(slot, extent)` of the outer feature loop wrapping a rank-2
+    /// store (`for i { for j { A[n,i,j] = … } }` serves the inner loop
+    /// once per `i`).
+    outer: Option<(usize, usize)>,
+    plan: Rc<BulkPlan>,
+}
+
+/// Compiles every feature loop under `stmt` into the engine-lifetime
+/// bulk-plan map, keyed by `(kernel index, statement address)`.
+fn collect_bulk_plans(stmt: &Stmt, kernel: usize, out: &mut HashMap<(usize, usize), Rc<BulkPlan>>) {
+    if let Some(plan) = compile_bulk(stmt) {
+        out.insert((kernel, stmt as *const Stmt as usize), Rc::new(plan));
+    }
+    match stmt {
+        Stmt::For { body, .. } | Stmt::Let { body, .. } => {
+            body.iter().for_each(|s| collect_bulk_plans(s, kernel, out));
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for s in then_branch.iter().chain(else_branch) {
+                collect_bulk_plans(s, kernel, out);
+            }
+        }
+        Stmt::Store { .. } | Stmt::Barrier => {}
+    }
+}
+
+/// Finds every fusable wave loop under `stmt`.
+fn collect_fused_waves(
+    stmt: &Stmt,
+    kernel: usize,
+    bulk: &HashMap<(usize, usize), Rc<BulkPlan>>,
+    out: &mut HashMap<(usize, usize), FusedWave>,
+) {
+    if let Some(fw) = plan_fused_wave(stmt, kernel, bulk) {
+        out.insert((kernel, stmt as *const Stmt as usize), fw);
+        return; // loops under this statement belong to the fused wave
+    }
+    match stmt {
+        Stmt::For { body, .. } | Stmt::Let { body, .. } => {
+            body.iter()
+                .for_each(|s| collect_fused_waves(s, kernel, bulk, out));
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for s in then_branch.iter().chain(else_branch) {
+                collect_fused_waves(s, kernel, bulk, out);
+            }
+        }
+        Stmt::Store { .. } | Stmt::Barrier => {}
+    }
+}
+
+/// Tries to compile a parallel `d_batch` loop into a [`FusedWave`].
+fn plan_fused_wave(
+    stmt: &Stmt,
+    kernel: usize,
+    bulk: &HashMap<(usize, usize), Rc<BulkPlan>>,
+) -> Option<FusedWave> {
+    let Stmt::For {
+        var,
+        kind: cortex_core::ilir::LoopKind::Parallel,
+        dim: Some(d),
+        body,
+        ..
+    } = stmt
+    else {
+        return None;
+    };
+    if d.0 != "d_batch" {
+        return None;
+    }
+    let (node_let, stmts): (Option<(usize, IdxExpr)>, &[Stmt]) = match body.as_slice() {
+        [Stmt::Let { var, value, body }] => {
+            (Some((var.id() as usize, value.clone())), body.as_slice())
+        }
+        other => (None, other),
+    };
+    if stmts.is_empty() {
+        return None;
+    }
+    // Re-evaluating the node binding once per (pass, node) instead of
+    // once per node must be counter-invisible.
+    if let Some((_, value)) = &node_let {
+        if crate::wave::idx_has_counting_ufn(value) {
+            return None;
+        }
+    }
+    let mut loops = Vec::new();
+    for s in stmts {
+        if let Some(plan) = bulk.get(&(kernel, s as *const Stmt as usize)) {
+            loops.push(FusedLoop {
+                outer: None,
+                plan: plan.clone(),
+            });
+            continue;
+        }
+        // A rank-2 store nest: the *inner* loop carries the bulk plan,
+        // served once per outer feature index.
+        let Stmt::For {
+            var: ov,
+            extent: IdxExpr::Const(oh),
+            body: obody,
+            ..
+        } = s
+        else {
+            return None;
+        };
+        if *oh <= 0 {
+            return None;
+        }
+        let [inner] = obody.as_slice() else {
+            return None;
+        };
+        let plan = bulk.get(&(kernel, inner as *const Stmt as usize))?;
+        loops.push(FusedLoop {
+            outer: Some((ov.id() as usize, *oh as usize)),
+            plan: plan.clone(),
+        });
+    }
+    let node_var = node_let
+        .as_ref()
+        .map(|(slot, _)| cortex_core::Var::from_raw(*slot as u32));
+    if !fused_loads_safe(&loops, *var, node_var) {
+        return None;
+    }
+    Some(FusedWave {
+        n_idx_slot: var.id() as usize,
+        node_let,
+        loops,
+    })
+}
+
+/// Whether running the body statements as whole-wave passes (loop
+/// interchange) is observationally identical to per-node interpretation:
+///
+/// * every store targets a node-unique row (some non-feature index
+///   position rides the wave variable), so no two nodes' passes write
+///   the same cell;
+/// * every load of a body-stored tensor either stays within its own
+///   node's row (non-feature index positions structurally equal to the
+///   store's) — where pass order coincides with body order — or reads a
+///   strictly-earlier wave's row through a child indirection rooted at
+///   the wave node, which no pass of this wave writes.
+fn fused_loads_safe(
+    loops: &[FusedLoop],
+    n_idx: cortex_core::Var,
+    node: Option<cortex_core::Var>,
+) -> bool {
+    use crate::fastdot::idx_uses_var;
+    let mut stores: HashMap<TensorId, (&[IdxExpr], usize)> = HashMap::new();
+    for fl in loops {
+        let p = &fl.plan;
+        // A store must hit a different row for every node of the wave.
+        let node_dep = p.index.iter().enumerate().any(|(d, e)| {
+            d != p.i_pos && (idx_uses_var(e, n_idx) || node.is_some_and(|nv| idx_uses_var(e, nv)))
+        });
+        if !node_dep {
+            return false;
+        }
+        match stores.entry(p.tensor) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let &(idx, ipos) = e.get();
+                if idx != p.index.as_slice() || ipos != p.i_pos {
+                    return false;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((p.index.as_slice(), p.i_pos));
+            }
+        }
+    }
+    loops
+        .iter()
+        .all(|fl| bulk_expr_loads_safe(&fl.plan.expr, &stores, n_idx, node))
+}
+
+fn bulk_expr_loads_safe(
+    e: &BulkExpr,
+    stores: &HashMap<TensorId, (&[IdxExpr], usize)>,
+    n_idx: cortex_core::Var,
+    node: Option<cortex_core::Var>,
+) -> bool {
+    match e {
+        BulkExpr::Load { tensor, index, .. } => {
+            let Some(&(s_idx, s_ipos)) = stores.get(tensor) else {
+                return true; // not written by this wave body
+            };
+            if index.len() != s_idx.len() {
+                return false;
+            }
+            index.iter().enumerate().all(|(d, ix)| {
+                // Within the stored row's feature dimension, any element
+                // is same-row; elsewhere the coordinate must match the
+                // store's (same node row) or be an earlier-wave child
+                // row.
+                d == s_ipos
+                    || *ix == s_idx[d]
+                    || crate::wave::is_wave_child_indirection(ix, n_idx, node)
+            })
+        }
+        BulkExpr::Const(_) | BulkExpr::MemoSum(_) => true,
+        BulkExpr::Unary(_, a) => bulk_expr_loads_safe(a, stores, n_idx, node),
+        BulkExpr::Bin(_, a, b) => {
+            bulk_expr_loads_safe(a, stores, n_idx, node)
+                && bulk_expr_loads_safe(b, stores, n_idx, node)
+        }
+        // Guard conditions load no tensors.
+        BulkExpr::Select {
+            then, otherwise, ..
+        } => {
+            bulk_expr_loads_safe(then, stores, n_idx, node)
+                && bulk_expr_loads_safe(otherwise, stores, n_idx, node)
+        }
+    }
 }
 
 /// Tries to compile a feature loop into a [`BulkPlan`].
@@ -2913,9 +3518,24 @@ fn compile_bulk_expr(
             sums.push(key);
             Some(BulkExpr::MemoSum(key))
         }
-        // Selects evaluate one branch per element (and count a branch
-        // check): not uniform — stay on the per-element path.
-        ValExpr::Select { .. } => None,
+        // A select whose condition is feature-invariant is uniform over
+        // the row: one condition evaluation (its counters replayed ×h,
+        // plus the per-element branch check) selects the branch for
+        // every lane. Feature-dependent conditions stay per-element.
+        ValExpr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            if crate::fastdot::bool_uses_var(cond, feat) {
+                return None;
+            }
+            Some(BulkExpr::Select {
+                cond: cond.clone(),
+                then: Box::new(compile_bulk_expr(then, feat, sums)?),
+                otherwise: Box::new(compile_bulk_expr(otherwise, feat, sums)?),
+            })
+        }
     }
 }
 
@@ -3312,6 +3932,42 @@ mod tests {
             execute(&program, &lin, &params, true),
             Err(ExecError::ParamShape { .. })
         ));
+    }
+
+    #[test]
+    fn weight_cache_eviction_is_lru_not_clear_all() {
+        // A working set stamped by the latest run must survive eviction
+        // even when the cache's lifetime population exceeds the cap —
+        // the old clear-at-cap policy forced a full steady-state repack.
+        let mut cache: HashMap<(usize, usize), StackedWeight> = HashMap::new();
+        for i in 0..10usize {
+            cache.insert(
+                (i, 0),
+                StackedWeight {
+                    sig: Vec::new(),
+                    params_only: true,
+                    epoch: 0,
+                    // Entries 0..4 are stale; 5..9 are the current
+                    // working set.
+                    last_used: if i < 5 { 1 } else { 2 },
+                    data: Rc::new(Vec::new()),
+                },
+            );
+        }
+        evict_weight_cache_lru(&mut cache, 7);
+        assert_eq!(cache.len(), 7);
+        for i in 5..10 {
+            assert!(
+                cache.contains_key(&(i, 0)),
+                "working-set entry {i} must survive"
+            );
+        }
+        // Under-cap caches are untouched.
+        evict_weight_cache_lru(&mut cache, 64);
+        assert_eq!(cache.len(), 7);
+        // A working set larger than the cap still shrinks to the cap.
+        evict_weight_cache_lru(&mut cache, 3);
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use cortex_core::expr::{IdxExpr, TensorId, Ufn, ValExpr, Var};
+use cortex_core::expr::{BoolExpr, IdxExpr, TensorId, Ufn, ValExpr, Var};
 use cortex_core::ilir::{LoopKind, Stmt};
 
 use crate::fastdot::{self, bool_uses_var, idx_uses_var, val_uses_var, Operand};
@@ -112,6 +112,18 @@ pub(crate) struct SumSite {
     /// The remaining (node-dependent or invariant) operands, gathered
     /// per node into the packed row matrix.
     pub rest: Vec<Operand>,
+    /// Conjunction of the value-level `Select` guards wrapping this
+    /// `Sum` (the DAG formulation `select(slot < nc(n), Σ_k …, 0)`),
+    /// as `(cond, branch)` pairs: the site is reached when every `cond`
+    /// evaluates to its `branch` (false = the `otherwise` arm). The
+    /// scalar path reaches the reduction only when every guard holds,
+    /// so the gather phase evaluates them **silently** (no profile
+    /// counters — the interpreter still walks each `Select` per served
+    /// element and pays its counters there) and packs a zero row for
+    /// guarded-off nodes, whose result slots are never read (a
+    /// guarded-off node's `Select` takes the other arm before its `Sum`
+    /// — and thus the wave memo — is ever consulted).
+    pub select_guards: Vec<(BoolExpr, bool)>,
 }
 
 /// The node-invariant, feature-dependent operand of a site: a plain load
@@ -229,6 +241,7 @@ fn plan_wave(n_idx: Var, body: &[Stmt], stack: bool) -> Option<WavePlan> {
         if *ho <= 0 {
             continue;
         }
+        let mut guards = Vec::new();
         match inner.as_slice() {
             [Stmt::Store { value, .. }] => {
                 collect_sites(
@@ -238,6 +251,7 @@ fn plan_wave(n_idx: Var, body: &[Stmt], stack: bool) -> Option<WavePlan> {
                     (*outer, *ho as usize),
                     None,
                     &stored,
+                    &mut guards,
                     &mut sites,
                 );
             }
@@ -257,6 +271,7 @@ fn plan_wave(n_idx: Var, body: &[Stmt], stack: bool) -> Option<WavePlan> {
                     (*outer, *ho as usize),
                     Some((*inner_var, *hi as usize)),
                     &stored,
+                    &mut guards,
                     &mut sites,
                 );
             }
@@ -365,6 +380,10 @@ fn group_sites(sites: &[SumSite], stack: bool) -> Vec<SiteGroup> {
 fn rows_sig_equal(a: &SumSite, b: &SumSite) -> bool {
     a.extent == b.extent
         && a.inner == b.inner
+        // Shared-rows members share one per-row metadata entry, so their
+        // zero patterns — and therefore their `Select` guards — must
+        // coincide.
+        && a.select_guards == b.select_guards
         && a.rest.len() == b.rest.len()
         && a.rest
             .iter()
@@ -499,7 +518,7 @@ fn operand_reads_safe(
 /// the wave's own node variable — `child(node)`, `child(child(node))`, …
 /// Anything else (`child(node) + 1`, `child(word(node))`) could alias a
 /// row this wave writes, so it is not accepted.
-fn is_wave_child_indirection(e: &IdxExpr, n_idx: Var, node: Option<Var>) -> bool {
+pub(crate) fn is_wave_child_indirection(e: &IdxExpr, n_idx: Var, node: Option<Var>) -> bool {
     match e {
         IdxExpr::Ufn(Ufn::Child(_), args) => match args.first() {
             Some(IdxExpr::Var(v)) => *v == n_idx || node == Some(*v),
@@ -516,6 +535,14 @@ fn is_wave_child_indirection(e: &IdxExpr, n_idx: Var, node: Option<Var>) -> bool
 /// nest (with extents). Which of them is the weight-side feature `i` is
 /// decided per site: the variable the weight operand rides; the other
 /// (if used) becomes the row-side `j` of a rank-2 site.
+///
+/// `guards` is the stack of value-level `Select` conditions (with the
+/// branch taken) on the path from the store's root to the current
+/// subexpression: a `Sum` found here is only evaluated by the scalar
+/// path when every guard holds, so the site records them and the gather
+/// phase skips (zero-fills) rows whose guards fail — including their
+/// child indirections, which may be `NO_CHILD` on guarded-off nodes.
+#[allow(clippy::too_many_arguments)]
 fn collect_sites(
     e: &ValExpr,
     n_idx: Var,
@@ -523,46 +550,66 @@ fn collect_sites(
     outer: (Var, usize),
     inner: Option<(Var, usize)>,
     stored: &std::collections::HashSet<TensorId>,
+    guards: &mut Vec<(BoolExpr, bool)>,
     out: &mut Vec<SumSite>,
 ) {
     match e {
         ValExpr::Sum { var, extent, body } => {
-            let site =
-                plan_site(*var, extent, body, n_idx, node, outer, inner, stored).or_else(|| {
-                    // The weight may ride the inner loop instead (the
-                    // outer var then becomes the row-side dimension).
-                    inner.and_then(|inner_dim| {
-                        plan_site(
-                            *var,
-                            extent,
-                            body,
-                            n_idx,
-                            node,
-                            inner_dim,
-                            Some(outer),
-                            stored,
-                        )
-                    })
-                });
+            let site = plan_site(
+                *var, extent, body, n_idx, node, outer, inner, stored, guards,
+            )
+            .or_else(|| {
+                // The weight may ride the inner loop instead (the
+                // outer var then becomes the row-side dimension).
+                inner.and_then(|inner_dim| {
+                    plan_site(
+                        *var,
+                        extent,
+                        body,
+                        n_idx,
+                        node,
+                        inner_dim,
+                        Some(outer),
+                        stored,
+                        guards,
+                    )
+                })
+            });
             if let Some(site) = site {
                 out.push(site);
             }
             // Nested sums inside `body` are part of this reduction (and
             // reject the fastdot match anyway): do not descend.
         }
-        ValExpr::Unary(_, a) => collect_sites(a, n_idx, node, outer, inner, stored, out),
+        ValExpr::Unary(_, a) => collect_sites(a, n_idx, node, outer, inner, stored, guards, out),
         ValExpr::Bin(_, a, b) => {
-            collect_sites(a, n_idx, node, outer, inner, stored, out);
-            collect_sites(b, n_idx, node, outer, inner, stored, out);
+            collect_sites(a, n_idx, node, outer, inner, stored, guards, out);
+            collect_sites(b, n_idx, node, outer, inner, stored, guards, out);
         }
         // A `Sum` under a value-level `Select` is evaluated only when its
-        // branch is taken; batching it would gather operand rows (and
-        // replay accounting) for nodes whose guard never reaches the
-        // reduction — including child indirections that are `NO_CHILD`
-        // there. Guards belong *inside* the reduction
-        // ([`Operand::Guarded`]), which the packing phase resolves per
-        // node; conditional values outside it stay on the scalar path.
-        ValExpr::Select { .. } => {}
+        // branch is taken (the DAG formulation `select(guard, Σ_k …, 0)`).
+        // Descend with the condition pushed onto the guard stack: the
+        // site's gather phase then resolves operand rows only for nodes
+        // whose guards hold — guarded-off nodes get a zero row that the
+        // interpreter never reads (their `Select` takes the other arm),
+        // and no accounting is replayed for them. The condition must be
+        // feature-invariant so one evaluation decides the whole row.
+        ValExpr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let feat_ok = !bool_uses_var(cond, outer.0)
+                && !inner.is_some_and(|(jv, _)| bool_uses_var(cond, jv));
+            if feat_ok {
+                guards.push((cond.clone(), true));
+                collect_sites(then, n_idx, node, outer, inner, stored, guards, out);
+                guards.pop();
+                guards.push((cond.clone(), false));
+                collect_sites(otherwise, n_idx, node, outer, inner, stored, guards, out);
+                guards.pop();
+            }
+        }
         ValExpr::Const(_) | ValExpr::Load { .. } => {}
     }
 }
@@ -582,6 +629,7 @@ fn plan_site(
     (feat, h): (Var, usize),
     other: Option<(Var, usize)>,
     stored: &std::collections::HashSet<TensorId>,
+    guards: &[(BoolExpr, bool)],
 ) -> Option<SumSite> {
     // The extent must be loop-invariant (evaluable once per wave) and
     // free of counting uninterpreted functions, so evaluating it in the
@@ -700,6 +748,7 @@ fn plan_site(
         served_per_row,
         weight: weight?,
         rest,
+        select_guards: guards.to_vec(),
     })
 }
 
@@ -914,10 +963,12 @@ mod tests {
     }
 
     #[test]
-    fn sum_under_value_level_select_is_not_planned() {
+    fn sum_under_value_level_select_is_planned_with_guard() {
         // select(guard, sum_k …, 0): the scalar interpreter evaluates the
-        // reduction only when the branch is taken; batching it would
-        // resolve child indirections on nodes where they are NO_CHILD.
+        // reduction only when the branch is taken. The site is planned
+        // with the condition recorded as a select guard, so the gather
+        // phase zero-fills (and never resolves) rows whose guard fails —
+        // child indirections that are NO_CHILD there are never touched.
         let (n_idx, node, i, k) = (v(0), v(1), v(2), v(3));
         let child = IdxExpr::Ufn(Ufn::Child(1), vec![IdxExpr::Var(node)]);
         let sum = ValExpr::Sum {
@@ -933,6 +984,61 @@ mod tests {
                 cortex_core::expr::CmpOp::Lt,
                 IdxExpr::Const(1),
                 IdxExpr::Ufn(Ufn::NumChildren, vec![IdxExpr::Var(node)]),
+            ),
+            then: Box::new(sum),
+            otherwise: Box::new(ValExpr::Const(0.0)),
+        };
+        let stmt = Stmt::For {
+            var: n_idx,
+            extent: IdxExpr::Const(4),
+            kind: LoopKind::Parallel,
+            dim: Some(DimName::batch()),
+            body: vec![Stmt::Let {
+                var: node,
+                value: IdxExpr::Var(n_idx),
+                body: vec![Stmt::For {
+                    var: i,
+                    extent: IdxExpr::Const(4),
+                    kind: LoopKind::Vectorized,
+                    dim: Some(DimName::feature(0)),
+                    body: vec![Stmt::Store {
+                        tensor: TensorId(2),
+                        index: vec![IdxExpr::Var(node), IdxExpr::Var(i)],
+                        value,
+                    }],
+                }],
+            }],
+        };
+        let body = [stmt];
+        let plans = analyze(&[&body], true);
+        assert_eq!(plans.len(), 1, "the guarded sum must be planned");
+        let plan = plans.values().next().unwrap();
+        assert_eq!(plan.sites.len(), 1);
+        let site = &plan.sites[0];
+        assert_eq!(site.select_guards.len(), 1);
+        assert!(site.select_guards[0].1, "then-branch guard expects true");
+    }
+
+    #[test]
+    fn feature_dependent_select_guard_is_not_planned() {
+        // select(i < 2, sum_k …, 0): the guard rides the feature
+        // variable, so one evaluation cannot decide the whole row — the
+        // site stays on the scalar path.
+        let (n_idx, node, i, k) = (v(0), v(1), v(2), v(3));
+        let sum = ValExpr::Sum {
+            var: k,
+            extent: IdxExpr::Const(4),
+            body: Box::new(
+                ValExpr::load(TensorId(0), vec![IdxExpr::Var(i), IdxExpr::Var(k)]).mul(
+                    ValExpr::load(TensorId(1), vec![IdxExpr::Var(node), IdxExpr::Var(k)]),
+                ),
+            ),
+        };
+        let value = ValExpr::Select {
+            cond: cortex_core::expr::BoolExpr::Cmp(
+                cortex_core::expr::CmpOp::Lt,
+                IdxExpr::Var(i),
+                IdxExpr::Const(2),
             ),
             then: Box::new(sum),
             otherwise: Box::new(ValExpr::Const(0.0)),

@@ -74,6 +74,9 @@ struct DepthRecord {
     speedup_vs_depth1: f64,
     mean_latency_ms: f64,
     p95_latency_ms: f64,
+    /// Elementwise-epilogue wall time of the final measured chunk (the
+    /// fused post-GEMM serve the `Rational` nonlinearity mode targets).
+    epilogue_ms: f64,
 }
 
 struct Workload {
@@ -242,6 +245,7 @@ fn bench_workload(
             }
         };
         let gemms_per_request = stats.wave_gemms as f64 / last_chunk as f64;
+        let epilogue_ms = stats.epilogue_ns as f64 / 1e6;
         let requests_per_gemm = if stats.super_gemms > 0 {
             stats.super_gemm_requests as f64 / stats.super_gemms as f64
         } else {
@@ -276,6 +280,7 @@ fn bench_workload(
             speedup_vs_depth1: depth1_wall / wall,
             mean_latency_ms: mean_ms,
             p95_latency_ms: p95_ms,
+            epilogue_ms,
         });
         println!(
             "{bench:<20} depth={q:<3} superwave={superwave_width:7.1} \
@@ -338,7 +343,7 @@ fn main() {
     }
 
     let mut json =
-        String::from("{\n  \"schema\": \"cortex-bench-serving/v1\",\n  \"results\": [\n");
+        String::from("{\n  \"schema\": \"cortex-bench-serving/v2\",\n  \"results\": [\n");
     let mut first = true;
     for w in &workloads {
         for d in &w.depths {
@@ -353,7 +358,7 @@ fn main() {
                  \"superwave_width\": {:.2}, \"gemms_per_request\": {:.2}, \
                  \"requests_per_gemm\": {:.2}, \"wall_ms\": {:.4}, \"throughput_rps\": {:.3}, \
                  \"speedup_vs_depth1\": {:.3}, \"mean_latency_ms\": {:.3}, \
-                 \"p95_latency_ms\": {:.3}, \"verified\": {}}}",
+                 \"p95_latency_ms\": {:.3}, \"epilogue_ms\": {:.4}, \"verified\": {}}}",
                 w.bench,
                 w.requests,
                 w.nodes_per_request,
@@ -368,6 +373,7 @@ fn main() {
                 d.speedup_vs_depth1,
                 d.mean_latency_ms,
                 d.p95_latency_ms,
+                d.epilogue_ms,
                 w.verified
             );
         }

@@ -105,8 +105,25 @@ struct PendingRequest {
     submitted: Instant,
 }
 
+/// How many failed tickets a [`Batcher`] retains for error reporting.
+/// A caller that drops tickets without ever polling them must not make
+/// the batcher grow without bound, so failures beyond this are dropped
+/// oldest-first (their polls then report "still queued" — `Ok(None)` —
+/// like any unknown ticket).
+pub const FAILED_RETENTION_CAP: usize = 1024;
+
 /// A submission queue in front of one [`Engine`]: collects independent
 /// requests and executes them through merged super-wave schedules.
+///
+/// # Invariants
+///
+/// Every submitted ticket is in exactly one of three places until it is
+/// polled: the queue ([`Batcher::pending`]), the ready set
+/// ([`Batcher::ready`]), or the failed set ([`Batcher::failed`], bounded
+/// by [`FAILED_RETENTION_CAP`]) — so
+/// `len() == pending() + ready() + failed()` always holds, and a failed
+/// flush never strands a ticket: its chunk moves to the failed set while
+/// **other** chunks of the same flush still execute.
 pub struct Batcher<'p> {
     engine: Engine<'p>,
     params: Params,
@@ -116,6 +133,11 @@ pub struct Batcher<'p> {
     /// Tickets whose flush failed, with the error: polling one of these
     /// reports the failure instead of waiting forever.
     failed: HashMap<u64, ExecError>,
+    /// Insertion order of `failed` (oldest first), the drain order of
+    /// the bounded retention policy. May transiently hold tickets
+    /// already polled out of `failed`; compacted when it outgrows
+    /// `2 × FAILED_RETENTION_CAP`.
+    failed_order: VecDeque<u64>,
     next_ticket: u64,
     flushes: u64,
 }
@@ -136,6 +158,7 @@ impl<'p> Batcher<'p> {
             queue: VecDeque::new(),
             ready: HashMap::new(),
             failed: HashMap::new(),
+            failed_order: VecDeque::new(),
             next_ticket: 0,
             flushes: 0,
         }
@@ -144,11 +167,15 @@ impl<'p> Batcher<'p> {
     /// Enqueues a linearized input. Flushes synchronously when the queue
     /// reaches [`BatcherOptions::max_batch`].
     ///
+    /// The ticket is **always** returned — a failing synchronous flush
+    /// records its error against the affected chunk's tickets (this one
+    /// included), which report it on their next [`Batcher::poll`]. (An
+    /// earlier version returned the flush error here and dropped the
+    /// ticket, leaving the request stuck unpollable in the failed set.)
+    ///
     /// # Errors
     ///
-    /// Propagates [`ExecError`] from a synchronous flush; the affected
-    /// chunk's tickets (including the one being submitted) report the
-    /// same error on their next [`Batcher::poll`].
+    /// None currently; the `Result` is kept for API stability.
     pub fn submit(&mut self, lin: Linearized) -> Result<Ticket, ExecError> {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
@@ -158,7 +185,8 @@ impl<'p> Batcher<'p> {
             submitted: Instant::now(),
         });
         if self.queue.len() >= self.opts.max_batch {
-            self.flush()?;
+            // Chunk errors are reported per ticket through `poll`.
+            let _ = self.flush();
         }
         Ok(Ticket(ticket))
     }
@@ -172,9 +200,11 @@ impl<'p> Batcher<'p> {
     ///
     /// # Errors
     ///
-    /// Propagates [`ExecError`] from a deadline flush — and from a
-    /// *past* flush that failed this ticket's chunk (each such ticket
-    /// reports its failure exactly once; nothing waits forever).
+    /// Reports only **this ticket's own** failure: a deadline flush may
+    /// run several chunks, and another chunk's error must not mask this
+    /// ticket's ready response (or its still-queued state) — per-ticket
+    /// errors come out of the failed set, exactly once each; nothing
+    /// waits forever.
     pub fn poll(&mut self, ticket: Ticket) -> Result<Option<Response>, ExecError> {
         if let Some(r) = self.ready.remove(&ticket.0) {
             return Ok(Some(r));
@@ -187,7 +217,8 @@ impl<'p> Batcher<'p> {
             .front()
             .is_some_and(|p| p.submitted.elapsed() >= self.opts.max_delay)
         {
-            self.flush()?;
+            // Chunk errors are reported per ticket below.
+            let _ = self.flush();
         }
         if let Some(e) = self.failed.remove(&ticket.0) {
             return Err(e);
@@ -197,16 +228,21 @@ impl<'p> Batcher<'p> {
 
     /// Flushes every queued request through one merged super-wave
     /// execution (in chunks of [`BatcherOptions::max_batch`]), making
-    /// their responses pollable. Returns how many requests ran.
+    /// their responses pollable. Returns how many requests succeeded.
+    ///
+    /// A failing chunk never strands the rest of the queue: its tickets
+    /// move to the failed set (their next [`Batcher::poll`] reports the
+    /// error) and the remaining chunks still execute — chunks are
+    /// independent executions, so one poisoned request only takes its
+    /// own chunk down.
     ///
     /// # Errors
     ///
-    /// Propagates the first chunk's [`ExecError`]. The failing chunk's
-    /// tickets are marked failed (their next [`Batcher::poll`] returns
-    /// the error); chunks after the failure stay queued for a later
-    /// flush.
+    /// Returns the **first** failing chunk's [`ExecError`] after all
+    /// chunks have been processed.
     pub fn flush(&mut self) -> Result<usize, ExecError> {
         let mut flushed = 0usize;
+        let mut first_err: Option<ExecError> = None;
         while !self.queue.is_empty() {
             let take = self.queue.len().min(self.opts.max_batch.max(1));
             let batch: Vec<PendingRequest> = self.queue.drain(..take).collect();
@@ -219,9 +255,10 @@ impl<'p> Batcher<'p> {
                 Ok(r) => r,
                 Err(e) => {
                     for pending in &batch {
-                        self.failed.insert(pending.ticket, e.clone());
+                        self.fail_ticket(pending.ticket, e.clone());
                     }
-                    return Err(e);
+                    first_err.get_or_insert(e);
+                    continue;
                 }
             };
             self.flushes += 1;
@@ -240,7 +277,34 @@ impl<'p> Batcher<'p> {
             }
             flushed += take;
         }
-        Ok(flushed)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(flushed),
+        }
+    }
+
+    /// Records a ticket's flush failure under the bounded retention
+    /// policy: beyond [`FAILED_RETENTION_CAP`] unpolled failures, the
+    /// oldest are dropped.
+    fn fail_ticket(&mut self, ticket: u64, e: ExecError) {
+        if self.failed.insert(ticket, e).is_none() {
+            self.failed_order.push_back(ticket);
+        }
+        while self.failed.len() > FAILED_RETENTION_CAP {
+            match self.failed_order.pop_front() {
+                Some(t) => {
+                    self.failed.remove(&t);
+                }
+                None => break,
+            }
+        }
+        // `failed_order` may hold tickets already polled out of
+        // `failed`; compact so it stays within a constant factor of the
+        // cap (amortized O(1) per failure).
+        if self.failed_order.len() > 2 * FAILED_RETENTION_CAP {
+            let failed = &self.failed;
+            self.failed_order.retain(|t| failed.contains_key(t));
+        }
     }
 
     /// Number of requests waiting for a flush.
@@ -251,6 +315,23 @@ impl<'p> Batcher<'p> {
     /// Number of flushed-but-unpolled responses.
     pub fn ready(&self) -> usize {
         self.ready.len()
+    }
+
+    /// Number of retained flush failures not yet reported through
+    /// [`Batcher::poll`] (bounded by [`FAILED_RETENTION_CAP`]).
+    pub fn failed(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// Total tickets the batcher currently tracks:
+    /// `pending() + ready() + failed()`.
+    pub fn len(&self) -> usize {
+        self.queue.len() + self.ready.len() + self.failed.len()
+    }
+
+    /// Whether no tickets are tracked at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Executor-strategy counters of the most recent flush (see
@@ -378,7 +459,10 @@ mod tests {
     fn failed_flushes_report_through_poll_instead_of_hanging() {
         // Unbound parameters make every execution fail: the tickets of
         // the failing chunk must surface the error on poll (exactly
-        // once) rather than spin forever as "still queued".
+        // once) rather than spin forever as "still queued" — and the
+        // submitter must still receive its ticket (an earlier version
+        // returned the flush error from `submit` and dropped the
+        // ticket, stranding the request unpollable in the failed set).
         let model = treelstm::tree_lstm(4, LeafInit::Zero);
         let program = model.lower(&RaSchedule::default()).unwrap();
         let mut batcher = Batcher::new(
@@ -394,18 +478,144 @@ mod tests {
             .submit(lin(&datasets::random_binary_tree(5, 7)))
             .unwrap();
         // The second submission fills the batch; its synchronous flush
-        // fails and reports the error to the submitter.
-        let err = batcher
+        // fails, and the submitter still gets a pollable ticket.
+        let t1 = batcher
             .submit(lin(&datasets::random_binary_tree(6, 8)))
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            cortex_backend::exec::ExecError::MissingParam(_)
-        ));
+            .unwrap();
         assert_eq!(batcher.pending(), 0, "the failing chunk was drained");
-        // ... and to the first ticket's poll, exactly once.
-        assert!(batcher.poll(t0).is_err());
-        assert!(batcher.poll(t0).unwrap().is_none());
+        assert_eq!(batcher.failed(), 2);
+        assert_eq!(batcher.len(), 2, "len == pending + ready + failed");
+        // Both tickets report the error, exactly once each.
+        for t in [t0, t1] {
+            assert!(matches!(
+                batcher.poll(t),
+                Err(cortex_backend::exec::ExecError::MissingParam(_))
+            ));
+            assert!(batcher.poll(t).unwrap().is_none());
+        }
+        assert!(batcher.is_empty());
+    }
+
+    #[test]
+    fn unpolled_failures_are_retained_bounded() {
+        // A caller that drops failing tickets without polling them must
+        // not grow the batcher without bound: retention is capped, with
+        // the oldest failures dropped first.
+        let model = treelstm::tree_lstm(3, LeafInit::Zero);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let mut batcher = Batcher::new(
+            &program,
+            cortex_backend::params::Params::new(), // nothing bound: all flushes fail
+            BatcherOptions {
+                max_batch: 1,
+                max_delay: Duration::from_secs(3600),
+                persist: true,
+            },
+        );
+        let total = FAILED_RETENTION_CAP + 40;
+        let structure = datasets::random_binary_tree(3, 1);
+        let mut first = None;
+        let mut last = None;
+        for _ in 0..total {
+            let t = batcher.submit(lin(&structure)).unwrap();
+            first.get_or_insert(t);
+            last = Some(t);
+        }
+        assert_eq!(
+            batcher.failed(),
+            FAILED_RETENTION_CAP,
+            "retention is capped"
+        );
+        assert_eq!(batcher.len(), FAILED_RETENTION_CAP);
+        // The newest failure is still reportable; the oldest was dropped
+        // (its poll reads as unknown/still-queued, not an error).
+        assert!(batcher.poll(last.unwrap()).is_err());
+        assert!(batcher.poll(first.unwrap()).unwrap().is_none());
+    }
+
+    #[test]
+    fn a_poisoned_chunk_does_not_strand_other_chunks() {
+        // An unrolling schedule rejects DAG inputs at interpreter build
+        // time, so a chunk containing a DAG fails while tree-only chunks
+        // succeed: the failure must not keep later chunks from
+        // executing, and every ticket must resolve.
+        let model = treelstm::tree_lstm(4, LeafInit::Zero);
+        let program = model
+            .lower(&RaSchedule {
+                unroll: Some(2),
+                ..RaSchedule::default()
+            })
+            .unwrap();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 2,
+                max_delay: Duration::from_secs(3600),
+                persist: true,
+            },
+        );
+        // Chunk 1: a grid DAG poisons it (unrolling a DAG is rejected).
+        let bad = batcher.submit(lin(&datasets::grid_dag(3, 3, 5))).unwrap();
+        let also_bad = batcher
+            .submit(lin(&datasets::random_binary_tree(6, 9)))
+            .unwrap();
+        // Chunk 2: trees only — must still execute.
+        let good0 = batcher
+            .submit(lin(&datasets::random_binary_tree(5, 10)))
+            .unwrap();
+        let good1 = batcher
+            .submit(lin(&datasets::random_binary_tree(7, 11)))
+            .unwrap();
+        assert_eq!(batcher.pending(), 0);
+        assert!(batcher.poll(bad).is_err());
+        assert!(
+            batcher.poll(also_bad).is_err(),
+            "chunk-mates share the error"
+        );
+        assert!(batcher.poll(good0).unwrap().is_some(), "later chunk ran");
+        assert!(batcher.poll(good1).unwrap().is_some());
+        assert!(batcher.is_empty());
+    }
+
+    #[test]
+    fn steady_state_serving_repacks_no_weights() {
+        // Weight packs are pinned across a serving engine's lifetime
+        // (LRU eviction, keyed per params generation): after the first
+        // flush, no flush may repack anything.
+        let model = treelstm::tree_lstm(8, LeafInit::Embedding);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 3,
+                max_delay: Duration::from_secs(3600),
+                persist: true,
+            },
+        );
+        for round in 0..4u64 {
+            let tickets: Vec<Ticket> = (0..3u64)
+                .map(|s| {
+                    batcher
+                        .submit(lin(&datasets::random_binary_tree(
+                            6 + s as usize,
+                            31 + round * 3 + s,
+                        )))
+                        .unwrap()
+                })
+                .collect();
+            for t in tickets {
+                batcher.poll(t).unwrap().expect("flushed");
+            }
+            if round > 0 {
+                assert_eq!(
+                    batcher.stats().weight_packs,
+                    0,
+                    "steady-state flush {round} repacked weights"
+                );
+            }
+        }
     }
 
     #[test]

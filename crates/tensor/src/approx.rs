@@ -17,6 +17,29 @@ pub fn sigmoid_exact(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
+/// Numerator coefficients of the rational `tanh` (odd powers x¹..x¹³),
+/// shared with the vectorized kernels in [`crate::simd`].
+#[allow(clippy::excessive_precision)]
+pub(crate) const TANH_ALPHA: [f32; 7] = [
+    4.893_524_6e-3,   // x^1
+    6.372_619_3e-4,   // x^3
+    1.485_722_4e-5,   // x^5
+    5.122_297_1e-8,   // x^7
+    -8.604_671_5e-11, // x^9
+    2.000_187_9e-13,  // x^11
+    -2.760_768_5e-16, // x^13
+];
+
+/// Denominator coefficients of the rational `tanh` (even powers x⁰..x⁶),
+/// shared with the vectorized kernels in [`crate::simd`].
+#[allow(clippy::excessive_precision)]
+pub(crate) const TANH_BETA: [f32; 4] = [
+    4.893_525_2e-3, // x^0
+    2.268_434_6e-3, // x^2
+    1.185_347_1e-4, // x^4
+    1.198_258_4e-6, // x^6
+];
+
 /// Rational approximation of `tanh`: a degree-13 odd polynomial over a
 /// degree-6 even polynomial, clamped to the saturation region at |x| = 9.
 ///
@@ -27,23 +50,8 @@ pub fn sigmoid_exact(x: f32) -> f32 {
 /// Maximum absolute error against `tanh` is below `1e-4` on all of ℝ
 /// (asserted by tests).
 pub fn tanh_rational(x: f32) -> f32 {
-    #[allow(clippy::excessive_precision)]
-    const ALPHA: [f32; 7] = [
-        4.893_524_6e-3,   // x^1
-        6.372_619_3e-4,   // x^3
-        1.485_722_4e-5,   // x^5
-        5.122_297_1e-8,   // x^7
-        -8.604_671_5e-11, // x^9
-        2.000_187_9e-13,  // x^11
-        -2.760_768_5e-16, // x^13
-    ];
-    #[allow(clippy::excessive_precision)]
-    const BETA: [f32; 4] = [
-        4.893_525_2e-3, // x^0
-        2.268_434_6e-3, // x^2
-        1.185_347_1e-4, // x^4
-        1.198_258_4e-6, // x^6
-    ];
+    const ALPHA: [f32; 7] = TANH_ALPHA;
+    const BETA: [f32; 4] = TANH_BETA;
     let x = x.clamp(-9.0, 9.0);
     let x2 = x * x;
     let mut p = ALPHA[6];

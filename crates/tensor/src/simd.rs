@@ -403,6 +403,61 @@ pub fn axpy_scalar(y: &mut [f32], x: &[f32]) {
 }
 
 // ---------------------------------------------------------------------
+// Rational nonlinearities (the Cortex App. A.5 epilogue kernels)
+// ---------------------------------------------------------------------
+
+/// In-place rational `tanh` over a slice at the detected level (the
+/// vectorized elementwise epilogue of the wave executor's
+/// `Rational` nonlinearity mode). The scalar fallback applies
+/// [`crate::approx::tanh_rational`] per element; the wide paths evaluate
+/// the same polynomial with FMA contraction, so lanes may differ from
+/// the scalar path by normal rounding while staying within the `1e-4`
+/// bound against exact `tanh` (asserted by tests).
+#[inline]
+pub fn tanh_rational_slice(xs: &mut [f32]) {
+    tanh_rational_slice_with(level(), xs);
+}
+
+/// [`tanh_rational_slice`] at an explicit level; an unsupported level
+/// falls back to the scalar kernel.
+#[inline]
+pub fn tanh_rational_slice_with(l: Level, xs: &mut [f32]) {
+    match l {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the feature is verified on this CPU.
+        Level::Avx2 if level_supported(l) => unsafe { tanh_rational_avx2(xs) },
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx512 if level_supported(l) => unsafe { tanh_rational_avx512(xs) },
+        _ => xs
+            .iter_mut()
+            .for_each(|x| *x = crate::approx::tanh_rational(*x)),
+    }
+}
+
+/// In-place rational sigmoid over a slice at the detected level, via
+/// `σ(x) = (1 + tanh(x/2)) / 2` like [`crate::approx::sigmoid_rational`].
+#[inline]
+pub fn sigmoid_rational_slice(xs: &mut [f32]) {
+    sigmoid_rational_slice_with(level(), xs);
+}
+
+/// [`sigmoid_rational_slice`] at an explicit level; an unsupported level
+/// falls back to the scalar kernel.
+#[inline]
+pub fn sigmoid_rational_slice_with(l: Level, xs: &mut [f32]) {
+    match l {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the feature is verified on this CPU.
+        Level::Avx2 if level_supported(l) => unsafe { sigmoid_rational_avx2(xs) },
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx512 if level_supported(l) => unsafe { sigmoid_rational_avx512(xs) },
+        _ => xs
+            .iter_mut()
+            .for_each(|x| *x = crate::approx::sigmoid_rational(*x)),
+    }
+}
+
+// ---------------------------------------------------------------------
 // AVX2 + FMA (8-lane)
 // ---------------------------------------------------------------------
 
@@ -526,6 +581,79 @@ mod avx2 {
         }
     }
 
+    /// 8-lane rational `tanh` (clamp + odd/even Horner + divide); the
+    /// remainder lanes use the scalar rational kernel, so every element
+    /// evaluates the same polynomial.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn tanh_rational_avx2(xs: &mut [f32]) {
+        use crate::approx::{tanh_rational, TANH_ALPHA, TANH_BETA};
+        // SAFETY: `i + 8 <= n` bounds every load/store to the slice.
+        unsafe {
+            let n = xs.len();
+            let p = xs.as_mut_ptr();
+            let lo = _mm256_set1_ps(-9.0);
+            let hi = _mm256_set1_ps(9.0);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let x = _mm256_max_ps(lo, _mm256_min_ps(hi, _mm256_loadu_ps(p.add(i))));
+                let x2 = _mm256_mul_ps(x, x);
+                let mut num = _mm256_set1_ps(TANH_ALPHA[6]);
+                for a in TANH_ALPHA[..6].iter().rev() {
+                    num = _mm256_fmadd_ps(num, x2, _mm256_set1_ps(*a));
+                }
+                let num = _mm256_mul_ps(num, x);
+                let mut den = _mm256_set1_ps(TANH_BETA[3]);
+                for b in TANH_BETA[..3].iter().rev() {
+                    den = _mm256_fmadd_ps(den, x2, _mm256_set1_ps(*b));
+                }
+                _mm256_storeu_ps(p.add(i), _mm256_div_ps(num, den));
+                i += 8;
+            }
+            while i < n {
+                xs[i] = tanh_rational(xs[i]);
+                i += 1;
+            }
+        }
+    }
+
+    /// 8-lane rational sigmoid: `0.5 · (1 + tanh(x/2))` with the tanh
+    /// polynomial inlined, one pass per vector.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sigmoid_rational_avx2(xs: &mut [f32]) {
+        use crate::approx::{sigmoid_rational, TANH_ALPHA, TANH_BETA};
+        // SAFETY: `i + 8 <= n` bounds every load/store to the slice.
+        unsafe {
+            let n = xs.len();
+            let p = xs.as_mut_ptr();
+            let half = _mm256_set1_ps(0.5);
+            let one = _mm256_set1_ps(1.0);
+            let lo = _mm256_set1_ps(-9.0);
+            let hi = _mm256_set1_ps(9.0);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let x = _mm256_mul_ps(half, _mm256_loadu_ps(p.add(i)));
+                let x = _mm256_max_ps(lo, _mm256_min_ps(hi, x));
+                let x2 = _mm256_mul_ps(x, x);
+                let mut num = _mm256_set1_ps(TANH_ALPHA[6]);
+                for a in TANH_ALPHA[..6].iter().rev() {
+                    num = _mm256_fmadd_ps(num, x2, _mm256_set1_ps(*a));
+                }
+                let num = _mm256_mul_ps(num, x);
+                let mut den = _mm256_set1_ps(TANH_BETA[3]);
+                for b in TANH_BETA[..3].iter().rev() {
+                    den = _mm256_fmadd_ps(den, x2, _mm256_set1_ps(*b));
+                }
+                let t = _mm256_div_ps(num, den);
+                _mm256_storeu_ps(p.add(i), _mm256_mul_ps(half, _mm256_add_ps(one, t)));
+                i += 8;
+            }
+            while i < n {
+                xs[i] = sigmoid_rational(xs[i]);
+                i += 1;
+            }
+        }
+    }
+
     /// 8-lane `y += x`.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn axpy_avx2(y: &mut [f32], x: &[f32]) {
@@ -550,7 +678,7 @@ mod avx2 {
 }
 
 #[cfg(target_arch = "x86_64")]
-use avx2::{axpy_avx2, dot4_avx2, dot8_avx2, dot_avx2};
+use avx2::{axpy_avx2, dot4_avx2, dot8_avx2, dot_avx2, sigmoid_rational_avx2, tanh_rational_avx2};
 
 // ---------------------------------------------------------------------
 // AVX-512F (16-lane, masked tails)
@@ -714,6 +842,84 @@ mod avx512 {
         }
     }
 
+    /// 16-lane rational `tanh` (clamp + odd/even Horner + divide) with a
+    /// masked tail — no scalar remainder at all.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn tanh_rational_avx512(xs: &mut [f32]) {
+        use crate::approx::{TANH_ALPHA, TANH_BETA};
+        // SAFETY: full ops bounded by `i + 16 <= n`; the tail is masked.
+        unsafe {
+            let n = xs.len();
+            let p = xs.as_mut_ptr();
+            let lo = _mm512_set1_ps(-9.0);
+            let hi = _mm512_set1_ps(9.0);
+            let body = |x: __m512| {
+                let x = _mm512_max_ps(lo, _mm512_min_ps(hi, x));
+                let x2 = _mm512_mul_ps(x, x);
+                let mut num = _mm512_set1_ps(TANH_ALPHA[6]);
+                for a in TANH_ALPHA[..6].iter().rev() {
+                    num = _mm512_fmadd_ps(num, x2, _mm512_set1_ps(*a));
+                }
+                let num = _mm512_mul_ps(num, x);
+                let mut den = _mm512_set1_ps(TANH_BETA[3]);
+                for b in TANH_BETA[..3].iter().rev() {
+                    den = _mm512_fmadd_ps(den, x2, _mm512_set1_ps(*b));
+                }
+                _mm512_div_ps(num, den)
+            };
+            let mut i = 0usize;
+            while i + 16 <= n {
+                _mm512_storeu_ps(p.add(i), body(_mm512_loadu_ps(p.add(i))));
+                i += 16;
+            }
+            if i < n {
+                let m: __mmask16 = (1u16 << (n - i)) - 1;
+                let v = body(_mm512_maskz_loadu_ps(m, p.add(i)));
+                _mm512_mask_storeu_ps(p.add(i), m, v);
+            }
+        }
+    }
+
+    /// 16-lane rational sigmoid `0.5 · (1 + tanh(x/2))` with a masked
+    /// tail.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn sigmoid_rational_avx512(xs: &mut [f32]) {
+        use crate::approx::{TANH_ALPHA, TANH_BETA};
+        // SAFETY: full ops bounded by `i + 16 <= n`; the tail is masked.
+        unsafe {
+            let n = xs.len();
+            let p = xs.as_mut_ptr();
+            let half = _mm512_set1_ps(0.5);
+            let one = _mm512_set1_ps(1.0);
+            let lo = _mm512_set1_ps(-9.0);
+            let hi = _mm512_set1_ps(9.0);
+            let body = |x: __m512| {
+                let x = _mm512_max_ps(lo, _mm512_min_ps(hi, _mm512_mul_ps(half, x)));
+                let x2 = _mm512_mul_ps(x, x);
+                let mut num = _mm512_set1_ps(TANH_ALPHA[6]);
+                for a in TANH_ALPHA[..6].iter().rev() {
+                    num = _mm512_fmadd_ps(num, x2, _mm512_set1_ps(*a));
+                }
+                let num = _mm512_mul_ps(num, x);
+                let mut den = _mm512_set1_ps(TANH_BETA[3]);
+                for b in TANH_BETA[..3].iter().rev() {
+                    den = _mm512_fmadd_ps(den, x2, _mm512_set1_ps(*b));
+                }
+                _mm512_mul_ps(half, _mm512_add_ps(one, _mm512_div_ps(num, den)))
+            };
+            let mut i = 0usize;
+            while i + 16 <= n {
+                _mm512_storeu_ps(p.add(i), body(_mm512_loadu_ps(p.add(i))));
+                i += 16;
+            }
+            if i < n {
+                let m: __mmask16 = (1u16 << (n - i)) - 1;
+                let v = body(_mm512_maskz_loadu_ps(m, p.add(i)));
+                _mm512_mask_storeu_ps(p.add(i), m, v);
+            }
+        }
+    }
+
     /// 16-lane `y += x` with a masked tail.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn axpy_avx512(y: &mut [f32], x: &[f32]) {
@@ -741,7 +947,10 @@ mod avx512 {
 }
 
 #[cfg(target_arch = "x86_64")]
-use avx512::{axpy_avx512, dot4_avx512, dot8_avx512, dot8x2_avx512, dot_avx512};
+use avx512::{
+    axpy_avx512, dot4_avx512, dot8_avx512, dot8x2_avx512, dot_avx512, sigmoid_rational_avx512,
+    tanh_rational_avx512,
+};
 
 #[cfg(test)]
 mod tests {
@@ -882,6 +1091,56 @@ mod tests {
             assert_eq!(z, [0.0; 4], "{l:?}: K=0 dot4");
             let mut y: [f32; 0] = [];
             axpy_with(l, &mut y, &[]);
+        }
+    }
+
+    #[test]
+    fn vector_rational_nonlinearities_match_scalar_rational_and_bound_exact() {
+        use crate::approx::{sigmoid_exact, sigmoid_rational, tanh_exact, tanh_rational};
+        for l in available_levels() {
+            for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 33, 100, 257] {
+                let base: Vec<f32> = (0..n).map(|i| (i as f32) * 0.173 - 8.0).collect();
+                // tanh: every lane within rounding of the scalar rational
+                // kernel and within 1e-4 of exact tanh.
+                let mut got = base.clone();
+                tanh_rational_slice_with(l, &mut got);
+                for (i, (&g, &x)) in got.iter().zip(&base).enumerate() {
+                    let scalar = tanh_rational(x);
+                    assert!(
+                        (g - scalar).abs() <= 2e-6,
+                        "{l:?} tanh n={n} lane {i}: {g} vs scalar rational {scalar}"
+                    );
+                    assert!(
+                        (g - tanh_exact(x)).abs() < 1e-4,
+                        "{l:?} tanh n={n} lane {i}: error vs exact too large"
+                    );
+                }
+                // sigmoid likewise.
+                let mut got = base.clone();
+                sigmoid_rational_slice_with(l, &mut got);
+                for (i, (&g, &x)) in got.iter().zip(&base).enumerate() {
+                    let scalar = sigmoid_rational(x);
+                    assert!(
+                        (g - scalar).abs() <= 2e-6,
+                        "{l:?} sigmoid n={n} lane {i}: {g} vs scalar rational {scalar}"
+                    );
+                    assert!(
+                        (g - sigmoid_exact(x)).abs() < 1e-4,
+                        "{l:?} sigmoid n={n} lane {i}: error vs exact too large"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_rational_tanh_saturates_at_extremes() {
+        for l in available_levels() {
+            let mut xs = vec![-100.0f32, -9.5, 0.0, 9.5, 100.0];
+            tanh_rational_slice_with(l, &mut xs);
+            assert!((xs[0] + 1.0).abs() < 1e-4, "{l:?}");
+            assert!((xs[4] - 1.0).abs() < 1e-4, "{l:?}");
+            assert_eq!(xs[2], 0.0, "{l:?}: tanh(0) is exactly zero");
         }
     }
 

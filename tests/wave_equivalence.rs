@@ -354,21 +354,23 @@ fn parallel_execution_keeps_profile_identical_to_sequential_accounting() {
     }
 }
 
-/// Regression: a user may formulate the DAG child guard *outside* the
-/// reduction — `select(guard, Σ_k U[i,k]·h[child(n),k], 0)` instead of
-/// guarding inside the sum. The reduction must then stay on the scalar
-/// path: batching it would resolve `child(n)` for border nodes where it
-/// is NO_CHILD (out-of-bounds) and replay accounting for never-taken
-/// branches.
-#[test]
-fn guard_outside_reduction_stays_on_scalar_path_and_agrees() {
+/// Builds a DAG-RNN-like model whose child guards sit *outside* the
+/// reductions — `select(slot < nc(n), Σ_k U[i,k]·h[child(n),k], 0)` —
+/// the natural user formulation the wave analyzer now batches with a
+/// recorded select guard (the gather phase zero-fills guarded-off rows
+/// without resolving their NO_CHILD indirections).
+fn guard_outside_model(
+    h: usize,
+) -> (
+    cortex::core::ilir::IlirProgram,
+    cortex::backend::params::Params,
+) {
     use cortex::backend::params::Params;
     use cortex::core::expr::{BoolExpr, CmpOp, IdxExpr, Ufn, ValExpr};
     use cortex::core::lower::{lower, StructureInfo};
     use cortex::core::ra::RaGraph;
     use cortex::tensor::Tensor;
 
-    let h = 6;
     let vocab = datasets::VOCAB_SIZE as usize;
     let mut g = RaGraph::new();
     let u = g.input("U", &[h, h]);
@@ -411,22 +413,47 @@ fn guard_outside_reduction_stays_on_scalar_path_and_agrees() {
         StructureInfo { max_children: 2 },
     )
     .unwrap();
-    // A grid DAG has border internal nodes with a single child: slot 1 is
-    // NO_CHILD there, which the select short-circuits around.
-    let d = datasets::grid_dag(5, 5, 3);
-    let lin = Linearizer::new().linearize(&d).unwrap();
     let mut params = Params::new();
     params.set("U", Tensor::random(&[h, h], 0.4, 1));
     params.set("Emb", Tensor::random(&[vocab, h], 0.4, 2));
+    (program, params)
+}
 
-    let (out_s, prof_s) = Engine::with_options(&program, ExecOptions::scalar())
-        .execute(&lin, &params, true)
-        .unwrap();
-    let (out_w, prof_w) = Engine::new(&program).execute(&lin, &params, true).unwrap();
-    for (id, t_s) in &out_s {
-        assert!(out_w[id].all_close(t_s, 1e-5));
+/// The Select-guarded tentpole: a guard formulated *outside* the
+/// reduction must now run on the batched + bulk path — with outputs and
+/// `Profile` counters **exactly** matching the scalar path. Grid DAGs
+/// exercise the guard both ways: border internal nodes have a single
+/// child, so slot 1's select takes the zero arm there (its `child` is
+/// NO_CHILD and must never be resolved).
+#[test]
+fn guard_outside_reduction_batches_and_agrees_exactly() {
+    let mut rng = Rng::new(0x58);
+    for case in 0..8 {
+        let h = rng.range_usize(3, 12);
+        let (program, params) = guard_outside_model(h);
+        let d = datasets::grid_dag(rng.range_usize(2, 7), rng.range_usize(2, 7), 3 + case);
+        let lin = Linearizer::new().linearize(&d).unwrap();
+
+        let (out_s, prof_s) = Engine::with_options(&program, ExecOptions::scalar())
+            .execute(&lin, &params, true)
+            .unwrap();
+        let mut batched = Engine::new(&program);
+        let (out_w, prof_w) = batched.execute(&lin, &params, true).unwrap();
+        let ctx = format!("guard outside reduction h={h} case={case}");
+        for (id, t_s) in &out_s {
+            assert_eq!(&out_w[id], t_s, "bulk serving is bit-exact ({ctx})");
+        }
+        assert_profiles_identical(&prof_s, &prof_w, &ctx);
+        let stats = batched.stats();
+        assert!(
+            stats.sites_batched > 0,
+            "{ctx}: guarded sums must batch as wave GEMMs, got {stats:?}"
+        );
+        assert!(
+            stats.fused_waves > 0,
+            "{ctx}: the select epilogue must run as fused bulk passes"
+        );
     }
-    assert_profiles_identical(&prof_s, &prof_w, "guard outside reduction");
 }
 
 /// The cross-request super-wave tentpole: `run_many` over K random
@@ -619,6 +646,148 @@ fn weight_packs_amortize_across_runs_and_requests() {
         engine.stats().weight_packs > 0,
         "parameter rebind must repack"
     );
+}
+
+/// Bulk serving (strided row passes + fused whole-wave epilogues) must
+/// be **bit-identical** to per-element serving from the same wave GEMMs
+/// — outputs and `Profile` both — across every model, including the
+/// rank-2 store loops (MV-RNN) and Select-guarded DAGs this PR moved
+/// onto the bulk path.
+#[test]
+fn bulk_serving_is_bit_identical_to_per_element_serving() {
+    let mut rng = Rng::new(0x59);
+    let no_bulk = ExecOptions {
+        bulk: false,
+        ..ExecOptions::default()
+    };
+    for case in 0..6 {
+        let h = rng.range_usize(3, 14);
+        for model in models(h) {
+            let structure = structure_for(&model, &mut rng);
+            let program = model.lower(&RaSchedule::default()).unwrap();
+            let lin = Linearizer::new().linearize(&structure).unwrap();
+
+            let mut bulk = Engine::new(&program);
+            let (out_b, prof_b) = bulk.execute(&lin, &model.params, true).unwrap();
+            let mut per_elem = Engine::with_options(&program, no_bulk);
+            let (out_p, prof_p) = per_elem.execute(&lin, &model.params, true).unwrap();
+
+            let ctx = format!("{} h={h} case={case}", model.name);
+            for (id, t_p) in &out_p {
+                assert_eq!(&out_b[id], t_p, "bulk must be bit-identical ({ctx})");
+            }
+            assert_profiles_identical(&prof_p, &prof_b, &ctx);
+            assert_eq!(per_elem.stats().fused_waves, 0, "{ctx}: bulk off");
+            assert_eq!(per_elem.stats().epilogue_ns, 0, "{ctx}: bulk off");
+        }
+    }
+}
+
+/// Rank-2 store loops (MV-RNN's matrix recursions) now bulk-serve as
+/// strided row passes per trailing index instead of per-element
+/// interpretation, and the tanh epilogue wave fuses.
+#[test]
+fn mvrnn_rank2_store_loops_bulk_serve() {
+    let h = 10;
+    let model = mvrnn::mv_rnn(h);
+    let tree = datasets::random_binary_tree(24, 13);
+    let program = model.lower(&RaSchedule::default()).unwrap();
+    let lin = Linearizer::new().linearize(&tree).unwrap();
+
+    let mut engine = Engine::new(&program);
+    let (out_b, prof_b) = engine.execute(&lin, &model.params, true).unwrap();
+    let stats = engine.stats();
+    assert!(stats.fused_waves > 0, "tanh epilogue waves must fuse");
+    assert!(stats.epilogue_ns > 0, "epilogue time must be accounted");
+
+    let (out_s, prof_s) = Engine::with_options(&program, ExecOptions::scalar())
+        .execute(&lin, &model.params, true)
+        .unwrap();
+    for (id, t_s) in &out_s {
+        assert!(out_b[id].all_close(t_s, 1e-4), "rank-2 bulk diverges");
+    }
+    assert_profiles_identical(&prof_s, &prof_b, "MV-RNN rank-2 bulk");
+}
+
+/// The `Rational` nonlinearity mode (App. A.5, `ExecOptions::rational`)
+/// must stay within 1e-4 of the exact-mode results end-to-end on every
+/// model — including 100-step sequences and 10×10 grid DAGs, where
+/// per-application error could compound — while leaving every `Profile`
+/// counter untouched (the modes differ in arithmetic, never in
+/// accounting).
+#[test]
+fn rational_nonlinearity_bounds_error_and_keeps_profile_exact() {
+    let mut rng = Rng::new(0x5a);
+    for case in 0..4 {
+        let h = rng.range_usize(4, 20);
+        for model in models(h) {
+            let structure = structure_for(&model, &mut rng);
+            let program = model.lower(&RaSchedule::default()).unwrap();
+            let lin = Linearizer::new().linearize(&structure).unwrap();
+
+            let (out_e, prof_e) = Engine::new(&program)
+                .execute(&lin, &model.params, true)
+                .unwrap();
+            let (out_r, prof_r) = Engine::with_options(&program, ExecOptions::rational())
+                .execute(&lin, &model.params, true)
+                .unwrap();
+            let ctx = format!("{} h={h} case={case}", model.name);
+            for (id, t_e) in &out_e {
+                assert!(
+                    out_r[id].all_close(t_e, 1e-4),
+                    "rational mode exceeds 1e-4 ({ctx}): {:?}",
+                    out_r[id].max_abs_diff(t_e)
+                );
+            }
+            assert_profiles_identical(&prof_e, &prof_r, &ctx);
+        }
+    }
+}
+
+/// Regression for the bulk-plan keying fix: plans are compiled once per
+/// engine and keyed by `(kernel, statement)`, so two engines serving
+/// different models — including engines created after another was
+/// dropped, when the allocator may reuse statement addresses — can
+/// never serve one model's store loop from another's plan. Interleaved
+/// execution must match fresh solo runs exactly.
+#[test]
+fn bulk_plans_never_collide_across_models_or_engines() {
+    let h = 6;
+    let model_a = treelstm::tree_lstm(h, LeafInit::Embedding);
+    let model_b = dagrnn::dag_rnn(h);
+    let prog_a = model_a.lower(&RaSchedule::default()).unwrap();
+    let prog_b = model_b.lower(&RaSchedule::default()).unwrap();
+    let lin_a = Linearizer::new()
+        .linearize(&datasets::random_binary_tree(14, 3))
+        .unwrap();
+    let lin_b = Linearizer::new()
+        .linearize(&datasets::grid_dag(4, 4, 4))
+        .unwrap();
+    let (ref_a, prof_a) = Engine::new(&prog_a)
+        .execute(&lin_a, &model_a.params, true)
+        .unwrap();
+    let (ref_b, prof_b) = Engine::new(&prog_b)
+        .execute(&lin_b, &model_b.params, true)
+        .unwrap();
+
+    // Interleave two live engines, and recreate one mid-stream so a
+    // fresh engine's kernels can land on a dropped engine's addresses.
+    let mut ea = Engine::new(&prog_a);
+    for round in 0..3 {
+        let mut eb = Engine::new(&prog_b);
+        for _ in 0..2 {
+            let (out_a, pa) = ea.execute(&lin_a, &model_a.params, true).unwrap();
+            let (out_b, pb) = eb.execute(&lin_b, &model_b.params, true).unwrap();
+            for (id, t) in &ref_a {
+                assert_eq!(&out_a[id], t, "model A diverged (round {round})");
+            }
+            for (id, t) in &ref_b {
+                assert_eq!(&out_b[id], t, "model B diverged (round {round})");
+            }
+            assert_profiles_identical(&pa, &prof_a, "model A profile");
+            assert_profiles_identical(&pb, &prof_b, "model B profile");
+        }
+    }
 }
 
 #[test]
