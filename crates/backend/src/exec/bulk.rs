@@ -1,0 +1,733 @@
+//! Bulk feature-loop serving and fused whole-wave epilogues.
+//!
+//! A compiled feature-store loop `for i in 0..H { t[…, i] = expr(i) }`
+//! whose body the executor can serve with strided row passes instead of
+//! `H` interpreted element walks: every `Sum` is served from an active
+//! wave GEMM, every load is a plain `i`-strided stream, and the
+//! per-element profile counters are *uniform in `i`* (no
+//! feature-dependent selects, no counting uninterpreted functions), so
+//! the exact scalar accounting is replayed in bulk (`×H`). This is the
+//! interpreter's stand-in for the vectorized elementwise epilogue
+//! generated code would fuse after the wave GEMM — without it,
+//! serving-side batching wins drown in per-element interpretation
+//! overhead.
+//!
+//! Compilation ([`compile_bulk`], [`plan_fused_wave`]) runs once per
+//! engine; execution ([`Interp::exec_bulk`], [`Interp::exec_fused_wave`])
+//! is shared by both runtimes.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cortex_core::expr::{BoolExpr, IdxExpr, TensorId, ValExpr};
+use cortex_core::ilir::Stmt;
+use cortex_tensor::approx::NonlinearityMode;
+
+use super::gather::GroupOut;
+use super::interp::Interp;
+
+/// A compiled feature-store loop (see module docs).
+pub(crate) struct BulkPlan {
+    /// Loop extent `H`.
+    pub(crate) h: usize,
+    /// Slot of the loop variable `i`.
+    pub(crate) feat_slot: usize,
+    /// Stored tensor and its index (position `i_pos` is `i`).
+    pub(crate) tensor: TensorId,
+    pub(crate) index: Vec<IdxExpr>,
+    pub(crate) i_pos: usize,
+    /// The stored value as a bulk-evaluable expression tree.
+    pub(crate) expr: BulkExpr,
+    /// `Sum` body keys that must be memo-active for the plan to run.
+    pub(crate) sum_keys: Vec<usize>,
+}
+
+/// One node of a bulk-evaluable expression.
+pub(crate) enum BulkExpr {
+    Const(f32),
+    /// A load with `i` at `i_pos` as a plain variable (or absent —
+    /// a loop-invariant broadcast).
+    Load {
+        tensor: TensorId,
+        index: Vec<IdxExpr>,
+        i_pos: Option<usize>,
+    },
+    /// A reduction served from the wave memo (`Sum` body address).
+    MemoSum(usize),
+    Unary(cortex_core::expr::UnaryOp, Box<BulkExpr>),
+    Bin(cortex_core::expr::BinOp, Box<BulkExpr>, Box<BulkExpr>),
+    /// A value-level select whose condition is feature-invariant: one
+    /// (masked) evaluation decides every lane of the row, with the
+    /// condition's counters replayed ×`h` — the branch-free form of the
+    /// DAG guard `select(slot < nc(n), …, 0)`.
+    Select {
+        cond: BoolExpr,
+        then: Box<BulkExpr>,
+        otherwise: Box<BulkExpr>,
+    },
+}
+
+/// A parallel `d_batch` (wave) loop whose **whole body** bulk-serves: an
+/// optional node binding plus one [`BulkPlan`] per body statement
+/// (rank-2 store nests keep their outer feature loop in
+/// [`FusedLoop::outer`]). The executor runs it as loop-interchanged row
+/// passes — pass `p` serves statement `p` for every node of the wave —
+/// instead of `wave_len` per-node body walks, so per-loop constants
+/// (plan lookup, pool round-trips) amortize over the wave, and in
+/// `run_many` over every parked request of a super-wave flush. The
+/// interchange is valid because [`fused_loads_safe`] restricts
+/// cross-statement reads to each node's own rows (pass order ≡ body
+/// order per row) or strictly-earlier-wave rows (child indirections);
+/// all profile counters are order-independent sums, so the `Profile` is
+/// bit-identical to per-node interpretation.
+pub(crate) struct FusedWave {
+    /// Slot of the wave loop variable.
+    pub(crate) n_idx_slot: usize,
+    /// The `let node = value` binding directly under the loop. Its value
+    /// is counter-free (checked at plan time), so re-evaluating it once
+    /// per (pass, node) instead of once per node is invisible.
+    pub(crate) node_let: Option<(usize, IdxExpr)>,
+    /// One entry per body statement, in body order.
+    pub(crate) loops: Vec<FusedLoop>,
+}
+
+/// One fused body statement: a bulk-served feature loop, with the outer
+/// loop of a rank-2 store nest if present.
+pub(crate) struct FusedLoop {
+    /// `(slot, extent)` of the outer feature loop wrapping a rank-2
+    /// store (`for i { for j { A[n,i,j] = … } }` serves the inner loop
+    /// once per `i`).
+    pub(crate) outer: Option<(usize, usize)>,
+    pub(crate) plan: Rc<BulkPlan>,
+}
+
+/// Compiles every feature loop under `stmt` into the engine-lifetime
+/// bulk-plan map, keyed by `(kernel index, statement address)`.
+pub(crate) fn collect_bulk_plans(
+    stmt: &Stmt,
+    kernel: usize,
+    out: &mut HashMap<(usize, usize), Rc<BulkPlan>>,
+) {
+    if let Some(plan) = compile_bulk(stmt) {
+        out.insert((kernel, stmt as *const Stmt as usize), Rc::new(plan));
+    }
+    match stmt {
+        Stmt::For { body, .. } | Stmt::Let { body, .. } => {
+            body.iter().for_each(|s| collect_bulk_plans(s, kernel, out));
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for s in then_branch.iter().chain(else_branch) {
+                collect_bulk_plans(s, kernel, out);
+            }
+        }
+        Stmt::Store { .. } | Stmt::Barrier => {}
+    }
+}
+
+/// Finds every fusable wave loop under `stmt`.
+pub(crate) fn collect_fused_waves(
+    stmt: &Stmt,
+    kernel: usize,
+    bulk: &HashMap<(usize, usize), Rc<BulkPlan>>,
+    out: &mut HashMap<(usize, usize), Rc<FusedWave>>,
+) {
+    if let Some(fw) = plan_fused_wave(stmt, kernel, bulk) {
+        out.insert((kernel, stmt as *const Stmt as usize), Rc::new(fw));
+        return; // loops under this statement belong to the fused wave
+    }
+    match stmt {
+        Stmt::For { body, .. } | Stmt::Let { body, .. } => {
+            body.iter()
+                .for_each(|s| collect_fused_waves(s, kernel, bulk, out));
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for s in then_branch.iter().chain(else_branch) {
+                collect_fused_waves(s, kernel, bulk, out);
+            }
+        }
+        Stmt::Store { .. } | Stmt::Barrier => {}
+    }
+}
+
+/// Tries to compile a parallel `d_batch` loop into a [`FusedWave`].
+fn plan_fused_wave(
+    stmt: &Stmt,
+    kernel: usize,
+    bulk: &HashMap<(usize, usize), Rc<BulkPlan>>,
+) -> Option<FusedWave> {
+    let Stmt::For {
+        var,
+        kind: cortex_core::ilir::LoopKind::Parallel,
+        dim: Some(d),
+        body,
+        ..
+    } = stmt
+    else {
+        return None;
+    };
+    if d.0 != "d_batch" {
+        return None;
+    }
+    let (node_let, stmts): (Option<(usize, IdxExpr)>, &[Stmt]) = match body.as_slice() {
+        [Stmt::Let { var, value, body }] => {
+            (Some((var.id() as usize, value.clone())), body.as_slice())
+        }
+        other => (None, other),
+    };
+    if stmts.is_empty() {
+        return None;
+    }
+    // Re-evaluating the node binding once per (pass, node) instead of
+    // once per node must be counter-invisible.
+    if let Some((_, value)) = &node_let {
+        if crate::wave::idx_has_counting_ufn(value) {
+            return None;
+        }
+    }
+    let mut loops = Vec::new();
+    for s in stmts {
+        if let Some(plan) = bulk.get(&(kernel, s as *const Stmt as usize)) {
+            loops.push(FusedLoop {
+                outer: None,
+                plan: plan.clone(),
+            });
+            continue;
+        }
+        // A rank-2 store nest: the *inner* loop carries the bulk plan,
+        // served once per outer feature index.
+        let Stmt::For {
+            var: ov,
+            extent: IdxExpr::Const(oh),
+            body: obody,
+            ..
+        } = s
+        else {
+            return None;
+        };
+        if *oh <= 0 {
+            return None;
+        }
+        let [inner] = obody.as_slice() else {
+            return None;
+        };
+        let plan = bulk.get(&(kernel, inner as *const Stmt as usize))?;
+        loops.push(FusedLoop {
+            outer: Some((ov.id() as usize, *oh as usize)),
+            plan: plan.clone(),
+        });
+    }
+    let node_var = node_let
+        .as_ref()
+        .map(|(slot, _)| cortex_core::Var::from_raw(*slot as u32));
+    if !fused_loads_safe(&loops, *var, node_var) {
+        return None;
+    }
+    Some(FusedWave {
+        n_idx_slot: var.id() as usize,
+        node_let,
+        loops,
+    })
+}
+
+/// Whether running the body statements as whole-wave passes (loop
+/// interchange) is observationally identical to per-node interpretation:
+///
+/// * every store targets a node-unique row (some non-feature index
+///   position rides the wave variable), so no two nodes' passes write
+///   the same cell;
+/// * every load of a body-stored tensor either stays within its own
+///   node's row (non-feature index positions structurally equal to the
+///   store's) — where pass order coincides with body order — or reads a
+///   strictly-earlier wave's row through a child indirection rooted at
+///   the wave node, which no pass of this wave writes.
+fn fused_loads_safe(
+    loops: &[FusedLoop],
+    n_idx: cortex_core::Var,
+    node: Option<cortex_core::Var>,
+) -> bool {
+    use crate::fastdot::idx_uses_var;
+    let mut stores: HashMap<TensorId, (&[IdxExpr], usize)> = HashMap::new();
+    for fl in loops {
+        let p = &fl.plan;
+        // A store must hit a different row for every node of the wave.
+        let node_dep = p.index.iter().enumerate().any(|(d, e)| {
+            d != p.i_pos && (idx_uses_var(e, n_idx) || node.is_some_and(|nv| idx_uses_var(e, nv)))
+        });
+        if !node_dep {
+            return false;
+        }
+        match stores.entry(p.tensor) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let &(idx, ipos) = e.get();
+                if idx != p.index.as_slice() || ipos != p.i_pos {
+                    return false;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((p.index.as_slice(), p.i_pos));
+            }
+        }
+    }
+    loops
+        .iter()
+        .all(|fl| bulk_expr_loads_safe(&fl.plan.expr, &stores, n_idx, node))
+}
+
+fn bulk_expr_loads_safe(
+    e: &BulkExpr,
+    stores: &HashMap<TensorId, (&[IdxExpr], usize)>,
+    n_idx: cortex_core::Var,
+    node: Option<cortex_core::Var>,
+) -> bool {
+    match e {
+        BulkExpr::Load { tensor, index, .. } => {
+            let Some(&(s_idx, s_ipos)) = stores.get(tensor) else {
+                return true; // not written by this wave body
+            };
+            if index.len() != s_idx.len() {
+                return false;
+            }
+            index.iter().enumerate().all(|(d, ix)| {
+                // Within the stored row's feature dimension, any element
+                // is same-row; elsewhere the coordinate must match the
+                // store's (same node row) or be an earlier-wave child
+                // row.
+                d == s_ipos
+                    || *ix == s_idx[d]
+                    || crate::wave::is_wave_child_indirection(ix, n_idx, node)
+            })
+        }
+        BulkExpr::Const(_) | BulkExpr::MemoSum(_) => true,
+        BulkExpr::Unary(_, a) => bulk_expr_loads_safe(a, stores, n_idx, node),
+        BulkExpr::Bin(_, a, b) => {
+            bulk_expr_loads_safe(a, stores, n_idx, node)
+                && bulk_expr_loads_safe(b, stores, n_idx, node)
+        }
+        // Guard conditions load no tensors.
+        BulkExpr::Select {
+            then, otherwise, ..
+        } => {
+            bulk_expr_loads_safe(then, stores, n_idx, node)
+                && bulk_expr_loads_safe(otherwise, stores, n_idx, node)
+        }
+    }
+}
+
+/// Tries to compile a feature loop into a [`BulkPlan`].
+fn compile_bulk(stmt: &Stmt) -> Option<BulkPlan> {
+    let Stmt::For {
+        var: feat,
+        extent: IdxExpr::Const(h),
+        body,
+        ..
+    } = stmt
+    else {
+        return None;
+    };
+    if *h <= 0 {
+        return None;
+    }
+    let [Stmt::Store {
+        tensor,
+        index,
+        value,
+    }] = body.as_slice()
+    else {
+        return None;
+    };
+    let i_pos = plain_i_position(index, *feat)?;
+    let i_pos = i_pos?; // the store must actually ride `i`
+    let mut sum_keys = Vec::new();
+    let expr = compile_bulk_expr(value, *feat, &mut sum_keys)?;
+    Some(BulkPlan {
+        h: *h as usize,
+        feat_slot: feat.id() as usize,
+        tensor: *tensor,
+        index: index.clone(),
+        i_pos,
+        expr,
+        sum_keys,
+    })
+}
+
+/// Validates an index list for bulk serving: at most one position is
+/// the plain variable `i`; every other position must be `i`-free and
+/// counter-free (it is evaluated once instead of once per element).
+/// Returns `None` on an invalid list, `Some(pos)` otherwise.
+#[allow(clippy::option_option)]
+fn plain_i_position(index: &[IdxExpr], feat: cortex_core::Var) -> Option<Option<usize>> {
+    let mut i_pos = None;
+    for (d, e) in index.iter().enumerate() {
+        match e {
+            IdxExpr::Var(v) if *v == feat => {
+                if i_pos.is_some() {
+                    return None;
+                }
+                i_pos = Some(d);
+            }
+            other => {
+                if crate::fastdot::idx_uses_var(other, feat)
+                    || crate::wave::idx_has_counting_ufn(other)
+                {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(i_pos)
+}
+
+fn compile_bulk_expr(
+    e: &ValExpr,
+    feat: cortex_core::Var,
+    sums: &mut Vec<usize>,
+) -> Option<BulkExpr> {
+    match e {
+        ValExpr::Const(c) => Some(BulkExpr::Const(*c)),
+        ValExpr::Load { tensor, index } => {
+            let i_pos = plain_i_position(index, feat)?;
+            Some(BulkExpr::Load {
+                tensor: *tensor,
+                index: index.clone(),
+                i_pos,
+            })
+        }
+        ValExpr::Unary(op, a) => Some(BulkExpr::Unary(
+            *op,
+            Box::new(compile_bulk_expr(a, feat, sums)?),
+        )),
+        ValExpr::Bin(op, a, b) => Some(BulkExpr::Bin(
+            *op,
+            Box::new(compile_bulk_expr(a, feat, sums)?),
+            Box::new(compile_bulk_expr(b, feat, sums)?),
+        )),
+        ValExpr::Sum { body, .. } => {
+            let key = &**body as *const ValExpr as usize;
+            sums.push(key);
+            Some(BulkExpr::MemoSum(key))
+        }
+        // A select whose condition is feature-invariant is uniform over
+        // the row: one condition evaluation (its counters replayed ×h,
+        // plus the per-element branch check) selects the branch for
+        // every lane. Feature-dependent conditions stay per-element.
+        ValExpr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            if crate::fastdot::bool_uses_var(cond, feat) {
+                return None;
+            }
+            Some(BulkExpr::Select {
+                cond: cond.clone(),
+                then: Box::new(compile_bulk_expr(then, feat, sums)?),
+                otherwise: Box::new(compile_bulk_expr(otherwise, feat, sums)?),
+            })
+        }
+    }
+}
+
+impl<'a> Interp<'a> {
+    /// Whether every reduction a bulk plan references is currently
+    /// wave-served (rank-1 or rank-2). When not — e.g. on the scalar
+    /// path, after a site's runtime fallback, or for reductions the
+    /// analyzer rejected — the caller falls back to the per-element
+    /// interpreter.
+    pub(crate) fn bulk_servable(&self, plan: &BulkPlan) -> bool {
+        plan.sum_keys
+            .iter()
+            .all(|key| self.memo.iter().any(|(k, _)| k == key))
+    }
+
+    /// Runs a compiled feature loop as strided row passes. The caller
+    /// must have checked [`bulk_servable`](Self::bulk_servable).
+    pub(crate) fn exec_bulk(&mut self, plan: &BulkPlan) {
+        let h = plan.h;
+        let mut pool = std::mem::take(&mut self.caches.row_pool);
+        let mut out = pool.pop().unwrap_or_default();
+        out.resize(h, 0.0);
+        self.eval_bulk(&plan.expr, plan.feat_slot, &mut out, &mut pool);
+
+        // The store: offset evaluated once (the index is counter-free),
+        // one strided write, accounting ×h exactly as `record_store`
+        // per element would have.
+        let (base, stride) = self.strided_offset(plan.tensor, &plan.index, Some(plan.i_pos));
+        self.store_gens[plan.tensor.0 as usize] += h as u64;
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.touch[plan.tensor.0 as usize].1 += h as u64;
+        }
+        let buf = self.bufs[plan.tensor.0 as usize]
+            .as_mut()
+            .expect("stored tensor allocated");
+        let data = buf.data.as_mut();
+        for (jj, v) in out.iter().enumerate() {
+            data[base + jj * stride] = *v;
+        }
+        pool.push(out);
+        self.caches.row_pool = pool;
+    }
+
+    /// Whether every bulk plan of a fused wave can serve right now
+    /// (every referenced reduction memo-active — e.g. not skipped by the
+    /// min-width heuristic and not fallen back at a runtime check).
+    pub(crate) fn fused_servable(&self, fw: &FusedWave) -> bool {
+        self.opts.fastdot
+            && self.opts.bulk
+            && fw.loops.iter().all(|fl| self.bulk_servable(&fl.plan))
+    }
+
+    /// Runs a fused wave: one row pass per body statement over every
+    /// node, in body order — the interpreter's stand-in for the fused
+    /// elementwise epilogue generated code would emit after the wave
+    /// GEMMs. Values and `Profile` counters are identical to per-node
+    /// interpretation (see [`FusedWave`]).
+    pub(crate) fn exec_fused_wave(&mut self, fw: &FusedWave, wave_len: usize) {
+        let t0 = std::time::Instant::now();
+        for fl in &fw.loops {
+            for r in 0..wave_len {
+                self.slots[fw.n_idx_slot] = r as i64;
+                if let Some((slot, value)) = &fw.node_let {
+                    self.slots[*slot] = self.eval_idx(value);
+                }
+                match fl.outer {
+                    None => self.exec_bulk(&fl.plan),
+                    Some((slot, extent)) => {
+                        for i in 0..extent {
+                            self.slots[slot] = i as i64;
+                            self.exec_bulk(&fl.plan);
+                        }
+                    }
+                }
+            }
+        }
+        let stats = &mut self.caches.stats;
+        stats.fused_waves += 1;
+        stats.epilogue_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Evaluates a bulk expression over the whole feature extent,
+    /// charging per-element counters ×`out.len()`. Values are
+    /// bit-identical to per-element evaluation: each element's value is
+    /// produced by the same operation tree in the same order.
+    fn eval_bulk(
+        &mut self,
+        e: &BulkExpr,
+        feat_slot: usize,
+        out: &mut [f32],
+        pool: &mut Vec<Vec<f32>>,
+    ) {
+        let h = out.len();
+        match e {
+            BulkExpr::Const(c) => out.fill(*c),
+            BulkExpr::Load {
+                tensor,
+                index,
+                i_pos,
+            } => {
+                let (base, stride) = self.strided_offset(*tensor, index, *i_pos);
+                if let Some(scope) = self.scopes.last_mut() {
+                    scope.touch[tensor.0 as usize].0 += h as u64;
+                }
+                let data = &self.bufs[tensor.0 as usize]
+                    .as_ref()
+                    .expect("loaded tensor allocated")
+                    .data;
+                if stride == 1 {
+                    out.copy_from_slice(&data[base..base + h]);
+                } else {
+                    for (jj, o) in out.iter_mut().enumerate() {
+                        *o = data[base + jj * stride];
+                    }
+                }
+            }
+            BulkExpr::MemoSum(key) => {
+                let (_, idx) = *self
+                    .memo
+                    .iter()
+                    .find(|(k, _)| *k == *key)
+                    .expect("memo-active (checked by exec_bulk)");
+                // Disjoint field borrows: the group (rows, metadata) is
+                // read while the profile/scope counters are written.
+                let site = &self.active[idx];
+                let groups = &self.active_groups;
+                let profile = &mut self.profile;
+                let scopes = &mut self.scopes;
+                let group = &groups[site.group];
+                let r = self.slots[site.n_idx_slot] as usize;
+                let (k, wt) = (site.k, site.weight_tensor);
+                if let Some(d) = site.inner.filter(|d| d.slot == feat_slot) {
+                    // Rank-2 site whose row-side dimension rides this
+                    // loop: one result element per `(node, j)` row, each
+                    // with its **own** metadata (guards may differ per
+                    // row), read as a strided column pass over the
+                    // result matrix. Accounting is per element, exactly
+                    // the scalar cadence.
+                    let col = site.col_off + self.slots[site.feat_slot] as usize;
+                    let mut scope = scopes.last_mut();
+                    let mut flops = 0u64;
+                    for (jj, o) in out.iter_mut().enumerate() {
+                        let row = r * d.extent + jj;
+                        let m = &group.meta[site.meta_off + row];
+                        if m.zero {
+                            // The scalar path short-circuits before any
+                            // accounting for this element.
+                            *o = 0.0;
+                            continue;
+                        }
+                        *o = m.scale * group.value(site.row_off + row, col);
+                        flops += k * (m.streams + 2);
+                        if let Some(scope) = scope.as_deref_mut() {
+                            scope.touch[wt as usize].0 += k;
+                            for &t in &m.tensors {
+                                scope.touch[t as usize].0 += k;
+                            }
+                        }
+                    }
+                    profile.flops += flops;
+                    return;
+                }
+                // Rank-1 sites (one row per node) and rank-2 sites whose
+                // row-side variable is bound outside this loop share one
+                // row — and one metadata entry — for the whole extent.
+                let row = match site.inner {
+                    None => r,
+                    Some(d) => r * d.extent + self.slots[d.slot] as usize,
+                };
+                let m = &group.meta[site.meta_off + row];
+                if m.zero {
+                    // The scalar path short-circuits before accounting.
+                    out.fill(0.0);
+                    return;
+                }
+                let (scale, grow) = (m.scale, site.row_off + row);
+                if site.feat_slot == feat_slot {
+                    // The site's columns are contiguous in the result
+                    // row: serve the whole extent as one scaled copy.
+                    let (buf, base_row): (&[f32], usize) = match &group.out {
+                        GroupOut::Owned(v) => (v, 0),
+                        GroupOut::Shared { buf, base } => (buf, *base),
+                        GroupOut::Pending => {
+                            unreachable!("wave GEMM result read before its flush")
+                        }
+                    };
+                    let at = (base_row + grow) * group.cols + site.col_off;
+                    for (o, v) in out.iter_mut().zip(&buf[at..at + h]) {
+                        *o = scale * v;
+                    }
+                } else {
+                    // The site's feature variable is bound outside this
+                    // loop: one column, broadcast.
+                    let col = site.col_off + self.slots[site.feat_slot] as usize;
+                    out.fill(scale * group.value(grow, col));
+                }
+                let streams = m.streams;
+                let per_tensor = k * h as u64;
+                profile.flops += k * (streams + 2) * h as u64;
+                if let Some(scope) = scopes.last_mut() {
+                    scope.touch[wt as usize].0 += per_tensor;
+                    for &t in &m.tensors {
+                        scope.touch[t as usize].0 += per_tensor;
+                    }
+                }
+            }
+            BulkExpr::Unary(op, a) => {
+                self.eval_bulk(a, feat_slot, out, pool);
+                self.profile.flops += h as u64;
+                match op {
+                    cortex_core::expr::UnaryOp::Neg => out.iter_mut().for_each(|x| *x = -*x),
+                    // In `Exact` mode the per-element libm calls keep
+                    // bulk rows bit-identical to scalar interpretation;
+                    // `Rational` substitutes the SIMD-vectorized App.
+                    // A.5 approximations (≤ 1e-4 end-to-end, same
+                    // counters).
+                    cortex_core::expr::UnaryOp::Tanh => match self.nonlin {
+                        NonlinearityMode::Exact => {
+                            out.iter_mut().for_each(|x| *x = x.tanh());
+                        }
+                        NonlinearityMode::Rational => {
+                            cortex_tensor::simd::tanh_rational_slice(out);
+                        }
+                    },
+                    cortex_core::expr::UnaryOp::Sigmoid => match self.nonlin {
+                        NonlinearityMode::Exact => {
+                            out.iter_mut()
+                                .for_each(|x| *x = cortex_tensor::approx::sigmoid_exact(*x));
+                        }
+                        NonlinearityMode::Rational => {
+                            cortex_tensor::simd::sigmoid_rational_slice(out);
+                        }
+                    },
+                    cortex_core::expr::UnaryOp::Relu => {
+                        out.iter_mut().for_each(|x| *x = x.max(0.0));
+                    }
+                    cortex_core::expr::UnaryOp::Exp => {
+                        out.iter_mut().for_each(|x| *x = x.exp());
+                    }
+                }
+            }
+            BulkExpr::Bin(op, a, b) => {
+                self.eval_bulk(a, feat_slot, out, pool);
+                let mut rhs = pool.pop().unwrap_or_default();
+                rhs.resize(h, 0.0);
+                self.eval_bulk(b, feat_slot, &mut rhs, pool);
+                self.profile.flops += h as u64;
+                match op {
+                    cortex_core::expr::BinOp::Add => {
+                        out.iter_mut().zip(&rhs).for_each(|(x, y)| *x += *y)
+                    }
+                    cortex_core::expr::BinOp::Sub => {
+                        out.iter_mut().zip(&rhs).for_each(|(x, y)| *x -= *y)
+                    }
+                    cortex_core::expr::BinOp::Mul => {
+                        out.iter_mut().zip(&rhs).for_each(|(x, y)| *x *= *y)
+                    }
+                    cortex_core::expr::BinOp::Div => {
+                        out.iter_mut().zip(&rhs).for_each(|(x, y)| *x /= *y)
+                    }
+                    cortex_core::expr::BinOp::Max => {
+                        out.iter_mut().zip(&rhs).for_each(|(x, y)| *x = x.max(*y))
+                    }
+                    cortex_core::expr::BinOp::Min => {
+                        out.iter_mut().zip(&rhs).for_each(|(x, y)| *x = x.min(*y))
+                    }
+                }
+                pool.push(rhs);
+            }
+            BulkExpr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                // The condition is feature-invariant (checked at
+                // compile), so one evaluation decides every lane; the
+                // scalar path would check the branch — and pay the
+                // condition's counters (e.g. `NumChildren` loads) —
+                // once per element, so the one evaluation's counter
+                // deltas are replayed ×`h`.
+                let before = (
+                    self.profile.flops,
+                    self.profile.leaf_check_loads,
+                    self.profile.branch_checks,
+                );
+                self.profile.branch_checks += 1;
+                let take = self.eval_bool(cond);
+                let extra = (h as u64).saturating_sub(1);
+                self.profile.flops += (self.profile.flops - before.0) * extra;
+                self.profile.leaf_check_loads += (self.profile.leaf_check_loads - before.1) * extra;
+                self.profile.branch_checks += (self.profile.branch_checks - before.2) * extra;
+                // Only the taken branch is evaluated — bit-identical to
+                // per-element interpretation, where every lane takes the
+                // same arm.
+                self.eval_bulk(if take { then } else { otherwise }, feat_slot, out, pool);
+            }
+        }
+    }
+}

@@ -1,0 +1,724 @@
+//! Batched wavefront execution: the gather/GEMM phase.
+//!
+//! Runs each stacking group of a planned wave as one packed NT GEMM
+//! (or registers its rows into a pending super-wave GEMM during
+//! `execute_many`), and activates the group's member sites so `Sum`
+//! evaluations — interpreted, bulk, or fused — serve from the result
+//! matrices with the scalar path's exact accounting. Shared verbatim by
+//! the pc-based plan runtime and the `interp: true` oracle.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use cortex_core::expr::BoolExpr;
+use cortex_core::ilir::StorageClass;
+use cortex_tensor::kernels;
+
+use super::interp::Interp;
+use crate::wave::{GroupKind, InnerDim, SiteGroup, SumSite, SuperKey, SuperWaveAcc, WavePlan};
+
+/// One packed (possibly vertically stacked) weight matrix.
+pub(crate) struct StackedWeight {
+    /// Per-member `(site key, window base, store generation)`.
+    pub(crate) sig: Vec<(usize, usize, u64)>,
+    /// Whether every packed window reads a `Param`-class tensor: only
+    /// such packs may cross an interpreter boundary (non-`Param`
+    /// weights can be rewritten with input-dependent values between
+    /// runs — or between the requests of a batch — without a
+    /// store-generation change being observable across fresh interps,
+    /// whose generations all start at zero).
+    pub(crate) params_only: bool,
+    /// The [`Interp::cache_epoch`] that packed this entry. Non-`Param`
+    /// packs only validate within the same epoch: two equal-sized
+    /// requests of one batch drive identical store counts to a
+    /// kernel-written weight tensor, so the store-generation signature
+    /// alone cannot tell their (possibly different) values apart.
+    pub(crate) epoch: u64,
+    /// [`super::interp::Caches::run_stamp`] of the last execution that
+    /// used this pack; eviction removes the stalest entries first.
+    pub(crate) last_used: u64,
+    /// `[ΣH][K]` row-major.
+    pub(crate) data: Rc<Vec<f32>>,
+}
+
+/// Evicts the least-recently-used entries of the packed-weight cache
+/// down to `cap`. Entries stamped by the most recent execution (the
+/// in-flight working set) are the newest and go last — they are only
+/// evicted when a single run's working set itself exceeds the cap.
+pub(crate) fn evict_weight_cache_lru(
+    cache: &mut HashMap<(usize, usize), StackedWeight>,
+    cap: usize,
+) {
+    if cache.len() <= cap {
+        return;
+    }
+    let mut stamps: Vec<((usize, usize), u64)> =
+        cache.iter().map(|(k, w)| (*k, w.last_used)).collect();
+    stamps.sort_by_key(|&(_, used)| used);
+    for (key, _) in stamps.iter().take(cache.len() - cap) {
+        cache.remove(key);
+    }
+}
+
+/// Reusable buffers for one stacking group. All three vectors are
+/// engine-lifetime scratch: they round-trip through [`ActiveGroup`] and
+/// back into the cache after each wave, so steady-state waves allocate
+/// nothing (the `RowMeta` entries are recycled in place, `tensors`
+/// capacity included).
+#[derive(Default)]
+pub(crate) struct GroupBufs {
+    /// Packed operand rows, `[rows][k]`.
+    pub(crate) rows: Vec<f32>,
+    /// GEMM output, `[rows][cols]`.
+    pub(crate) out: Vec<f32>,
+    /// Per-row accounting metadata.
+    pub(crate) meta: Vec<RowMeta>,
+}
+
+/// Accounting metadata for one packed row, mirroring exactly what the
+/// scalar `eval_dot` would have recorded per element.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RowMeta {
+    /// A guard failed (or `k == 0`): the scalar path returns `0.0`
+    /// *before* any accounting, so the memo does the same.
+    pub(crate) zero: bool,
+    /// Reduction-invariant scalar factor, applied after the dot.
+    pub(crate) scale: f32,
+    /// Stream count **excluding** the weight stream (sites of a stacked
+    /// group share row metadata but read different weight tensors, so
+    /// the weight's load/flop share is charged at memo-hit time from
+    /// [`ActiveSite::weight_tensor`]).
+    pub(crate) streams: u64,
+    /// Touched row-side tensor ids (with multiplicity); the weight
+    /// tensor is *not* included.
+    pub(crate) tensors: Vec<u32>,
+}
+
+/// A stacking-group member that passed its runtime weight-window check:
+/// the resolved window base/strides and the source tensor's store
+/// generation at resolution time.
+pub(crate) struct SitePrep<'s> {
+    pub(crate) site: &'s SumSite,
+    pub(crate) wbase: usize,
+    pub(crate) si: usize,
+    pub(crate) sk: usize,
+    pub(crate) wgen: u64,
+}
+
+/// Where a wave's GEMM result lives.
+pub(crate) enum GroupOut {
+    /// Deferred into a super-wave GEMM that has not flushed yet; reading
+    /// it is a bug (the request is parked until results install).
+    Pending,
+    /// This request's own GEMM (the single-run path).
+    Owned(Vec<f32>),
+    /// A block of a merged super-wave result shared by several requests;
+    /// this request's rows start at `base`.
+    Shared { buf: Rc<Vec<f32>>, base: usize },
+}
+
+/// One stacked GEMM currently serving a wave: the packed rows, the
+/// result matrix, and the per-row accounting shared by its sites.
+pub(crate) struct ActiveGroup {
+    /// Group leader's site key (the scratch-buffer cache key).
+    pub(crate) leader_key: usize,
+    /// GEMM output, `[rows][cols]` row-major (owned or a shared block).
+    pub(crate) out: GroupOut,
+    /// Packed operand rows (kept only to return the buffer to the pool;
+    /// empty when the rows were gathered into a super-wave matrix).
+    pub(crate) rows: Vec<f32>,
+    /// Per-row metadata; sites index it via their `meta_off`.
+    pub(crate) meta: Vec<RowMeta>,
+    /// Output row length (ΣH of the stacked sites, or H when rows are
+    /// stacked instead).
+    pub(crate) cols: usize,
+}
+
+impl ActiveGroup {
+    /// One element of the GEMM result.
+    #[inline]
+    pub(crate) fn value(&self, row: usize, col: usize) -> f32 {
+        match &self.out {
+            GroupOut::Owned(v) => v[row * self.cols + col],
+            GroupOut::Shared { buf, base } => buf[(base + row) * self.cols + col],
+            GroupOut::Pending => unreachable!("wave GEMM result read before its flush"),
+        }
+    }
+}
+
+/// A site currently served from an [`ActiveGroup`]'s GEMM result.
+pub(crate) struct ActiveSite {
+    pub(crate) site_key: usize,
+    /// Index into `Interp::active_groups`.
+    pub(crate) group: usize,
+    /// Row offset of this site's block in the group result
+    /// (`member_index · wave_len` for row-stacked groups, else 0).
+    pub(crate) row_off: usize,
+    /// Column offset of this site's block (prefix sum of stacked `h`s
+    /// for weight-stacked groups, else 0).
+    pub(crate) col_off: usize,
+    /// Offset into the group's `meta` (row-stacked groups carry one
+    /// metadata entry per site per row; weight-stacked share one set).
+    pub(crate) meta_off: usize,
+    pub(crate) k: u64,
+    /// Weight tensor id, charged per element at memo-hit time.
+    pub(crate) weight_tensor: u32,
+    pub(crate) feat_slot: usize,
+    /// Row-side feature dimension of a rank-2 site: the served row is
+    /// `n_idx · extent + j` instead of `n_idx`.
+    pub(crate) inner: Option<InnerDim>,
+    pub(crate) n_idx_slot: usize,
+}
+
+impl<'a> Interp<'a> {
+    /// Runs the GEMM phase for every stacking group of a wave plan,
+    /// making their `Sum`s servable from result matrices. Returns the
+    /// number of `(sites, groups)` activated.
+    ///
+    /// With `defer` set (the `execute_many` path), the gathered rows are
+    /// registered into the super-wave accumulator instead of running the
+    /// GEMM immediately: the caller parks this request until the merged
+    /// GEMMs flush and their results install.
+    ///
+    /// Accounting discipline: the scalar path evaluates guards, scalar
+    /// factors and stream bases once per *element* (`wave_len × h` times
+    /// per site); the packing phase evaluates them once per *gathered
+    /// row* and multiplies the counter deltas by the served element
+    /// count of every site the row serves, while the per-element loads
+    /// and flops of the dot itself are charged at memo-hit time. The
+    /// resulting `Profile` is identical to the scalar path's — and
+    /// entirely per-request: the GEMM itself touches no counters, which
+    /// is what makes cross-request merging invisible to the `Profile`.
+    pub(crate) fn prepare_wave(
+        &mut self,
+        plan: &WavePlan,
+        for_key: usize,
+        wave_len: usize,
+        mut defer: Option<(&mut SuperWaveAcc, usize)>,
+    ) -> (usize, usize) {
+        let mut sites = 0usize;
+        let mut groups = 0usize;
+        for (ordinal, group) in plan.groups.iter().enumerate() {
+            let n = self.prepare_group(
+                plan,
+                group,
+                for_key,
+                ordinal,
+                wave_len,
+                defer.as_mut().map(|(acc, req)| (&mut **acc, *req)),
+            );
+            if n > 0 {
+                sites += n;
+                groups += 1;
+            }
+        }
+        if groups > 0 {
+            self.caches.stats.waves_batched += 1;
+        }
+        (sites, groups)
+    }
+
+    /// Resolves a site's weight window for this wave: `(base, i-stride,
+    /// k-stride, store generation)`, or `None` when the window falls
+    /// outside its buffer (scalar fallback, bit-identical results).
+    ///
+    /// The analysis guarantees the non-`(i,k)` index positions are
+    /// wave-invariant and counter-free, so evaluating them here is
+    /// invisible to the `Profile`.
+    fn resolve_weight_window(
+        &mut self,
+        site: &SumSite,
+        k_len: usize,
+    ) -> Option<(usize, usize, usize, u64)> {
+        let wt = site.weight.tensor.0 as usize;
+        let mut coords = [0i64; 8];
+        for (d, e) in site.weight.index.iter().enumerate() {
+            if d == site.weight.i_pos || d == site.weight.k_pos {
+                continue;
+            }
+            coords[d] = self.eval_idx(e);
+            if coords[d] < 0 {
+                return None;
+            }
+        }
+        let buf = self.bufs[wt].as_ref().expect("weight allocated");
+        let mut wbase = 0usize;
+        for (d, _) in site.weight.index.iter().enumerate() {
+            if d == site.weight.i_pos || d == site.weight.k_pos {
+                continue;
+            }
+            wbase += coords[d] as usize * buf.strides[d];
+        }
+        let si = buf.strides[site.weight.i_pos];
+        let sk = buf.strides[site.weight.k_pos];
+        let h = site.feat_extent;
+        if k_len > 0 && h > 0 && wbase + (h - 1) * si + (k_len - 1) * sk >= buf.data.len() {
+            return None; // out-of-window weight: leave it to the scalar path
+        }
+        Some((wbase, si, sk, self.store_gens[wt]))
+    }
+
+    /// Packs one stacking group's weights and operand rows, runs its
+    /// GEMM (or registers the rows into a pending super-wave GEMM), and
+    /// activates its member sites. Returns the number of sites activated
+    /// (members that fail a runtime check fall back to the scalar path
+    /// individually).
+    fn prepare_group(
+        &mut self,
+        plan: &WavePlan,
+        group: &SiteGroup,
+        for_key: usize,
+        ordinal: usize,
+        wave_len: usize,
+        defer: Option<(&mut SuperWaveAcc, usize)>,
+    ) -> usize {
+        // The analyzer guarantees every member shares the reduction
+        // extent (grouping requires structurally equal extents).
+        let leader = &plan.sites[group.members[0]];
+        let k_len = self.eval_idx(&leader.extent).max(0) as usize;
+
+        let mut preps: Vec<SitePrep<'_>> = Vec::with_capacity(group.members.len());
+        let mut attempted = 0usize;
+        for &mi in &group.members {
+            let site = &plan.sites[mi];
+            if self.memo.iter().any(|(k, _)| *k == site.key) {
+                continue; // defensive: a site is active at most once
+            }
+            attempted += 1;
+            if let Some((wbase, si, sk, wgen)) = self.resolve_weight_window(site, k_len) {
+                preps.push(SitePrep {
+                    site,
+                    wbase,
+                    si,
+                    sk,
+                    wgen,
+                });
+            }
+        }
+        self.caches.stats.fallback_sites += (attempted - preps.len()) as u64;
+        if preps.is_empty() {
+            return 0;
+        }
+        let gather_t0 = Instant::now();
+
+        // Pack (or reuse) the stacked weight matrix: the members'
+        // `[h][K]` windows vertically concatenated for shared-rows
+        // groups, the one shared `[H][K]` window for row-stacked groups.
+        let leader_key = preps[0].site.key;
+        let to_pack = match group.kind {
+            GroupKind::SharedRows => preps.len(),
+            GroupKind::SharedWeight => 1,
+        };
+        let cols: usize = preps[..to_pack].iter().map(|p| p.site.feat_extent).sum();
+        // Validate the cached pack without materializing a signature —
+        // this is the per-wave steady state and must not allocate.
+        let cache_key = (leader_key, k_len);
+        let run_stamp = self.caches.run_stamp;
+        let cached = self
+            .caches
+            .weight_cache
+            .get_mut(&cache_key)
+            .is_some_and(|w| {
+                let valid = (w.params_only || w.epoch == self.cache_epoch)
+                    && w.sig.len() == preps.len()
+                    && w.sig
+                        .iter()
+                        .zip(&preps)
+                        .all(|(s, p)| *s == (p.site.key, p.wbase, p.wgen));
+                if valid {
+                    // Recency stamp for the LRU eviction: packs the
+                    // current execution touches are the working set.
+                    w.last_used = run_stamp;
+                }
+                valid
+            });
+        if !cached {
+            self.caches.stats.weight_packs += 1;
+            let sig: Vec<(usize, usize, u64)> = preps
+                .iter()
+                .map(|p| (p.site.key, p.wbase, p.wgen))
+                .collect();
+            let params_only = preps[..to_pack].iter().all(|p| {
+                self.bufs[p.site.weight.tensor.0 as usize]
+                    .as_ref()
+                    .expect("weight allocated")
+                    .class
+                    == StorageClass::Param
+            });
+            let mut data = vec![0.0f32; cols * k_len];
+            let mut row0 = 0usize;
+            for p in &preps[..to_pack] {
+                let buf = self.bufs[p.site.weight.tensor.0 as usize]
+                    .as_ref()
+                    .expect("weight allocated");
+                for i in 0..p.site.feat_extent {
+                    let src = p.wbase + i * p.si;
+                    let dst = &mut data[(row0 + i) * k_len..(row0 + i + 1) * k_len];
+                    if p.sk == 1 {
+                        dst.copy_from_slice(&buf.data[src..src + k_len]);
+                    } else {
+                        for (kk, dv) in dst.iter_mut().enumerate() {
+                            *dv = buf.data[src + kk * p.sk];
+                        }
+                    }
+                }
+                row0 += p.site.feat_extent;
+            }
+            self.caches.weight_cache.insert(
+                cache_key,
+                StackedWeight {
+                    sig,
+                    params_only,
+                    epoch: self.cache_epoch,
+                    last_used: run_stamp,
+                    data: Rc::new(data),
+                },
+            );
+        }
+        let packed_w = self.caches.weight_cache[&cache_key].data.clone();
+
+        // Gather phase: resolve guards/child-sums/scalars once per row
+        // and pack the operand rows. Shared-rows groups gather one row
+        // per node (serving every member); row-stacked groups gather one
+        // block of rows per member.
+        // Rank-2 sites gather one row per (node, j) pair; the analyzer
+        // guarantees a shared-rows group agrees on the inner dimension
+        // and keeps rank-2 sites out of row-stacked groups.
+        let rows_per_node = match group.kind {
+            GroupKind::SharedRows => preps[0].site.inner.map_or(1, |d| d.extent),
+            GroupKind::SharedWeight => 1,
+        };
+        let gemm_rows = match group.kind {
+            GroupKind::SharedRows => wave_len * rows_per_node,
+            GroupKind::SharedWeight => preps.len() * wave_len,
+        };
+        let mut bufs = self
+            .caches
+            .group_bufs
+            .get_mut(&leader_key)
+            .and_then(Vec::pop)
+            .unwrap_or_default();
+        bufs.meta.resize_with(gemm_rows, RowMeta::default);
+
+        let group_idx = self.active_groups.len();
+        let deferred = if let Some((acc, request)) = defer {
+            // Register this request's block of the merged super-wave
+            // GEMM and gather straight into it; the GEMM runs at flush.
+            let key = SuperKey {
+                for_key,
+                group_ordinal: ordinal,
+                leader_key,
+                cols,
+                k_len,
+            };
+            let (entry, base) = acc.register(key, &packed_w, gemm_rows, request, group_idx);
+            let rows = acc.rows_mut(entry, base, gemm_rows);
+            self.gather_rows(
+                plan,
+                group.kind,
+                &preps,
+                k_len,
+                rows_per_node,
+                wave_len,
+                rows,
+                &mut bufs.meta,
+            );
+            self.caches.stats.gather_ns += gather_t0.elapsed().as_nanos() as u64;
+            true
+        } else {
+            bufs.rows.clear();
+            bufs.rows.resize(gemm_rows * k_len, 0.0);
+            let GroupBufs { rows, meta, .. } = &mut bufs;
+            self.gather_rows(
+                plan,
+                group.kind,
+                &preps,
+                k_len,
+                rows_per_node,
+                wave_len,
+                rows,
+                meta,
+            );
+            self.caches.stats.gather_ns += gather_t0.elapsed().as_nanos() as u64;
+            // One cache-blocked NT GEMM for the whole group. Guard-zero
+            // rows need no special handling here: the memo hit
+            // short-circuits to exactly 0.0 (matching the scalar path,
+            // which never touches the weight — inf/NaN containment
+            // happens at that early return) so their slots in `out` are
+            // never read.
+            bufs.out.clear();
+            bufs.out.resize(gemm_rows * cols, 0.0);
+            let gemm_t0 = Instant::now();
+            kernels::gemm_nt_into(&mut bufs.out, &bufs.rows, &packed_w, gemm_rows, cols, k_len);
+            self.caches.stats.gemm_ns += gemm_t0.elapsed().as_nanos() as u64;
+            false
+        };
+
+        let stats = &mut self.caches.stats;
+        if !deferred {
+            // Deferred GEMMs are counted at flush time, where several
+            // requests' waves may share one launch.
+            stats.wave_gemms += 1;
+            stats.gemm_rows += gemm_rows as u64;
+        }
+        stats.sites_batched += preps.len() as u64;
+        if preps.len() > 1 {
+            stats.stacked_groups += 1;
+            stats.stacked_sites += preps.len() as u64;
+        }
+
+        self.active_groups.push(ActiveGroup {
+            leader_key,
+            out: if deferred {
+                GroupOut::Pending
+            } else {
+                GroupOut::Owned(std::mem::take(&mut bufs.out))
+            },
+            rows: std::mem::take(&mut bufs.rows),
+            meta: std::mem::take(&mut bufs.meta),
+            cols,
+        });
+        let mut col_off = 0usize;
+        for (g, p) in preps.iter().enumerate() {
+            let (row_off, c_off, meta_off) = match group.kind {
+                GroupKind::SharedRows => (0, col_off, 0),
+                GroupKind::SharedWeight => (g * wave_len, 0, g * wave_len),
+            };
+            col_off += p.site.feat_extent;
+            self.memo.push((p.site.key, self.active.len()));
+            self.active.push(ActiveSite {
+                site_key: p.site.key,
+                group: group_idx,
+                row_off,
+                col_off: c_off,
+                meta_off,
+                k: k_len as u64,
+                weight_tensor: p.site.weight.tensor.0,
+                feat_slot: p.site.feat_slot,
+                inner: p.site.inner,
+                n_idx_slot: plan.n_idx_slot,
+            });
+        }
+        preps.len()
+    }
+
+    /// Gathers a group's operand rows (resolving guards, child-sums and
+    /// scalars once per row, with the scalar path's per-element counter
+    /// deltas replayed per served element) into `rows`/`meta`.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_rows(
+        &mut self,
+        plan: &WavePlan,
+        kind: GroupKind,
+        preps: &[SitePrep<'_>],
+        k_len: usize,
+        rows_per_node: usize,
+        wave_len: usize,
+        rows: &mut [f32],
+        meta: &mut [RowMeta],
+    ) {
+        match kind {
+            GroupKind::SharedRows => {
+                // The members' row operands are structurally equal, so
+                // the leader's resolution stands in for all of them; the
+                // scalar path would have resolved once per served
+                // element of every member, hence the Σ replay factor.
+                // (Grouping requires equal `select_guards` too, so the
+                // leader's guards stand in for all members.)
+                let replay: u64 = preps.iter().map(|p| p.site.served_per_row as u64).sum();
+                let rest = &preps[0].site.rest;
+                let guards = &preps[0].site.select_guards;
+                let inner = preps[0].site.inner;
+                for r in 0..wave_len {
+                    self.slots[plan.n_idx_slot] = r as i64;
+                    if let Some((slot, value)) = &plan.node_let {
+                        self.slots[*slot] = self.eval_idx(value);
+                    }
+                    for jv in 0..rows_per_node {
+                        if let Some(d) = inner {
+                            self.slots[d.slot] = jv as i64;
+                        }
+                        let at = r * rows_per_node + jv;
+                        let row = &mut rows[at * k_len..(at + 1) * k_len];
+                        self.pack_row(rest, guards, k_len, replay, row, &mut meta[at]);
+                    }
+                }
+            }
+            GroupKind::SharedWeight => {
+                for (g, p) in preps.iter().enumerate() {
+                    for r in 0..wave_len {
+                        self.slots[plan.n_idx_slot] = r as i64;
+                        if let Some((slot, value)) = &plan.node_let {
+                            self.slots[*slot] = self.eval_idx(value);
+                        }
+                        let at = g * wave_len + r;
+                        let row = &mut rows[at * k_len..(at + 1) * k_len];
+                        self.pack_row(
+                            &p.site.rest,
+                            &p.site.select_guards,
+                            k_len,
+                            p.site.served_per_row as u64,
+                            row,
+                            &mut meta[at],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves one node's row operands and packs its reduction row,
+    /// replicating the scalar path's per-element accounting ×`replay`
+    /// (the summed feature extents of every site this row serves). The
+    /// metadata entry is rewritten in place so its `tensors` allocation
+    /// is recycled across waves.
+    fn pack_row(
+        &mut self,
+        rest: &[crate::fastdot::Operand],
+        guards: &[(BoolExpr, bool)],
+        k_len: usize,
+        replay: u64,
+        out_row: &mut [f32],
+        meta: &mut RowMeta,
+    ) {
+        use super::scalar::Res;
+        // Value-level `Select` guards: when one fails, the scalar path
+        // never reaches this reduction for this node — no resolution,
+        // no accounting, and the (pre-zeroed) row is never read, so its
+        // child indirections (possibly NO_CHILD) are never resolved.
+        // The evaluation is silent: the interpreter still walks each
+        // `Select` per served element and pays its counters there.
+        if !guards.is_empty() && !self.eval_guards_silently(guards) {
+            meta.tensors.clear();
+            meta.scale = 0.0;
+            meta.zero = true;
+            meta.streams = 0;
+            return;
+        }
+        let before = (
+            self.profile.flops,
+            self.profile.leaf_check_loads,
+            self.profile.branch_checks,
+        );
+        let (resolved, scale) = self.resolve_product(rest);
+        // The scalar path would repeat this resolution for every served
+        // output element; replay the counter deltas replay-1 more times.
+        let extra = replay.saturating_sub(1);
+        self.profile.flops += (self.profile.flops - before.0) * extra;
+        self.profile.leaf_check_loads += (self.profile.leaf_check_loads - before.1) * extra;
+        self.profile.branch_checks += (self.profile.branch_checks - before.2) * extra;
+
+        meta.tensors.clear();
+        meta.scale = scale;
+        if resolved.iter().any(|r| matches!(r, Res::Zero)) || k_len == 0 {
+            meta.zero = true;
+            meta.streams = 0;
+            return;
+        }
+        meta.zero = false;
+        let mut streams = 0u64;
+        for r in &resolved {
+            match r {
+                Res::Stream(t, _, _) => {
+                    streams += 1;
+                    meta.tensors.push(*t as u32);
+                }
+                Res::AddStreams(v) => {
+                    streams += v.len() as u64;
+                    meta.tensors.extend(v.iter().map(|(t, _, _)| *t as u32));
+                }
+                Res::Zero => unreachable!("filtered above"),
+            }
+        }
+        meta.streams = streams;
+        let bufs = &self.bufs;
+        let data = |t: usize| -> &[f32] { &bufs[t].as_ref().expect("allocated").data };
+        // Fast case: a single plain stream (the matvec row) is a strided
+        // copy; anything else folds the product elementwise.
+        match resolved.as_slice() {
+            [Res::Stream(t, b, s)] => {
+                let d = data(*t);
+                if *s == 1 {
+                    out_row.copy_from_slice(&d[*b..*b + k_len]);
+                } else {
+                    for (kk, ov) in out_row.iter_mut().enumerate() {
+                        *ov = d[b + kk * s];
+                    }
+                }
+            }
+            [Res::AddStreams(v)] => {
+                for (t, b, s) in v {
+                    let d = data(*t);
+                    if *s == 1 {
+                        kernels::axpy(out_row, &d[*b..*b + k_len]);
+                    } else {
+                        for (kk, ov) in out_row.iter_mut().enumerate() {
+                            *ov += d[b + kk * s];
+                        }
+                    }
+                }
+            }
+            _ => {
+                for (kk, ov) in out_row.iter_mut().enumerate() {
+                    let mut prod = 1.0f32;
+                    for r in &resolved {
+                        match r {
+                            Res::Stream(t, b, s) => prod *= data(*t)[b + kk * s],
+                            Res::AddStreams(v) => {
+                                let mut sum = 0.0f32;
+                                for (t, b, s) in v {
+                                    sum += data(*t)[b + kk * s];
+                                }
+                                prod *= sum;
+                            }
+                            Res::Zero => unreachable!("filtered above"),
+                        }
+                    }
+                    *ov = prod;
+                }
+            }
+        }
+    }
+
+    /// Deactivates the last `(sites, groups)` of a wave, returning the
+    /// group buffers to the per-group pools.
+    pub(crate) fn finish_wave(&mut self, (sites, groups): (usize, usize)) {
+        for _ in 0..sites {
+            let site = self.active.pop().expect("active site");
+            let pos = self
+                .memo
+                .iter()
+                .position(|(k, _)| *k == site.site_key)
+                .expect("memoized site");
+            self.memo.swap_remove(pos);
+        }
+        for _ in 0..groups {
+            let group = self.active_groups.pop().expect("active group");
+            // Shared (super-wave) results are dropped with their `Rc`;
+            // only owned output buffers return to the pool.
+            let out = match group.out {
+                GroupOut::Owned(v) => v,
+                GroupOut::Shared { .. } | GroupOut::Pending => Vec::new(),
+            };
+            self.caches
+                .group_bufs
+                .entry(group.leader_key)
+                .or_default()
+                .push(GroupBufs {
+                    rows: group.rows,
+                    out,
+                    meta: group.meta,
+                });
+        }
+    }
+
+    /// Hands this request its block of a flushed super-wave GEMM result.
+    pub(crate) fn install_wave_result(&mut self, group_idx: usize, buf: Rc<Vec<f32>>, base: usize) {
+        debug_assert!(matches!(
+            self.active_groups[group_idx].out,
+            GroupOut::Pending
+        ));
+        self.active_groups[group_idx].out = GroupOut::Shared { buf, base };
+    }
+}

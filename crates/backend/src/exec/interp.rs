@@ -1,0 +1,737 @@
+//! Interpreter state shared by both runtimes: buffers, accounting
+//! scopes, engine caches, and index/boolean expression evaluation.
+//!
+//! The [`Interp`] struct is the per-request execution state. Two
+//! front-ends drive it: the pc-based plan runtime ([`super::run`], the
+//! default) and the legacy AST-walking oracle ([`super::scalar`],
+//! `ExecOptions { interp: true }`). Both share every helper here, which
+//! is what keeps their outputs and `Profile` counters bit-identical.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cortex_core::expr::{BoolExpr, CmpOp, IdxBinOp, IdxExpr, RtScalar, TensorId, Ufn};
+use cortex_core::ilir::{DimExtent, IlirProgram, Stmt, StorageClass};
+use cortex_ds::linearizer::{Batch, Linearized};
+use cortex_tensor::approx::NonlinearityMode;
+use cortex_tensor::Tensor;
+
+use super::bulk::{BulkPlan, FusedWave};
+use super::gather::{ActiveGroup, ActiveSite, GroupBufs, StackedWeight};
+use super::lowering::CompiledKernel;
+use super::program::Program;
+use super::{ExecError, ExecOptions, ExecStats};
+use crate::fastdot::DotPlan;
+use crate::params::Params;
+use crate::profile::{Profile, WaveStat};
+use crate::wave::WavePlan;
+
+/// State the engine keeps across runs: memoized reduction plans (keyed by
+/// the `Sum` body's address within the compiled kernels, stable for the
+/// engine's lifetime), stacked packed-weight matrices (per run), and
+/// per-group gather/output scratch buffers.
+#[derive(Default)]
+pub(crate) struct Caches {
+    pub(crate) plan_cache: HashMap<usize, Option<Rc<DotPlan>>>,
+    /// Scratch rows for bulk evaluation (one per live expression-tree
+    /// level), recycled across loops.
+    pub(crate) row_pool: Vec<Vec<f32>>,
+    /// Monotonic execution counter, stamped onto weight-cache entries on
+    /// every hit or insert — the recency order the LRU eviction uses.
+    pub(crate) run_stamp: u64,
+    /// Stacked packed weights keyed by `(group leader site key,
+    /// reduction extent)` — the extent is part of the key because a
+    /// site's extent may legally vary between waves (it is only required
+    /// to be invariant *within* one), and keying it keeps both variants
+    /// cached instead of repacking every wave. The signature (per-member
+    /// site key, weight window base, source-tensor store generation) is
+    /// validated on every hit and the pack rebuilt on mismatch — a
+    /// non-`Param` weight may be rewritten by a precompute kernel
+    /// mid-run.
+    pub(crate) weight_cache: HashMap<(usize, usize), StackedWeight>,
+    /// Reusable gather/output buffers keyed by group leader site key. A
+    /// stack per key: during `execute_many` several requests hold the
+    /// same group's buffers at once (their waves overlap in time), so
+    /// one slot per key would churn allocations.
+    pub(crate) group_bufs: HashMap<usize, Vec<GroupBufs>>,
+    pub(crate) stats: ExecStats,
+}
+
+// ---------------------------------------------------------------------
+// Storage
+// ---------------------------------------------------------------------
+
+/// Backing storage of a [`Buffer`]: owned and writable, or a read-only
+/// view of the engine's shared parameter arena. Sharing parameters is
+/// what keeps a serving batch's K simultaneous interpreters from each
+/// copying (and keeping resident) the full weight + embedding set —
+/// parameters are bound once per `(model, params generation)` and every
+/// run/request of the engine reads the same allocation.
+#[derive(Debug, Clone)]
+pub(crate) enum BufData {
+    Owned(Vec<f32>),
+    Shared(Rc<Vec<f32>>),
+}
+
+impl std::ops::Deref for BufData {
+    type Target = [f32];
+
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        match self {
+            BufData::Owned(v) => v,
+            BufData::Shared(r) => r,
+        }
+    }
+}
+
+impl BufData {
+    /// Mutable access — only owned storage is writable (the lowering
+    /// never emits stores to `Param` tensors, the one shared class).
+    #[inline]
+    pub(crate) fn as_mut(&mut self) -> &mut [f32] {
+        match self {
+            BufData::Owned(v) => v,
+            BufData::Shared(_) => unreachable!("store to a shared parameter buffer"),
+        }
+    }
+
+    pub(crate) fn into_vec(self) -> Vec<f32> {
+        match self {
+            BufData::Owned(v) => v,
+            BufData::Shared(r) => r.as_ref().clone(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Buffer {
+    pub(crate) data: BufData,
+    pub(crate) dims: Vec<usize>,
+    pub(crate) strides: Vec<usize>,
+    pub(crate) class: StorageClass,
+}
+
+impl Buffer {
+    pub(crate) fn new(dims: Vec<usize>, class: StorageClass) -> Self {
+        let len: usize = dims.iter().product();
+        let mut strides = vec![1usize; dims.len()];
+        for d in (0..dims.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * dims[d + 1];
+        }
+        Buffer {
+            data: BufData::Owned(vec![0.0; len.max(1)]),
+            dims,
+            strides,
+            class,
+        }
+    }
+
+    pub(crate) fn bytes(&self) -> u64 {
+        self.data.len() as u64 * 4
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime environment (linearizer arrays + unrolled schedule)
+// ---------------------------------------------------------------------
+
+pub(crate) struct RtEnv {
+    pub(crate) batches: Vec<Batch>,
+    pub(crate) stages: Vec<Vec<u32>>,
+    pub(crate) num_super_waves: usize,
+    pub(crate) intra_group_edges: usize,
+    pub(crate) unamortized_barriers: usize,
+    pub(crate) max_batch: usize,
+}
+
+impl RtEnv {
+    pub(crate) fn new(program: &IlirProgram, lin: &Linearized) -> Result<Self, ExecError> {
+        let batches = lin.batches();
+        let mut stages = Vec::new();
+        let mut num_super_waves = 0;
+        let mut intra_group_edges = 0;
+        let mut unamortized_barriers = 0;
+        if let Some(depth) = program.meta.schedule.unroll {
+            let sched = lin.unrolled(depth)?;
+            num_super_waves = sched.num_super_waves();
+            intra_group_edges = sched.intra_group_edges;
+            unamortized_barriers = sched.unamortized_barriers();
+            for sw in &sched.super_waves {
+                for stage in &sw.stages {
+                    stages.push(stage.clone());
+                }
+            }
+        }
+        // Scratch tensors are live only within internal waves (and
+        // unrolled stages), so they are sized by the widest of those —
+        // not by the (typically much wider) leaf batch.
+        let max_batch = lin
+            .internal_batches()
+            .iter()
+            .map(Batch::len)
+            .chain(stages.iter().map(Vec::len))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        Ok(RtEnv {
+            batches,
+            stages,
+            num_super_waves,
+            intra_group_edges,
+            unamortized_barriers,
+            max_batch,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accounting scopes
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+pub(crate) struct Scope {
+    /// Per-tensor `(loads, stores)` within this scope, indexed by tensor
+    /// id. A flat array, not a map: these counters are bumped on every
+    /// interpreted load/store, the hottest accounting path there is.
+    pub(crate) touch: Vec<(u64, u64)>,
+    pub(crate) flops_start: u64,
+    /// Flops already attributed to nested (wave) scopes, so the outer
+    /// launch scope only reports its own residual work.
+    pub(crate) flops_attributed: u64,
+    pub(crate) width: u64,
+    /// Whether this scope is one iteration of the wave (`d_all_batches`)
+    /// loop. Parameters read inside wave scopes are the *recurrent*
+    /// parameters — the ones model persistence pins on-chip.
+    pub(crate) is_wave: bool,
+}
+
+// ---------------------------------------------------------------------
+// Interpreter state
+// ---------------------------------------------------------------------
+
+pub(crate) struct Interp<'a> {
+    pub(crate) program: &'a IlirProgram,
+    pub(crate) lin: &'a Linearized,
+    pub(crate) rt: RtEnv,
+    pub(crate) bufs: Vec<Option<Buffer>>,
+    pub(crate) profile: Profile,
+    pub(crate) slots: Vec<i64>,
+    pub(crate) scopes: Vec<Scope>,
+    /// Accumulated loads of persisted parameters (flushed once at the end:
+    /// persistence reads each needed parameter byte exactly once).
+    pub(crate) persisted_loads: Vec<u64>,
+    pub(crate) persist_active: bool,
+    pub(crate) nonlin: NonlinearityMode,
+    pub(crate) opts: ExecOptions,
+    pub(crate) compiled: Rc<Vec<CompiledKernel>>,
+    pub(crate) wave_plans: Rc<HashMap<usize, Rc<WavePlan>>>,
+    pub(crate) bulk_plans: Rc<HashMap<(usize, usize), Rc<BulkPlan>>>,
+    pub(crate) fused_waves: Rc<HashMap<(usize, usize), Rc<FusedWave>>>,
+    /// The lowered linear instruction stream the pc runtime executes.
+    pub(crate) plan: Rc<Program>,
+    /// Index of the kernel currently launching — the kernel half of the
+    /// bulk-plan keys.
+    pub(crate) cur_kernel: usize,
+    pub(crate) wave_ancestors: Rc<std::collections::HashSet<usize>>,
+    /// Shared engine state, *shuttled* in and out around execution: the
+    /// engine swaps its caches into exactly one interpreter at a time
+    /// (the running one), which is how `execute_many`'s requests share
+    /// packed weights and scratch pools without aliasing.
+    pub(crate) caches: Caches,
+    /// Sites of the wave currently executing, served from GEMM results.
+    pub(crate) active: Vec<ActiveSite>,
+    /// Stacked GEMMs of the wave currently executing.
+    pub(crate) active_groups: Vec<ActiveGroup>,
+    /// `(Sum-body address, index into active)` of the active sites. A
+    /// linear scan: waves have a handful of sites, and this lookup runs
+    /// once per interpreted `Sum` element — the hottest path there is,
+    /// where a `HashMap` hash would dominate.
+    pub(crate) memo: Vec<(usize, usize)>,
+    /// Zeroed per-tensor touch arrays, recycled across scopes.
+    pub(crate) scope_pool: Vec<Vec<(u64, u64)>>,
+    /// Per-tensor store generation: bumped on every interpreted store, so
+    /// packed-weight cache entries are invalidated the moment their
+    /// source tensor is written (a non-`Param` weight may legally be
+    /// produced by a precompute kernel — or rewritten between waves).
+    pub(crate) store_gens: Vec<u64>,
+    /// Process-unique id of this interpreter instance. Non-`Param`
+    /// packed-weight entries only validate within the epoch that packed
+    /// them: store generations are per-interpreter (all start at 0), so
+    /// two requests of one batch — or two consecutive runs — can reach
+    /// identical generation counts for a kernel-written weight holding
+    /// different values.
+    pub(crate) cache_epoch: u64,
+}
+
+/// Source of [`Interp::cache_epoch`] values.
+static NEXT_CACHE_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl<'a> Interp<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        program: &'a IlirProgram,
+        lin: &'a Linearized,
+        params: &Params,
+        persist_active: bool,
+        opts: ExecOptions,
+        shared: super::SharedPlans,
+        max_slots: usize,
+        param_arena: &mut HashMap<u32, Rc<Vec<f32>>>,
+    ) -> Result<Self, ExecError> {
+        let rt = RtEnv::new(program, lin)?;
+        let n_tensors = program.tensors.len();
+        let mut bufs: Vec<Option<Buffer>> = vec![None; n_tensors];
+        let mut profile = Profile::new();
+        for decl in program.declared_tensors() {
+            let dims: Vec<usize> = decl
+                .dims
+                .iter()
+                .map(|d| match d {
+                    DimExtent::Fixed(n) => *n,
+                    DimExtent::Nodes => lin.num_nodes(),
+                    DimExtent::MaxBatch => rt.max_batch,
+                })
+                .collect();
+            let mut buf = Buffer::new(dims.clone(), decl.class);
+            if decl.class == StorageClass::Param {
+                let bound = params
+                    .get(&decl.name)
+                    .ok_or_else(|| ExecError::MissingParam(decl.name.clone()))?;
+                if bound.shape().dims() != dims.as_slice() {
+                    return Err(ExecError::ParamShape {
+                        name: decl.name.clone(),
+                        expected: dims,
+                        found: bound.shape().dims().to_vec(),
+                    });
+                }
+                // Parameters are read-only to the generated code: every
+                // interpreter shares the engine arena's one allocation
+                // (filled on first use per params generation) instead of
+                // copying the full weight + embedding set per run.
+                let shared_buf = param_arena
+                    .entry(decl.id.0)
+                    .or_insert_with(|| Rc::new(bound.as_slice().to_vec()));
+                debug_assert_eq!(shared_buf.len(), bound.len());
+                buf.data = BufData::Shared(shared_buf.clone());
+            }
+            if decl.class == StorageClass::Scratch {
+                profile.scratch_allocated_bytes += buf.bytes();
+            }
+            profile.allocated_bytes += buf.bytes();
+            bufs[decl.id.0 as usize] = Some(buf);
+        }
+        Ok(Interp {
+            program,
+            lin,
+            rt,
+            bufs,
+            profile,
+            slots: vec![0; max_slots],
+            scopes: Vec::new(),
+            persisted_loads: vec![0; n_tensors],
+            store_gens: vec![0; n_tensors],
+            persist_active,
+            // The rational substitution is a schedule choice either side
+            // can make: the engine option or the program's schedule.
+            nonlin: if opts.nonlinearity == NonlinearityMode::Rational {
+                NonlinearityMode::Rational
+            } else {
+                program.meta.schedule.nonlinearity
+            },
+            opts,
+            compiled: shared.compiled,
+            wave_plans: shared.wave_plans,
+            bulk_plans: shared.bulk_plans,
+            fused_waves: shared.fused_waves,
+            plan: shared.plan,
+            cur_kernel: 0,
+            wave_ancestors: shared.wave_ancestors,
+            caches: Caches::default(),
+            active: Vec::new(),
+            active_groups: Vec::new(),
+            memo: Vec::new(),
+            scope_pool: Vec::new(),
+            cache_epoch: NEXT_CACHE_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        })
+    }
+
+    /// Post-run accounting shared by both runtimes' completion paths.
+    pub(crate) fn finalize_run(&mut self) {
+        // Unrolled schedules: reclassify stage barriers and credit cache
+        // reuse along intra-group edges (Fig. 3's yellow boxes).
+        if self.program.meta.schedule.unroll.is_some() {
+            if self.program.meta.schedule.unroll_block_local {
+                // One node per thread block: intra-group stage boundaries
+                // are block-local syncs; only super waves need the device.
+                let total = self.profile.barriers_global;
+                let global = self.rt.num_super_waves as u64;
+                self.profile.barriers_block = total.saturating_sub(global);
+                self.profile.barriers_global = global;
+            } else {
+                // Fig. 11: the barrier cannot be amortized across the
+                // groups of a super wave — each unrolled call region
+                // synchronizes its own stages.
+                self.profile.barriers_global = self
+                    .profile
+                    .barriers_global
+                    .max(self.rt.unamortized_barriers as u64);
+            }
+            let per_edge_bytes: u64 = self
+                .program
+                .declared_tensors()
+                .filter(|t| t.is_output || matches!(t.dims.first(), Some(DimExtent::Nodes)))
+                .filter(|t| t.class == StorageClass::Global)
+                .map(|t| {
+                    t.dims
+                        .iter()
+                        .skip(1)
+                        .map(|d| match d {
+                            DimExtent::Fixed(n) => *n as u64,
+                            _ => 1,
+                        })
+                        .product::<u64>()
+                        * 4
+                })
+                .sum();
+            self.profile.cache_reuse_bytes = self.rt.intra_group_edges as u64 * per_edge_bytes;
+        }
+        // Recursive refactoring: the fused A2/A1 stage boundary is a
+        // block-local sync per wave (per-subtree blocking), accounted here.
+        if self.program.meta.schedule.refactor_split.is_some() {
+            self.profile.barriers_block += self.lin.internal_batches().len() as u64;
+        }
+        // Persisted parameters: each needed byte read exactly once.
+        if self.persist_active {
+            for (i, &loads) in self.persisted_loads.iter().enumerate() {
+                if loads > 0 {
+                    if let Some(buf) = &self.bufs[i] {
+                        self.profile.param_bytes_read += (loads * 4).min(buf.bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn finish(mut self) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
+        let mut outputs = HashMap::new();
+        for id in &self.program.outputs {
+            let buf = self.bufs[id.0 as usize]
+                .take()
+                .ok_or_else(|| ExecError::Internal(format!("output {id} has no buffer")))?;
+            let t = Tensor::from_vec(buf.data.into_vec(), &buf.dims)
+                .map_err(|e| ExecError::Internal(e.to_string()))?;
+            outputs.insert(*id, t);
+        }
+        Ok((outputs, self.profile))
+    }
+
+    // -- accounting ---------------------------------------------------
+
+    pub(crate) fn push_scope(&mut self, is_wave: bool) {
+        let flops = self.profile.flops;
+        let touch = self
+            .scope_pool
+            .pop()
+            .unwrap_or_else(|| vec![(0, 0); self.bufs.len()]);
+        debug_assert!(touch.iter().all(|&t| t == (0, 0)));
+        self.scopes.push(Scope {
+            touch,
+            flops_start: flops,
+            flops_attributed: 0,
+            width: 0,
+            is_wave,
+        });
+    }
+
+    pub(crate) fn pop_scope(&mut self) {
+        let mut scope = self.scopes.pop().expect("scope underflow");
+        let delta = self.profile.flops - scope.flops_start;
+        let own = delta - scope.flops_attributed;
+        if let Some(parent) = self.scopes.last_mut() {
+            parent.flops_attributed += delta;
+        }
+        let mut wave_bytes = 0u64;
+        for (t, counts) in scope.touch.iter_mut().enumerate() {
+            let (loads, stores) = std::mem::take(counts);
+            if loads == 0 && stores == 0 {
+                continue;
+            }
+            let tensor = TensorId(t as u32);
+            let Some(buf) = &self.bufs[tensor.0 as usize] else {
+                continue;
+            };
+            let size = buf.bytes();
+            match buf.class {
+                StorageClass::Param => {
+                    // Persistence pins the recurrent parameters (those
+                    // read every wave); one-shot reads (embedding gathers
+                    // in leaf/precompute kernels) always pay their
+                    // traffic, as in GRNN/DeepCPU.
+                    if self.persist_active && scope.is_wave {
+                        self.persisted_loads[tensor.0 as usize] += loads;
+                    } else {
+                        let b = (loads * 4).min(size);
+                        self.profile.param_bytes_read += b;
+                        wave_bytes += b;
+                    }
+                }
+                StorageClass::Global => {
+                    let r = (loads * 4).min(size);
+                    let w = (stores * 4).min(size);
+                    self.profile.global_bytes_read += r;
+                    self.profile.global_bytes_written += w;
+                    wave_bytes += r + w;
+                }
+                StorageClass::Scratch => {
+                    self.profile.scratch_bytes_accessed += (loads + stores) * 4;
+                }
+            }
+        }
+        if own > 0 || wave_bytes > 0 {
+            self.profile.waves.push(WaveStat {
+                flops: own,
+                width: scope.width.max(1),
+                bytes: wave_bytes,
+            });
+        }
+        self.scope_pool.push(scope.touch);
+    }
+
+    #[inline]
+    pub(crate) fn record_load(&mut self, tensor: TensorId) {
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.touch[tensor.0 as usize].0 += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_store(&mut self, tensor: TensorId) {
+        self.store_gens[tensor.0 as usize] += 1;
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.touch[tensor.0 as usize].1 += 1;
+        }
+    }
+
+    // -- statement helpers shared by both runtimes --------------------
+
+    /// Executes a `Store` statement (offset, accounting, write).
+    pub(crate) fn exec_store(
+        &mut self,
+        tensor: TensorId,
+        index: &[IdxExpr],
+        value: &cortex_core::expr::ValExpr,
+    ) {
+        let v = self.eval_val(value);
+        let off = self.offset(tensor, index);
+        self.record_store(tensor);
+        let buf = self.bufs[tensor.0 as usize]
+            .as_mut()
+            .expect("stored tensor allocated");
+        buf.data.as_mut()[off] = v;
+    }
+
+    pub(crate) fn offset(&mut self, tensor: TensorId, index: &[IdxExpr]) -> usize {
+        let mut coords = [0i64; 8];
+        for (d, e) in index.iter().enumerate() {
+            coords[d] = self.eval_idx(e);
+        }
+        let buf = self.bufs[tensor.0 as usize]
+            .as_ref()
+            .expect("tensor allocated");
+        let mut off = 0usize;
+        for (d, &c) in coords.iter().enumerate().take(index.len()) {
+            debug_assert!(
+                c >= 0 && (c as usize) < buf.dims[d],
+                "index {} out of bounds for dim {} of {:?} (tensor {tensor})",
+                c,
+                d,
+                buf.dims
+            );
+            off += c as usize * buf.strides[d];
+        }
+        off
+    }
+
+    /// Base offset and `i`-stride of an index list whose non-`i`
+    /// positions are loop-invariant (evaluated once).
+    pub(crate) fn strided_offset(
+        &mut self,
+        tensor: TensorId,
+        index: &[IdxExpr],
+        i_pos: Option<usize>,
+    ) -> (usize, usize) {
+        let mut coords = [0i64; 8];
+        for (d, e) in index.iter().enumerate() {
+            if Some(d) == i_pos {
+                continue;
+            }
+            coords[d] = self.eval_idx(e);
+        }
+        let buf = self.bufs[tensor.0 as usize]
+            .as_ref()
+            .expect("tensor allocated");
+        let mut base = 0usize;
+        for (d, _) in index.iter().enumerate() {
+            if Some(d) == i_pos {
+                continue;
+            }
+            base += coords[d] as usize * buf.strides[d];
+        }
+        (base, i_pos.map_or(0, |d| buf.strides[d]))
+    }
+
+    // -- index/boolean expression evaluation --------------------------
+
+    pub(crate) fn eval_idx(&mut self, e: &IdxExpr) -> i64 {
+        match e {
+            IdxExpr::Const(c) => *c,
+            IdxExpr::Var(v) => self.slots[v.id() as usize],
+            IdxExpr::Rt(r) => self.rt_scalar(*r),
+            IdxExpr::Ufn(f, args) => {
+                let a0 = self.eval_idx(&args[0]);
+                match f {
+                    Ufn::Child(k) => self.lin.child_array(*k as usize)[a0 as usize] as i64,
+                    Ufn::Word => self.lin.word(a0 as u32) as i64,
+                    Ufn::NumChildren => {
+                        self.profile.leaf_check_loads += 1;
+                        self.lin.num_children_of(a0 as u32) as i64
+                    }
+                    Ufn::BatchBegin => self.rt.batches[a0 as usize].begin() as i64,
+                    Ufn::BatchLength => self.rt.batches[a0 as usize].len() as i64,
+                    Ufn::NodeAt => self.lin.post_order()[a0 as usize] as i64,
+                    Ufn::RootAt => self.lin.roots()[a0 as usize] as i64,
+                    Ufn::StageLength => self.rt.stages[a0 as usize].len() as i64,
+                    Ufn::StageNodeAt => {
+                        let a1 = self.eval_idx(&args[1]);
+                        self.rt.stages[a0 as usize][a1 as usize] as i64
+                    }
+                }
+            }
+            IdxExpr::Bin(op, a, b) => {
+                let (x, y) = (self.eval_idx(a), self.eval_idx(b));
+                match op {
+                    IdxBinOp::Add => x + y,
+                    IdxBinOp::Sub => x - y,
+                    IdxBinOp::Mul => x * y,
+                    IdxBinOp::Div => x.div_euclid(y),
+                    IdxBinOp::Rem => x.rem_euclid(y),
+                    IdxBinOp::Min => x.min(y),
+                    IdxBinOp::Max => x.max(y),
+                }
+            }
+        }
+    }
+
+    pub(crate) fn rt_scalar(&self, r: RtScalar) -> i64 {
+        match r {
+            RtScalar::NumNodes => self.lin.num_nodes() as i64,
+            RtScalar::NumInternal => self.lin.num_internal() as i64,
+            RtScalar::NumLeaves => (self.lin.num_nodes() - self.lin.num_internal()) as i64,
+            RtScalar::NumInternalBatches => self.lin.internal_batches().len() as i64,
+            RtScalar::LeafBegin => self.lin.num_internal() as i64,
+            RtScalar::MaxBatchLen => self.rt.max_batch as i64,
+            RtScalar::NumRoots => self.lin.roots().len() as i64,
+            RtScalar::NumStages => self.rt.stages.len() as i64,
+        }
+    }
+
+    pub(crate) fn eval_bool(&mut self, e: &BoolExpr) -> bool {
+        match e {
+            BoolExpr::Cmp(op, a, b) => {
+                let (x, y) = (self.eval_idx(a), self.eval_idx(b));
+                match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                }
+            }
+            BoolExpr::IsLeaf(n) => {
+                let v = self.eval_idx(n);
+                self.lin.is_leaf(v as u32)
+            }
+            BoolExpr::And(a, b) => self.eval_bool(a) && self.eval_bool(b),
+            BoolExpr::Or(a, b) => self.eval_bool(a) || self.eval_bool(b),
+            BoolExpr::Not(a) => !self.eval_bool(a),
+        }
+    }
+
+    /// The flat launch schedule both runtimes execute: `Once` kernels in
+    /// order, each `PerInternalBatch` run expanded over the input's batch
+    /// indices. Precomputing it lets the resumable machines treat every
+    /// kernel launch uniformly.
+    pub(crate) fn launch_units(&self) -> Vec<(usize, Option<i64>)> {
+        launch_units(&self.compiled, self.program, self.lin)
+    }
+}
+
+/// See [`Interp::launch_units`].
+pub(crate) fn launch_units(
+    compiled: &[CompiledKernel],
+    program: &IlirProgram,
+    lin: &Linearized,
+) -> Vec<(usize, Option<i64>)> {
+    use cortex_core::ilir::LaunchPattern;
+    let num_internal_batches = if program.meta.schedule.specialize {
+        lin.internal_batches().len() as i64
+    } else {
+        lin.internal_batches().len() as i64 + 1
+    };
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < compiled.len() {
+        match compiled[i].launch {
+            LaunchPattern::Once => {
+                units.push((i, None));
+                i += 1;
+            }
+            LaunchPattern::PerInternalBatch => {
+                let mut j = i;
+                while j < compiled.len() && compiled[j].launch == LaunchPattern::PerInternalBatch {
+                    j += 1;
+                }
+                for b in 0..num_internal_batches {
+                    for k in i..j {
+                        units.push((k, Some(b)));
+                    }
+                }
+                i = j;
+            }
+        }
+    }
+    units
+}
+
+/// Marks every statement whose subtree contains a planned wave loop
+/// (including the loop itself). Returns whether `stmt`'s subtree does.
+pub(crate) fn collect_wave_ancestors(
+    stmt: &Stmt,
+    plans: &HashMap<usize, Rc<WavePlan>>,
+    out: &mut std::collections::HashSet<usize>,
+) -> bool {
+    let mut contains = plans.contains_key(&(stmt as *const Stmt as usize));
+    match stmt {
+        Stmt::For { body, .. } | Stmt::Let { body, .. } => {
+            for s in body {
+                contains |= collect_wave_ancestors(s, plans, out);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for s in then_branch.iter().chain(else_branch) {
+                contains |= collect_wave_ancestors(s, plans, out);
+            }
+        }
+        Stmt::Store { .. } | Stmt::Barrier => {}
+    }
+    if contains {
+        out.insert(stmt as *const Stmt as usize);
+    }
+    contains
+}

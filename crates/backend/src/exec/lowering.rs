@@ -1,0 +1,352 @@
+//! Lowering: from kernel ASTs to the linear [`Program`].
+//!
+//! Two stages, both run once per engine:
+//!
+//! 1. **Kernel compilation** ([`CompiledKernel::compile`]): remap every
+//!    `Var` to a dense slot index so the interpreter's register file is
+//!    a flat array.
+//! 2. **Flattening** ([`lower`]): walk each compiled body once and emit
+//!    the flat op stream, resolving every wave/bulk/fused plan lookup
+//!    into op operands. Control flow becomes explicit jump targets
+//!    (`Branch`/`Jump`, `LoopEnter`/`LoopNext`); plan decisions that
+//!    the AST walker re-discovers per execution (map lookups keyed by
+//!    statement address) happen exactly once, here.
+//!
+//! The lowering is total over the statement grammar — `For`, `Let`,
+//! `Store`, `If`, `Barrier` all flatten — so no `ScalarStmt` fallback is
+//! ever emitted today ([`Program::fallback_ops`] stays 0, CI-gated).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cortex_core::expr::{BoolExpr, IdxExpr, ValExpr};
+use cortex_core::ilir::{LaunchPattern, Stmt};
+
+use super::bulk::{BulkPlan, FusedWave};
+use super::program::{KernelDef, LoopDef, Op, Pc, Program, WaveRef};
+use crate::wave::WavePlan;
+
+// ---------------------------------------------------------------------
+// Kernel compilation: dense variable slots
+// ---------------------------------------------------------------------
+
+pub(crate) struct CompiledKernel {
+    pub(crate) launch: LaunchPattern,
+    pub(crate) batch_slot: Option<usize>,
+    pub(crate) body: Vec<Stmt>,
+    pub(crate) num_slots: usize,
+}
+
+#[derive(Default)]
+struct SlotMap {
+    map: HashMap<u32, u32>,
+}
+
+impl SlotMap {
+    fn slot(&mut self, v: cortex_core::Var) -> cortex_core::Var {
+        let next = self.map.len() as u32;
+        let s = *self.map.entry(v.id()).or_insert(next);
+        cortex_core::Var::from_raw(s)
+    }
+}
+
+impl CompiledKernel {
+    pub(crate) fn compile(kernel: &cortex_core::ilir::Kernel) -> Self {
+        let mut slots = SlotMap::default();
+        let batch_slot = kernel.batch_var.map(|v| slots.slot(v).id() as usize);
+        let body = kernel
+            .body
+            .iter()
+            .map(|s| remap_stmt(s, &mut slots))
+            .collect();
+        CompiledKernel {
+            launch: kernel.launch,
+            batch_slot,
+            body,
+            num_slots: slots.map.len(),
+        }
+    }
+}
+
+fn remap_stmt(s: &Stmt, m: &mut SlotMap) -> Stmt {
+    match s {
+        Stmt::For {
+            var,
+            extent,
+            kind,
+            dim,
+            body,
+        } => Stmt::For {
+            var: m.slot(*var),
+            extent: remap_idx(extent, m),
+            kind: *kind,
+            dim: dim.clone(),
+            body: body.iter().map(|st| remap_stmt(st, m)).collect(),
+        },
+        Stmt::Let { var, value, body } => Stmt::Let {
+            var: m.slot(*var),
+            value: remap_idx(value, m),
+            body: body.iter().map(|st| remap_stmt(st, m)).collect(),
+        },
+        Stmt::Store {
+            tensor,
+            index,
+            value,
+        } => Stmt::Store {
+            tensor: *tensor,
+            index: index.iter().map(|e| remap_idx(e, m)).collect(),
+            value: remap_val(value, m),
+        },
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            cond: remap_bool(cond, m),
+            then_branch: then_branch.iter().map(|st| remap_stmt(st, m)).collect(),
+            else_branch: else_branch.iter().map(|st| remap_stmt(st, m)).collect(),
+        },
+        Stmt::Barrier => Stmt::Barrier,
+    }
+}
+
+fn remap_idx(e: &IdxExpr, m: &mut SlotMap) -> IdxExpr {
+    match e {
+        IdxExpr::Const(_) | IdxExpr::Rt(_) => e.clone(),
+        IdxExpr::Var(v) => IdxExpr::Var(m.slot(*v)),
+        IdxExpr::Ufn(f, args) => IdxExpr::Ufn(*f, args.iter().map(|a| remap_idx(a, m)).collect()),
+        IdxExpr::Bin(op, a, b) => {
+            IdxExpr::Bin(*op, Box::new(remap_idx(a, m)), Box::new(remap_idx(b, m)))
+        }
+    }
+}
+
+fn remap_bool(e: &BoolExpr, m: &mut SlotMap) -> BoolExpr {
+    match e {
+        BoolExpr::Cmp(op, a, b) => BoolExpr::Cmp(*op, remap_idx(a, m), remap_idx(b, m)),
+        BoolExpr::IsLeaf(a) => BoolExpr::IsLeaf(remap_idx(a, m)),
+        BoolExpr::And(a, b) => {
+            BoolExpr::And(Box::new(remap_bool(a, m)), Box::new(remap_bool(b, m)))
+        }
+        BoolExpr::Or(a, b) => BoolExpr::Or(Box::new(remap_bool(a, m)), Box::new(remap_bool(b, m))),
+        BoolExpr::Not(a) => BoolExpr::Not(Box::new(remap_bool(a, m))),
+    }
+}
+
+fn remap_val(e: &ValExpr, m: &mut SlotMap) -> ValExpr {
+    match e {
+        ValExpr::Const(_) => e.clone(),
+        ValExpr::Load { tensor, index } => ValExpr::Load {
+            tensor: *tensor,
+            index: index.iter().map(|i| remap_idx(i, m)).collect(),
+        },
+        ValExpr::Unary(op, a) => ValExpr::Unary(*op, Box::new(remap_val(a, m))),
+        ValExpr::Bin(op, a, b) => {
+            ValExpr::Bin(*op, Box::new(remap_val(a, m)), Box::new(remap_val(b, m)))
+        }
+        ValExpr::Sum { var, extent, body } => ValExpr::Sum {
+            var: m.slot(*var),
+            extent: remap_idx(extent, m),
+            body: Box::new(remap_val(body, m)),
+        },
+        ValExpr::Select {
+            cond,
+            then,
+            otherwise,
+        } => ValExpr::Select {
+            cond: remap_bool(cond, m),
+            then: Box::new(remap_val(then, m)),
+            otherwise: Box::new(remap_val(otherwise, m)),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flattening
+// ---------------------------------------------------------------------
+
+/// Lowers every compiled kernel into one flat [`Program`], resolving the
+/// engine's wave/bulk/fused plans into op operands.
+pub(crate) fn lower(
+    compiled: &Rc<Vec<CompiledKernel>>,
+    wave_plans: &HashMap<usize, Rc<WavePlan>>,
+    bulk_plans: &HashMap<(usize, usize), Rc<BulkPlan>>,
+    fused_waves: &HashMap<(usize, usize), Rc<FusedWave>>,
+) -> Program {
+    let mut lw = Lowerer {
+        ops: Vec::new(),
+        loops: Vec::new(),
+        waves: Vec::new(),
+        fused: Vec::new(),
+        bulks: Vec::new(),
+        wave_plans,
+        bulk_plans,
+        fused_waves,
+        cur_kernel: 0,
+        fallback_ops: 0,
+    };
+    let mut kernels = Vec::with_capacity(compiled.len());
+    for (ki, kernel) in compiled.iter().enumerate() {
+        lw.cur_kernel = ki;
+        let entry = lw.ops.len();
+        for s in &kernel.body {
+            lw.lower_stmt(s);
+        }
+        lw.ops.push(Op::KernelEnd);
+        kernels.push(KernelDef {
+            entry,
+            launch: kernel.launch,
+            batch_slot: kernel.batch_slot,
+        });
+    }
+    Program {
+        ops: lw.ops,
+        loops: lw.loops,
+        waves: lw.waves,
+        fused: lw.fused,
+        bulks: lw.bulks,
+        kernels,
+        fallback_ops: lw.fallback_ops,
+        source: compiled.clone(),
+    }
+}
+
+struct Lowerer<'e> {
+    ops: Vec<Op>,
+    loops: Vec<LoopDef>,
+    waves: Vec<WaveRef>,
+    fused: Vec<Rc<FusedWave>>,
+    bulks: Vec<Rc<BulkPlan>>,
+    wave_plans: &'e HashMap<usize, Rc<WavePlan>>,
+    bulk_plans: &'e HashMap<(usize, usize), Rc<BulkPlan>>,
+    fused_waves: &'e HashMap<(usize, usize), Rc<FusedWave>>,
+    cur_kernel: usize,
+    fallback_ops: usize,
+}
+
+impl<'e> Lowerer<'e> {
+    fn lower_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::For {
+                var,
+                extent,
+                dim,
+                body,
+                ..
+            } => {
+                let addr = s as *const Stmt as usize;
+                let key = (self.cur_kernel, addr);
+                // A bulk-servable feature loop gets its fast path op in
+                // front of the per-element loop; the runtime falls
+                // through when the plan's reductions are not memo-active
+                // (scalar path, per-site fallback, min-width skip).
+                let bulk_at: Option<Pc> = self.bulk_plans.get(&key).map(|plan| {
+                    self.bulks.push(plan.clone());
+                    let at = self.ops.len();
+                    self.ops.push(Op::BulkPass {
+                        id: self.bulks.len() - 1,
+                        done: 0, // patched below
+                    });
+                    at
+                });
+
+                let is_wave = matches!(dim, Some(d) if d.0 == "d_all_batches");
+                let is_node = matches!(dim, Some(d) if d.0 == "d_batch");
+                let wave = self.wave_plans.get(&addr).map(|plan| {
+                    self.waves.push(WaveRef {
+                        plan: plan.clone(),
+                        for_key: addr,
+                    });
+                    self.waves.len() - 1
+                });
+                let fused = self.fused_waves.get(&key).map(|fw| {
+                    self.fused.push(fw.clone());
+                    self.fused.len() - 1
+                });
+
+                let loop_id = self.loops.len();
+                self.loops.push(LoopDef {
+                    slot: var.id() as usize,
+                    extent,
+                    is_wave,
+                    is_node,
+                    wave,
+                    fused,
+                    body: 0,     // patched below
+                    fused_pc: 0, // patched below
+                    exit: 0,     // patched below
+                });
+                self.ops.push(Op::LoopEnter(loop_id));
+                let body_pc = self.ops.len();
+                for st in body {
+                    self.lower_stmt(st);
+                }
+                self.ops.push(Op::LoopNext(loop_id));
+                let fused_pc = self.ops.len();
+                if fused.is_some() {
+                    self.ops.push(Op::FusedEpilogue);
+                }
+                let exit = self.ops.len();
+                let d = &mut self.loops[loop_id];
+                d.body = body_pc;
+                d.fused_pc = fused_pc;
+                d.exit = exit;
+                if let Some(at) = bulk_at {
+                    let Op::BulkPass { done, .. } = &mut self.ops[at] else {
+                        unreachable!("bulk op emitted above")
+                    };
+                    *done = exit;
+                }
+            }
+            Stmt::Let { var, value, body } => {
+                self.ops.push(Op::Let {
+                    slot: var.id() as usize,
+                    value,
+                });
+                for st in body {
+                    self.lower_stmt(st);
+                }
+            }
+            Stmt::Store { .. } => self.ops.push(Op::Store { stmt: s }),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let branch_at = self.ops.len();
+                self.ops.push(Op::Branch {
+                    cond,
+                    on_false: 0, // patched below
+                });
+                for st in then_branch {
+                    self.lower_stmt(st);
+                }
+                if else_branch.is_empty() {
+                    let after = self.ops.len();
+                    self.patch_branch(branch_at, after);
+                } else {
+                    let jump_at = self.ops.len();
+                    self.ops.push(Op::Jump(0)); // patched below
+                    let else_pc = self.ops.len();
+                    self.patch_branch(branch_at, else_pc);
+                    for st in else_branch {
+                        self.lower_stmt(st);
+                    }
+                    let after = self.ops.len();
+                    let Op::Jump(t) = &mut self.ops[jump_at] else {
+                        unreachable!("jump emitted above")
+                    };
+                    *t = after;
+                }
+            }
+            Stmt::Barrier => self.ops.push(Op::Barrier),
+        }
+    }
+
+    fn patch_branch(&mut self, at: Pc, target: Pc) {
+        let Op::Branch { on_false, .. } = &mut self.ops[at] else {
+            unreachable!("branch emitted above")
+        };
+        *on_false = target;
+    }
+}

@@ -1,0 +1,872 @@
+//! The ILIR executor: compiles kernels to a linear plan and runs it.
+//!
+//! Where TVM would emit CUDA/LLVM, this executor **lowers** the ILIR to
+//! a flat instruction stream and interprets that — with two properties
+//! the reproduction depends on:
+//!
+//! 1. **Exact semantics**: results are bit-identical to what generated
+//!    code would produce (validated against pure-Rust reference model
+//!    implementations in `cortex-models`).
+//! 2. **Complete accounting**: every launch, barrier, load, store and flop
+//!    is recorded into a [`Profile`], with global-memory traffic
+//!    de-duplicated per wavefront (a hardware cache would do the same
+//!    within a kernel) and parameter reads counted once per program under
+//!    model persistence or once per wave otherwise — the exact accounting
+//!    Appendix C's roofline analysis performs.
+//!
+//! # Compile pipeline
+//!
+//! ```text
+//! ILIR kernels
+//!   │  [`lowering::CompiledKernel::compile`]   dense variable slots
+//!   ▼
+//! compiled ASTs ──▶ wave analysis  (`wave::analyze`: GEMM sites, stacking groups)
+//!   │           ──▶ bulk analysis  (`bulk`: feature-loop row passes, fused epilogues)
+//!   │  [`lowering::lower`]        flatten + resolve plans into operands
+//!   ▼
+//! [`program::Program`]            flat `Vec<Op>` with jump targets
+//!   │  [`run`]                    pc dispatch; park = pc + loop records
+//!   ▼
+//! outputs + exact `Profile`
+//! ```
+//!
+//! The pre-lowering recursive AST walk survives behind
+//! [`ExecOptions::interp`] as the bit-exactness oracle (`scalar`), the
+//! same cross-check pattern as `bulk: false`.
+
+mod bulk;
+mod gather;
+mod interp;
+mod lowering;
+mod program;
+mod run;
+mod scalar;
+#[cfg(test)]
+mod tests;
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::time::Instant;
+
+use cortex_core::expr::TensorId;
+use cortex_core::ilir::IlirProgram;
+use cortex_ds::linearizer::{LinearizeError, Linearized};
+use cortex_tensor::approx::NonlinearityMode;
+use cortex_tensor::{kernels, Tensor};
+
+use crate::device::{DeviceSpec, LatencyEstimate};
+use crate::params::Params;
+use crate::persist::{check_persistence, PersistDecision};
+use crate::profile::Profile;
+use crate::wave::{SuperEntry, SuperWaveAcc, WavePlan};
+
+use bulk::{BulkPlan, FusedWave};
+use gather::evict_weight_cache_lru;
+use interp::{Caches, Interp};
+use lowering::CompiledKernel;
+use run::PcCursor;
+use scalar::RunCursor;
+
+pub use program::PlanStats;
+
+/// Errors from program execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A declared parameter was not bound.
+    MissingParam(String),
+    /// A bound parameter's shape does not match its declaration.
+    ParamShape {
+        /// Parameter name.
+        name: String,
+        /// Declared dims.
+        expected: Vec<usize>,
+        /// Bound dims.
+        found: Vec<usize>,
+    },
+    /// Building the unrolled schedule failed (e.g. unrolling a DAG).
+    Unroll(LinearizeError),
+    /// An internal invariant was violated.
+    Internal(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::MissingParam(n) => write!(f, "parameter '{n}' is not bound"),
+            ExecError::ParamShape {
+                name,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "parameter '{name}' has shape {found:?}, expected {expected:?}"
+                )
+            }
+            ExecError::Unroll(e) => write!(f, "unrolled schedule: {e}"),
+            ExecError::Internal(msg) => write!(f, "internal executor error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<LinearizeError> for ExecError {
+    fn from(e: LinearizeError) -> Self {
+        ExecError::Unroll(e)
+    }
+}
+
+/// One request's raw execution result: output tensors by id plus the
+/// exact counters ([`Engine::execute`]'s return shape, also produced
+/// per request by [`Engine::execute_many`]).
+pub type RunOutput = (HashMap<TensorId, Tensor>, Profile);
+
+/// The result of running a lowered program on a device model.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Output tensors by id (recursion results and marked outputs).
+    pub outputs: HashMap<TensorId, Tensor>,
+    /// Execution counters.
+    pub profile: Profile,
+    /// Device-model latency estimate.
+    pub latency: LatencyEstimate,
+    /// Persistence decision that was in effect.
+    pub persist: PersistDecision,
+}
+
+/// Runs `program` on the linearized input with the given parameters and
+/// device model.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] for unbound/ill-shaped parameters or invalid
+/// unrolled schedules.
+pub fn run(
+    program: &IlirProgram,
+    lin: &Linearized,
+    params: &Params,
+    device: &DeviceSpec,
+) -> Result<RunResult, ExecError> {
+    Engine::new(program).run(lin, params, device)
+}
+
+/// Executes without a device model, returning outputs and raw counters.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn execute(
+    program: &IlirProgram,
+    lin: &Linearized,
+    params: &Params,
+    persist_active: bool,
+) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
+    Engine::new(program).execute(lin, params, persist_active)
+}
+
+// ---------------------------------------------------------------------
+// Options and stats
+// ---------------------------------------------------------------------
+
+/// Default for [`ExecOptions::min_wave_width`]: waves narrower than this
+/// skip the gather/pack phase and run on the scalar fastdot path.
+/// Results and `Profile` are identical either way; this is purely a
+/// latency tuning knob.
+///
+/// Measured with the `tune_wave_width` sweep (single-core x86, h=256):
+/// gate stacking makes even width-1 waves profitable — one stacked GEMM
+/// replaces `h` per-element stream resolutions — so the default batches
+/// everything (`seqlstm_h256_bs1` is 23 ms batched vs 36 ms skipped;
+/// thresholds ≥2 only ever lose). Raise this on hardware where the
+/// gather/pack phase is comparatively more expensive.
+pub const MIN_WAVE_WIDTH: usize = 1;
+
+/// Which executor paths are enabled.
+///
+/// All configurations compute identical results (a property test
+/// asserts agreement on random programs); they differ in speed and serve
+/// as each other's cross-checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Run recognized reductions as tight strided loops
+    /// ([`crate::fastdot::DotPlan`]). With this off, every `Sum` goes
+    /// through the generic interpreter.
+    pub fastdot: bool,
+    /// Execute recognized reduction *waves* as packed GEMMs (the batched
+    /// wavefront engine).
+    pub wave_gemm: bool,
+    /// Stack compatible sites of a wave into one GEMM per group (shared
+    /// gathered rows → vertically stacked weights; shared weight →
+    /// row-stacked gathers). With this off every site runs its own GEMM
+    /// (the pre-stacking path, kept as a cross-check).
+    pub gate_stacking: bool,
+    /// Waves narrower than this many rows stay on the scalar fastdot
+    /// path ([`MIN_WAVE_WIDTH`]).
+    pub min_wave_width: usize,
+    /// Serve store loops in bulk (strided row passes, fused whole-wave
+    /// epilogues) instead of interpreting them per element. Results are
+    /// **bit-identical** either way (in `Exact` nonlinearity mode) and
+    /// the `Profile` counters are exactly equal; this switch exists as
+    /// the cross-check for that claim and as a diagnostic.
+    pub bulk: bool,
+    /// Run the legacy AST-walking interpreter instead of the lowered
+    /// linear plan. Outputs and `Profile`s are **bit-identical** to the
+    /// pc runtime (property-tested across every model, solo and
+    /// batched); this switch is the lowering's correctness oracle and a
+    /// diagnostic, exactly like `bulk: false` is for bulk serving.
+    pub interp: bool,
+    /// Which `tanh`/`sigmoid` implementation the executor applies — the
+    /// paper's App. A.5 schedule choice, exposed as a per-engine knob
+    /// (TVM-style: exact vs approximate nonlinearities are a scheduling
+    /// decision, not a model property).
+    ///
+    /// [`Exact`](NonlinearityMode::Exact) (the default) uses `libm` and
+    /// keeps every executor configuration bit-identical.
+    /// [`Rational`](NonlinearityMode::Rational) substitutes the
+    /// branch-free rational approximations — SIMD-vectorized over bulk
+    /// feature rows via `cortex_tensor::simd` — with end-to-end error
+    /// ≤ 1e-4 against the exact results (property-tested). `Profile`
+    /// counters are unaffected: the modes differ in arithmetic, never in
+    /// accounting. A program whose schedule already requests `Rational`
+    /// keeps it regardless of this option.
+    pub nonlinearity: NonlinearityMode,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            fastdot: true,
+            wave_gemm: true,
+            gate_stacking: true,
+            min_wave_width: MIN_WAVE_WIDTH,
+            bulk: true,
+            interp: false,
+            nonlinearity: NonlinearityMode::Exact,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// The generic interpreter: no reduction fast paths at all.
+    pub fn generic() -> Self {
+        ExecOptions {
+            fastdot: false,
+            wave_gemm: false,
+            gate_stacking: false,
+            min_wave_width: 0,
+            bulk: false,
+            interp: false,
+            nonlinearity: NonlinearityMode::Exact,
+        }
+    }
+
+    /// The scalar fast path: per-element strided dots, no wave batching.
+    pub fn scalar() -> Self {
+        ExecOptions {
+            fastdot: true,
+            wave_gemm: false,
+            gate_stacking: false,
+            min_wave_width: 0,
+            bulk: true,
+            interp: false,
+            nonlinearity: NonlinearityMode::Exact,
+        }
+    }
+
+    /// The default batched engine with the rational-nonlinearity
+    /// epilogue (App. A.5) enabled.
+    pub fn rational() -> Self {
+        ExecOptions {
+            nonlinearity: NonlinearityMode::Rational,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// The batched engine with gate stacking disabled: one GEMM per site
+    /// per wave, exactly the pre-stacking executor.
+    pub fn unstacked() -> Self {
+        ExecOptions {
+            gate_stacking: false,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// The AST-walking oracle: identical semantics to the lowered plan
+    /// runtime, re-dispatched per statement instead of per op.
+    pub fn interpreted() -> Self {
+        ExecOptions {
+            interp: true,
+            ..ExecOptions::default()
+        }
+    }
+}
+
+/// Diagnostic counters of the batched wavefront engine, reset on every
+/// [`Engine::execute`]. Unlike [`Profile`] these describe the *executor
+/// strategy* (how many GEMMs served the run, how much stacking engaged),
+/// not the modeled device work — the scalar and batched paths
+/// intentionally report different [`ExecStats`] while their `Profile`s
+/// are identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Wave GEMM launches.
+    pub wave_gemms: u64,
+    /// Total rows across all wave GEMMs.
+    pub gemm_rows: u64,
+    /// Waves that ran the batched path.
+    pub waves_batched: u64,
+    /// Reduction sites served from wave GEMMs.
+    pub sites_batched: u64,
+    /// Multi-site groups executed as one stacked GEMM.
+    pub stacked_groups: u64,
+    /// Sites that shared a stacked GEMM (members of the above).
+    pub stacked_sites: u64,
+    /// Waves skipped by the min-width heuristic.
+    pub narrow_waves_skipped: u64,
+    /// Sites that failed a runtime check (weight window) and fell back
+    /// to the scalar path.
+    pub fallback_sites: u64,
+    /// Stacked-weight matrices (re)packed: 0 in the steady state of a
+    /// serving engine, whose packs persist per `(model, params
+    /// generation)` across runs and across a batch's requests.
+    pub weight_packs: u64,
+    /// Merged super-wave GEMMs (one GEMM serving the same wave depth of
+    /// several queued requests) executed by [`Engine::execute_many`].
+    pub super_gemms: u64,
+    /// Rows across merged super-wave GEMMs.
+    pub super_gemm_rows: u64,
+    /// Sum over merged GEMMs of the number of requests each served (so
+    /// `super_gemm_requests / super_gemms` is the mean merge width).
+    pub super_gemm_requests: u64,
+    /// Waves whose whole body ran as the fused bulk epilogue (one
+    /// loop-interchanged row pass per body statement instead of
+    /// `wave_len` per-node body walks).
+    pub fused_waves: u64,
+    /// Wall-clock nanoseconds spent in **fused wave** epilogue passes —
+    /// the post-GEMM serve/nonlinearity cost the `Rational` mode
+    /// targets. Timed at wave granularity only: per-node bulk loops
+    /// outside fused waves are not counted (a clock read per row pass
+    /// would distort both the metric and the path).
+    pub epilogue_ns: u64,
+    /// Wall-clock nanoseconds in the wave gather phase (weight packing +
+    /// operand-row resolution), timed per stacking group.
+    pub gather_ns: u64,
+    /// Wall-clock nanoseconds in wave GEMM kernels (own launches and
+    /// super-wave flushes).
+    pub gemm_ns: u64,
+    /// Wall-clock nanoseconds serving a wave's per-element epilogue
+    /// (memo hits, bulk row passes) when the body does **not** fuse.
+    /// Timed at wave granularity by the pc runtime on solo runs only:
+    /// under `execute_many` a parked wave would count other requests'
+    /// wall time into its own phase, and the `interp: true` oracle
+    /// lacks the loop bracket.
+    pub serve_ns: u64,
+    /// Statements executed through the AST-walk escape hatch of the pc
+    /// runtime (`Op::ScalarStmt`). Always 0 today: the lowering is
+    /// total, and CI gates it.
+    pub interp_stmts: u64,
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+/// The engine-lifetime compile artifacts shared by every interpreter:
+/// compiled kernels, the analysis plans keyed by their statement
+/// addresses, and the lowered linear program.
+#[derive(Clone)]
+pub(crate) struct SharedPlans {
+    pub(crate) compiled: Rc<Vec<CompiledKernel>>,
+    pub(crate) wave_plans: Rc<HashMap<usize, Rc<WavePlan>>>,
+    /// Bulk feature-loop plans, compiled **once per engine** from its
+    /// own kernels and keyed by `(kernel index, For statement address)`
+    /// — the kernel index makes the key self-describing and collision
+    /// -free by construction: there is no runtime insertion, so a key
+    /// can never outlive or alias the statement it was built from.
+    pub(crate) bulk_plans: Rc<HashMap<(usize, usize), Rc<BulkPlan>>>,
+    /// Fused whole-wave epilogues: parallel `d_batch` loops whose whole
+    /// body bulk-serves, keyed like `bulk_plans`.
+    pub(crate) fused_waves: Rc<HashMap<(usize, usize), Rc<FusedWave>>>,
+    /// Addresses of statements whose subtree contains a planned wave
+    /// loop — the only paths the oracle's step machine must walk
+    /// frame-by-frame; everything else executes atomically there.
+    pub(crate) wave_ancestors: Rc<HashSet<usize>>,
+    /// The lowered linear instruction stream (see [`program`]).
+    pub(crate) plan: Rc<program::Program>,
+}
+
+/// Whether a resumable step suspended or finished the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// Parked at a planned wave loop; pending super-wave GEMMs must
+    /// flush (and install) before the next step.
+    Paused,
+    /// The launch schedule completed and post-run accounting ran.
+    Done,
+}
+
+/// A reusable execution engine for one lowered program.
+///
+/// Compiling kernels (dense slot remapping), analyzing wave plans,
+/// pattern-matching reduction bodies, and lowering everything to the
+/// linear `program::Program` are all done **once** here and then
+/// reused by every run. Within a run, packed weight matrices and
+/// per-site scratch buffers are shared across all waves and kernel
+/// launches; weights are re-packed at the start of each run (parameter
+/// bindings may change between runs) while scratch buffers persist. Use
+/// this instead of the free [`execute`] function when running the same
+/// program many times (benchmarks, serving loops):
+///
+/// ```ignore
+/// let mut engine = Engine::new(&program);
+/// for lin in inputs {
+///     let (outputs, profile) = engine.execute(&lin, &params, true)?;
+/// }
+/// ```
+pub struct Engine<'p> {
+    program: &'p IlirProgram,
+    opts: ExecOptions,
+    shared: SharedPlans,
+    plan_stats: PlanStats,
+    max_slots: usize,
+    caches: Caches,
+    /// Shared parameter arena: one read-only allocation per `Param`
+    /// tensor, bound once per `(model, params generation)` and shared
+    /// by every run and every request of a batch (each interpreter's
+    /// `Param` buffers are `Rc` views of these).
+    param_arena: HashMap<u32, Rc<Vec<f32>>>,
+    /// The `Params::generation` the packed-weight cache and parameter
+    /// arena were built against; a different generation invalidates
+    /// both.
+    params_gen: Option<u64>,
+}
+
+/// Packed-weight cache eviction bound: a long-lived serving engine
+/// re-packs (cheap, amortized) rather than growing without limit when a
+/// program produces more distinct stacked-weight windows than this.
+const WEIGHT_CACHE_CAP: usize = 64;
+
+/// Builds every per-engine compile artifact for `opts`: compiled-kernel
+/// analyses (wave plans honor `gate_stacking`/`wave_gemm`) plus the
+/// lowered program with those plans resolved into operands.
+fn build_plans(compiled: Rc<Vec<CompiledKernel>>, opts: ExecOptions) -> (SharedPlans, PlanStats) {
+    let wave_plans: Rc<HashMap<usize, Rc<WavePlan>>> = Rc::new(if opts.wave_gemm {
+        let bodies: Vec<&[cortex_core::ilir::Stmt]> =
+            compiled.iter().map(|k| k.body.as_slice()).collect();
+        crate::wave::analyze(&bodies, opts.gate_stacking)
+            .into_iter()
+            .map(|(k, v)| (k, Rc::new(v)))
+            .collect()
+    } else {
+        HashMap::new()
+    });
+    let mut wave_ancestors = HashSet::new();
+    for kernel in compiled.iter() {
+        for stmt in &kernel.body {
+            interp::collect_wave_ancestors(stmt, &wave_plans, &mut wave_ancestors);
+        }
+    }
+    // Bulk feature-loop plans and fused wave epilogues are purely
+    // syntactic: compile them once here, per `(kernel, statement)`,
+    // instead of caching per run.
+    let mut bulk_plans = HashMap::new();
+    for (ki, kernel) in compiled.iter().enumerate() {
+        for stmt in &kernel.body {
+            bulk::collect_bulk_plans(stmt, ki, &mut bulk_plans);
+        }
+    }
+    let mut fused_waves = HashMap::new();
+    for (ki, kernel) in compiled.iter().enumerate() {
+        for stmt in &kernel.body {
+            bulk::collect_fused_waves(stmt, ki, &bulk_plans, &mut fused_waves);
+        }
+    }
+    let t0 = Instant::now();
+    let plan = lowering::lower(&compiled, &wave_plans, &bulk_plans, &fused_waves);
+    let lower_ns = t0.elapsed().as_nanos() as u64;
+    let stats = PlanStats {
+        plan_ops: plan.ops.len(),
+        interp_fallback_stmts: plan.fallback_ops,
+        lower_ns,
+    };
+    (
+        SharedPlans {
+            compiled,
+            wave_plans,
+            bulk_plans: Rc::new(bulk_plans),
+            fused_waves: Rc::new(fused_waves),
+            wave_ancestors: Rc::new(wave_ancestors),
+            plan: Rc::new(plan),
+        },
+        stats,
+    )
+}
+
+impl<'p> Engine<'p> {
+    /// Builds an engine with the default options (all fast paths on).
+    pub fn new(program: &'p IlirProgram) -> Self {
+        Engine::with_options(program, ExecOptions::default())
+    }
+
+    /// Builds an engine with explicit executor options.
+    pub fn with_options(program: &'p IlirProgram, opts: ExecOptions) -> Self {
+        let compiled: Rc<Vec<CompiledKernel>> = Rc::new(
+            program
+                .kernels
+                .iter()
+                .map(CompiledKernel::compile)
+                .collect(),
+        );
+        let max_slots = compiled.iter().map(|k| k.num_slots).max().unwrap_or(0);
+        let (shared, plan_stats) = build_plans(compiled, opts);
+        Engine {
+            program,
+            opts,
+            shared,
+            plan_stats,
+            max_slots,
+            caches: Caches::default(),
+            param_arena: HashMap::new(),
+            params_gen: None,
+        }
+    }
+
+    /// The options this engine was built with.
+    pub fn options(&self) -> ExecOptions {
+        self.opts
+    }
+
+    /// Reconfigures a live engine, invalidating exactly the compiled
+    /// state the change can stale:
+    ///
+    /// * `wave_gemm` / `gate_stacking` change the **lowering** (which
+    ///   loops are waves, how sites group, what the plan ops reference),
+    ///   so the analyses and the linear program are rebuilt and every
+    ///   grouping-shaped cache (stacked weight packs, group scratch,
+    ///   reduction plans) is dropped — a toggled engine behaves exactly
+    ///   like one freshly built with the new options (regression-tested
+    ///   per knob).
+    /// * `bulk` / `fastdot` / `min_wave_width` / `interp` /
+    ///   `nonlinearity` are pure runtime dispatch: no compiled state
+    ///   depends on them, nothing invalidates.
+    ///
+    /// The parameter arena and packed-weight cache remain keyed on
+    /// `(model, params generation)` independently of all knobs.
+    pub fn set_options(&mut self, opts: ExecOptions) {
+        if opts == self.opts {
+            return;
+        }
+        let lowering_changed =
+            opts.wave_gemm != self.opts.wave_gemm || opts.gate_stacking != self.opts.gate_stacking;
+        self.opts = opts;
+        if lowering_changed {
+            let (shared, plan_stats) = build_plans(self.shared.compiled.clone(), opts);
+            self.shared = shared;
+            self.plan_stats = plan_stats;
+            // Stacked-weight packs and group scratch are shaped by the
+            // previous grouping; reduction plans are keyed by addresses
+            // that remain valid but may now be wave-served — drop all
+            // three so the engine is indistinguishable from a fresh
+            // build with these options.
+            self.caches.weight_cache.clear();
+            self.caches.group_bufs.clear();
+            self.caches.plan_cache.clear();
+        }
+    }
+
+    /// Number of `d_batch` loops that will execute as batched GEMM waves.
+    pub fn num_wave_plans(&self) -> usize {
+        self.shared.wave_plans.len()
+    }
+
+    /// Diagnostic counters of the most recent [`Engine::execute`] call.
+    pub fn stats(&self) -> ExecStats {
+        self.caches.stats
+    }
+
+    /// Compile-time facts about the lowered plan: instruction count,
+    /// lowering time, and how many statements failed to lower (0 —
+    /// CI-gated).
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plan_stats
+    }
+
+    /// Executes the program, returning outputs and raw counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`execute`].
+    pub fn execute(
+        &mut self,
+        lin: &Linearized,
+        params: &Params,
+        persist_active: bool,
+    ) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
+        self.refresh_weight_cache(params);
+        self.caches.stats = ExecStats::default();
+        let mut interp = Interp::new(
+            self.program,
+            lin,
+            params,
+            persist_active,
+            self.opts,
+            self.shared.clone(),
+            self.max_slots,
+            &mut self.param_arena,
+        )?;
+        std::mem::swap(&mut self.caches, &mut interp.caches);
+        let result = if self.opts.interp {
+            interp.run_all()
+        } else {
+            interp.run_program();
+            Ok(())
+        };
+        std::mem::swap(&mut self.caches, &mut interp.caches);
+        result?;
+        interp.finish()
+    }
+
+    /// Executes the program over a *batch* of independent inputs, fusing
+    /// their wavefronts: at each wave depth, the per-request wave GEMMs
+    /// of the same stacking group merge into one **super-wave** GEMM
+    /// over the concatenation of every request's gathered rows (width
+    /// `Σ bs` instead of `bs`), so GEMM launches scale with the number
+    /// of wave depths, not with the number of requests.
+    ///
+    /// Outputs and `Profile`s are returned per request, **exactly**
+    /// equal to running each input through [`Engine::execute`] alone:
+    /// the merged GEMM computes each output element from the same row
+    /// and weight data in the same reduction order, and all accounting
+    /// is per-request by construction (the GEMM itself is
+    /// accounting-free; counters are charged during each request's own
+    /// gather and memo-serve phases). [`Engine::stats`] afterwards
+    /// describes the whole batch (one `wave_gemms` launch may serve many
+    /// requests — that is the amortization being measured).
+    ///
+    /// # Errors
+    ///
+    /// See [`execute`]; the first failing request aborts the batch.
+    pub fn execute_many(
+        &mut self,
+        lins: &[&Linearized],
+        params: &Params,
+        persist_active: bool,
+    ) -> Result<Vec<RunOutput>, ExecError> {
+        self.refresh_weight_cache(params);
+        self.caches.stats = ExecStats::default();
+        if lins.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut interps = Vec::with_capacity(lins.len());
+        for lin in lins {
+            interps.push(Interp::new(
+                self.program,
+                lin,
+                params,
+                persist_active,
+                self.opts,
+                self.shared.clone(),
+                self.max_slots,
+                &mut self.param_arena,
+            )?);
+        }
+        if self.opts.interp {
+            self.run_many_interp(&mut interps);
+        } else {
+            self.run_many_pc(&mut interps);
+        }
+        interps.into_iter().map(Interp::finish).collect()
+    }
+
+    /// The pc runtime's batched scheduler: one [`PcCursor`] per request
+    /// through [`Engine::run_many_cooperative`].
+    fn run_many_pc(&mut self, interps: &mut [Interp<'_>]) {
+        let cursors: Vec<PcCursor> = interps
+            .iter()
+            .map(|it| PcCursor::new(it.launch_units()))
+            .collect();
+        self.run_many_cooperative(
+            interps,
+            cursors,
+            |c| c.done,
+            |it, cur, acc, r| it.step_program(cur, Some((acc, r))),
+        );
+    }
+
+    /// [`Engine::run_many_pc`]'s oracle twin over the frame-based step
+    /// machine (`interp: true`) — same scheduler, different cursor.
+    fn run_many_interp(&mut self, interps: &mut [Interp<'_>]) {
+        let compiled = self.shared.compiled.clone();
+        let cursors: Vec<RunCursor<'_>> = interps
+            .iter()
+            .map(|it| RunCursor::new(it.launch_units()))
+            .collect();
+        self.run_many_cooperative(
+            interps,
+            cursors,
+            |c| c.done,
+            |it, cur, acc, r| it.step(cur, &compiled, acc, r),
+        );
+    }
+
+    /// The cooperative round-robin shared by both batched runtimes
+    /// (parameterized over the cursor type so the park/flush/resume
+    /// protocol cannot drift between the pc runtime and its oracle):
+    /// each request runs until it parks at a planned wave loop (gathered
+    /// rows registered, GEMM pending) or completes. Once every live
+    /// request is parked, the accumulated GEMMs flush — merged across
+    /// requests — results install, and everyone resumes. Merging is
+    /// opportunistic: requests at different depths (or past their last
+    /// wave) simply stop contributing rows, so mixed-depth batches stay
+    /// correct.
+    fn run_many_cooperative<C>(
+        &mut self,
+        interps: &mut [Interp<'_>],
+        mut cursors: Vec<C>,
+        done: impl Fn(&C) -> bool,
+        mut step: impl FnMut(&mut Interp<'_>, &mut C, &mut SuperWaveAcc, usize) -> StepOutcome,
+    ) {
+        let mut acc = SuperWaveAcc::default();
+        let mut parked = vec![false; interps.len()];
+        loop {
+            let mut progressed = false;
+            for r in 0..interps.len() {
+                if done(&cursors[r]) || parked[r] {
+                    continue;
+                }
+                progressed = true;
+                // The shared caches (reduction plans, packed weights,
+                // scratch pools, stats) shuttle into whichever request
+                // is stepping — this is what makes weights pack once
+                // per batch instead of once per request.
+                std::mem::swap(&mut self.caches, &mut interps[r].caches);
+                let outcome = step(&mut interps[r], &mut cursors[r], &mut acc, r);
+                std::mem::swap(&mut self.caches, &mut interps[r].caches);
+                if matches!(outcome, StepOutcome::Paused) {
+                    parked[r] = true;
+                }
+            }
+            if !acc.is_empty() {
+                self.flush_super_waves(&mut acc, interps);
+                parked.iter_mut().for_each(|p| *p = false);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        debug_assert!(cursors.iter().all(done), "all requests must finish");
+    }
+
+    /// Runs every pending super-wave GEMM and hands each registered
+    /// request its block of the shared result matrix.
+    fn flush_super_waves(&mut self, acc: &mut SuperWaveAcc, interps: &mut [Interp<'_>]) {
+        for entry in acc.take_entries() {
+            let SuperEntry {
+                key,
+                weight,
+                rows,
+                total_rows,
+                registrants,
+            } = entry;
+            let mut out = vec![0.0f32; total_rows * key.cols];
+            let gemm_t0 = Instant::now();
+            kernels::gemm_nt_into(&mut out, &rows, &weight, total_rows, key.cols, key.k_len);
+            let shared = Rc::new(out);
+            let stats = &mut self.caches.stats;
+            stats.gemm_ns += gemm_t0.elapsed().as_nanos() as u64;
+            stats.wave_gemms += 1;
+            stats.gemm_rows += total_rows as u64;
+            if registrants.len() > 1 {
+                stats.super_gemms += 1;
+                stats.super_gemm_rows += total_rows as u64;
+                stats.super_gemm_requests += registrants.len() as u64;
+            }
+            for reg in &registrants {
+                interps[reg.request].install_wave_result(
+                    reg.group_idx,
+                    shared.clone(),
+                    reg.base_row,
+                );
+            }
+            acc.recycle(rows);
+        }
+    }
+
+    /// Packed weights are cached per `(program, params generation)` —
+    /// i.e. once per model per binding state, across runs and across the
+    /// requests of a serving batch — instead of being rebuilt every run.
+    /// Packs of non-`Param` weights (tensors a kernel may rewrite with
+    /// input-dependent values) never survive a run boundary, and the
+    /// whole cache is bounded by [`WEIGHT_CACHE_CAP`] with
+    /// least-recently-used eviction: packs touched by the most recent
+    /// run (the in-flight working set — during `run_many` that is every
+    /// request of the batch, since eviction only runs between
+    /// executions) carry the newest stamp and are evicted last, so a
+    /// program whose working set fits the cap repacks **nothing** in
+    /// the steady state even when its lifetime-distinct pack count
+    /// exceeds the cap. (The old policy cleared the whole cache at the
+    /// cap, forcing a mid-service full repack.)
+    fn refresh_weight_cache(&mut self, params: &Params) {
+        let gen = params.generation();
+        self.caches.run_stamp += 1;
+        if self.params_gen != Some(gen) {
+            self.caches.weight_cache.clear();
+            self.param_arena.clear();
+            self.params_gen = Some(gen);
+        } else {
+            self.caches.weight_cache.retain(|_, w| w.params_only);
+            evict_weight_cache_lru(&mut self.caches.weight_cache, WEIGHT_CACHE_CAP);
+        }
+    }
+
+    /// Executes against a device model, like the free [`run`] function.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`].
+    pub fn run(
+        &mut self,
+        lin: &Linearized,
+        params: &Params,
+        device: &DeviceSpec,
+    ) -> Result<RunResult, ExecError> {
+        let persist = check_persistence(self.program, device);
+        let (outputs, profile) = self.execute(lin, params, persist.active())?;
+        let latency = device.latency(&profile);
+        Ok(RunResult {
+            outputs,
+            profile,
+            latency,
+            persist,
+        })
+    }
+
+    /// Batched counterpart of [`Engine::run`]: executes a queue of
+    /// independent inputs through one merged super-wave schedule (see
+    /// [`Engine::execute_many`]) and returns one [`RunResult`] per
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`].
+    pub fn run_many(
+        &mut self,
+        lins: &[&Linearized],
+        params: &Params,
+        device: &DeviceSpec,
+    ) -> Result<Vec<RunResult>, ExecError> {
+        let persist = check_persistence(self.program, device);
+        let results = self.execute_many(lins, params, persist.active())?;
+        Ok(results
+            .into_iter()
+            .map(|(outputs, profile)| RunResult {
+                latency: device.latency(&profile),
+                outputs,
+                profile,
+                persist: persist.clone(),
+            })
+            .collect())
+    }
+}

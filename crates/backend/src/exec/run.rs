@@ -1,0 +1,306 @@
+//! The pc-based plan runtime: executes a lowered [`Program`].
+//!
+//! One flat dispatch loop over [`Op`]s replaces the recursive statement
+//! walk: control flow is jump targets, loop state is a record stack plus
+//! the interpreter's slot registers, and every plan decision was already
+//! resolved into op operands by the lowering. Suspension (the
+//! `execute_many` super-wave park) is therefore just "remember the pc":
+//! a parked request is its [`PcCursor`] — program counter, launch-unit
+//! index, loop records — and resuming re-enters the dispatch loop at
+//! that pc with no re-evaluation of any control expression, so the
+//! `Profile` is exactly that of an uninterrupted run.
+//!
+//! # Safety
+//!
+//! Ops carry raw pointers into the engine's compiled kernels (see the
+//! pointer invariant on [`super::program`]). Every dereference below is
+//! sound because the interpreter holds the [`Program`] via `Rc`, and the
+//! program holds the compiled kernels it points into, immutably, for at
+//! least as long.
+
+use std::time::Instant;
+
+use cortex_core::ilir::{LaunchPattern, Stmt};
+
+use super::interp::Interp;
+use super::program::{Op, Pc, Program};
+use super::StepOutcome;
+use crate::wave::SuperWaveAcc;
+
+/// The resumable execution state of one request under the pc runtime: a
+/// program counter plus its loop records. Slot values (loop variables,
+/// `let` bindings) live in the interpreter's register file and are never
+/// unwound, so this is the *entire* suspension state.
+pub(crate) struct PcCursor {
+    pub(crate) units: Vec<(usize, Option<i64>)>,
+    pub(crate) unit: usize,
+    pub(crate) in_launch: bool,
+    pub(crate) pc: Pc,
+    pub(crate) recs: Vec<LoopRec>,
+    pub(crate) done: bool,
+}
+
+impl PcCursor {
+    pub(crate) fn new(units: Vec<(usize, Option<i64>)>) -> Self {
+        PcCursor {
+            units,
+            unit: 0,
+            in_launch: false,
+            pc: 0,
+            recs: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+/// One live loop: the dynamic half of a [`super::program::LoopDef`].
+pub(crate) enum LoopRec {
+    /// A per-element loop mid-flight at iteration `i` of `n` (the loop
+    /// id lives in the `LoopEnter`/`LoopNext` ops bracketing the body).
+    Iter {
+        i: i64,
+        n: i64,
+        /// Wave `(sites, groups)` to retire when the loop closes.
+        activated: (usize, usize),
+        /// Set when this is a wave-served loop running its per-element
+        /// serve phase in a solo run: the elapsed time at exit is the
+        /// post-GEMM serve cost ([`super::ExecStats::serve_ns`]).
+        /// `None` under `execute_many` — a park would count other
+        /// requests' wall time into this request's phase.
+        serve_t0: Option<Instant>,
+    },
+    /// A fusable wave waiting at its [`Op::FusedEpilogue`] (either
+    /// reached directly in a solo run, or parked there until the
+    /// super-wave flush installs this request's GEMM blocks).
+    Fused {
+        id: usize,
+        n: usize,
+        activated: (usize, usize),
+    },
+}
+
+impl<'a> Interp<'a> {
+    /// Runs the whole launch schedule to completion through the pc
+    /// runtime (the solo path — without a deferral accumulator nothing
+    /// ever parks).
+    pub(crate) fn run_program(&mut self) {
+        let mut cur = PcCursor::new(self.launch_units());
+        let outcome = self.step_program(&mut cur, None);
+        debug_assert_eq!(outcome, StepOutcome::Done, "solo runs never park");
+    }
+
+    /// Advances this request until it parks at a wave loop whose GEMMs
+    /// were deferred into `defer` ([`StepOutcome::Paused`]) or the
+    /// launch schedule completes ([`StepOutcome::Done`]).
+    pub(crate) fn step_program(
+        &mut self,
+        cur: &mut PcCursor,
+        mut defer: Option<(&mut SuperWaveAcc, usize)>,
+    ) -> StepOutcome {
+        let plan = self.plan.clone();
+        loop {
+            if !cur.in_launch {
+                let Some(&(ki, b)) = cur.units.get(cur.unit) else {
+                    if !cur.done {
+                        cur.done = true;
+                        self.finalize_run();
+                    }
+                    return StepOutcome::Done;
+                };
+                let kernel = &plan.kernels[ki];
+                self.cur_kernel = ki;
+                self.profile.launches += 1;
+                self.profile.host_api_calls += 1;
+                self.push_scope(kernel.launch == LaunchPattern::PerInternalBatch);
+                if let Some(bv) = kernel.batch_slot {
+                    self.slots[bv] = b.expect("per-batch kernel needs a batch index");
+                }
+                cur.in_launch = true;
+                cur.pc = kernel.entry;
+            }
+            match plan.ops[cur.pc] {
+                Op::KernelEnd => {
+                    self.pop_scope();
+                    cur.in_launch = false;
+                    cur.unit += 1;
+                }
+                Op::Let { slot, value } => {
+                    // SAFETY: see module docs — `value` points into the
+                    // compiled kernels the program keeps alive.
+                    let v = self.eval_idx(unsafe { &*value });
+                    self.slots[slot] = v;
+                    cur.pc += 1;
+                }
+                Op::Store { stmt } => {
+                    // SAFETY: as above.
+                    let Stmt::Store {
+                        tensor,
+                        index,
+                        value,
+                    } = (unsafe { &*stmt })
+                    else {
+                        unreachable!("Store op holds a Store statement")
+                    };
+                    self.exec_store(*tensor, index, value);
+                    cur.pc += 1;
+                }
+                Op::Branch { cond, on_false } => {
+                    self.profile.branch_checks += 1;
+                    // SAFETY: as above.
+                    cur.pc = if self.eval_bool(unsafe { &*cond }) {
+                        cur.pc + 1
+                    } else {
+                        on_false
+                    };
+                }
+                Op::Jump(target) => cur.pc = target,
+                Op::Barrier => {
+                    self.profile.barriers_global += 1;
+                    cur.pc += 1;
+                }
+                Op::BulkPass { id, done } => {
+                    let bulk = plan.bulks[id].clone();
+                    if self.opts.fastdot && self.opts.bulk && self.bulk_servable(&bulk) {
+                        self.exec_bulk(&bulk);
+                        cur.pc = done;
+                    } else {
+                        cur.pc += 1;
+                    }
+                }
+                Op::LoopEnter(id) => {
+                    let deferring = defer.as_mut().map(|(acc, req)| (&mut **acc, *req));
+                    if self.op_loop_enter(id, &plan, cur, deferring) {
+                        return StepOutcome::Paused;
+                    }
+                }
+                Op::LoopNext(id) => self.op_loop_next(id, &plan, cur),
+                Op::FusedEpilogue => self.op_fused_epilogue(&plan, cur),
+                Op::ScalarStmt { stmt } => {
+                    // Never emitted by the current lowering; kept as the
+                    // graceful-degradation path (see `Op::ScalarStmt`).
+                    self.caches.stats.interp_stmts += 1;
+                    // SAFETY: as above.
+                    self.exec_stmt(unsafe { &*stmt });
+                    cur.pc += 1;
+                }
+            }
+        }
+    }
+
+    /// [`Op::LoopEnter`]: the pc mirror of the AST walker's `For` entry.
+    /// Returns whether the request must park for a super-wave flush.
+    fn op_loop_enter(
+        &mut self,
+        id: usize,
+        plan: &Program,
+        cur: &mut PcCursor,
+        defer: Option<(&mut SuperWaveAcc, usize)>,
+    ) -> bool {
+        let d = &plan.loops[id];
+        // SAFETY: see module docs.
+        let n = self.eval_idx(unsafe { &*d.extent });
+        if d.is_node {
+            if let Some(scope) = self.scopes.last_mut() {
+                scope.width = scope.width.max(n.max(0) as u64);
+            }
+        }
+        let mut activated = (0usize, 0usize);
+        let mut paused = false;
+        if n > 0 {
+            if let Some(w) = d.wave {
+                let wref = &plan.waves[w];
+                if (n as usize) < self.opts.min_wave_width {
+                    self.caches.stats.narrow_waves_skipped += 1;
+                } else {
+                    let deferring = defer.is_some();
+                    activated = self.prepare_wave(&wref.plan, wref.for_key, n as usize, defer);
+                    paused = deferring && activated.1 > 0;
+                }
+            }
+        }
+        if n <= 0 {
+            cur.pc = d.exit;
+            return false;
+        }
+        // A fusable wave runs its whole body as bulk row passes from the
+        // FusedEpilogue op — immediately in a solo run, after the flush
+        // installs results when parked.
+        if let Some(f) = d.fused {
+            if self.opts.fastdot && self.opts.bulk && self.fused_servable(&plan.fused[f]) {
+                cur.recs.push(LoopRec::Fused {
+                    id,
+                    n: n as usize,
+                    activated,
+                });
+                cur.pc = d.fused_pc;
+                return paused;
+            }
+        }
+        // Per-element body: serve-phase timing only on solo wave-served
+        // loops (see [`LoopRec::Iter::serve_t0`]).
+        let serve_t0 = (!paused && activated.1 > 0).then(Instant::now);
+        cur.recs.push(LoopRec::Iter {
+            i: 0,
+            n,
+            activated,
+            serve_t0,
+        });
+        if d.is_wave {
+            self.push_scope(true);
+        }
+        self.slots[d.slot] = 0;
+        cur.pc = d.body;
+        paused
+    }
+
+    /// [`Op::LoopNext`]: close one iteration; loop back or retire.
+    fn op_loop_next(&mut self, id: usize, plan: &Program, cur: &mut PcCursor) {
+        let d = &plan.loops[id];
+        let Some(LoopRec::Iter { i, n, .. }) = cur.recs.last_mut() else {
+            unreachable!("LoopNext without its loop record")
+        };
+        if d.is_wave {
+            self.pop_scope();
+        }
+        *i += 1;
+        if *i < *n {
+            if d.is_wave {
+                self.push_scope(true);
+            }
+            let at = *i;
+            self.slots[d.slot] = at;
+            cur.pc = d.body;
+        } else {
+            let Some(LoopRec::Iter {
+                activated,
+                serve_t0,
+                ..
+            }) = cur.recs.pop()
+            else {
+                unreachable!("checked above")
+            };
+            if activated != (0, 0) {
+                self.finish_wave(activated);
+            }
+            if let Some(t0) = serve_t0 {
+                self.caches.stats.serve_ns += t0.elapsed().as_nanos() as u64;
+            }
+            cur.pc = d.exit;
+        }
+    }
+
+    /// [`Op::FusedEpilogue`]: run the whole parked/fusable wave as bulk
+    /// row passes, retire its sites, and exit the loop.
+    fn op_fused_epilogue(&mut self, plan: &Program, cur: &mut PcCursor) {
+        let Some(LoopRec::Fused { id, n, activated }) = cur.recs.pop() else {
+            unreachable!("FusedEpilogue without its loop record")
+        };
+        let d = &plan.loops[id];
+        let fw = plan.fused[d.fused.expect("fused loop def")].clone();
+        self.exec_fused_wave(&fw, n);
+        if activated != (0, 0) {
+            self.finish_wave(activated);
+        }
+        cur.pc = d.exit;
+    }
+}

@@ -1,0 +1,803 @@
+//! The AST-walking interpreter: value-expression evaluation, the scalar
+//! fastdot path, and the legacy recursive statement walk.
+//!
+//! Since the linear-plan lowering (`ExecOptions::interp == false`, the
+//! default) the recursive walk survives as the **bit-exactness oracle**:
+//! `ExecOptions { interp: true }` runs every statement through
+//! [`Interp::exec_stmt`] and the frame-based resumable step machine,
+//! exactly the pre-lowering executor, and a property test asserts the
+//! two runtimes agree bit-for-bit (outputs *and* `Profile`s) on all
+//! models — the same cross-check pattern as `bulk: false`.
+//!
+//! The expression evaluator ([`Interp::eval_val`], [`Interp::eval_dot`],
+//! [`Interp::resolve_product`]) lives here too and is shared by the pc
+//! runtime: a lowered `Store` op evaluates the very same `ValExpr` tree
+//! the oracle would, so the two runtimes cannot diverge on arithmetic
+//! or accounting.
+
+use cortex_core::expr::{BoolExpr, ValExpr};
+use cortex_core::ilir::{LaunchPattern, Stmt};
+
+use super::interp::Interp;
+use super::lowering::CompiledKernel;
+use super::ExecError;
+use super::StepOutcome;
+use crate::wave::SuperWaveAcc;
+
+/// A resolved multiplicative operand of a reduction.
+pub(crate) enum Res {
+    /// `data[base + k*stride]` of one tensor.
+    Stream(usize, usize, usize),
+    /// Sum of streams (child-sum).
+    AddStreams(Vec<(usize, usize, usize)>),
+    /// Guard failed: whole product is zero.
+    Zero,
+}
+
+impl<'a> Interp<'a> {
+    /// Runs the whole launch schedule through the recursive AST walk
+    /// (the `interp: true` oracle's solo path).
+    pub(crate) fn run_all(&mut self) -> Result<(), ExecError> {
+        let compiled = self.compiled.clone();
+        // Per-batch kernels run once per internal batch when specialized;
+        // without specialization the leaf wave joins the batch table too
+        // (see [`super::interp::launch_units`]).
+        for (ki, b) in self.launch_units() {
+            self.launch(ki, &compiled[ki], b);
+        }
+        self.finalize_run();
+        Ok(())
+    }
+
+    // -- launching ----------------------------------------------------
+
+    fn launch(&mut self, kernel_idx: usize, kernel: &CompiledKernel, batch_index: Option<i64>) {
+        self.cur_kernel = kernel_idx;
+        self.profile.launches += 1;
+        self.profile.host_api_calls += 1;
+        // Per-batch kernels are wave work: their parameter reads recur
+        // every wave and are what persistence would pin.
+        self.push_scope(kernel.launch == LaunchPattern::PerInternalBatch);
+        if let Some(bv) = kernel.batch_slot {
+            self.slots[bv] = batch_index.expect("per-batch kernel needs a batch index");
+        }
+        for s in &kernel.body {
+            self.exec_stmt(s);
+        }
+        self.pop_scope();
+    }
+
+    // -- statement execution -------------------------------------------
+
+    pub(crate) fn exec_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::For {
+                var,
+                extent,
+                dim,
+                body,
+                ..
+            } => {
+                let n = self.eval_idx(extent);
+                let slot = var.id() as usize;
+                let is_wave = matches!(dim, Some(d) if d.0 == "d_all_batches");
+                let is_node_loop = matches!(dim, Some(d) if d.0 == "d_batch");
+                if is_node_loop {
+                    if let Some(scope) = self.scopes.last_mut() {
+                        scope.width = scope.width.max(n.max(0) as u64);
+                    }
+                }
+                // Batched wavefront execution: if this node loop has a
+                // wave plan, run each stacking group of recognized
+                // reduction sites as one packed GEMM over the whole wave,
+                // then interpret the loop normally with `Sum`s served
+                // from the result matrices. Waves below the width
+                // threshold skip packing entirely — the scalar fastdot
+                // path is cheaper there and produces the identical
+                // `Profile`.
+                let mut activated = (0usize, 0usize);
+                if n > 0 && !self.wave_plans.is_empty() {
+                    let for_key = s as *const Stmt as usize;
+                    if let Some(plan) = self.wave_plans.get(&for_key).cloned() {
+                        if (n as usize) < self.opts.min_wave_width {
+                            self.caches.stats.narrow_waves_skipped += 1;
+                        } else {
+                            activated = self.prepare_wave(&plan, for_key, n as usize, None);
+                        }
+                    }
+                }
+                // Bulk serving: a fused wave runs the whole loop body as
+                // loop-interchanged row passes (one pass per body
+                // statement over every node); a bulk feature loop runs
+                // one strided row pass over its extent. Either way the
+                // values and counters are identical to per-element
+                // interpretation.
+                let mut served = false;
+                if n > 0 && !is_wave && self.opts.fastdot && self.opts.bulk {
+                    let key = (self.cur_kernel, s as *const Stmt as usize);
+                    if let Some(fw) = self.fused_waves.get(&key).cloned() {
+                        if self.fused_servable(&fw) {
+                            self.exec_fused_wave(&fw, n as usize);
+                            served = true;
+                        }
+                    } else if let Some(plan) = self.bulk_plans.get(&key).cloned() {
+                        if self.bulk_servable(&plan) {
+                            // Not timed: a clock pair per row pass would
+                            // distort both the metric and the path
+                            // (`ExecStats::epilogue_ns` is charged at
+                            // fused-wave granularity).
+                            self.exec_bulk(&plan);
+                            served = true;
+                        }
+                    }
+                }
+                if !served {
+                    for i in 0..n.max(0) {
+                        if is_wave {
+                            self.push_scope(true);
+                        }
+                        self.slots[slot] = i;
+                        for st in body {
+                            self.exec_stmt(st);
+                        }
+                        if is_wave {
+                            self.pop_scope();
+                        }
+                    }
+                }
+                if activated != (0, 0) {
+                    self.finish_wave(activated);
+                }
+            }
+            Stmt::Let { var, value, body } => {
+                let v = self.eval_idx(value);
+                self.slots[var.id() as usize] = v;
+                for st in body {
+                    self.exec_stmt(st);
+                }
+            }
+            Stmt::Store {
+                tensor,
+                index,
+                value,
+            } => self.exec_store(*tensor, index, value),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.profile.branch_checks += 1;
+                let branch = if self.eval_bool(cond) {
+                    then_branch
+                } else {
+                    else_branch
+                };
+                for st in branch {
+                    self.exec_stmt(st);
+                }
+            }
+            Stmt::Barrier => {
+                self.profile.barriers_global += 1;
+            }
+        }
+    }
+
+    // -- expression evaluation -------------------------------------------
+
+    pub(crate) fn eval_val(&mut self, e: &ValExpr) -> f32 {
+        match e {
+            ValExpr::Const(c) => *c,
+            ValExpr::Load { tensor, index } => {
+                let off = self.offset(*tensor, index);
+                self.record_load(*tensor);
+                self.bufs[tensor.0 as usize]
+                    .as_ref()
+                    .expect("loaded tensor allocated")
+                    .data[off]
+            }
+            ValExpr::Unary(op, a) => {
+                let x = self.eval_val(a);
+                self.profile.flops += 1;
+                match op {
+                    cortex_core::expr::UnaryOp::Neg => -x,
+                    cortex_core::expr::UnaryOp::Tanh => self.nonlin.tanh(x),
+                    cortex_core::expr::UnaryOp::Sigmoid => self.nonlin.sigmoid(x),
+                    cortex_core::expr::UnaryOp::Relu => x.max(0.0),
+                    cortex_core::expr::UnaryOp::Exp => x.exp(),
+                }
+            }
+            ValExpr::Bin(op, a, b) => {
+                let x = self.eval_val(a);
+                let y = self.eval_val(b);
+                self.profile.flops += 1;
+                match op {
+                    cortex_core::expr::BinOp::Add => x + y,
+                    cortex_core::expr::BinOp::Sub => x - y,
+                    cortex_core::expr::BinOp::Mul => x * y,
+                    cortex_core::expr::BinOp::Div => x / y,
+                    cortex_core::expr::BinOp::Max => x.max(y),
+                    cortex_core::expr::BinOp::Min => x.min(y),
+                }
+            }
+            ValExpr::Sum { var, extent, body } => {
+                let n = self.eval_idx(extent).max(0);
+                let key = &**body as *const ValExpr as usize;
+                // Wave memo: this reduction was computed by a wave GEMM —
+                // serve the element and charge the exact counters the
+                // scalar dot would have.
+                if let Some(&(_, idx)) = self.memo.iter().find(|(k, _)| *k == key) {
+                    return self.serve_memo_element(idx);
+                }
+                let plan = if self.opts.fastdot {
+                    match self.caches.plan_cache.get(&key) {
+                        Some(p) => p.clone(),
+                        None => {
+                            let p = crate::fastdot::compile(*var, body).map(std::rc::Rc::new);
+                            self.caches.plan_cache.insert(key, p.clone());
+                            p
+                        }
+                    }
+                } else {
+                    None
+                };
+                if let Some(plan) = plan {
+                    self.eval_dot(&plan, n)
+                } else {
+                    let slot = var.id() as usize;
+                    let mut acc = 0.0f32;
+                    for k in 0..n {
+                        self.slots[slot] = k;
+                        acc += self.eval_val(body);
+                        self.profile.flops += 1;
+                    }
+                    acc
+                }
+            }
+            ValExpr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                self.profile.branch_checks += 1;
+                if self.eval_bool(cond) {
+                    self.eval_val(then)
+                } else {
+                    self.eval_val(otherwise)
+                }
+            }
+        }
+    }
+
+    /// Serves one element of a memo-active reduction site from its wave
+    /// GEMM result, charging the exact counters the scalar dot would.
+    #[inline]
+    fn serve_memo_element(&mut self, idx: usize) -> f32 {
+        let site = &self.active[idx];
+        let group = &self.active_groups[site.group];
+        let r = self.slots[site.n_idx_slot] as usize;
+        // Rank-2 sites gather one row per (node, j) pair.
+        let row = match site.inner {
+            None => r,
+            Some(d) => r * d.extent + self.slots[d.slot] as usize,
+        };
+        let m = &group.meta[site.meta_off + row];
+        if m.zero {
+            // The scalar path short-circuits before any accounting when
+            // a guard kills the product.
+            return 0.0;
+        }
+        let i = self.slots[site.feat_slot] as usize;
+        let value = m.scale * group.value(site.row_off + row, site.col_off + i);
+        // `m.streams` excludes the weight stream: `+1` for the weight,
+        // `+1` for the accumulate — the scalar path's
+        // `flops += k·(streams+1)` with the weight included.
+        self.profile.flops += site.k * (m.streams + 2);
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.touch[site.weight_tensor as usize].0 += site.k;
+            for &t in &m.tensors {
+                scope.touch[t as usize].0 += site.k;
+            }
+        }
+        value
+    }
+
+    /// Evaluates a site's value-level `Select` guards without touching a
+    /// single profile counter (the interpreter pays the `Select`'s
+    /// counters itself, once per served element). Guard conditions are
+    /// index-level booleans — they load no tensors — so restoring the
+    /// three counters an `IdxExpr` evaluation can bump makes the
+    /// evaluation fully invisible.
+    pub(crate) fn eval_guards_silently(&mut self, guards: &[(BoolExpr, bool)]) -> bool {
+        let saved = (
+            self.profile.flops,
+            self.profile.leaf_check_loads,
+            self.profile.branch_checks,
+        );
+        let ok = guards
+            .iter()
+            .all(|(cond, want)| self.eval_bool(cond) == *want);
+        self.profile.flops = saved.0;
+        self.profile.leaf_check_loads = saved.1;
+        self.profile.branch_checks = saved.2;
+        ok
+    }
+
+    /// Resolves the multiplicative operands of a reduction into streams
+    /// (shared by the scalar dot path and the wave packing phase).
+    pub(crate) fn resolve_product(
+        &mut self,
+        operands: &[crate::fastdot::Operand],
+    ) -> (Vec<Res>, f32) {
+        use crate::fastdot::Operand;
+
+        fn resolve_streams(
+            interp: &mut Interp<'_>,
+            op: &Operand,
+            out: &mut Vec<(usize, usize, usize)>,
+        ) -> bool {
+            match op {
+                Operand::Load {
+                    tensor,
+                    index,
+                    k_pos,
+                } => {
+                    let mut base = 0usize;
+                    for (d, e) in index.iter().enumerate() {
+                        if d == *k_pos {
+                            continue;
+                        }
+                        let c = interp.eval_idx(e);
+                        let stride = interp.bufs[tensor.0 as usize]
+                            .as_ref()
+                            .expect("allocated")
+                            .strides[d];
+                        base += c as usize * stride;
+                    }
+                    let stride = interp.bufs[tensor.0 as usize]
+                        .as_ref()
+                        .expect("allocated")
+                        .strides[*k_pos];
+                    out.push((tensor.0 as usize, base, stride));
+                    true
+                }
+                Operand::Add(parts) => {
+                    for p in parts {
+                        resolve_streams(interp, p, out);
+                    }
+                    true
+                }
+                Operand::Guarded { cond, inner } => {
+                    if interp.eval_bool(cond) {
+                        resolve_streams(interp, inner, out)
+                    } else {
+                        true // contributes nothing
+                    }
+                }
+                Operand::Scalar(_) => unreachable!("scalars are resolved separately"),
+            }
+        }
+
+        let mut resolved: Vec<Res> = Vec::with_capacity(operands.len());
+        let mut scale = 1.0f32;
+        for op in operands {
+            match op {
+                Operand::Scalar(e) => scale *= self.eval_val(e),
+                Operand::Guarded { cond, inner } => {
+                    if self.eval_bool(cond) {
+                        let mut streams = Vec::new();
+                        resolve_streams(self, inner, &mut streams);
+                        match streams.len() {
+                            0 => resolved.push(Res::Zero),
+                            1 => {
+                                resolved.push(Res::Stream(streams[0].0, streams[0].1, streams[0].2))
+                            }
+                            _ => resolved.push(Res::AddStreams(streams)),
+                        }
+                    } else {
+                        resolved.push(Res::Zero);
+                    }
+                }
+                Operand::Load { .. } => {
+                    let mut streams = Vec::new();
+                    resolve_streams(self, op, &mut streams);
+                    let (t, b, s) = streams[0];
+                    resolved.push(Res::Stream(t, b, s));
+                }
+                Operand::Add(_) => {
+                    let mut streams = Vec::new();
+                    resolve_streams(self, op, &mut streams);
+                    if streams.is_empty() {
+                        resolved.push(Res::Zero);
+                    } else {
+                        resolved.push(Res::AddStreams(streams));
+                    }
+                }
+            }
+        }
+        (resolved, scale)
+    }
+
+    /// Executes a compiled reduction as tight strided loops.
+    pub(crate) fn eval_dot(&mut self, plan: &crate::fastdot::DotPlan, n: i64) -> f32 {
+        let (resolved, scale) = self.resolve_product(&plan.operands);
+        if resolved.iter().any(|r| matches!(r, Res::Zero)) || n == 0 {
+            return 0.0;
+        }
+        // Accounting in bulk, before borrowing buffers for the hot loop.
+        let n_usize = n as usize;
+        let mut stream_count = 0u64;
+        for r in &resolved {
+            match r {
+                Res::Stream(t, _, _) => {
+                    stream_count += 1;
+                    if let Some(scope) = self.scopes.last_mut() {
+                        scope.touch[*t].0 += n as u64;
+                    }
+                }
+                Res::AddStreams(v) => {
+                    stream_count += v.len() as u64;
+                    for (t, _, _) in v {
+                        if let Some(scope) = self.scopes.last_mut() {
+                            scope.touch[*t].0 += n as u64;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.profile.flops += n as u64 * (stream_count + 1);
+
+        let bufs = &self.bufs;
+        let data = |t: usize| -> &[f32] { &bufs[t].as_ref().expect("allocated").data };
+        let mut acc = 0.0f32;
+        // Specialize the overwhelmingly common case: product of exactly
+        // two plain streams (a matvec row).
+        if resolved.len() == 2 {
+            if let (Res::Stream(t0, b0, s0), Res::Stream(t1, b1, s1)) = (&resolved[0], &resolved[1])
+            {
+                let (d0, d1) = (data(*t0), data(*t1));
+                if *s0 == 1 && *s1 == 1 {
+                    acc = cortex_tensor::kernels::dot(
+                        &d0[*b0..*b0 + n_usize],
+                        &d1[*b1..*b1 + n_usize],
+                    );
+                } else {
+                    for k in 0..n_usize {
+                        acc += d0[b0 + k * s0] * d1[b1 + k * s1];
+                    }
+                }
+                return scale * acc;
+            }
+        }
+        for k in 0..n_usize {
+            let mut prod = 1.0f32;
+            for r in &resolved {
+                match r {
+                    Res::Stream(t, b, s) => prod *= data(*t)[b + k * s],
+                    Res::AddStreams(v) => {
+                        let mut sum = 0.0f32;
+                        for (t, b, s) in v {
+                            sum += data(*t)[b + k * s];
+                        }
+                        prod *= sum;
+                    }
+                    Res::Zero => unreachable!("filtered above"),
+                }
+            }
+            acc += prod;
+        }
+        scale * acc
+    }
+
+    // -- resumable execution (the `interp: true` step machine) ---------
+
+    /// Advances this request until it parks at a planned wave loop whose
+    /// GEMMs were deferred into `acc` ([`StepOutcome::Paused`] — resume
+    /// after the flush installs results) or until the whole launch
+    /// schedule completes ([`StepOutcome::Done`]).
+    ///
+    /// The machine walks statement paths that contain planned wave loops
+    /// frame-by-frame (so it can suspend mid-loop with slot state
+    /// intact) and delegates every other subtree to the recursive
+    /// [`exec_stmt`](Self::exec_stmt) — both replicate the single-run
+    /// executor's accounting exactly.
+    pub(crate) fn step<'k>(
+        &mut self,
+        cur: &mut RunCursor<'k>,
+        compiled: &'k [CompiledKernel],
+        acc: &mut SuperWaveAcc,
+        request: usize,
+    ) -> StepOutcome {
+        loop {
+            if cur.frames.is_empty() {
+                if cur.in_launch {
+                    self.pop_scope();
+                    cur.in_launch = false;
+                    cur.unit += 1;
+                }
+                let Some(&(ki, b)) = cur.units.get(cur.unit) else {
+                    if !cur.done {
+                        cur.done = true;
+                        self.finalize_run();
+                    }
+                    return StepOutcome::Done;
+                };
+                let kernel = &compiled[ki];
+                self.cur_kernel = ki;
+                self.profile.launches += 1;
+                self.profile.host_api_calls += 1;
+                self.push_scope(kernel.launch == LaunchPattern::PerInternalBatch);
+                if let Some(bv) = kernel.batch_slot {
+                    self.slots[bv] = b.expect("per-batch kernel needs a batch index");
+                }
+                cur.in_launch = true;
+                cur.frames.push(Frame::Block {
+                    stmts: &kernel.body,
+                    idx: 0,
+                });
+                continue;
+            }
+            enum Action<'k> {
+                Exec(&'k Stmt),
+                PopBlock,
+                LoopContinue,
+                RunFused,
+            }
+            let action = match cur.frames.last_mut().expect("frame") {
+                Frame::Block { stmts, idx } => {
+                    if *idx < stmts.len() {
+                        let s = &stmts[*idx];
+                        *idx += 1;
+                        Action::Exec(s)
+                    } else {
+                        Action::PopBlock
+                    }
+                }
+                Frame::Loop { .. } => Action::LoopContinue,
+                Frame::Fused { .. } => Action::RunFused,
+            };
+            match action {
+                Action::PopBlock => {
+                    cur.frames.pop();
+                }
+                Action::LoopContinue => self.loop_continue(cur),
+                Action::RunFused => {
+                    let Some(Frame::Fused { key, n, activated }) = cur.frames.pop() else {
+                        unreachable!("fused frame")
+                    };
+                    // Resumed after the super-wave flush installed this
+                    // request's result blocks: the whole wave's epilogue
+                    // runs as fused row passes, then its sites retire.
+                    let fw = self
+                        .fused_waves
+                        .get(&key)
+                        .expect("fused wave planned")
+                        .clone();
+                    self.exec_fused_wave(&fw, n);
+                    if activated != (0, 0) {
+                        self.finish_wave(activated);
+                    }
+                }
+                Action::Exec(s) => {
+                    if !self.wave_ancestors.contains(&(s as *const Stmt as usize)) {
+                        // No planned wave loop below: run it atomically
+                        // through the ordinary recursive interpreter.
+                        self.exec_stmt(s);
+                        continue;
+                    }
+                    match s {
+                        Stmt::For { .. } => {
+                            if self.enter_for(s, cur, acc, request) {
+                                return StepOutcome::Paused;
+                            }
+                        }
+                        Stmt::Let { var, value, body } => {
+                            let v = self.eval_idx(value);
+                            self.slots[var.id() as usize] = v;
+                            cur.frames.push(Frame::Block {
+                                stmts: body,
+                                idx: 0,
+                            });
+                        }
+                        Stmt::If {
+                            cond,
+                            then_branch,
+                            else_branch,
+                        } => {
+                            self.profile.branch_checks += 1;
+                            let branch = if self.eval_bool(cond) {
+                                then_branch
+                            } else {
+                                else_branch
+                            };
+                            cur.frames.push(Frame::Block {
+                                stmts: branch,
+                                idx: 0,
+                            });
+                        }
+                        Stmt::Store { .. } | Stmt::Barrier => self.exec_stmt(s),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The step machine's mirror of [`exec_stmt`](Self::exec_stmt)'s
+    /// `For` entry: evaluates the extent, records wave width, runs the
+    /// wave-plan prepare phase (with GEMMs deferred into `acc`), and
+    /// pushes the loop's first iteration. Returns whether the request
+    /// must park for a super-wave flush.
+    fn enter_for<'k>(
+        &mut self,
+        s: &'k Stmt,
+        cur: &mut RunCursor<'k>,
+        acc: &mut SuperWaveAcc,
+        request: usize,
+    ) -> bool {
+        let Stmt::For {
+            var,
+            extent,
+            dim,
+            body,
+            ..
+        } = s
+        else {
+            unreachable!("enter_for on a non-For statement")
+        };
+        let n = self.eval_idx(extent);
+        let slot = var.id() as usize;
+        let is_wave = matches!(dim, Some(d) if d.0 == "d_all_batches");
+        if matches!(dim, Some(d) if d.0 == "d_batch") {
+            if let Some(scope) = self.scopes.last_mut() {
+                scope.width = scope.width.max(n.max(0) as u64);
+            }
+        }
+        let mut activated = (0usize, 0usize);
+        let mut paused = false;
+        if n > 0 && !self.wave_plans.is_empty() {
+            let for_key = s as *const Stmt as usize;
+            if let Some(plan) = self.wave_plans.get(&for_key).cloned() {
+                if (n as usize) < self.opts.min_wave_width {
+                    self.caches.stats.narrow_waves_skipped += 1;
+                } else {
+                    activated = self.prepare_wave(&plan, for_key, n as usize, Some((acc, request)));
+                    paused = activated.1 > 0;
+                }
+            }
+        }
+        if n > 0 {
+            // A parked fusable wave runs its whole body as fused row
+            // passes once the flush installs results, instead of
+            // resuming per-node frames.
+            if paused {
+                let key = (self.cur_kernel, s as *const Stmt as usize);
+                if let Some(fw) = self.fused_waves.get(&key).cloned() {
+                    if self.fused_servable(&fw) {
+                        cur.frames.push(Frame::Fused {
+                            key,
+                            n: n as usize,
+                            activated,
+                        });
+                        return true;
+                    }
+                }
+            }
+            cur.frames.push(Frame::Loop {
+                stmt: s,
+                i: 0,
+                n,
+                is_wave,
+                activated,
+            });
+            if is_wave {
+                self.push_scope(true);
+            }
+            self.slots[slot] = 0;
+            cur.frames.push(Frame::Block {
+                stmts: body,
+                idx: 0,
+            });
+        }
+        paused
+    }
+
+    /// One loop-body completion in the step machine: close the finished
+    /// iteration's wave scope, then either start the next iteration or
+    /// pop the loop (deactivating its wave sites).
+    fn loop_continue<'k>(&mut self, cur: &mut RunCursor<'k>) {
+        let next_body: Option<&'k [Stmt]> = {
+            let Some(Frame::Loop {
+                stmt,
+                i,
+                n,
+                is_wave,
+                ..
+            }) = cur.frames.last_mut()
+            else {
+                unreachable!("loop_continue without a loop frame")
+            };
+            if *is_wave {
+                self.pop_scope();
+            }
+            *i += 1;
+            if *i < *n {
+                let Stmt::For { var, body, .. } = *stmt else {
+                    unreachable!("loop frame holds a For")
+                };
+                if *is_wave {
+                    self.push_scope(true);
+                }
+                self.slots[var.id() as usize] = *i;
+                Some(body)
+            } else {
+                None
+            }
+        };
+        match next_body {
+            Some(body) => cur.frames.push(Frame::Block {
+                stmts: body,
+                idx: 0,
+            }),
+            None => {
+                let Some(Frame::Loop { activated, .. }) = cur.frames.pop() else {
+                    unreachable!("loop frame")
+                };
+                if activated != (0, 0) {
+                    self.finish_wave(activated);
+                }
+            }
+        }
+    }
+}
+
+/// One suspended position in a kernel body (the `interp: true` oracle's
+/// suspension state; the pc runtime parks as a program counter instead).
+pub(crate) enum Frame<'k> {
+    /// Executing `stmts[idx..]` of a statement list.
+    Block { stmts: &'k [Stmt], idx: usize },
+    /// A `For` loop mid-flight: iteration `i` of `n` is on the frame
+    /// stack above (as a `Block`), with `activated` wave sites to
+    /// deactivate when the loop closes.
+    Loop {
+        stmt: &'k Stmt,
+        i: i64,
+        n: i64,
+        is_wave: bool,
+        activated: (usize, usize),
+    },
+    /// A parked fusable wave loop: once the pending super-wave flush
+    /// installs this request's result blocks, the whole body runs as
+    /// fused bulk passes ([`Interp::exec_fused_wave`]) and the wave's
+    /// `activated` sites retire.
+    Fused {
+        key: (usize, usize),
+        n: usize,
+        activated: (usize, usize),
+    },
+}
+
+/// The resumable execution state of one request in a batch: its launch
+/// schedule position plus the frame stack of the statement walk. Loop
+/// variables live in the interpreter's slot array (which nothing
+/// unwinds), so suspending at a wave loop and resuming after the flush
+/// needs no re-evaluation of any control expression — the counters
+/// stay exactly those of an uninterrupted run.
+pub(crate) struct RunCursor<'k> {
+    pub(crate) units: Vec<(usize, Option<i64>)>,
+    pub(crate) unit: usize,
+    pub(crate) in_launch: bool,
+    pub(crate) frames: Vec<Frame<'k>>,
+    pub(crate) done: bool,
+}
+
+impl<'k> RunCursor<'k> {
+    pub(crate) fn new(units: Vec<(usize, Option<i64>)>) -> Self {
+        RunCursor {
+            units,
+            unit: 0,
+            in_launch: false,
+            frames: Vec::new(),
+            done: false,
+        }
+    }
+}

@@ -1,0 +1,405 @@
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cortex_core::expr::TensorId;
+use cortex_core::lower::{lower, StructureInfo};
+use cortex_core::ra::{RaGraph, RaSchedule};
+use cortex_ds::datasets;
+use cortex_ds::linearizer::{Linearized, Linearizer};
+use cortex_tensor::Tensor;
+
+use super::gather::{evict_weight_cache_lru, StackedWeight};
+use super::{execute, Engine, ExecError, ExecOptions};
+use crate::params::Params;
+
+/// The Fig. 1 model: rnn(n) = Emb[word] at leaves, tanh(l + r) inside.
+fn tree_rnn(h: usize) -> (RaGraph, TensorId) {
+    let mut g = RaGraph::new();
+    let emb = g.input("Emb", &[datasets::VOCAB_SIZE as usize, h]);
+    let ph = g.placeholder("rnn_ph", &[h]);
+    let leaf = g.compute("leaf", &[h], |c| c.read(emb, &[c.node().word(), c.axis(0)]));
+    let lh = g.compute("lh", &[h], |c| c.read(ph, &[c.node().child(0), c.axis(0)]));
+    let rh = g.compute("rh", &[h], |c| c.read(ph, &[c.node().child(1), c.axis(0)]));
+    let rec = g.compute("rec", &[h], |c| {
+        c.read(lh, &[c.node(), c.axis(0)])
+            .add(c.read(rh, &[c.node(), c.axis(0)]))
+            .tanh()
+    });
+    let body = g.if_then_else("body", leaf, rec).unwrap();
+    let rnn = g.recursion(ph, body).unwrap();
+    g.mark_output(rnn);
+    (g, rnn.id())
+}
+
+fn reference_tree_rnn(lin: &Linearized, emb: &Tensor, h: usize) -> Vec<Vec<f32>> {
+    let mut vals = vec![vec![0.0f32; h]; lin.num_nodes()];
+    for &n in lin.post_order() {
+        if lin.is_leaf(n) {
+            let w = lin.word(n) as usize;
+            vals[n as usize] = emb.row(w).to_vec();
+        } else {
+            let l = lin.child(0, n).unwrap() as usize;
+            let r = lin.child(1, n).unwrap() as usize;
+            vals[n as usize] = vals[l]
+                .iter()
+                .zip(&vals[r])
+                .map(|(a, b)| (a + b).tanh())
+                .collect();
+        }
+    }
+    vals
+}
+
+fn check_against_reference(schedule: &RaSchedule, tree_seed: u64) {
+    let h = 8;
+    let (g, out) = tree_rnn(h);
+    let program = lower(&g, schedule, StructureInfo { max_children: 2 }).unwrap();
+    let tree = datasets::random_binary_tree(13, tree_seed);
+    let lin = Linearizer::new().linearize(&tree).unwrap();
+    let emb = Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42);
+    let mut params = Params::new();
+    params.set("Emb", emb.clone());
+    let (outputs, _) = execute(&program, &lin, &params, true).unwrap();
+    let got = &outputs[&out];
+    let want = reference_tree_rnn(&lin, &emb, h);
+    for n in 0..lin.num_nodes() {
+        for i in 0..h {
+            let g = got[[n, i]];
+            let w = want[n][i];
+            assert!(
+                (g - w).abs() < 1e-6,
+                "mismatch at node {n} elem {i}: {g} vs {w} (schedule {schedule:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn default_schedule_matches_reference() {
+    check_against_reference(&RaSchedule::default(), 3);
+}
+
+#[test]
+fn unoptimized_schedule_matches_reference() {
+    check_against_reference(&RaSchedule::unoptimized(), 4);
+}
+
+#[test]
+fn no_specialization_matches_reference() {
+    check_against_reference(
+        &RaSchedule {
+            specialize: false,
+            ..RaSchedule::default()
+        },
+        5,
+    );
+}
+
+#[test]
+fn unbatched_matches_reference() {
+    check_against_reference(
+        &RaSchedule {
+            dynamic_batch: false,
+            ..RaSchedule::default()
+        },
+        6,
+    );
+}
+
+#[test]
+fn peeled_matches_reference() {
+    check_against_reference(
+        &RaSchedule {
+            peel: Some(4),
+            ..RaSchedule::default()
+        },
+        7,
+    );
+}
+
+#[test]
+fn unrolled_matches_reference() {
+    check_against_reference(
+        &RaSchedule {
+            unroll: Some(2),
+            ..RaSchedule::default()
+        },
+        8,
+    );
+}
+
+#[test]
+fn leaf_check_by_load_matches_reference() {
+    check_against_reference(
+        &RaSchedule {
+            specialize: false,
+            leaf_check: cortex_core::ra::LeafCheckMode::Load,
+            ..RaSchedule::default()
+        },
+        9,
+    );
+}
+
+#[test]
+fn fusion_reduces_launches() {
+    let h = 8;
+    let (g, _) = tree_rnn(h);
+    let tree = datasets::perfect_binary_tree(5, 0);
+    let lin = Linearizer::new().linearize(&tree).unwrap();
+    let emb = Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42);
+    let mut params = Params::new();
+    params.set("Emb", emb);
+
+    let fused = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let unfused = lower(
+        &g,
+        &RaSchedule {
+            fusion: cortex_core::ra::FusionMode::None,
+            dense_intermediates: false,
+            ..RaSchedule::default()
+        },
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let (_, pf) = execute(&fused, &lin, &params, true).unwrap();
+    let (_, pu) = execute(&unfused, &lin, &params, true).unwrap();
+    assert!(
+        pu.launches > 3 * pf.launches,
+        "unfused {} vs fused {} launches",
+        pu.launches,
+        pf.launches
+    );
+}
+
+#[test]
+fn persistence_reduces_param_traffic() {
+    let h = 8;
+    let (g, _) = tree_rnn(h);
+    let program = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let tree = datasets::perfect_binary_tree(6, 0);
+    let lin = Linearizer::new().linearize(&tree).unwrap();
+    let emb = Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42);
+    let mut params = Params::new();
+    params.set("Emb", emb);
+    let (_, with) = execute(&program, &lin, &params, true).unwrap();
+    let (_, without) = execute(&program, &lin, &params, false).unwrap();
+    assert!(with.param_bytes_read <= without.param_bytes_read);
+}
+
+#[test]
+fn conservative_barriers_inflate_counts() {
+    let h = 4;
+    let (g, _) = tree_rnn(h);
+    let tree = datasets::perfect_binary_tree(5, 0);
+    let lin = Linearizer::new().linearize(&tree).unwrap();
+    let emb = Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42);
+    let mut params = Params::new();
+    params.set("Emb", emb);
+    let dflt = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let cons = lower(
+        &g,
+        &RaSchedule {
+            barrier: cortex_core::ra::BarrierMode::Conservative,
+            ..RaSchedule::default()
+        },
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let (_, pd) = execute(&dflt, &lin, &params, true).unwrap();
+    let (_, pc) = execute(&cons, &lin, &params, true).unwrap();
+    assert!(
+        pc.barriers_global > pd.barriers_global,
+        "conservative {} vs dependence-aware {}",
+        pc.barriers_global,
+        pd.barriers_global
+    );
+}
+
+#[test]
+fn missing_param_is_reported() {
+    let (g, _) = tree_rnn(4);
+    let program = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let tree = datasets::perfect_binary_tree(2, 0);
+    let lin = Linearizer::new().linearize(&tree).unwrap();
+    let err = execute(&program, &lin, &Params::new(), true).unwrap_err();
+    assert_eq!(err, ExecError::MissingParam("Emb".to_string()));
+}
+
+#[test]
+fn param_shape_is_checked() {
+    let (g, _) = tree_rnn(4);
+    let program = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let tree = datasets::perfect_binary_tree(2, 0);
+    let lin = Linearizer::new().linearize(&tree).unwrap();
+    let mut params = Params::new();
+    params.set("Emb", Tensor::zeros(&[3, 3]));
+    assert!(matches!(
+        execute(&program, &lin, &params, true),
+        Err(ExecError::ParamShape { .. })
+    ));
+}
+
+#[test]
+fn weight_cache_eviction_is_lru_not_clear_all() {
+    // A working set stamped by the latest run must survive eviction
+    // even when the cache's lifetime population exceeds the cap —
+    // the old clear-at-cap policy forced a full steady-state repack.
+    let mut cache: HashMap<(usize, usize), StackedWeight> = HashMap::new();
+    for i in 0..10usize {
+        cache.insert(
+            (i, 0),
+            StackedWeight {
+                sig: Vec::new(),
+                params_only: true,
+                epoch: 0,
+                // Entries 0..4 are stale; 5..9 are the current
+                // working set.
+                last_used: if i < 5 { 1 } else { 2 },
+                data: Rc::new(Vec::new()),
+            },
+        );
+    }
+    evict_weight_cache_lru(&mut cache, 7);
+    assert_eq!(cache.len(), 7);
+    for i in 5..10 {
+        assert!(
+            cache.contains_key(&(i, 0)),
+            "working-set entry {i} must survive"
+        );
+    }
+    // Under-cap caches are untouched.
+    evict_weight_cache_lru(&mut cache, 64);
+    assert_eq!(cache.len(), 7);
+    // A working set larger than the cap still shrinks to the cap.
+    evict_weight_cache_lru(&mut cache, 3);
+    assert_eq!(cache.len(), 3);
+}
+
+#[test]
+fn leaf_check_modes_differ_in_loads() {
+    let h = 4;
+    let (g, _) = tree_rnn(h);
+    let tree = datasets::perfect_binary_tree(5, 0);
+    let lin = Linearizer::new().linearize(&tree).unwrap();
+    let emb = Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42);
+    let mut params = Params::new();
+    params.set("Emb", emb);
+    let numbering = lower(
+        &g,
+        &RaSchedule {
+            specialize: false,
+            ..RaSchedule::default()
+        },
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let by_load = lower(
+        &g,
+        &RaSchedule {
+            specialize: false,
+            leaf_check: cortex_core::ra::LeafCheckMode::Load,
+            ..RaSchedule::default()
+        },
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let (_, pn) = execute(&numbering, &lin, &params, true).unwrap();
+    let (_, pl) = execute(&by_load, &lin, &params, true).unwrap();
+    assert_eq!(pn.leaf_check_loads, 0, "Appendix-B numbering avoids loads");
+    assert!(pl.leaf_check_loads > 0);
+}
+
+#[test]
+fn every_schedule_lowers_fully_with_no_fallback_ops() {
+    // The lowering must be total over the statement grammar: whatever
+    // schedule shape the RA pass emits, no `ScalarStmt` escape op may
+    // appear and the plan must be non-trivial.
+    use cortex_core::ra::{BarrierMode, LeafCheckMode};
+    let (g, _) = tree_rnn(6);
+    let schedules = [
+        RaSchedule::default(),
+        RaSchedule::unoptimized(),
+        RaSchedule {
+            specialize: false,
+            leaf_check: LeafCheckMode::Load,
+            ..RaSchedule::default()
+        },
+        RaSchedule {
+            unroll: Some(2),
+            ..RaSchedule::default()
+        },
+        RaSchedule {
+            peel: Some(4),
+            barrier: BarrierMode::Conservative,
+            ..RaSchedule::default()
+        },
+    ];
+    for schedule in &schedules {
+        let program = lower(&g, schedule, StructureInfo { max_children: 2 }).unwrap();
+        let engine = Engine::new(&program);
+        let ps = engine.plan_stats();
+        assert!(ps.plan_ops > 0, "plan must lower ({schedule:?})");
+        assert_eq!(
+            ps.interp_fallback_stmts, 0,
+            "no AST fallback ops ({schedule:?})"
+        );
+    }
+}
+
+#[test]
+fn pc_runtime_matches_interp_oracle_exactly() {
+    // The lowered plan runtime and the AST-walking oracle must produce
+    // bit-identical outputs and Profiles (the model-scale property test
+    // lives in tests/wave_equivalence.rs; this is the fast unit-level
+    // gate on the Fig. 1 model across schedules).
+    let h = 8;
+    let (g, out) = tree_rnn(h);
+    let emb = Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42);
+    let mut params = Params::new();
+    params.set("Emb", emb);
+    for (si, schedule) in [
+        RaSchedule::default(),
+        RaSchedule {
+            unroll: Some(2),
+            ..RaSchedule::default()
+        },
+    ]
+    .iter()
+    .enumerate()
+    {
+        let program = lower(&g, schedule, StructureInfo { max_children: 2 }).unwrap();
+        let tree = datasets::random_binary_tree(17, 11 + si as u64);
+        let lin = Linearizer::new().linearize(&tree).unwrap();
+        let (out_pc, prof_pc) = Engine::new(&program).execute(&lin, &params, true).unwrap();
+        let (out_or, prof_or) = Engine::with_options(&program, ExecOptions::interpreted())
+            .execute(&lin, &params, true)
+            .unwrap();
+        assert_eq!(out_pc[&out], out_or[&out], "schedule {si}: bit-exact");
+        assert_eq!(prof_pc, prof_or, "schedule {si}: identical profiles");
+    }
+}

@@ -24,7 +24,11 @@ pub struct WaveStat {
 }
 
 /// Counters collected while executing a program.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is exact, field-for-field — the bit-for-bit `Profile`
+/// contract the executor cross-checks (pc runtime vs `interp: true`,
+/// bulk vs per-element, batched vs solo) is asserted with `==`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Profile {
     /// Device kernel launches.
     pub launches: u64,

@@ -6,7 +6,7 @@
 //! re-reads its parameters from global memory, requires contiguous inputs,
 //! and costs a launch. [`VendorCtx`] wraps `cortex_tensor::kernels` with
 //! exactly that cost structure, writing into the shared
-//! [`Profile`](cortex_backend::profile::Profile) so baseline and Cortex
+//! [`Profile`] so baseline and Cortex
 //! runs are compared on identical meters.
 
 use cortex_backend::profile::{Profile, WaveStat};

@@ -14,7 +14,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "cortex-bench-pipeline/v4",
+//!   "schema": "cortex-bench-pipeline/v5",
 //!   "results": [
 //!     {"bench": "treelstm_h256_bs16", "nodes": 1234, "hidden": 256,
 //!      "scalar_ms": 12.3, "batched_ms": 3.2, "generic_ms": 88.0,
@@ -46,12 +46,14 @@
 
 use std::fmt::Write as _;
 
-use cortex_backend::exec::{Engine, ExecOptions, ExecStats};
+use cortex_backend::exec::{Engine, ExecOptions, ExecStats, PlanStats};
 use cortex_bench_harness::timing::median_run;
 use cortex_core::ra::RaSchedule;
 use cortex_ds::linearizer::{Linearized, Linearizer};
 use cortex_ds::{datasets, RecStructure};
-use cortex_models::{dagrnn, reference, seq, treegru, treelstm, LeafInit, Model};
+use cortex_models::{
+    dagrnn, mvrnn, reference, seq, treefc, treegru, treelstm, treernn, LeafInit, Model,
+};
 use cortex_tensor::approx::NonlinearityMode;
 
 struct Record {
@@ -64,6 +66,7 @@ struct Record {
     verified: bool,
     nonlinearity: NonlinearityMode,
     stats: ExecStats,
+    plan: PlanStats,
 }
 
 fn median_ms(samples: u32, f: impl FnMut()) -> f64 {
@@ -143,9 +146,10 @@ fn bench_model_mode(
     );
     let verified = verify(model, &lin, structure, &mut batched, want, 1e-4);
     // Executor-strategy counters from the verified run (deterministic
-    // except `epilogue_ns`, which is wall time; every run of this
-    // engine on this input reports the same schedule counters).
+    // except the `*_ns` phase timers, which are wall time; every run of
+    // this engine on this input reports the same schedule counters).
     let stats = batched.stats();
+    let plan = batched.plan_stats();
 
     let mut scalar = Engine::with_options(&program, ExecOptions::scalar());
     let mut generic = Engine::with_options(&program, ExecOptions::generic());
@@ -170,13 +174,18 @@ fn bench_model_mode(
     println!(
         "{name:<28} nodes={:<5} h={:<4} generic={generic_ms:9.2}ms scalar={scalar_ms:9.2}ms \
          batched={batched_ms:9.2}ms speedup(batched/scalar)={:.2}x gemms/wave={:.2} \
-         stacked={}/{} epilogue={:.2}ms fused_waves={} verified={verified}",
+         stacked={}/{} plan_ops={} gather={:.2}ms gemm={:.2}ms serve={:.2}ms \
+         epilogue={:.2}ms fused_waves={} verified={verified}",
         structure.num_nodes(),
         model.hidden,
         scalar_ms / batched_ms,
         stats.wave_gemms as f64 / stats.waves_batched.max(1) as f64,
         stats.stacked_sites,
         stats.sites_batched,
+        plan.plan_ops,
+        stats.gather_ns as f64 / 1e6,
+        stats.gemm_ns as f64 / 1e6,
+        stats.serve_ns as f64 / 1e6,
         stats.epilogue_ns as f64 / 1e6,
         stats.fused_waves,
     );
@@ -190,6 +199,7 @@ fn bench_model_mode(
         verified,
         nonlinearity,
         stats,
+        plan,
     }
 }
 
@@ -280,8 +290,47 @@ fn main() {
         records.push(bench_model("dagrnn_h256", &model, &grids, &want, 5));
     }
 
+    // Lowering coverage across the whole model zoo: every model —
+    // benchmarked here or not — must lower fully to a plan.
+    let zoo: Vec<(&str, Model)> = vec![
+        ("treernn", treernn::tree_rnn(64, LeafInit::Embedding)),
+        ("treefc", treefc::tree_fc(64, LeafInit::Embedding)),
+        ("treegru", treegru::tree_gru(64, LeafInit::Embedding)),
+        ("treelstm", treelstm::tree_lstm(64, LeafInit::Zero)),
+        ("mvrnn", mvrnn::mv_rnn(16)),
+        ("dagrnn", dagrnn::dag_rnn(64)),
+        ("seqlstm", seq::seq_lstm(64)),
+    ];
+    let lowering: Vec<(&str, PlanStats)> = zoo
+        .iter()
+        .map(|(name, model)| {
+            let program = model.lower(&RaSchedule::default()).expect("lowers");
+            let plan = Engine::new(&program).plan_stats();
+            println!(
+                "lowering {name:<10} plan_ops={:<5} lower={:.3}ms fallback_stmts={}",
+                plan.plan_ops,
+                plan.lower_ns as f64 / 1e6,
+                plan.interp_fallback_stmts
+            );
+            (*name, plan)
+        })
+        .collect();
+
     let mut json =
-        String::from("{\n  \"schema\": \"cortex-bench-pipeline/v4\",\n  \"results\": [\n");
+        String::from("{\n  \"schema\": \"cortex-bench-pipeline/v5\",\n  \"lowering\": [\n");
+    for (i, (name, plan)) in lowering.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"model\": \"{}\", \"plan_ops\": {}, \"lower_ms\": {:.4}, \
+             \"interp_fallback_stmts\": {}}}{}",
+            name,
+            plan.plan_ops,
+            plan.lower_ns as f64 / 1e6,
+            plan.interp_fallback_stmts,
+            if i + 1 < lowering.len() { ",\n" } else { "\n" }
+        );
+    }
+    json.push_str("  ],\n  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
             json,
@@ -291,7 +340,9 @@ fn main() {
              \"wave_gemms\": {}, \"waves_batched\": {}, \"gemms_per_wave\": {:.3}, \
              \"gemm_rows\": {}, \"stacked_groups\": {}, \"stacked_sites\": {}, \
              \"requests_per_batch\": 1, \"superwave_width\": {:.3}, \
-             \"throughput_rps\": {:.3}, \"epilogue_ms\": {:.4}, \
+             \"throughput_rps\": {:.3}, \"plan_ops\": {}, \"lower_ms\": {:.4}, \
+             \"interp_fallback_stmts\": {}, \"gather_ms\": {:.4}, \
+             \"gemm_ms\": {:.4}, \"serve_ms\": {:.4}, \"epilogue_ms\": {:.4}, \
              \"fused_waves\": {}, \"nonlinearity\": \"{}\"}}{}",
             r.bench,
             r.nodes,
@@ -309,6 +360,12 @@ fn main() {
             r.stats.stacked_sites,
             r.stats.gemm_rows as f64 / r.stats.wave_gemms.max(1) as f64,
             1e3 / r.batched_ms,
+            r.plan.plan_ops,
+            r.plan.lower_ns as f64 / 1e6,
+            r.plan.interp_fallback_stmts,
+            r.stats.gather_ns as f64 / 1e6,
+            r.stats.gemm_ns as f64 / 1e6,
+            r.stats.serve_ns as f64 / 1e6,
             r.stats.epilogue_ns as f64 / 1e6,
             r.stats.fused_waves,
             match r.nonlinearity {
@@ -338,9 +395,23 @@ fn main() {
     );
     // Correctness gates — always enforced. The rational row must verify
     // against the exact references (the ≤1e-4 end-to-end substitution
-    // bound) and every row must have taken the batched path.
+    // bound), every row must have taken the batched path, and every
+    // model — benchmarked or not — must lower fully to the plan IR.
     for r in &records {
         assert!(r.verified, "{}: verification failed", r.bench);
+        assert!(r.plan.plan_ops > 0, "{}: kernels must lower", r.bench);
+        assert_eq!(
+            r.plan.interp_fallback_stmts, 0,
+            "{}: lowering must be total",
+            r.bench
+        );
+    }
+    for (name, plan) in &lowering {
+        assert!(plan.plan_ops > 0, "{name}: kernels must lower");
+        assert_eq!(
+            plan.interp_fallback_stmts, 0,
+            "{name}: lowering must be total"
+        );
     }
     let by_name = |name: &str| -> &Record {
         records

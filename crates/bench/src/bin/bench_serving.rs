@@ -58,6 +58,7 @@ use cortex_ds::merge::DepthMap;
 use cortex_ds::{datasets, RecStructure};
 use cortex_models::{reference, seq, treelstm, LeafInit, Model};
 use cortex_rng::Rng;
+use cortex_serve::{Batcher, BatcherOptions};
 
 const QUEUE_DEPTHS: [usize; 4] = [1, 4, 16, 64];
 
@@ -128,6 +129,68 @@ fn verify_batched(
                         "VERIFY FAIL {}: request {r} node {n} elem {i}: {} vs {w}",
                         model.name,
                         got[[id, i]]
+                    );
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Verifies the serving front door at paper scale: the whole request
+/// set goes through `Batcher::submit_many` (burst intake, synchronous
+/// chunk flushes) and `Batcher::drain` (resolve every ticket) instead
+/// of a hand-rolled submit/poll loop, and every response must match the
+/// reference tables ≤1e-4 with cross-request merging engaged.
+fn verify_batcher_burst(
+    model: &Model,
+    program: &cortex_core::ilir::IlirProgram,
+    lins: &[&Linearized],
+    structures: &[RecStructure],
+    want: &[Vec<Vec<f32>>],
+) -> bool {
+    let mut batcher = Batcher::new(
+        program,
+        model.params.clone(),
+        BatcherOptions {
+            max_batch: 16,
+            max_delay: std::time::Duration::from_secs(3600),
+            persist: true,
+        },
+    );
+    let tickets = batcher
+        .submit_many(lins.iter().map(|l| (*l).clone()))
+        .expect("burst intake");
+    // Engine stats reset per flush, so read the merge counter after the
+    // burst's synchronous full-chunk flushes — the final drain flush may
+    // legally hold a single leftover request that merges nothing.
+    let merged = batcher.stats().super_gemms > 0;
+    let results = batcher.drain();
+    if results.len() != tickets.len() || !batcher.is_empty() {
+        eprintln!("VERIFY FAIL {}: drain left tickets behind", model.name);
+        return false;
+    }
+    if !merged {
+        eprintln!("VERIFY FAIL {}: batcher merged nothing", model.name);
+        return false;
+    }
+    for (r, (_, result)) in results.into_iter().enumerate() {
+        let response = match result {
+            Ok(resp) => resp,
+            Err(e) => {
+                eprintln!("VERIFY FAIL {}: request {r}: {e}", model.name);
+                return false;
+            }
+        };
+        let got = &response.outputs[&model.output];
+        for n in structures[r].iter() {
+            let id = lins[r].from_structure_id(n) as usize;
+            for (i, w) in want[r][n.index()].iter().enumerate() {
+                if (got[[id, i]] - w).abs() > 1e-4 {
+                    eprintln!(
+                        "VERIFY FAIL {}: batcher request {r} node {n} elem {i}",
+                        model.name
                     );
                     return false;
                 }
@@ -220,7 +283,8 @@ fn bench_workload(
         "{bench}: wave path must engage"
     );
 
-    let verified = verify_batched(model, &mut engine, &refs, &structures, &want);
+    let verified = verify_batched(model, &mut engine, &refs, &structures, &want)
+        && verify_batcher_burst(model, &program, &refs, &structures, &want);
 
     let mut depths = Vec::new();
     let mut depth1_wall = f64::NAN;

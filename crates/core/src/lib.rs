@@ -8,7 +8,7 @@
 //!   of per-node tensor operators, with the recursion scheduling primitives
 //!   of §3.1 (dynamic batching, specialization, unrolling, recursive
 //!   refactoring) captured in [`ra::RaSchedule`].
-//! * [`lower`] — RA lowering (§4.1): recursion to loops, temporary
+//! * [`mod@lower`] — RA lowering (§4.1): recursion to loops, temporary
 //!   materialization, specialization splitting, computation hoisting and
 //!   constant propagation (§4.3).
 //! * [`ilir`] — the Irregular Loops IR (§5): loop nests with variable

@@ -31,7 +31,7 @@
 //! ```
 //!
 //! Scheduling primitives (§3.1) are carried by [`RaSchedule`] and consumed
-//! by [`lower`](crate::lower).
+//! by [`lower`](mod@crate::lower).
 
 use std::error::Error;
 use std::fmt;

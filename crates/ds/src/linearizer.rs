@@ -98,9 +98,9 @@ impl Error for LinearizeError {}
 
 /// Configures and runs linearization.
 ///
-/// The default configuration performs dynamic batching; use
-/// [`Linearizer::dynamic_batching(false)`](Linearizer::dynamic_batching)
-/// to model frameworks (or schedules) that process nodes one at a time.
+/// The default configuration performs dynamic batching; schedules that
+/// process nodes one at a time are modeled on the executor side (see
+/// `RaSchedule::dynamic_batch`).
 #[derive(Debug, Clone, Default)]
 pub struct Linearizer {
     _private: (),

@@ -4,7 +4,7 @@ use std::fmt;
 
 /// Identifier of a node within a [`RecStructure`](crate::RecStructure).
 ///
-/// Ids are dense indices assigned by the [`StructureBuilder`]
+/// Ids are dense indices assigned by the [`crate::StructureBuilder`]
 /// (crate::StructureBuilder) in creation order; the
 /// [`linearizer`](crate::linearizer) later *renumbers* nodes following the
 /// Appendix-B scheme of the paper, so a `NodeId` is only meaningful relative

@@ -25,15 +25,15 @@
 //! #         params: cortex_backend::params::Params,
 //! #         inputs: Vec<cortex_ds::linearizer::Linearized>) {
 //! let mut batcher = Batcher::new(program, params, BatcherOptions::default());
-//! let tickets: Vec<_> = inputs
-//!     .into_iter()
-//!     .map(|lin| batcher.submit(lin).unwrap())
-//!     .collect();
-//! for t in tickets {
-//!     // Poll drives deadline-based flushing; a full queue flushes on
-//!     // submit. Each response is exactly the solo-run result.
-//!     let response = batcher.poll(t).unwrap().expect("flushed");
-//!     let _ = response.outputs;
+//! // Burst intake: one ticket per input, full queues flush mid-burst.
+//! let tickets = batcher.submit_many(inputs).unwrap();
+//! // Drain flushes the remainder and resolves every ticket in order —
+//! // each response is exactly the solo-run result. (Interactive
+//! // callers instead hold their ticket and `poll` it, which drives the
+//! // deadline-based flush policy.)
+//! for (ticket, result) in batcher.drain() {
+//!     assert!(tickets.contains(&ticket));
+//!     let _ = result.expect("flushed").outputs;
 //! }
 //! # }
 //! ```
@@ -189,6 +189,55 @@ impl<'p> Batcher<'p> {
             let _ = self.flush();
         }
         Ok(Ticket(ticket))
+    }
+
+    /// Enqueues a whole burst of inputs at once, returning one ticket
+    /// per input in order. Exactly equivalent to calling
+    /// [`Batcher::submit`] in a loop — full queues still flush
+    /// synchronously mid-burst, in [`BatcherOptions::max_batch`]-sized
+    /// chunks — but saves callers (benches, load generators, the future
+    /// pipelined batcher's intake side) the per-request plumbing.
+    ///
+    /// # Errors
+    ///
+    /// None currently; execution errors surface per ticket through
+    /// [`Batcher::poll`] or [`Batcher::drain`].
+    pub fn submit_many(
+        &mut self,
+        lins: impl IntoIterator<Item = Linearized>,
+    ) -> Result<Vec<Ticket>, ExecError> {
+        lins.into_iter().map(|lin| self.submit(lin)).collect()
+    }
+
+    /// Flushes everything still queued, then returns every **tracked**
+    /// ticket's outcome — ready responses and retained failures alike —
+    /// in ticket order. After `drain` the batcher is empty: no request
+    /// is left pending, ready, or failed.
+    ///
+    /// Tracked is the same notion [`Batcher::poll`] sees: failures
+    /// beyond [`FAILED_RETENTION_CAP`] were already dropped
+    /// oldest-first at flush time, so a burst with more than the cap's
+    /// worth of *failing* requests resolves only the retained ones here
+    /// (the dropped tickets read as unknown, exactly as their `poll`
+    /// would). Successful responses are never dropped.
+    ///
+    /// This is the poll-side counterpart of [`Batcher::submit_many`]:
+    /// callers that batch a known workload (benchmarks, offline scoring)
+    /// stop hand-rolling `submit`/`poll` loops, and the resulting
+    /// "intake burst → drain" shape is the synchronous half of the
+    /// ROADMAP's pipelined `Batcher` design.
+    pub fn drain(&mut self) -> Vec<(Ticket, Result<Response, ExecError>)> {
+        // Chunk errors are reported per ticket below.
+        let _ = self.flush();
+        let mut out: Vec<(Ticket, Result<Response, ExecError>)> = self
+            .ready
+            .drain()
+            .map(|(t, r)| (Ticket(t), Ok(r)))
+            .chain(self.failed.drain().map(|(t, e)| (Ticket(t), Err(e))))
+            .collect();
+        self.failed_order.clear();
+        out.sort_by_key(|(t, _)| *t);
+        out
     }
 
     /// Retrieves a finished response, driving the deadline policy: if
@@ -397,6 +446,72 @@ mod tests {
             }
         }
         assert_eq!(batcher.ready(), 0, "every response polled exactly once");
+    }
+
+    #[test]
+    fn submit_many_and_drain_resolve_every_ticket() {
+        let model = treelstm::tree_lstm(6, LeafInit::Embedding);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let trees: Vec<RecStructure> = (0..7u64)
+            .map(|s| datasets::random_binary_tree(5 + 2 * s as usize, 50 + s))
+            .collect();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 3, // the burst spans multiple flush chunks
+                max_delay: Duration::from_secs(3600),
+                persist: true,
+            },
+        );
+        let tickets = batcher.submit_many(trees.iter().map(lin)).unwrap();
+        assert_eq!(tickets.len(), trees.len());
+        // Two full chunks flushed synchronously mid-burst; one remains.
+        assert_eq!(batcher.pending(), 1);
+        let results = batcher.drain();
+        assert!(batcher.is_empty(), "drain leaves nothing tracked");
+        assert_eq!(results.len(), trees.len());
+        // Ticket order, every outcome present, bit-exact vs solo runs.
+        for ((ticket, result), t) in results.into_iter().zip(&trees) {
+            let response = result.expect("all requests succeed");
+            let (solo_out, solo_prof) =
+                exec::execute(&program, &lin(t), &model.params, true).unwrap();
+            assert!(tickets.contains(&ticket));
+            assert_eq!(response.profile, solo_prof);
+            for (id, tensor) in &solo_out {
+                assert_eq!(&response.outputs[id], tensor);
+            }
+        }
+    }
+
+    #[test]
+    fn drain_reports_failures_and_empties_the_batcher() {
+        let model = treelstm::tree_lstm(4, LeafInit::Zero);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let mut batcher = Batcher::new(
+            &program,
+            cortex_backend::params::Params::new(), // nothing bound: all fail
+            BatcherOptions {
+                max_batch: 8,
+                max_delay: Duration::from_secs(3600),
+                persist: true,
+            },
+        );
+        let tickets = batcher
+            .submit_many((0..3u64).map(|s| lin(&datasets::random_binary_tree(4, s))))
+            .unwrap();
+        let results = batcher.drain();
+        assert_eq!(results.len(), tickets.len());
+        for (i, (ticket, result)) in results.into_iter().enumerate() {
+            assert_eq!(ticket, tickets[i], "ticket order");
+            assert!(matches!(
+                result,
+                Err(cortex_backend::exec::ExecError::MissingParam(_))
+            ));
+        }
+        assert!(batcher.is_empty());
+        // Drained failures are gone: a re-poll reads as unknown.
+        assert!(batcher.poll(tickets[0]).unwrap().is_none());
     }
 
     #[test]

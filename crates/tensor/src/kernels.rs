@@ -22,7 +22,7 @@
 //! see `gemm_propagates_nan_and_inf`.
 //!
 //! With the `parallel` feature, large products are row-partitioned across
-//! a scoped thread pool with chunked work stealing ([`par_rows`]); each
+//! a scoped thread pool with chunked work stealing (`par_rows`); each
 //! row's reduction order is unchanged, so results are identical to the
 //! sequential path.
 

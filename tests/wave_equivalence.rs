@@ -812,3 +812,203 @@ fn engine_reuse_across_runs_is_stable() {
         assert_eq!(prof.flops, baseline[seed as usize].1, "seed {seed}");
     }
 }
+
+/// The ExecPlan tentpole's correctness bar: the pc-based plan runtime
+/// (the default) and the AST-walking oracle (`ExecOptions { interp:
+/// true }`) must agree **bit-for-bit** — outputs and complete `Profile`s
+/// — on every model, both solo and through a depth-16 serving batch
+/// (where the pc runtime parks/resumes at super-wave flushes). Also
+/// asserts the lowering is total: every model produces a non-trivial
+/// plan with zero AST-fallback ops, and the runtime never takes the
+/// `ScalarStmt` escape hatch.
+#[test]
+fn plan_runtime_matches_interp_oracle_on_all_models() {
+    let mut rng = Rng::new(0x61);
+    let oracle_opts = ExecOptions {
+        interp: true,
+        ..ExecOptions::default()
+    };
+    for case in 0..3 {
+        let h = rng.range_usize(3, 12);
+        for model in models(h) {
+            let program = model.lower(&RaSchedule::default()).unwrap();
+            let mut pc = Engine::new(&program);
+            let mut oracle = Engine::with_options(&program, oracle_opts);
+            let ctx = format!("{} h={h} case={case}", model.name);
+
+            let ps = pc.plan_stats();
+            assert!(ps.plan_ops > 0, "{ctx}: kernels must lower to a plan");
+            assert_eq!(
+                ps.interp_fallback_stmts, 0,
+                "{ctx}: the lowering must be total"
+            );
+
+            // Solo.
+            let structure = structure_for(&model, &mut rng);
+            let lin = Linearizer::new().linearize(&structure).unwrap();
+            let (out_p, prof_p) = pc.execute(&lin, &model.params, true).unwrap();
+            let (out_o, prof_o) = oracle.execute(&lin, &model.params, true).unwrap();
+            for (id, t_o) in &out_o {
+                assert_eq!(&out_p[id], t_o, "{ctx}: solo outputs bit-exact");
+            }
+            assert_eq!(prof_p, prof_o, "{ctx}: solo profiles identical");
+            assert_eq!(pc.stats().interp_stmts, 0, "{ctx}: no AST escapes ran");
+
+            // Depth-16 serving batch (mixed shapes and depths).
+            let structures: Vec<RecStructure> =
+                (0..16).map(|_| structure_for(&model, &mut rng)).collect();
+            let lins: Vec<_> = structures
+                .iter()
+                .map(|s| Linearizer::new().linearize(s).unwrap())
+                .collect();
+            let refs: Vec<&_> = lins.iter().collect();
+            let many_p = pc.execute_many(&refs, &model.params, true).unwrap();
+            let many_o = oracle.execute_many(&refs, &model.params, true).unwrap();
+            for (r, ((op_, pp), (oo, po))) in many_p.iter().zip(&many_o).enumerate() {
+                for (id, t_o) in oo {
+                    assert_eq!(&op_[id], t_o, "{ctx}: request {r} outputs bit-exact");
+                }
+                assert_eq!(pp, po, "{ctx}: request {r} profiles identical");
+            }
+        }
+    }
+}
+
+/// pc-based suspension: width-1 sequence waves force every request to
+/// park at **every** wave depth (a parked request is just its program
+/// counter plus loop records) and resume after each merged super-wave
+/// flush — mixed-length sequences exercise requests dropping out at
+/// different depths. Results must stay exactly those of uninterrupted
+/// solo runs.
+#[test]
+fn pc_suspension_parks_mid_wave_and_resumes_exactly() {
+    let h = 9;
+    let model = seq::seq_lstm(h);
+    let program = model.lower(&RaSchedule::default()).unwrap();
+    let mut engine = Engine::new(&program);
+
+    let structures: Vec<RecStructure> = [7usize, 13, 4, 21]
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| datasets::sequence(len, 0x70 + i as u64))
+        .collect();
+    let lins: Vec<_> = structures
+        .iter()
+        .map(|s| Linearizer::new().linearize(s).unwrap())
+        .collect();
+    let refs: Vec<&_> = lins.iter().collect();
+    let many = engine.execute_many(&refs, &model.params, true).unwrap();
+    let stats = engine.stats();
+    assert!(
+        stats.super_gemms > 0,
+        "width-1 waves must merge — otherwise nothing ever parked"
+    );
+    // The longest sequence (21 tokens -> 20 recursion steps) sets the
+    // number of wave depths; each is one park + merged flush.
+    assert!(
+        stats.wave_gemms >= 20,
+        "one merged launch per wave depth, got {}",
+        stats.wave_gemms
+    );
+    for (r, (outputs, profile)) in many.iter().enumerate() {
+        let (solo_out, solo_prof) = engine.execute(refs[r], &model.params, true).unwrap();
+        assert_eq!(
+            profile, &solo_prof,
+            "request {r}: suspension must be invisible to the Profile"
+        );
+        for (id, t_s) in &solo_out {
+            assert_eq!(&outputs[id], t_s, "request {r}: bit-exact outputs");
+        }
+    }
+}
+
+/// Reconfiguring a live engine must behave exactly like building a
+/// fresh engine with the new options: lowering-relevant knobs
+/// (`wave_gemm`, `gate_stacking`) rebuild the plans and drop
+/// grouping-shaped caches, runtime knobs (`bulk`, `nonlinearity`,
+/// `min_wave_width`, `interp`) switch paths without stale compiled
+/// state. Every knob — `fastdot` included, via the generic
+/// configuration — is flipped on one engine whose caches were warmed
+/// under the previous configuration.
+#[test]
+fn set_options_matches_fresh_engine_for_every_knob() {
+    let model = treelstm::tree_lstm(10, LeafInit::Embedding);
+    let program = model.lower(&RaSchedule::default()).unwrap();
+    let tree = datasets::random_binary_tree(26, 0x81);
+    let lin = Linearizer::new().linearize(&tree).unwrap();
+
+    let flips: Vec<(&str, ExecOptions)> = vec![
+        ("gate_stacking off", ExecOptions::unstacked()),
+        ("wave_gemm off", ExecOptions::scalar()),
+        ("fastdot off (generic)", ExecOptions::generic()),
+        ("back to default", ExecOptions::default()),
+        (
+            "bulk off",
+            ExecOptions {
+                bulk: false,
+                ..ExecOptions::default()
+            },
+        ),
+        ("nonlinearity rational", ExecOptions::rational()),
+        (
+            "min_wave_width max",
+            ExecOptions {
+                min_wave_width: usize::MAX,
+                ..ExecOptions::default()
+            },
+        ),
+        (
+            "interp oracle",
+            ExecOptions {
+                interp: true,
+                ..ExecOptions::default()
+            },
+        ),
+        ("default again", ExecOptions::default()),
+    ];
+
+    let mut live = Engine::new(&program);
+    // Warm every cache under the initial configuration.
+    live.execute(&lin, &model.params, true).unwrap();
+    live.execute(&lin, &model.params, true).unwrap();
+
+    for (name, opts) in flips {
+        live.set_options(opts);
+        let (out_l, prof_l) = live.execute(&lin, &model.params, true).unwrap();
+        let live_stats = live.stats();
+
+        let mut fresh = Engine::with_options(&program, opts);
+        let (out_f, prof_f) = fresh.execute(&lin, &model.params, true).unwrap();
+        let fresh_stats = fresh.stats();
+
+        for (id, t_f) in &out_f {
+            assert_eq!(&out_l[id], t_f, "{name}: outputs must be bit-equal");
+        }
+        assert_eq!(prof_l, prof_f, "{name}: profiles must be identical");
+        // Strategy counters prove the live engine actually switched
+        // paths instead of reusing stale compiled state (weight_packs
+        // legitimately differs: the fresh engine packs, the live one
+        // may reuse params-keyed packs — that cache is
+        // options-independent by design).
+        assert_eq!(
+            live_stats.wave_gemms, fresh_stats.wave_gemms,
+            "{name}: wave GEMM schedule must match a fresh engine"
+        );
+        assert_eq!(
+            live_stats.stacked_groups, fresh_stats.stacked_groups,
+            "{name}: stacking must match a fresh engine"
+        );
+        assert_eq!(
+            live_stats.sites_batched, fresh_stats.sites_batched,
+            "{name}: site serving must match a fresh engine"
+        );
+        assert_eq!(
+            live_stats.fused_waves, fresh_stats.fused_waves,
+            "{name}: fused epilogues must match a fresh engine"
+        );
+        assert_eq!(
+            live_stats.narrow_waves_skipped, fresh_stats.narrow_waves_skipped,
+            "{name}: min-width skips must match a fresh engine"
+        );
+    }
+}
