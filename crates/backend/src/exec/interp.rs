@@ -55,6 +55,11 @@ pub(crate) struct Caches {
     /// one slot per key would churn allocations.
     pub(crate) group_bufs: HashMap<usize, Vec<GroupBufs>>,
     pub(crate) stats: ExecStats,
+    /// Deterministic fault-injection hook ([`super::FaultHook`]),
+    /// consulted at instrumented sites. Lives in the caches so it
+    /// shuttles into whichever request is stepping, exactly like the
+    /// stats it instruments.
+    pub(crate) fault_hook: Option<super::FaultHook>,
 }
 
 // ---------------------------------------------------------------------

@@ -44,6 +44,7 @@ mod scalar;
 #[cfg(test)]
 mod tests;
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::time::Instant;
@@ -87,6 +88,10 @@ pub enum ExecError {
     Unroll(LinearizeError),
     /// An internal invariant was violated.
     Internal(String),
+    /// A deterministic test fault raised through the engine's
+    /// fault-injection hook (see [`FaultHook`]). Never produced outside
+    /// fault-injection harnesses.
+    Injected(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -105,6 +110,7 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::Unroll(e) => write!(f, "unrolled schedule: {e}"),
             ExecError::Internal(msg) => write!(f, "internal executor error: {msg}"),
+            ExecError::Injected(site) => write!(f, "injected fault at {site}"),
         }
     }
 }
@@ -114,6 +120,91 @@ impl std::error::Error for ExecError {}
 impl From<LinearizeError> for ExecError {
     fn from(e: LinearizeError) -> Self {
         ExecError::Unroll(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (testing substrate)
+// ---------------------------------------------------------------------
+
+/// An instrumented execution site a [`FaultHook`] is consulted at.
+///
+/// The two sites cover the two failure shapes a serving layer must
+/// contain: [`FaultSite::Launch`] fires once per kernel launch of the
+/// **pc (ExecPlan) runtime only** — so an always-faulting launch hook
+/// emulates a broken lowered plan whose `interp` oracle twin still works
+/// (the circuit-breaker scenario) — while [`FaultSite::Gemm`] fires once
+/// per wave-GEMM flush, shared by both runtimes and (under
+/// [`Engine::execute_many`]) by every request parked in the super-wave,
+/// so one Gemm fault takes down a whole co-batched chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// One kernel launch of the pc runtime. `nodes` is the running
+    /// request's node count — a request identity that survives
+    /// re-batching, letting a hook poison one specific request
+    /// deterministically across chunk bisection and solo re-runs.
+    Launch {
+        /// Node count of the request entering the launch.
+        nodes: usize,
+    },
+    /// One wave-GEMM flush over `rows` gathered rows (possibly merged
+    /// across every request of a batch).
+    Gemm {
+        /// Total row count of the (super-)wave GEMM.
+        rows: usize,
+    },
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSite::Launch { nodes } => write!(f, "launch(nodes={nodes})"),
+            FaultSite::Gemm { rows } => write!(f, "gemm(rows={rows})"),
+        }
+    }
+}
+
+/// What an injected fault does at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The engine call returns `Err(`[`ExecError::Injected`]`)` — the
+    /// typed-error failure shape.
+    Err,
+    /// The engine panics (payload [`InjectedPanic`]), as a genuine
+    /// executor bug would — the panic-containment failure shape.
+    Panic,
+}
+
+/// Panic payload carrying a [`FaultAction::Err`] injection out of the
+/// run. Caught at the [`Engine::execute`]/[`Engine::execute_many`]
+/// boundary (only when a hook is installed) and converted into the
+/// typed `Err` return; it never escapes the engine.
+pub struct InjectedFault(pub ExecError);
+
+/// Panic payload of [`FaultAction::Panic`]. Deliberately **not** caught
+/// by the engine: it unwinds out of the engine call exactly like a real
+/// executor panic, for callers' panic containment to exercise.
+pub struct InjectedPanic(pub FaultSite);
+
+/// A deterministic fault-injection decision function, consulted at every
+/// [`FaultSite`] occurrence. Installed with [`Engine::set_fault_hook`];
+/// `None` (the default) costs one branch per site. Shared `Rc` so
+/// harnesses can keep counters on the other handle.
+pub type FaultHook = Rc<RefCell<dyn FnMut(FaultSite) -> Option<FaultAction>>>;
+
+/// Consults the hook at `site` and raises the chosen fault, if any.
+///
+/// The hook borrow is released *before* the panic so a caught unwind
+/// leaves the hook reusable.
+pub(crate) fn maybe_inject(hook: &Option<FaultHook>, site: FaultSite) {
+    let Some(h) = hook else { return };
+    let action = (h.borrow_mut())(site);
+    match action {
+        None => {}
+        Some(FaultAction::Err) => {
+            std::panic::panic_any(InjectedFault(ExecError::Injected(site.to_string())))
+        }
+        Some(FaultAction::Panic) => std::panic::panic_any(InjectedPanic(site)),
     }
 }
 
@@ -537,6 +628,58 @@ impl<'p> Engine<'p> {
         self.opts
     }
 
+    /// The program this engine serves — lets owners (a serving front)
+    /// rebuild an equivalent engine after containing a panic, without
+    /// holding the program reference separately.
+    pub fn program(&self) -> &'p IlirProgram {
+        self.program
+    }
+
+    /// Installs (or removes) the deterministic fault-injection hook.
+    /// With a hook installed, [`Engine::execute`]/[`Engine::execute_many`]
+    /// run guarded: a [`FaultAction::Err`] injection surfaces as a typed
+    /// `Err(`[`ExecError::Injected`]`)` return with the engine's caches
+    /// restored to a coherent (cold) state, while a
+    /// [`FaultAction::Panic`] injection — and any genuine panic — still
+    /// unwinds out for the caller's containment to handle.
+    pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.caches.fault_hook = hook;
+    }
+
+    /// The installed fault-injection hook, if any (cloned handle).
+    pub fn fault_hook(&self) -> Option<FaultHook> {
+        self.caches.fault_hook.clone()
+    }
+
+    /// Runs `f` under the fault-injection guard: with no hook installed
+    /// this is a plain call (the production path — no `catch_unwind` in
+    /// the way of real panics); with a hook, typed [`InjectedFault`]
+    /// unwinds convert to `Err` and every caught unwind first resets the
+    /// engine's caches, which a mid-step panic leaves swapped into a
+    /// dropped interpreter (see `run_many_cooperative`).
+    fn guarded<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ExecError>,
+    ) -> Result<T, ExecError> {
+        if self.caches.fault_hook.is_none() {
+            return f(self);
+        }
+        let hook = self.caches.fault_hook.clone();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self))) {
+            Ok(r) => r,
+            Err(payload) => {
+                self.caches = Caches {
+                    fault_hook: hook,
+                    ..Caches::default()
+                };
+                match payload.downcast::<InjectedFault>() {
+                    Ok(injected) => Err(injected.0),
+                    Err(other) => std::panic::resume_unwind(other),
+                }
+            }
+        }
+    }
+
     /// Reconfigures a live engine, invalidating exactly the compiled
     /// state the change can stale:
     ///
@@ -603,6 +746,15 @@ impl<'p> Engine<'p> {
         params: &Params,
         persist_active: bool,
     ) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
+        self.guarded(|e| e.execute_inner(lin, params, persist_active))
+    }
+
+    fn execute_inner(
+        &mut self,
+        lin: &Linearized,
+        params: &Params,
+        persist_active: bool,
+    ) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
         self.refresh_weight_cache(params);
         self.caches.stats = ExecStats::default();
         let mut interp = Interp::new(
@@ -648,6 +800,15 @@ impl<'p> Engine<'p> {
     ///
     /// See [`execute`]; the first failing request aborts the batch.
     pub fn execute_many(
+        &mut self,
+        lins: &[&Linearized],
+        params: &Params,
+        persist_active: bool,
+    ) -> Result<Vec<RunOutput>, ExecError> {
+        self.guarded(|e| e.execute_many_inner(lins, params, persist_active))
+    }
+
+    fn execute_many_inner(
         &mut self,
         lins: &[&Linearized],
         params: &Params,
@@ -770,6 +931,10 @@ impl<'p> Engine<'p> {
                 total_rows,
                 registrants,
             } = entry;
+            maybe_inject(
+                &self.caches.fault_hook,
+                FaultSite::Gemm { rows: total_rows },
+            );
             let mut out = vec![0.0f32; total_rows * key.cols];
             let gemm_t0 = Instant::now();
             kernels::gemm_nt_into(&mut out, &rows, &weight, total_rows, key.cols, key.k_len);

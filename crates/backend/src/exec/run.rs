@@ -107,6 +107,12 @@ impl<'a> Interp<'a> {
                     }
                     return StepOutcome::Done;
                 };
+                super::maybe_inject(
+                    &self.caches.fault_hook,
+                    super::FaultSite::Launch {
+                        nodes: self.lin.num_nodes(),
+                    },
+                );
                 let kernel = &plan.kernels[ki];
                 self.cur_kernel = ki;
                 self.profile.launches += 1;

@@ -403,3 +403,158 @@ fn pc_runtime_matches_interp_oracle_exactly() {
         assert_eq!(prof_pc, prof_or, "schedule {si}: identical profiles");
     }
 }
+
+// -- fault-injection hooks (the serving front's containment substrate) --
+
+/// Silences the default panic report for injected-fault unwinds (they
+/// are expected and caught) while leaving genuine panics loud.
+fn silence_injected(f: impl FnOnce()) {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info.payload().is::<super::InjectedPanic>()
+                || info.payload().is::<super::InjectedFault>();
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+    f();
+}
+
+/// A TreeRNN-shaped graph whose recursion is a real matvec
+/// (`tanh(W · (h_l + h_r))`): its reduction waves run as wave GEMMs, so
+/// the super-wave flush — and its `Gemm` fault site — engages under
+/// `execute_many`.
+fn matvec_tree(h: usize) -> (RaGraph, TensorId) {
+    let mut g = RaGraph::new();
+    let w = g.input("W", &[h, h]);
+    let emb = g.input("Emb", &[datasets::VOCAB_SIZE as usize, h]);
+    let ph = g.placeholder("mv_ph", &[h]);
+    let leaf = g.compute("leaf", &[h], |c| c.read(emb, &[c.node().word(), c.axis(0)]));
+    let rec = g.compute("rec", &[h], |c| {
+        let i = c.axis(0);
+        c.sum(h, |c, k| {
+            c.read(w, &[i.clone(), k.clone()]).mul(
+                c.read(ph, &[c.node().child(0), k.clone()])
+                    .add(c.read(ph, &[c.node().child(1), k.clone()])),
+            )
+        })
+        .tanh()
+    });
+    let body = g.if_then_else("body", leaf, rec).unwrap();
+    let mv = g.recursion(ph, body).unwrap();
+    g.mark_output(mv);
+    (g, mv.id())
+}
+
+/// Shared fixture for the hook tests: program, a linearized tree, and
+/// bound params.
+fn fault_fixture() -> (cortex_core::ilir::IlirProgram, Linearized, Params, TensorId) {
+    let h = 8;
+    let (g, out) = tree_rnn(h);
+    let program = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let tree = datasets::random_binary_tree(9, 5);
+    let lin = Linearizer::new().linearize(&tree).unwrap();
+    let mut params = Params::new();
+    params.set(
+        "Emb",
+        Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42),
+    );
+    (program, lin, params, out)
+}
+
+#[test]
+fn injected_err_surfaces_typed_and_the_engine_recovers() {
+    let (program, lin, params, out) = fault_fixture();
+    let (want, want_prof) = execute(&program, &lin, &params, true).unwrap();
+
+    let mut engine = Engine::new(&program);
+    let hook: super::FaultHook = Rc::new(std::cell::RefCell::new(|site: super::FaultSite| {
+        matches!(site, super::FaultSite::Launch { .. }).then_some(super::FaultAction::Err)
+    }));
+    engine.set_fault_hook(Some(hook));
+    // The injected fault comes back as a *typed* error, not a panic.
+    match engine.execute(&lin, &params, true) {
+        Err(ExecError::Injected(msg)) => assert!(msg.contains("launch"), "site in message: {msg}"),
+        other => panic!("expected an injected fault, got {other:?}"),
+    }
+    // Healing the hook heals the engine: the fault reset its caches, so
+    // the next run matches an untouched engine bit-for-bit.
+    engine.set_fault_hook(None);
+    let (got, got_prof) = engine.execute(&lin, &params, true).unwrap();
+    assert_eq!(got_prof, want_prof);
+    assert_eq!(got[&out], want[&out]);
+}
+
+#[test]
+fn injected_panic_unwinds_to_the_caller_and_the_engine_survives() {
+    silence_injected(|| {
+        let h = 8;
+        let (g, out) = matvec_tree(h);
+        let program = lower(
+            &g,
+            &RaSchedule::default(),
+            StructureInfo { max_children: 2 },
+        )
+        .unwrap();
+        let lin = Linearizer::new()
+            .linearize(&datasets::random_binary_tree(9, 5))
+            .unwrap();
+        let mut params = Params::new();
+        params.set("W", Tensor::random(&[h, h], 0.5, 7));
+        params.set(
+            "Emb",
+            Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42),
+        );
+        let (want, _) = execute(&program, &lin, &params, true).unwrap();
+
+        let mut engine = Engine::new(&program);
+        let hook: super::FaultHook = Rc::new(std::cell::RefCell::new(|site: super::FaultSite| {
+            matches!(site, super::FaultSite::Gemm { .. }).then_some(super::FaultAction::Panic)
+        }));
+        engine.set_fault_hook(Some(hook));
+        // Gemm sites live in the super-wave flush, so the panic fires
+        // mid-`execute_many` — with another request's caches swapped in,
+        // the worst place to unwind from. Injected *panics* are
+        // deliberately not converted: they unwind to the caller (the
+        // serving layer's containment boundary) with the typed payload
+        // intact.
+        let lin2 = Linearizer::new()
+            .linearize(&datasets::random_binary_tree(7, 6))
+            .unwrap();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.execute_many(&[&lin, &lin2], &params, true)
+        }));
+        let payload = unwound.expect_err("the injected panic must unwind");
+        let site = payload
+            .downcast::<super::InjectedPanic>()
+            .expect("typed panic payload");
+        assert!(matches!(site.0, super::FaultSite::Gemm { rows } if rows > 0));
+        // The engine guard reset its caches on the way out: with the
+        // hook gone, the same engine serves the request correctly.
+        engine.set_fault_hook(None);
+        let (got, _) = engine.execute(&lin, &params, true).unwrap();
+        assert_eq!(got[&out], want[&out]);
+    });
+}
+
+#[test]
+fn hookless_engines_pay_no_guard() {
+    // The panic-containment wrapper only engages when a hook is
+    // installed: a plain engine reports `None` for its hook and runs
+    // the direct path (same results, no catch_unwind frame).
+    let (program, lin, params, out) = fault_fixture();
+    let mut engine = Engine::new(&program);
+    assert!(engine.fault_hook().is_none());
+    let (got, _) = engine.execute(&lin, &params, true).unwrap();
+    let (want, _) = execute(&program, &lin, &params, true).unwrap();
+    assert_eq!(got[&out], want[&out]);
+}

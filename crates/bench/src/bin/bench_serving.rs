@@ -35,6 +35,13 @@
 //! via `CORTEX_BENCH_ENFORCE=0` on noisy boxes) require ≥1.25×
 //! throughput on seqlstm at depth 16 and ≥0.95× on treelstm bs1.
 //!
+//! Schema v3 adds a `robustness` section: four deterministic
+//! fault-tolerance scenarios (queue-full shedding, deadline pressure,
+//! panic isolation, circuit-breaker degradation) whose [`ServeStats`]
+//! counters are gated structurally — on the queue-full burst,
+//! `shed + resolved == submitted` exactly (no ticket lost, none
+//! double-resolved); these gates are never skipped.
+//!
 //! The wall-clock bars are intentionally below the issue's aspirational
 //! 2×/1.3×: that target assumed a per-wave-launch-bound sequential
 //! baseline, but PR 2's SIMD kernels plus this PR's shared parameter
@@ -49,16 +56,18 @@
 //! structural metric, and that is gated hard.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
 
-use cortex_backend::exec::Engine;
+use cortex_backend::exec::{Engine, FaultAction};
 use cortex_core::ra::RaSchedule;
 use cortex_ds::linearizer::{Linearized, Linearizer};
 use cortex_ds::merge::DepthMap;
 use cortex_ds::{datasets, RecStructure};
 use cortex_models::{reference, seq, treelstm, LeafInit, Model};
 use cortex_rng::Rng;
-use cortex_serve::{Batcher, BatcherOptions};
+use cortex_serve::faults::{silence_injected_panics, FaultInjector};
+use cortex_serve::{Batcher, BatcherOptions, ServeStats, TestClock, WhenFull};
 
 const QUEUE_DEPTHS: [usize; 4] = [1, 4, 16, 64];
 
@@ -156,12 +165,14 @@ fn verify_batcher_burst(
         BatcherOptions {
             max_batch: 16,
             max_delay: std::time::Duration::from_secs(3600),
-            persist: true,
+            ..BatcherOptions::default()
         },
     );
-    let tickets = batcher
+    let tickets: Vec<_> = batcher
         .submit_many(lins.iter().map(|l| (*l).clone()))
-        .expect("burst intake");
+        .into_iter()
+        .map(|r| r.expect("burst intake"))
+        .collect();
     // Engine stats reset per flush, so read the merge counter after the
     // burst's synchronous full-chunk flushes — the final drain flush may
     // legally hold a single leftover request that merges nothing.
@@ -263,6 +274,196 @@ fn simulate_latency(
     let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
     let p95 = latencies[((latencies.len() as f64 * 0.95) as usize).min(latencies.len() - 1)];
     (mean, p95)
+}
+
+/// One robustness scenario's outcome: the batcher's cumulative
+/// counters plus a deterministic structural verdict.
+struct RobustnessRecord {
+    scenario: &'static str,
+    stats: ServeStats,
+    ok: bool,
+}
+
+/// Runs the four robustness scenarios the fault-tolerant front gates
+/// on: queue-full shedding, deadline pressure, fault isolation, and
+/// circuit-breaker degradation. Every gate here is structural
+/// (counter-based), so these never depend on wall-clock and are always
+/// enforced. The shared accounting invariant — every admitted ticket
+/// resolves exactly once, `shed + resolved == submitted` on the burst —
+/// is checked per scenario.
+fn robustness_scenarios() -> Vec<RobustnessRecord> {
+    let model = treelstm::tree_lstm(64, LeafInit::Embedding);
+    let program = model.lower(&RaSchedule::default()).expect("lowers");
+    let lin = |leaves: usize, seed: u64| -> Linearized {
+        Linearizer::new()
+            .linearize(&datasets::random_binary_tree(leaves, seed))
+            .expect("linearizes")
+    };
+    let mut records = Vec::new();
+
+    // Scenario 1: queue-full burst. 64 arrivals against a 16-slot queue
+    // under shed-oldest, no flush until drain: exactly 48 shed, 16
+    // served, nothing lost.
+    {
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 64, // larger than the cap: flush only on drain
+                max_delay: Duration::from_secs(3600),
+                queue_cap: 16,
+                when_full: WhenFull::ShedOldest,
+                ..BatcherOptions::default()
+            },
+        );
+        for s in 0..64u64 {
+            batcher.submit(lin(6, s)).expect("shedding never rejects");
+        }
+        let results = batcher.drain();
+        let stats = batcher.serve_stats();
+        let ok = stats.submitted == 64
+            && stats.shed == 48
+            && stats.resolved_ok == 16
+            && stats.shed + stats.resolved_ok == stats.submitted
+            && results.len() as u64 == stats.submitted;
+        records.push(RobustnessRecord {
+            scenario: "queue_full_burst",
+            stats,
+            ok,
+        });
+    }
+
+    // Scenario 2: deadline pressure. 16 requests with a 5 ms budget go
+    // stale behind a frozen clock; 8 fresh ones arrive after the jump.
+    // The flush expires exactly the stale 16 and serves the fresh 8.
+    {
+        let clock = TestClock::new();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 64,
+                max_delay: Duration::from_secs(3600),
+                deadline: Some(Duration::from_millis(5)),
+                ..BatcherOptions::default()
+            },
+        )
+        .with_clock(Rc::new(clock.clone()));
+        for s in 0..16u64 {
+            batcher.submit(lin(6, s)).expect("admitted");
+        }
+        clock.advance(Duration::from_millis(6));
+        for s in 16..24u64 {
+            batcher.submit(lin(6, s)).expect("admitted");
+        }
+        batcher.drain();
+        let stats = batcher.serve_stats();
+        let ok = stats.submitted == 24
+            && stats.deadline_misses == 16
+            && stats.resolved_ok == 8
+            && stats.resolved_ok + stats.resolved_err == stats.submitted;
+        records.push(RobustnessRecord {
+            scenario: "deadline_pressure",
+            stats,
+            ok,
+        });
+    }
+
+    // Scenario 3: fault isolation. One of 16 co-batched requests panics
+    // at every launch (sticky: it still faults when bisection re-runs
+    // it); the 15 healthy chunk-mates must all resolve.
+    {
+        silence_injected_panics();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 16,
+                max_delay: Duration::from_secs(3600),
+                ..BatcherOptions::default()
+            },
+        );
+        // Distinct leaf counts give every request a unique node count;
+        // poison the 8th request by its node count.
+        let inputs: Vec<Linearized> = (0..16u64).map(|s| lin(4 + s as usize, s)).collect();
+        let culprit_nodes = inputs[7].num_nodes();
+        let (hook, _handle) = FaultInjector::new(0xFA)
+            .always(FaultAction::Panic)
+            .poison_nodes(culprit_nodes)
+            .into_hook();
+        batcher.set_fault_hook(Some(hook));
+        for input in inputs {
+            batcher.submit(input).expect("admitted");
+        }
+        batcher.drain();
+        let stats = batcher.serve_stats();
+        let ok = stats.submitted == 16
+            && stats.resolved_ok == 15
+            && stats.resolved_err == 1
+            && stats.isolated_faults == 1
+            && stats.panics_contained >= 2;
+        records.push(RobustnessRecord {
+            scenario: "fault_isolation",
+            stats,
+            ok,
+        });
+    }
+
+    // Scenario 4: circuit breaker. A broken ExecPlan path (every launch
+    // raises a typed error) trips the breaker after 3 consecutive
+    // faults; the remaining traffic is served degraded on the interp
+    // oracle path — slower, never dropped.
+    {
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 1, // every request flushes alone
+                max_delay: Duration::from_secs(3600),
+                breaker_threshold: 3,
+                breaker_reset: Duration::from_secs(3600),
+                ..BatcherOptions::default()
+            },
+        );
+        let (hook, _handle) = FaultInjector::new(7)
+            .always(FaultAction::Err)
+            .launches_only()
+            .into_hook();
+        batcher.set_fault_hook(Some(hook));
+        for s in 0..12u64 {
+            batcher.submit(lin(6, s)).expect("admitted");
+        }
+        batcher.drain();
+        let stats = batcher.serve_stats();
+        let ok = stats.submitted == 12
+            && stats.resolved_err == 3
+            && stats.resolved_ok == 9
+            && stats.degraded_runs == 9
+            && stats.resolved_ok + stats.resolved_err == stats.submitted;
+        records.push(RobustnessRecord {
+            scenario: "circuit_breaker",
+            stats,
+            ok,
+        });
+    }
+
+    for r in &records {
+        println!(
+            "robustness {:<18} submitted={:<3} ok={:<3} err={:<3} shed={:<3} \
+             deadline={:<3} isolated={:<2} degraded={:<3} panics={:<2} -> {}",
+            r.scenario,
+            r.stats.submitted,
+            r.stats.resolved_ok,
+            r.stats.resolved_err,
+            r.stats.shed,
+            r.stats.deadline_misses,
+            r.stats.isolated_faults,
+            r.stats.degraded_runs,
+            r.stats.panics_contained,
+            if r.ok { "PASS" } else { "FAIL" },
+        );
+    }
+    records
 }
 
 fn bench_workload(
@@ -406,8 +607,10 @@ fn main() {
         workloads.push(bench_workload("treelstm_h256_bs1", &model, corpus, want));
     }
 
+    let robustness = robustness_scenarios();
+
     let mut json =
-        String::from("{\n  \"schema\": \"cortex-bench-serving/v2\",\n  \"results\": [\n");
+        String::from("{\n  \"schema\": \"cortex-bench-serving/v3\",\n  \"results\": [\n");
     let mut first = true;
     for w in &workloads {
         for d in &w.depths {
@@ -442,12 +645,44 @@ fn main() {
             );
         }
     }
+    json.push_str("\n  ],\n  \"robustness\": [\n");
+    for (i, r) in robustness.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"scenario\": \"{}\", \"submitted\": {}, \"resolved_ok\": {}, \
+             \"resolved_err\": {}, \"shed\": {}, \"deadline_misses\": {}, \
+             \"isolated_faults\": {}, \"degraded_runs\": {}, \
+             \"panics_contained\": {}, \"ok\": {}}}",
+            r.scenario,
+            r.stats.submitted,
+            r.stats.resolved_ok,
+            r.stats.resolved_err,
+            r.stats.shed,
+            r.stats.deadline_misses,
+            r.stats.isolated_faults,
+            r.stats.degraded_runs,
+            r.stats.panics_contained,
+            r.ok
+        );
+    }
     json.push_str("\n  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
     println!("\nwrote {out_path}");
 
     for w in &workloads {
         assert!(w.verified, "{}: verification failed", w.bench);
+    }
+    // Robustness gates — structural (counter equalities), never skipped.
+    for r in &robustness {
+        assert!(
+            r.ok,
+            "robustness: scenario {} failed its accounting gate \
+             (shed + resolved must equal submitted, with the expected split)",
+            r.scenario
+        );
     }
     let at = |bench: &str, depth: usize| -> &DepthRecord {
         workloads

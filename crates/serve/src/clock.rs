@@ -1,0 +1,82 @@
+//! Injectable time for the serving front.
+//!
+//! The [`Batcher`](crate::Batcher)'s flush-deadline policy, per-request
+//! deadlines, and circuit-breaker reset window all read time through one
+//! [`Clock`] trait instead of scattering `Instant::now()` calls through
+//! `submit`/`poll` (which an earlier version did — untestable without
+//! sleeping). Production uses [`MonotonicClock`]; tests and the
+//! fault-injection harness drive a [`TestClock`] by hand, which makes
+//! every deadline scenario deterministic.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source. `now()` is a duration since an arbitrary
+/// fixed epoch (the clock's creation); only differences are meaningful.
+pub trait Clock {
+    /// Time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: wall time elapsed since construction.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock(Instant);
+
+impl MonotonicClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        MonotonicClock(Instant::now())
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
+/// A manually driven clock. Cloning shares the underlying time, so a
+/// test holds one handle while the [`Batcher`](crate::Batcher) reads the
+/// other:
+///
+/// ```
+/// use cortex_serve::{Clock, TestClock};
+/// use std::time::Duration;
+///
+/// let clock = TestClock::new();
+/// let handle = clock.clone();
+/// handle.advance(Duration::from_millis(5));
+/// assert_eq!(clock.now(), Duration::from_millis(5));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TestClock(Rc<Cell<Duration>>);
+
+impl TestClock {
+    /// A clock frozen at its epoch.
+    pub fn new() -> Self {
+        TestClock::default()
+    }
+
+    /// Moves time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.0.set(self.0.get() + d);
+    }
+
+    /// Jumps time to `t` past the epoch.
+    pub fn set(&self, t: Duration) {
+        self.0.set(t);
+    }
+}
+
+impl Clock for TestClock {
+    fn now(&self) -> Duration {
+        self.0.get()
+    }
+}

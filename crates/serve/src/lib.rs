@@ -1,4 +1,4 @@
-//! # cortex-serve — cross-request super-wave batching
+//! # cortex-serve — a fault-tolerant cross-request serving front
 //!
 //! Serving a recursive model means many small, structurally independent
 //! requests: each one alone pays full wave planning and per-wave GEMM
@@ -13,11 +13,34 @@
 //! `Profile` counters; a property test in `tests/wave_equivalence.rs`
 //! asserts exactly that).
 //!
-//! Flush policy is the classic serving trade-off: a bigger batch means
-//! wider super-waves (throughput), a longer wait means worse latency.
-//! [`BatcherOptions::max_batch`] bounds the first, and
-//! [`BatcherOptions::max_delay`] bounds the second (checked on every
-//! [`Batcher::poll`]).
+//! On top of the throughput machinery sits the **robustness substrate**
+//! a production front end assumes:
+//!
+//! * **Typed outcomes** — every failure is a [`ServeError`], never a
+//!   string: admission refusals ([`ServeError::QueueFull`],
+//!   [`ServeError::DeadlineExceeded`]), load-shedding
+//!   ([`ServeError::Shed`]), typed engine errors
+//!   ([`ServeError::EngineFault`]) and contained panics
+//!   ([`ServeError::Poisoned`]).
+//! * **Bounded admission** — the queue holds at most
+//!   [`BatcherOptions::queue_cap`] requests; a full queue applies the
+//!   explicit [`WhenFull`] policy (reject, shed-oldest, shed-newest)
+//!   instead of growing without bound.
+//! * **Deadlines** — per-request deadlines are checked at admission and
+//!   at every flush boundary; an expired request resolves
+//!   [`ServeError::DeadlineExceeded`] without executing.
+//! * **Fault isolation** — each flush chunk runs under panic
+//!   containment; a failing chunk is *bisected* so the poisoned
+//!   request(s) resolve with their own error while healthy co-batched
+//!   requests still return bit-identical solo results.
+//! * **Graceful degradation** — repeated ExecPlan-path faults trip a
+//!   circuit breaker that demotes the engine to the AST-walking
+//!   `interp` oracle (bit-identical results, slower) for a reset
+//!   window instead of failing traffic.
+//!
+//! The [`faults`] module provides the deterministic fault-injection
+//! hooks the model-based test suite (and `bench_serving`'s robustness
+//! scenarios) drive all of this with.
 //!
 //! ```no_run
 //! use cortex_serve::{Batcher, BatcherOptions};
@@ -25,8 +48,13 @@
 //! #         params: cortex_backend::params::Params,
 //! #         inputs: Vec<cortex_ds::linearizer::Linearized>) {
 //! let mut batcher = Batcher::new(program, params, BatcherOptions::default());
-//! // Burst intake: one ticket per input, full queues flush mid-burst.
-//! let tickets = batcher.submit_many(inputs).unwrap();
+//! // Burst intake: one ticket per admitted input (a bounded queue may
+//! // refuse some), full queues flush mid-burst.
+//! let tickets: Vec<_> = batcher
+//!     .submit_many(inputs)
+//!     .into_iter()
+//!     .filter_map(Result::ok)
+//!     .collect();
 //! // Drain flushes the remainder and resolves every ticket in order —
 //! // each response is exactly the solo-run result. (Interactive
 //! // callers instead hold their ticket and `poll` it, which drives the
@@ -39,9 +67,12 @@
 //! ```
 
 use std::collections::{HashMap, VecDeque};
-use std::time::{Duration, Instant};
+use std::rc::Rc;
+use std::time::Duration;
 
-use cortex_backend::exec::{Engine, ExecError, ExecStats};
+use cortex_backend::exec::{
+    Engine, ExecError, ExecOptions, ExecStats, FaultHook, InjectedPanic, RunOutput,
+};
 use cortex_backend::params::Params;
 use cortex_backend::profile::Profile;
 use cortex_core::expr::TensorId;
@@ -50,7 +81,92 @@ use cortex_ds::linearizer::Linearized;
 use cortex_ds::merge::DepthMap;
 use cortex_tensor::Tensor;
 
-/// Flush policy of a [`Batcher`].
+mod clock;
+pub mod faults;
+
+pub use clock::{Clock, MonotonicClock, TestClock};
+
+// ---------------------------------------------------------------------
+// Typed errors
+// ---------------------------------------------------------------------
+
+/// Every way a request can fail, as a type. A ticket resolves exactly
+/// once: with a [`Response`] or with one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission refused: the queue is at [`BatcherOptions::queue_cap`]
+    /// under [`WhenFull::Reject`]. No ticket was issued — retry later.
+    QueueFull,
+    /// The request's deadline expired: at admission (zero budget) or at
+    /// a flush boundary before it executed.
+    DeadlineExceeded,
+    /// The request was evicted by the [`WhenFull`] shedding policy to
+    /// admit newer traffic (or was itself shed on arrival under
+    /// [`WhenFull::ShedNewest`]).
+    Shed,
+    /// The engine returned a typed error executing this request.
+    EngineFault {
+        /// The executor's own error.
+        source: ExecError,
+    },
+    /// Executing this request panicked; the panic was contained and the
+    /// request isolated so co-batched requests could still resolve.
+    Poisoned {
+        /// The contained panic's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "admission queue is full"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
+            ServeError::Shed => write!(f, "shed by the queue's when-full policy"),
+            ServeError::EngineFault { source } => write!(f, "engine fault: {source}"),
+            ServeError::Poisoned { message } => {
+                write!(f, "request poisoned its batch (contained panic: {message})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::EngineFault { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for ServeError {
+    fn from(source: ExecError) -> Self {
+        ServeError::EngineFault { source }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------
+
+/// What a full admission queue does with the next submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WhenFull {
+    /// Refuse it: [`Batcher::submit`] returns
+    /// [`ServeError::QueueFull`] and no ticket is issued. The blockless
+    /// backpressure policy — the caller decides whether to retry.
+    Reject,
+    /// Admit it by evicting the *oldest* queued request, which resolves
+    /// [`ServeError::Shed`]. Freshest-traffic-wins (a latency-sensitive
+    /// front prefers new requests, whose deadlines are furthest away).
+    ShedOldest,
+    /// Issue a ticket but immediately resolve it [`ServeError::Shed`];
+    /// queued requests keep their place. Oldest-traffic-wins.
+    ShedNewest,
+}
+
+/// Flush, admission, deadline and degradation policy of a [`Batcher`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatcherOptions {
     /// Flush as soon as this many requests are queued (the super-wave
@@ -58,14 +174,36 @@ pub struct BatcherOptions {
     /// synchronously.
     pub max_batch: usize,
     /// Flush whenever the *oldest* queued request has waited this long,
-    /// checked on every [`Batcher::poll`]/[`Batcher::pending`] call —
-    /// the latency bound of the throughput/latency trade-off.
-    /// `Duration::ZERO` makes every poll flush (lowest latency, no
-    /// cross-request merging beyond what one poll interval collects).
+    /// checked on every [`Batcher::poll`] call — the latency bound of
+    /// the throughput/latency trade-off. `Duration::ZERO` makes every
+    /// poll flush (lowest latency, no cross-request merging beyond what
+    /// one poll interval collects).
     pub max_delay: Duration,
     /// Run with model persistence active (the default serving mode:
     /// recurrent weights pinned on-chip).
     pub persist: bool,
+    /// Bounded admission: at most this many requests wait in the queue
+    /// (clamped to ≥ 1). Beyond it, [`BatcherOptions::when_full`]
+    /// applies. The default (1024) never engages under the default
+    /// `max_batch` (the queue flushes at 16) — it is the safety net for
+    /// configurations that defer flushing.
+    pub queue_cap: usize,
+    /// Policy for submissions arriving at a full queue.
+    pub when_full: WhenFull,
+    /// Default per-request deadline budget, from admission: a request
+    /// still queued when its budget elapses resolves
+    /// [`ServeError::DeadlineExceeded`] at the next flush boundary or
+    /// poll instead of executing. `None` = no deadline.
+    /// [`Batcher::submit_with_deadline`] overrides per request.
+    pub deadline: Option<Duration>,
+    /// Circuit breaker: after this many *consecutive* engine faults on
+    /// the ExecPlan path, demote the engine to the `interp` oracle path
+    /// (bit-identical results, no lowered-plan execution) for
+    /// [`BatcherOptions::breaker_reset`]. `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays degraded before re-trying the
+    /// ExecPlan path (half-open: one more fault re-trips immediately).
+    pub breaker_reset: Duration,
 }
 
 impl Default for BatcherOptions {
@@ -74,9 +212,18 @@ impl Default for BatcherOptions {
             max_batch: 16,
             max_delay: Duration::from_millis(2),
             persist: true,
+            queue_cap: 1024,
+            when_full: WhenFull::Reject,
+            deadline: None,
+            breaker_threshold: 3,
+            breaker_reset: Duration::from_secs(1),
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Tickets, responses, counters
+// ---------------------------------------------------------------------
 
 /// Handle to one submitted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -84,55 +231,123 @@ pub struct Ticket(u64);
 
 /// The result of one request, exactly equal to a solo
 /// [`Engine::execute`] run on the same input.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// Output tensors by id (node-major, this request's numbering).
     pub outputs: HashMap<TensorId, Tensor>,
     /// Execution counters — per-request, identical to a solo run.
     pub profile: Profile,
-    /// How many requests shared this request's flush.
+    /// How many requests shared this request's flush chunk (after any
+    /// fault-isolation re-batching).
     pub batch_size: usize,
     /// Mean merged super-wave width of the flush (from the batch's
     /// [`DepthMap`]): the amortization actually achieved.
     pub superwave_width: f64,
     /// How long the request waited in the queue before its flush.
     pub queue_delay: Duration,
+    /// Whether the circuit breaker had demoted execution to the
+    /// `interp` oracle path when this request ran. Results are
+    /// bit-identical either way; this flags the slower path.
+    pub degraded: bool,
+}
+
+/// Robustness counters of a [`Batcher`], cumulative over its lifetime.
+///
+/// The admission invariant they witness:
+/// `submitted == resolved_ok + resolved_err + pending()` at every
+/// quiescent point (and after [`Batcher::drain`], `pending() == 0`, so
+/// `submitted == resolved_ok + resolved_err` — nothing is ever lost).
+/// Outcomes count at *resolution* time (when the ticket's fate is
+/// decided), not at poll time, so the bounded failed-set retention
+/// ([`FAILED_RETENTION_CAP`]) never un-counts anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Tickets issued (admitted requests, including shed-on-arrival).
+    pub submitted: u64,
+    /// Submissions refused without a ticket ([`ServeError::QueueFull`]
+    /// under [`WhenFull::Reject`], or a zero deadline budget at
+    /// admission).
+    pub rejected: u64,
+    /// Tickets resolved with a [`Response`].
+    pub resolved_ok: u64,
+    /// Tickets resolved with a [`ServeError`] (shed and deadline
+    /// outcomes included).
+    pub resolved_err: u64,
+    /// Tickets resolved [`ServeError::Shed`] by the when-full policy.
+    pub shed: u64,
+    /// Tickets resolved [`ServeError::DeadlineExceeded`].
+    pub deadline_misses: u64,
+    /// Faulted requests isolated out of a multi-request chunk by
+    /// bisection (their healthy chunk-mates still resolved).
+    pub isolated_faults: u64,
+    /// Flush chunks executed while the circuit breaker held the engine
+    /// on the degraded `interp` path.
+    pub degraded_runs: u64,
+    /// Engine panics contained by the serving layer.
+    pub panics_contained: u64,
 }
 
 struct PendingRequest {
     ticket: u64,
     lin: Linearized,
-    submitted: Instant,
+    /// Clock time of admission.
+    submitted: Duration,
+    /// Absolute clock time after which the request must not execute.
+    deadline: Option<Duration>,
 }
 
 /// How many failed tickets a [`Batcher`] retains for error reporting.
 /// A caller that drops tickets without ever polling them must not make
 /// the batcher grow without bound, so failures beyond this are dropped
 /// oldest-first (their polls then report "still queued" — `Ok(None)` —
-/// like any unknown ticket).
+/// like any unknown ticket). The [`ServeStats`] resolution counters are
+/// recorded before the drop, so the accounting invariant survives.
 pub const FAILED_RETENTION_CAP: usize = 1024;
 
-/// A submission queue in front of one [`Engine`]: collects independent
-/// requests and executes them through merged super-wave schedules.
+/// The outcome of one guarded engine execution of a chunk.
+enum ChunkOutcome {
+    Ok(Vec<RunOutput>),
+    Fault(ServeError),
+}
+
+// ---------------------------------------------------------------------
+// Batcher
+// ---------------------------------------------------------------------
+
+/// A bounded submission queue in front of one [`Engine`]: collects
+/// independent requests, executes them through merged super-wave
+/// schedules, and contains their failures.
 ///
 /// # Invariants
 ///
-/// Every submitted ticket is in exactly one of three places until it is
+/// Every admitted ticket is in exactly one of three places until it is
 /// polled: the queue ([`Batcher::pending`]), the ready set
 /// ([`Batcher::ready`]), or the failed set ([`Batcher::failed`], bounded
 /// by [`FAILED_RETENTION_CAP`]) — so
-/// `len() == pending() + ready() + failed()` always holds, and a failed
-/// flush never strands a ticket: its chunk moves to the failed set while
-/// **other** chunks of the same flush still execute.
+/// `len() == pending() + ready() + failed()` always holds. Every
+/// admitted ticket resolves **exactly once**: with a [`Response`] or a
+/// [`ServeError`] (see [`ServeStats`] for the counter form of the
+/// invariant). A failing request never strands its chunk-mates: the
+/// chunk is bisected until the fault is isolated to the request(s) that
+/// actually carry it.
 pub struct Batcher<'p> {
+    program: &'p IlirProgram,
     engine: Engine<'p>,
+    /// The healthy (non-degraded) engine options; the circuit breaker
+    /// restores these when its reset window elapses.
+    base_opts: ExecOptions,
+    /// The installed fault-injection hook, re-installed when a contained
+    /// panic forces an engine rebuild.
+    fault_hook: Option<FaultHook>,
     params: Params,
     opts: BatcherOptions,
+    clock: Rc<dyn Clock>,
     queue: VecDeque<PendingRequest>,
     ready: HashMap<u64, Response>,
-    /// Tickets whose flush failed, with the error: polling one of these
-    /// reports the failure instead of waiting forever.
-    failed: HashMap<u64, ExecError>,
+    /// Tickets whose execution failed, with their own typed error:
+    /// polling one of these reports the failure instead of waiting
+    /// forever.
+    failed: HashMap<u64, ServeError>,
     /// Insertion order of `failed` (oldest first), the drain order of
     /// the bounded retention policy. May transiently hold tickets
     /// already polled out of `failed`; compacted when it outgrows
@@ -140,6 +355,13 @@ pub struct Batcher<'p> {
     failed_order: VecDeque<u64>,
     next_ticket: u64,
     flushes: u64,
+    serve_stats: ServeStats,
+    /// Consecutive ExecPlan-path engine faults (resets on a clean
+    /// plan-path chunk).
+    consecutive_faults: u32,
+    /// While `Some`, the breaker holds the engine on the `interp` path
+    /// until this clock time.
+    degraded_until: Option<Duration>,
 }
 
 impl<'p> Batcher<'p> {
@@ -149,63 +371,143 @@ impl<'p> Batcher<'p> {
     }
 
     /// Builds a batcher over a pre-configured engine (e.g. with explicit
-    /// [`cortex_backend::exec::ExecOptions`]).
+    /// [`ExecOptions`]).
     pub fn with_engine(engine: Engine<'p>, params: Params, opts: BatcherOptions) -> Self {
         Batcher {
+            program: engine.program(),
+            base_opts: engine.options(),
+            fault_hook: engine.fault_hook(),
             engine,
             params,
             opts,
+            clock: Rc::new(MonotonicClock::new()),
             queue: VecDeque::new(),
             ready: HashMap::new(),
             failed: HashMap::new(),
             failed_order: VecDeque::new(),
             next_ticket: 0,
             flushes: 0,
+            serve_stats: ServeStats::default(),
+            consecutive_faults: 0,
+            degraded_until: None,
         }
     }
 
-    /// Enqueues a linearized input. Flushes synchronously when the queue
-    /// reaches [`BatcherOptions::max_batch`].
-    ///
-    /// The ticket is **always** returned — a failing synchronous flush
-    /// records its error against the affected chunk's tickets (this one
-    /// included), which report it on their next [`Batcher::poll`]. (An
-    /// earlier version returned the flush error here and dropped the
-    /// ticket, leaving the request stuck unpollable in the failed set.)
+    /// Replaces the time source (builder-style). Tests inject a
+    /// [`TestClock`] here to drive deadlines, the flush policy and the
+    /// breaker reset window deterministically.
+    pub fn with_clock(mut self, clock: Rc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Installs (or removes) a deterministic fault-injection hook on the
+    /// underlying engine (see [`faults`]), surviving the engine rebuilds
+    /// that panic containment forces.
+    pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.fault_hook = hook.clone();
+        self.engine.set_fault_hook(hook);
+    }
+
+    /// Reconfigures the underlying engine's executor options while
+    /// requests may be queued. Safe by construction: queued requests
+    /// have not started executing (a flush chunk runs to completion
+    /// within one [`Batcher::flush`] call), and [`Engine::set_options`]
+    /// rebuilds analyses and drops grouping-shaped caches so the next
+    /// flush behaves exactly like a freshly built engine — results stay
+    /// bit-identical (regression-tested).
+    pub fn set_exec_options(&mut self, opts: ExecOptions) {
+        self.base_opts = opts;
+        if self.degraded() {
+            let mut degraded = opts;
+            degraded.interp = true;
+            self.engine.set_options(degraded);
+        } else {
+            self.engine.set_options(opts);
+        }
+    }
+
+    /// Whether the circuit breaker currently holds the engine on the
+    /// degraded `interp` oracle path.
+    pub fn degraded(&self) -> bool {
+        self.degraded_until.is_some()
+    }
+
+    /// Enqueues a linearized input under the default deadline policy
+    /// ([`BatcherOptions::deadline`]). Flushes synchronously when the
+    /// queue reaches [`BatcherOptions::max_batch`].
     ///
     /// # Errors
     ///
-    /// None currently; the `Result` is kept for API stability.
-    pub fn submit(&mut self, lin: Linearized) -> Result<Ticket, ExecError> {
-        let ticket = self.next_ticket;
-        self.next_ticket += 1;
+    /// [`ServeError::QueueFull`] when the queue is at
+    /// [`BatcherOptions::queue_cap`] under [`WhenFull::Reject`] (no
+    /// ticket is issued), [`ServeError::DeadlineExceeded`] for a zero
+    /// deadline budget. Execution failures are **not** reported here:
+    /// they resolve per ticket through [`Batcher::poll`] /
+    /// [`Batcher::drain`].
+    pub fn submit(&mut self, lin: Linearized) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(lin, self.opts.deadline)
+    }
+
+    /// [`Batcher::submit`] with an explicit deadline budget for this
+    /// request (`None` = no deadline), overriding
+    /// [`BatcherOptions::deadline`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Batcher::submit`].
+    pub fn submit_with_deadline(
+        &mut self,
+        lin: Linearized,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        let now = self.clock.now();
+        // Admission-time deadline check: a zero budget can never execute.
+        if deadline == Some(Duration::ZERO) {
+            self.serve_stats.rejected += 1;
+            return Err(ServeError::DeadlineExceeded);
+        }
+        if self.queue.len() >= self.opts.queue_cap.max(1) {
+            match self.opts.when_full {
+                WhenFull::Reject => {
+                    self.serve_stats.rejected += 1;
+                    return Err(ServeError::QueueFull);
+                }
+                WhenFull::ShedOldest => {
+                    let victim = self.queue.pop_front().expect("full queue is non-empty");
+                    self.record_failure(victim.ticket, ServeError::Shed);
+                }
+                WhenFull::ShedNewest => {
+                    let ticket = self.alloc_ticket();
+                    self.record_failure(ticket, ServeError::Shed);
+                    return Ok(Ticket(ticket));
+                }
+            }
+        }
+        let ticket = self.alloc_ticket();
         self.queue.push_back(PendingRequest {
             ticket,
             lin,
-            submitted: Instant::now(),
+            submitted: now,
+            deadline: deadline.map(|d| now + d),
         });
         if self.queue.len() >= self.opts.max_batch {
-            // Chunk errors are reported per ticket through `poll`.
-            let _ = self.flush();
+            self.flush();
         }
         Ok(Ticket(ticket))
     }
 
-    /// Enqueues a whole burst of inputs at once, returning one ticket
-    /// per input in order. Exactly equivalent to calling
+    /// Enqueues a whole burst of inputs at once, returning one admission
+    /// outcome per input in order. Exactly equivalent to calling
     /// [`Batcher::submit`] in a loop — full queues still flush
     /// synchronously mid-burst, in [`BatcherOptions::max_batch`]-sized
-    /// chunks — but saves callers (benches, load generators, the future
-    /// pipelined batcher's intake side) the per-request plumbing.
-    ///
-    /// # Errors
-    ///
-    /// None currently; execution errors surface per ticket through
-    /// [`Batcher::poll`] or [`Batcher::drain`].
+    /// chunks, and the bounded-admission policy applies per submission
+    /// (a rejected input yields its own `Err` without aborting the
+    /// burst).
     pub fn submit_many(
         &mut self,
         lins: impl IntoIterator<Item = Linearized>,
-    ) -> Result<Vec<Ticket>, ExecError> {
+    ) -> Vec<Result<Ticket, ServeError>> {
         lins.into_iter().map(|lin| self.submit(lin)).collect()
     }
 
@@ -220,16 +522,9 @@ impl<'p> Batcher<'p> {
     /// worth of *failing* requests resolves only the retained ones here
     /// (the dropped tickets read as unknown, exactly as their `poll`
     /// would). Successful responses are never dropped.
-    ///
-    /// This is the poll-side counterpart of [`Batcher::submit_many`]:
-    /// callers that batch a known workload (benchmarks, offline scoring)
-    /// stop hand-rolling `submit`/`poll` loops, and the resulting
-    /// "intake burst → drain" shape is the synchronous half of the
-    /// ROADMAP's pipelined `Batcher` design.
-    pub fn drain(&mut self) -> Vec<(Ticket, Result<Response, ExecError>)> {
-        // Chunk errors are reported per ticket below.
-        let _ = self.flush();
-        let mut out: Vec<(Ticket, Result<Response, ExecError>)> = self
+    pub fn drain(&mut self) -> Vec<(Ticket, Result<Response, ServeError>)> {
+        self.flush();
+        let mut out: Vec<(Ticket, Result<Response, ServeError>)> = self
             .ready
             .drain()
             .map(|(t, r)| (Ticket(t), Ok(r)))
@@ -240,34 +535,35 @@ impl<'p> Batcher<'p> {
         out
     }
 
-    /// Retrieves a finished response, driving the deadline policy: if
-    /// the oldest queued request has exceeded
-    /// [`BatcherOptions::max_delay`], the queue flushes first.
+    /// Retrieves a finished response, driving the deadline policies: any
+    /// queued request whose own deadline expired resolves
+    /// [`ServeError::DeadlineExceeded`], and if the oldest queued
+    /// request has waited past [`BatcherOptions::max_delay`] the queue
+    /// flushes.
     ///
     /// Returns `Ok(None)` while the request is still queued within its
-    /// deadline.
+    /// deadline (and for unknown/already-resolved tickets).
     ///
     /// # Errors
     ///
-    /// Reports only **this ticket's own** failure: a deadline flush may
-    /// run several chunks, and another chunk's error must not mask this
-    /// ticket's ready response (or its still-queued state) — per-ticket
-    /// errors come out of the failed set, exactly once each; nothing
-    /// waits forever.
-    pub fn poll(&mut self, ticket: Ticket) -> Result<Option<Response>, ExecError> {
+    /// Reports only **this ticket's own** typed failure, exactly once —
+    /// another request's error never masks this ticket's ready response
+    /// or still-queued state.
+    pub fn poll(&mut self, ticket: Ticket) -> Result<Option<Response>, ServeError> {
         if let Some(r) = self.ready.remove(&ticket.0) {
             return Ok(Some(r));
         }
         if let Some(e) = self.failed.remove(&ticket.0) {
             return Err(e);
         }
+        let now = self.clock.now();
+        self.expire_due(now);
         if self
             .queue
             .front()
-            .is_some_and(|p| p.submitted.elapsed() >= self.opts.max_delay)
+            .is_some_and(|p| now.saturating_sub(p.submitted) >= self.opts.max_delay)
         {
-            // Chunk errors are reported per ticket below.
-            let _ = self.flush();
+            self.flush();
         }
         if let Some(e) = self.failed.remove(&ticket.0) {
             return Err(e);
@@ -275,68 +571,193 @@ impl<'p> Batcher<'p> {
         Ok(self.ready.remove(&ticket.0))
     }
 
-    /// Flushes every queued request through one merged super-wave
-    /// execution (in chunks of [`BatcherOptions::max_batch`]), making
-    /// their responses pollable. Returns how many requests succeeded.
+    /// Flushes every queued request through merged super-wave
+    /// executions (in chunks of [`BatcherOptions::max_batch`]), making
+    /// their outcomes pollable, and returns how many requests resolved
+    /// with a response.
     ///
-    /// A failing chunk never strands the rest of the queue: its tickets
-    /// move to the failed set (their next [`Batcher::poll`] reports the
-    /// error) and the remaining chunks still execute — chunks are
-    /// independent executions, so one poisoned request only takes its
-    /// own chunk down.
-    ///
-    /// # Errors
-    ///
-    /// Returns the **first** failing chunk's [`ExecError`] after all
-    /// chunks have been processed.
-    pub fn flush(&mut self) -> Result<usize, ExecError> {
-        let mut flushed = 0usize;
-        let mut first_err: Option<ExecError> = None;
+    /// Expired deadlines resolve first, without executing. A faulting
+    /// chunk is bisected until the fault is isolated: each failing
+    /// request resolves with **its own** [`ServeError`] (a contained
+    /// panic reads [`ServeError::Poisoned`], a typed engine error
+    /// [`ServeError::EngineFault`]) while every healthy chunk-mate is
+    /// re-run and resolves normally — one poisoned request never takes
+    /// a batch down. Repeated ExecPlan-path faults trip the circuit
+    /// breaker (see [`BatcherOptions::breaker_threshold`]).
+    pub fn flush(&mut self) -> usize {
+        let now = self.clock.now();
+        self.update_breaker(now);
+        self.expire_due(now);
+        let mut ok = 0usize;
         while !self.queue.is_empty() {
             let take = self.queue.len().min(self.opts.max_batch.max(1));
             let batch: Vec<PendingRequest> = self.queue.drain(..take).collect();
-            let lins: Vec<&Linearized> = batch.iter().map(|p| &p.lin).collect();
-            let map = DepthMap::build(&lins);
-            let results = match self
-                .engine
-                .execute_many(&lins, &self.params, self.opts.persist)
-            {
-                Ok(r) => r,
-                Err(e) => {
-                    for pending in &batch {
-                        self.fail_ticket(pending.ticket, e.clone());
-                    }
-                    first_err.get_or_insert(e);
-                    continue;
-                }
-            };
-            self.flushes += 1;
-            let width = map.mean_super_width();
-            for (pending, (outputs, profile)) in batch.iter().zip(results) {
-                self.ready.insert(
-                    pending.ticket,
-                    Response {
-                        outputs,
-                        profile,
-                        batch_size: batch.len(),
-                        superwave_width: width,
-                        queue_delay: pending.submitted.elapsed(),
-                    },
-                );
-            }
-            flushed += take;
+            ok += self.run_chunk(batch, false);
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(flushed),
+        ok
+    }
+
+    // -- internals ----------------------------------------------------
+
+    fn alloc_ticket(&mut self) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.serve_stats.submitted += 1;
+        ticket
+    }
+
+    /// Resolves every queued request whose deadline is due as
+    /// [`ServeError::DeadlineExceeded`] — the flush-boundary half of the
+    /// deadline check.
+    fn expire_due(&mut self, now: Duration) {
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].deadline.is_some_and(|d| now >= d) {
+                let victim = self.queue.remove(i).expect("index in bounds");
+                self.record_failure(victim.ticket, ServeError::DeadlineExceeded);
+            } else {
+                i += 1;
+            }
         }
     }
 
-    /// Records a ticket's flush failure under the bounded retention
+    /// Executes one chunk, bisecting on failure so each ticket's outcome
+    /// is its own. `from_bisect` marks recursive calls (for the
+    /// isolation counter). Returns how many requests resolved Ok.
+    fn run_chunk(&mut self, mut batch: Vec<PendingRequest>, from_bisect: bool) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        match self.guarded_execute(&batch) {
+            ChunkOutcome::Ok(results) => {
+                self.note_engine_success();
+                self.flushes += 1;
+                let now = self.clock.now();
+                let lins: Vec<&Linearized> = batch.iter().map(|p| &p.lin).collect();
+                let width = DepthMap::build(&lins).mean_super_width();
+                let degraded = self.degraded();
+                let n = batch.len();
+                for (pending, (outputs, profile)) in batch.iter().zip(results) {
+                    self.serve_stats.resolved_ok += 1;
+                    self.ready.insert(
+                        pending.ticket,
+                        Response {
+                            outputs,
+                            profile,
+                            batch_size: n,
+                            superwave_width: width,
+                            queue_delay: now.saturating_sub(pending.submitted),
+                            degraded,
+                        },
+                    );
+                }
+                n
+            }
+            ChunkOutcome::Fault(err) => {
+                if batch.len() == 1 {
+                    // The fault is isolated to this request.
+                    self.note_engine_fault();
+                    if from_bisect {
+                        self.serve_stats.isolated_faults += 1;
+                    }
+                    let pending = batch.pop().expect("len checked");
+                    self.record_failure(pending.ticket, err);
+                    0
+                } else {
+                    // Bisect: healthy co-batched requests must still
+                    // resolve; only the culprit(s) keep faulting as the
+                    // halves shrink to singletons.
+                    let right = batch.split_off(batch.len() / 2);
+                    self.run_chunk(batch, true) + self.run_chunk(right, true)
+                }
+            }
+        }
+    }
+
+    /// One guarded engine execution: typed engine errors come back as
+    /// [`ChunkOutcome::Fault`], and a panic is contained — counted, the
+    /// engine rebuilt from its program (the unwound engine may hold torn
+    /// caches), and reported as [`ServeError::Poisoned`].
+    fn guarded_execute(&mut self, batch: &[PendingRequest]) -> ChunkOutcome {
+        if self.degraded() {
+            self.serve_stats.degraded_runs += 1;
+        }
+        let lins: Vec<&Linearized> = batch.iter().map(|p| &p.lin).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.engine
+                .execute_many(&lins, &self.params, self.opts.persist)
+        }));
+        match result {
+            Ok(Ok(outputs)) => ChunkOutcome::Ok(outputs),
+            Ok(Err(e)) => ChunkOutcome::Fault(ServeError::EngineFault { source: e }),
+            Err(payload) => {
+                self.serve_stats.panics_contained += 1;
+                self.rebuild_engine();
+                ChunkOutcome::Fault(ServeError::Poisoned {
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+
+    /// Replaces the engine after a contained panic: same program, same
+    /// options (including any degradation in effect), same fault hook,
+    /// cold caches.
+    fn rebuild_engine(&mut self) {
+        let opts = self.engine.options();
+        self.engine = Engine::with_options(self.program, opts);
+        self.engine.set_fault_hook(self.fault_hook.clone());
+    }
+
+    /// A clean chunk on the ExecPlan path re-arms the breaker.
+    fn note_engine_success(&mut self) {
+        if !self.degraded() {
+            self.consecutive_faults = 0;
+        }
+    }
+
+    /// Counts an isolated engine fault toward the breaker — plan-path
+    /// faults only: once degraded, further faults (the input's own
+    /// errors, which the oracle path shares) don't re-count.
+    fn note_engine_fault(&mut self) {
+        if self.degraded() || self.opts.breaker_threshold == 0 {
+            return;
+        }
+        self.consecutive_faults += 1;
+        if self.consecutive_faults >= self.opts.breaker_threshold {
+            let now = self.clock.now();
+            self.degraded_until = Some(now + self.opts.breaker_reset);
+            let mut degraded = self.base_opts;
+            degraded.interp = true;
+            self.engine.set_options(degraded);
+        }
+    }
+
+    /// Restores the ExecPlan path when the breaker's reset window has
+    /// elapsed — half-open: one more plan-path fault re-trips
+    /// immediately.
+    fn update_breaker(&mut self, now: Duration) {
+        if self.degraded_until.is_some_and(|until| now >= until) {
+            self.degraded_until = None;
+            self.engine.set_options(self.base_opts);
+            self.consecutive_faults = self.opts.breaker_threshold.saturating_sub(1);
+        }
+    }
+
+    /// Records a ticket's typed failure under the bounded retention
     /// policy: beyond [`FAILED_RETENTION_CAP`] unpolled failures, the
-    /// oldest are dropped.
-    fn fail_ticket(&mut self, ticket: u64, e: ExecError) {
-        if self.failed.insert(ticket, e).is_none() {
+    /// oldest are dropped. Resolution counters update here — exactly
+    /// once per ticket.
+    fn record_failure(&mut self, ticket: u64, e: ServeError) {
+        self.serve_stats.resolved_err += 1;
+        match &e {
+            ServeError::Shed => self.serve_stats.shed += 1,
+            ServeError::DeadlineExceeded => self.serve_stats.deadline_misses += 1,
+            _ => {}
+        }
+        let prev = self.failed.insert(ticket, e);
+        debug_assert!(prev.is_none(), "ticket {ticket} resolved twice");
+        if prev.is_none() {
             self.failed_order.push_back(ticket);
         }
         while self.failed.len() > FAILED_RETENTION_CAP {
@@ -356,6 +777,8 @@ impl<'p> Batcher<'p> {
         }
     }
 
+    // -- accessors ----------------------------------------------------
+
     /// Number of requests waiting for a flush.
     pub fn pending(&self) -> usize {
         self.queue.len()
@@ -366,7 +789,7 @@ impl<'p> Batcher<'p> {
         self.ready.len()
     }
 
-    /// Number of retained flush failures not yet reported through
+    /// Number of retained typed failures not yet reported through
     /// [`Batcher::poll`] (bounded by [`FAILED_RETENTION_CAP`]).
     pub fn failed(&self) -> usize {
         self.failed.len()
@@ -390,16 +813,36 @@ impl<'p> Batcher<'p> {
         self.engine.stats()
     }
 
+    /// Cumulative robustness counters (admission, shedding, deadlines,
+    /// isolation, degradation).
+    pub fn serve_stats(&self) -> ServeStats {
+        self.serve_stats
+    }
+
     /// How many merged executions have run.
     pub fn flushes(&self) -> u64 {
         self.flushes
     }
 }
 
+/// Human-readable message of a contained panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(injected) = payload.downcast_ref::<InjectedPanic>() {
+        format!("injected panic at {}", injected.0)
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cortex_backend::exec;
+    use crate::faults::{silence_injected_panics, FaultInjector};
+    use cortex_backend::exec::{self, FaultAction};
     use cortex_core::ra::RaSchedule;
     use cortex_ds::linearizer::Linearizer;
     use cortex_ds::{datasets, RecStructure};
@@ -407,6 +850,16 @@ mod tests {
 
     fn lin(s: &RecStructure) -> Linearized {
         Linearizer::new().linearize(s).unwrap()
+    }
+
+    /// Options for tests that flush only at `max_batch` (no wall-clock
+    /// policies in the way).
+    fn manual(max_batch: usize) -> BatcherOptions {
+        BatcherOptions {
+            max_batch,
+            max_delay: Duration::from_secs(3600),
+            ..BatcherOptions::default()
+        }
     }
 
     #[test]
@@ -417,15 +870,7 @@ mod tests {
             .map(|s| datasets::random_binary_tree(6 + 3 * s as usize, s))
             .collect();
 
-        let mut batcher = Batcher::new(
-            &program,
-            model.params.clone(),
-            BatcherOptions {
-                max_batch: trees.len(),
-                max_delay: Duration::from_secs(3600),
-                persist: true,
-            },
-        );
+        let mut batcher = Batcher::new(&program, model.params.clone(), manual(trees.len()));
         let tickets: Vec<Ticket> = trees
             .iter()
             .map(|t| batcher.submit(lin(t)).unwrap())
@@ -439,6 +884,7 @@ mod tests {
             let (solo_out, solo_prof) =
                 exec::execute(&program, &lin(t), &model.params, true).unwrap();
             assert_eq!(response.batch_size, trees.len());
+            assert!(!response.degraded);
             assert_eq!(response.profile.flops, solo_prof.flops);
             assert_eq!(response.profile.launches, solo_prof.launches);
             for (id, tensor) in &solo_out {
@@ -446,6 +892,10 @@ mod tests {
             }
         }
         assert_eq!(batcher.ready(), 0, "every response polled exactly once");
+        let stats = batcher.serve_stats();
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.resolved_ok, 5);
+        assert_eq!(stats.resolved_err, 0);
     }
 
     #[test]
@@ -455,16 +905,13 @@ mod tests {
         let trees: Vec<RecStructure> = (0..7u64)
             .map(|s| datasets::random_binary_tree(5 + 2 * s as usize, 50 + s))
             .collect();
-        let mut batcher = Batcher::new(
-            &program,
-            model.params.clone(),
-            BatcherOptions {
-                max_batch: 3, // the burst spans multiple flush chunks
-                max_delay: Duration::from_secs(3600),
-                persist: true,
-            },
-        );
-        let tickets = batcher.submit_many(trees.iter().map(lin)).unwrap();
+        // max_batch 3: the burst spans multiple flush chunks.
+        let mut batcher = Batcher::new(&program, model.params.clone(), manual(3));
+        let tickets: Vec<Ticket> = batcher
+            .submit_many(trees.iter().map(lin))
+            .into_iter()
+            .map(|r| r.expect("unbounded admission accepts all"))
+            .collect();
         assert_eq!(tickets.len(), trees.len());
         // Two full chunks flushed synchronously mid-burst; one remains.
         assert_eq!(batcher.pending(), 1);
@@ -491,27 +938,32 @@ mod tests {
         let mut batcher = Batcher::new(
             &program,
             cortex_backend::params::Params::new(), // nothing bound: all fail
-            BatcherOptions {
-                max_batch: 8,
-                max_delay: Duration::from_secs(3600),
-                persist: true,
-            },
+            manual(8),
         );
-        let tickets = batcher
+        let tickets: Vec<Ticket> = batcher
             .submit_many((0..3u64).map(|s| lin(&datasets::random_binary_tree(4, s))))
-            .unwrap();
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
         let results = batcher.drain();
         assert_eq!(results.len(), tickets.len());
         for (i, (ticket, result)) in results.into_iter().enumerate() {
             assert_eq!(ticket, tickets[i], "ticket order");
             assert!(matches!(
                 result,
-                Err(cortex_backend::exec::ExecError::MissingParam(_))
+                Err(ServeError::EngineFault {
+                    source: ExecError::MissingParam(_)
+                })
             ));
         }
         assert!(batcher.is_empty());
         // Drained failures are gone: a re-poll reads as unknown.
         assert!(batcher.poll(tickets[0]).unwrap().is_none());
+        // Counters saw each ticket resolve exactly once.
+        let stats = batcher.serve_stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.resolved_err, 3);
+        assert_eq!(stats.resolved_ok, 0);
     }
 
     #[test]
@@ -524,7 +976,7 @@ mod tests {
             BatcherOptions {
                 max_batch: 64,
                 max_delay: Duration::ZERO,
-                persist: true,
+                ..BatcherOptions::default()
             },
         );
         let t = batcher
@@ -540,15 +992,7 @@ mod tests {
     fn long_delay_keeps_queueing_until_batch_full() {
         let model = treelstm::tree_lstm(4, LeafInit::Zero);
         let program = model.lower(&RaSchedule::default()).unwrap();
-        let mut batcher = Batcher::new(
-            &program,
-            model.params.clone(),
-            BatcherOptions {
-                max_batch: 3,
-                max_delay: Duration::from_secs(3600),
-                persist: true,
-            },
-        );
+        let mut batcher = Batcher::new(&program, model.params.clone(), manual(3));
         let t0 = batcher
             .submit(lin(&datasets::random_binary_tree(6, 2)))
             .unwrap();
@@ -583,11 +1027,7 @@ mod tests {
         let mut batcher = Batcher::new(
             &program,
             cortex_backend::params::Params::new(), // nothing bound
-            BatcherOptions {
-                max_batch: 2,
-                max_delay: Duration::from_secs(3600),
-                persist: true,
-            },
+            manual(2),
         );
         let t0 = batcher
             .submit(lin(&datasets::random_binary_tree(5, 7)))
@@ -600,11 +1040,13 @@ mod tests {
         assert_eq!(batcher.pending(), 0, "the failing chunk was drained");
         assert_eq!(batcher.failed(), 2);
         assert_eq!(batcher.len(), 2, "len == pending + ready + failed");
-        // Both tickets report the error, exactly once each.
+        // Both tickets report *their own* error, exactly once each.
         for t in [t0, t1] {
             assert!(matches!(
                 batcher.poll(t),
-                Err(cortex_backend::exec::ExecError::MissingParam(_))
+                Err(ServeError::EngineFault {
+                    source: ExecError::MissingParam(_)
+                })
             ));
             assert!(batcher.poll(t).unwrap().is_none());
         }
@@ -621,11 +1063,7 @@ mod tests {
         let mut batcher = Batcher::new(
             &program,
             cortex_backend::params::Params::new(), // nothing bound: all flushes fail
-            BatcherOptions {
-                max_batch: 1,
-                max_delay: Duration::from_secs(3600),
-                persist: true,
-            },
+            manual(1),
         );
         let total = FAILED_RETENTION_CAP + 40;
         let structure = datasets::random_binary_tree(3, 1);
@@ -646,14 +1084,17 @@ mod tests {
         // (its poll reads as unknown/still-queued, not an error).
         assert!(batcher.poll(last.unwrap()).is_err());
         assert!(batcher.poll(first.unwrap()).unwrap().is_none());
+        // Resolution counters recorded every ticket before the drops.
+        assert_eq!(batcher.serve_stats().resolved_err, total as u64);
     }
 
     #[test]
-    fn a_poisoned_chunk_does_not_strand_other_chunks() {
+    fn a_poisoned_chunk_mate_is_isolated_by_bisection() {
         // An unrolling schedule rejects DAG inputs at interpreter build
-        // time, so a chunk containing a DAG fails while tree-only chunks
-        // succeed: the failure must not keep later chunks from
-        // executing, and every ticket must resolve.
+        // time, so a chunk containing a DAG fails as a whole: bisection
+        // must isolate the DAG to its own typed error while its healthy
+        // chunk-mate — co-batched with the culprit — still resolves,
+        // and later chunks must be untouched.
         let model = treelstm::tree_lstm(4, LeafInit::Zero);
         let program = model
             .lower(&RaSchedule {
@@ -661,18 +1102,10 @@ mod tests {
                 ..RaSchedule::default()
             })
             .unwrap();
-        let mut batcher = Batcher::new(
-            &program,
-            model.params.clone(),
-            BatcherOptions {
-                max_batch: 2,
-                max_delay: Duration::from_secs(3600),
-                persist: true,
-            },
-        );
+        let mut batcher = Batcher::new(&program, model.params.clone(), manual(2));
         // Chunk 1: a grid DAG poisons it (unrolling a DAG is rejected).
         let bad = batcher.submit(lin(&datasets::grid_dag(3, 3, 5))).unwrap();
-        let also_bad = batcher
+        let innocent = batcher
             .submit(lin(&datasets::random_binary_tree(6, 9)))
             .unwrap();
         // Chunk 2: trees only — must still execute.
@@ -683,14 +1116,20 @@ mod tests {
             .submit(lin(&datasets::random_binary_tree(7, 11)))
             .unwrap();
         assert_eq!(batcher.pending(), 0);
-        assert!(batcher.poll(bad).is_err());
+        assert!(matches!(
+            batcher.poll(bad),
+            Err(ServeError::EngineFault {
+                source: ExecError::Unroll(_)
+            })
+        ));
         assert!(
-            batcher.poll(also_bad).is_err(),
-            "chunk-mates share the error"
+            batcher.poll(innocent).unwrap().is_some(),
+            "bisection re-runs the healthy chunk-mate instead of sharing the culprit's error"
         );
         assert!(batcher.poll(good0).unwrap().is_some(), "later chunk ran");
         assert!(batcher.poll(good1).unwrap().is_some());
         assert!(batcher.is_empty());
+        assert_eq!(batcher.serve_stats().isolated_faults, 1);
     }
 
     #[test]
@@ -700,15 +1139,7 @@ mod tests {
         // flush, no flush may repack anything.
         let model = treelstm::tree_lstm(8, LeafInit::Embedding);
         let program = model.lower(&RaSchedule::default()).unwrap();
-        let mut batcher = Batcher::new(
-            &program,
-            model.params.clone(),
-            BatcherOptions {
-                max_batch: 3,
-                max_delay: Duration::from_secs(3600),
-                persist: true,
-            },
-        );
+        let mut batcher = Batcher::new(&program, model.params.clone(), manual(3));
         for round in 0..4u64 {
             let tickets: Vec<Ticket> = (0..3u64)
                 .map(|s| {
@@ -746,15 +1177,7 @@ mod tests {
             .enumerate()
             .map(|(i, &n)| datasets::random_binary_tree(n, i as u64))
             .collect();
-        let mut batcher = Batcher::new(
-            &program,
-            model.params.clone(),
-            BatcherOptions {
-                max_batch: trees.len(),
-                max_delay: Duration::from_secs(3600),
-                persist: true,
-            },
-        );
+        let mut batcher = Batcher::new(&program, model.params.clone(), manual(trees.len()));
         let tickets: Vec<Ticket> = trees
             .iter()
             .map(|t| batcher.submit(lin(t)).unwrap())
@@ -771,15 +1194,7 @@ mod tests {
         use cortex_models::seq;
         let model = seq::seq_lstm(6);
         let program = model.lower(&RaSchedule::default()).unwrap();
-        let mut batcher = Batcher::new(
-            &program,
-            model.params.clone(),
-            BatcherOptions {
-                max_batch: 4,
-                max_delay: Duration::from_secs(3600),
-                persist: true,
-            },
-        );
+        let mut batcher = Batcher::new(&program, model.params.clone(), manual(4));
         let tickets: Vec<Ticket> = (0..4u64)
             .map(|s| batcher.submit(lin(&datasets::sequence(12, s))).unwrap())
             .collect();
@@ -796,5 +1211,359 @@ mod tests {
             mean_requests > 3.0,
             "nearly every GEMM should serve all 4 requests, got {mean_requests:.2}"
         );
+    }
+
+    // -- robustness: admission, deadlines, isolation, degradation -----
+
+    #[test]
+    fn full_queue_rejects_without_issuing_a_ticket() {
+        let model = treelstm::tree_lstm(3, LeafInit::Zero);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 64, // never auto-flushes in this test
+                max_delay: Duration::from_secs(3600),
+                queue_cap: 2,
+                when_full: WhenFull::Reject,
+                ..BatcherOptions::default()
+            },
+        );
+        let structure = datasets::random_binary_tree(4, 2);
+        let t0 = batcher.submit(lin(&structure)).unwrap();
+        let t1 = batcher.submit(lin(&structure)).unwrap();
+        assert_eq!(
+            batcher.submit(lin(&structure)),
+            Err(ServeError::QueueFull),
+            "third submission finds the queue at cap"
+        );
+        assert_eq!(batcher.pending(), 2, "queued requests are untouched");
+        for (ticket, result) in batcher.drain() {
+            assert!(ticket == t0 || ticket == t1);
+            result.expect("admitted requests execute normally");
+        }
+        let stats = batcher.serve_stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.resolved_ok, 2);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn shed_oldest_evicts_the_head_and_resolves_it_shed() {
+        let model = treelstm::tree_lstm(3, LeafInit::Zero);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 64,
+                max_delay: Duration::from_secs(3600),
+                queue_cap: 2,
+                when_full: WhenFull::ShedOldest,
+                ..BatcherOptions::default()
+            },
+        );
+        let structure = datasets::random_binary_tree(4, 2);
+        let t0 = batcher.submit(lin(&structure)).unwrap();
+        let t1 = batcher.submit(lin(&structure)).unwrap();
+        let t2 = batcher.submit(lin(&structure)).unwrap();
+        // t0 was evicted to admit t2; it resolves Shed immediately.
+        assert_eq!(batcher.poll(t0), Err(ServeError::Shed));
+        let outcomes: HashMap<Ticket, bool> = batcher
+            .drain()
+            .into_iter()
+            .map(|(t, r)| (t, r.is_ok()))
+            .collect();
+        assert!(outcomes[&t1]);
+        assert!(outcomes[&t2], "freshest traffic wins");
+        let stats = batcher.serve_stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.resolved_ok + stats.resolved_err, stats.submitted);
+    }
+
+    #[test]
+    fn shed_newest_keeps_the_queue_and_sheds_the_arrival() {
+        let model = treelstm::tree_lstm(3, LeafInit::Zero);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 64,
+                max_delay: Duration::from_secs(3600),
+                queue_cap: 2,
+                when_full: WhenFull::ShedNewest,
+                ..BatcherOptions::default()
+            },
+        );
+        let structure = datasets::random_binary_tree(4, 2);
+        let t0 = batcher.submit(lin(&structure)).unwrap();
+        let t1 = batcher.submit(lin(&structure)).unwrap();
+        // The arrival gets a ticket (so the caller can observe the shed
+        // outcome) but never queues.
+        let t2 = batcher.submit(lin(&structure)).unwrap();
+        assert_eq!(batcher.pending(), 2);
+        assert_eq!(batcher.poll(t2), Err(ServeError::Shed));
+        for t in [t0, t1] {
+            assert!(batcher.poll(t).unwrap().is_none(), "still queued");
+        }
+        for (_, result) in batcher.drain() {
+            result.expect("oldest traffic wins");
+        }
+        assert_eq!(batcher.serve_stats().shed, 1);
+    }
+
+    #[test]
+    fn deadlines_reject_at_admission_and_expire_at_flush_boundaries() {
+        let model = treelstm::tree_lstm(3, LeafInit::Zero);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let clock = TestClock::new();
+        let mut batcher = Batcher::new(&program, model.params.clone(), manual(64))
+            .with_clock(Rc::new(clock.clone()));
+        let structure = datasets::random_binary_tree(4, 2);
+        // Admission-time: a zero budget can never execute.
+        assert_eq!(
+            batcher.submit_with_deadline(lin(&structure), Some(Duration::ZERO)),
+            Err(ServeError::DeadlineExceeded)
+        );
+        // Flush-boundary: the 5 ms request expires while queued, the
+        // deadline-free one executes.
+        let doomed = batcher
+            .submit_with_deadline(lin(&structure), Some(Duration::from_millis(5)))
+            .unwrap();
+        let healthy = batcher.submit(lin(&structure)).unwrap();
+        clock.advance(Duration::from_millis(6));
+        batcher.flush();
+        assert_eq!(batcher.poll(doomed), Err(ServeError::DeadlineExceeded));
+        let response = batcher.poll(healthy).unwrap().expect("flushed");
+        assert!(response.queue_delay >= Duration::from_millis(6));
+        let stats = batcher.serve_stats();
+        assert_eq!(stats.rejected, 1, "zero-budget admission refusal");
+        assert_eq!(stats.deadline_misses, 1);
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.resolved_ok + stats.resolved_err, stats.submitted);
+    }
+
+    #[test]
+    fn expired_deadlines_resolve_on_poll_without_a_flush() {
+        let model = treelstm::tree_lstm(3, LeafInit::Zero);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let clock = TestClock::new();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 64,
+                max_delay: Duration::from_secs(3600), // poll never flushes
+                deadline: Some(Duration::from_millis(10)),
+                ..BatcherOptions::default()
+            },
+        )
+        .with_clock(Rc::new(clock.clone()));
+        let t = batcher
+            .submit(lin(&datasets::random_binary_tree(4, 2)))
+            .unwrap();
+        assert!(batcher.poll(t).unwrap().is_none(), "within budget: waits");
+        clock.advance(Duration::from_millis(11));
+        assert_eq!(batcher.poll(t), Err(ServeError::DeadlineExceeded));
+        assert!(batcher.is_empty());
+    }
+
+    #[test]
+    fn an_injected_panic_poisons_only_the_culprit() {
+        silence_injected_panics();
+        let model = treelstm::tree_lstm(5, LeafInit::Embedding);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        // Unique node counts identify requests across bisection re-runs.
+        let sizes = [5usize, 9, 13, 17];
+        let trees: Vec<RecStructure> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| datasets::random_binary_tree(n, i as u64))
+            .collect();
+        let mut batcher = Batcher::new(&program, model.params.clone(), manual(trees.len()));
+        // Panic at every launch of the third request (identified by its
+        // unique node count) — sticky: it still faults when bisection
+        // re-runs it in smaller chunks.
+        let culprit_nodes = lin(&trees[2]).num_nodes();
+        let (hook, handle) = FaultInjector::new(77)
+            .always(FaultAction::Panic)
+            .poison_nodes(culprit_nodes)
+            .into_hook();
+        batcher.set_fault_hook(Some(hook));
+        let tickets: Vec<Ticket> = trees
+            .iter()
+            .map(|t| batcher.submit(lin(t)).unwrap())
+            .collect();
+        assert_eq!(batcher.pending(), 0, "batch flushed on the last submit");
+        for (i, (t, ticket)) in trees.iter().zip(&tickets).enumerate() {
+            if i == 2 {
+                assert!(matches!(
+                    batcher.poll(*ticket),
+                    Err(ServeError::Poisoned { .. })
+                ));
+                continue;
+            }
+            // Healthy chunk-mates resolve bit-identically to solo runs
+            // even though their first execution attempt was unwound.
+            let response = batcher.poll(*ticket).unwrap().expect("isolated and re-run");
+            let (solo_out, solo_prof) =
+                exec::execute(&program, &lin(t), &model.params, true).unwrap();
+            assert_eq!(response.profile, solo_prof);
+            for (id, tensor) in &solo_out {
+                assert_eq!(&response.outputs[id], tensor);
+            }
+        }
+        assert!(handle.fired() >= 1);
+        let stats = batcher.serve_stats();
+        assert!(
+            stats.panics_contained >= 2,
+            "the whole-batch attempt and the bisection re-runs each contained a panic"
+        );
+        assert_eq!(stats.isolated_faults, 1);
+        assert_eq!(stats.resolved_ok, 3);
+        assert_eq!(stats.resolved_err, 1);
+    }
+
+    #[test]
+    fn circuit_breaker_degrades_to_interp_and_recovers_half_open() {
+        let model = treelstm::tree_lstm(4, LeafInit::Embedding);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let clock = TestClock::new();
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 1, // every submission flushes alone
+                max_delay: Duration::from_secs(3600),
+                breaker_threshold: 2,
+                breaker_reset: Duration::from_secs(1),
+                ..BatcherOptions::default()
+            },
+        )
+        .with_clock(Rc::new(clock.clone()));
+        // Launch sites exist only in the lowered-plan runtime, so this
+        // emulates a broken ExecPlan whose interp oracle still works.
+        let (hook, _handle) = FaultInjector::new(3)
+            .always(FaultAction::Err)
+            .launches_only()
+            .into_hook();
+        batcher.set_fault_hook(Some(hook));
+        let structure = datasets::random_binary_tree(6, 4);
+        let (solo_out, _) = exec::execute(&program, &lin(&structure), &model.params, true).unwrap();
+
+        // Two consecutive plan-path faults trip the breaker...
+        for _ in 0..2 {
+            let t = batcher.submit(lin(&structure)).unwrap();
+            assert!(matches!(
+                batcher.poll(t),
+                Err(ServeError::EngineFault {
+                    source: ExecError::Injected(_)
+                })
+            ));
+        }
+        assert!(batcher.degraded(), "threshold reached");
+        // ...and traffic keeps flowing on the oracle path, bit-identical.
+        let t = batcher.submit(lin(&structure)).unwrap();
+        let r = batcher.poll(t).unwrap().expect("degraded but serving");
+        assert!(r.degraded);
+        for (id, tensor) in &solo_out {
+            assert_eq!(&r.outputs[id], tensor, "oracle path is bit-identical");
+        }
+        assert!(batcher.serve_stats().degraded_runs >= 1);
+
+        // After the reset window the plan path is re-tried (half-open):
+        // its first fault re-trips immediately...
+        clock.advance(Duration::from_secs(2));
+        let t = batcher.submit(lin(&structure)).unwrap();
+        assert!(batcher.poll(t).is_err(), "half-open probe faulted");
+        assert!(batcher.degraded(), "one fault re-trips a half-open breaker");
+        // ...and traffic still flows degraded.
+        let t = batcher.submit(lin(&structure)).unwrap();
+        assert!(batcher.poll(t).unwrap().is_some());
+
+        // A healed plan path (hook removed) closes the breaker for good.
+        clock.advance(Duration::from_secs(2));
+        batcher.set_fault_hook(None);
+        let t = batcher.submit(lin(&structure)).unwrap();
+        let r = batcher.poll(t).unwrap().expect("healed");
+        assert!(!r.degraded);
+        assert!(!batcher.degraded());
+    }
+
+    #[test]
+    fn mid_batch_reconfiguration_stays_bit_identical() {
+        // Satellite regression: `set_exec_options` while requests are
+        // queued (they have not started executing) must either serve
+        // them bit-identically under the new configuration or reject
+        // them — never corrupt. The engine rebuilds analyses and drops
+        // grouping-shaped caches on reconfiguration, so the flush after
+        // the switch behaves exactly like a freshly built engine.
+        let model = treelstm::tree_lstm(6, LeafInit::Embedding);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let trees: Vec<RecStructure> = (0..4u64)
+            .map(|s| datasets::random_binary_tree(5 + 2 * s as usize, 90 + s))
+            .collect();
+        let flips = [
+            ExecOptions {
+                gate_stacking: false,
+                ..ExecOptions::default()
+            },
+            ExecOptions {
+                bulk: false,
+                ..ExecOptions::default()
+            },
+            ExecOptions {
+                interp: true,
+                ..ExecOptions::default()
+            },
+        ];
+        for opts in flips {
+            let mut batcher = Batcher::new(&program, model.params.clone(), manual(64));
+            // Warm the engine under the default configuration first.
+            let warm = batcher
+                .submit(lin(&datasets::random_binary_tree(8, 1)))
+                .unwrap();
+            batcher.flush();
+            assert!(batcher.poll(warm).unwrap().is_some());
+            // Queue a batch, then reconfigure mid-batch.
+            let tickets: Vec<Ticket> = trees
+                .iter()
+                .map(|t| batcher.submit(lin(t)).unwrap())
+                .collect();
+            assert_eq!(batcher.pending(), trees.len());
+            batcher.set_exec_options(opts);
+            batcher.flush();
+            for (t, ticket) in trees.iter().zip(&tickets) {
+                let response = batcher.poll(*ticket).unwrap().expect("served after switch");
+                // Oracle: a fresh engine built directly with the new
+                // options, run solo.
+                let (solo_out, solo_prof) = Engine::with_options(&program, opts)
+                    .execute(&lin(t), &model.params, true)
+                    .unwrap();
+                assert_eq!(response.profile, solo_prof);
+                for (id, tensor) in &solo_out {
+                    assert_eq!(&response.outputs[id], tensor, "bit-exact after reconfig");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serve_error_display_and_source_chain() {
+        let e = ServeError::EngineFault {
+            source: ExecError::MissingParam("w".into()),
+        };
+        assert!(e.to_string().contains("engine fault"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ServeError::QueueFull).is_none());
+        assert!(ServeError::Shed.to_string().contains("shed"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
     }
 }
