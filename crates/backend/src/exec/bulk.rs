@@ -468,6 +468,11 @@ impl<'a> Interp<'a> {
             .as_mut()
             .expect("stored tensor allocated");
         let data = buf.data.as_mut();
+        super::checked_assert!(
+            h == 0 || base + (h - 1) * stride < data.len(),
+            "bulk store window [{base}..+{h}×{stride}] outside {}-element buffer",
+            data.len()
+        );
         for (jj, v) in out.iter().enumerate() {
             data[base + jj * stride] = *v;
         }
@@ -491,6 +496,11 @@ impl<'a> Interp<'a> {
     /// interpretation (see [`FusedWave`]).
     pub(crate) fn exec_fused_wave(&mut self, fw: &FusedWave, wave_len: usize) {
         let t0 = std::time::Instant::now();
+        super::checked_assert!(
+            fw.n_idx_slot < self.slots.len(),
+            "fused wave index slot {} out of range",
+            fw.n_idx_slot
+        );
         for fl in &fw.loops {
             for r in 0..wave_len {
                 self.slots[fw.n_idx_slot] = r as i64;

@@ -15,6 +15,7 @@ use cortex_core::expr::BoolExpr;
 use cortex_core::ilir::StorageClass;
 use cortex_tensor::kernels;
 
+use super::checked_assert;
 use super::interp::Interp;
 use crate::wave::{GroupKind, InnerDim, SiteGroup, SumSite, SuperKey, SuperWaveAcc, WavePlan};
 
@@ -139,6 +140,11 @@ impl ActiveGroup {
     /// One element of the GEMM result.
     #[inline]
     pub(crate) fn value(&self, row: usize, col: usize) -> f32 {
+        checked_assert!(
+            col < self.cols,
+            "col {col} outside {}-wide group",
+            self.cols
+        );
         match &self.out {
             GroupOut::Owned(v) => v[row * self.cols + col],
             GroupOut::Shared { buf, base } => buf[(base + row) * self.cols + col],
@@ -518,6 +524,11 @@ impl<'a> Interp<'a> {
         rows: &mut [f32],
         meta: &mut [RowMeta],
     ) {
+        checked_assert!(
+            plan.n_idx_slot < self.slots.len(),
+            "wave index slot {} out of range",
+            plan.n_idx_slot
+        );
         match kind {
             GroupKind::SharedRows => {
                 // The members' row operands are structurally equal, so

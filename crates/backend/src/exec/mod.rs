@@ -43,6 +43,7 @@ mod run;
 mod scalar;
 #[cfg(test)]
 mod tests;
+mod verify;
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -69,6 +70,101 @@ use run::PcCursor;
 use scalar::RunCursor;
 
 pub use program::PlanStats;
+pub use verify::VerifyError;
+
+/// Slot/pc/bounds assertions in the pc runtime's hot loops, compiled in
+/// only under the `checked` cargo feature (CI runs the suite with it
+/// on; default builds pay nothing). Results are bit-identical either
+/// way — the asserts observe, never steer.
+#[cfg(feature = "checked")]
+macro_rules! checked_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+#[cfg(not(feature = "checked"))]
+macro_rules! checked_assert {
+    ($($t:tt)*) => {};
+}
+pub(crate) use checked_assert;
+
+/// Why an input was refused at engine intake (see
+/// [`ExecError::InvalidInput`]): an untrusted structure or binding that
+/// must not reach the runtimes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidInput {
+    /// The structure has nodes with more children than the plan was
+    /// lowered for — executing it would silently drop edges.
+    ArityExceedsPlan {
+        /// The structure's max children per node.
+        found: usize,
+        /// The child slots the plan's kernels address.
+        plan: usize,
+    },
+    /// The structure has internal nodes with fewer children than the
+    /// plan reads *unguarded* — an exact (Select-free) plan would chase
+    /// a "no child" indirection. Guarded plans (`required == 0`) accept
+    /// any arity and substitute zero for absent children.
+    ArityBelowPlan {
+        /// The smallest internal-node child count in the structure.
+        found: usize,
+        /// The child slots the plan reads without an existence guard.
+        required: usize,
+    },
+    /// More nodes than [`ExecOptions::max_input_nodes`] allows.
+    NodesOverLimit {
+        /// The structure's node count.
+        nodes: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
+    /// More wavefront depths than [`ExecOptions::max_input_depth`]
+    /// allows.
+    DepthOverLimit {
+        /// The structure's wavefront (batch) count.
+        depth: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
+    /// A bound parameter tensor contains NaN or infinity.
+    NonFiniteParam {
+        /// The parameter's name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for InvalidInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidInput::ArityExceedsPlan { found, plan } => {
+                write!(
+                    f,
+                    "structure has nodes with {found} children but the plan addresses {plan}"
+                )
+            }
+            InvalidInput::ArityBelowPlan { found, required } => {
+                write!(
+                    f,
+                    "structure has internal nodes with {found} children but the plan \
+                     reads {required} unguarded"
+                )
+            }
+            InvalidInput::NodesOverLimit { nodes, limit } => {
+                write!(
+                    f,
+                    "structure has {nodes} nodes, over the {limit}-node limit"
+                )
+            }
+            InvalidInput::DepthOverLimit { depth, limit } => {
+                write!(
+                    f,
+                    "structure has {depth} wavefronts, over the {limit} limit"
+                )
+            }
+            InvalidInput::NonFiniteParam { name } => {
+                write!(f, "parameter '{name}' contains non-finite values")
+            }
+        }
+    }
+}
 
 /// Errors from program execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +182,27 @@ pub enum ExecError {
     },
     /// Building the unrolled schedule failed (e.g. unrolling a DAG).
     Unroll(LinearizeError),
+    /// An untrusted input was refused at intake (before any execution
+    /// state was touched) — see [`InvalidInput`].
+    InvalidInput(InvalidInput),
+    /// The plan-time memory estimate for this input exceeds
+    /// [`ExecOptions::memory_budget`].
+    OverBudget {
+        /// Estimated bytes the run would allocate.
+        needed: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The op-count watchdog tripped: the run executed more loop
+    /// iterations than the plan-derived limit allows (a runaway loop —
+    /// converted into a typed fault instead of spinning forever).
+    Watchdog {
+        /// The plan-derived iteration limit that was exhausted.
+        limit: u64,
+    },
+    /// The lowered plan failed static verification — the engine refuses
+    /// to run it (see [`VerifyError`]).
+    Verify(VerifyError),
     /// An internal invariant was violated.
     Internal(String),
     /// A deterministic test fault raised through the engine's
@@ -109,6 +226,17 @@ impl std::fmt::Display for ExecError {
                 )
             }
             ExecError::Unroll(e) => write!(f, "unrolled schedule: {e}"),
+            ExecError::InvalidInput(e) => write!(f, "invalid input: {e}"),
+            ExecError::OverBudget { needed, budget } => {
+                write!(
+                    f,
+                    "estimated footprint {needed} bytes exceeds the {budget}-byte budget"
+                )
+            }
+            ExecError::Watchdog { limit } => {
+                write!(f, "watchdog: run exceeded {limit} loop iterations")
+            }
+            ExecError::Verify(e) => write!(f, "plan verification failed: {e}"),
             ExecError::Internal(msg) => write!(f, "internal executor error: {msg}"),
             ExecError::Injected(site) => write!(f, "injected fault at {site}"),
         }
@@ -120,6 +248,18 @@ impl std::error::Error for ExecError {}
 impl From<LinearizeError> for ExecError {
     fn from(e: LinearizeError) -> Self {
         ExecError::Unroll(e)
+    }
+}
+
+impl From<InvalidInput> for ExecError {
+    fn from(e: InvalidInput) -> Self {
+        ExecError::InvalidInput(e)
+    }
+}
+
+impl From<VerifyError> for ExecError {
+    fn from(e: VerifyError) -> Self {
+        ExecError::Verify(e)
     }
 }
 
@@ -322,6 +462,24 @@ pub struct ExecOptions {
     /// accounting. A program whose schedule already requests `Rational`
     /// keeps it regardless of this option.
     pub nonlinearity: NonlinearityMode,
+    /// Refuse runs whose plan-time memory estimate
+    /// ([`Engine::footprint`]) exceeds this many bytes
+    /// ([`ExecError::OverBudget`]). `None` (the default) admits
+    /// everything. Enforced at admission only — accepted runs pay no
+    /// per-op cost.
+    pub memory_budget: Option<u64>,
+    /// Refuse inputs with more nodes than this
+    /// ([`InvalidInput::NodesOverLimit`]). `None` admits any size.
+    pub max_input_nodes: Option<usize>,
+    /// Refuse inputs with more wavefront depths (height batches) than
+    /// this ([`InvalidInput::DepthOverLimit`]). `None` admits any depth.
+    pub max_input_depth: Option<usize>,
+    /// Override the pc runtime's op-count watchdog budget (back-edges
+    /// per run before [`ExecError::Watchdog`]). `None` (the default)
+    /// derives a generous budget from plan size and input extents —
+    /// legitimate runs never approach it. The interp oracle carries no
+    /// watchdog: it is a diagnostic, never an admission path.
+    pub watchdog_fuel: Option<u64>,
 }
 
 impl Default for ExecOptions {
@@ -334,6 +492,10 @@ impl Default for ExecOptions {
             bulk: true,
             interp: false,
             nonlinearity: NonlinearityMode::Exact,
+            memory_budget: None,
+            max_input_nodes: None,
+            max_input_depth: None,
+            watchdog_fuel: None,
         }
     }
 }
@@ -347,21 +509,17 @@ impl ExecOptions {
             gate_stacking: false,
             min_wave_width: 0,
             bulk: false,
-            interp: false,
-            nonlinearity: NonlinearityMode::Exact,
+            ..ExecOptions::default()
         }
     }
 
     /// The scalar fast path: per-element strided dots, no wave batching.
     pub fn scalar() -> Self {
         ExecOptions {
-            fastdot: true,
             wave_gemm: false,
             gate_stacking: false,
             min_wave_width: 0,
-            bulk: true,
-            interp: false,
-            nonlinearity: NonlinearityMode::Exact,
+            ..ExecOptions::default()
         }
     }
 
@@ -531,6 +689,19 @@ pub struct Engine<'p> {
     /// arena were built against; a different generation invalidates
     /// both.
     params_gen: Option<u64>,
+    /// Static verification verdict of the lowered plan, refreshed on
+    /// every [`build_plans`] (fresh build and `set_options` rebuild).
+    /// `Err` makes every execute call refuse with
+    /// [`ExecError::Verify`].
+    verified: Result<(), VerifyError>,
+    /// Child-arity bounds the plan's kernels address (`max` over every
+    /// `Ufn::Child(k)` read, `required` over the unguarded ones); wider
+    /// input structures — and, for exact plans, narrower internal
+    /// nodes — are refused at intake.
+    plan_arity: verify::ArityBounds,
+    /// The `Params::generation` most recently proven finite — parameter
+    /// validation runs once per binding state, not once per run.
+    params_validated: Option<u64>,
 }
 
 /// Packed-weight cache eviction bound: a long-lived serving engine
@@ -610,7 +781,10 @@ impl<'p> Engine<'p> {
                 .collect(),
         );
         let max_slots = compiled.iter().map(|k| k.num_slots).max().unwrap_or(0);
+        let plan_arity = verify::plan_arity_bounds(&compiled);
         let (shared, plan_stats) = build_plans(compiled, opts);
+        let verified = verify::verify(&shared.plan);
+        debug_assert!(verified.is_ok(), "lowering emitted an invalid plan");
         Engine {
             program,
             opts,
@@ -620,6 +794,9 @@ impl<'p> Engine<'p> {
             caches: Caches::default(),
             param_arena: HashMap::new(),
             params_gen: None,
+            verified,
+            plan_arity,
+            params_validated: None,
         }
     }
 
@@ -707,6 +884,10 @@ impl<'p> Engine<'p> {
             let (shared, plan_stats) = build_plans(self.shared.compiled.clone(), opts);
             self.shared = shared;
             self.plan_stats = plan_stats;
+            // Re-verify: a rebuilt plan passes the same static checks a
+            // fresh build does before any run is admitted against it.
+            self.verified = verify::verify(&self.shared.plan);
+            debug_assert!(self.verified.is_ok(), "rebuild emitted an invalid plan");
             // Stacked-weight packs and group scratch are shaped by the
             // previous grouping; reduction plans are keyed by addresses
             // that remain valid but may now be wave-served — drop all
@@ -721,6 +902,153 @@ impl<'p> Engine<'p> {
     /// Number of `d_batch` loops that will execute as batched GEMM waves.
     pub fn num_wave_plans(&self) -> usize {
         self.shared.wave_plans.len()
+    }
+
+    /// The static verification verdict of the engine's lowered plan
+    /// (recomputed after every `set_options` rebuild). `Err` means every
+    /// execute call refuses with [`ExecError::Verify`].
+    pub fn verified(&self) -> Result<(), VerifyError> {
+        self.verified.clone()
+    }
+
+    /// Child slots the plan's kernels address: inputs whose
+    /// `max_children` exceeds this are refused at intake
+    /// ([`InvalidInput::ArityExceedsPlan`]); narrower inputs resolve the
+    /// unaddressed slots to "no child".
+    pub fn plan_arity(&self) -> usize {
+        self.plan_arity.max
+    }
+
+    /// Child slots the plan reads *without* an existence guard (a
+    /// `Select` on `NumChildren`): internal nodes with fewer children
+    /// are refused at intake ([`InvalidInput::ArityBelowPlan`]), because
+    /// an exact plan would chase a "no child" indirection for them. 0
+    /// means every child read is guarded and any arity is admissible.
+    pub fn plan_required_arity(&self) -> usize {
+        self.plan_arity.required
+    }
+
+    /// Plan-time estimate (bytes) of what executing `lin` will allocate:
+    /// declared tensors at this input's extents, wave gather/pack
+    /// scratch (gathered rows, packed weights, group outputs at the
+    /// widest batch), and the linearized child arrays. An *estimate* —
+    /// upper-bounds steady-state allocation shape, not a byte-exact
+    /// accounting — enforced against [`ExecOptions::memory_budget`] at
+    /// admission.
+    pub fn footprint(&self, lin: &Linearized) -> u64 {
+        let num_nodes = lin.num_nodes();
+        let max_batch = lin
+            .internal_batches()
+            .iter()
+            .map(|b| b.len())
+            .chain([lin.leaf_batch().len()])
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut bytes: u64 = 0;
+        for t in self.program.declared_tensors() {
+            bytes += t.len(num_nodes, max_batch) as u64 * 4;
+        }
+        // Wave scratch per site: gathered rows (R×K), the packed weight
+        // (H×K), and the group output (R×H), at the widest batch.
+        for plan in self.shared.wave_plans.values() {
+            for site in &plan.sites {
+                let k = match &site.extent {
+                    cortex_core::expr::IdxExpr::Const(k) => (*k).max(1) as u64,
+                    _ => site.feat_extent.max(1) as u64,
+                };
+                let rows =
+                    max_batch as u64 * site.inner.map(|i| i.extent.max(1) as u64).unwrap_or(1);
+                let h = site.feat_extent.max(1) as u64;
+                bytes += 4 * (rows * k + h * k + rows * h);
+            }
+        }
+        // Linearized arrays: child slots plus ~6 u32 metadata arrays.
+        bytes += (lin.max_children() as u64 + 6) * num_nodes as u64 * 4;
+        bytes
+    }
+
+    /// Validates one untrusted input against the plan and the engine's
+    /// admission limits. Called by every execute path before any
+    /// execution state is touched; serving fronts call it at admission
+    /// so one bad request never reaches a co-batched run.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InvalidInput`] for arity/size/depth violations,
+    /// [`ExecError::OverBudget`] when the footprint estimate exceeds
+    /// [`ExecOptions::memory_budget`].
+    pub fn validate_input(&self, lin: &Linearized) -> Result<(), ExecError> {
+        if lin.max_children() > self.plan_arity.max {
+            return Err(InvalidInput::ArityExceedsPlan {
+                found: lin.max_children(),
+                plan: self.plan_arity.max,
+            }
+            .into());
+        }
+        let required = self.plan_arity.required;
+        if required > 0 {
+            for node in 0..lin.num_nodes() as u32 {
+                let found = lin.num_children_of(node);
+                if found > 0 && found < required {
+                    return Err(InvalidInput::ArityBelowPlan { found, required }.into());
+                }
+            }
+        }
+        if let Some(limit) = self.opts.max_input_nodes {
+            if lin.num_nodes() > limit {
+                return Err(InvalidInput::NodesOverLimit {
+                    nodes: lin.num_nodes(),
+                    limit,
+                }
+                .into());
+            }
+        }
+        if let Some(limit) = self.opts.max_input_depth {
+            let depth = lin.internal_batches().len() + 1;
+            if depth > limit {
+                return Err(InvalidInput::DepthOverLimit { depth, limit }.into());
+            }
+        }
+        if let Some(budget) = self.opts.memory_budget {
+            let needed = self.footprint(lin);
+            if needed > budget {
+                return Err(ExecError::OverBudget { needed, budget });
+            }
+        }
+        Ok(())
+    }
+
+    /// Proves every bound parameter finite, once per
+    /// [`Params::generation`] — re-binding invalidates the proof,
+    /// repeated runs against the same binding pay nothing.
+    fn validate_params(&mut self, params: &Params) -> Result<(), ExecError> {
+        let gen = params.generation();
+        if self.params_validated == Some(gen) {
+            return Ok(());
+        }
+        for (name, t) in params.iter() {
+            if !t.as_slice().iter().all(|v| v.is_finite()) {
+                return Err(InvalidInput::NonFiniteParam {
+                    name: name.to_string(),
+                }
+                .into());
+            }
+        }
+        self.params_validated = Some(gen);
+        Ok(())
+    }
+
+    /// The shared admission gate of both execute paths.
+    fn admit(&mut self, lins: &[&Linearized], params: &Params) -> Result<(), ExecError> {
+        if let Err(e) = &self.verified {
+            return Err(ExecError::Verify(e.clone()));
+        }
+        self.validate_params(params)?;
+        for lin in lins {
+            self.validate_input(lin)?;
+        }
+        Ok(())
     }
 
     /// Diagnostic counters of the most recent [`Engine::execute`] call.
@@ -755,6 +1083,7 @@ impl<'p> Engine<'p> {
         params: &Params,
         persist_active: bool,
     ) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
+        self.admit(&[lin], params)?;
         self.refresh_weight_cache(params);
         self.caches.stats = ExecStats::default();
         let mut interp = Interp::new(
@@ -771,8 +1100,7 @@ impl<'p> Engine<'p> {
         let result = if self.opts.interp {
             interp.run_all()
         } else {
-            interp.run_program();
-            Ok(())
+            interp.run_program()
         };
         std::mem::swap(&mut self.caches, &mut interp.caches);
         result?;
@@ -814,6 +1142,12 @@ impl<'p> Engine<'p> {
         params: &Params,
         persist_active: bool,
     ) -> Result<Vec<RunOutput>, ExecError> {
+        // Validation failures surface *before* any request runs: a
+        // serving front validates per request at admission, so a batch
+        // reaching this check with a bad member aborts whole — the
+        // front's isolation machinery (bisection) then resolves the
+        // good requests solo.
+        self.admit(lins, params)?;
         self.refresh_weight_cache(params);
         self.caches.stats = ExecStats::default();
         if lins.is_empty() {
@@ -833,31 +1167,34 @@ impl<'p> Engine<'p> {
             )?);
         }
         if self.opts.interp {
-            self.run_many_interp(&mut interps);
+            self.run_many_interp(&mut interps)?;
         } else {
-            self.run_many_pc(&mut interps);
+            self.run_many_pc(&mut interps)?;
         }
         interps.into_iter().map(Interp::finish).collect()
     }
 
     /// The pc runtime's batched scheduler: one [`PcCursor`] per request
     /// through [`Engine::run_many_cooperative`].
-    fn run_many_pc(&mut self, interps: &mut [Interp<'_>]) {
+    fn run_many_pc(&mut self, interps: &mut [Interp<'_>]) -> Result<(), ExecError> {
         let cursors: Vec<PcCursor> = interps
             .iter()
-            .map(|it| PcCursor::new(it.launch_units()))
+            .map(|it| PcCursor::new(it.launch_units(), it.watchdog_fuel()))
             .collect();
         self.run_many_cooperative(
             interps,
             cursors,
             |c| c.done,
             |it, cur, acc, r| it.step_program(cur, Some((acc, r))),
-        );
+        )
     }
 
     /// [`Engine::run_many_pc`]'s oracle twin over the frame-based step
-    /// machine (`interp: true`) — same scheduler, different cursor.
-    fn run_many_interp(&mut self, interps: &mut [Interp<'_>]) {
+    /// machine (`interp: true`) — same scheduler, different cursor. The
+    /// oracle walks statement frames, not plan ops, so it carries no
+    /// watchdog; it is the diagnostic the pc runtime is checked against,
+    /// never the admission path.
+    fn run_many_interp(&mut self, interps: &mut [Interp<'_>]) -> Result<(), ExecError> {
         let compiled = self.shared.compiled.clone();
         let cursors: Vec<RunCursor<'_>> = interps
             .iter()
@@ -867,8 +1204,8 @@ impl<'p> Engine<'p> {
             interps,
             cursors,
             |c| c.done,
-            |it, cur, acc, r| it.step(cur, &compiled, acc, r),
-        );
+            |it, cur, acc, r| Ok(it.step(cur, &compiled, acc, r)),
+        )
     }
 
     /// The cooperative round-robin shared by both batched runtimes
@@ -886,8 +1223,13 @@ impl<'p> Engine<'p> {
         interps: &mut [Interp<'_>],
         mut cursors: Vec<C>,
         done: impl Fn(&C) -> bool,
-        mut step: impl FnMut(&mut Interp<'_>, &mut C, &mut SuperWaveAcc, usize) -> StepOutcome,
-    ) {
+        mut step: impl FnMut(
+            &mut Interp<'_>,
+            &mut C,
+            &mut SuperWaveAcc,
+            usize,
+        ) -> Result<StepOutcome, ExecError>,
+    ) -> Result<(), ExecError> {
         let mut acc = SuperWaveAcc::default();
         let mut parked = vec![false; interps.len()];
         loop {
@@ -904,7 +1246,10 @@ impl<'p> Engine<'p> {
                 std::mem::swap(&mut self.caches, &mut interps[r].caches);
                 let outcome = step(&mut interps[r], &mut cursors[r], &mut acc, r);
                 std::mem::swap(&mut self.caches, &mut interps[r].caches);
-                if matches!(outcome, StepOutcome::Paused) {
+                // A typed step fault (the watchdog) aborts the batch
+                // *after* the caches are back home; the serving front's
+                // isolation machinery resolves the innocent requests.
+                if matches!(outcome?, StepOutcome::Paused) {
                     parked[r] = true;
                 }
             }
@@ -918,6 +1263,7 @@ impl<'p> Engine<'p> {
             }
         }
         debug_assert!(cursors.iter().all(done), "all requests must finish");
+        Ok(())
     }
 
     /// Runs every pending super-wave GEMM and hands each registered

@@ -148,8 +148,7 @@ pub(crate) struct Program {
     /// flatten). Zero for every current model — CI-gated.
     pub(crate) fallback_ops: usize,
     /// Owner of every statement tree the ops point into — see the
-    /// module-level pointer invariant.
-    #[allow(dead_code)]
+    /// module-level pointer invariant, checked by [`super::verify`].
     pub(crate) source: Rc<Vec<CompiledKernel>>,
 }
 

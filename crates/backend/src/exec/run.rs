@@ -20,11 +20,11 @@
 
 use std::time::Instant;
 
-use cortex_core::ilir::{LaunchPattern, Stmt};
+use cortex_core::ilir::{DimExtent, LaunchPattern, Stmt};
 
 use super::interp::Interp;
 use super::program::{Op, Pc, Program};
-use super::StepOutcome;
+use super::{checked_assert, ExecError, StepOutcome};
 use crate::wave::SuperWaveAcc;
 
 /// The resumable execution state of one request under the pc runtime: a
@@ -38,10 +38,18 @@ pub(crate) struct PcCursor {
     pub(crate) pc: Pc,
     pub(crate) recs: Vec<LoopRec>,
     pub(crate) done: bool,
+    /// Remaining back-edge budget: decremented at every [`Op::LoopNext`]
+    /// (the IR's only back-edge), so a runaway loop becomes
+    /// [`ExecError::Watchdog`] instead of a hang. Sized from the plan
+    /// and input (see [`Interp::watchdog_fuel`]) so legitimate runs
+    /// never come close.
+    pub(crate) fuel: u64,
+    /// The starting budget, reported in the watchdog fault.
+    pub(crate) fuel_limit: u64,
 }
 
 impl PcCursor {
-    pub(crate) fn new(units: Vec<(usize, Option<i64>)>) -> Self {
+    pub(crate) fn new(units: Vec<(usize, Option<i64>)>, fuel: u64) -> Self {
         PcCursor {
             units,
             unit: 0,
@@ -49,6 +57,8 @@ impl PcCursor {
             pc: 0,
             recs: Vec::new(),
             done: false,
+            fuel,
+            fuel_limit: fuel,
         }
     }
 }
@@ -83,20 +93,57 @@ impl<'a> Interp<'a> {
     /// Runs the whole launch schedule to completion through the pc
     /// runtime (the solo path — without a deferral accumulator nothing
     /// ever parks).
-    pub(crate) fn run_program(&mut self) {
-        let mut cur = PcCursor::new(self.launch_units());
-        let outcome = self.step_program(&mut cur, None);
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Watchdog`] if the run exhausts its back-edge budget.
+    pub(crate) fn run_program(&mut self) -> Result<(), ExecError> {
+        let fuel = self.watchdog_fuel();
+        let mut cur = PcCursor::new(self.launch_units(), fuel);
+        let outcome = self.step_program(&mut cur, None)?;
         debug_assert_eq!(outcome, StepOutcome::Done, "solo runs never park");
+        Ok(())
+    }
+
+    /// The op-count watchdog budget for one run of this input
+    /// ([`super::ExecOptions::watchdog_fuel`] override, or derived): a
+    /// generous multiple of plan size × node count × the largest fixed
+    /// tensor dimension, so any legitimate schedule (including deep
+    /// sequences iterating rank-2 stores per node) stays far below it
+    /// while a non-terminating loop trips in bounded time.
+    pub(crate) fn watchdog_fuel(&self) -> u64 {
+        if let Some(fuel) = self.opts.watchdog_fuel {
+            return fuel;
+        }
+        let max_dim = self
+            .program
+            .declared_tensors()
+            .flat_map(|t| t.dims.iter())
+            .filter_map(|d| match d {
+                DimExtent::Fixed(n) => Some(*n as u64),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        64u64
+            .saturating_mul(self.plan.ops.len() as u64)
+            .saturating_mul(self.lin.num_nodes() as u64 + 1)
+            .saturating_mul(max_dim + 1)
     }
 
     /// Advances this request until it parks at a wave loop whose GEMMs
     /// were deferred into `defer` ([`StepOutcome::Paused`]) or the
     /// launch schedule completes ([`StepOutcome::Done`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Watchdog`] if the cursor's back-edge budget runs out.
     pub(crate) fn step_program(
         &mut self,
         cur: &mut PcCursor,
         mut defer: Option<(&mut SuperWaveAcc, usize)>,
-    ) -> StepOutcome {
+    ) -> Result<StepOutcome, ExecError> {
         let plan = self.plan.clone();
         loop {
             if !cur.in_launch {
@@ -105,7 +152,7 @@ impl<'a> Interp<'a> {
                         cur.done = true;
                         self.finalize_run();
                     }
-                    return StepOutcome::Done;
+                    return Ok(StepOutcome::Done);
                 };
                 super::maybe_inject(
                     &self.caches.fault_hook,
@@ -124,6 +171,7 @@ impl<'a> Interp<'a> {
                 cur.in_launch = true;
                 cur.pc = kernel.entry;
             }
+            checked_assert!(cur.pc < plan.ops.len(), "pc {} out of range", cur.pc);
             match plan.ops[cur.pc] {
                 Op::KernelEnd => {
                     self.pop_scope();
@@ -131,6 +179,7 @@ impl<'a> Interp<'a> {
                     cur.unit += 1;
                 }
                 Op::Let { slot, value } => {
+                    checked_assert!(slot < self.slots.len(), "Let slot {slot} out of range");
                     // SAFETY: see module docs — `value` points into the
                     // compiled kernels the program keeps alive.
                     let v = self.eval_idx(unsafe { &*value });
@@ -176,10 +225,20 @@ impl<'a> Interp<'a> {
                 Op::LoopEnter(id) => {
                     let deferring = defer.as_mut().map(|(acc, req)| (&mut **acc, *req));
                     if self.op_loop_enter(id, &plan, cur, deferring) {
-                        return StepOutcome::Paused;
+                        return Ok(StepOutcome::Paused);
                     }
                 }
-                Op::LoopNext(id) => self.op_loop_next(id, &plan, cur),
+                Op::LoopNext(id) => {
+                    // The IR's only back-edge: charge the watchdog here
+                    // so a non-terminating loop becomes a typed fault.
+                    if cur.fuel == 0 {
+                        return Err(ExecError::Watchdog {
+                            limit: cur.fuel_limit,
+                        });
+                    }
+                    cur.fuel -= 1;
+                    self.op_loop_next(id, &plan, cur);
+                }
                 Op::FusedEpilogue => self.op_fused_epilogue(&plan, cur),
                 Op::ScalarStmt { stmt } => {
                     // Never emitted by the current lowering; kept as the
@@ -254,6 +313,11 @@ impl<'a> Interp<'a> {
         if d.is_wave {
             self.push_scope(true);
         }
+        checked_assert!(
+            d.slot < self.slots.len(),
+            "loop slot {} out of range",
+            d.slot
+        );
         self.slots[d.slot] = 0;
         cur.pc = d.body;
         paused

@@ -558,3 +558,459 @@ fn hookless_engines_pay_no_guard() {
     let (want, _) = execute(&program, &lin, &params, true).unwrap();
     assert_eq!(got[&out], want[&out]);
 }
+
+// -- pipeline hardening: verifier, intake validation, budgets, watchdog --
+
+use super::lowering::CompiledKernel;
+use super::program::{Op, Program};
+use super::verify::{verify, VerifyError};
+use super::InvalidInput;
+
+/// Lowers the Fig. 1 model into an *owned* (mutable) plan so tests can
+/// corrupt individual ops. The ILIR program is returned to keep the
+/// compiled kernels' source alive for the plan's pointer ops.
+fn owned_plan() -> (cortex_core::ilir::IlirProgram, Program) {
+    let (g, _) = tree_rnn(4);
+    let ilir = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let compiled: Rc<Vec<CompiledKernel>> =
+        Rc::new(ilir.kernels.iter().map(CompiledKernel::compile).collect());
+    let plan = super::lowering::lower(&compiled, &HashMap::new(), &HashMap::new(), &HashMap::new());
+    (ilir, plan)
+}
+
+#[test]
+fn verify_accepts_every_lowered_schedule_and_rebuild() {
+    use cortex_core::ra::{BarrierMode, LeafCheckMode};
+    let (g, _) = tree_rnn(6);
+    let schedules = [
+        RaSchedule::default(),
+        RaSchedule::unoptimized(),
+        RaSchedule {
+            specialize: false,
+            leaf_check: LeafCheckMode::Load,
+            ..RaSchedule::default()
+        },
+        RaSchedule {
+            unroll: Some(2),
+            ..RaSchedule::default()
+        },
+        RaSchedule {
+            peel: Some(4),
+            barrier: BarrierMode::Conservative,
+            ..RaSchedule::default()
+        },
+    ];
+    for schedule in &schedules {
+        let program = lower(&g, schedule, StructureInfo { max_children: 2 }).unwrap();
+        let mut engine = Engine::new(&program);
+        assert_eq!(engine.verified(), Ok(()), "fresh build ({schedule:?})");
+        assert_eq!(engine.plan_arity(), 2, "tree model reads children 0..2");
+        // A `set_options` rebuild re-verifies the new plan.
+        engine.set_options(ExecOptions::generic());
+        assert_eq!(engine.verified(), Ok(()), "rebuild ({schedule:?})");
+        engine.set_options(ExecOptions::default());
+        assert_eq!(engine.verified(), Ok(()), "second rebuild ({schedule:?})");
+    }
+}
+
+#[test]
+fn verify_rejects_dangling_jump() {
+    let (_ilir, mut plan) = owned_plan();
+    let bad = plan.ops.len() + 100;
+    // Point the first loop's exit outside the op stream; its LoopEnter
+    // op must report the dangling target.
+    let at = plan
+        .ops
+        .iter()
+        .position(|op| matches!(op, Op::LoopEnter(_)))
+        .expect("a loop lowers somewhere");
+    let Op::LoopEnter(id) = plan.ops[at] else {
+        unreachable!()
+    };
+    plan.loops[id].exit = bad;
+    assert_eq!(
+        verify(&plan),
+        Err(VerifyError::DanglingJump {
+            op: at,
+            target: bad
+        })
+    );
+}
+
+#[test]
+fn verify_rejects_unpaired_loop_next() {
+    let (_ilir, mut plan) = owned_plan();
+    assert!(plan.loops.len() >= 2, "nested loops expected");
+    let at = plan
+        .ops
+        .iter()
+        .position(|op| matches!(op, Op::LoopNext(_)))
+        .expect("a loop closes somewhere");
+    let Op::LoopNext(id) = plan.ops[at] else {
+        unreachable!()
+    };
+    let wrong = (id + 1) % plan.loops.len();
+    plan.ops[at] = Op::LoopNext(wrong);
+    assert_eq!(
+        verify(&plan),
+        Err(VerifyError::UnpairedLoopNext {
+            op: at,
+            loop_id: wrong
+        })
+    );
+}
+
+#[test]
+fn verify_rejects_unclosed_loop() {
+    let (_ilir, mut plan) = owned_plan();
+    // Drop the *last* LoopNext of the stream: the loop it closed stays
+    // open with no later LoopNext to mismatch first.
+    let at = plan
+        .ops
+        .iter()
+        .rposition(|op| matches!(op, Op::LoopNext(_)))
+        .expect("a loop closes somewhere");
+    plan.ops[at] = Op::Barrier;
+    assert!(
+        matches!(verify(&plan), Err(VerifyError::UnclosedLoop { .. })),
+        "got {:?}",
+        verify(&plan)
+    );
+}
+
+#[test]
+fn verify_rejects_use_before_def() {
+    let (_ilir, mut plan) = owned_plan();
+    // Drop the first Let: every later read of its slot is now undefined.
+    let at = plan
+        .ops
+        .iter()
+        .position(|op| matches!(op, Op::Let { .. }))
+        .expect("the lowering emits Let ops");
+    let Op::Let { slot, .. } = plan.ops[at] else {
+        unreachable!()
+    };
+    plan.ops[at] = Op::Barrier;
+    match verify(&plan) {
+        Err(VerifyError::UseBeforeDef { slot: s, .. }) => assert_eq!(s, slot),
+        other => panic!("expected UseBeforeDef of slot {slot}, got {other:?}"),
+    }
+}
+
+#[test]
+fn verify_rejects_foreign_expression_pointer() {
+    use cortex_core::expr::IdxExpr;
+    let (_ilir, mut plan) = owned_plan();
+    // A pointer to an expression the compiled kernels do not own: the
+    // verifier must refuse it *without* dereferencing.
+    let foreign = IdxExpr::Const(1);
+    let at = plan
+        .ops
+        .iter()
+        .position(|op| matches!(op, Op::Let { .. }))
+        .expect("the lowering emits Let ops");
+    let Op::Let { slot, .. } = plan.ops[at] else {
+        unreachable!()
+    };
+    plan.ops[at] = Op::Let {
+        slot,
+        value: &foreign as *const IdxExpr,
+    };
+    assert_eq!(verify(&plan), Err(VerifyError::ForeignExpr { op: at }));
+}
+
+#[test]
+fn over_arity_structures_are_refused_at_intake() {
+    use cortex_ds::{StructureBuilder, StructureKind};
+    let (g, _) = tree_rnn(4);
+    let program = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let mut b = StructureBuilder::new(StructureKind::Tree);
+    let l0 = b.leaf(1);
+    let l1 = b.leaf(2);
+    let l2 = b.leaf(3);
+    b.internal(&[l0, l1, l2]).unwrap();
+    let wide = b.finish().unwrap();
+    let lin = Linearizer::new().linearize(&wide).unwrap();
+    let mut params = Params::new();
+    params.set(
+        "Emb",
+        Tensor::random(&[datasets::VOCAB_SIZE as usize, 4], 0.5, 42),
+    );
+    let mut engine = Engine::new(&program);
+    let err = engine.execute(&lin, &params, true).unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::InvalidInput(InvalidInput::ArityExceedsPlan { found: 3, plan: 2 })
+    );
+    // The same check guards `execute_many`: a hostile request is refused
+    // before any batch state is touched.
+    let ok = Linearizer::new()
+        .linearize(&datasets::random_binary_tree(5, 1))
+        .unwrap();
+    let err = engine
+        .execute_many(&[&ok, &lin], &params, true)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ExecError::InvalidInput(InvalidInput::ArityExceedsPlan { .. })
+    ));
+    // The engine still serves valid traffic afterwards.
+    engine.execute(&ok, &params, true).unwrap();
+}
+
+#[test]
+fn non_finite_params_are_refused() {
+    let (program, lin, _params, _) = fault_fixture();
+    let mut bad = Params::new();
+    let mut emb = Tensor::zeros(&[datasets::VOCAB_SIZE as usize, 8]);
+    emb.as_mut_slice()[3] = f32::NAN;
+    bad.set("Emb", emb);
+    let mut engine = Engine::new(&program);
+    let err = engine.execute(&lin, &bad, true).unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::InvalidInput(InvalidInput::NonFiniteParam {
+            name: "Emb".to_string()
+        })
+    );
+    // Re-binding finite values clears the refusal (validation is keyed
+    // on the params generation).
+    let mut good = Params::new();
+    good.set(
+        "Emb",
+        Tensor::random(&[datasets::VOCAB_SIZE as usize, 8], 0.5, 42),
+    );
+    engine.execute(&lin, &good, true).unwrap();
+}
+
+#[test]
+fn memory_budget_refuses_over_budget_runs() {
+    let (program, lin, params, out) = fault_fixture();
+    let mut engine = Engine::with_options(
+        &program,
+        ExecOptions {
+            memory_budget: Some(1),
+            ..ExecOptions::default()
+        },
+    );
+    let needed = engine.footprint(&lin);
+    assert!(needed > 1, "footprint estimate must be non-trivial");
+    match engine.execute(&lin, &params, true) {
+        Err(ExecError::OverBudget { needed: n, budget }) => {
+            assert_eq!((n, budget), (needed, 1));
+        }
+        other => panic!("expected OverBudget, got {other:?}"),
+    }
+    // A budget above the estimate admits the run unchanged.
+    let mut roomy = Engine::with_options(
+        &program,
+        ExecOptions {
+            memory_budget: Some(needed * 2),
+            ..ExecOptions::default()
+        },
+    );
+    let (got, _) = roomy.execute(&lin, &params, true).unwrap();
+    let (want, _) = execute(&program, &lin, &params, true).unwrap();
+    assert_eq!(got[&out], want[&out]);
+}
+
+#[test]
+fn input_size_and_depth_limits_are_enforced() {
+    let (program, lin, params, _) = fault_fixture();
+    let mut small = Engine::with_options(
+        &program,
+        ExecOptions {
+            max_input_nodes: Some(3),
+            ..ExecOptions::default()
+        },
+    );
+    assert!(matches!(
+        small.execute(&lin, &params, true),
+        Err(ExecError::InvalidInput(InvalidInput::NodesOverLimit {
+            limit: 3,
+            ..
+        }))
+    ));
+    let mut shallow = Engine::with_options(
+        &program,
+        ExecOptions {
+            max_input_depth: Some(1),
+            ..ExecOptions::default()
+        },
+    );
+    assert!(matches!(
+        shallow.execute(&lin, &params, true),
+        Err(ExecError::InvalidInput(InvalidInput::DepthOverLimit {
+            limit: 1,
+            ..
+        }))
+    ));
+}
+
+#[test]
+fn watchdog_converts_runaway_into_typed_fault() {
+    let (program, lin, params, _) = fault_fixture();
+    // Zero fuel: the very first back-edge trips the watchdog — standing
+    // in for a non-terminating loop, which cannot be lowered from any
+    // well-formed schedule.
+    let mut engine = Engine::with_options(
+        &program,
+        ExecOptions {
+            watchdog_fuel: Some(0),
+            ..ExecOptions::default()
+        },
+    );
+    assert_eq!(
+        engine.execute(&lin, &params, true).unwrap_err(),
+        ExecError::Watchdog { limit: 0 }
+    );
+    // The derived default budget is far above what real runs spend: the
+    // same input executes untouched.
+    let mut healthy = Engine::new(&program);
+    healthy.execute(&lin, &params, true).unwrap();
+    // The interp oracle is a diagnostic, never an admission path — it
+    // carries no watchdog even with an (ignored) zero budget.
+    let mut oracle = Engine::with_options(
+        &program,
+        ExecOptions {
+            watchdog_fuel: Some(0),
+            interp: true,
+            ..ExecOptions::default()
+        },
+    );
+    oracle.execute(&lin, &params, true).unwrap();
+}
+
+#[test]
+fn footprint_scales_with_input_size() {
+    let (program, _, _, _) = fault_fixture();
+    let engine = Engine::new(&program);
+    let small = Linearizer::new()
+        .linearize(&datasets::random_binary_tree(5, 1))
+        .unwrap();
+    let large = Linearizer::new()
+        .linearize(&datasets::random_binary_tree(63, 1))
+        .unwrap();
+    assert!(engine.footprint(&large) > engine.footprint(&small));
+}
+
+/// `tree_rnn`'s guarded twin: every child read sits under the canonical
+/// `slot < num_children` Select (the DAG-RNN idiom), so absent children
+/// contribute zero instead of a dangling indirection.
+fn guarded_tree_rnn(h: usize) -> (RaGraph, TensorId) {
+    use cortex_core::expr::{BoolExpr, CmpOp, IdxExpr, Ufn, ValExpr};
+    let mut g = RaGraph::new();
+    let emb = g.input("Emb", &[datasets::VOCAB_SIZE as usize, h]);
+    let ph = g.placeholder("g_ph", &[h]);
+    let leaf = g.compute("leaf", &[h], |c| c.read(emb, &[c.node().word(), c.axis(0)]));
+    let rec = g.compute("rec", &[h], |c| {
+        let mut acc: Option<ValExpr> = None;
+        for s in 0..2u8 {
+            let node = c.node();
+            let child = IdxExpr::Ufn(Ufn::Child(s), vec![node.clone()]);
+            let read = c.read(ph, &[child, c.axis(0)]);
+            let guarded = ValExpr::Select {
+                cond: BoolExpr::Cmp(
+                    CmpOp::Lt,
+                    IdxExpr::Const(s as i64),
+                    IdxExpr::Ufn(Ufn::NumChildren, vec![node]),
+                ),
+                then: Box::new(read),
+                otherwise: Box::new(ValExpr::Const(0.0)),
+            };
+            acc = Some(match acc {
+                None => guarded,
+                Some(prev) => prev.add(guarded),
+            });
+        }
+        acc.unwrap().tanh()
+    });
+    let body = g.if_then_else("body", leaf, rec).unwrap();
+    let r = g.recursion(ph, body).unwrap();
+    g.mark_output(r);
+    (g, r.id())
+}
+
+#[test]
+fn under_arity_structures_are_refused_for_exact_plans() {
+    use cortex_ds::{StructureBuilder, StructureKind};
+    let (g, _) = tree_rnn(4);
+    let program = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let mut engine = Engine::new(&program);
+    assert_eq!(
+        engine.plan_required_arity(),
+        2,
+        "exact plan requires both slots"
+    );
+    // A unary internal node: the plan would chase child(1) = NO_CHILD.
+    let mut b = StructureBuilder::new(StructureKind::Tree);
+    let leaf = b.leaf(1);
+    b.internal(&[leaf]).unwrap();
+    let lin = Linearizer::new().linearize(&b.finish().unwrap()).unwrap();
+    let mut params = Params::new();
+    params.set(
+        "Emb",
+        Tensor::random(&[datasets::VOCAB_SIZE as usize, 4], 0.5, 42),
+    );
+    let err = engine.execute(&lin, &params, true).unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::InvalidInput(InvalidInput::ArityBelowPlan {
+            found: 1,
+            required: 2
+        })
+    );
+}
+
+#[test]
+fn guarded_plans_admit_any_arity_and_match_the_oracle() {
+    use cortex_ds::{StructureBuilder, StructureKind};
+    let h = 4;
+    let (g, out) = guarded_tree_rnn(h);
+    let program = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let mut engine = Engine::new(&program);
+    assert_eq!(engine.plan_arity(), 2);
+    assert_eq!(
+        engine.plan_required_arity(),
+        0,
+        "every child read is Select-guarded"
+    );
+    // A unary chain — refused by the exact plan above — is admissible
+    // here and must agree with the interp oracle exactly.
+    let mut b = StructureBuilder::new(StructureKind::Tree);
+    let leaf = b.leaf(1);
+    let mid = b.internal(&[leaf]).unwrap();
+    b.internal(&[mid]).unwrap();
+    let lin = Linearizer::new().linearize(&b.finish().unwrap()).unwrap();
+    let mut params = Params::new();
+    params.set(
+        "Emb",
+        Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42),
+    );
+    engine.validate_input(&lin).unwrap();
+    let (got, prof) = engine.execute(&lin, &params, true).unwrap();
+    let mut oracle = Engine::with_options(&program, ExecOptions::interpreted());
+    let (want, want_prof) = oracle.execute(&lin, &params, true).unwrap();
+    assert_eq!(prof, want_prof, "profiles must be bit-identical");
+    assert_eq!(got[&out], want[&out], "outputs must be bit-identical");
+}

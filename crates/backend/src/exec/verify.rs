@@ -1,0 +1,742 @@
+//! Static verification of a lowered [`Program`].
+//!
+//! Runs once per [`super::build_plans`] (fresh engine builds *and*
+//! `set_options` rebuilds) and turns every invariant the pc runtime
+//! assumes — documented on [`super::program`] — into a checked one:
+//!
+//! * every jump/branch/loop/kernel pc operand lands inside the op
+//!   stream ([`VerifyError::DanglingJump`]);
+//! * `LoopEnter`/`LoopNext` pair up and nest properly within each
+//!   kernel ([`VerifyError::UnpairedLoopNext`],
+//!   [`VerifyError::UnclosedLoop`]);
+//! * every register slot is written (by a `Let`, a loop header, or the
+//!   kernel's batch binding) before any expression reads it
+//!   ([`VerifyError::UseBeforeDef`], [`VerifyError::SlotOutOfRange`]);
+//! * every `d_all_batches` wave loop that drives a wave-GEMM loop
+//!   contains a `Barrier` separating its iterations
+//!   ([`VerifyError::MissingBarrier`]);
+//! * every raw expression pointer an op carries is owned by the
+//!   engine's compiled kernels — the pointer invariant the runtime's
+//!   `unsafe` dereferences rely on ([`VerifyError::ForeignExpr`]).
+//!
+//! The scan is textual (it does not follow jumps): the lowering emits
+//! defs lexically before their uses and brackets loops in op order, so
+//! a linear walk checks exactly the shape the runtime executes.
+//! Verification is build-time only — the runtime's dispatch loop is
+//! untouched in default builds.
+
+use std::collections::HashSet;
+
+use cortex_core::expr::{BoolExpr, CmpOp, IdxExpr, Ufn, ValExpr};
+use cortex_core::ilir::Stmt;
+
+use super::lowering::CompiledKernel;
+use super::program::{Op, Program};
+
+/// A violated ExecPlan invariant, naming the offending op index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A pc operand (jump target, branch join, loop body/exit, bulk
+    /// `done`, kernel entry) points outside the op stream.
+    DanglingJump {
+        /// The op carrying the target (`usize::MAX` for a kernel entry).
+        op: usize,
+        /// The out-of-range pc.
+        target: usize,
+    },
+    /// A `LoopEnter`/`LoopNext` names a loop id with no `LoopDef`
+    /// (or a plan id — wave, fused, bulk — with no plan entry).
+    PlanRefOutOfBounds {
+        /// The op carrying the reference.
+        op: usize,
+        /// What kind of table the reference indexes.
+        what: &'static str,
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// A `LoopNext` whose loop id does not match the innermost open
+    /// `LoopEnter` (unpaired or improperly nested).
+    UnpairedLoopNext {
+        /// The `LoopNext` op.
+        op: usize,
+        /// Its loop id.
+        loop_id: usize,
+    },
+    /// A `LoopEnter` still open when its kernel ends.
+    UnclosedLoop {
+        /// The unclosed `LoopEnter` op.
+        op: usize,
+        /// Its loop id.
+        loop_id: usize,
+    },
+    /// A register slot outside the kernel's compiled slot file.
+    SlotOutOfRange {
+        /// The op writing or reading the slot.
+        op: usize,
+        /// The offending slot.
+        slot: usize,
+        /// The kernel's slot-file size.
+        limit: usize,
+    },
+    /// An expression reads a slot no earlier op in the kernel wrote.
+    UseBeforeDef {
+        /// The op evaluating the expression.
+        op: usize,
+        /// The undefined slot.
+        slot: usize,
+    },
+    /// An op's raw expression pointer is not owned by the engine's
+    /// compiled kernels — dereferencing it would be UB.
+    ForeignExpr {
+        /// The op carrying the pointer.
+        op: usize,
+    },
+    /// A `d_all_batches` wave loop drives a wave-GEMM loop but contains
+    /// no `Barrier` separating its iterations.
+    MissingBarrier {
+        /// The wave loop's `LoopEnter` op.
+        op: usize,
+        /// Its loop id.
+        loop_id: usize,
+    },
+    /// A loop's static shape disagrees with its op placement (body must
+    /// immediately follow the `LoopEnter`, the fused epilogue its
+    /// `LoopNext`).
+    BadLoopShape {
+        /// The loop's `LoopEnter` op.
+        op: usize,
+        /// Its loop id.
+        loop_id: usize,
+        /// Which field disagrees.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::DanglingJump { op, target } => {
+                write!(f, "op {op}: jump target {target} outside the op stream")
+            }
+            VerifyError::PlanRefOutOfBounds { op, what, index } => {
+                write!(f, "op {op}: {what} id {index} has no table entry")
+            }
+            VerifyError::UnpairedLoopNext { op, loop_id } => {
+                write!(
+                    f,
+                    "op {op}: LoopNext({loop_id}) does not close the innermost open loop"
+                )
+            }
+            VerifyError::UnclosedLoop { op, loop_id } => {
+                write!(
+                    f,
+                    "op {op}: LoopEnter({loop_id}) never closed in its kernel"
+                )
+            }
+            VerifyError::SlotOutOfRange { op, slot, limit } => {
+                write!(
+                    f,
+                    "op {op}: slot {slot} outside the kernel's {limit}-slot file"
+                )
+            }
+            VerifyError::UseBeforeDef { op, slot } => {
+                write!(f, "op {op}: reads slot {slot} before any op defines it")
+            }
+            VerifyError::ForeignExpr { op } => {
+                write!(
+                    f,
+                    "op {op}: expression pointer not owned by the compiled kernels"
+                )
+            }
+            VerifyError::MissingBarrier { op, loop_id } => {
+                write!(
+                    f,
+                    "op {op}: wave loop {loop_id} drives a wave GEMM with no barrier in its body"
+                )
+            }
+            VerifyError::BadLoopShape { op, loop_id, what } => {
+                write!(f, "op {op}: loop {loop_id} has inconsistent {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Every expression/statement address owned by the compiled kernels —
+/// the set of pointers ops may legally carry.
+struct OwnedAddrs {
+    stmts: HashSet<usize>,
+    idxs: HashSet<usize>,
+    bools: HashSet<usize>,
+}
+
+impl OwnedAddrs {
+    fn collect(kernels: &[CompiledKernel]) -> Self {
+        let mut o = OwnedAddrs {
+            stmts: HashSet::new(),
+            idxs: HashSet::new(),
+            bools: HashSet::new(),
+        };
+        for k in kernels {
+            for s in &k.body {
+                o.add_stmt(s);
+            }
+        }
+        o
+    }
+
+    fn add_stmt(&mut self, s: &Stmt) {
+        self.stmts.insert(s as *const Stmt as usize);
+        match s {
+            Stmt::For { extent, body, .. } => {
+                self.add_idx(extent);
+                body.iter().for_each(|st| self.add_stmt(st));
+            }
+            Stmt::Let { value, body, .. } => {
+                self.add_idx(value);
+                body.iter().for_each(|st| self.add_stmt(st));
+            }
+            Stmt::Store { index, value, .. } => {
+                index.iter().for_each(|e| self.add_idx(e));
+                self.add_val(value);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.add_bool(cond);
+                then_branch.iter().for_each(|st| self.add_stmt(st));
+                else_branch.iter().for_each(|st| self.add_stmt(st));
+            }
+            Stmt::Barrier => {}
+        }
+    }
+
+    fn add_idx(&mut self, e: &IdxExpr) {
+        self.idxs.insert(e as *const IdxExpr as usize);
+        match e {
+            IdxExpr::Const(_) | IdxExpr::Rt(_) | IdxExpr::Var(_) => {}
+            IdxExpr::Ufn(_, args) => args.iter().for_each(|a| self.add_idx(a)),
+            IdxExpr::Bin(_, a, b) => {
+                self.add_idx(a);
+                self.add_idx(b);
+            }
+        }
+    }
+
+    fn add_bool(&mut self, e: &BoolExpr) {
+        self.bools.insert(e as *const BoolExpr as usize);
+        match e {
+            BoolExpr::Cmp(_, a, b) => {
+                self.add_idx(a);
+                self.add_idx(b);
+            }
+            BoolExpr::IsLeaf(a) => self.add_idx(a),
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                self.add_bool(a);
+                self.add_bool(b);
+            }
+            BoolExpr::Not(a) => self.add_bool(a),
+        }
+    }
+
+    fn add_val(&mut self, e: &ValExpr) {
+        match e {
+            ValExpr::Const(_) => {}
+            ValExpr::Load { index, .. } => index.iter().for_each(|i| self.add_idx(i)),
+            ValExpr::Unary(_, a) => self.add_val(a),
+            ValExpr::Bin(_, a, b) => {
+                self.add_val(a);
+                self.add_val(b);
+            }
+            ValExpr::Sum { extent, body, .. } => {
+                self.add_idx(extent);
+                self.add_val(body);
+            }
+            ValExpr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                self.add_bool(cond);
+                self.add_val(then);
+                self.add_val(otherwise);
+            }
+        }
+    }
+}
+
+/// Tracks which register slots are defined at the current textual point
+/// of one kernel, plus expression-local binders (`Sum`/nested loops).
+struct SlotEnv {
+    defined: Vec<bool>,
+    /// Binders introduced inside the expression currently being walked.
+    bound: Vec<usize>,
+    op: usize,
+}
+
+impl SlotEnv {
+    fn new(limit: usize) -> Self {
+        SlotEnv {
+            defined: vec![false; limit],
+            bound: Vec::new(),
+            op: 0,
+        }
+    }
+
+    fn define(&mut self, slot: usize) -> Result<(), VerifyError> {
+        if slot >= self.defined.len() {
+            return Err(VerifyError::SlotOutOfRange {
+                op: self.op,
+                slot,
+                limit: self.defined.len(),
+            });
+        }
+        self.defined[slot] = true;
+        Ok(())
+    }
+
+    fn read(&self, slot: usize) -> Result<(), VerifyError> {
+        if slot >= self.defined.len() {
+            return Err(VerifyError::SlotOutOfRange {
+                op: self.op,
+                slot,
+                limit: self.defined.len(),
+            });
+        }
+        if !self.defined[slot] && !self.bound.contains(&slot) {
+            return Err(VerifyError::UseBeforeDef { op: self.op, slot });
+        }
+        Ok(())
+    }
+
+    fn check_idx(&self, e: &IdxExpr) -> Result<(), VerifyError> {
+        match e {
+            IdxExpr::Const(_) | IdxExpr::Rt(_) => Ok(()),
+            IdxExpr::Var(v) => self.read(v.id() as usize),
+            IdxExpr::Ufn(_, args) => args.iter().try_for_each(|a| self.check_idx(a)),
+            IdxExpr::Bin(_, a, b) => {
+                self.check_idx(a)?;
+                self.check_idx(b)
+            }
+        }
+    }
+
+    fn check_bool(&self, e: &BoolExpr) -> Result<(), VerifyError> {
+        match e {
+            BoolExpr::Cmp(_, a, b) => {
+                self.check_idx(a)?;
+                self.check_idx(b)
+            }
+            BoolExpr::IsLeaf(a) => self.check_idx(a),
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                self.check_bool(a)?;
+                self.check_bool(b)
+            }
+            BoolExpr::Not(a) => self.check_bool(a),
+        }
+    }
+
+    fn check_val(&mut self, e: &ValExpr) -> Result<(), VerifyError> {
+        match e {
+            ValExpr::Const(_) => Ok(()),
+            ValExpr::Load { index, .. } => index.iter().try_for_each(|i| self.check_idx(i)),
+            ValExpr::Unary(_, a) => self.check_val(a),
+            ValExpr::Bin(_, a, b) => {
+                self.check_val(a)?;
+                self.check_val(b)
+            }
+            ValExpr::Sum { var, extent, body } => {
+                self.check_idx(extent)?;
+                self.bound.push(var.id() as usize);
+                let r = self.check_val(body);
+                self.bound.pop();
+                r
+            }
+            ValExpr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                self.check_bool(cond)?;
+                self.check_val(then)?;
+                self.check_val(otherwise)
+            }
+        }
+    }
+
+    /// Use-check a whole statement subtree (`Store` / `ScalarStmt` ops),
+    /// treating nested `For`/`Let` binders as locally bound.
+    fn check_stmt(&mut self, s: &Stmt) -> Result<(), VerifyError> {
+        match s {
+            Stmt::For {
+                var, extent, body, ..
+            } => {
+                self.check_idx(extent)?;
+                self.bound.push(var.id() as usize);
+                let r = body.iter().try_for_each(|st| self.check_stmt(st));
+                self.bound.pop();
+                r
+            }
+            Stmt::Let { var, value, body } => {
+                self.check_idx(value)?;
+                self.bound.push(var.id() as usize);
+                let r = body.iter().try_for_each(|st| self.check_stmt(st));
+                self.bound.pop();
+                r
+            }
+            Stmt::Store { index, value, .. } => {
+                index.iter().try_for_each(|i| self.check_idx(i))?;
+                self.check_val(value)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.check_bool(cond)?;
+                then_branch.iter().try_for_each(|st| self.check_stmt(st))?;
+                else_branch.iter().try_for_each(|st| self.check_stmt(st))
+            }
+            Stmt::Barrier => Ok(()),
+        }
+    }
+}
+
+/// Verifies every static invariant of a lowered program (module docs).
+///
+/// # Errors
+///
+/// The first violated invariant, naming the offending op index.
+pub(crate) fn verify(plan: &Program) -> Result<(), VerifyError> {
+    let owned = OwnedAddrs::collect(&plan.source);
+    let n_ops = plan.ops.len();
+    // Textual kernel ranges: entry of kernel k up to the next entry.
+    for (ki, kd) in plan.kernels.iter().enumerate() {
+        if kd.entry >= n_ops {
+            return Err(VerifyError::DanglingJump {
+                op: usize::MAX,
+                target: kd.entry,
+            });
+        }
+        let end = plan.kernels.get(ki + 1).map(|k| k.entry).unwrap_or(n_ops);
+        let limit = plan
+            .source
+            .get(ki)
+            .map(|k| k.num_slots)
+            .unwrap_or(usize::MAX);
+        verify_kernel(plan, &owned, ki, kd.entry..end, limit)?;
+    }
+    Ok(())
+}
+
+fn verify_kernel(
+    plan: &Program,
+    owned: &OwnedAddrs,
+    ki: usize,
+    range: std::ops::Range<usize>,
+    slot_limit: usize,
+) -> Result<(), VerifyError> {
+    let n_ops = plan.ops.len();
+    // A kernel range with no matching compiled kernel (hand-built test
+    // programs) gets a generous slot file instead of none.
+    let mut env = SlotEnv::new(if slot_limit == usize::MAX {
+        4096
+    } else {
+        slot_limit
+    });
+    // The launch prologue binds the kernel's batch slot before any op.
+    if let Some(bv) = plan.kernels[ki].batch_slot {
+        env.op = range.start;
+        env.define(bv)?;
+    }
+    // Open `LoopEnter`s, innermost last: (op pc, loop id).
+    let mut open: Vec<(usize, usize)> = Vec::new();
+    // Wave loops driving a wave-GEMM loop must barrier each iteration:
+    // (enter pc, loop id, exit pc, saw_gemm, saw_barrier).
+    let mut wave_watch: Vec<(usize, usize, usize, bool, bool)> = Vec::new();
+    for pc in range {
+        env.op = pc;
+        match &plan.ops[pc] {
+            Op::KernelEnd => {
+                if let Some(&(at, loop_id)) = open.last() {
+                    return Err(VerifyError::UnclosedLoop { op: at, loop_id });
+                }
+                break;
+            }
+            Op::LoopEnter(id) => {
+                let d = plan.loops.get(*id).ok_or(VerifyError::PlanRefOutOfBounds {
+                    op: pc,
+                    what: "loop",
+                    index: *id,
+                })?;
+                if !owned.idxs.contains(&(d.extent as usize)) {
+                    return Err(VerifyError::ForeignExpr { op: pc });
+                }
+                // SAFETY: ownership checked above — the pointer targets
+                // an expression the program's `source` keeps alive.
+                env.check_idx(unsafe { &*d.extent })?;
+                for (target, what) in [(d.body, "body"), (d.fused_pc, "fused_pc"), (d.exit, "exit")]
+                {
+                    if target >= n_ops {
+                        return Err(VerifyError::DanglingJump { op: pc, target });
+                    }
+                    if what == "body" && target != pc + 1 {
+                        return Err(VerifyError::BadLoopShape {
+                            op: pc,
+                            loop_id: *id,
+                            what: "body pc",
+                        });
+                    }
+                }
+                if let Some(w) = d.wave {
+                    if w >= plan.waves.len() {
+                        return Err(VerifyError::PlanRefOutOfBounds {
+                            op: pc,
+                            what: "wave",
+                            index: w,
+                        });
+                    }
+                    for watch in wave_watch.iter_mut() {
+                        watch.3 = true;
+                    }
+                }
+                if let Some(fu) = d.fused {
+                    if fu >= plan.fused.len() {
+                        return Err(VerifyError::PlanRefOutOfBounds {
+                            op: pc,
+                            what: "fused",
+                            index: fu,
+                        });
+                    }
+                }
+                env.define(d.slot)?;
+                open.push((pc, *id));
+                if d.is_wave {
+                    wave_watch.push((pc, *id, d.exit, false, false));
+                }
+            }
+            Op::LoopNext(id) => {
+                if *id >= plan.loops.len() {
+                    return Err(VerifyError::PlanRefOutOfBounds {
+                        op: pc,
+                        what: "loop",
+                        index: *id,
+                    });
+                }
+                match open.pop() {
+                    Some((_, open_id)) if open_id == *id => {}
+                    _ => {
+                        return Err(VerifyError::UnpairedLoopNext {
+                            op: pc,
+                            loop_id: *id,
+                        })
+                    }
+                }
+                if let Some(at) = wave_watch.iter().position(|&(_, lid, ..)| lid == *id) {
+                    let (enter, loop_id, _, saw_gemm, saw_barrier) = wave_watch.remove(at);
+                    if saw_gemm && !saw_barrier {
+                        return Err(VerifyError::MissingBarrier { op: enter, loop_id });
+                    }
+                }
+            }
+            Op::FusedEpilogue => {}
+            Op::Let { slot, value } => {
+                if !owned.idxs.contains(&(*value as usize)) {
+                    return Err(VerifyError::ForeignExpr { op: pc });
+                }
+                // SAFETY: ownership checked above.
+                env.check_idx(unsafe { &**value })?;
+                env.define(*slot)?;
+            }
+            Op::Store { stmt } | Op::ScalarStmt { stmt } => {
+                if !owned.stmts.contains(&(*stmt as usize)) {
+                    return Err(VerifyError::ForeignExpr { op: pc });
+                }
+                // SAFETY: ownership checked above.
+                env.check_stmt(unsafe { &**stmt })?;
+            }
+            Op::Branch { cond, on_false } => {
+                if !owned.bools.contains(&(*cond as usize)) {
+                    return Err(VerifyError::ForeignExpr { op: pc });
+                }
+                // SAFETY: ownership checked above.
+                env.check_bool(unsafe { &**cond })?;
+                if *on_false >= n_ops {
+                    return Err(VerifyError::DanglingJump {
+                        op: pc,
+                        target: *on_false,
+                    });
+                }
+            }
+            Op::Jump(target) => {
+                if *target >= n_ops {
+                    return Err(VerifyError::DanglingJump {
+                        op: pc,
+                        target: *target,
+                    });
+                }
+            }
+            Op::Barrier => {
+                for watch in wave_watch.iter_mut() {
+                    watch.4 = true;
+                }
+            }
+            Op::BulkPass { id, done } => {
+                if *id >= plan.bulks.len() {
+                    return Err(VerifyError::PlanRefOutOfBounds {
+                        op: pc,
+                        what: "bulk",
+                        index: *id,
+                    });
+                }
+                if *done >= n_ops {
+                    return Err(VerifyError::DanglingJump {
+                        op: pc,
+                        target: *done,
+                    });
+                }
+            }
+        }
+    }
+    if let Some(&(at, loop_id)) = open.last() {
+        return Err(VerifyError::UnclosedLoop { op: at, loop_id });
+    }
+    Ok(())
+}
+
+/// Child-arity bounds the plan was lowered for, scanned from the
+/// compiled kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ArityBounds {
+    /// One past the highest child slot any kernel reads
+    /// (`Ufn::Child(k)`), or 0 if no kernel touches children.
+    /// Structures with more children per node would have their extra
+    /// children silently ignored, so intake rejects them
+    /// ([`super::InvalidInput::ArityExceedsPlan`]).
+    pub max: usize,
+    /// One past the highest child slot read *unguarded* — outside the
+    /// `then` branch of a `Select` whose condition proves the slot
+    /// exists (`Const(c) < NumChildren(n)` with `k <= c`). Exact
+    /// (unguarded) plans read every slot up to this for any node with
+    /// children, so intake rejects internal nodes with fewer
+    /// ([`super::InvalidInput::ArityBelowPlan`]); guarded plans
+    /// (`required == 0`) substitute zero and accept any arity.
+    pub required: usize,
+}
+
+/// Scans the compiled kernels for [`ArityBounds`]. `bound` carries the
+/// highest child slot the enclosing `Select` guards prove present.
+pub(crate) fn plan_arity_bounds(kernels: &[CompiledKernel]) -> ArityBounds {
+    /// `Some(c)` when `cond` is the canonical slot guard
+    /// `Const(c) < NumChildren(n)`, proving slots `0..=c` exist.
+    fn guard_bound(cond: &BoolExpr) -> Option<usize> {
+        if let BoolExpr::Cmp(CmpOp::Lt, IdxExpr::Const(c), IdxExpr::Ufn(Ufn::NumChildren, _)) = cond
+        {
+            usize::try_from(*c).ok()
+        } else {
+            None
+        }
+    }
+    fn scan_stmt(s: &Stmt, b: &mut ArityBounds, bound: Option<usize>) {
+        match s {
+            Stmt::For { extent, body, .. } => {
+                scan_idx(extent, b, bound);
+                body.iter().for_each(|st| scan_stmt(st, b, bound));
+            }
+            Stmt::Let { value, body, .. } => {
+                scan_idx(value, b, bound);
+                body.iter().for_each(|st| scan_stmt(st, b, bound));
+            }
+            Stmt::Store { index, value, .. } => {
+                index.iter().for_each(|i| scan_idx(i, b, bound));
+                scan_val(value, b, bound);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                scan_bool(cond, b, bound);
+                then_branch.iter().for_each(|st| scan_stmt(st, b, bound));
+                else_branch.iter().for_each(|st| scan_stmt(st, b, bound));
+            }
+            Stmt::Barrier => {}
+        }
+    }
+    fn scan_idx(e: &IdxExpr, b: &mut ArityBounds, bound: Option<usize>) {
+        match e {
+            IdxExpr::Const(_) | IdxExpr::Rt(_) | IdxExpr::Var(_) => {}
+            IdxExpr::Ufn(u, args) => {
+                if let Ufn::Child(k) = u {
+                    let k = *k as usize;
+                    b.max = b.max.max(k + 1);
+                    if bound.is_none_or(|c| k > c) {
+                        b.required = b.required.max(k + 1);
+                    }
+                }
+                args.iter().for_each(|a| scan_idx(a, b, bound));
+            }
+            IdxExpr::Bin(_, x, y) => {
+                scan_idx(x, b, bound);
+                scan_idx(y, b, bound);
+            }
+        }
+    }
+    fn scan_bool(e: &BoolExpr, b: &mut ArityBounds, bound: Option<usize>) {
+        match e {
+            BoolExpr::Cmp(_, x, y) => {
+                scan_idx(x, b, bound);
+                scan_idx(y, b, bound);
+            }
+            BoolExpr::IsLeaf(x) => scan_idx(x, b, bound),
+            BoolExpr::And(x, y) | BoolExpr::Or(x, y) => {
+                scan_bool(x, b, bound);
+                scan_bool(y, b, bound);
+            }
+            BoolExpr::Not(x) => scan_bool(x, b, bound),
+        }
+    }
+    fn scan_val(e: &ValExpr, b: &mut ArityBounds, bound: Option<usize>) {
+        match e {
+            ValExpr::Const(_) => {}
+            ValExpr::Load { index, .. } => index.iter().for_each(|i| scan_idx(i, b, bound)),
+            ValExpr::Unary(_, a) => scan_val(a, b, bound),
+            ValExpr::Bin(_, x, y) => {
+                scan_val(x, b, bound);
+                scan_val(y, b, bound);
+            }
+            ValExpr::Sum { extent, body, .. } => {
+                scan_idx(extent, b, bound);
+                scan_val(body, b, bound);
+            }
+            ValExpr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                scan_bool(cond, b, bound);
+                // Guards compose conjunctively along the path: keep the
+                // strongest proof in scope.
+                let inner = match guard_bound(cond) {
+                    Some(c) => Some(bound.map_or(c, |prev| prev.max(c))),
+                    None => bound,
+                };
+                scan_val(then, b, inner);
+                scan_val(otherwise, b, bound);
+            }
+        }
+    }
+    let mut b = ArityBounds {
+        max: 0,
+        required: 0,
+    };
+    for k in kernels {
+        for s in &k.body {
+            scan_stmt(s, &mut b, None);
+        }
+    }
+    b
+}

@@ -42,6 +42,14 @@
 //! `shed + resolved == submitted` exactly (no ticket lost, none
 //! double-resolved); these gates are never skipped.
 //!
+//! Schema v4 adds two admission-hardening scenarios on top:
+//! `invalid_input_burst` drives the adversarial structure fuzzer's case
+//! stream at the batcher and gates the exact `rejected_invalid` /
+//! `resolved_ok` split (hostile shapes refused at intake, controls
+//! served), and `over_budget` gates the `over_budget` counter under a
+//! one-byte memory budget and proves the same traffic is served once
+//! the budget is lifted. Both are seeded and structural, never skipped.
+//!
 //! The wall-clock bars are intentionally below the issue's aspirational
 //! 2×/1.3×: that target assumed a per-wave-launch-bound sequential
 //! baseline, but PR 2's SIMD kernels plus this PR's shared parameter
@@ -447,10 +455,102 @@ fn robustness_scenarios() -> Vec<RobustnessRecord> {
         });
     }
 
+    // Scenario 5: invalid-input burst. The adversarial structure
+    // fuzzer's case stream — hostile shapes interleaved with valid
+    // controls — goes straight at the front door. Malformed parts never
+    // construct; structurally valid but plan-incompatible shapes (wide
+    // arity, unary chains against an exact binary plan) are refused at
+    // admission with typed errors; the controls are served. Per fuzzer
+    // rotation: 7 refused at construction, 3 at intake, 2 served.
+    {
+        use cortex_serve::fuzz::{StructureFuzzer, SHAPES};
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 64,
+                max_delay: Duration::from_secs(3600),
+                ..BatcherOptions::default()
+            },
+        );
+        let mut fuzz = StructureFuzzer::new(0xF022);
+        let (mut bad_parts, mut served) = (0u64, 0u64);
+        for case in fuzz.cases(2 * SHAPES) {
+            let Ok(structure) = case.build() else {
+                bad_parts += 1;
+                continue;
+            };
+            let input = Linearizer::new().linearize(&structure).expect("linearizes");
+            match batcher.submit(input) {
+                Ok(_) => served += 1,
+                Err(e) => assert!(
+                    matches!(e, cortex_serve::ServeError::InvalidInput { .. }),
+                    "invalid_input_burst: unexpected refusal {e}"
+                ),
+            }
+        }
+        batcher.drain();
+        let stats = batcher.serve_stats();
+        let ok = bad_parts == 14
+            && stats.rejected_invalid == 6
+            && stats.submitted == served
+            && stats.resolved_ok == 4
+            && stats.resolved_ok + stats.resolved_err == stats.submitted;
+        records.push(RobustnessRecord {
+            scenario: "invalid_input_burst",
+            stats,
+            ok,
+        });
+    }
+
+    // Scenario 6: resource budget. Under a one-byte memory budget every
+    // request is refused at admission with a typed OverBudget; lifting
+    // the budget serves the identical traffic — refusals must not
+    // poison the batcher.
+    {
+        let mut batcher = Batcher::new(
+            &program,
+            model.params.clone(),
+            BatcherOptions {
+                max_batch: 64,
+                max_delay: Duration::from_secs(3600),
+                ..BatcherOptions::default()
+            },
+        );
+        batcher.set_exec_options(cortex_backend::exec::ExecOptions {
+            memory_budget: Some(1),
+            ..cortex_backend::exec::ExecOptions::default()
+        });
+        for s in 0..8u64 {
+            let err = batcher.submit(lin(6, s)).expect_err("1-byte budget");
+            assert!(
+                matches!(err, cortex_serve::ServeError::OverBudget { .. }),
+                "over_budget: unexpected refusal {err}"
+            );
+        }
+        batcher.set_exec_options(cortex_backend::exec::ExecOptions::default());
+        for s in 0..8u64 {
+            batcher.submit(lin(6, s)).expect("budget lifted");
+        }
+        batcher.drain();
+        let stats = batcher.serve_stats();
+        let ok = stats.over_budget == 8
+            && stats.rejected == 8
+            && stats.submitted == 8
+            && stats.resolved_ok == 8
+            && stats.resolved_ok + stats.resolved_err == stats.submitted;
+        records.push(RobustnessRecord {
+            scenario: "over_budget",
+            stats,
+            ok,
+        });
+    }
+
     for r in &records {
         println!(
             "robustness {:<18} submitted={:<3} ok={:<3} err={:<3} shed={:<3} \
-             deadline={:<3} isolated={:<2} degraded={:<3} panics={:<2} -> {}",
+             deadline={:<3} isolated={:<2} degraded={:<3} panics={:<2} \
+             invalid={:<2} budget={:<2} -> {}",
             r.scenario,
             r.stats.submitted,
             r.stats.resolved_ok,
@@ -460,6 +560,8 @@ fn robustness_scenarios() -> Vec<RobustnessRecord> {
             r.stats.isolated_faults,
             r.stats.degraded_runs,
             r.stats.panics_contained,
+            r.stats.rejected_invalid,
+            r.stats.over_budget,
             if r.ok { "PASS" } else { "FAIL" },
         );
     }
@@ -610,7 +712,7 @@ fn main() {
     let robustness = robustness_scenarios();
 
     let mut json =
-        String::from("{\n  \"schema\": \"cortex-bench-serving/v3\",\n  \"results\": [\n");
+        String::from("{\n  \"schema\": \"cortex-bench-serving/v4\",\n  \"results\": [\n");
     let mut first = true;
     for w in &workloads {
         for d in &w.depths {
@@ -655,7 +757,8 @@ fn main() {
             "    {{\"scenario\": \"{}\", \"submitted\": {}, \"resolved_ok\": {}, \
              \"resolved_err\": {}, \"shed\": {}, \"deadline_misses\": {}, \
              \"isolated_faults\": {}, \"degraded_runs\": {}, \
-             \"panics_contained\": {}, \"ok\": {}}}",
+             \"panics_contained\": {}, \"rejected_invalid\": {}, \
+             \"over_budget\": {}, \"ok\": {}}}",
             r.scenario,
             r.stats.submitted,
             r.stats.resolved_ok,
@@ -665,6 +768,8 @@ fn main() {
             r.stats.isolated_faults,
             r.stats.degraded_runs,
             r.stats.panics_contained,
+            r.stats.rejected_invalid,
+            r.stats.over_budget,
             r.ok
         );
     }

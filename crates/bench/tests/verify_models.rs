@@ -1,0 +1,108 @@
+//! Acceptance gate for the compile-pipeline verifier: every Table 2
+//! model's lowered ExecPlan passes `Program::verify()` with zero
+//! findings — at engine build and again after every `set_options`
+//! rebuild — and admits its own Table 2 dataset through intake
+//! validation.
+
+use cortex_backend::exec::{Engine, ExecOptions};
+use cortex_bench_harness::registry::ModelId;
+use cortex_ds::linearizer::Linearizer;
+
+const ALL_MODELS: [ModelId; 9] = [
+    ModelId::TreeFc,
+    ModelId::DagRnn,
+    ModelId::TreeGru,
+    ModelId::TreeLstm,
+    ModelId::MvRnn,
+    ModelId::TreeRnn,
+    ModelId::SimpleTreeGru,
+    ModelId::SeqLstm,
+    ModelId::SeqGru,
+];
+
+#[test]
+fn every_model_plan_verifies_at_build_and_after_rebuilds() {
+    for id in ALL_MODELS {
+        let model = id.build(16);
+        let program = model
+            .lower(&cortex_core::ra::RaSchedule::default())
+            .unwrap_or_else(|e| panic!("{}: lower failed: {e}", model.name));
+        let mut engine = Engine::new(&program);
+        assert_eq!(
+            engine.verified(),
+            Ok(()),
+            "{}: fresh build must verify",
+            model.name
+        );
+        assert!(
+            engine.plan_arity() <= model.max_children,
+            "{}: plan arity {} exceeds the model's max_children {}",
+            model.name,
+            engine.plan_arity(),
+            model.max_children
+        );
+        // Every option change that rebuilds the plan must re-verify it.
+        for opts in [
+            ExecOptions::generic(),
+            ExecOptions::unstacked(),
+            ExecOptions::default(),
+        ] {
+            engine.set_options(opts);
+            assert_eq!(
+                engine.verified(),
+                Ok(()),
+                "{}: rebuild under {opts:?} must verify",
+                model.name
+            );
+        }
+    }
+}
+
+/// The guarded/exact split the arity-intake check relies on: DagRnn
+/// Select-guards every child read (any arity admissible); every other
+/// model reads its child slots unguarded and so requires full arity on
+/// internal nodes. A model silently changing camp would change which
+/// inputs the engine refuses.
+#[test]
+fn required_arity_matches_each_models_guardedness() {
+    for id in ALL_MODELS {
+        let model = id.build(16);
+        let program = model
+            .lower(&cortex_core::ra::RaSchedule::default())
+            .unwrap();
+        let engine = Engine::new(&program);
+        let expected = match id {
+            ModelId::DagRnn => 0,
+            _ => engine.plan_arity(),
+        };
+        assert_eq!(
+            engine.plan_required_arity(),
+            expected,
+            "{}: unexpected unguarded child-read arity",
+            model.name
+        );
+    }
+}
+
+#[test]
+fn every_model_admits_its_own_dataset() {
+    for id in ALL_MODELS {
+        let model = id.build(16);
+        let program = model
+            .lower(&cortex_core::ra::RaSchedule::default())
+            .unwrap();
+        let engine = Engine::new(&program);
+        let structure = id.dataset(2, 7);
+        let lin = Linearizer::new()
+            .linearize(&structure)
+            .unwrap_or_else(|e| panic!("{}: linearize failed: {e}", model.name));
+        engine
+            .validate_input(&lin)
+            .unwrap_or_else(|e| panic!("{}: own dataset refused: {e}", model.name));
+        assert!(
+            engine.footprint(&lin) > 0,
+            "{}: footprint estimate must be positive",
+            model.name
+        );
+    }
+}

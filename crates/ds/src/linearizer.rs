@@ -202,6 +202,7 @@ impl Linearizer {
             new_to_old,
             old_to_new,
             child,
+            no_child_row: vec![NO_CHILD; n],
             num_children,
             words,
             leaf_batch,
@@ -239,6 +240,10 @@ pub struct Linearized {
     old_to_new: Vec<u32>,
     /// `child[slot][id]` = the id of `id`'s `slot`-th child or [`NO_CHILD`].
     child: Vec<Vec<u32>>,
+    /// All-[`NO_CHILD`] row returned for slots beyond [`max_children`]
+    /// (a plan lowered for wider structures resolves them to "no child"
+    /// instead of indexing out of bounds).
+    no_child_row: Vec<u32>,
     num_children: Vec<u32>,
     words: Vec<u32>,
     leaf_batch: Batch,
@@ -311,17 +316,24 @@ impl Linearized {
     }
 
     /// The `slot`-th child of `node`, if any.
+    ///
+    /// Total over `slot`: slots beyond [`max_children`](Self::max_children)
+    /// resolve to `None`, exactly as an in-range slot the node does not
+    /// fill — so a plan lowered for a wider structure degrades to "no
+    /// child" instead of panicking.
     pub fn child(&self, slot: usize, node: u32) -> Option<u32> {
-        match self.child[slot][node as usize] {
+        match self.child_array(slot)[node as usize] {
             NO_CHILD => None,
             c => Some(c),
         }
     }
 
     /// Raw child-slot array (the `left`/`right` arrays in Fig. 2);
-    /// entries are [`NO_CHILD`] where absent.
+    /// entries are [`NO_CHILD`] where absent. Total over `slot`: slots
+    /// beyond [`max_children`](Self::max_children) return an
+    /// all-[`NO_CHILD`] row of the same length.
     pub fn child_array(&self, slot: usize) -> &[u32] {
-        &self.child[slot]
+        self.child.get(slot).unwrap_or(&self.no_child_row)
     }
 
     /// Number of children of `node`.
@@ -643,6 +655,21 @@ mod tests {
                     "child {c} not in earlier batch than {id}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn child_accessors_total_over_slot() {
+        let t = fig1_tree();
+        let lin = Linearizer::new().linearize(&t).unwrap();
+        assert_eq!(lin.max_children(), 2);
+        // A slot the structure never fills behaves like an absent child,
+        // not an out-of-bounds index.
+        let row = lin.child_array(5);
+        assert_eq!(row.len(), lin.num_nodes());
+        assert!(row.iter().all(|&c| c == NO_CHILD));
+        for n in 0..lin.num_nodes() as u32 {
+            assert_eq!(lin.child(5, n), None);
         }
     }
 

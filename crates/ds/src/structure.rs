@@ -49,6 +49,28 @@ pub enum StructureError {
     SequenceFanOut(NodeId),
     /// The structure has no nodes.
     Empty,
+    /// A node lists itself as its own child
+    /// ([`RecStructure::from_parts`] only — the builder cannot express
+    /// this).
+    SelfLoop(NodeId),
+    /// The child edges contain a cycle through this node
+    /// ([`RecStructure::from_parts`] only).
+    Cycle(NodeId),
+    /// The per-node arrays have different lengths
+    /// ([`RecStructure::from_parts`] only).
+    LengthMismatch {
+        /// Entries in the children table.
+        children: usize,
+        /// Entries in the words table.
+        words: usize,
+    },
+    /// [`RecStructure::try_merge`] was given parts of different kinds.
+    MixedKinds {
+        /// Kind of the first part.
+        first: StructureKind,
+        /// The first disagreeing kind.
+        other: StructureKind,
+    },
 }
 
 impl fmt::Display for StructureError {
@@ -62,6 +84,19 @@ impl fmt::Display for StructureError {
                 write!(f, "sequence node {id} would have more than one child")
             }
             StructureError::Empty => write!(f, "structure has no nodes"),
+            StructureError::SelfLoop(id) => write!(f, "node {id} lists itself as a child"),
+            StructureError::Cycle(id) => {
+                write!(f, "child edges form a cycle through node {id}")
+            }
+            StructureError::LengthMismatch { children, words } => {
+                write!(
+                    f,
+                    "children table has {children} entries but words table has {words}"
+                )
+            }
+            StructureError::MixedKinds { first, other } => {
+                write!(f, "cannot merge a {other} into a batch of {first}s")
+            }
         }
     }
 }
@@ -217,6 +252,103 @@ pub struct RecStructure {
 }
 
 impl RecStructure {
+    /// Builds a structure from **untrusted** raw parts — the wire shape a
+    /// serving front receives — validating everything the builder
+    /// enforces by construction plus the hazards only a raw encoding can
+    /// express: out-of-range child ids, self-loops, and cycles.
+    ///
+    /// Nodes whose children all precede them keep their ids; otherwise
+    /// the nodes are renumbered into a children-before-parents order (a
+    /// deterministic smallest-id-first topological order), which is the
+    /// invariant every consumer of a [`RecStructure`] relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`StructureError::Empty`] for zero nodes,
+    /// [`StructureError::LengthMismatch`] when the tables disagree,
+    /// [`StructureError::UnknownChild`] for a child id `>= n`,
+    /// [`StructureError::SelfLoop`] / [`StructureError::Cycle`] for
+    /// cyclic child edges, and the builder's kind errors
+    /// ([`StructureError::MultipleParents`],
+    /// [`StructureError::SequenceFanOut`]).
+    pub fn from_parts(
+        kind: StructureKind,
+        children: Vec<Vec<NodeId>>,
+        words: Vec<u32>,
+    ) -> Result<RecStructure, StructureError> {
+        let n = children.len();
+        if n == 0 {
+            return Err(StructureError::Empty);
+        }
+        if words.len() != n {
+            return Err(StructureError::LengthMismatch {
+                children: n,
+                words: words.len(),
+            });
+        }
+        let mut parent_count = vec![0u32; n];
+        for (i, kids) in children.iter().enumerate() {
+            if kind == StructureKind::Sequence && kids.len() > 1 {
+                return Err(StructureError::SequenceFanOut(NodeId(i as u32)));
+            }
+            for &c in kids {
+                if c.index() >= n {
+                    return Err(StructureError::UnknownChild(c));
+                }
+                if c.index() == i {
+                    return Err(StructureError::SelfLoop(NodeId(i as u32)));
+                }
+                parent_count[c.index()] += 1;
+                if kind != StructureKind::Dag && parent_count[c.index()] > 1 {
+                    return Err(StructureError::MultipleParents { child: c, kind });
+                }
+            }
+        }
+        // Kahn's toposort over child→parent edges, draining ready nodes
+        // smallest-id-first: deterministic, and a no-op renumbering when
+        // the input already orders children before parents.
+        let mut pending: Vec<u32> = children.iter().map(|k| k.len() as u32).collect();
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&i| pending[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, kids) in children.iter().enumerate() {
+            for &c in kids {
+                parents[c.index()].push(i);
+            }
+        }
+        let mut old_to_new = vec![u32::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(i)) = ready.pop() {
+            old_to_new[i] = order.len() as u32;
+            order.push(i);
+            for &p in &parents[i] {
+                pending[p] -= 1;
+                if pending[p] == 0 {
+                    ready.push(std::cmp::Reverse(p));
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n).find(|&i| pending[i] > 0).unwrap_or(0);
+            return Err(StructureError::Cycle(NodeId(stuck as u32)));
+        }
+        let mut b = StructureBuilder::new(kind);
+        for &old in &order {
+            let kids: Vec<NodeId> = children[old]
+                .iter()
+                .map(|c| NodeId(old_to_new[c.index()]))
+                .collect();
+            if kids.is_empty() {
+                b.leaf(words[old]);
+            } else {
+                b.internal_with_word(&kids, words[old])?;
+            }
+        }
+        b.finish()
+    }
+
     /// The declared (and verified) structure kind.
     pub fn kind(&self) -> StructureKind {
         self.kind
@@ -284,14 +416,35 @@ impl RecStructure {
     ///
     /// # Panics
     ///
-    /// Panics if `parts` is empty or the kinds disagree.
+    /// Panics if `parts` is empty or the kinds disagree. Serving fronts
+    /// merging co-batched *requests* should use [`RecStructure::try_merge`],
+    /// which refuses instead.
     pub fn merge(parts: &[&RecStructure]) -> RecStructure {
-        let first = parts.first().expect("merge of at least one structure");
+        match Self::try_merge(parts) {
+            Ok(s) => s,
+            Err(e) => panic!("merge: {e}"),
+        }
+    }
+
+    /// Fallible [`merge`](RecStructure::merge): one request with a
+    /// mismatched kind must not bring down the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// [`StructureError::Empty`] if `parts` is empty,
+    /// [`StructureError::MixedKinds`] if the kinds disagree.
+    pub fn try_merge(parts: &[&RecStructure]) -> Result<RecStructure, StructureError> {
+        let first = match parts.first() {
+            Some(f) => f,
+            None => return Err(StructureError::Empty),
+        };
         let kind = first.kind;
-        assert!(
-            parts.iter().all(|p| p.kind == kind),
-            "cannot merge structures of mixed kinds"
-        );
+        if let Some(odd) = parts.iter().find(|p| p.kind != kind) {
+            return Err(StructureError::MixedKinds {
+                first: kind,
+                other: odd.kind,
+            });
+        }
         let mut children = Vec::new();
         let mut words = Vec::new();
         let mut heights = Vec::new();
@@ -313,14 +466,14 @@ impl RecStructure {
             max_children = max_children.max(part.max_children);
             base += part.num_nodes() as u32;
         }
-        RecStructure {
+        Ok(RecStructure {
             kind,
             children,
             words,
             heights,
             roots,
             max_children,
-        }
+        })
     }
 
     /// Post-order traversal from the roots (children before parents).
@@ -340,7 +493,9 @@ impl RecStructure {
             while let Some(&(node, next_child)) = stack.last() {
                 let kids = &self.children[node.index()];
                 if next_child < kids.len() {
-                    stack.last_mut().expect("stack non-empty").1 += 1;
+                    if let Some(top) = stack.last_mut() {
+                        top.1 += 1;
+                    }
                     let c = kids[next_child];
                     if !visited[c.index()] {
                         visited[c.index()] = true;
@@ -479,6 +634,117 @@ mod tests {
         // Second copy's children offsets are shifted.
         let order = f.post_order();
         assert_eq!(order.len(), 10);
+    }
+
+    #[test]
+    fn from_parts_accepts_topological_input_unchanged() {
+        let t = small_tree();
+        let children: Vec<Vec<NodeId>> = t.iter().map(|n| t.children(n).to_vec()).collect();
+        let words: Vec<u32> = t.iter().map(|n| t.word(n)).collect();
+        let rebuilt = RecStructure::from_parts(StructureKind::Tree, children, words).unwrap();
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn from_parts_renumbers_parent_first_input() {
+        // Root listed first: node 0 = root(1, 2), nodes 1 and 2 leaves.
+        let children = vec![vec![NodeId::new(1), NodeId::new(2)], vec![], vec![]];
+        let words = vec![9, 5, 6];
+        let t = RecStructure::from_parts(StructureKind::Tree, children, words).unwrap();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.roots().len(), 1);
+        assert_eq!(t.max_height(), 1);
+        // Root must now come after its children and keep its word.
+        let root = t.roots()[0];
+        assert_eq!(t.word(root), 9);
+        for &c in t.children(root) {
+            assert!(c.index() < root.index());
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_self_loop() {
+        let children = vec![vec![NodeId::new(0)]];
+        let err = RecStructure::from_parts(StructureKind::Dag, children, vec![0]).unwrap_err();
+        assert_eq!(err, StructureError::SelfLoop(NodeId::new(0)));
+    }
+
+    #[test]
+    fn from_parts_rejects_cycle() {
+        // 0 -> 1 -> 2 -> 0
+        let children = vec![
+            vec![NodeId::new(1)],
+            vec![NodeId::new(2)],
+            vec![NodeId::new(0)],
+        ];
+        let err =
+            RecStructure::from_parts(StructureKind::Dag, children, vec![0, 0, 0]).unwrap_err();
+        assert!(matches!(err, StructureError::Cycle(_)));
+    }
+
+    #[test]
+    fn from_parts_rejects_out_of_range_child() {
+        let children = vec![vec![NodeId::new(7)]];
+        let err = RecStructure::from_parts(StructureKind::Tree, children, vec![0]).unwrap_err();
+        assert_eq!(err, StructureError::UnknownChild(NodeId::new(7)));
+    }
+
+    #[test]
+    fn from_parts_rejects_length_mismatch() {
+        let children = vec![vec![], vec![]];
+        let err = RecStructure::from_parts(StructureKind::Tree, children, vec![0]).unwrap_err();
+        assert_eq!(
+            err,
+            StructureError::LengthMismatch {
+                children: 2,
+                words: 1
+            }
+        );
+    }
+
+    #[test]
+    fn from_parts_rejects_empty() {
+        let err = RecStructure::from_parts(StructureKind::Tree, vec![], vec![]).unwrap_err();
+        assert_eq!(err, StructureError::Empty);
+    }
+
+    #[test]
+    fn from_parts_enforces_kind_constraints() {
+        // Shared child in a Tree.
+        let children = vec![vec![], vec![NodeId::new(0)], vec![NodeId::new(0)]];
+        let err = RecStructure::from_parts(StructureKind::Tree, children.clone(), vec![0, 0, 0])
+            .unwrap_err();
+        assert!(matches!(err, StructureError::MultipleParents { .. }));
+        // Same shape is a valid DAG.
+        RecStructure::from_parts(StructureKind::Dag, children, vec![0, 0, 0]).unwrap();
+        // Fan-out in a Sequence.
+        let children = vec![vec![], vec![], vec![NodeId::new(0), NodeId::new(1)]];
+        let err =
+            RecStructure::from_parts(StructureKind::Sequence, children, vec![0, 0, 0]).unwrap_err();
+        assert!(matches!(err, StructureError::SequenceFanOut(_)));
+    }
+
+    #[test]
+    fn try_merge_rejects_empty_and_mixed_kinds() {
+        assert_eq!(
+            RecStructure::try_merge(&[]).unwrap_err(),
+            StructureError::Empty
+        );
+        let t = small_tree();
+        let mut b = StructureBuilder::new(StructureKind::Sequence);
+        let a = b.leaf(0);
+        b.internal(&[a]).unwrap();
+        let s = b.finish().unwrap();
+        assert_eq!(
+            RecStructure::try_merge(&[&t, &s]).unwrap_err(),
+            StructureError::MixedKinds {
+                first: StructureKind::Tree,
+                other: StructureKind::Sequence
+            }
+        );
+        // Agreement still merges.
+        let f = RecStructure::try_merge(&[&t, &t]).unwrap();
+        assert_eq!(f.num_nodes(), 10);
     }
 
     #[test]

@@ -83,6 +83,7 @@ use cortex_tensor::Tensor;
 
 mod clock;
 pub mod faults;
+pub mod fuzz;
 
 pub use clock::{Clock, MonotonicClock, TestClock};
 
@@ -104,6 +105,22 @@ pub enum ServeError {
     /// admit newer traffic (or was itself shed on arrival under
     /// [`WhenFull::ShedNewest`]).
     Shed,
+    /// Admission refused: the input failed the engine's untrusted-input
+    /// validation (arity over the lowered plan, size/depth over the
+    /// configured limits, non-finite parameters). No ticket was issued
+    /// and no co-batched request was touched.
+    InvalidInput {
+        /// The executor's intake error.
+        source: ExecError,
+    },
+    /// Admission refused: the plan-time memory estimate for this input
+    /// exceeds [`ExecOptions::memory_budget`]. No ticket was issued.
+    OverBudget {
+        /// Estimated bytes the run would need.
+        needed: u64,
+        /// The configured budget.
+        budget: u64,
+    },
     /// The engine returned a typed error executing this request.
     EngineFault {
         /// The executor's own error.
@@ -123,6 +140,15 @@ impl std::fmt::Display for ServeError {
             ServeError::QueueFull => write!(f, "admission queue is full"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
             ServeError::Shed => write!(f, "shed by the queue's when-full policy"),
+            ServeError::InvalidInput { source } => {
+                write!(f, "invalid input refused at admission: {source}")
+            }
+            ServeError::OverBudget { needed, budget } => {
+                write!(
+                    f,
+                    "over budget at admission: needs ~{needed} bytes, budget is {budget}"
+                )
+            }
             ServeError::EngineFault { source } => write!(f, "engine fault: {source}"),
             ServeError::Poisoned { message } => {
                 write!(f, "request poisoned its batch (contained panic: {message})")
@@ -134,7 +160,9 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ServeError::EngineFault { source } => Some(source),
+            ServeError::EngineFault { source } | ServeError::InvalidInput { source } => {
+                Some(source)
+            }
             _ => None,
         }
     }
@@ -265,9 +293,17 @@ pub struct ServeStats {
     /// Tickets issued (admitted requests, including shed-on-arrival).
     pub submitted: u64,
     /// Submissions refused without a ticket ([`ServeError::QueueFull`]
-    /// under [`WhenFull::Reject`], or a zero deadline budget at
-    /// admission).
+    /// under [`WhenFull::Reject`], a zero deadline budget, an invalid
+    /// input, or an over-budget input at admission).
     pub rejected: u64,
+    /// Submissions refused because the input failed untrusted-input
+    /// validation ([`ServeError::InvalidInput`]); also counted in
+    /// `rejected`.
+    pub rejected_invalid: u64,
+    /// Submissions refused because the plan-time memory estimate
+    /// exceeded the engine's budget ([`ServeError::OverBudget`]); also
+    /// counted in `rejected`.
+    pub over_budget: u64,
     /// Tickets resolved with a [`Response`].
     pub resolved_ok: u64,
     /// Tickets resolved with a [`ServeError`] (shed and deadline
@@ -466,6 +502,22 @@ impl<'p> Batcher<'p> {
         if deadline == Some(Duration::ZERO) {
             self.serve_stats.rejected += 1;
             return Err(ServeError::DeadlineExceeded);
+        }
+        // Untrusted-input validation at admission: a hostile or
+        // over-budget request is refused *here*, before it can co-batch
+        // with (and abort) healthy requests at flush time.
+        if let Err(source) = self.engine.validate_input(&lin) {
+            self.serve_stats.rejected += 1;
+            return Err(match source {
+                ExecError::OverBudget { needed, budget } => {
+                    self.serve_stats.over_budget += 1;
+                    ServeError::OverBudget { needed, budget }
+                }
+                source => {
+                    self.serve_stats.rejected_invalid += 1;
+                    ServeError::InvalidInput { source }
+                }
+            });
         }
         if self.queue.len() >= self.opts.queue_cap.max(1) {
             match self.opts.when_full {
@@ -1103,8 +1155,20 @@ mod tests {
             })
             .unwrap();
         let mut batcher = Batcher::new(&program, model.params.clone(), manual(2));
-        // Chunk 1: a grid DAG poisons it (unrolling a DAG is rejected).
-        let bad = batcher.submit(lin(&datasets::grid_dag(3, 3, 5))).unwrap();
+        // Chunk 1: a DAG poisons it (unrolling a DAG is rejected). A
+        // full-binary diamond, so it clears the plan's arity intake and
+        // only fails at engine time — the containment scenario.
+        let bad = {
+            use cortex_ds::{StructureBuilder, StructureKind};
+            let mut b = StructureBuilder::new(StructureKind::Dag);
+            let l0 = b.leaf(1);
+            let l1 = b.leaf(2);
+            let l2 = b.leaf(3);
+            let d0 = b.internal(&[l0, l1]).unwrap();
+            let d1 = b.internal(&[l1, l2]).unwrap();
+            b.internal(&[d0, d1]).unwrap();
+            batcher.submit(lin(&b.finish().unwrap())).unwrap()
+        };
         let innocent = batcher
             .submit(lin(&datasets::random_binary_tree(6, 9)))
             .unwrap();
