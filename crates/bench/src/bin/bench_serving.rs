@@ -50,6 +50,16 @@
 //! one-byte memory budget and proves the same traffic is served once
 //! the budget is lifted. Both are seeded and structural, never skipped.
 //!
+//! Schema v5 adds a `router` section: sharded-topology scenarios run
+//! through [`Router`] — hot-shard spill (exact spill/reject split on a
+//! primary/standby pair), failover after a shard kill (every queued leg
+//! moves without consuming retry budget), drain under a faulting shard
+//! (exactly one budgeted retry per victim, all served), and an
+//! adaptive-flush-depth comparison where the AIMD controller must miss
+//! no more deadlines than the fixed depth-16 baseline at
+//! equal-or-better throughput on the identical clocked arrival stream.
+//! All structural, never skipped.
+//!
 //! The wall-clock bars are intentionally below the issue's aspirational
 //! 2×/1.3×: that target assumed a per-wave-launch-bound sequential
 //! baseline, but PR 2's SIMD kernels plus this PR's shared parameter
@@ -75,7 +85,10 @@ use cortex_ds::{datasets, RecStructure};
 use cortex_models::{reference, seq, treelstm, LeafInit, Model};
 use cortex_rng::Rng;
 use cortex_serve::faults::{silence_injected_panics, FaultInjector};
-use cortex_serve::{Batcher, BatcherOptions, ServeStats, TestClock, WhenFull};
+use cortex_serve::{
+    AimdDepth, Batcher, BatcherOptions, Placement, RetryPolicy, Router, RouterOptions, RouterStats,
+    ServeStats, TestClock, WhenFull,
+};
 
 const QUEUE_DEPTHS: [usize; 4] = [1, 4, 16, 64];
 
@@ -568,6 +581,243 @@ fn robustness_scenarios() -> Vec<RobustnessRecord> {
     records
 }
 
+/// One router-topology scenario's outcome: the router's cumulative
+/// counters plus a deterministic structural verdict.
+struct RouterRecord {
+    scenario: &'static str,
+    stats: RouterStats,
+    ok: bool,
+}
+
+/// Quiet shard options for the router scenarios: nothing fires on its
+/// own, shards reject when full so overload crosses the topology.
+fn router_shard_opts() -> BatcherOptions {
+    BatcherOptions {
+        max_batch: 64,
+        max_delay: Duration::from_secs(3600),
+        queue_cap: 64,
+        when_full: WhenFull::Reject,
+        breaker_threshold: 0,
+        ..BatcherOptions::default()
+    }
+}
+
+/// One adaptive-depth serving run: 64 requests with a 20 ms budget
+/// arrive 2 ms apart against a single shard whose `max_delay` never
+/// fires — only the flush depth decides who makes the deadline. The
+/// fixed depth-16 baseline waits ~32 ms to fill and misses most of the
+/// stream; the AIMD controller halves the depth after the first missed
+/// window and serves it.
+fn run_adaptive(adaptive: Option<AimdDepth>) -> RouterStats {
+    let model = treelstm::tree_lstm(64, LeafInit::Embedding);
+    let program = model.lower(&RaSchedule::default()).expect("lowers");
+    let clock = TestClock::new();
+    let mut router = Router::new(RouterOptions {
+        adaptive_depth: adaptive,
+        ..RouterOptions::default()
+    })
+    .with_clock(Rc::new(clock.clone()));
+    let opts = BatcherOptions {
+        max_batch: 16,
+        queue_cap: 128,
+        ..router_shard_opts()
+    };
+    let id = router.add_model("treelstm", &program, &model.params, 1, opts);
+    let lin = |s: u64| -> Linearized {
+        Linearizer::new()
+            .linearize(&datasets::random_binary_tree(6, s))
+            .expect("linearizes")
+    };
+    for i in 0..64u64 {
+        let t = router
+            .submit_with_deadline(id, lin(i), Some(Duration::from_millis(20)))
+            .expect("admitted");
+        clock.advance(Duration::from_millis(2));
+        let _ = router.poll(t);
+    }
+    router.drain();
+    router.stats()
+}
+
+/// Runs the router-topology scenarios schema v5 gates on: hot-shard
+/// spill, failover after a shard kill, drain under a faulting shard,
+/// and the adaptive-flush-depth comparison against a fixed depth-16
+/// baseline. Every gate is structural (counter equalities) except the
+/// adaptive comparison, which is a deterministic dominance check
+/// (fewer-or-equal misses at equal-or-better throughput) — none depend
+/// on wall-clock, so they are always enforced.
+fn router_scenarios() -> Vec<RouterRecord> {
+    let model = treelstm::tree_lstm(64, LeafInit::Embedding);
+    let program = model.lower(&RaSchedule::default()).expect("lowers");
+    let lin = |leaves: usize, seed: u64| -> Linearized {
+        Linearizer::new()
+            .linearize(&datasets::random_binary_tree(leaves, seed))
+            .expect("linearizes")
+    };
+    let mut records = Vec::new();
+
+    // Scenario 1: hot-shard spill. A 12-request burst against a
+    // primary/spill pair with 4-slot queues: 4 land on the primary, 4
+    // spill to the standby, 4 are refused — and the split is exact.
+    {
+        let mut router = Router::new(RouterOptions {
+            placement: Placement::PrimarySpill,
+            adaptive_depth: None,
+            ..RouterOptions::default()
+        });
+        let opts = BatcherOptions {
+            queue_cap: 4,
+            ..router_shard_opts()
+        };
+        let id = router.add_model("treelstm", &program, &model.params, 2, opts);
+        let mut accepted = 0u64;
+        for s in 0..12u64 {
+            if router.submit(id, lin(6, s)).is_ok() {
+                accepted += 1;
+            }
+        }
+        let outcomes = router.drain();
+        let stats = router.stats();
+        let ok = accepted == 8
+            && stats.submitted == 8
+            && stats.rejected == 4
+            && stats.spills == 4
+            && stats.resolved_ok == 8
+            && stats.resolved_err == 0
+            && outcomes.len() as u64 == stats.submitted;
+        records.push(RouterRecord {
+            scenario: "hot_shard_spill",
+            stats,
+            ok,
+        });
+    }
+
+    // Scenario 2: failover after a shard kill. 8 requests queue on the
+    // primary; killing it drops the engine with the work still queued.
+    // Every leg moves to the standby without consuming retry budget and
+    // the full stream is served.
+    {
+        let mut router = Router::new(RouterOptions {
+            placement: Placement::PrimarySpill,
+            adaptive_depth: None,
+            ..RouterOptions::default()
+        });
+        let id = router.add_model("treelstm", &program, &model.params, 2, router_shard_opts());
+        for s in 0..8u64 {
+            router.submit(id, lin(6, s)).expect("admitted");
+        }
+        let killed = router.kill_shard(id, 0);
+        let outcomes = router.drain();
+        let stats = router.stats();
+        let ok = killed
+            && stats.shard_kills == 1
+            && stats.failovers == 8
+            && stats.retries == 0
+            && stats.resolved_ok == 8
+            && stats.resolved_err == 0
+            && outcomes.iter().all(|(_, o)| o.is_ok());
+        records.push(RouterRecord {
+            scenario: "retry_after_shard_kill",
+            stats,
+            ok,
+        });
+    }
+
+    // Scenario 3: drain under load with a faulting shard. 24 requests
+    // round-robin across 3 shards; shard 1 faults every launch (breaker
+    // disabled so it never self-heals). Its 8 victims each retry once
+    // onto a healthy sibling during the drain, and the whole stream is
+    // served — exactly 8 retries, none exhausted.
+    {
+        let mut router = Router::new(RouterOptions {
+            placement: Placement::RoundRobin,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(8),
+            },
+            adaptive_depth: None,
+            ..RouterOptions::default()
+        });
+        let id = router.add_model("treelstm", &program, &model.params, 3, router_shard_opts());
+        let (hook, _handle) = FaultInjector::new(9)
+            .always(FaultAction::Err)
+            .launches_only()
+            .into_hook();
+        assert!(router.set_shard_fault_hook(id, 1, Some(hook)));
+        for s in 0..24u64 {
+            router.submit(id, lin(6, s)).expect("admitted");
+        }
+        let outcomes = router.drain();
+        let stats = router.stats();
+        let ok = stats.submitted == 24
+            && stats.retries == 8
+            && stats.retries_exhausted == 0
+            && stats.resolved_ok == 24
+            && stats.resolved_err == 0
+            && outcomes.iter().all(|(_, o)| o.is_ok());
+        records.push(RouterRecord {
+            scenario: "drain_under_load",
+            stats,
+            ok,
+        });
+    }
+
+    // Scenario 4: adaptive flush depth. The same deadline-pressured
+    // stream through a fixed depth-16 shard and through the AIMD
+    // controller: adaptive must miss no more deadlines at
+    // equal-or-better throughput (served requests over the identical
+    // arrival window), and the baseline must actually be under pressure
+    // for the comparison to mean anything.
+    {
+        let fixed = run_adaptive(None);
+        let aimd = run_adaptive(Some(AimdDepth {
+            start: 16,
+            min: 1,
+            max: 64,
+            window: 4,
+        }));
+        let accounted = |s: &RouterStats| s.resolved_ok + s.resolved_err == s.submitted;
+        let ok = fixed.deadline_misses > 40
+            && aimd.deadline_misses <= fixed.deadline_misses
+            && aimd.resolved_ok >= fixed.resolved_ok
+            && aimd.depth_decreases >= 1
+            && accounted(&fixed)
+            && accounted(&aimd);
+        records.push(RouterRecord {
+            scenario: "adaptive_depth_fixed16",
+            stats: fixed,
+            ok,
+        });
+        records.push(RouterRecord {
+            scenario: "adaptive_depth_aimd",
+            stats: aimd,
+            ok,
+        });
+    }
+
+    for r in &records {
+        println!(
+            "router     {:<22} submitted={:<3} ok={:<3} err={:<3} rejected={:<3} \
+             spills={:<2} retries={:<2} failovers={:<2} kills={:<2} \
+             misses={:<3} depth-={:<2} -> {}",
+            r.scenario,
+            r.stats.submitted,
+            r.stats.resolved_ok,
+            r.stats.resolved_err,
+            r.stats.rejected,
+            r.stats.spills,
+            r.stats.retries,
+            r.stats.failovers,
+            r.stats.shard_kills,
+            r.stats.deadline_misses,
+            r.stats.depth_decreases,
+            if r.ok { "PASS" } else { "FAIL" },
+        );
+    }
+    records
+}
+
 fn bench_workload(
     bench: &str,
     model: &Model,
@@ -710,9 +960,10 @@ fn main() {
     }
 
     let robustness = robustness_scenarios();
+    let router = router_scenarios();
 
     let mut json =
-        String::from("{\n  \"schema\": \"cortex-bench-serving/v4\",\n  \"results\": [\n");
+        String::from("{\n  \"schema\": \"cortex-bench-serving/v5\",\n  \"results\": [\n");
     let mut first = true;
     for w in &workloads {
         for d in &w.depths {
@@ -773,6 +1024,37 @@ fn main() {
             r.ok
         );
     }
+    json.push_str("\n  ],\n  \"router\": [\n");
+    for (i, r) in router.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"scenario\": \"{}\", \"submitted\": {}, \"rejected\": {}, \
+             \"resolved_ok\": {}, \"resolved_err\": {}, \"spills\": {}, \
+             \"retries\": {}, \"retries_exhausted\": {}, \"failovers\": {}, \
+             \"shard_kills\": {}, \"deadline_misses\": {}, \"shed\": {}, \
+             \"hedges_launched\": {}, \"depth_increases\": {}, \
+             \"depth_decreases\": {}, \"ok\": {}}}",
+            r.scenario,
+            r.stats.submitted,
+            r.stats.rejected,
+            r.stats.resolved_ok,
+            r.stats.resolved_err,
+            r.stats.spills,
+            r.stats.retries,
+            r.stats.retries_exhausted,
+            r.stats.failovers,
+            r.stats.shard_kills,
+            r.stats.deadline_misses,
+            r.stats.shed,
+            r.stats.hedges_launched,
+            r.stats.depth_increases,
+            r.stats.depth_decreases,
+            r.ok
+        );
+    }
     json.push_str("\n  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
     println!("\nwrote {out_path}");
@@ -786,6 +1068,18 @@ fn main() {
             r.ok,
             "robustness: scenario {} failed its accounting gate \
              (shed + resolved must equal submitted, with the expected split)",
+            r.scenario
+        );
+    }
+    // Router-topology gates — structural and deterministic (counter
+    // equalities; the adaptive comparison is a dominance check on two
+    // runs of the same clocked stream), never skipped.
+    for r in &router {
+        assert!(
+            r.ok,
+            "router: scenario {} failed its structural gate \
+             (exact spill/retry/failover splits, every ticket resolved once, \
+             adaptive depth dominating the fixed baseline)",
             r.scenario
         );
     }

@@ -19,6 +19,14 @@ pub trait Clock {
     fn now(&self) -> Duration;
 }
 
+/// Shared handles read the same time: the [`Router`](crate::Router)
+/// hands one clock to every shard batcher this way.
+impl<C: Clock + ?Sized> Clock for Rc<C> {
+    fn now(&self) -> Duration {
+        (**self).now()
+    }
+}
+
 /// The production clock: wall time elapsed since construction.
 #[derive(Debug, Clone, Copy)]
 pub struct MonotonicClock(Instant);

@@ -75,6 +75,7 @@ impl SiteFilter {
 /// optional site filter, and an optional budget of fires.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
+    seed: u64,
     rng: Rng,
     p_err: f64,
     p_panic: f64,
@@ -86,6 +87,7 @@ impl FaultInjector {
     /// An injector that never fires (add rates or a target).
     pub fn new(seed: u64) -> Self {
         FaultInjector {
+            seed,
             rng: Rng::new(seed),
             p_err: 0.0,
             p_panic: 0.0,
@@ -143,11 +145,33 @@ impl FaultInjector {
         self
     }
 
+    /// Splits this fault plan into `n` independent per-shard hooks with
+    /// deterministically derived seeds: each shard of a
+    /// [`Router`](crate::Router) gets the same rates/filter/budget but
+    /// its own fault stream, so shard A's traffic never perturbs the
+    /// faults shard B sees — the router-level model-based suite depends
+    /// on that isolation for reproducibility across placements.
+    pub fn into_shard_hooks(self, n: usize) -> Vec<(FaultHook, FaultHandle)> {
+        (0..n)
+            .map(|i| {
+                let derived = self
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+                FaultInjector {
+                    rng: Rng::new(derived),
+                    ..self.clone()
+                }
+                .into_hook()
+            })
+            .collect()
+    }
+
     /// Builds the hook plus a counter handle the test keeps.
     pub fn into_hook(self) -> (FaultHook, FaultHandle) {
         let handle = FaultHandle::default();
         let counters = handle.clone();
         let FaultInjector {
+            seed: _,
             mut rng,
             p_err,
             p_panic,

@@ -84,8 +84,16 @@ use cortex_tensor::Tensor;
 mod clock;
 pub mod faults;
 pub mod fuzz;
+pub mod health;
+pub mod retry;
+pub mod router;
 
 pub use clock::{Clock, MonotonicClock, TestClock};
+pub use health::{BreakerState, HealthPolicy, HealthSnapshot};
+pub use retry::RetryPolicy;
+pub use router::{
+    AimdDepth, HedgePolicy, ModelId, Placement, Router, RouterOptions, RouterStats, RouterTicket,
+};
 
 // ---------------------------------------------------------------------
 // Typed errors
@@ -132,6 +140,27 @@ pub enum ServeError {
         /// The contained panic's message.
         message: String,
     },
+    /// The ticket did fail, but its stored error was dropped by the
+    /// bounded failed-set retention ([`FAILED_RETENTION_CAP`]) before
+    /// anyone polled it. Distinguishable from "still queued"
+    /// (`Ok(None)`): the request is definitively over, its original
+    /// error is gone. Counted in [`ServeStats::failed_dropped`] at drop
+    /// time.
+    ResultExpired,
+    /// Every dispatch the [`RetryPolicy`] allowed has failed; `last` is
+    /// the final attempt's own error. Raised by the [`Router`] only —
+    /// a lone [`Batcher`] never retries.
+    RetriesExhausted {
+        /// Dispatch attempts made (initial dispatch included).
+        attempts: u32,
+        /// The last attempt's error.
+        last: Box<ServeError>,
+    },
+    /// No shard of the requested model is alive to take the request
+    /// (every sibling was killed). Raised by the [`Router`] only.
+    Unavailable,
+    /// The [`Router`] has been shut down and admits nothing new.
+    Draining,
 }
 
 impl std::fmt::Display for ServeError {
@@ -153,6 +182,14 @@ impl std::fmt::Display for ServeError {
             ServeError::Poisoned { message } => {
                 write!(f, "request poisoned its batch (contained panic: {message})")
             }
+            ServeError::ResultExpired => {
+                write!(f, "failed result dropped by bounded retention before poll")
+            }
+            ServeError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+            ServeError::Unavailable => write!(f, "no alive shard can take this request"),
+            ServeError::Draining => write!(f, "router is draining; admission closed"),
         }
     }
 }
@@ -163,6 +200,7 @@ impl std::error::Error for ServeError {
             ServeError::EngineFault { source } | ServeError::InvalidInput { source } => {
                 Some(source)
             }
+            ServeError::RetriesExhausted { last, .. } => Some(&**last),
             _ => None,
         }
     }
@@ -321,6 +359,12 @@ pub struct ServeStats {
     pub degraded_runs: u64,
     /// Engine panics contained by the serving layer.
     pub panics_contained: u64,
+    /// Failed tickets whose stored error was dropped by the bounded
+    /// retention policy ([`FAILED_RETENTION_CAP`]) before being polled.
+    /// Their later polls read [`ServeError::ResultExpired`]. Already
+    /// counted in `resolved_err` at resolution time — this counter only
+    /// witnesses the loss of the error *detail*.
+    pub failed_dropped: u64,
 }
 
 struct PendingRequest {
@@ -335,10 +379,20 @@ struct PendingRequest {
 /// How many failed tickets a [`Batcher`] retains for error reporting.
 /// A caller that drops tickets without ever polling them must not make
 /// the batcher grow without bound, so failures beyond this are dropped
-/// oldest-first (their polls then report "still queued" — `Ok(None)` —
-/// like any unknown ticket). The [`ServeStats`] resolution counters are
-/// recorded before the drop, so the accounting invariant survives.
+/// oldest-first. A dropped ticket's first poll reports
+/// [`ServeError::ResultExpired`] (the failure happened; its detail is
+/// gone) and increments [`ServeStats::failed_dropped`] at drop time.
+/// The [`ServeStats`] resolution counters are recorded before the drop,
+/// so the accounting invariant survives.
 pub const FAILED_RETENTION_CAP: usize = 1024;
+
+/// How many *dropped* failed tickets a [`Batcher`] remembers so their
+/// polls can report [`ServeError::ResultExpired`] instead of reading as
+/// unknown. Ticket ids are 8 bytes each, so this tail is cheap; beyond
+/// it the oldest expirations are forgotten entirely (their polls read
+/// `Ok(None)`, the pre-fix behavior, and `failed_dropped` still counts
+/// them).
+pub const EXPIRED_RETENTION_CAP: usize = 4 * FAILED_RETENTION_CAP;
 
 /// The outcome of one guarded engine execution of a chunk.
 enum ChunkOutcome {
@@ -389,6 +443,14 @@ pub struct Batcher<'p> {
     /// already polled out of `failed`; compacted when it outgrows
     /// `2 × FAILED_RETENTION_CAP`.
     failed_order: VecDeque<u64>,
+    /// Tickets whose failure was dropped by the retention cap before
+    /// being polled: their next poll reads
+    /// [`ServeError::ResultExpired`]. Bounded by
+    /// [`EXPIRED_RETENTION_CAP`], oldest forgotten first.
+    expired: std::collections::HashSet<u64>,
+    /// Insertion order of `expired` (oldest first). May transiently
+    /// hold already-polled tickets; compacted like `failed_order`.
+    expired_order: VecDeque<u64>,
     next_ticket: u64,
     flushes: u64,
     serve_stats: ServeStats,
@@ -421,6 +483,8 @@ impl<'p> Batcher<'p> {
             ready: HashMap::new(),
             failed: HashMap::new(),
             failed_order: VecDeque::new(),
+            expired: std::collections::HashSet::new(),
+            expired_order: VecDeque::new(),
             next_ticket: 0,
             flushes: 0,
             serve_stats: ServeStats::default(),
@@ -568,12 +632,11 @@ impl<'p> Batcher<'p> {
     /// in ticket order. After `drain` the batcher is empty: no request
     /// is left pending, ready, or failed.
     ///
-    /// Tracked is the same notion [`Batcher::poll`] sees: failures
-    /// beyond [`FAILED_RETENTION_CAP`] were already dropped
-    /// oldest-first at flush time, so a burst with more than the cap's
-    /// worth of *failing* requests resolves only the retained ones here
-    /// (the dropped tickets read as unknown, exactly as their `poll`
-    /// would). Successful responses are never dropped.
+    /// Tracked is the same notion [`Batcher::poll`] sees: a failure
+    /// dropped by the [`FAILED_RETENTION_CAP`] retention policy resolves
+    /// here as [`ServeError::ResultExpired`] (while the
+    /// [`EXPIRED_RETENTION_CAP`] tail remembers it), exactly as its
+    /// `poll` would. Successful responses are never dropped.
     pub fn drain(&mut self) -> Vec<(Ticket, Result<Response, ServeError>)> {
         self.flush();
         let mut out: Vec<(Ticket, Result<Response, ServeError>)> = self
@@ -581,8 +644,14 @@ impl<'p> Batcher<'p> {
             .drain()
             .map(|(t, r)| (Ticket(t), Ok(r)))
             .chain(self.failed.drain().map(|(t, e)| (Ticket(t), Err(e))))
+            .chain(
+                self.expired
+                    .drain()
+                    .map(|t| (Ticket(t), Err(ServeError::ResultExpired))),
+            )
             .collect();
         self.failed_order.clear();
+        self.expired_order.clear();
         out.sort_by_key(|(t, _)| *t);
         out
     }
@@ -608,6 +677,9 @@ impl<'p> Batcher<'p> {
         if let Some(e) = self.failed.remove(&ticket.0) {
             return Err(e);
         }
+        if self.expired.remove(&ticket.0) {
+            return Err(ServeError::ResultExpired);
+        }
         let now = self.clock.now();
         self.expire_due(now);
         if self
@@ -619,6 +691,9 @@ impl<'p> Batcher<'p> {
         }
         if let Some(e) = self.failed.remove(&ticket.0) {
             return Err(e);
+        }
+        if self.expired.remove(&ticket.0) {
+            return Err(ServeError::ResultExpired);
         }
         Ok(self.ready.remove(&ticket.0))
     }
@@ -815,7 +890,10 @@ impl<'p> Batcher<'p> {
         while self.failed.len() > FAILED_RETENTION_CAP {
             match self.failed_order.pop_front() {
                 Some(t) => {
-                    self.failed.remove(&t);
+                    if self.failed.remove(&t).is_some() {
+                        self.serve_stats.failed_dropped += 1;
+                        self.note_expired(t);
+                    }
                 }
                 None => break,
             }
@@ -826,6 +904,26 @@ impl<'p> Batcher<'p> {
         if self.failed_order.len() > 2 * FAILED_RETENTION_CAP {
             let failed = &self.failed;
             self.failed_order.retain(|t| failed.contains_key(t));
+        }
+    }
+
+    /// Remembers a retention-dropped ticket so its poll can report
+    /// [`ServeError::ResultExpired`], under its own (larger) bound.
+    fn note_expired(&mut self, ticket: u64) {
+        if self.expired.insert(ticket) {
+            self.expired_order.push_back(ticket);
+        }
+        while self.expired.len() > EXPIRED_RETENTION_CAP {
+            match self.expired_order.pop_front() {
+                Some(t) => {
+                    self.expired.remove(&t);
+                }
+                None => break,
+            }
+        }
+        if self.expired_order.len() > 2 * EXPIRED_RETENTION_CAP {
+            let expired = &self.expired;
+            self.expired_order.retain(|t| expired.contains(t));
         }
     }
 
@@ -874,6 +972,47 @@ impl<'p> Batcher<'p> {
     /// How many merged executions have run.
     pub fn flushes(&self) -> u64 {
         self.flushes
+    }
+
+    /// The circuit breaker's externally observable state: `Open` while
+    /// the engine is held on the degraded `interp` path, `HalfOpen` when
+    /// one more consecutive plan-path fault would trip it (including
+    /// the probe window right after a reset), `Closed` otherwise. The
+    /// [`Router`] feeds its health-aware placement with this.
+    pub fn breaker_state(&self) -> BreakerState {
+        if self.degraded_until.is_some() {
+            BreakerState::Open
+        } else if self.opts.breaker_threshold > 0
+            && self.consecutive_faults > 0
+            && self.consecutive_faults + 1 >= self.opts.breaker_threshold
+        {
+            BreakerState::HalfOpen
+        } else {
+            BreakerState::Closed
+        }
+    }
+
+    /// The current flush depth ([`BatcherOptions::max_batch`]) — live,
+    /// because [`Batcher::set_max_batch`] can retune it.
+    pub fn max_batch(&self) -> usize {
+        self.opts.max_batch
+    }
+
+    /// Retunes the flush depth at runtime (the [`Router`]'s AIMD
+    /// adaptive-depth controller drives this). Clamped to ≥ 1; if the
+    /// queue already holds the new depth, it flushes immediately —
+    /// exactly as if the requests had arrived under it.
+    pub fn set_max_batch(&mut self, depth: usize) {
+        self.opts.max_batch = depth.max(1);
+        if self.queue.len() >= self.opts.max_batch {
+            self.flush();
+        }
+    }
+
+    /// The batcher's current policy options (admission, flush, deadline,
+    /// breaker), reflecting any live [`Batcher::set_max_batch`] retune.
+    pub fn options(&self) -> BatcherOptions {
+        self.opts
     }
 }
 
@@ -1132,12 +1271,56 @@ mod tests {
             "retention is capped"
         );
         assert_eq!(batcher.len(), FAILED_RETENTION_CAP);
-        // The newest failure is still reportable; the oldest was dropped
-        // (its poll reads as unknown/still-queued, not an error).
-        assert!(batcher.poll(last.unwrap()).is_err());
-        assert!(batcher.poll(first.unwrap()).unwrap().is_none());
-        // Resolution counters recorded every ticket before the drops.
+        // The newest failure is still reportable with its own error; the
+        // oldest was dropped, which its poll must *observe* — once — as
+        // ResultExpired rather than reading as still-queued.
+        assert!(matches!(
+            batcher.poll(last.unwrap()),
+            Err(ServeError::EngineFault { .. })
+        ));
+        assert_eq!(batcher.poll(first.unwrap()), Err(ServeError::ResultExpired));
+        assert!(
+            batcher.poll(first.unwrap()).unwrap().is_none(),
+            "the expiration reports exactly once"
+        );
+        // Resolution counters recorded every ticket before the drops,
+        // and the drops themselves are counted.
         assert_eq!(batcher.serve_stats().resolved_err, total as u64);
+        assert_eq!(batcher.serve_stats().failed_dropped, 40);
+    }
+
+    #[test]
+    fn dropped_failures_surface_result_expired_in_drain_too() {
+        // Regression for the silent-loss bug: a retention-dropped ticket
+        // must be distinguishable from an unknown one in *every*
+        // reporting path — drain included.
+        let model = treelstm::tree_lstm(3, LeafInit::Zero);
+        let program = model.lower(&RaSchedule::default()).unwrap();
+        let mut batcher = Batcher::new(
+            &program,
+            cortex_backend::params::Params::new(), // nothing bound: all flushes fail
+            manual(1),
+        );
+        let structure = datasets::random_binary_tree(3, 1);
+        let mut tickets = Vec::new();
+        for _ in 0..FAILED_RETENTION_CAP + 3 {
+            tickets.push(batcher.submit(lin(&structure)).unwrap());
+        }
+        assert_eq!(batcher.serve_stats().failed_dropped, 3);
+        let results: HashMap<Ticket, Result<Response, ServeError>> =
+            batcher.drain().into_iter().collect();
+        assert_eq!(results.len(), tickets.len(), "drain reports every ticket");
+        for (i, t) in tickets.iter().enumerate() {
+            match &results[t] {
+                Err(ServeError::ResultExpired) => {
+                    assert!(i < 3, "only the dropped oldest expire")
+                }
+                Err(ServeError::EngineFault { .. }) => assert!(i >= 3),
+                other => panic!("unexpected outcome for ticket {i}: {other:?}"),
+            }
+        }
+        assert!(batcher.is_empty(), "drain clears the expired tail too");
+        assert!(batcher.poll(tickets[0]).unwrap().is_none());
     }
 
     #[test]
@@ -1629,5 +1812,20 @@ mod tests {
         assert!(ServeError::DeadlineExceeded
             .to_string()
             .contains("deadline"));
+        let exhausted = ServeError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(ServeError::Poisoned {
+                message: "boom".into(),
+            }),
+        };
+        assert!(exhausted.to_string().contains("3 attempts"));
+        assert!(exhausted.to_string().contains("boom"));
+        assert!(
+            std::error::Error::source(&exhausted).is_some(),
+            "the last attempt's error chains as the source"
+        );
+        assert!(ServeError::ResultExpired.to_string().contains("retention"));
+        assert!(ServeError::Unavailable.to_string().contains("alive"));
+        assert!(ServeError::Draining.to_string().contains("draining"));
     }
 }

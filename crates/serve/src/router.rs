@@ -1,0 +1,1100 @@
+//! A sharded, multi-model serving router over [`Batcher`] shards.
+//!
+//! One [`Router`] owns a registry of models; each model is served by a
+//! vector of [`Batcher`] shards (one engine each). On top of the
+//! single-queue robustness substrate the shards provide, the router
+//! adds the *topology*-level behaviors a production front needs:
+//!
+//! * **Health-aware placement** — a [`Placement`] strategy
+//!   (deterministic least-loaded, power-of-two-choices, round-robin,
+//!   or primary-with-spill) picks among *healthy* shards: alive,
+//!   breaker not [`BreakerState::Open`], rolling error rate within the
+//!   [`HealthPolicy`]. A shard refusing with
+//!   [`ServeError::QueueFull`] spills to the next sibling instead of
+//!   bouncing the caller.
+//! * **Budgeted retries** — a leg that fails with a fault-shaped error
+//!   ([`ServeError::EngineFault`], [`ServeError::Poisoned`],
+//!   [`ServeError::ResultExpired`]) is re-dispatched to a healthy
+//!   sibling under the [`RetryPolicy`]'s deterministic backoff;
+//!   exhaustion resolves [`ServeError::RetriesExhausted`].
+//! * **Hedged dispatch** — with a [`HedgePolicy`], a deadline-carrying
+//!   request still unresolved after the hedge delay is duplicated to a
+//!   second shard; the first result wins. Because shard execution is
+//!   bit-identical to a solo run, the winner provably does not matter
+//!   (the placement-independence suite asserts it).
+//! * **Failover** — killing a shard ([`Router::kill_shard`]) moves its
+//!   outstanding legs to live siblings *without* consuming retry
+//!   budget; a request only resolves [`ServeError::Unavailable`] when
+//!   no shard of its model is left alive.
+//! * **Graceful lifecycle** — [`Router::drain`] resolves every
+//!   outstanding ticket (flushing and retrying as needed);
+//!   [`Router::shutdown`] does the same under a wall budget and sheds
+//!   the remainder as typed [`ServeError::Shed`] outcomes. No ticket is
+//!   ever lost either way.
+//! * **Adaptive flush depth** — an [`AimdDepth`] controller retunes
+//!   each shard's `max_batch` from its observed deadline-miss rate:
+//!   additive increase while misses stay at zero, multiplicative
+//!   decrease the moment a window sees one. The depth-16 constant the
+//!   bench curve questioned becomes a live tradeoff.
+//!
+//! Determinism is load-bearing everywhere: placement draws come from a
+//! seeded in-repo RNG, backoff is computed (never slept) on the
+//! injected [`Clock`], and shard outputs are bit-identical to solo
+//! runs — so the router-level model-based suite can assert
+//! exactly-once resolution *and* bitwise-equal survivors across
+//! arbitrary fault/kill interleavings.
+//!
+//! [`BreakerState::Open`]: crate::BreakerState::Open
+//! [`ServeError::QueueFull`]: crate::ServeError::QueueFull
+//! [`ServeError::EngineFault`]: crate::ServeError::EngineFault
+//! [`ServeError::Poisoned`]: crate::ServeError::Poisoned
+//! [`ServeError::ResultExpired`]: crate::ServeError::ResultExpired
+//! [`ServeError::RetriesExhausted`]: crate::ServeError::RetriesExhausted
+//! [`ServeError::Unavailable`]: crate::ServeError::Unavailable
+//! [`ServeError::Shed`]: crate::ServeError::Shed
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use cortex_backend::exec::FaultHook;
+use cortex_backend::params::Params;
+use cortex_core::ilir::IlirProgram;
+use cortex_ds::linearizer::Linearized;
+use cortex_rng::Rng;
+
+use crate::health::{BreakerState, HealthPolicy, HealthSnapshot, RollingWindow};
+use crate::retry::RetryPolicy;
+use crate::{
+    Batcher, BatcherOptions, Clock, MonotonicClock, Response, ServeError, ServeStats, Ticket,
+};
+
+/// Handle to a model registered with [`Router::add_model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelId(pub(crate) usize);
+
+/// Handle to one request submitted to the [`Router`] (distinct from
+/// the per-shard [`Ticket`]s its legs hold internally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouterTicket(pub(crate) u64);
+
+/// How the router places a request on one of its model's shards. Every
+/// strategy is deterministic (power-of-two draws from the router's
+/// seeded RNG) and consults shard health first; a placed shard that
+/// refuses with [`ServeError::QueueFull`] spills to the next candidate
+/// in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// The healthy shard with the fewest queued requests; ties break
+    /// toward the lowest shard index.
+    LeastLoaded,
+    /// Power-of-two-choices: draw two distinct healthy shards from the
+    /// seeded RNG, keep the less loaded. O(1) decision cost with
+    /// near-least-loaded balance — the classic serving tradeoff.
+    PowerOfTwo,
+    /// Strict rotation over the healthy shards.
+    RoundRobin,
+    /// Always the lowest-indexed healthy shard, spilling rightward only
+    /// on [`ServeError::QueueFull`] — the primary/standby topology.
+    PrimarySpill,
+}
+
+/// When to duplicate a request to a second shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgePolicy {
+    /// How long a *deadline-carrying* request may stay unresolved after
+    /// its latest dispatch before a duplicate leg is sent to a
+    /// different shard. First leg to resolve wins; the loser is
+    /// discarded (its result, bit-identical anyway, is dropped).
+    pub delay: Duration,
+}
+
+/// AIMD controller for a shard's flush depth (`max_batch`): every
+/// `window` resolutions, halve the depth if the window saw a deadline
+/// miss, else grow it by one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AimdDepth {
+    /// Depth each shard starts at (overrides the shard's
+    /// [`BatcherOptions::max_batch`]).
+    pub start: usize,
+    /// Floor of the multiplicative decrease.
+    pub min: usize,
+    /// Ceiling of the additive increase.
+    pub max: usize,
+    /// How many shard resolutions make one observation window.
+    pub window: u32,
+}
+
+impl Default for AimdDepth {
+    fn default() -> Self {
+        AimdDepth {
+            start: 16,
+            min: 1,
+            max: 64,
+            window: 8,
+        }
+    }
+}
+
+/// Topology-level policy of a [`Router`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterOptions {
+    /// Shard selection strategy.
+    pub placement: Placement,
+    /// Seed for the placement RNG (power-of-two draws).
+    pub seed: u64,
+    /// Retry budget and backoff for fault-shaped leg failures.
+    pub retry: RetryPolicy,
+    /// Hedged dispatch for deadline-carrying requests (`None` = off).
+    pub hedge: Option<HedgePolicy>,
+    /// Adaptive per-shard flush depth (`None` = shards keep their
+    /// configured fixed `max_batch`).
+    pub adaptive_depth: Option<AimdDepth>,
+    /// What "healthy" means for placement.
+    pub health: HealthPolicy,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            placement: Placement::LeastLoaded,
+            seed: 0,
+            retry: RetryPolicy::default(),
+            hedge: None,
+            adaptive_depth: Some(AimdDepth::default()),
+            health: HealthPolicy::default(),
+        }
+    }
+}
+
+/// Topology-level counters of a [`Router`], cumulative over its
+/// lifetime. The router-level accounting invariant:
+/// `submitted == resolved_ok + resolved_err + pending()` at every
+/// quiescent point (after [`Router::drain`] / [`Router::shutdown`],
+/// `pending() == 0`). Retries, failovers and hedges are *legs* of one
+/// ticket — they never double-count a resolution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Router tickets issued.
+    pub submitted: u64,
+    /// Submissions refused without a ticket (every shard full, invalid
+    /// input, zero deadline, draining, model dead).
+    pub rejected: u64,
+    /// Tickets resolved with a [`Response`].
+    pub resolved_ok: u64,
+    /// Tickets resolved with a [`ServeError`].
+    pub resolved_err: u64,
+    /// Tickets resolved [`ServeError::Shed`] (shutdown remainder).
+    pub shed: u64,
+    /// Tickets resolved [`ServeError::DeadlineExceeded`] at the router
+    /// level (shard-level misses roll up here too: the leg's miss is
+    /// the ticket's outcome unless a retry rescues it).
+    pub deadline_misses: u64,
+    /// Re-dispatches after fault-shaped leg failures (consumes
+    /// [`RetryPolicy`] budget).
+    pub retries: u64,
+    /// Tickets that resolved [`ServeError::RetriesExhausted`].
+    pub retries_exhausted: u64,
+    /// Dispatches that landed on a non-first-choice shard because the
+    /// preferred shard was at queue cap.
+    pub spills: u64,
+    /// Duplicate legs launched by the hedge policy.
+    pub hedges_launched: u64,
+    /// Tickets whose *hedge* leg produced the winning response.
+    pub hedges_won: u64,
+    /// Legs moved off a killed shard without consuming retry budget.
+    pub failovers: u64,
+    /// Shards killed via [`Router::kill_shard`].
+    pub shard_kills: u64,
+    /// AIMD depth increases applied across all shards.
+    pub depth_increases: u64,
+    /// AIMD depth decreases applied across all shards.
+    pub depth_decreases: u64,
+}
+
+/// One dispatched copy of a request on a specific shard.
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    shard: usize,
+    /// The shard's generation id — a leg whose uid mismatches found its
+    /// shard killed (indices are reused, uids never).
+    uid: u64,
+    ticket: Ticket,
+}
+
+/// What polling a leg found.
+enum LegPoll {
+    Pending,
+    Done(Box<Result<Response, ServeError>>),
+    ShardDead,
+}
+
+/// A leg whose router ticket already resolved (hedge loser, or a leg
+/// superseded by failover) — polled until its shard-level ticket
+/// resolves, then discarded.
+struct Orphan {
+    model: usize,
+    leg: Leg,
+}
+
+/// Router-side state of one in-flight ticket.
+struct InFlight {
+    model: ModelId,
+    input: Linearized,
+    /// Absolute clock time after which the ticket must not execute.
+    deadline: Option<Duration>,
+    /// When the latest primary leg was dispatched (hedge timer).
+    dispatched_at: Duration,
+    /// Primary dispatches made (retry budget consumed). Hedges and
+    /// failovers are free.
+    attempts: u32,
+    /// Consecutive re-dispatch attempts that found every shard full.
+    redispatch_stalls: u32,
+    /// The next re-dispatch is a failover (shard died under the leg):
+    /// it does not consume retry budget.
+    free_redispatch: bool,
+    primary: Option<Leg>,
+    hedge: Option<Leg>,
+    /// Absolute clock time the scheduled re-dispatch becomes due.
+    retry_due: Option<Duration>,
+    /// The most recent leg failure (reported by
+    /// [`ServeError::RetriesExhausted`] on exhaustion).
+    last_err: Option<ServeError>,
+    /// Where the last failed leg ran — re-dispatch avoids it when any
+    /// alternative exists.
+    last_shard: Option<usize>,
+}
+
+struct Shard<'p> {
+    /// Generation id, unique across the router's lifetime.
+    uid: u64,
+    /// `None` = killed. The slot stays so shard indices are stable.
+    batcher: Option<Batcher<'p>>,
+    /// Router-observed leg outcomes (faults only), for placement.
+    window: RollingWindow,
+    /// Live flush depth (mirrors the batcher's `max_batch`).
+    depth: usize,
+    /// AIMD snapshot: shard resolutions at the last window boundary.
+    aimd_total: u64,
+    /// AIMD snapshot: shard deadline misses at the last boundary.
+    aimd_misses: u64,
+}
+
+struct ModelEntry<'p> {
+    name: String,
+    shard_opts: BatcherOptions,
+    shards: Vec<Shard<'p>>,
+    /// Round-robin cursor.
+    rr: usize,
+}
+
+/// A multi-model registry of [`Batcher`] shards with health-aware
+/// dispatch, budgeted retries, hedging, failover and a graceful
+/// lifecycle. See the [module docs](self) for the full semantics.
+pub struct Router<'p> {
+    opts: RouterOptions,
+    clock: Rc<dyn Clock>,
+    rng: Rng,
+    models: Vec<ModelEntry<'p>>,
+    in_flight: HashMap<u64, InFlight>,
+    /// Resolved-but-unclaimed outcomes ([`Router::poll`] removes).
+    done: HashMap<u64, Result<Response, ServeError>>,
+    orphans: Vec<Orphan>,
+    next_ticket: u64,
+    next_shard_uid: u64,
+    stats: RouterStats,
+    draining: bool,
+}
+
+/// Fault-shaped errors: the leg's *execution* failed in a way a
+/// different shard might not reproduce — retry-eligible.
+fn is_fault(e: &ServeError) -> bool {
+    matches!(
+        e,
+        ServeError::EngineFault { .. } | ServeError::Poisoned { .. } | ServeError::ResultExpired
+    )
+}
+
+impl<'p> Router<'p> {
+    /// An empty router (no models yet) under `opts`, on the production
+    /// clock.
+    pub fn new(opts: RouterOptions) -> Self {
+        Router {
+            rng: Rng::new(opts.seed),
+            opts,
+            clock: Rc::new(MonotonicClock::new()),
+            models: Vec::new(),
+            in_flight: HashMap::new(),
+            done: HashMap::new(),
+            orphans: Vec::new(),
+            next_ticket: 0,
+            next_shard_uid: 0,
+            stats: RouterStats::default(),
+            draining: false,
+        }
+    }
+
+    /// Replaces the time source (builder-style) — every shard batcher
+    /// added *afterwards* shares it. Call before [`Router::add_model`].
+    pub fn with_clock(mut self, clock: Rc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Registers a model served by `shards` identical [`Batcher`]
+    /// shards (one engine each), returning its handle. When adaptive
+    /// depth is on, [`AimdDepth::start`] overrides
+    /// `shard_opts.max_batch`.
+    pub fn add_model(
+        &mut self,
+        name: &str,
+        program: &'p IlirProgram,
+        params: &Params,
+        shards: usize,
+        mut shard_opts: BatcherOptions,
+    ) -> ModelId {
+        assert!(shards >= 1, "a model needs at least one shard");
+        if let Some(aimd) = self.opts.adaptive_depth {
+            shard_opts.max_batch = aimd.start.clamp(aimd.min.max(1), aimd.max.max(1));
+        }
+        let mut entry = ModelEntry {
+            name: name.to_string(),
+            shard_opts,
+            shards: Vec::with_capacity(shards),
+            rr: 0,
+        };
+        for _ in 0..shards {
+            let uid = self.next_shard_uid;
+            self.next_shard_uid += 1;
+            let batcher =
+                Batcher::new(program, params.clone(), shard_opts).with_clock(self.clock.clone());
+            entry.shards.push(Shard {
+                uid,
+                batcher: Some(batcher),
+                window: RollingWindow::new(self.opts.health.window),
+                depth: shard_opts.max_batch,
+                aimd_total: 0,
+                aimd_misses: 0,
+            });
+        }
+        self.models.push(entry);
+        ModelId(self.models.len() - 1)
+    }
+
+    /// Looks a registered model up by name.
+    pub fn model(&self, name: &str) -> Option<ModelId> {
+        self.models.iter().position(|m| m.name == name).map(ModelId)
+    }
+
+    /// Submits a request for `model` under the model's default deadline
+    /// policy ([`BatcherOptions::deadline`] of its shards).
+    ///
+    /// # Errors
+    ///
+    /// Admission refusals only — see [`Router::submit_with_deadline`].
+    pub fn submit(
+        &mut self,
+        model: ModelId,
+        input: Linearized,
+    ) -> Result<RouterTicket, ServeError> {
+        let default = self.models.get(model.0).and_then(|m| m.shard_opts.deadline);
+        self.submit_with_deadline(model, input, default)
+    }
+
+    /// Submits a request with an explicit deadline budget (`None` = no
+    /// deadline), placing it on a healthy shard and spilling on
+    /// [`ServeError::QueueFull`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Draining`] after [`Router::shutdown`],
+    /// [`ServeError::DeadlineExceeded`] for a zero budget,
+    /// [`ServeError::Unavailable`] when every shard of the model is
+    /// dead, [`ServeError::QueueFull`] when every candidate shard is at
+    /// cap, and the shard's own admission refusals
+    /// ([`ServeError::InvalidInput`], [`ServeError::OverBudget`]). No
+    /// ticket is issued on any of these. Execution failures resolve per
+    /// ticket through [`Router::poll`] / [`Router::drain`].
+    pub fn submit_with_deadline(
+        &mut self,
+        model: ModelId,
+        input: Linearized,
+        budget: Option<Duration>,
+    ) -> Result<RouterTicket, ServeError> {
+        assert!(model.0 < self.models.len(), "unknown model id");
+        if self.draining {
+            self.stats.rejected += 1;
+            return Err(ServeError::Draining);
+        }
+        if budget == Some(Duration::ZERO) {
+            self.stats.rejected += 1;
+            return Err(ServeError::DeadlineExceeded);
+        }
+        let now = self.clock.now();
+        match self.dispatch(model.0, &input, budget, None, false, true) {
+            Ok(leg) => {
+                let rt = self.next_ticket;
+                self.next_ticket += 1;
+                self.stats.submitted += 1;
+                self.in_flight.insert(
+                    rt,
+                    InFlight {
+                        model,
+                        input,
+                        deadline: budget.map(|b| now + b),
+                        dispatched_at: now,
+                        attempts: 1,
+                        redispatch_stalls: 0,
+                        free_redispatch: false,
+                        last_shard: Some(leg.shard),
+                        primary: Some(leg),
+                        hedge: None,
+                        retry_due: None,
+                        last_err: None,
+                    },
+                );
+                Ok(RouterTicket(rt))
+            }
+            Err(e) => {
+                self.stats.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Retrieves a finished outcome, driving the whole topology one
+    /// step: leg polls (which drive each shard's own flush/deadline
+    /// policies), retries, failovers, hedge launches, and the AIMD
+    /// depth controller.
+    ///
+    /// Returns `Ok(None)` while the ticket is in flight (and for
+    /// unknown/already-claimed tickets).
+    ///
+    /// # Errors
+    ///
+    /// This ticket's own terminal error, exactly once.
+    pub fn poll(&mut self, ticket: RouterTicket) -> Result<Option<Response>, ServeError> {
+        self.pump(false);
+        match self.done.remove(&ticket.0) {
+            Some(Ok(r)) => Ok(Some(r)),
+            Some(Err(e)) => Err(e),
+            None => Ok(None),
+        }
+    }
+
+    /// Flushes every alive shard's queue and steps the topology — the
+    /// bulk counterpart of [`Router::poll`].
+    pub fn flush(&mut self) {
+        self.flush_shards();
+        self.pump(false);
+    }
+
+    /// Resolves **every** outstanding ticket — flushing shards,
+    /// ignoring retry backoff (a drain does not wait), failing over off
+    /// dead shards — and returns all unclaimed outcomes in ticket
+    /// order. After `drain` no ticket is pending and none was lost.
+    /// The router remains usable (draining is not shutdown).
+    pub fn drain(&mut self) -> Vec<(RouterTicket, Result<Response, ServeError>)> {
+        let mut rounds = 0u32;
+        while !self.in_flight.is_empty() {
+            rounds += 1;
+            assert!(
+                rounds <= 100_000,
+                "router drain failed to converge ({} tickets stuck)",
+                self.in_flight.len()
+            );
+            self.flush_shards();
+            self.pump(true);
+        }
+        self.discard_orphans();
+        self.take_done()
+    }
+
+    /// [`Router::drain`] under a wall budget: drives the topology until
+    /// every ticket resolves or `budget` elapses on the router's clock,
+    /// then sheds the remainder as [`ServeError::Shed`] — typed, never
+    /// lost. Afterwards the router refuses new submissions with
+    /// [`ServeError::Draining`]. Returns all unclaimed outcomes in
+    /// ticket order.
+    pub fn shutdown(
+        &mut self,
+        budget: Duration,
+    ) -> Vec<(RouterTicket, Result<Response, ServeError>)> {
+        self.draining = true;
+        let deadline = self.clock.now() + budget;
+        let mut rounds = 0u32;
+        while !self.in_flight.is_empty() && self.clock.now() < deadline && rounds <= 100_000 {
+            rounds += 1;
+            self.flush_shards();
+            self.pump(true);
+        }
+        let mut ids: Vec<u64> = self.in_flight.keys().copied().collect();
+        ids.sort_unstable();
+        for rt in ids {
+            let f = self.in_flight.remove(&rt).expect("listed id in flight");
+            self.finish(rt, f, Err(ServeError::Shed));
+        }
+        self.discard_orphans();
+        self.take_done()
+    }
+
+    /// Kills a shard: its engine and queued work drop on the spot
+    /// (modeling a crashed process), and the next pump fails its
+    /// outstanding legs over to live siblings without consuming retry
+    /// budget. Returns `false` if the shard was already dead (or out of
+    /// range). Requests find the model [`ServeError::Unavailable`] only
+    /// when *every* shard is dead.
+    pub fn kill_shard(&mut self, model: ModelId, shard: usize) -> bool {
+        let Some(entry) = self.models.get_mut(model.0) else {
+            return false;
+        };
+        let Some(s) = entry.shards.get_mut(shard) else {
+            return false;
+        };
+        if s.batcher.is_none() {
+            return false;
+        }
+        s.batcher = None;
+        self.stats.shard_kills += 1;
+        // Failover now: every leg on the dead shard re-dispatches (for
+        // free) before the caller observes anything.
+        self.pump(false);
+        true
+    }
+
+    /// Installs (or removes) a fault-injection hook on one shard's
+    /// engine (see [`crate::faults`]). Returns `false` for a dead or
+    /// unknown shard.
+    pub fn set_shard_fault_hook(
+        &mut self,
+        model: ModelId,
+        shard: usize,
+        hook: Option<FaultHook>,
+    ) -> bool {
+        match self
+            .models
+            .get_mut(model.0)
+            .and_then(|m| m.shards.get_mut(shard))
+            .and_then(|s| s.batcher.as_mut())
+        {
+            Some(b) => {
+                b.set_fault_hook(hook);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Per-shard health snapshots for `model` — liveness, breaker
+    /// state, windowed error rate, queue depth, live flush depth, and
+    /// the shard batcher's own [`ServeStats`].
+    pub fn health(&self, model: ModelId) -> Vec<HealthSnapshot> {
+        let entry = &self.models[model.0];
+        entry
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let (alive, breaker, queued, max_batch, stats) = match &s.batcher {
+                    Some(b) => (
+                        true,
+                        b.breaker_state(),
+                        b.pending(),
+                        b.max_batch(),
+                        b.serve_stats(),
+                    ),
+                    None => (
+                        false,
+                        BreakerState::Closed,
+                        0,
+                        s.depth,
+                        ServeStats::default(),
+                    ),
+                };
+                HealthSnapshot {
+                    shard: i,
+                    alive,
+                    healthy: alive
+                        && breaker != BreakerState::Open
+                        && self.opts.health.window_healthy(&s.window),
+                    breaker,
+                    error_rate: s.window.error_rate(),
+                    samples: s.window.samples(),
+                    queued,
+                    max_batch,
+                    stats,
+                }
+            })
+            .collect()
+    }
+
+    /// Topology-level counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Tickets submitted but not yet resolved (their outcome is still
+    /// being produced; resolved-but-unclaimed outcomes don't count).
+    pub fn pending(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Resolved outcomes nobody has claimed via [`Router::poll`] yet.
+    pub fn unclaimed(&self) -> usize {
+        self.done.len()
+    }
+
+    /// How many shards of `model` are still alive.
+    pub fn alive_shards(&self, model: ModelId) -> usize {
+        self.models[model.0]
+            .shards
+            .iter()
+            .filter(|s| s.batcher.is_some())
+            .count()
+    }
+
+    // -- internals ----------------------------------------------------
+
+    /// One step of the whole topology: poll orphans, then every
+    /// in-flight ticket (in ticket order, for determinism), then the
+    /// AIMD controller. `ignore_backoff` makes due-dated retries fire
+    /// immediately (drain/shutdown don't wait out backoff windows).
+    fn pump(&mut self, ignore_backoff: bool) {
+        let now = self.clock.now();
+        self.poll_orphans();
+        let mut ids: Vec<u64> = self.in_flight.keys().copied().collect();
+        ids.sort_unstable();
+        for rt in ids {
+            let Some(mut f) = self.in_flight.remove(&rt) else {
+                continue;
+            };
+            match self.step_ticket(&mut f, now, ignore_backoff) {
+                Some(outcome) => self.finish(rt, f, outcome),
+                None => {
+                    self.in_flight.insert(rt, f);
+                }
+            }
+        }
+        self.adjust_depths();
+    }
+
+    /// Advances one ticket; `Some` is its terminal outcome.
+    fn step_ticket(
+        &mut self,
+        f: &mut InFlight,
+        now: Duration,
+        ignore_backoff: bool,
+    ) -> Option<Result<Response, ServeError>> {
+        // Poll the outstanding legs. A winning leg is cleared before
+        // returning so `finish` only orphans the *loser*.
+        if let Some(leg) = f.primary {
+            match self.poll_leg(f.model.0, leg) {
+                LegPoll::Pending => {}
+                LegPoll::Done(res) => {
+                    f.primary = None;
+                    match *res {
+                        Ok(r) => return Some(Ok(r)),
+                        Err(e) => f.last_err = Some(e),
+                    }
+                }
+                LegPoll::ShardDead => {
+                    f.primary = None;
+                    f.free_redispatch = true;
+                }
+            }
+        }
+        if let Some(leg) = f.hedge {
+            match self.poll_leg(f.model.0, leg) {
+                LegPoll::Pending => {}
+                LegPoll::Done(res) => {
+                    f.hedge = None;
+                    match *res {
+                        Ok(r) => {
+                            self.stats.hedges_won += 1;
+                            return Some(Ok(r));
+                        }
+                        Err(e) => f.last_err = Some(e),
+                    }
+                }
+                LegPoll::ShardDead => {
+                    f.hedge = None;
+                }
+            }
+        }
+
+        if f.primary.is_none() && f.hedge.is_none() {
+            // No legs in flight: classify the failure once…
+            if f.retry_due.is_none() {
+                if f.free_redispatch {
+                    f.retry_due = Some(now);
+                } else {
+                    match f.last_err.clone() {
+                        Some(e) if is_fault(&e) && self.opts.retry.allows(f.attempts) => {
+                            f.retry_due = Some(now + self.opts.retry.backoff_for(f.attempts));
+                        }
+                        Some(e) if is_fault(&e) => {
+                            return Some(Err(ServeError::RetriesExhausted {
+                                attempts: f.attempts,
+                                last: Box::new(e),
+                            }));
+                        }
+                        Some(e) => return Some(Err(e)),
+                        // A leg vanished without an error (defensive):
+                        // failover rather than lose the ticket.
+                        None => {
+                            f.free_redispatch = true;
+                            f.retry_due = Some(now);
+                        }
+                    }
+                }
+            }
+            // …expire a ticket that outwaited its deadline…
+            if f.deadline.is_some_and(|d| now >= d) {
+                return Some(Err(ServeError::DeadlineExceeded));
+            }
+            // …and re-dispatch when the backoff is due.
+            if let Some(due) = f.retry_due {
+                if ignore_backoff || now >= due {
+                    f.retry_due = None;
+                    let budget = f.deadline.map(|d| d.saturating_sub(now));
+                    let free = f.free_redispatch;
+                    match self.dispatch(f.model.0, &f.input, budget, f.last_shard, false, false) {
+                        Ok(leg) => {
+                            f.free_redispatch = false;
+                            f.redispatch_stalls = 0;
+                            if free {
+                                self.stats.failovers += 1;
+                            } else {
+                                f.attempts += 1;
+                                self.stats.retries += 1;
+                            }
+                            f.last_shard = Some(leg.shard);
+                            f.dispatched_at = now;
+                            f.primary = Some(leg);
+                        }
+                        Err(ServeError::QueueFull) => {
+                            // Every candidate at cap: wait out one more
+                            // backoff (bounded — a stalled topology must
+                            // not spin a ticket forever).
+                            f.redispatch_stalls += 1;
+                            if f.redispatch_stalls > 3 * self.opts.retry.max_attempts.max(1) {
+                                return Some(Err(ServeError::RetriesExhausted {
+                                    attempts: f.attempts,
+                                    last: Box::new(ServeError::QueueFull),
+                                }));
+                            }
+                            f.retry_due =
+                                Some(now + self.opts.retry.backoff_for(f.attempts.max(1)));
+                        }
+                        Err(e) => return Some(Err(e)),
+                    }
+                }
+            }
+            return None;
+        }
+
+        // A primary is in flight: maybe hedge a deadline-risk request.
+        if f.hedge.is_none() && f.primary.is_some() {
+            if let (Some(hp), Some(deadline)) = (self.opts.hedge, f.deadline) {
+                if now >= f.dispatched_at + hp.delay && now < deadline {
+                    let remaining = deadline - now;
+                    let avoid = f.primary.map(|l| l.shard);
+                    if let Ok(leg) =
+                        self.dispatch(f.model.0, &f.input, Some(remaining), avoid, true, false)
+                    {
+                        f.hedge = Some(leg);
+                        self.stats.hedges_launched += 1;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Polls one leg on its shard, recording fault-shaped outcomes in
+    /// the shard's health window.
+    fn poll_leg(&mut self, model: usize, leg: Leg) -> LegPoll {
+        let entry = &mut self.models[model];
+        let Some(shard) = entry.shards.get_mut(leg.shard) else {
+            return LegPoll::ShardDead;
+        };
+        if shard.uid != leg.uid {
+            return LegPoll::ShardDead;
+        }
+        let Some(b) = shard.batcher.as_mut() else {
+            return LegPoll::ShardDead;
+        };
+        match b.poll(leg.ticket) {
+            Ok(None) => LegPoll::Pending,
+            Ok(Some(r)) => {
+                shard.window.record(true);
+                LegPoll::Done(Box::new(Ok(r)))
+            }
+            Err(e) => {
+                if is_fault(&e) {
+                    shard.window.record(false);
+                }
+                LegPoll::Done(Box::new(Err(e)))
+            }
+        }
+    }
+
+    /// Places one request copy on a shard of `model`.
+    ///
+    /// Candidates are the healthy shards (alive, breaker not open,
+    /// window within policy) — or every alive shard when none is
+    /// healthy (serving sick beats not serving). They are ordered by
+    /// the placement strategy; `avoid` (the last failed shard) moves to
+    /// the back, or is excluded entirely under `strict_avoid` (hedges
+    /// must land elsewhere). [`ServeError::QueueFull`] walks to the
+    /// next candidate; `record_spill` counts those walks for first-time
+    /// submissions.
+    fn dispatch(
+        &mut self,
+        model: usize,
+        input: &Linearized,
+        budget: Option<Duration>,
+        avoid: Option<usize>,
+        strict_avoid: bool,
+        record_spill: bool,
+    ) -> Result<Leg, ServeError> {
+        let placement = self.opts.placement;
+        let health = self.opts.health;
+        let entry = &mut self.models[model];
+        let alive: Vec<usize> = entry
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.batcher.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if alive.is_empty() {
+            return Err(ServeError::Unavailable);
+        }
+        let healthy: Vec<usize> = alive
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let s = &entry.shards[i];
+                let b = s.batcher.as_ref().expect("alive shard has a batcher");
+                b.breaker_state() != BreakerState::Open && health.window_healthy(&s.window)
+            })
+            .collect();
+        let mut candidates = if healthy.is_empty() { alive } else { healthy };
+        if strict_avoid {
+            if let Some(a) = avoid {
+                candidates.retain(|&i| i != a);
+                if candidates.is_empty() {
+                    return Err(ServeError::Unavailable);
+                }
+            }
+        }
+        let load = |entry: &ModelEntry<'_>, i: usize| {
+            entry.shards[i]
+                .batcher
+                .as_ref()
+                .map_or(usize::MAX, |b| b.pending())
+        };
+        let mut ordered = candidates;
+        match placement {
+            Placement::LeastLoaded => {
+                ordered.sort_by_key(|&i| (load(entry, i), i));
+            }
+            Placement::PrimarySpill => {
+                ordered.sort_unstable();
+            }
+            Placement::RoundRobin => {
+                ordered.sort_unstable();
+                let start = entry.rr % ordered.len();
+                entry.rr = entry.rr.wrapping_add(1);
+                ordered.rotate_left(start);
+            }
+            Placement::PowerOfTwo => {
+                ordered.sort_by_key(|&i| (load(entry, i), i));
+                if ordered.len() >= 2 {
+                    let a = self.rng.below_usize(ordered.len());
+                    let mut b = self.rng.below_usize(ordered.len() - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    let (x, y) = (ordered[a], ordered[b]);
+                    let first = if (load(entry, x), x) <= (load(entry, y), y) {
+                        x
+                    } else {
+                        y
+                    };
+                    ordered.retain(|&i| i != first);
+                    ordered.insert(0, first);
+                }
+            }
+        }
+        if !strict_avoid {
+            if let Some(a) = avoid {
+                if ordered.len() > 1 {
+                    if let Some(pos) = ordered.iter().position(|&i| i == a) {
+                        let moved = ordered.remove(pos);
+                        ordered.push(moved);
+                    }
+                }
+            }
+        }
+        for (rank, &i) in ordered.iter().enumerate() {
+            let shard = &mut entry.shards[i];
+            let uid = shard.uid;
+            let b = shard.batcher.as_mut().expect("candidate shard is alive");
+            match b.submit_with_deadline(input.clone(), budget) {
+                Ok(ticket) => {
+                    if rank > 0 && record_spill {
+                        self.stats.spills += 1;
+                    }
+                    return Ok(Leg {
+                        shard: i,
+                        uid,
+                        ticket,
+                    });
+                }
+                Err(ServeError::QueueFull) => continue,
+                // Input-shaped refusals are identical on every shard:
+                // surface immediately.
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ServeError::QueueFull)
+    }
+
+    /// Records a ticket's terminal outcome: counters, orphaning of any
+    /// leftover legs, and the unclaimed-outcome slot.
+    fn finish(&mut self, rt: u64, f: InFlight, outcome: Result<Response, ServeError>) {
+        if let Some(leg) = f.primary {
+            self.orphans.push(Orphan {
+                model: f.model.0,
+                leg,
+            });
+        }
+        if let Some(leg) = f.hedge {
+            self.orphans.push(Orphan {
+                model: f.model.0,
+                leg,
+            });
+        }
+        match &outcome {
+            Ok(_) => self.stats.resolved_ok += 1,
+            Err(e) => {
+                self.stats.resolved_err += 1;
+                match e {
+                    ServeError::DeadlineExceeded => self.stats.deadline_misses += 1,
+                    ServeError::RetriesExhausted { .. } => self.stats.retries_exhausted += 1,
+                    ServeError::Shed => self.stats.shed += 1,
+                    _ => {}
+                }
+            }
+        }
+        let prev = self.done.insert(rt, outcome);
+        debug_assert!(prev.is_none(), "router ticket {rt} resolved twice");
+    }
+
+    /// Polls discarded legs until their shard-level tickets resolve
+    /// (still feeding the health windows), dropping the resolved.
+    fn poll_orphans(&mut self) {
+        let mut kept = std::mem::take(&mut self.orphans);
+        kept.retain(|o| {
+            let Some(entry) = self.models.get_mut(o.model) else {
+                return false;
+            };
+            let Some(shard) = entry.shards.get_mut(o.leg.shard) else {
+                return false;
+            };
+            if shard.uid != o.leg.uid {
+                return false;
+            }
+            let Some(b) = shard.batcher.as_mut() else {
+                return false;
+            };
+            match b.poll(o.leg.ticket) {
+                Ok(None) => true,
+                Ok(Some(_)) => {
+                    shard.window.record(true);
+                    false
+                }
+                Err(e) => {
+                    if is_fault(&e) {
+                        shard.window.record(false);
+                    }
+                    false
+                }
+            }
+        });
+        self.orphans = kept;
+    }
+
+    /// The AIMD depth controller: per shard, every
+    /// [`AimdDepth::window`] resolutions, halve the flush depth if the
+    /// window saw a deadline miss, else grow it by one.
+    fn adjust_depths(&mut self) {
+        let Some(aimd) = self.opts.adaptive_depth else {
+            return;
+        };
+        for entry in &mut self.models {
+            for shard in &mut entry.shards {
+                let Some(b) = shard.batcher.as_mut() else {
+                    continue;
+                };
+                let st = b.serve_stats();
+                let total = st.resolved_ok + st.resolved_err;
+                if total.saturating_sub(shard.aimd_total) < u64::from(aimd.window.max(1)) {
+                    continue;
+                }
+                let missed = st.deadline_misses > shard.aimd_misses;
+                let depth = if missed {
+                    (shard.depth / 2).max(aimd.min.max(1))
+                } else {
+                    (shard.depth + 1).min(aimd.max.max(1))
+                };
+                if depth < shard.depth {
+                    self.stats.depth_decreases += 1;
+                } else if depth > shard.depth {
+                    self.stats.depth_increases += 1;
+                }
+                if depth != shard.depth {
+                    shard.depth = depth;
+                    b.set_max_batch(depth);
+                }
+                shard.aimd_total = total;
+                shard.aimd_misses = st.deadline_misses;
+            }
+        }
+    }
+
+    fn flush_shards(&mut self) {
+        for entry in &mut self.models {
+            for shard in &mut entry.shards {
+                if let Some(b) = shard.batcher.as_mut() {
+                    b.flush();
+                }
+            }
+        }
+    }
+
+    /// Drops every orphan by draining their shard batchers' resolved
+    /// sets (used once all router tickets are settled).
+    fn discard_orphans(&mut self) {
+        for entry in &mut self.models {
+            for shard in &mut entry.shards {
+                if let Some(b) = shard.batcher.as_mut() {
+                    let _ = b.drain();
+                }
+            }
+        }
+        self.orphans.clear();
+    }
+
+    fn take_done(&mut self) -> Vec<(RouterTicket, Result<Response, ServeError>)> {
+        let mut out: Vec<(RouterTicket, Result<Response, ServeError>)> = self
+            .done
+            .drain()
+            .map(|(t, r)| (RouterTicket(t), r))
+            .collect();
+        out.sort_by_key(|&(t, _)| t);
+        out
+    }
+}

@@ -1,0 +1,605 @@
+//! Router-level model-based fault-injection suite.
+//!
+//! Extends the per-shard suite (`model_based.rs`) one topology level
+//! up: one [`Router`] serving **three models** (TreeLSTM, TreeGRU,
+//! sequence-LSTM) on 2–3 shards each, every shard's engine under its
+//! own deterministic fault stream (typed errors *and* panics), while a
+//! seeded interleaving of `submit` / `poll` / `flush` / clock advances
+//! / **shard kills** / health probes runs against it. The oracle holds
+//! the same three invariants, now across retries, failovers, spills and
+//! hedges:
+//!
+//! 1. **Exactly-once resolution** — every accepted router ticket
+//!    resolves exactly once, with a [`Response`] or a typed
+//!    [`ServeError`]; kills and retries never lose or duplicate one.
+//! 2. **Bit-identical survivors** — every `Ok` response equals a solo
+//!    run on a clean engine exactly (outputs *and* `Profile`), no
+//!    matter which shard served it, how many legs it took, or what
+//!    faults its chunk-mates raised.
+//! 3. **Accounting** — after a final drain nothing is pending and
+//!    `submitted == resolved_ok + resolved_err` in [`RouterStats`].
+//!
+//! Seeds come from `CORTEX_FAULT_SEEDS` (comma-separated, for CI
+//! sweeps) with a fixed default set. A block of deterministic
+//! lifecycle tests (spill, failover, exhaustion, shutdown shedding,
+//! hedging, AIMD) pins the individual behaviors the random suite
+//! exercises in aggregate.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use cortex_backend::exec::{Engine, FaultAction};
+use cortex_core::ilir::IlirProgram;
+use cortex_core::ra::RaSchedule;
+use cortex_ds::linearizer::{Linearized, Linearizer};
+use cortex_ds::{datasets, RecStructure};
+use cortex_models::{seq, treegru, treelstm, LeafInit, Model};
+use cortex_rng::Rng;
+use cortex_serve::faults::{silence_injected_panics, FaultInjector};
+use cortex_serve::{
+    AimdDepth, BatcherOptions, HealthPolicy, HedgePolicy, ModelId, Placement, Response,
+    RetryPolicy, Router, RouterOptions, RouterTicket, ServeError, TestClock, WhenFull,
+};
+
+/// Seeds to sweep: `CORTEX_FAULT_SEEDS=1,2,3` overrides the default.
+fn seeds() -> Vec<u64> {
+    match std::env::var("CORTEX_FAULT_SEEDS") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => vec![11, 23, 47],
+    }
+}
+
+fn the_models() -> Vec<Model> {
+    vec![
+        treelstm::tree_lstm(16, LeafInit::Embedding),
+        treegru::tree_gru(16, LeafInit::Embedding),
+        seq::seq_lstm(16),
+    ]
+}
+
+fn gen_input(model_idx: usize, rng: &mut Rng) -> RecStructure {
+    if model_idx == 2 {
+        datasets::sequence(3 + rng.below_usize(10), rng.next_u64())
+    } else {
+        datasets::random_binary_tree(3 + rng.below_usize(8), rng.next_u64())
+    }
+}
+
+fn lin(s: &RecStructure) -> Linearized {
+    Linearizer::new().linearize(s).expect("linearizes")
+}
+
+/// The in-memory oracle: which accepted router tickets have not yet
+/// resolved, and what (model, input) each carried.
+struct Oracle {
+    unresolved: HashMap<RouterTicket, (usize, Linearized)>,
+    resolutions: u64,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        Oracle {
+            unresolved: HashMap::new(),
+            resolutions: 0,
+        }
+    }
+
+    fn accept(&mut self, ticket: RouterTicket, model_idx: usize, input: Linearized) {
+        let prev = self.unresolved.insert(ticket, (model_idx, input));
+        assert!(prev.is_none(), "ticket {ticket:?} accepted twice");
+    }
+
+    fn resolve(
+        &mut self,
+        ticket: RouterTicket,
+        outcome: &Result<Response, ServeError>,
+        solo_engines: &mut [Engine<'_>],
+        models: &[Model],
+    ) {
+        let (model_idx, input) = self
+            .unresolved
+            .remove(&ticket)
+            .unwrap_or_else(|| panic!("ticket {ticket:?} resolved twice (or never accepted)"));
+        self.resolutions += 1;
+        match outcome {
+            Ok(response) => {
+                let (solo_out, solo_prof) = solo_engines[model_idx]
+                    .execute(&input, &models[model_idx].params, true)
+                    .expect("clean solo run");
+                assert_eq!(
+                    response.profile, solo_prof,
+                    "survivor profile must equal a solo run exactly"
+                );
+                assert_eq!(solo_out.len(), response.outputs.len());
+                for (id, tensor) in &solo_out {
+                    assert_eq!(
+                        &response.outputs[id], tensor,
+                        "survivor outputs must be bit-identical to a solo run"
+                    );
+                }
+            }
+            Err(e) => assert!(
+                matches!(
+                    e,
+                    ServeError::DeadlineExceeded | ServeError::RetriesExhausted { .. }
+                ),
+                "only deadline misses and retry exhaustion are terminal here, got {e}"
+            ),
+        }
+    }
+}
+
+/// One random interleaving against the full three-model topology.
+fn run_router_interleaving(seed: u64) -> u64 {
+    silence_injected_panics();
+    let models = the_models();
+    let programs: Vec<IlirProgram> = models
+        .iter()
+        .map(|m| m.lower(&RaSchedule::default()).expect("lowers"))
+        .collect();
+    let mut rng = Rng::new(seed);
+    let clock = TestClock::new();
+
+    // Random (seed-deterministic) topology configuration. Shards
+    // reject when full so overload spills across the topology instead
+    // of shedding inside a shard.
+    let shard_opts = BatcherOptions {
+        max_batch: 2 + rng.below_usize(6),
+        max_delay: Duration::from_millis(rng.below_usize(8) as u64),
+        queue_cap: 2 + rng.below_usize(6),
+        when_full: WhenFull::Reject,
+        deadline: None,
+        breaker_threshold: rng.below_usize(4) as u32, // 0 disables
+        breaker_reset: Duration::from_millis(1 + rng.below_usize(50) as u64),
+        ..BatcherOptions::default()
+    };
+    let ropts = RouterOptions {
+        placement: *rng.pick(&[
+            Placement::LeastLoaded,
+            Placement::PowerOfTwo,
+            Placement::RoundRobin,
+            Placement::PrimarySpill,
+        ]),
+        seed: seed ^ 0xD117,
+        retry: RetryPolicy {
+            max_attempts: 1 + rng.below_usize(3) as u32,
+            backoff: Duration::from_millis(rng.below_usize(5) as u64),
+            max_backoff: Duration::from_millis(100),
+        },
+        hedge: if rng.bool() {
+            Some(HedgePolicy {
+                delay: Duration::from_millis(rng.below_usize(6) as u64),
+            })
+        } else {
+            None
+        },
+        adaptive_depth: if rng.bool() {
+            Some(AimdDepth {
+                start: 2 + rng.below_usize(8),
+                min: 1,
+                max: 32,
+                window: 4,
+            })
+        } else {
+            None
+        },
+        health: HealthPolicy::default(),
+    };
+    let mut router = Router::new(ropts).with_clock(Rc::new(clock.clone()));
+
+    let mut ids: Vec<ModelId> = Vec::new();
+    let mut shard_counts: Vec<usize> = Vec::new();
+    for (i, (model, program)) in models.iter().zip(&programs).enumerate() {
+        let shards = 2 + rng.below_usize(2);
+        let id = router.add_model(&model.name, program, &model.params, shards, shard_opts);
+        // Each shard gets its own independent fault stream.
+        for (s, (hook, _handle)) in FaultInjector::new(seed ^ (0xFA17 + i as u64))
+            .with_rates(0.05, 0.03)
+            .into_shard_hooks(shards)
+            .into_iter()
+            .enumerate()
+        {
+            assert!(router.set_shard_fault_hook(id, s, Some(hook)));
+        }
+        ids.push(id);
+        shard_counts.push(shards);
+    }
+
+    let mut solo_engines: Vec<Engine<'_>> = programs.iter().map(Engine::new).collect();
+    let mut oracle = Oracle::new();
+    let mut known: Vec<RouterTicket> = Vec::new();
+
+    let ops = 80 + rng.below_usize(40);
+    for _ in 0..ops {
+        match rng.below_usize(10) {
+            // submit (heaviest weight: traffic drives everything else)
+            0..=3 => {
+                let m = rng.below_usize(models.len());
+                let input = lin(&gen_input(m, &mut rng));
+                let budget = if rng.bool() {
+                    Some(Duration::from_millis(5 + rng.below_usize(30) as u64))
+                } else {
+                    None
+                };
+                match router.submit_with_deadline(ids[m], input.clone(), budget) {
+                    Ok(t) => {
+                        oracle.accept(t, m, input);
+                        known.push(t);
+                    }
+                    Err(e) => assert!(
+                        matches!(e, ServeError::QueueFull),
+                        "only full-topology refusals may come back from submit, got {e}"
+                    ),
+                }
+            }
+            // poll a random known ticket
+            4..=5 => {
+                if known.is_empty() {
+                    continue;
+                }
+                let t = *rng.pick(&known);
+                let resolved_before = !oracle.unresolved.contains_key(&t);
+                match router.poll(t) {
+                    Ok(None) => {}
+                    Ok(Some(response)) => {
+                        oracle.resolve(t, &Ok(response), &mut solo_engines, &models);
+                    }
+                    Err(e) => {
+                        assert!(
+                            !resolved_before,
+                            "ticket {t:?} reported an error after already resolving: {e}"
+                        );
+                        oracle.resolve(t, &Err(e), &mut solo_engines, &models);
+                    }
+                }
+            }
+            // flush the whole topology
+            6 => router.flush(),
+            // advance time (deadlines, backoff, hedge delays, breaker)
+            7 => clock.advance(Duration::from_millis(rng.below_usize(12) as u64)),
+            // kill a shard — but never a model's last one
+            8 => {
+                let m = rng.below_usize(models.len());
+                if router.alive_shards(ids[m]) > 1 {
+                    let alive: Vec<usize> = router
+                        .health(ids[m])
+                        .iter()
+                        .filter(|s| s.alive)
+                        .map(|s| s.shard)
+                        .collect();
+                    let victim = *rng.pick(&alive);
+                    assert!(router.kill_shard(ids[m], victim));
+                }
+            }
+            // operator health probe: shape sanity only
+            _ => {
+                let m = rng.below_usize(models.len());
+                let snapshots = router.health(ids[m]);
+                assert_eq!(snapshots.len(), shard_counts[m]);
+                for snap in &snapshots {
+                    assert!(snap.error_rate >= 0.0 && snap.error_rate <= 1.0);
+                    assert!(!snap.healthy || snap.alive, "healthy implies alive");
+                }
+            }
+        }
+    }
+
+    // Final drain: every still-tracked ticket must resolve here.
+    for (t, outcome) in router.drain() {
+        oracle.resolve(t, &outcome, &mut solo_engines, &models);
+    }
+    assert!(
+        oracle.unresolved.is_empty(),
+        "tickets lost without resolution: {:?}",
+        oracle.unresolved.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(router.pending(), 0, "drain must settle every ticket");
+    assert_eq!(router.unclaimed(), 0, "drain must hand every outcome back");
+    let stats = router.stats();
+    assert_eq!(
+        stats.resolved_ok + stats.resolved_err,
+        stats.submitted,
+        "accounting: every admitted ticket resolves exactly once"
+    );
+    assert_eq!(
+        stats.submitted, oracle.resolutions,
+        "oracle saw every ticket"
+    );
+    oracle.resolutions
+}
+
+#[test]
+fn random_router_interleavings_hold_invariants() {
+    for seed in seeds() {
+        let resolved = run_router_interleaving(seed);
+        assert!(resolved > 0, "seed {seed}: the run must serve traffic");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic lifecycle tests: each pins one behavior the random
+// suite exercises in aggregate.
+// ---------------------------------------------------------------------
+
+/// A (program, model) pair the router can borrow from.
+fn one_model() -> (IlirProgram, Model) {
+    let model = treelstm::tree_lstm(16, LeafInit::Embedding);
+    let program = model.lower(&RaSchedule::default()).expect("lowers");
+    (program, model)
+}
+
+fn tree_input(seed: u64) -> Linearized {
+    lin(&datasets::random_binary_tree(5, seed))
+}
+
+/// Shard options for deterministic tests: nothing fires on its own.
+fn quiet_opts() -> BatcherOptions {
+    BatcherOptions {
+        max_batch: 64,
+        max_delay: Duration::from_secs(3600),
+        queue_cap: 64,
+        when_full: WhenFull::Reject,
+        breaker_threshold: 0,
+        ..BatcherOptions::default()
+    }
+}
+
+#[test]
+fn hot_shard_spills_before_rejecting() {
+    let (program, model) = one_model();
+    let mut router = Router::new(RouterOptions {
+        placement: Placement::PrimarySpill,
+        adaptive_depth: None,
+        ..RouterOptions::default()
+    });
+    let opts = BatcherOptions {
+        queue_cap: 2,
+        ..quiet_opts()
+    };
+    let id = router.add_model("m", &program, &model.params, 2, opts);
+    let mut tickets = Vec::new();
+    for i in 0..4 {
+        tickets.push(router.submit(id, tree_input(i)).expect("capacity left"));
+    }
+    assert_eq!(
+        router.submit(id, tree_input(9)),
+        Err(ServeError::QueueFull),
+        "both shards at cap"
+    );
+    let stats = router.stats();
+    assert_eq!(stats.spills, 2, "requests 3 and 4 spilled to shard 1");
+    assert_eq!(stats.rejected, 1);
+    let outcomes = router.drain();
+    assert_eq!(outcomes.len(), 4);
+    assert!(outcomes.iter().all(|(_, o)| o.is_ok()));
+    assert_eq!(router.stats().resolved_ok, 4);
+}
+
+#[test]
+fn kill_shard_fails_over_without_consuming_retry_budget() {
+    let (program, model) = one_model();
+    let mut router = Router::new(RouterOptions {
+        placement: Placement::PrimarySpill,
+        adaptive_depth: None,
+        ..RouterOptions::default()
+    });
+    let id = router.add_model("m", &program, &model.params, 2, quiet_opts());
+    for i in 0..5 {
+        router.submit(id, tree_input(i)).expect("admitted");
+    }
+    assert!(router.kill_shard(id, 0), "shard 0 was alive");
+    assert!(!router.kill_shard(id, 0), "second kill is a no-op");
+    assert_eq!(router.alive_shards(id), 1);
+    let stats = router.stats();
+    assert_eq!(stats.shard_kills, 1);
+    assert_eq!(stats.failovers, 5, "every queued leg moved to shard 1");
+    assert_eq!(stats.retries, 0, "failover is free");
+    let outcomes = router.drain();
+    assert_eq!(outcomes.len(), 5);
+    assert!(outcomes.iter().all(|(_, o)| o.is_ok()));
+}
+
+#[test]
+fn killing_the_last_shard_surfaces_unavailable() {
+    let (program, model) = one_model();
+    let mut router = Router::new(RouterOptions {
+        adaptive_depth: None,
+        ..RouterOptions::default()
+    });
+    let id = router.add_model("m", &program, &model.params, 1, quiet_opts());
+    let t = router.submit(id, tree_input(1)).expect("admitted");
+    assert!(router.kill_shard(id, 0));
+    assert_eq!(router.alive_shards(id), 0);
+    assert_eq!(
+        router.poll(t),
+        Err(ServeError::Unavailable),
+        "an orphaned ticket with no shard left resolves Unavailable"
+    );
+    assert_eq!(
+        router.submit(id, tree_input(2)),
+        Err(ServeError::Unavailable),
+        "a dead model refuses admission"
+    );
+    let stats = router.stats();
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.resolved_err, 1);
+    assert_eq!(stats.rejected, 1);
+}
+
+#[test]
+fn faulted_requests_retry_on_a_sibling_and_exhaust_typed() {
+    silence_injected_panics();
+    let (program, model) = one_model();
+    // Shard 0 faults every launch; shard 1 is clean. One retry
+    // rescues the ticket.
+    let mut router = Router::new(RouterOptions {
+        placement: Placement::PrimarySpill,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        },
+        adaptive_depth: None,
+        ..RouterOptions::default()
+    });
+    let id = router.add_model("m", &program, &model.params, 2, quiet_opts());
+    let (hook, _h) = FaultInjector::new(7)
+        .always(FaultAction::Err)
+        .launches_only()
+        .into_hook();
+    assert!(router.set_shard_fault_hook(id, 0, Some(hook)));
+    let t = router.submit(id, tree_input(1)).expect("admitted");
+    let outcomes = router.drain();
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].0, t);
+    assert!(outcomes[0].1.is_ok(), "the retry leg on shard 1 succeeds");
+    let stats = router.stats();
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.retries_exhausted, 0);
+
+    // Both shards broken: the budget runs out, typed.
+    let mut router = Router::new(RouterOptions {
+        placement: Placement::PrimarySpill,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        },
+        adaptive_depth: None,
+        ..RouterOptions::default()
+    });
+    let id = router.add_model("m", &program, &model.params, 2, quiet_opts());
+    for s in 0..2 {
+        let (hook, _h) = FaultInjector::new(7)
+            .always(FaultAction::Err)
+            .launches_only()
+            .into_hook();
+        assert!(router.set_shard_fault_hook(id, s, Some(hook)));
+    }
+    router.submit(id, tree_input(1)).expect("admitted");
+    let outcomes = router.drain();
+    match &outcomes[0].1 {
+        Err(ServeError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(*attempts, 2);
+            assert!(matches!(**last, ServeError::EngineFault { .. }));
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    assert_eq!(router.stats().retries_exhausted, 1);
+}
+
+#[test]
+fn shutdown_sheds_the_remainder_typed_and_closes_admission() {
+    let (program, model) = one_model();
+    let clock = TestClock::new();
+    let mut router = Router::new(RouterOptions {
+        adaptive_depth: None,
+        ..RouterOptions::default()
+    })
+    .with_clock(Rc::new(clock.clone()));
+    let id = router.add_model("m", &program, &model.params, 1, quiet_opts());
+    for i in 0..4 {
+        router.submit(id, tree_input(i)).expect("admitted");
+    }
+    // A zero budget sheds everything still in flight — typed, not lost.
+    let outcomes = router.shutdown(Duration::ZERO);
+    assert_eq!(outcomes.len(), 4);
+    assert!(outcomes
+        .iter()
+        .all(|(_, o)| matches!(o, Err(ServeError::Shed))));
+    let stats = router.stats();
+    assert_eq!(stats.shed, 4);
+    assert_eq!(stats.resolved_ok + stats.resolved_err, stats.submitted);
+    assert_eq!(router.pending(), 0);
+    assert_eq!(
+        router.submit(id, tree_input(9)),
+        Err(ServeError::Draining),
+        "admission is closed after shutdown"
+    );
+}
+
+#[test]
+fn deadline_misses_resolve_at_the_router() {
+    let (program, model) = one_model();
+    let clock = TestClock::new();
+    let mut router = Router::new(RouterOptions {
+        adaptive_depth: None,
+        ..RouterOptions::default()
+    })
+    .with_clock(Rc::new(clock.clone()));
+    let id = router.add_model("m", &program, &model.params, 1, quiet_opts());
+    let t = router
+        .submit_with_deadline(id, tree_input(1), Some(Duration::from_millis(5)))
+        .expect("admitted");
+    clock.advance(Duration::from_millis(6));
+    assert_eq!(router.poll(t), Err(ServeError::DeadlineExceeded));
+    assert_eq!(router.stats().deadline_misses, 1);
+}
+
+#[test]
+fn hedged_dispatch_duplicates_to_a_second_shard() {
+    let (program, model) = one_model();
+    let clock = TestClock::new();
+    let mut router = Router::new(RouterOptions {
+        placement: Placement::PrimarySpill,
+        hedge: Some(HedgePolicy {
+            delay: Duration::ZERO,
+        }),
+        adaptive_depth: None,
+        ..RouterOptions::default()
+    })
+    .with_clock(Rc::new(clock.clone()));
+    let id = router.add_model("m", &program, &model.params, 2, quiet_opts());
+    let t = router
+        .submit_with_deadline(id, tree_input(1), Some(Duration::from_secs(3600)))
+        .expect("admitted");
+    assert_eq!(router.poll(t), Ok(None), "still queued; hedge launched");
+    let stats = router.stats();
+    assert_eq!(stats.hedges_launched, 1);
+    let health = router.health(id);
+    assert_eq!(health[0].queued, 1, "primary leg on shard 0");
+    assert_eq!(health[1].queued, 1, "hedge leg on shard 1");
+    let outcomes = router.drain();
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].1.is_ok());
+    assert_eq!(router.stats().resolved_ok, 1, "one ticket, one resolution");
+}
+
+#[test]
+fn aimd_depth_halves_on_misses_and_grows_back() {
+    let (program, model) = one_model();
+    let clock = TestClock::new();
+    let mut router = Router::new(RouterOptions {
+        adaptive_depth: Some(AimdDepth {
+            start: 8,
+            min: 1,
+            max: 16,
+            window: 2,
+        }),
+        ..RouterOptions::default()
+    })
+    .with_clock(Rc::new(clock.clone()));
+    let id = router.add_model("m", &program, &model.params, 1, quiet_opts());
+    assert_eq!(router.health(id)[0].max_batch, 8, "AIMD start overrides");
+
+    // Two deadline misses in one window: multiplicative decrease.
+    for i in 0..2 {
+        router
+            .submit_with_deadline(id, tree_input(i), Some(Duration::from_millis(1)))
+            .expect("admitted");
+    }
+    clock.advance(Duration::from_millis(2));
+    router.flush();
+    assert_eq!(router.stats().deadline_misses, 2);
+    assert_eq!(router.health(id)[0].max_batch, 4, "halved after misses");
+    assert_eq!(router.stats().depth_decreases, 1);
+
+    // A clean window: additive increase.
+    for i in 0..2 {
+        router.submit(id, tree_input(10 + i)).expect("admitted");
+    }
+    router.flush();
+    assert_eq!(router.health(id)[0].max_batch, 5, "grew by one");
+    assert_eq!(router.stats().depth_increases, 1);
+}
