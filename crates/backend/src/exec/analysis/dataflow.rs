@@ -1,0 +1,233 @@
+//! A small, reusable worklist dataflow solver.
+//!
+//! Analyses are expressed as gen/kill transfer functions over slot
+//! bit-sets and solved to a fixpoint over the [`OpCfg`], in either
+//! direction and under either lattice meet:
+//!
+//! * **backward + union** — *may* analyses flowing against control
+//!   flow (slot liveness, [`super::liveness`]);
+//! * **forward + intersect** — *must* analyses flowing with it
+//!   (definite assignment, the rewrite cross-check in
+//!   [`super::liveness::optimize_kernels`]).
+//!
+//! The solver is oblivious to op semantics: callers derive transfers
+//! from [`super::effects`] and interpret the resulting in/out sets.
+
+use std::collections::{HashMap, VecDeque};
+
+use super::cfg::OpCfg;
+
+/// A fixed-universe bit-set over `u64` words.
+#[derive(Clone, PartialEq, Eq)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `nbits` elements.
+    pub(crate) fn new(nbits: usize) -> BitSet {
+        BitSet {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// The full set over a universe of `nbits` elements.
+    pub(crate) fn full(nbits: usize) -> BitSet {
+        let mut s = BitSet::new(nbits);
+        for (w, word) in s.words.iter_mut().enumerate() {
+            let lo = w * 64;
+            let in_universe = s.nbits.saturating_sub(lo).min(64);
+            *word = if in_universe == 64 {
+                u64::MAX
+            } else {
+                (1u64 << in_universe) - 1
+            };
+        }
+        s
+    }
+
+    pub(crate) fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.nbits);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        i < self.nbits && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self ∪= other`; reports whether `self` changed.
+    pub(crate) fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; reports whether `self` changed.
+    pub(crate) fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self \= other`.
+    pub(crate) fn subtract(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterates the members in ascending order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1 << b) != 0)
+                .map(move |b| w * 64 + b)
+        })
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Which way facts flow.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Direction {
+    Forward,
+    Backward,
+}
+
+/// The lattice meet applied where paths join.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Meet {
+    /// *May* analyses: a fact holds if it holds on any path.
+    Union,
+    /// *Must* analyses: a fact holds only if it holds on all paths.
+    Intersect,
+}
+
+/// One op's transfer function: `out = gen ∪ (in \ kill)` (forward), or
+/// `in = gen ∪ (out \ kill)` (backward).
+pub(crate) struct GenKill {
+    pub(crate) gen: BitSet,
+    pub(crate) kill: BitSet,
+}
+
+impl GenKill {
+    pub(crate) fn empty(nbits: usize) -> GenKill {
+        GenKill {
+            gen: BitSet::new(nbits),
+            kill: BitSet::new(nbits),
+        }
+    }
+}
+
+/// The fixpoint: per-op fact sets on entry (`ins`) and exit (`outs`) in
+/// *execution* order, regardless of the analysis direction.
+pub(crate) struct Solution {
+    pub(crate) ins: Vec<BitSet>,
+    pub(crate) outs: Vec<BitSet>,
+}
+
+/// Solves `transfer` over `cfg` to a fixpoint.
+///
+/// `boundary` pins the meet-side value of specific ops, joined as one
+/// extra incoming edge — the in-set of entry ops under
+/// [`Direction::Forward`], the out-set of terminal ops under
+/// [`Direction::Backward`]. An op with no incoming edges and no
+/// boundary gets the meet identity: empty under union, full under
+/// intersect — so **forward-intersect analyses must pin every kernel
+/// entry** or entries come out vacuously full. Backward-union analyses
+/// need no boundary: `KernelEnd` has no successors and an empty union,
+/// which is the "nothing live after the kernel" boundary liveness
+/// wants.
+pub(crate) fn solve(
+    cfg: &OpCfg,
+    dir: Direction,
+    meet: Meet,
+    transfer: &[GenKill],
+    nbits: usize,
+    boundary: &HashMap<usize, BitSet>,
+) -> Solution {
+    let n = cfg.succs.len();
+    let top = match meet {
+        Meet::Union => BitSet::new(nbits),
+        Meet::Intersect => BitSet::full(nbits),
+    };
+    let mut ins: Vec<BitSet> = vec![top.clone(); n];
+    let mut outs: Vec<BitSet> = vec![top; n];
+    let mut queued = vec![true; n];
+    let mut work: VecDeque<usize> = match dir {
+        Direction::Forward => (0..n).collect(),
+        Direction::Backward => (0..n).rev().collect(),
+    };
+    while let Some(pc) = work.pop_front() {
+        queued[pc] = false;
+        let sources: &[usize] = match dir {
+            Direction::Forward => &cfg.preds[pc],
+            Direction::Backward => &cfg.succs[pc],
+        };
+        let mut acc: Option<BitSet> = boundary.get(&pc).cloned();
+        for &q in sources {
+            let v = match dir {
+                Direction::Forward => &outs[q],
+                Direction::Backward => &ins[q],
+            };
+            match &mut acc {
+                None => acc = Some(v.clone()),
+                Some(a) => {
+                    match meet {
+                        Meet::Union => a.union_with(v),
+                        Meet::Intersect => a.intersect_with(v),
+                    };
+                }
+            }
+        }
+        let meet_val = acc.unwrap_or_else(|| match meet {
+            Meet::Union => BitSet::new(nbits),
+            Meet::Intersect => BitSet::full(nbits),
+        });
+        let mut flow = meet_val.clone();
+        flow.subtract(&transfer[pc].kill);
+        flow.union_with(&transfer[pc].gen);
+        match dir {
+            Direction::Forward => {
+                ins[pc] = meet_val;
+                if flow != outs[pc] {
+                    outs[pc] = flow;
+                    for &s in &cfg.succs[pc] {
+                        if !queued[s] {
+                            queued[s] = true;
+                            work.push_back(s);
+                        }
+                    }
+                }
+            }
+            Direction::Backward => {
+                outs[pc] = meet_val;
+                if flow != ins[pc] {
+                    ins[pc] = flow;
+                    for &p in &cfg.preds[pc] {
+                        if !queued[p] {
+                            queued[p] = true;
+                            work.push_back(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Solution { ins, outs }
+}

@@ -1,0 +1,436 @@
+//! The static parallel-safety certifier.
+//!
+//! Certifies the two parallel surfaces of a lowered program — wave-loop
+//! bodies (the `d_batch` parallel loops the wave batcher targets) and
+//! fused whole-wave row passes — as either [`ParSafety::RowDisjoint`]
+//! (iterations touch pairwise-disjoint rows of every tensor written, so
+//! running them concurrently is race-free) or
+//! [`ParSafety::Sequential`] with a typed [`SeqReason`] naming the
+//! first obstruction. Certificates are computed once at lowering,
+//! stored in the [`Program`](super::super::program::Program), re-derived
+//! and compared by [`super::super::verify`] (a forged certificate is a
+//! [`VerifyError::CertificateMismatch`](super::super::VerifyError)),
+//! and surfaced through `Engine::stats()`. The multicore roadmap item
+//! consumes exactly these certificates: a `RowDisjoint` wave may fan
+//! its rows across threads, a `Sequential` one must not.
+//!
+//! Reasoning is in the symbolic region model of [`super::effects`]: a
+//! store is row-disjoint when some non-feature index dimension is
+//! *exactly* an iteration-unique row slot (the wave counter or an
+//! injective alias of it — `BatchBegin(b) + n`, `node_at(n)`, …), and a
+//! read of a wave-written tensor is safe when its row is the
+//! iteration's own row or a child-indirection chain rooted at it (a
+//! strictly earlier wave's row, which this wave never writes).
+
+use std::collections::{HashMap, HashSet};
+
+use cortex_core::expr::{IdxBinOp, IdxExpr, TensorId, Ufn, ValExpr, Var};
+use cortex_core::ilir::Stmt;
+
+use super::super::bulk::{BulkExpr, FusedLoop};
+use super::effects::{self, region_of_idx, RegionDim};
+
+/// A parallel-safety certificate for one wave body or fused row pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParSafety {
+    /// Distinct iterations write pairwise-disjoint rows and read only
+    /// their own or strictly-earlier rows: iterations may run
+    /// concurrently without synchronization.
+    RowDisjoint,
+    /// Not certified for parallel execution; `reason` names the first
+    /// obstruction found.
+    Sequential {
+        /// Why the surface failed to certify.
+        reason: SeqReason,
+    },
+}
+
+/// Why a parallel surface failed to certify as row-disjoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqReason {
+    /// A store's index does not depend on the iteration at all: every
+    /// iteration writes the same cells.
+    WriteRowShared,
+    /// A store's iteration-dependent row is not exactly an
+    /// iteration-unique slot (arithmetic over the counter, a child
+    /// indirection, an opaque function) — two iterations may collide.
+    WriteRowAliased,
+    /// Two fused passes store the same tensor with different index
+    /// patterns, so pass-order interchange is not per-row sequential.
+    StorePatternMismatch,
+    /// A read of an iteration-written tensor lands on a row another
+    /// iteration may be writing.
+    ReadOverlapsWrites,
+    /// A read of an iteration-written tensor addresses a fixed row,
+    /// which some iteration's write may own.
+    FixedRowOfStored,
+    /// The body contains an explicit `Barrier`: it stages its own
+    /// internal ordering and must not be blindly row-parallelized.
+    Barrier,
+}
+
+impl SeqReason {
+    /// Every reason, in [`Self::index`] order — the layout of the
+    /// `par_unsafe_by_reason` counters in `ExecStats`.
+    pub const ALL: [SeqReason; 6] = [
+        SeqReason::WriteRowShared,
+        SeqReason::WriteRowAliased,
+        SeqReason::StorePatternMismatch,
+        SeqReason::ReadOverlapsWrites,
+        SeqReason::FixedRowOfStored,
+        SeqReason::Barrier,
+    ];
+
+    /// This reason's position in [`Self::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            SeqReason::WriteRowShared => 0,
+            SeqReason::WriteRowAliased => 1,
+            SeqReason::StorePatternMismatch => 2,
+            SeqReason::ReadOverlapsWrites => 3,
+            SeqReason::FixedRowOfStored => 4,
+            SeqReason::Barrier => 5,
+        }
+    }
+
+    /// A stable snake_case name (bench schema, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            SeqReason::WriteRowShared => "write_row_shared",
+            SeqReason::WriteRowAliased => "write_row_aliased",
+            SeqReason::StorePatternMismatch => "store_pattern_mismatch",
+            SeqReason::ReadOverlapsWrites => "read_overlaps_writes",
+            SeqReason::FixedRowOfStored => "fixed_row_of_stored",
+            SeqReason::Barrier => "barrier",
+        }
+    }
+}
+
+impl std::fmt::Display for SeqReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::fmt::Display for ParSafety {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParSafety::RowDisjoint => f.write_str("row_disjoint"),
+            ParSafety::Sequential { reason } => write!(f, "sequential({reason})"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wave bodies
+// ---------------------------------------------------------------------
+
+/// Certifies one parallel `d_batch` wave body: may its iterations (one
+/// per node of the wave) run concurrently?
+///
+/// The walk mirrors the shape `plan_wave` consumes — an optional
+/// top-level `let node = …` binding over the per-node statements — but
+/// reasons about *every* statement, not just the batchable reductions:
+/// each store must ride an iteration-unique row slot in some
+/// non-feature dimension, and each read of a wave-written tensor must
+/// stay on its own row or a child chain rooted at it.
+pub(crate) fn certify_wave_body(n_idx: Var, body: &[Stmt]) -> ParSafety {
+    let mut cx = WaveCx {
+        row_slots: HashSet::from([n_idx.id()]),
+        wave_dep: HashSet::from([n_idx.id()]),
+        env: HashMap::new(),
+    };
+    let (stmts, node_let): (&[Stmt], Option<(&Var, &IdxExpr)>) = match body {
+        [Stmt::Let { var, value, body }] => (body.as_slice(), Some((var, value))),
+        other => (other, None),
+    };
+    if let Some((var, value)) = node_let {
+        if injective_in(value, n_idx) {
+            // The node alias enumerates distinct rows per iteration —
+            // itself an iteration-unique row slot.
+            cx.row_slots.insert(var.id());
+        }
+        if cx.uses_wave(value) {
+            cx.wave_dep.insert(var.id());
+        }
+    }
+    let mut stored = HashSet::new();
+    for s in stmts {
+        collect_stored(s, &mut stored);
+    }
+    match certify_stmts(stmts, &mut cx, &stored) {
+        Ok(()) => ParSafety::RowDisjoint,
+        Err(reason) => ParSafety::Sequential { reason },
+    }
+}
+
+struct WaveCx {
+    /// Slots holding an iteration-unique row (the wave counter and
+    /// injective aliases of it).
+    row_slots: HashSet<u32>,
+    /// Slots whose value varies with the wave iteration at all.
+    wave_dep: HashSet<u32>,
+    /// Let-bound region aliases (var id → region of the bound value).
+    env: HashMap<u32, RegionDim>,
+}
+
+impl WaveCx {
+    /// Whether evaluating `e` depends on the wave iteration.
+    fn uses_wave(&self, e: &IdxExpr) -> bool {
+        let mut free = Vec::new();
+        effects::idx_slots(e, &mut Vec::new(), &mut free);
+        free.iter().any(|v| self.wave_dep.contains(v))
+    }
+
+    /// Whether `r` is the iteration's own row.
+    fn is_own_row(&self, r: &RegionDim) -> bool {
+        matches!(r, RegionDim::Slot(s) if self.row_slots.contains(s))
+    }
+
+    /// Whether `r` is a strictly-earlier wave's row: a child chain
+    /// rooted at the iteration's own row.
+    fn is_earlier_row(&self, r: &RegionDim) -> bool {
+        match r {
+            RegionDim::Child { of, .. } => self.is_own_row(of) || self.is_earlier_row(of),
+            _ => false,
+        }
+    }
+}
+
+fn certify_stmts(
+    stmts: &[Stmt],
+    cx: &mut WaveCx,
+    stored: &HashSet<TensorId>,
+) -> Result<(), SeqReason> {
+    for s in stmts {
+        match s {
+            Stmt::Barrier => return Err(SeqReason::Barrier),
+            Stmt::For { var, body, .. } => {
+                // A nested counter is iteration-independent (it restarts
+                // per iteration); the coalescer keeps wave-body slots
+                // distinct, so shadowing cannot occur — drop defensively.
+                cx.wave_dep.remove(&var.id());
+                cx.row_slots.remove(&var.id());
+                cx.env.remove(&var.id());
+                certify_stmts(body, cx, stored)?;
+            }
+            Stmt::Let { var, value, body } => {
+                let region = region_of_idx(value, &cx.env);
+                if cx.uses_wave(value) {
+                    cx.wave_dep.insert(var.id());
+                } else {
+                    cx.wave_dep.remove(&var.id());
+                }
+                cx.row_slots.remove(&var.id());
+                cx.env.insert(var.id(), region);
+                certify_stmts(body, cx, stored)?;
+            }
+            Stmt::Store { index, value, .. } => {
+                let mut row_dims = 0usize;
+                for dim in index {
+                    if !cx.uses_wave(dim) {
+                        continue;
+                    }
+                    if !cx.is_own_row(&region_of_idx(dim, &cx.env)) {
+                        return Err(SeqReason::WriteRowAliased);
+                    }
+                    row_dims += 1;
+                }
+                if row_dims == 0 {
+                    return Err(SeqReason::WriteRowShared);
+                }
+                certify_val_loads(value, cx, stored)?;
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                certify_stmts(then_branch, cx, stored)?;
+                certify_stmts(else_branch, cx, stored)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks every load under `e` against the wave's store set.
+fn certify_val_loads(
+    e: &ValExpr,
+    cx: &WaveCx,
+    stored: &HashSet<TensorId>,
+) -> Result<(), SeqReason> {
+    match e {
+        ValExpr::Const(_) => Ok(()),
+        ValExpr::Load { tensor, index } => {
+            if !stored.contains(tensor) {
+                return Ok(());
+            }
+            let mut row_dims = 0usize;
+            for dim in index {
+                if !cx.uses_wave(dim) {
+                    continue;
+                }
+                let r = region_of_idx(dim, &cx.env);
+                if !cx.is_own_row(&r) && !cx.is_earlier_row(&r) {
+                    return Err(SeqReason::ReadOverlapsWrites);
+                }
+                row_dims += 1;
+            }
+            if row_dims == 0 {
+                return Err(SeqReason::FixedRowOfStored);
+            }
+            Ok(())
+        }
+        ValExpr::Unary(_, a) => certify_val_loads(a, cx, stored),
+        ValExpr::Bin(_, a, b) => {
+            certify_val_loads(a, cx, stored)?;
+            certify_val_loads(b, cx, stored)
+        }
+        // The extent and condition load no tensors.
+        ValExpr::Sum { body, .. } => certify_val_loads(body, cx, stored),
+        ValExpr::Select {
+            then, otherwise, ..
+        } => {
+            certify_val_loads(then, cx, stored)?;
+            certify_val_loads(otherwise, cx, stored)
+        }
+    }
+}
+
+fn collect_stored(s: &Stmt, out: &mut HashSet<TensorId>) {
+    s.visit(&mut |st| {
+        if let Stmt::Store { tensor, .. } = st {
+            out.insert(*tensor);
+        }
+    });
+}
+
+/// Whether `e` is injective in `n`: distinct values of `n` produce
+/// distinct results. Recognizes the counter itself, affine offsets with
+/// unit coefficient (`BatchBegin(b) + n`), and the injective node
+/// enumerators (`node_at` / `root_at` / `stage_node` applied to an
+/// injective position).
+fn injective_in(e: &IdxExpr, n: Var) -> bool {
+    use crate::fastdot::idx_uses_var;
+    match e {
+        IdxExpr::Var(v) => *v == n,
+        IdxExpr::Bin(IdxBinOp::Add | IdxBinOp::Sub, a, b) => {
+            (injective_in(a, n) && !idx_uses_var(b, n))
+                || (!idx_uses_var(a, n) && injective_in(b, n))
+        }
+        IdxExpr::Ufn(Ufn::NodeAt | Ufn::RootAt | Ufn::StageNodeAt, args) => {
+            let mut using = args.iter().filter(|a| idx_uses_var(a, n));
+            match (using.next(), using.next()) {
+                (Some(a), None) => injective_in(a, n),
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused row passes
+// ---------------------------------------------------------------------
+
+/// Certifies a fused wave's row passes: whether running the body
+/// statements as whole-wave passes (loop interchange) is
+/// observationally identical to per-node interpretation — and, the same
+/// condition, whether one pass's rows may be served concurrently.
+///
+/// Requirements, each mapped to its [`SeqReason`]:
+///
+/// * every store targets a node-unique row (some non-feature index
+///   position rides the wave variable), so no two nodes' passes write
+///   the same cell — else [`SeqReason::WriteRowShared`];
+/// * passes storing one tensor share one index pattern, so pass order
+///   coincides with body order per row — else
+///   [`SeqReason::StorePatternMismatch`];
+/// * every load of a body-stored tensor either stays within its own
+///   node's row (non-feature index positions structurally equal to the
+///   store's) or reads a strictly-earlier wave's row through a child
+///   indirection rooted at the wave node — else
+///   [`SeqReason::ReadOverlapsWrites`].
+///
+/// [`plan_fused_wave`](super::super::bulk) only builds a [`FusedWave`]
+/// when this certifies [`ParSafety::RowDisjoint`], so every fused wave
+/// stored in a program carries — and `verify` re-derives — a
+/// row-disjoint certificate.
+pub(crate) fn certify_fused(loops: &[FusedLoop], n_idx: Var, node: Option<Var>) -> ParSafety {
+    use crate::fastdot::idx_uses_var;
+    let mut stores: HashMap<TensorId, (&[IdxExpr], usize)> = HashMap::new();
+    for fl in loops {
+        let p = &fl.plan;
+        // A store must hit a different row for every node of the wave.
+        let node_dep = p.index.iter().enumerate().any(|(d, e)| {
+            d != p.i_pos && (idx_uses_var(e, n_idx) || node.is_some_and(|nv| idx_uses_var(e, nv)))
+        });
+        if !node_dep {
+            return ParSafety::Sequential {
+                reason: SeqReason::WriteRowShared,
+            };
+        }
+        match stores.entry(p.tensor) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let &(idx, ipos) = e.get();
+                if idx != p.index.as_slice() || ipos != p.i_pos {
+                    return ParSafety::Sequential {
+                        reason: SeqReason::StorePatternMismatch,
+                    };
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((p.index.as_slice(), p.i_pos));
+            }
+        }
+    }
+    for fl in loops {
+        if !fused_loads_disjoint(&fl.plan.expr, &stores, n_idx, node) {
+            return ParSafety::Sequential {
+                reason: SeqReason::ReadOverlapsWrites,
+            };
+        }
+    }
+    ParSafety::RowDisjoint
+}
+
+fn fused_loads_disjoint(
+    e: &BulkExpr,
+    stores: &HashMap<TensorId, (&[IdxExpr], usize)>,
+    n_idx: Var,
+    node: Option<Var>,
+) -> bool {
+    match e {
+        BulkExpr::Load { tensor, index, .. } => {
+            let Some(&(s_idx, s_ipos)) = stores.get(tensor) else {
+                return true; // not written by this wave body
+            };
+            if index.len() != s_idx.len() {
+                return false;
+            }
+            index.iter().enumerate().all(|(d, ix)| {
+                // Within the stored row's feature dimension, any element
+                // is same-row; elsewhere the coordinate must match the
+                // store's (same node row) or be an earlier-wave child
+                // row.
+                d == s_ipos
+                    || *ix == s_idx[d]
+                    || crate::wave::is_wave_child_indirection(ix, n_idx, node)
+            })
+        }
+        BulkExpr::Const(_) | BulkExpr::MemoSum(_) => true,
+        BulkExpr::Unary(_, a) => fused_loads_disjoint(a, stores, n_idx, node),
+        BulkExpr::Bin(_, a, b) => {
+            fused_loads_disjoint(a, stores, n_idx, node)
+                && fused_loads_disjoint(b, stores, n_idx, node)
+        }
+        // Guard conditions load no tensors.
+        BulkExpr::Select {
+            then, otherwise, ..
+        } => {
+            fused_loads_disjoint(then, stores, n_idx, node)
+                && fused_loads_disjoint(otherwise, stores, n_idx, node)
+        }
+    }
+}

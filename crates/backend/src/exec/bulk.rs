@@ -75,11 +75,12 @@ pub(crate) enum BulkExpr {
 /// instead of `wave_len` per-node body walks, so per-loop constants
 /// (plan lookup, pool round-trips) amortize over the wave, and in
 /// `run_many` over every parked request of a super-wave flush. The
-/// interchange is valid because [`fused_loads_safe`] restricts
-/// cross-statement reads to each node's own rows (pass order ≡ body
-/// order per row) or strictly-earlier-wave rows (child indirections);
-/// all profile counters are order-independent sums, so the `Profile` is
-/// bit-identical to per-node interpretation.
+/// interchange is valid because the parallel-safety certifier
+/// ([`certify_fused`](super::analysis::parsafety::certify_fused))
+/// restricts cross-statement reads to each node's own rows (pass order
+/// ≡ body order per row) or strictly-earlier-wave rows (child
+/// indirections); all profile counters are order-independent sums, so
+/// the `Profile` is bit-identical to per-node interpretation.
 pub(crate) struct FusedWave {
     /// Slot of the wave loop variable.
     pub(crate) n_idx_slot: usize,
@@ -227,7 +228,10 @@ fn plan_fused_wave(
     let node_var = node_let
         .as_ref()
         .map(|(slot, _)| cortex_core::Var::from_raw(*slot as u32));
-    if !fused_loads_safe(&loops, *var, node_var) {
+    // Only row-disjoint bodies fuse: the loop interchange (and any
+    // future row-parallel execution) needs the certificate.
+    let safety = super::analysis::parsafety::certify_fused(&loops, *var, node_var);
+    if safety != super::analysis::ParSafety::RowDisjoint {
         return None;
     }
     Some(FusedWave {
@@ -235,90 +239,6 @@ fn plan_fused_wave(
         node_let,
         loops,
     })
-}
-
-/// Whether running the body statements as whole-wave passes (loop
-/// interchange) is observationally identical to per-node interpretation:
-///
-/// * every store targets a node-unique row (some non-feature index
-///   position rides the wave variable), so no two nodes' passes write
-///   the same cell;
-/// * every load of a body-stored tensor either stays within its own
-///   node's row (non-feature index positions structurally equal to the
-///   store's) — where pass order coincides with body order — or reads a
-///   strictly-earlier wave's row through a child indirection rooted at
-///   the wave node, which no pass of this wave writes.
-fn fused_loads_safe(
-    loops: &[FusedLoop],
-    n_idx: cortex_core::Var,
-    node: Option<cortex_core::Var>,
-) -> bool {
-    use crate::fastdot::idx_uses_var;
-    let mut stores: HashMap<TensorId, (&[IdxExpr], usize)> = HashMap::new();
-    for fl in loops {
-        let p = &fl.plan;
-        // A store must hit a different row for every node of the wave.
-        let node_dep = p.index.iter().enumerate().any(|(d, e)| {
-            d != p.i_pos && (idx_uses_var(e, n_idx) || node.is_some_and(|nv| idx_uses_var(e, nv)))
-        });
-        if !node_dep {
-            return false;
-        }
-        match stores.entry(p.tensor) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                let &(idx, ipos) = e.get();
-                if idx != p.index.as_slice() || ipos != p.i_pos {
-                    return false;
-                }
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert((p.index.as_slice(), p.i_pos));
-            }
-        }
-    }
-    loops
-        .iter()
-        .all(|fl| bulk_expr_loads_safe(&fl.plan.expr, &stores, n_idx, node))
-}
-
-fn bulk_expr_loads_safe(
-    e: &BulkExpr,
-    stores: &HashMap<TensorId, (&[IdxExpr], usize)>,
-    n_idx: cortex_core::Var,
-    node: Option<cortex_core::Var>,
-) -> bool {
-    match e {
-        BulkExpr::Load { tensor, index, .. } => {
-            let Some(&(s_idx, s_ipos)) = stores.get(tensor) else {
-                return true; // not written by this wave body
-            };
-            if index.len() != s_idx.len() {
-                return false;
-            }
-            index.iter().enumerate().all(|(d, ix)| {
-                // Within the stored row's feature dimension, any element
-                // is same-row; elsewhere the coordinate must match the
-                // store's (same node row) or be an earlier-wave child
-                // row.
-                d == s_ipos
-                    || *ix == s_idx[d]
-                    || crate::wave::is_wave_child_indirection(ix, n_idx, node)
-            })
-        }
-        BulkExpr::Const(_) | BulkExpr::MemoSum(_) => true,
-        BulkExpr::Unary(_, a) => bulk_expr_loads_safe(a, stores, n_idx, node),
-        BulkExpr::Bin(_, a, b) => {
-            bulk_expr_loads_safe(a, stores, n_idx, node)
-                && bulk_expr_loads_safe(b, stores, n_idx, node)
-        }
-        // Guard conditions load no tensors.
-        BulkExpr::Select {
-            then, otherwise, ..
-        } => {
-            bulk_expr_loads_safe(then, stores, n_idx, node)
-                && bulk_expr_loads_safe(otherwise, stores, n_idx, node)
-        }
-    }
 }
 
 /// Tries to compile a feature loop into a [`BulkPlan`].
@@ -460,6 +380,8 @@ impl<'a> Interp<'a> {
         // one strided write, accounting ×h exactly as `record_store`
         // per element would have.
         let (base, stride) = self.strided_offset(plan.tensor, &plan.index, Some(plan.i_pos));
+        #[cfg(feature = "checked")]
+        self.shadow_check_bulk_store(plan.tensor, base, stride, h);
         self.store_gens[plan.tensor.0 as usize] += h as u64;
         if let Some(scope) = self.scopes.last_mut() {
             scope.touch[plan.tensor.0 as usize].1 += h as u64;
@@ -503,6 +425,8 @@ impl<'a> Interp<'a> {
         );
         for fl in &fw.loops {
             for r in 0..wave_len {
+                #[cfg(feature = "checked")]
+                self.shadow_begin_fused_row(r as i64);
                 self.slots[fw.n_idx_slot] = r as i64;
                 if let Some((slot, value)) = &fw.node_let {
                     self.slots[*slot] = self.eval_idx(value);
@@ -518,6 +442,8 @@ impl<'a> Interp<'a> {
                 }
             }
         }
+        #[cfg(feature = "checked")]
+        self.shadow_end_fused();
         let stats = &mut self.caches.stats;
         stats.fused_waves += 1;
         stats.epilogue_ns += t0.elapsed().as_nanos() as u64;
@@ -543,6 +469,8 @@ impl<'a> Interp<'a> {
                 i_pos,
             } => {
                 let (base, stride) = self.strided_offset(*tensor, index, *i_pos);
+                #[cfg(feature = "checked")]
+                self.shadow_check_bulk_load(*tensor, base, stride, h);
                 if let Some(scope) = self.scopes.last_mut() {
                     scope.touch[tensor.0 as usize].0 += h as u64;
                 }

@@ -221,6 +221,8 @@ impl<'a> Interp<'a> {
         }
         if groups > 0 {
             self.caches.stats.waves_batched += 1;
+            #[cfg(feature = "checked")]
+            self.shadow_enter_wave();
         }
         (sites, groups)
     }
@@ -643,6 +645,8 @@ impl<'a> Interp<'a> {
             }
         }
         meta.streams = streams;
+        #[cfg(feature = "checked")]
+        self.shadow_record_row(&resolved, k_len);
         let bufs = &self.bufs;
         let data = |t: usize| -> &[f32] { &bufs[t].as_ref().expect("allocated").data };
         // Fast case: a single plain stream (the matvec row) is a strided
@@ -695,6 +699,10 @@ impl<'a> Interp<'a> {
     /// Deactivates the last `(sites, groups)` of a wave, returning the
     /// group buffers to the per-group pools.
     pub(crate) fn finish_wave(&mut self, (sites, groups): (usize, usize)) {
+        #[cfg(feature = "checked")]
+        if groups > 0 {
+            self.shadow_exit_wave();
+        }
         for _ in 0..sites {
             let site = self.active.pop().expect("active site");
             let pos = self

@@ -267,6 +267,11 @@ pub(crate) struct Interp<'a> {
     /// identical generation counts for a kernel-written weight holding
     /// different values.
     pub(crate) cache_epoch: u64,
+    /// Shadow-access checker state (`checked` builds only): the dynamic
+    /// twin of the static effect summaries — see
+    /// [`super::analysis::shadow`].
+    #[cfg(feature = "checked")]
+    pub(crate) shadow: super::analysis::shadow::ShadowState,
 }
 
 /// Source of [`Interp::cache_epoch`] values.
@@ -358,6 +363,8 @@ impl<'a> Interp<'a> {
             memo: Vec::new(),
             scope_pool: Vec::new(),
             cache_epoch: NEXT_CACHE_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            #[cfg(feature = "checked")]
+            shadow: Default::default(),
         })
     }
 
@@ -529,6 +536,8 @@ impl<'a> Interp<'a> {
     ) {
         let v = self.eval_val(value);
         let off = self.offset(tensor, index);
+        #[cfg(feature = "checked")]
+        self.shadow_check_store(tensor, off);
         self.record_store(tensor);
         let buf = self.bufs[tensor.0 as usize]
             .as_mut()

@@ -22,6 +22,7 @@ use std::rc::Rc;
 use cortex_core::expr::{BoolExpr, IdxExpr, ValExpr};
 use cortex_core::ilir::{LaunchPattern, Stmt};
 
+use super::analysis::parsafety;
 use super::bulk::{BulkPlan, FusedWave};
 use super::program::{KernelDef, LoopDef, Op, Pc, Program, WaveRef};
 use crate::wave::WavePlan;
@@ -177,7 +178,9 @@ pub(crate) fn lower(
         ops: Vec::new(),
         loops: Vec::new(),
         waves: Vec::new(),
+        wave_safety: Vec::new(),
         fused: Vec::new(),
+        fused_safety: Vec::new(),
         bulks: Vec::new(),
         wave_plans,
         bulk_plans,
@@ -203,7 +206,9 @@ pub(crate) fn lower(
         ops: lw.ops,
         loops: lw.loops,
         waves: lw.waves,
+        wave_safety: lw.wave_safety,
         fused: lw.fused,
+        fused_safety: lw.fused_safety,
         bulks: lw.bulks,
         kernels,
         fallback_ops: lw.fallback_ops,
@@ -215,7 +220,9 @@ struct Lowerer<'e> {
     ops: Vec<Op>,
     loops: Vec<LoopDef>,
     waves: Vec<WaveRef>,
+    wave_safety: Vec<parsafety::ParSafety>,
     fused: Vec<Rc<FusedWave>>,
+    fused_safety: Vec<parsafety::ParSafety>,
     bulks: Vec<Rc<BulkPlan>>,
     wave_plans: &'e HashMap<usize, Rc<WavePlan>>,
     bulk_plans: &'e HashMap<(usize, usize), Rc<BulkPlan>>,
@@ -257,10 +264,23 @@ impl<'e> Lowerer<'e> {
                         plan: plan.clone(),
                         for_key: addr,
                     });
+                    // The static parallel-safety certificate of this
+                    // wave's body, re-derived by `verify`.
+                    self.wave_safety
+                        .push(parsafety::certify_wave_body(*var, body));
                     self.waves.len() - 1
                 });
                 let fused = self.fused_waves.get(&key).map(|fw| {
                     self.fused.push(fw.clone());
+                    let node = fw
+                        .node_let
+                        .as_ref()
+                        .map(|(slot, _)| cortex_core::Var::from_raw(*slot as u32));
+                    self.fused_safety.push(parsafety::certify_fused(
+                        &fw.loops,
+                        cortex_core::Var::from_raw(fw.n_idx_slot as u32),
+                        node,
+                    ));
                     self.fused.len() - 1
                 });
 

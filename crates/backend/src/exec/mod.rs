@@ -34,6 +34,7 @@
 //! [`ExecOptions::interp`] as the bit-exactness oracle (`scalar`), the
 //! same cross-check pattern as `bulk: false`.
 
+mod analysis;
 mod bulk;
 mod gather;
 mod interp;
@@ -69,8 +70,16 @@ use lowering::CompiledKernel;
 use run::PcCursor;
 use scalar::RunCursor;
 
+pub use analysis::{ParSafety, SeqReason};
 pub use program::PlanStats;
 pub use verify::VerifyError;
+
+/// Whether this build records every runtime access into the dynamic
+/// shadow checker and asserts it against the static effect summaries
+/// (the `checked` cargo feature). Default builds pay nothing.
+pub fn shadow_checking_enabled() -> bool {
+    cfg!(feature = "checked")
+}
 
 /// Slot/pc/bounds assertions in the pc runtime's hot loops, compiled in
 /// only under the `checked` cargo feature (CI runs the suite with it
@@ -480,6 +489,12 @@ pub struct ExecOptions {
     /// legitimate runs never approach it. The interp oracle carries no
     /// watchdog: it is a diagnostic, never an admission path.
     pub watchdog_fuel: Option<u64>,
+    /// Run the compile-time dataflow optimizer (dead-`Let` elimination
+    /// and register-slot coalescing, `analysis::liveness`) over the
+    /// compiled kernels before analysis and lowering. Outputs and
+    /// `Profile`s are **bit-identical** either way (property-tested);
+    /// the switch exists as that claim's cross-check and a diagnostic.
+    pub optimize: bool,
 }
 
 impl Default for ExecOptions {
@@ -496,6 +511,7 @@ impl Default for ExecOptions {
             max_input_nodes: None,
             max_input_depth: None,
             watchdog_fuel: None,
+            optimize: true,
         }
     }
 }
@@ -615,6 +631,26 @@ pub struct ExecStats {
     /// runtime (`Op::ScalarStmt`). Always 0 today: the lowering is
     /// total, and CI gates it.
     pub interp_stmts: u64,
+    /// Dead `Let` evaluations the dataflow optimizer removed at compile
+    /// time (0 with `optimize: false`). Compile-time facts — these four
+    /// and the reason histogram are seeded into every run's stats so
+    /// one `stats()` read describes the engine end to end.
+    pub dead_ops_eliminated: u64,
+    /// Register slots saved by liveness-based coalescing.
+    pub slots_coalesced: u64,
+    /// Wave bodies (plain and fused) carrying a
+    /// [`ParSafety::RowDisjoint`] certificate: their `d_batch`
+    /// iterations are statically race-free.
+    pub par_safe_waves: u64,
+    /// Wave bodies certified [`ParSafety::Sequential`] — must not be
+    /// dispatched concurrently.
+    pub par_unsafe_waves: u64,
+    /// `par_unsafe_waves` split by [`SeqReason`], indexed by
+    /// [`SeqReason::index`].
+    pub par_unsafe_by_reason: [u64; 6],
+    /// Dynamic shadow-checker assertions executed (0 unless the
+    /// `checked` feature is on — see [`shadow_checking_enabled`]).
+    pub shadow_checks: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -747,10 +783,24 @@ fn build_plans(compiled: Rc<Vec<CompiledKernel>>, opts: ExecOptions) -> (SharedP
     let t0 = Instant::now();
     let plan = lowering::lower(&compiled, &wave_plans, &bulk_plans, &fused_waves);
     let lower_ns = t0.elapsed().as_nanos() as u64;
+    // The lowering certified every wave body it attached a plan to;
+    // count the verdicts here (the caller fills in the optimizer pair,
+    // which is per-compile, not per-lowering).
+    let par_safe_waves = plan
+        .wave_safety
+        .iter()
+        .chain(&plan.fused_safety)
+        .filter(|c| matches!(c, ParSafety::RowDisjoint))
+        .count();
+    let par_unsafe_waves = plan.wave_safety.len() + plan.fused_safety.len() - par_safe_waves;
     let stats = PlanStats {
         plan_ops: plan.ops.len(),
         interp_fallback_stmts: plan.fallback_ops,
         lower_ns,
+        dead_ops_eliminated: 0,
+        slots_coalesced: 0,
+        par_safe_waves,
+        par_unsafe_waves,
     };
     (
         SharedPlans {
@@ -765,6 +815,26 @@ fn build_plans(compiled: Rc<Vec<CompiledKernel>>, opts: ExecOptions) -> (SharedP
     )
 }
 
+/// Compiles the program's kernels and, under `opts.optimize`, runs the
+/// dataflow optimizer over them — the shared front half of
+/// [`Engine::with_options`] and of a `set_options` optimizer toggle.
+fn compile_kernels(
+    program: &IlirProgram,
+    opts: ExecOptions,
+) -> (Rc<Vec<CompiledKernel>>, analysis::liveness::OptStats) {
+    let compiled: Vec<CompiledKernel> = program
+        .kernels
+        .iter()
+        .map(CompiledKernel::compile)
+        .collect();
+    let (compiled, opt_stats) = if opts.optimize {
+        analysis::liveness::optimize_kernels(compiled)
+    } else {
+        (compiled, analysis::liveness::OptStats::default())
+    };
+    (Rc::new(compiled), opt_stats)
+}
+
 impl<'p> Engine<'p> {
     /// Builds an engine with the default options (all fast paths on).
     pub fn new(program: &'p IlirProgram) -> Self {
@@ -773,16 +843,12 @@ impl<'p> Engine<'p> {
 
     /// Builds an engine with explicit executor options.
     pub fn with_options(program: &'p IlirProgram, opts: ExecOptions) -> Self {
-        let compiled: Rc<Vec<CompiledKernel>> = Rc::new(
-            program
-                .kernels
-                .iter()
-                .map(CompiledKernel::compile)
-                .collect(),
-        );
+        let (compiled, opt_stats) = compile_kernels(program, opts);
         let max_slots = compiled.iter().map(|k| k.num_slots).max().unwrap_or(0);
         let plan_arity = verify::plan_arity_bounds(&compiled);
-        let (shared, plan_stats) = build_plans(compiled, opts);
+        let (shared, mut plan_stats) = build_plans(compiled, opts);
+        plan_stats.dead_ops_eliminated = opt_stats.dead_lets;
+        plan_stats.slots_coalesced = opt_stats.slots_coalesced;
         let verified = verify::verify(&shared.plan);
         debug_assert!(verified.is_ok(), "lowering emitted an invalid plan");
         Engine {
@@ -860,6 +926,9 @@ impl<'p> Engine<'p> {
     /// Reconfigures a live engine, invalidating exactly the compiled
     /// state the change can stale:
     ///
+    /// * `optimize` changes the **compiled kernels** themselves, so the
+    ///   kernels recompile from the source program and everything
+    ///   downstream (analyses, lowering, caches) rebuilds with them.
     /// * `wave_gemm` / `gate_stacking` change the **lowering** (which
     ///   loops are waves, how sites group, what the plan ops reference),
     ///   so the analyses and the linear program are rebuilt and every
@@ -877,11 +946,27 @@ impl<'p> Engine<'p> {
         if opts == self.opts {
             return;
         }
-        let lowering_changed =
-            opts.wave_gemm != self.opts.wave_gemm || opts.gate_stacking != self.opts.gate_stacking;
+        let optimize_changed = opts.optimize != self.opts.optimize;
+        let lowering_changed = optimize_changed
+            || opts.wave_gemm != self.opts.wave_gemm
+            || opts.gate_stacking != self.opts.gate_stacking;
         self.opts = opts;
         if lowering_changed {
-            let (shared, plan_stats) = build_plans(self.shared.compiled.clone(), opts);
+            let (compiled, dead, coalesced) = if optimize_changed {
+                let (compiled, opt_stats) = compile_kernels(self.program, opts);
+                self.max_slots = compiled.iter().map(|k| k.num_slots).max().unwrap_or(0);
+                self.plan_arity = verify::plan_arity_bounds(&compiled);
+                (compiled, opt_stats.dead_lets, opt_stats.slots_coalesced)
+            } else {
+                (
+                    self.shared.compiled.clone(),
+                    self.plan_stats.dead_ops_eliminated,
+                    self.plan_stats.slots_coalesced,
+                )
+            };
+            let (shared, mut plan_stats) = build_plans(compiled, opts);
+            plan_stats.dead_ops_eliminated = dead;
+            plan_stats.slots_coalesced = coalesced;
             self.shared = shared;
             self.plan_stats = plan_stats;
             // Re-verify: a rebuilt plan passes the same static checks a
@@ -1052,8 +1137,36 @@ impl<'p> Engine<'p> {
     }
 
     /// Diagnostic counters of the most recent [`Engine::execute`] call.
+    /// The compile-time analysis fields (`dead_ops_eliminated`,
+    /// `slots_coalesced`, `par_*`) are seeded into every run, so one
+    /// read describes the engine end to end.
     pub fn stats(&self) -> ExecStats {
         self.caches.stats
+    }
+
+    /// The [`ExecStats`] every run starts from: zeros for the runtime
+    /// counters, the engine's static-analysis results pre-filled.
+    fn stats_seed(&self) -> ExecStats {
+        let mut par_unsafe_by_reason = [0u64; 6];
+        for cert in self
+            .shared
+            .plan
+            .wave_safety
+            .iter()
+            .chain(&self.shared.plan.fused_safety)
+        {
+            if let ParSafety::Sequential { reason } = cert {
+                par_unsafe_by_reason[reason.index()] += 1;
+            }
+        }
+        ExecStats {
+            dead_ops_eliminated: self.plan_stats.dead_ops_eliminated as u64,
+            slots_coalesced: self.plan_stats.slots_coalesced as u64,
+            par_safe_waves: self.plan_stats.par_safe_waves as u64,
+            par_unsafe_waves: self.plan_stats.par_unsafe_waves as u64,
+            par_unsafe_by_reason,
+            ..ExecStats::default()
+        }
     }
 
     /// Compile-time facts about the lowered plan: instruction count,
@@ -1085,7 +1198,7 @@ impl<'p> Engine<'p> {
     ) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
         self.admit(&[lin], params)?;
         self.refresh_weight_cache(params);
-        self.caches.stats = ExecStats::default();
+        self.caches.stats = self.stats_seed();
         let mut interp = Interp::new(
             self.program,
             lin,
@@ -1149,7 +1262,7 @@ impl<'p> Engine<'p> {
         // good requests solo.
         self.admit(lins, params)?;
         self.refresh_weight_cache(params);
-        self.caches.stats = ExecStats::default();
+        self.caches.stats = self.stats_seed();
         if lins.is_empty() {
             return Ok(Vec::new());
         }

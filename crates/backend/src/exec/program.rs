@@ -37,6 +37,7 @@ use std::rc::Rc;
 use cortex_core::expr::{BoolExpr, IdxExpr};
 use cortex_core::ilir::{LaunchPattern, Stmt};
 
+use super::analysis::ParSafety;
 use super::bulk::{BulkPlan, FusedWave};
 use super::lowering::CompiledKernel;
 use crate::wave::WavePlan;
@@ -141,7 +142,16 @@ pub(crate) struct Program {
     pub(crate) ops: Vec<Op>,
     pub(crate) loops: Vec<LoopDef>,
     pub(crate) waves: Vec<WaveRef>,
+    /// Parallel-safety certificate of each wave's `d_batch` body,
+    /// aligned with `waves`. Computed by the static certifier at
+    /// lowering ([`super::analysis::parsafety`]), re-derived and
+    /// compared by [`super::verify`] so a forged entry is rejected.
+    pub(crate) wave_safety: Vec<ParSafety>,
     pub(crate) fused: Vec<Rc<FusedWave>>,
+    /// Certificate of each fused wave's row passes, aligned with
+    /// `fused`. Row-disjoint by construction (`plan_fused_wave` only
+    /// builds certified waves) — `verify` enforces exactly that.
+    pub(crate) fused_safety: Vec<ParSafety>,
     pub(crate) bulks: Vec<Rc<BulkPlan>>,
     pub(crate) kernels: Vec<KernelDef>,
     /// `ScalarStmt` ops emitted (statements the lowering could not
@@ -163,4 +173,15 @@ pub struct PlanStats {
     pub interp_fallback_stmts: usize,
     /// Wall-clock nanoseconds the lowering pass took at engine build.
     pub lower_ns: u64,
+    /// Dead `Let` bindings the liveness pass eliminated at engine build
+    /// (0 when `ExecOptions::optimize` is off).
+    pub dead_ops_eliminated: usize,
+    /// Register slots saved by liveness-based slot coalescing.
+    pub slots_coalesced: usize,
+    /// Wave bodies certified row-disjoint by the static parallel-safety
+    /// certifier (wave GEMM bodies plus fused row passes).
+    pub par_safe_waves: usize,
+    /// Wave bodies the certifier refused (see
+    /// `ExecStats::par_unsafe_by_reason` for the breakdown).
+    pub par_unsafe_waves: usize,
 }

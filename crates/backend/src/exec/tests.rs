@@ -1014,3 +1014,409 @@ fn guarded_plans_admit_any_arity_and_match_the_oracle() {
     assert_eq!(prof, want_prof, "profiles must be bit-identical");
     assert_eq!(got[&out], want[&out], "outputs must be bit-identical");
 }
+
+// -- static analysis: optimizer, parallel-safety certifier, shadow --
+
+use cortex_core::expr::{IdxBinOp, IdxExpr, Ufn, ValExpr, Var};
+use cortex_core::ilir::{Kernel, LaunchPattern, LoopKind, Stmt};
+
+use super::analysis::liveness::optimize_kernels;
+use super::analysis::parsafety::{certify_fused, certify_wave_body};
+use super::{ParSafety, SeqReason};
+
+fn analysis_kernel(body: Vec<Stmt>) -> CompiledKernel {
+    CompiledKernel::compile(&Kernel {
+        name: "k".into(),
+        launch: LaunchPattern::Once,
+        batch_var: None,
+        body,
+    })
+}
+
+#[test]
+fn optimizer_removes_dead_lets_and_coalesces_slots() {
+    let t = TensorId(0);
+    let v = Var::from_raw;
+    // `let a = 1 { t[0] = 2.0 }` — a is never read: dead.  The two
+    // following Lets have disjoint lifetimes: one slot after coloring.
+    let body = vec![
+        Stmt::Let {
+            var: v(0),
+            value: IdxExpr::Const(1),
+            body: vec![Stmt::Store {
+                tensor: t,
+                index: vec![IdxExpr::Const(0)],
+                value: ValExpr::Const(2.0),
+            }],
+        },
+        Stmt::Let {
+            var: v(1),
+            value: IdxExpr::Const(3),
+            body: vec![Stmt::Store {
+                tensor: t,
+                index: vec![IdxExpr::Var(v(1))],
+                value: ValExpr::Const(4.0),
+            }],
+        },
+        Stmt::Let {
+            var: v(2),
+            value: IdxExpr::Const(5),
+            body: vec![Stmt::Store {
+                tensor: t,
+                index: vec![IdxExpr::Var(v(2))],
+                value: ValExpr::Const(6.0),
+            }],
+        },
+    ];
+    let compiled = vec![analysis_kernel(body)];
+    assert_eq!(compiled[0].num_slots, 3);
+    let (opt, stats) = optimize_kernels(compiled);
+    assert_eq!(stats.dead_lets, 1);
+    assert_eq!(stats.slots_coalesced, 1);
+    assert_eq!(opt[0].num_slots, 1);
+    // The dead Let is gone, its body spliced in place.
+    assert!(
+        matches!(opt[0].body[0], Stmt::Store { .. }),
+        "dead Let spliced"
+    );
+    assert_eq!(opt[0].body.len(), 3);
+}
+
+#[test]
+fn optimizer_preserves_outputs_and_profile() {
+    let h = 8;
+    let (g, out) = matvec_tree(h);
+    let program = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let lin = Linearizer::new()
+        .linearize(&datasets::random_binary_tree(21, 11))
+        .unwrap();
+    let mut params = Params::new();
+    params.set("W", Tensor::random(&[h, h], 0.5, 7));
+    params.set(
+        "Emb",
+        Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42),
+    );
+    let mut opt = Engine::new(&program);
+    let mut raw = Engine::with_options(
+        &program,
+        ExecOptions {
+            optimize: false,
+            ..ExecOptions::default()
+        },
+    );
+    let (got, prof) = opt.execute(&lin, &params, true).unwrap();
+    let (want, want_prof) = raw.execute(&lin, &params, true).unwrap();
+    assert_eq!(prof, want_prof, "profiles must be bit-identical");
+    assert_eq!(got[&out], want[&out], "outputs must be bit-identical");
+    // Toggling the optimizer on a live engine recompiles; the engine is
+    // indistinguishable from the fresh unoptimized build.
+    opt.set_options(ExecOptions {
+        optimize: false,
+        ..ExecOptions::default()
+    });
+    assert_eq!(opt.verified(), Ok(()));
+    assert_eq!(opt.stats().dead_ops_eliminated, 0, "optimizer off");
+    let (re, re_prof) = opt.execute(&lin, &params, true).unwrap();
+    assert_eq!(re_prof, want_prof);
+    assert_eq!(re[&out], want[&out]);
+}
+
+#[test]
+fn certifier_accepts_own_row_writes_and_child_reads() {
+    let t = TensorId(7);
+    let n = Var::from_raw(0);
+    let j = Var::from_raw(1);
+    // for j { t[n][j] = t[child(0, n)][j] } — own-row write, strictly
+    // earlier row read through the child indirection: race-free.
+    let body = vec![Stmt::For {
+        var: j,
+        extent: IdxExpr::Const(4),
+        kind: LoopKind::Serial,
+        dim: None,
+        body: vec![Stmt::Store {
+            tensor: t,
+            index: vec![IdxExpr::Var(n), IdxExpr::Var(j)],
+            value: ValExpr::Load {
+                tensor: t,
+                index: vec![
+                    IdxExpr::Ufn(Ufn::Child(0), vec![IdxExpr::Var(n)]),
+                    IdxExpr::Var(j),
+                ],
+            },
+        }],
+    }];
+    assert_eq!(certify_wave_body(n, &body), ParSafety::RowDisjoint);
+}
+
+#[test]
+fn certifier_accepts_the_node_alias_binding() {
+    let t = TensorId(3);
+    let n = Var::from_raw(0);
+    let b = Var::from_raw(1);
+    // let node = batch_begin[b] + n { t[node] = 1.0 } — the lowered
+    // d_batch shape: the alias enumerates distinct rows per iteration.
+    let body = vec![Stmt::Let {
+        var: Var::from_raw(2),
+        value: IdxExpr::Ufn(Ufn::BatchBegin, vec![IdxExpr::Var(b)]).add(IdxExpr::Var(n)),
+        body: vec![Stmt::Store {
+            tensor: t,
+            index: vec![IdxExpr::Var(Var::from_raw(2))],
+            value: ValExpr::Const(1.0),
+        }],
+    }];
+    assert_eq!(certify_wave_body(n, &body), ParSafety::RowDisjoint);
+}
+
+#[test]
+fn certifier_rejects_overlapping_writes_with_typed_reasons() {
+    let t = TensorId(7);
+    let n = Var::from_raw(0);
+    let j = Var::from_raw(1);
+    let store = |row: IdxExpr, value: ValExpr| Stmt::Store {
+        tensor: t,
+        index: vec![row, IdxExpr::Var(j)],
+        value,
+    };
+    let seq = |reason| ParSafety::Sequential { reason };
+    // Every iteration writes row 0: a guaranteed write-write race.
+    assert_eq!(
+        certify_wave_body(n, &[store(IdxExpr::Const(0), ValExpr::Const(1.0))]),
+        seq(SeqReason::WriteRowShared)
+    );
+    // Row n/2: iterations 2k and 2k+1 collide.
+    assert_eq!(
+        certify_wave_body(
+            n,
+            &[store(
+                IdxExpr::Bin(
+                    IdxBinOp::Div,
+                    Box::new(IdxExpr::Var(n)),
+                    Box::new(IdxExpr::Const(2))
+                ),
+                ValExpr::Const(1.0)
+            )]
+        ),
+        seq(SeqReason::WriteRowAliased)
+    );
+    // t[n] = t[n + 1]: reads a row a *later* iteration writes.
+    assert_eq!(
+        certify_wave_body(
+            n,
+            &[store(
+                IdxExpr::Var(n),
+                ValExpr::Load {
+                    tensor: t,
+                    index: vec![IdxExpr::Var(n).add(IdxExpr::Const(1)), IdxExpr::Var(j)],
+                }
+            )]
+        ),
+        seq(SeqReason::ReadOverlapsWrites)
+    );
+    // t[n] = t[0]: the fixed row is some iteration's own write target.
+    assert_eq!(
+        certify_wave_body(
+            n,
+            &[store(
+                IdxExpr::Var(n),
+                ValExpr::Load {
+                    tensor: t,
+                    index: vec![IdxExpr::Const(0), IdxExpr::Var(j)],
+                }
+            )]
+        ),
+        seq(SeqReason::FixedRowOfStored)
+    );
+    // An explicit Barrier stages its own ordering.
+    assert_eq!(
+        certify_wave_body(n, &[Stmt::Barrier]),
+        seq(SeqReason::Barrier)
+    );
+}
+
+/// Builds the shared plans of a model for certificate-forging tests.
+fn forgeable_plans(g: &RaGraph) -> super::SharedPlans {
+    let ilir = lower(g, &RaSchedule::default(), StructureInfo { max_children: 2 }).unwrap();
+    let compiled: Rc<Vec<CompiledKernel>> =
+        Rc::new(ilir.kernels.iter().map(CompiledKernel::compile).collect());
+    let (shared, _) = super::build_plans(compiled, ExecOptions::default());
+    assert_eq!(verify(&shared.plan), Ok(()), "genuine plan verifies");
+    // The ILIR program owns nothing the plan points into (the compiled
+    // kernels do, and `shared` keeps them alive) — safe to drop.
+    shared
+}
+
+#[test]
+fn verify_rejects_forged_wave_certificate() {
+    let (g, _) = matvec_tree(6);
+    let mut shared = forgeable_plans(&g);
+    let plan = Rc::get_mut(&mut shared.plan).expect("sole owner");
+    assert!(
+        !plan.wave_safety.is_empty(),
+        "default schedule lowers waves"
+    );
+    plan.wave_safety[0] = match plan.wave_safety[0] {
+        ParSafety::RowDisjoint => ParSafety::Sequential {
+            reason: SeqReason::WriteRowShared,
+        },
+        ParSafety::Sequential { .. } => ParSafety::RowDisjoint,
+    };
+    assert_eq!(
+        verify(&shared.plan),
+        Err(VerifyError::CertificateMismatch {
+            what: "wave",
+            index: 0
+        })
+    );
+}
+
+#[test]
+fn verify_rejects_forged_fused_certificate() {
+    let (g, _) = matvec_tree(6);
+    let mut shared = forgeable_plans(&g);
+    let plan = Rc::get_mut(&mut shared.plan).expect("sole owner");
+    assert!(
+        !plan.fused_safety.is_empty(),
+        "matvec body fuses under the default schedule"
+    );
+    plan.fused_safety[0] = ParSafety::Sequential {
+        reason: SeqReason::ReadOverlapsWrites,
+    };
+    assert_eq!(
+        verify(&shared.plan),
+        Err(VerifyError::CertificateMismatch {
+            what: "fused",
+            index: 0
+        })
+    );
+}
+
+#[test]
+fn verify_rejects_certificate_table_length_mismatch() {
+    let (g, _) = matvec_tree(6);
+    let mut shared = forgeable_plans(&g);
+    let plan = Rc::get_mut(&mut shared.plan).expect("sole owner");
+    plan.wave_safety.pop();
+    assert!(matches!(
+        verify(&shared.plan),
+        Err(VerifyError::CertificateMismatch { what: "wave", .. })
+    ));
+}
+
+#[test]
+fn engine_stats_surface_the_analysis_results() {
+    let h = 8;
+    let (g, _) = matvec_tree(h);
+    let program = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let lin = Linearizer::new()
+        .linearize(&datasets::random_binary_tree(15, 3))
+        .unwrap();
+    let mut params = Params::new();
+    params.set("W", Tensor::random(&[h, h], 0.5, 7));
+    params.set(
+        "Emb",
+        Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42),
+    );
+    let mut engine = Engine::new(&program);
+    engine.execute(&lin, &params, true).unwrap();
+    let stats = engine.stats();
+    let ps = engine.plan_stats();
+    assert_eq!(stats.par_safe_waves, ps.par_safe_waves as u64);
+    assert_eq!(stats.par_unsafe_waves, ps.par_unsafe_waves as u64);
+    assert!(
+        stats.par_safe_waves > 0,
+        "the matvec wave certifies row-disjoint"
+    );
+    assert_eq!(
+        stats.par_unsafe_waves,
+        stats.par_unsafe_by_reason.iter().sum::<u64>()
+    );
+    assert_eq!(stats.dead_ops_eliminated, ps.dead_ops_eliminated as u64);
+    assert_eq!(stats.slots_coalesced, ps.slots_coalesced as u64);
+    if cfg!(feature = "checked") {
+        assert!(super::shadow_checking_enabled());
+        assert!(stats.shadow_checks > 0, "shadow hooks recorded accesses");
+    } else {
+        assert!(!super::shadow_checking_enabled());
+        assert_eq!(stats.shadow_checks, 0);
+    }
+}
+
+#[test]
+fn certify_fused_rejects_overlapping_row_passes() {
+    use super::bulk::{BulkExpr, BulkPlan, FusedLoop};
+    let n = Var::from_raw(0);
+    let t = TensorId(4);
+    let plan = |index: Vec<IdxExpr>, i_pos: usize, expr: BulkExpr| {
+        Rc::new(BulkPlan {
+            h: 4,
+            feat_slot: 1,
+            tensor: t,
+            index,
+            i_pos,
+            expr,
+            sum_keys: Vec::new(),
+        })
+    };
+    let own_row = vec![IdxExpr::Var(n), IdxExpr::Var(Var::from_raw(1))];
+    // Pass writes t[0][i] — every row of the wave hits the same cells.
+    let shared = FusedLoop {
+        outer: None,
+        plan: plan(
+            vec![IdxExpr::Const(0), IdxExpr::Var(Var::from_raw(1))],
+            1,
+            BulkExpr::Const(1.0),
+        ),
+    };
+    assert_eq!(
+        certify_fused(&[shared], n, None),
+        ParSafety::Sequential {
+            reason: SeqReason::WriteRowShared
+        }
+    );
+    // Pass reads its own tensor at the *next* row: cross-row overlap.
+    let overlapping = FusedLoop {
+        outer: None,
+        plan: plan(
+            own_row.clone(),
+            1,
+            BulkExpr::Load {
+                tensor: t,
+                index: vec![
+                    IdxExpr::Var(n).add(IdxExpr::Const(1)),
+                    IdxExpr::Var(Var::from_raw(1)),
+                ],
+                i_pos: Some(1),
+            },
+        ),
+    };
+    assert_eq!(
+        certify_fused(&[overlapping], n, None),
+        ParSafety::Sequential {
+            reason: SeqReason::ReadOverlapsWrites
+        }
+    );
+    // Own-row read is fine.
+    let own = FusedLoop {
+        outer: None,
+        plan: plan(
+            own_row.clone(),
+            1,
+            BulkExpr::Load {
+                tensor: t,
+                index: own_row,
+                i_pos: Some(1),
+            },
+        ),
+    };
+    assert_eq!(certify_fused(&[own], n, None), ParSafety::RowDisjoint);
+}

@@ -17,7 +17,11 @@
 //!   ([`VerifyError::MissingBarrier`]);
 //! * every raw expression pointer an op carries is owned by the
 //!   engine's compiled kernels — the pointer invariant the runtime's
-//!   `unsafe` dereferences rely on ([`VerifyError::ForeignExpr`]).
+//!   `unsafe` dereferences rely on ([`VerifyError::ForeignExpr`]);
+//! * every stored parallel-safety certificate matches what the static
+//!   certifier derives from the kernels, and every fused wave's is
+//!   `RowDisjoint` — a forged or stale certificate is rejected before
+//!   any run is admitted ([`VerifyError::CertificateMismatch`]).
 //!
 //! The scan is textual (it does not follow jumps): the lowering emits
 //! defs lexically before their uses and brackets loops in op order, so
@@ -25,7 +29,7 @@
 //! Verification is build-time only — the runtime's dispatch loop is
 //! untouched in default builds.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use cortex_core::expr::{BoolExpr, CmpOp, IdxExpr, Ufn, ValExpr};
 use cortex_core::ilir::Stmt;
@@ -110,6 +114,16 @@ pub enum VerifyError {
         /// Which field disagrees.
         what: &'static str,
     },
+    /// A stored parallel-safety certificate disagrees with the one the
+    /// certifier re-derives from the compiled kernels (or a fused wave
+    /// carries anything other than `RowDisjoint`): the plan was forged
+    /// or tampered with after lowering.
+    CertificateMismatch {
+        /// Which certificate table (`"wave"` / `"fused"`).
+        what: &'static str,
+        /// Index into that table.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -156,6 +170,13 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::BadLoopShape { op, loop_id, what } => {
                 write!(f, "op {op}: loop {loop_id} has inconsistent {what}")
+            }
+            VerifyError::CertificateMismatch { what, index } => {
+                write!(
+                    f,
+                    "{what} certificate {index} does not match the re-derived parallel-safety \
+                     analysis"
+                )
             }
         }
     }
@@ -428,6 +449,88 @@ pub(crate) fn verify(plan: &Program) -> Result<(), VerifyError> {
             .map(|k| k.num_slots)
             .unwrap_or(usize::MAX);
         verify_kernel(plan, &owned, ki, kd.entry..end, limit)?;
+    }
+    verify_certificates(plan)
+}
+
+/// Re-derives every parallel-safety certificate from the compiled
+/// kernels and compares it with the stored one, so a forged or stale
+/// certificate never reaches a consumer (the multicore dispatcher
+/// trusts `RowDisjoint` blindly — this is where that trust is earned).
+fn verify_certificates(plan: &Program) -> Result<(), VerifyError> {
+    use super::analysis::parsafety::{self, ParSafety};
+    if plan.wave_safety.len() != plan.waves.len() {
+        return Err(VerifyError::CertificateMismatch {
+            what: "wave",
+            index: plan.wave_safety.len().min(plan.waves.len()),
+        });
+    }
+    if plan.fused_safety.len() != plan.fused.len() {
+        return Err(VerifyError::CertificateMismatch {
+            what: "fused",
+            index: plan.fused_safety.len().min(plan.fused.len()),
+        });
+    }
+    // Wave bodies are found back through the plan's `for_key` (the
+    // planned `For`'s statement address within the compiled kernels).
+    // An explicit walker — `Stmt::visit` cannot lend references with
+    // the tree's lifetime out of its callback.
+    fn collect_fors<'a>(s: &'a Stmt, out: &mut HashMap<usize, (cortex_core::Var, &'a [Stmt])>) {
+        match s {
+            Stmt::For { var, body, .. } => {
+                out.insert(s as *const Stmt as usize, (*var, body.as_slice()));
+                body.iter().for_each(|c| collect_fors(c, out));
+            }
+            Stmt::Let { body, .. } => body.iter().for_each(|c| collect_fors(c, out)),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.iter().for_each(|c| collect_fors(c, out));
+                else_branch.iter().for_each(|c| collect_fors(c, out));
+            }
+            Stmt::Store { .. } | Stmt::Barrier => {}
+        }
+    }
+    let mut fors: HashMap<usize, (cortex_core::Var, &[Stmt])> = HashMap::new();
+    for k in plan.source.iter() {
+        for s in &k.body {
+            collect_fors(s, &mut fors);
+        }
+    }
+    for (i, (wref, cert)) in plan.waves.iter().zip(&plan.wave_safety).enumerate() {
+        let Some(&(var, body)) = fors.get(&wref.for_key) else {
+            return Err(VerifyError::CertificateMismatch {
+                what: "wave",
+                index: i,
+            });
+        };
+        if parsafety::certify_wave_body(var, body) != *cert {
+            return Err(VerifyError::CertificateMismatch {
+                what: "wave",
+                index: i,
+            });
+        }
+    }
+    for (i, (fw, cert)) in plan.fused.iter().zip(&plan.fused_safety).enumerate() {
+        let node = fw
+            .node_let
+            .as_ref()
+            .map(|(slot, _)| cortex_core::Var::from_raw(*slot as u32));
+        let derived = parsafety::certify_fused(
+            &fw.loops,
+            cortex_core::Var::from_raw(fw.n_idx_slot as u32),
+            node,
+        );
+        // A fused wave must not merely match: only row-disjoint bodies
+        // may fuse at all.
+        if derived != *cert || derived != ParSafety::RowDisjoint {
+            return Err(VerifyError::CertificateMismatch {
+                what: "fused",
+                index: i,
+            });
+        }
     }
     Ok(())
 }

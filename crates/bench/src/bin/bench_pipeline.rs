@@ -14,7 +14,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "cortex-bench-pipeline/v5",
+//!   "schema": "cortex-bench-pipeline/v6",
 //!   "results": [
 //!     {"bench": "treelstm_h256_bs16", "nodes": 1234, "hidden": 256,
 //!      "scalar_ms": 12.3, "batched_ms": 3.2, "generic_ms": 88.0,
@@ -43,6 +43,10 @@
 //! "rational"), plus the `dagrnn_h256` row (Select-guarded DAG serving,
 //! CI-gated ≥10× batched/scalar) and a rational-mode seqlstm row whose
 //! outputs are verified ≤1e-4 against the exact references.
+//! Schema v6 adds the static-analysis trajectory to each lowering
+//! entry: `dead_ops_eliminated` / `slots_coalesced` (the dataflow
+//! optimizer's work) and `par_safe_waves` / `par_unsafe_waves` (the
+//! parallel-safety certifier's verdict counts).
 
 use std::fmt::Write as _;
 
@@ -307,26 +311,37 @@ fn main() {
             let program = model.lower(&RaSchedule::default()).expect("lowers");
             let plan = Engine::new(&program).plan_stats();
             println!(
-                "lowering {name:<10} plan_ops={:<5} lower={:.3}ms fallback_stmts={}",
+                "lowering {name:<10} plan_ops={:<5} lower={:.3}ms fallback_stmts={} \
+                 dead_ops={} coalesced={} par_safe={} par_unsafe={}",
                 plan.plan_ops,
                 plan.lower_ns as f64 / 1e6,
-                plan.interp_fallback_stmts
+                plan.interp_fallback_stmts,
+                plan.dead_ops_eliminated,
+                plan.slots_coalesced,
+                plan.par_safe_waves,
+                plan.par_unsafe_waves
             );
             (*name, plan)
         })
         .collect();
 
     let mut json =
-        String::from("{\n  \"schema\": \"cortex-bench-pipeline/v5\",\n  \"lowering\": [\n");
+        String::from("{\n  \"schema\": \"cortex-bench-pipeline/v6\",\n  \"lowering\": [\n");
     for (i, (name, plan)) in lowering.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"model\": \"{}\", \"plan_ops\": {}, \"lower_ms\": {:.4}, \
-             \"interp_fallback_stmts\": {}}}{}",
+             \"interp_fallback_stmts\": {}, \"dead_ops_eliminated\": {}, \
+             \"slots_coalesced\": {}, \"par_safe_waves\": {}, \
+             \"par_unsafe_waves\": {}}}{}",
             name,
             plan.plan_ops,
             plan.lower_ns as f64 / 1e6,
             plan.interp_fallback_stmts,
+            plan.dead_ops_eliminated,
+            plan.slots_coalesced,
+            plan.par_safe_waves,
+            plan.par_unsafe_waves,
             if i + 1 < lowering.len() { ",\n" } else { "\n" }
         );
     }

@@ -1,0 +1,289 @@
+//! Workspace lint: mechanical invariants `clippy` does not enforce.
+//!
+//! Scans every `crates/**/*.rs` source file (comments and string
+//! literals stripped, so prose never trips a rule) and fails the build
+//! on:
+//!
+//! 1. **`unsafe`** outside the allowlist in `lint-allow.txt` — every
+//!    `unsafe` block in this repo carries a verifier- or
+//!    analysis-backed invariant; new ones must be added to the
+//!    allowlist deliberately, in the same PR that argues their safety.
+//! 2. **Raw clock reads** (`Instant::now()` / `SystemTime::now()`)
+//!    outside the allowlist — serving code must go through the `Clock`
+//!    abstraction so tests and replay stay deterministic; the allowlist
+//!    names the `Clock` impls and the measurement-only crates.
+//! 3. **`.unwrap()` in `cortex-serve` non-test code** — the serving
+//!    front returns typed errors; a panic in the request path defeats
+//!    its fault containment. Test modules (after the file's first
+//!    `#[cfg(test)]`) are exempt.
+//!
+//! Run with `cargo run --release -p cortex-bench-harness --bin lint`;
+//! CI runs it as part of the `analysis-gates` job. Exit code 1 on any
+//! violation, each reported as `path:line: rule`.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// Replaces comments, string literals, and char literals with spaces,
+/// preserving newlines so reported line numbers match the source.
+fn strip(source: &str) -> String {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                while i < b.len() && b[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let mut depth = 1;
+                out.push_str("  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            'r' if i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '#') => {
+                // Raw string r"..." / r#"..."# (any hash depth).
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '"' {
+                    out.push(' ');
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i = j + 1;
+                    'raw: while i < b.len() {
+                        if b[i] == '"' {
+                            let mut k = i + 1;
+                            let mut seen = 0;
+                            while k < b.len() && b[k] == '#' && seen < hashes {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                for _ in 0..=hashes {
+                                    out.push(' ');
+                                }
+                                i = k;
+                                break 'raw;
+                            }
+                        }
+                        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                } else {
+                    out.push('r');
+                    i += 1;
+                }
+            }
+            '"' => {
+                out.push(' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '"' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime: a literal closes within a
+                // couple of characters ('x', '\n', '\u{...}').
+                let close = (i + 2..(i + 12).min(b.len())).find(|&k| b[k] == '\'');
+                let is_char = match close {
+                    Some(k) => b[i + 1] == '\\' || k == i + 2,
+                    None => false,
+                };
+                if let (true, Some(k)) = (is_char, close) {
+                    for _ in i..=k {
+                        out.push(' ');
+                    }
+                    i = k + 1;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether `hay[at..]` starts a standalone occurrence of `word`.
+fn word_at(hay: &[char], at: usize, word: &str) -> bool {
+    let w: Vec<char> = word.chars().collect();
+    if at + w.len() > hay.len() || hay[at..at + w.len()] != w[..] {
+        return false;
+    }
+    let wordish = |c: char| c.is_alphanumeric() || c == '_';
+    let before_ok = at == 0 || !wordish(hay[at - 1]);
+    let after_ok = at + w.len() == hay.len() || !wordish(hay[at + w.len()]);
+    before_ok && after_ok
+}
+
+/// Lines (1-based) on which `needle` occurs in the stripped text;
+/// `word` restricts matches to identifier boundaries.
+fn find_lines(stripped: &str, needle: &str, word: bool) -> Vec<usize> {
+    let chars: Vec<char> = stripped.chars().collect();
+    let first: Vec<char> = needle.chars().collect();
+    let mut line = 1;
+    let mut out = Vec::new();
+    for at in 0..chars.len() {
+        if chars[at] == '\n' {
+            line += 1;
+            continue;
+        }
+        let hit = if word {
+            word_at(&chars, at, needle)
+        } else {
+            at + first.len() <= chars.len() && chars[at..at + first.len()] == first[..]
+        };
+        if hit {
+            out.push(line);
+        }
+    }
+    out
+}
+
+/// The `[section]`-keyed allowlist of repo-relative paths.
+fn load_allowlist(path: &Path) -> std::collections::HashMap<String, HashSet<String>> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut out: std::collections::HashMap<String, HashSet<String>> = Default::default();
+    let mut section = String::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.to_string();
+        } else {
+            assert!(!section.is_empty(), "allowlist entry before any [section]");
+            out.entry(section.clone())
+                .or_default()
+                .insert(line.to_string());
+        }
+    }
+    out
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable source tree") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    // crates/bench -> crates -> repo root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("repo root")
+        .to_path_buf();
+    let allow = load_allowlist(&root.join("lint-allow.txt"));
+    let empty = HashSet::new();
+    let allow_unsafe = allow.get("unsafe").unwrap_or(&empty);
+    let allow_clock = allow.get("clock").unwrap_or(&empty);
+
+    let mut sources = Vec::new();
+    rust_sources(&root.join("crates"), &mut sources);
+    sources.sort();
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for path in &sources {
+        let rel = path
+            .strip_prefix(&root)
+            .expect("under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(path).expect("readable source");
+        let stripped = strip(&text);
+        scanned += 1;
+
+        if !allow_unsafe.contains(&rel) {
+            for line in find_lines(&stripped, "unsafe", true) {
+                violations.push(format!(
+                    "{rel}:{line}: `unsafe` outside the allowlist (add the file to \
+                     lint-allow.txt [unsafe] with a safety argument, or remove it)"
+                ));
+            }
+        }
+        if !allow_clock.contains(&rel) {
+            for needle in ["Instant::now()", "SystemTime::now()"] {
+                for line in find_lines(&stripped, needle, false) {
+                    violations.push(format!(
+                        "{rel}:{line}: raw `{needle}` outside a Clock impl (inject a \
+                         `Clock`, or allowlist under [clock])"
+                    ));
+                }
+            }
+        }
+        if rel.starts_with("crates/serve/src/") {
+            // Everything after the file's first `#[cfg(test)]` is test
+            // code; the request path above it must not panic.
+            let test_start = text
+                .lines()
+                .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+                .map(|i| i + 1)
+                .unwrap_or(usize::MAX);
+            for line in find_lines(&stripped, ".unwrap()", false) {
+                if line < test_start {
+                    violations.push(format!(
+                        "{rel}:{line}: `.unwrap()` in cortex-serve request-path code \
+                         (return a typed error instead)"
+                    ));
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!("lint: {scanned} files clean");
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("lint: {} violation(s) in {scanned} files", violations.len());
+        std::process::exit(1);
+    }
+}

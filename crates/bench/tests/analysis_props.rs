@@ -1,0 +1,86 @@
+//! Property test for the dataflow optimizer: dead-`Let` elimination and
+//! slot coalescing must be completely unobservable. For every Table 2
+//! model over random forests, an optimized engine, an optimizer-off
+//! engine, and the AST-walking interp oracle must produce bit-identical
+//! outputs AND bit-identical `Profile` counters — the optimizer may
+//! only remove work the accounting never saw.
+
+use cortex_backend::exec::{Engine, ExecOptions};
+use cortex_bench_harness::registry::ModelId;
+use cortex_core::ra::RaSchedule;
+use cortex_ds::linearizer::Linearizer;
+use cortex_rng::Rng;
+
+const ALL_MODELS: [ModelId; 9] = [
+    ModelId::TreeFc,
+    ModelId::DagRnn,
+    ModelId::TreeGru,
+    ModelId::TreeLstm,
+    ModelId::MvRnn,
+    ModelId::TreeRnn,
+    ModelId::SimpleTreeGru,
+    ModelId::SeqLstm,
+    ModelId::SeqGru,
+];
+
+#[test]
+fn optimizer_is_unobservable_across_models_and_random_forests() {
+    let mut rng = Rng::new(0xD01F);
+    for id in ALL_MODELS {
+        let model = id.build(16);
+        let program = model
+            .lower(&RaSchedule::default())
+            .unwrap_or_else(|e| panic!("{}: lower failed: {e}", model.name));
+        let mut optimized = Engine::new(&program);
+        let mut plain = Engine::with_options(
+            &program,
+            ExecOptions {
+                optimize: false,
+                ..ExecOptions::default()
+            },
+        );
+        let mut oracle = Engine::with_options(&program, ExecOptions::interpreted());
+        for _ in 0..3 {
+            let batch = rng.range_usize(1, 4);
+            let seed = rng.next_u64();
+            let structure = id.dataset(batch, seed);
+            let lin = Linearizer::new()
+                .linearize(&structure)
+                .unwrap_or_else(|e| panic!("{}: linearize failed: {e}", model.name));
+            let (got, prof) = optimized
+                .execute(&lin, &model.params, true)
+                .unwrap_or_else(|e| panic!("{}: optimized run failed: {e}", model.name));
+            let (want, want_prof) = plain
+                .execute(&lin, &model.params, true)
+                .unwrap_or_else(|e| panic!("{}: plain run failed: {e}", model.name));
+            let (oracle_out, oracle_prof) = oracle
+                .execute(&lin, &model.params, true)
+                .unwrap_or_else(|e| panic!("{}: oracle run failed: {e}", model.name));
+            assert_eq!(
+                prof, want_prof,
+                "{} (seed {seed}): optimizer changed the Profile",
+                model.name
+            );
+            assert_eq!(
+                prof, oracle_prof,
+                "{} (seed {seed}): pc runtime disagrees with the oracle",
+                model.name
+            );
+            assert_eq!(got.len(), want.len(), "{}: output set", model.name);
+            for (tid, t) in &got {
+                assert_eq!(
+                    Some(t),
+                    want.get(tid),
+                    "{} (seed {seed}): optimizer changed tensor {tid:?}",
+                    model.name
+                );
+                assert_eq!(
+                    Some(t),
+                    oracle_out.get(tid),
+                    "{} (seed {seed}): oracle disagrees on tensor {tid:?}",
+                    model.name
+                );
+            }
+        }
+    }
+}
