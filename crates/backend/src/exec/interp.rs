@@ -1,10 +1,12 @@
 //! Interpreter state shared by both runtimes: buffers, accounting
 //! scopes, engine caches, and index/boolean expression evaluation.
 //!
-//! The [`Interp`] struct is the per-request execution state. Two
-//! front-ends drive it: the pc-based plan runtime ([`super::run`], the
-//! default) and the legacy AST-walking oracle ([`super::scalar`],
-//! `ExecOptions { interp: true }`). Both share every helper here, which
+//! The [`Interp`] struct is the per-request execution state. Three
+//! front-ends drive it: the direct-threaded closure tier
+//! ([`super::threaded`], the default), the pc-based plan runtime
+//! ([`super::run`], the fallback when specialization is off) and the
+//! legacy AST-walking oracle ([`super::scalar`],
+//! `ExecOptions { interp: true }`). All share every helper here, which
 //! is what keeps their outputs and `Profile` counters bit-identical.
 
 use std::collections::HashMap;
@@ -109,23 +111,75 @@ impl BufData {
     }
 }
 
+/// An inline dimension (or stride) list, rank ≤ 8. Buffers are created
+/// and destroyed on every run; storing extents inline instead of in two
+/// heap `Vec`s per tensor removes ~2·tensors allocations from
+/// `Interp::new` and as many deallocations from its drop — a measurable
+/// slice of small solo-run latency.
+#[derive(Clone, Copy)]
+pub(crate) struct Dims {
+    a: [usize; 8],
+    len: u8,
+}
+
+impl std::ops::Deref for Dims {
+    type Target = [usize];
+    #[inline]
+    fn deref(&self) -> &[usize] {
+        &self.a[..self.len as usize]
+    }
+}
+
+impl std::fmt::Debug for Dims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct Buffer {
     pub(crate) data: BufData,
-    pub(crate) dims: Vec<usize>,
-    pub(crate) strides: Vec<usize>,
+    pub(crate) dims: Dims,
+    pub(crate) strides: Dims,
     pub(crate) class: StorageClass,
 }
 
 impl Buffer {
-    pub(crate) fn new(dims: Vec<usize>, class: StorageClass) -> Self {
-        let len: usize = dims.iter().product();
-        let mut strides = vec![1usize; dims.len()];
-        for d in (0..dims.len().saturating_sub(1)).rev() {
-            strides[d] = strides[d + 1] * dims[d + 1];
+    /// A zeroed owned buffer, reusing an allocation from `pool` when one
+    /// with enough capacity is available. Small solo runs pay one
+    /// malloc/free pair per declared tensor otherwise — fixed cost that
+    /// dilutes the dispatch-elimination win the threaded tier measures.
+    pub(crate) fn new(dims: Dims, class: StorageClass, pool: &mut Vec<Vec<f32>>) -> Self {
+        let len: usize = dims.iter().product::<usize>().max(1);
+        let mut v = match pool.iter().position(|p| p.capacity() >= len) {
+            Some(i) => pool.swap_remove(i),
+            None => Vec::new(),
+        };
+        v.clear();
+        v.resize(len, 0.0);
+        Self::with_data(dims, class, BufData::Owned(v))
+    }
+
+    /// A read-only view of an arena allocation: no owned storage is
+    /// allocated (or zeroed) at all — on small solo runs the throwaway
+    /// zero-fill of a `[vocab, h]` embedding table used to dwarf the
+    /// actual execution.
+    pub(crate) fn shared(dims: Dims, class: StorageClass, data: Rc<Vec<f32>>) -> Self {
+        Self::with_data(dims, class, BufData::Shared(data))
+    }
+
+    fn with_data(dims: Dims, class: StorageClass, data: BufData) -> Self {
+        let n = dims.len();
+        let mut sa = [1usize; 8];
+        for d in (0..n.saturating_sub(1)).rev() {
+            sa[d] = sa[d + 1] * dims[d + 1];
         }
+        let strides = Dims {
+            a: sa,
+            len: n as u8,
+        };
         Buffer {
-            data: BufData::Owned(vec![0.0; len.max(1)]),
+            data,
             dims,
             strides,
             class,
@@ -235,6 +289,9 @@ pub(crate) struct Interp<'a> {
     pub(crate) fused_waves: Rc<HashMap<(usize, usize), Rc<FusedWave>>>,
     /// The lowered linear instruction stream the pc runtime executes.
     pub(crate) plan: Rc<Program>,
+    /// The plan specialized into direct-threaded closure code — the
+    /// default dispatch tier when attached (see `super::threaded`).
+    pub(crate) threaded: Option<Rc<super::threaded::ThreadedProgram>>,
     /// Index of the kernel currently launching — the kernel half of the
     /// bulk-plan keys.
     pub(crate) cur_kernel: usize,
@@ -288,30 +345,34 @@ impl<'a> Interp<'a> {
         shared: super::SharedPlans,
         max_slots: usize,
         param_arena: &mut HashMap<u32, Rc<Vec<f32>>>,
+        buf_pool: &mut Vec<Vec<f32>>,
     ) -> Result<Self, ExecError> {
         let rt = RtEnv::new(program, lin)?;
         let n_tensors = program.tensors.len();
         let mut bufs: Vec<Option<Buffer>> = vec![None; n_tensors];
         let mut profile = Profile::new();
         for decl in program.declared_tensors() {
-            let dims: Vec<usize> = decl
-                .dims
-                .iter()
-                .map(|d| match d {
+            assert!(decl.dims.len() <= 8, "tensor rank > 8 unsupported");
+            let mut da = [0usize; 8];
+            for (i, d) in decl.dims.iter().enumerate() {
+                da[i] = match d {
                     DimExtent::Fixed(n) => *n,
                     DimExtent::Nodes => lin.num_nodes(),
                     DimExtent::MaxBatch => rt.max_batch,
-                })
-                .collect();
-            let mut buf = Buffer::new(dims.clone(), decl.class);
-            if decl.class == StorageClass::Param {
+                };
+            }
+            let dims = Dims {
+                a: da,
+                len: decl.dims.len() as u8,
+            };
+            let buf = if decl.class == StorageClass::Param {
                 let bound = params
                     .get(&decl.name)
                     .ok_or_else(|| ExecError::MissingParam(decl.name.clone()))?;
-                if bound.shape().dims() != dims.as_slice() {
+                if bound.shape().dims() != &*dims {
                     return Err(ExecError::ParamShape {
                         name: decl.name.clone(),
-                        expected: dims,
+                        expected: dims.to_vec(),
                         found: bound.shape().dims().to_vec(),
                     });
                 }
@@ -323,8 +384,10 @@ impl<'a> Interp<'a> {
                     .entry(decl.id.0)
                     .or_insert_with(|| Rc::new(bound.as_slice().to_vec()));
                 debug_assert_eq!(shared_buf.len(), bound.len());
-                buf.data = BufData::Shared(shared_buf.clone());
-            }
+                Buffer::shared(dims, decl.class, shared_buf.clone())
+            } else {
+                Buffer::new(dims, decl.class, buf_pool)
+            };
             if decl.class == StorageClass::Scratch {
                 profile.scratch_allocated_bytes += buf.bytes();
             }
@@ -355,6 +418,7 @@ impl<'a> Interp<'a> {
             bulk_plans: shared.bulk_plans,
             fused_waves: shared.fused_waves,
             plan: shared.plan,
+            threaded: shared.threaded,
             cur_kernel: 0,
             wave_ancestors: shared.wave_ancestors,
             caches: Caches::default(),
@@ -425,7 +489,10 @@ impl<'a> Interp<'a> {
         }
     }
 
-    pub(crate) fn finish(mut self) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
+    pub(crate) fn finish(
+        mut self,
+        buf_pool: &mut Vec<Vec<f32>>,
+    ) -> Result<(HashMap<TensorId, Tensor>, Profile), ExecError> {
         let mut outputs = HashMap::new();
         for id in &self.program.outputs {
             let buf = self.bufs[id.0 as usize]
@@ -434,6 +501,21 @@ impl<'a> Interp<'a> {
             let t = Tensor::from_vec(buf.data.into_vec(), &buf.dims)
                 .map_err(|e| ExecError::Internal(e.to_string()))?;
             outputs.insert(*id, t);
+        }
+        // Recycle the non-output allocations (outputs left via
+        // `into_vec` above). Capped so one oversized structure cannot
+        // pin memory forever.
+        const POOL_CAP: usize = 256;
+        for slot in &mut self.bufs {
+            if let Some(Buffer {
+                data: BufData::Owned(v),
+                ..
+            }) = slot.take()
+            {
+                if buf_pool.len() < POOL_CAP && v.capacity() > 0 {
+                    buf_pool.push(v);
+                }
+            }
         }
         Ok((outputs, self.profile))
     }

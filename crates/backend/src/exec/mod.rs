@@ -25,14 +25,25 @@
 //!   │  [`lowering::lower`]        flatten + resolve plans into operands
 //!   ▼
 //! [`program::Program`]            flat `Vec<Op>` with jump targets
-//!   │  [`run`]                    pc dispatch; park = pc + loop records
+//!   │  [`verify`]                 static checks; refuse on any finding
+//!   │  [`threaded::specialize`]   const-fold operands into step closures
+//!   ▼
+//! [`threaded::ThreadedProgram`]   direct-threaded closure table
+//!   │  [`threaded`]               closure dispatch; park = step + loop records
 //!   ▼
 //! outputs + exact `Profile`
 //! ```
 //!
-//! The pre-lowering recursive AST walk survives behind
-//! [`ExecOptions::interp`] as the bit-exactness oracle (`scalar`), the
-//! same cross-check pattern as `bulk: false`.
+//! Three runtime tiers execute the result, all bit-identical on outputs
+//! and `Profile` (property-tested three ways across every model):
+//!
+//! * **threaded** (default): the specialized closure table — no per-op
+//!   match or operand decode on the hot path.
+//! * **pc** (`threaded: false`): the match-on-op dispatch loop over the
+//!   `Program` ops (`run`) — the fallback when specialization is off.
+//! * **interp** (`interp: true`): the pre-lowering recursive AST walk
+//!   (`scalar`), kept as the bit-exactness oracle — the same
+//!   cross-check pattern as `bulk: false`.
 
 mod analysis;
 mod bulk;
@@ -44,6 +55,7 @@ mod run;
 mod scalar;
 #[cfg(test)]
 mod tests;
+mod threaded;
 mod verify;
 
 use std::cell::RefCell;
@@ -455,7 +467,21 @@ pub struct ExecOptions {
     /// pc runtime (property-tested across every model, solo and
     /// batched); this switch is the lowering's correctness oracle and a
     /// diagnostic, exactly like `bulk: false` is for bulk serving.
+    /// Takes precedence over [`ExecOptions::threaded`].
     pub interp: bool,
+    /// Dispatch through the direct-threaded tier: the verified plan is
+    /// specialized at engine build into a flat table of monomorphized
+    /// step closures with loop bounds, slots and jump targets
+    /// const-folded into each closure's captured state, and adjacent
+    /// straight-line ops fused into single steps (see
+    /// `exec::threaded`). On by default; turning it off falls back to
+    /// the pc dispatch loop. Outputs and `Profile`s are
+    /// **bit-identical** across the threaded, pc and interp tiers
+    /// (property-tested three ways) — this knob trades specialization
+    /// time (`ExecStats::specialize_ns`, once per build) for per-op
+    /// dispatch on the hot path, and exists as the tier's cross-check
+    /// and diagnostic.
+    pub threaded: bool,
     /// Which `tanh`/`sigmoid` implementation the executor applies — the
     /// paper's App. A.5 schedule choice, exposed as a per-engine knob
     /// (TVM-style: exact vs approximate nonlinearities are a scheduling
@@ -506,6 +532,7 @@ impl Default for ExecOptions {
             min_wave_width: MIN_WAVE_WIDTH,
             bulk: true,
             interp: false,
+            threaded: true,
             nonlinearity: NonlinearityMode::Exact,
             memory_budget: None,
             max_input_nodes: None,
@@ -651,6 +678,16 @@ pub struct ExecStats {
     /// Dynamic shadow-checker assertions executed (0 unless the
     /// `checked` feature is on — see [`shadow_checking_enabled`]).
     pub shadow_checks: u64,
+    /// Steps in the specialized direct-threaded dispatch table (0 with
+    /// `threaded: false` — the engine is dispatching per op). Like the
+    /// optimizer counters, a compile-time fact seeded into every run.
+    pub threaded_ops: u64,
+    /// Runs of ≥ 2 adjacent straight-line ops the specializer fused
+    /// into single closures (0 with `threaded: false`).
+    pub fused_scalar_runs: u64,
+    /// Wall-clock nanoseconds the specializer took at engine build (0
+    /// with `threaded: false`).
+    pub specialize_ns: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -679,6 +716,12 @@ pub(crate) struct SharedPlans {
     pub(crate) wave_ancestors: Rc<HashSet<usize>>,
     /// The lowered linear instruction stream (see [`program`]).
     pub(crate) plan: Rc<program::Program>,
+    /// The plan specialized into direct-threaded closure code — `Some`
+    /// iff [`ExecOptions::threaded`] is on and the plan (then the
+    /// specialized table) passed verification. Attached *after*
+    /// [`build_plans`] by [`Engine::attach_threaded`], so
+    /// specialization always follows static verification.
+    pub(crate) threaded: Option<Rc<threaded::ThreadedProgram>>,
 }
 
 /// Whether a resumable step suspended or finished the request.
@@ -721,6 +764,12 @@ pub struct Engine<'p> {
     /// by every run and every request of a batch (each interpreter's
     /// `Param` buffers are `Rc` views of these).
     param_arena: HashMap<u32, Rc<Vec<f32>>>,
+    /// Recycled owned-buffer allocations: [`Interp::finish`] returns the
+    /// non-output buffers of a completed run here and the next run's
+    /// [`Interp::new`] reuses any with sufficient capacity, so
+    /// steady-state serving allocates (almost) nothing per run. Buffers
+    /// are re-zeroed on reuse — pooling is invisible to execution.
+    buf_pool: Vec<Vec<f32>>,
     /// The `Params::generation` the packed-weight cache and parameter
     /// arena were built against; a different generation invalidates
     /// both.
@@ -801,6 +850,9 @@ fn build_plans(compiled: Rc<Vec<CompiledKernel>>, opts: ExecOptions) -> (SharedP
         slots_coalesced: 0,
         par_safe_waves,
         par_unsafe_waves,
+        threaded_ops: 0,
+        fused_scalar_runs: 0,
+        specialize_ns: 0,
     };
     (
         SharedPlans {
@@ -810,6 +862,7 @@ fn build_plans(compiled: Rc<Vec<CompiledKernel>>, opts: ExecOptions) -> (SharedP
             fused_waves: Rc::new(fused_waves),
             wave_ancestors: Rc::new(wave_ancestors),
             plan: Rc::new(plan),
+            threaded: None,
         },
         stats,
     )
@@ -851,7 +904,7 @@ impl<'p> Engine<'p> {
         plan_stats.slots_coalesced = opt_stats.slots_coalesced;
         let verified = verify::verify(&shared.plan);
         debug_assert!(verified.is_ok(), "lowering emitted an invalid plan");
-        Engine {
+        let mut engine = Engine {
             program,
             opts,
             shared,
@@ -859,10 +912,40 @@ impl<'p> Engine<'p> {
             max_slots,
             caches: Caches::default(),
             param_arena: HashMap::new(),
+            buf_pool: Vec::new(),
             params_gen: None,
             verified,
             plan_arity,
             params_validated: None,
+        };
+        engine.attach_threaded();
+        engine
+    }
+
+    /// (Re)builds the direct-threaded specialization of the current
+    /// plan: the verify-before-specialize half of the contract (nothing
+    /// specializes off an unverified plan), plus the post-build table
+    /// consistency check (a specialized table that disagrees with its
+    /// program demotes the engine to refusing runs, typed — it is never
+    /// dispatched through). With `threaded: false` the specialization is
+    /// dropped and the engine dispatches through the pc tier.
+    fn attach_threaded(&mut self) {
+        self.shared.threaded = None;
+        self.plan_stats.threaded_ops = 0;
+        self.plan_stats.fused_scalar_runs = 0;
+        self.plan_stats.specialize_ns = 0;
+        if !self.opts.threaded || self.verified.is_err() {
+            return;
+        }
+        let tp = threaded::specialize(&self.shared.plan);
+        match threaded::verify_threaded(&tp, &self.shared.plan) {
+            Ok(()) => {
+                self.plan_stats.threaded_ops = tp.steps.len();
+                self.plan_stats.fused_scalar_runs = tp.fused_scalar_runs;
+                self.plan_stats.specialize_ns = tp.specialize_ns;
+                self.shared.threaded = Some(Rc::new(tp));
+            }
+            Err(e) => self.verified = Err(e),
         }
     }
 
@@ -936,6 +1019,13 @@ impl<'p> Engine<'p> {
     ///   reduction plans) is dropped — a toggled engine behaves exactly
     ///   like one freshly built with the new options (regression-tested
     ///   per knob).
+    /// * `threaded` changes the **dispatch table**: flipping it
+    ///   re-specializes (or drops) the direct-threaded closure program
+    ///   against the existing plan and drops the grouping-shaped caches,
+    ///   so a toggled engine is indistinguishable from a fresh build
+    ///   (regression-tested like the lowering knobs). A lowering rebuild
+    ///   re-specializes implicitly — the table is compiled from the new
+    ///   plan.
     /// * `bulk` / `fastdot` / `min_wave_width` / `interp` /
     ///   `nonlinearity` are pure runtime dispatch: no compiled state
     ///   depends on them, nothing invalidates.
@@ -950,6 +1040,7 @@ impl<'p> Engine<'p> {
         let lowering_changed = optimize_changed
             || opts.wave_gemm != self.opts.wave_gemm
             || opts.gate_stacking != self.opts.gate_stacking;
+        let threaded_changed = opts.threaded != self.opts.threaded;
         self.opts = opts;
         if lowering_changed {
             let (compiled, dead, coalesced) = if optimize_changed {
@@ -970,14 +1061,25 @@ impl<'p> Engine<'p> {
             self.shared = shared;
             self.plan_stats = plan_stats;
             // Re-verify: a rebuilt plan passes the same static checks a
-            // fresh build does before any run is admitted against it.
+            // fresh build does before any run is admitted against it —
+            // and only then re-specializes the threaded dispatch table
+            // from the new plan.
             self.verified = verify::verify(&self.shared.plan);
             debug_assert!(self.verified.is_ok(), "rebuild emitted an invalid plan");
+            self.attach_threaded();
             // Stacked-weight packs and group scratch are shaped by the
             // previous grouping; reduction plans are keyed by addresses
             // that remain valid but may now be wave-served — drop all
             // three so the engine is indistinguishable from a fresh
             // build with these options.
+            self.caches.weight_cache.clear();
+            self.caches.group_bufs.clear();
+            self.caches.plan_cache.clear();
+        } else if threaded_changed {
+            // Same plan, different dispatch table: re-specialize (or
+            // drop) the closure program and drop the run caches, so the
+            // toggled engine matches a fresh build bit for bit.
+            self.attach_threaded();
             self.caches.weight_cache.clear();
             self.caches.group_bufs.clear();
             self.caches.plan_cache.clear();
@@ -1165,6 +1267,9 @@ impl<'p> Engine<'p> {
             par_safe_waves: self.plan_stats.par_safe_waves as u64,
             par_unsafe_waves: self.plan_stats.par_unsafe_waves as u64,
             par_unsafe_by_reason,
+            threaded_ops: self.plan_stats.threaded_ops as u64,
+            fused_scalar_runs: self.plan_stats.fused_scalar_runs as u64,
+            specialize_ns: self.plan_stats.specialize_ns,
             ..ExecStats::default()
         }
     }
@@ -1208,16 +1313,21 @@ impl<'p> Engine<'p> {
             self.shared.clone(),
             self.max_slots,
             &mut self.param_arena,
+            &mut self.buf_pool,
         )?;
         std::mem::swap(&mut self.caches, &mut interp.caches);
+        // Tier dispatch: the interp oracle overrides everything, then
+        // the specialized table when one is attached, then the pc loop.
         let result = if self.opts.interp {
             interp.run_all()
+        } else if self.opts.threaded && self.shared.threaded.is_some() {
+            interp.run_threaded()
         } else {
             interp.run_program()
         };
         std::mem::swap(&mut self.caches, &mut interp.caches);
         result?;
-        interp.finish()
+        interp.finish(&mut self.buf_pool)
     }
 
     /// Executes the program over a *batch* of independent inputs, fusing
@@ -1277,14 +1387,37 @@ impl<'p> Engine<'p> {
                 self.shared.clone(),
                 self.max_slots,
                 &mut self.param_arena,
+                &mut self.buf_pool,
             )?);
         }
         if self.opts.interp {
             self.run_many_interp(&mut interps)?;
+        } else if self.opts.threaded && self.shared.threaded.is_some() {
+            self.run_many_threaded(&mut interps)?;
         } else {
             self.run_many_pc(&mut interps)?;
         }
-        interps.into_iter().map(Interp::finish).collect()
+        interps
+            .into_iter()
+            .map(|it| it.finish(&mut self.buf_pool))
+            .collect()
+    }
+
+    /// The threaded tier's batched scheduler: identical to
+    /// [`Engine::run_many_pc`] — same [`PcCursor`], same park/flush/
+    /// resume protocol — stepping through the specialized closure table
+    /// instead of the op stream.
+    fn run_many_threaded(&mut self, interps: &mut [Interp<'_>]) -> Result<(), ExecError> {
+        let cursors: Vec<PcCursor> = interps
+            .iter()
+            .map(|it| PcCursor::new(it.launch_units(), it.watchdog_fuel()))
+            .collect();
+        self.run_many_cooperative(
+            interps,
+            cursors,
+            |c| c.done,
+            |it, cur, acc, r| it.step_threaded(cur, Some((acc, r))),
+        )
     }
 
     /// The pc runtime's batched scheduler: one [`PcCursor`] per request

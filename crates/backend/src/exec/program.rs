@@ -184,4 +184,12 @@ pub struct PlanStats {
     /// Wave bodies the certifier refused (see
     /// `ExecStats::par_unsafe_by_reason` for the breakdown).
     pub par_unsafe_waves: usize,
+    /// Steps in the specialized direct-threaded dispatch table (0 with
+    /// `ExecOptions::threaded` off).
+    pub threaded_ops: usize,
+    /// Runs of ≥ 2 adjacent straight-line ops the specializer fused
+    /// into single step closures.
+    pub fused_scalar_runs: usize,
+    /// Wall-clock nanoseconds the specializer took at engine build.
+    pub specialize_ns: u64,
 }

@@ -270,8 +270,10 @@ impl<'a> Interp<'a> {
 
     /// Serves one element of a memo-active reduction site from its wave
     /// GEMM result, charging the exact counters the scalar dot would.
+    /// `pub(crate)` so the threaded tier's compiled `Sum` closures can
+    /// share it (their memo path must charge identically).
     #[inline]
-    fn serve_memo_element(&mut self, idx: usize) -> f32 {
+    pub(crate) fn serve_memo_element(&mut self, idx: usize) -> f32 {
         let site = &self.active[idx];
         let group = &self.active_groups[site.group];
         let r = self.slots[site.n_idx_slot] as usize;

@@ -1307,6 +1307,128 @@ fn verify_rejects_certificate_table_length_mismatch() {
     ));
 }
 
+// -- direct-threaded specialization: post-build table checks --
+
+use super::threaded::{specialize, verify_threaded};
+
+#[test]
+fn verify_threaded_accepts_genuine_table() {
+    let (g, _) = matvec_tree(6);
+    let shared = forgeable_plans(&g);
+    let tp = specialize(&shared.plan);
+    assert!(tp.steps.len() > 1, "a real model specializes to many steps");
+    assert_eq!(verify_threaded(&tp, &shared.plan), Ok(()));
+}
+
+#[test]
+fn verify_threaded_rejects_truncated_step_table() {
+    let (g, _) = matvec_tree(6);
+    let shared = forgeable_plans(&g);
+    let mut tp = specialize(&shared.plan);
+    let expected = tp.steps.len();
+    tp.steps.pop();
+    assert_eq!(
+        verify_threaded(&tp, &shared.plan),
+        Err(VerifyError::ThreadedLengthMismatch {
+            what: "step",
+            found: expected - 1,
+            expected,
+        })
+    );
+}
+
+#[test]
+fn verify_threaded_rejects_dangling_jump_target() {
+    let (g, _) = matvec_tree(6);
+    let shared = forgeable_plans(&g);
+    let mut tp = specialize(&shared.plan);
+    let len = tp.steps.len();
+    let bad = len + 7;
+    let at = tp
+        .steps
+        .iter()
+        .position(|s| !s.targets.is_empty())
+        .expect("control steps record jump targets");
+    tp.steps[at].targets[0] = bad;
+    assert_eq!(
+        verify_threaded(&tp, &shared.plan),
+        Err(VerifyError::ThreadedDanglingTarget {
+            step: at,
+            target: bad,
+            len,
+        })
+    );
+}
+
+#[test]
+fn verify_threaded_rejects_redirected_jump_target() {
+    let (g, _) = matvec_tree(6);
+    let shared = forgeable_plans(&g);
+    let mut tp = specialize(&shared.plan);
+    // Redirect an in-range target: still a corruption, caught by the
+    // re-derived target-list comparison.
+    let at = tp
+        .steps
+        .iter()
+        .position(|s| !s.targets.is_empty())
+        .expect("control steps record jump targets");
+    tp.steps[at].targets[0] = (tp.steps[at].targets[0] + 1) % tp.steps.len();
+    assert_eq!(
+        verify_threaded(&tp, &shared.plan),
+        Err(VerifyError::ThreadedTargetMismatch { step: at })
+    );
+}
+
+#[test]
+fn verify_threaded_rejects_forged_kernel_entry() {
+    let (g, _) = matvec_tree(6);
+    let shared = forgeable_plans(&g);
+    let mut tp = specialize(&shared.plan);
+    let expected = tp.kernels[0].entry;
+    tp.kernels[0].entry = (expected + 1) % tp.steps.len();
+    assert_eq!(
+        verify_threaded(&tp, &shared.plan),
+        Err(VerifyError::ThreadedEntryMismatch {
+            kernel: 0,
+            entry: (expected + 1) % tp.steps.len(),
+            expected,
+        })
+    );
+}
+
+/// A demoted engine (its specialized table failed post-build
+/// verification) refuses every run with a typed error — corrupted
+/// closure code is never executed.
+#[test]
+fn demoted_engine_refuses_execution_typed() {
+    let h = 4;
+    let (g, _) = tree_rnn(h);
+    let program = lower(
+        &g,
+        &RaSchedule::default(),
+        StructureInfo { max_children: 2 },
+    )
+    .unwrap();
+    let mut engine = Engine::new(&program);
+    assert_eq!(engine.verified(), Ok(()));
+    // Simulate the demotion `attach_threaded` performs when
+    // `verify_threaded` rejects its freshly built table.
+    let forged = VerifyError::ThreadedTargetMismatch { step: 0 };
+    engine.verified = Err(forged.clone());
+    let lin = Linearizer::new()
+        .linearize(&datasets::random_binary_tree(9, 5))
+        .unwrap();
+    let mut params = Params::new();
+    params.set(
+        "Emb",
+        Tensor::random(&[datasets::VOCAB_SIZE as usize, h], 0.5, 42),
+    );
+    match engine.execute(&lin, &params, true) {
+        Err(ExecError::Verify(e)) => assert_eq!(e, forged),
+        other => panic!("demoted engine must refuse typed, got {other:?}"),
+    }
+}
+
 #[test]
 fn engine_stats_surface_the_analysis_results() {
     let h = 8;

@@ -1,0 +1,1293 @@
+//! The direct-threaded runtime tier: a [`Program`] specialized into a
+//! flat table of monomorphized step closures.
+//!
+//! The pc runtime ([`super::run`]) still pays a match-on-op plus operand
+//! decode per [`Op`] executed. This module removes that hot-path cost by
+//! compiling each **verified** program once at engine build into a
+//! [`ThreadedProgram`]: one boxed closure per step, with everything the
+//! dispatch loop used to decode — loop bounds, slot numbers, jump
+//! targets, wave/bulk/fused plan handles — resolved into each closure's
+//! captured state. Three specializations do the work:
+//!
+//! * **Expression compilation** ([`CIdx`], [`CVal`]): index expressions
+//!   lower to closure trees with constants folded (`Const` operands
+//!   disappear, `Var` reads become direct slot loads, two-`Const`
+//!   arithmetic folds at build time), boolean conditions compile per
+//!   comparison op, and `Store` values compile per value-op — a `Sum`
+//!   site resolves its fastdot plan *once into the closure* instead of
+//!   the per-element hash-map lookup the pc tier pays. Counter semantics
+//!   are preserved exactly — `Ufn::NumChildren` still bumps
+//!   `leaf_check_loads`, every `Unary`/`Bin` still charges its flop,
+//!   `And`/`Or` still short-circuit — so the `Profile` is bit-identical
+//!   to the other tiers.
+//! * **Peephole run fusion**: maximal runs of adjacent straight-line ops
+//!   (`Let`/`Store`/`Barrier`) that no jump target lands inside fuse
+//!   into a *single* step executing a micro-op list, so a block of k
+//!   scalar ops costs one dispatch instead of k.
+//! * **Native loop fusion** ([`native_loops`]): a plain loop — no wave,
+//!   no fused epilogue, no scope bookkeeping, a straight-line body no
+//!   external jump lands inside — folds into a *single* step running a
+//!   native `for` over its micro-ops. The per-iteration
+//!   body-step/`LoopNext` dispatch pair, loop-record mutation and step
+//!   bounds check all disappear; the watchdog still charges one unit of
+//!   fuel per back-edge, exactly as the pc tier's `LoopNext` does.
+//!
+//! Suspension is unchanged: the threaded tier reuses [`PcCursor`] (the
+//! pc now indexes steps instead of ops), so a parked request is still a
+//! plain value — step index plus loop records — and the super-wave
+//! park/flush/resume protocol, watchdog fuel, fault hooks and the
+//! `checked` shadow auditor all work identically. The pc runtime remains
+//! the tier-2 fallback (`ExecOptions { threaded: false }`) and the AST
+//! oracle (`interp: true`) the bit-exactness reference; a three-way
+//! property test holds all tiers to identical outputs *and* `Profile`.
+//!
+//! # Safety
+//!
+//! Like the pc runtime, step closures capture raw pointers into the
+//! engine's compiled kernels (`Store` values, escape-hatch statements).
+//! Every dereference is sound because [`ThreadedProgram::source`] holds
+//! the owning `Rc<Vec<CompiledKernel>>` — the same pointer invariant
+//! [`super::program`] documents and [`super::verify`] checks.
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use cortex_core::expr::{BoolExpr, CmpOp, IdxBinOp, IdxExpr, TensorId, ValExpr};
+use cortex_core::ilir::{LaunchPattern, Stmt};
+
+use super::bulk::{BulkPlan, FusedWave};
+use super::interp::Interp;
+use super::lowering::CompiledKernel;
+use super::program::{Op, Pc, Program};
+use super::run::{LoopRec, PcCursor};
+use super::{checked_assert, ExecError, StepOutcome, VerifyError};
+use crate::wave::{SuperWaveAcc, WavePlan};
+
+/// The super-wave deferral slot a step may register gathered rows into
+/// (`None` on solo runs — nothing ever parks without an accumulator).
+type Defer<'d> = Option<(&'d mut SuperWaveAcc, usize)>;
+
+/// One specialized dispatch step: advances the cursor and returns
+/// whether the request parked for a super-wave flush.
+type StepFn =
+    Box<dyn Fn(&mut Interp<'_>, &mut PcCursor, &mut Defer<'_>) -> Result<bool, ExecError>>;
+
+/// A compiled boolean condition.
+type BoolFn = Box<dyn Fn(&mut Interp<'_>) -> bool>;
+
+/// One entry of the specialized dispatch table.
+pub(crate) struct ThreadedStep {
+    pub(crate) run: StepFn,
+    /// The static jump targets (step indices) this step may assign —
+    /// recorded at build so [`verify_threaded`] can re-derive and check
+    /// them against the source program without calling the closure.
+    pub(crate) targets: Vec<Pc>,
+}
+
+/// One kernel's entry point in the specialized step table (the step-space
+/// twin of [`super::program::KernelDef`]).
+pub(crate) struct ThreadedKernel {
+    pub(crate) entry: Pc,
+    pub(crate) launch: LaunchPattern,
+    pub(crate) batch_slot: Option<usize>,
+}
+
+/// A [`Program`] specialized into direct-threaded closure code (see the
+/// module docs). Built once per engine by [`specialize`], after static
+/// verification passes, and checked by [`verify_threaded`] before the
+/// engine will dispatch through it.
+pub(crate) struct ThreadedProgram {
+    pub(crate) steps: Vec<ThreadedStep>,
+    pub(crate) kernels: Vec<ThreadedKernel>,
+    /// Op pc → step index for ops that begin a step (`None` for ops
+    /// fused into the middle of a run). The translation every recorded
+    /// jump target went through — [`verify_threaded`] re-derives it.
+    pub(crate) pc_map: Vec<Option<Pc>>,
+    /// Runs of ≥ 2 adjacent straight-line ops fused into single steps,
+    /// plus whole plain loops folded into native-loop steps (see
+    /// [`native_loops`]).
+    pub(crate) fused_scalar_runs: usize,
+    /// Wall-clock nanoseconds the specializer took.
+    pub(crate) specialize_ns: u64,
+    /// Owner of every statement tree the step closures point into — see
+    /// the module-level safety note.
+    #[allow(dead_code)]
+    pub(crate) source: Rc<Vec<CompiledKernel>>,
+}
+
+// ---------------------------------------------------------------------
+// Expression compilation
+// ---------------------------------------------------------------------
+
+/// A compiled index expression: constants folded at build time, slot
+/// reads direct, everything else a closure.
+enum CIdx {
+    Const(i64),
+    /// A bare `Var` read — the overwhelmingly common leaf, kept out of
+    /// the boxed-closure path so loop-variable reads stay one load.
+    Slot(usize),
+    Dyn(Box<dyn Fn(&mut Interp<'_>) -> i64>),
+}
+
+impl CIdx {
+    #[inline]
+    fn eval(&self, it: &mut Interp<'_>) -> i64 {
+        match self {
+            CIdx::Const(c) => *c,
+            CIdx::Slot(s) => it.slots[*s],
+            CIdx::Dyn(f) => f(it),
+        }
+    }
+}
+
+/// Compiles one index expression, mirroring `Interp::eval_idx` exactly:
+/// same evaluation order, same counter bumps, same euclidean division —
+/// only the dispatch is resolved at build time.
+fn compile_idx(e: &IdxExpr) -> CIdx {
+    use cortex_core::expr::Ufn;
+    match e {
+        IdxExpr::Const(c) => CIdx::Const(*c),
+        IdxExpr::Var(v) => CIdx::Slot(v.id() as usize),
+        IdxExpr::Rt(r) => {
+            let r = *r;
+            CIdx::Dyn(Box::new(move |it| it.rt_scalar(r)))
+        }
+        IdxExpr::Ufn(f, args) => {
+            let a0 = compile_idx(&args[0]);
+            match f {
+                Ufn::Child(k) => {
+                    let k = *k as usize;
+                    CIdx::Dyn(Box::new(move |it| {
+                        let a0 = a0.eval(it);
+                        it.lin.child_array(k)[a0 as usize] as i64
+                    }))
+                }
+                Ufn::Word => CIdx::Dyn(Box::new(move |it| {
+                    let a0 = a0.eval(it);
+                    it.lin.word(a0 as u32) as i64
+                })),
+                Ufn::NumChildren => CIdx::Dyn(Box::new(move |it| {
+                    let a0 = a0.eval(it);
+                    it.profile.leaf_check_loads += 1;
+                    it.lin.num_children_of(a0 as u32) as i64
+                })),
+                Ufn::BatchBegin => CIdx::Dyn(Box::new(move |it| {
+                    let a0 = a0.eval(it);
+                    it.rt.batches[a0 as usize].begin() as i64
+                })),
+                Ufn::BatchLength => CIdx::Dyn(Box::new(move |it| {
+                    let a0 = a0.eval(it);
+                    it.rt.batches[a0 as usize].len() as i64
+                })),
+                Ufn::NodeAt => CIdx::Dyn(Box::new(move |it| {
+                    let a0 = a0.eval(it);
+                    it.lin.post_order()[a0 as usize] as i64
+                })),
+                Ufn::RootAt => CIdx::Dyn(Box::new(move |it| {
+                    let a0 = a0.eval(it);
+                    it.lin.roots()[a0 as usize] as i64
+                })),
+                Ufn::StageLength => CIdx::Dyn(Box::new(move |it| {
+                    let a0 = a0.eval(it);
+                    it.rt.stages[a0 as usize].len() as i64
+                })),
+                Ufn::StageNodeAt => {
+                    let a1 = compile_idx(&args[1]);
+                    CIdx::Dyn(Box::new(move |it| {
+                        let x = a0.eval(it);
+                        let y = a1.eval(it);
+                        it.rt.stages[x as usize][y as usize] as i64
+                    }))
+                }
+            }
+        }
+        IdxExpr::Bin(op, a, b) => {
+            let ca = compile_idx(a);
+            let cb = compile_idx(b);
+            // Fold two-constant arithmetic at build time. Div/Rem by a
+            // constant zero stay dynamic so the failure mode (a panic at
+            // evaluation, not at build) matches the other tiers.
+            if let (CIdx::Const(x), CIdx::Const(y)) = (&ca, &cb) {
+                let (x, y) = (*x, *y);
+                let folded = match op {
+                    IdxBinOp::Add => Some(x + y),
+                    IdxBinOp::Sub => Some(x - y),
+                    IdxBinOp::Mul => Some(x * y),
+                    IdxBinOp::Div if y != 0 => Some(x.div_euclid(y)),
+                    IdxBinOp::Rem if y != 0 => Some(x.rem_euclid(y)),
+                    IdxBinOp::Min => Some(x.min(y)),
+                    IdxBinOp::Max => Some(x.max(y)),
+                    _ => None,
+                };
+                if let Some(v) = folded {
+                    return CIdx::Const(v);
+                }
+            }
+            // One closure per operator: the op match is resolved here,
+            // not per evaluation.
+            match op {
+                IdxBinOp::Add => CIdx::Dyn(Box::new(move |it| ca.eval(it) + cb.eval(it))),
+                IdxBinOp::Sub => CIdx::Dyn(Box::new(move |it| ca.eval(it) - cb.eval(it))),
+                IdxBinOp::Mul => CIdx::Dyn(Box::new(move |it| ca.eval(it) * cb.eval(it))),
+                IdxBinOp::Div => CIdx::Dyn(Box::new(move |it| ca.eval(it).div_euclid(cb.eval(it)))),
+                IdxBinOp::Rem => CIdx::Dyn(Box::new(move |it| ca.eval(it).rem_euclid(cb.eval(it)))),
+                IdxBinOp::Min => CIdx::Dyn(Box::new(move |it| ca.eval(it).min(cb.eval(it)))),
+                IdxBinOp::Max => CIdx::Dyn(Box::new(move |it| ca.eval(it).max(cb.eval(it)))),
+            }
+        }
+    }
+}
+
+/// Compiles one boolean condition, mirroring `Interp::eval_bool`:
+/// comparison ops are resolved at build time, `And`/`Or` keep their
+/// short-circuit order (a skipped operand must also skip its counter
+/// bumps, or the `Profile` would drift from the other tiers).
+fn compile_bool(e: &BoolExpr) -> BoolFn {
+    match e {
+        BoolExpr::Cmp(op, a, b) => {
+            let ca = compile_idx(a);
+            let cb = compile_idx(b);
+            match op {
+                CmpOp::Eq => Box::new(move |it| ca.eval(it) == cb.eval(it)),
+                CmpOp::Ne => Box::new(move |it| ca.eval(it) != cb.eval(it)),
+                CmpOp::Lt => Box::new(move |it| ca.eval(it) < cb.eval(it)),
+                CmpOp::Le => Box::new(move |it| ca.eval(it) <= cb.eval(it)),
+                CmpOp::Gt => Box::new(move |it| ca.eval(it) > cb.eval(it)),
+                CmpOp::Ge => Box::new(move |it| ca.eval(it) >= cb.eval(it)),
+            }
+        }
+        BoolExpr::IsLeaf(n) => {
+            let cn = compile_idx(n);
+            Box::new(move |it| {
+                let v = cn.eval(it);
+                it.lin.is_leaf(v as u32)
+            })
+        }
+        BoolExpr::And(a, b) => {
+            let ca = compile_bool(a);
+            let cb = compile_bool(b);
+            Box::new(move |it| ca(it) && cb(it))
+        }
+        BoolExpr::Or(a, b) => {
+            let ca = compile_bool(a);
+            let cb = compile_bool(b);
+            Box::new(move |it| ca(it) || cb(it))
+        }
+        BoolExpr::Not(a) => {
+            let ca = compile_bool(a);
+            Box::new(move |it| !ca(it))
+        }
+    }
+}
+
+/// A compiled value expression. Only bare `Const` leaves fold — a
+/// constant under a `Unary`/`Bin` must stay a closure because the other
+/// tiers charge a flop for evaluating it, and the `Profile` may not
+/// drift.
+enum CVal {
+    Const(f32),
+    Dyn(Box<dyn Fn(&mut Interp<'_>) -> f32>),
+}
+
+impl CVal {
+    #[inline]
+    fn eval(&self, it: &mut Interp<'_>) -> f32 {
+        match self {
+            CVal::Const(c) => *c,
+            CVal::Dyn(f) => f(it),
+        }
+    }
+}
+
+/// Compiles one value expression, mirroring `Interp::eval_val` exactly:
+/// same evaluation order, same counter bumps (`flops` per `Unary`/`Bin`
+/// and per scalar-dot iteration, `branch_checks` per `Select`, load
+/// accounting per `Load`), same memo-before-fastdot-before-scalar-loop
+/// serving order for `Sum` — only the dispatch, the operand decode and
+/// the fastdot plan lookup are resolved at build time.
+fn compile_val(e: &ValExpr) -> CVal {
+    use cortex_core::expr::{BinOp, UnaryOp};
+    match e {
+        ValExpr::Const(c) => CVal::Const(*c),
+        ValExpr::Load { tensor, index } => {
+            // The exact shape of `Interp::offset` + `record_load`:
+            // coordinates in order, strides read at evaluation (tensor
+            // extents may be `Nodes`/`MaxBatch`). The common 1-D/2-D
+            // arities get dedicated closures.
+            let tensor = *tensor;
+            let mut cidx: Vec<CIdx> = index.iter().map(compile_idx).collect();
+            match cidx.len() {
+                1 => {
+                    let i0 = cidx.pop().expect("one coordinate");
+                    CVal::Dyn(Box::new(move |it| {
+                        let c0 = i0.eval(it);
+                        let buf = it.bufs[tensor.0 as usize]
+                            .as_ref()
+                            .expect("loaded tensor allocated");
+                        debug_assert!(
+                            c0 >= 0 && (c0 as usize) < buf.dims[0],
+                            "index {c0} out of bounds for dim 0 of {:?} (tensor {tensor})",
+                            buf.dims
+                        );
+                        let off = c0 as usize * buf.strides[0];
+                        it.record_load(tensor);
+                        it.bufs[tensor.0 as usize]
+                            .as_ref()
+                            .expect("loaded tensor allocated")
+                            .data[off]
+                    }))
+                }
+                2 => {
+                    let i1 = cidx.pop().expect("two coordinates");
+                    let i0 = cidx.pop().expect("two coordinates");
+                    CVal::Dyn(Box::new(move |it| {
+                        let c0 = i0.eval(it);
+                        let c1 = i1.eval(it);
+                        let off = {
+                            let buf = it.bufs[tensor.0 as usize]
+                                .as_ref()
+                                .expect("loaded tensor allocated");
+                            debug_assert!(
+                                c0 >= 0 && (c0 as usize) < buf.dims[0],
+                                "index {c0} out of bounds for dim 0 of {:?} (tensor {tensor})",
+                                buf.dims
+                            );
+                            debug_assert!(
+                                c1 >= 0 && (c1 as usize) < buf.dims[1],
+                                "index {c1} out of bounds for dim 1 of {:?} (tensor {tensor})",
+                                buf.dims
+                            );
+                            c0 as usize * buf.strides[0] + c1 as usize * buf.strides[1]
+                        };
+                        it.record_load(tensor);
+                        it.bufs[tensor.0 as usize]
+                            .as_ref()
+                            .expect("loaded tensor allocated")
+                            .data[off]
+                    }))
+                }
+                _ => {
+                    let index = cidx;
+                    CVal::Dyn(Box::new(move |it| {
+                        let mut coords = [0i64; 8];
+                        for (d, e) in index.iter().enumerate() {
+                            coords[d] = e.eval(it);
+                        }
+                        let off = {
+                            let buf = it.bufs[tensor.0 as usize]
+                                .as_ref()
+                                .expect("loaded tensor allocated");
+                            let mut off = 0usize;
+                            for (d, &c) in coords.iter().enumerate().take(index.len()) {
+                                debug_assert!(
+                                    c >= 0 && (c as usize) < buf.dims[d],
+                                    "index {} out of bounds for dim {} of {:?} (tensor {tensor})",
+                                    c,
+                                    d,
+                                    buf.dims
+                                );
+                                off += c as usize * buf.strides[d];
+                            }
+                            off
+                        };
+                        it.record_load(tensor);
+                        it.bufs[tensor.0 as usize]
+                            .as_ref()
+                            .expect("loaded tensor allocated")
+                            .data[off]
+                    }))
+                }
+            }
+        }
+        ValExpr::Unary(op, a) => {
+            let ca = compile_val(a);
+            macro_rules! un {
+                (|$it:ident, $x:ident| $body:expr) => {
+                    CVal::Dyn(Box::new(move |$it| {
+                        let $x = ca.eval($it);
+                        $it.profile.flops += 1;
+                        $body
+                    }))
+                };
+            }
+            match op {
+                UnaryOp::Neg => un!(|it, x| -x),
+                UnaryOp::Tanh => un!(|it, x| it.nonlin.tanh(x)),
+                UnaryOp::Sigmoid => un!(|it, x| it.nonlin.sigmoid(x)),
+                UnaryOp::Relu => un!(|it, x| x.max(0.0)),
+                UnaryOp::Exp => un!(|it, x| x.exp()),
+            }
+        }
+        ValExpr::Bin(op, a, b) => {
+            let ca = compile_val(a);
+            let cb = compile_val(b);
+            macro_rules! bin {
+                (|$x:ident, $y:ident| $body:expr) => {
+                    CVal::Dyn(Box::new(move |it| {
+                        let $x = ca.eval(it);
+                        let $y = cb.eval(it);
+                        it.profile.flops += 1;
+                        $body
+                    }))
+                };
+            }
+            match op {
+                BinOp::Add => bin!(|x, y| x + y),
+                BinOp::Sub => bin!(|x, y| x - y),
+                BinOp::Mul => bin!(|x, y| x * y),
+                BinOp::Div => bin!(|x, y| x / y),
+                BinOp::Max => bin!(|x, y| x.max(y)),
+                BinOp::Min => bin!(|x, y| x.min(y)),
+            }
+        }
+        ValExpr::Sum { var, extent, body } => {
+            // The wave memo and the shared plan cache are keyed by the
+            // body expression's address — stable because the expression
+            // tree is owned by `ThreadedProgram::source`.
+            let key = &**body as *const ValExpr as usize;
+            let body_ptr: *const ValExpr = &**body;
+            let var = *var;
+            let slot = var.id() as usize;
+            let cext = compile_idx(extent);
+            let cbody = compile_val(body);
+            // The site's fastdot plan, resolved once on first
+            // evaluation. The pc tier re-looks this up in a hash map per
+            // served element; here the site *is* the closure, so the
+            // plan lives in it. `fastdot::compile` is deterministic in
+            // the body expression, so this holds exactly the value the
+            // shared cache would serve.
+            let plan: std::cell::OnceCell<Option<Rc<crate::fastdot::DotPlan>>> =
+                std::cell::OnceCell::new();
+            CVal::Dyn(Box::new(move |it| {
+                let n = cext.eval(it).max(0);
+                if let Some(&(_, idx)) = it.memo.iter().find(|(k, _)| *k == key) {
+                    return it.serve_memo_element(idx);
+                }
+                if it.opts.fastdot {
+                    // SAFETY: see the module docs — the body tree is
+                    // kept alive by `ThreadedProgram::source`.
+                    let p = plan.get_or_init(|| {
+                        crate::fastdot::compile(var, unsafe { &*body_ptr }).map(Rc::new)
+                    });
+                    if let Some(p) = p {
+                        return it.eval_dot(p, n);
+                    }
+                }
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    it.slots[slot] = k;
+                    acc += cbody.eval(it);
+                    it.profile.flops += 1;
+                }
+                acc
+            }))
+        }
+        ValExpr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let cc = compile_bool(cond);
+            let ct = compile_val(then);
+            let co = compile_val(otherwise);
+            CVal::Dyn(Box::new(move |it| {
+                it.profile.branch_checks += 1;
+                if cc(it) {
+                    ct.eval(it)
+                } else {
+                    co.eval(it)
+                }
+            }))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Micro-ops (fused straight-line runs)
+// ---------------------------------------------------------------------
+
+/// One straight-line op of a fused run, with every index coordinate and
+/// the stored value compiled.
+enum MicroOp {
+    Let {
+        slot: usize,
+        value: CIdx,
+    },
+    Store {
+        tensor: TensorId,
+        index: Vec<CIdx>,
+        value: CVal,
+    },
+    Barrier,
+}
+
+impl MicroOp {
+    #[inline]
+    fn exec(&self, it: &mut Interp<'_>) {
+        match self {
+            MicroOp::Let { slot, value } => {
+                checked_assert!(*slot < it.slots.len(), "Let slot {slot} out of range");
+                let v = value.eval(it);
+                it.slots[*slot] = v;
+            }
+            MicroOp::Store {
+                tensor,
+                index,
+                value,
+            } => {
+                // The exact shape of `Interp::exec_store`/`offset`: value
+                // first, then coordinates, then accounting, then the
+                // write — with the per-run strides read at evaluation
+                // (tensor extents may be `Nodes`/`MaxBatch`, so strides
+                // are not build-time constants).
+                let v = value.eval(it);
+                let tensor = *tensor;
+                let off = match index.as_slice() {
+                    [i0] => {
+                        let c0 = i0.eval(it);
+                        let buf = it.bufs[tensor.0 as usize]
+                            .as_ref()
+                            .expect("stored tensor allocated");
+                        debug_assert!(
+                            c0 >= 0 && (c0 as usize) < buf.dims[0],
+                            "index {c0} out of bounds for dim 0 of {:?} (tensor {tensor})",
+                            buf.dims
+                        );
+                        c0 as usize * buf.strides[0]
+                    }
+                    [i0, i1] => {
+                        let c0 = i0.eval(it);
+                        let c1 = i1.eval(it);
+                        let buf = it.bufs[tensor.0 as usize]
+                            .as_ref()
+                            .expect("stored tensor allocated");
+                        debug_assert!(
+                            c0 >= 0 && (c0 as usize) < buf.dims[0],
+                            "index {c0} out of bounds for dim 0 of {:?} (tensor {tensor})",
+                            buf.dims
+                        );
+                        debug_assert!(
+                            c1 >= 0 && (c1 as usize) < buf.dims[1],
+                            "index {c1} out of bounds for dim 1 of {:?} (tensor {tensor})",
+                            buf.dims
+                        );
+                        c0 as usize * buf.strides[0] + c1 as usize * buf.strides[1]
+                    }
+                    index => {
+                        let mut coords = [0i64; 8];
+                        for (d, e) in index.iter().enumerate() {
+                            coords[d] = e.eval(it);
+                        }
+                        let buf = it.bufs[tensor.0 as usize]
+                            .as_ref()
+                            .expect("stored tensor allocated");
+                        let mut off = 0usize;
+                        for (d, &c) in coords.iter().enumerate().take(index.len()) {
+                            debug_assert!(
+                                c >= 0 && (c as usize) < buf.dims[d],
+                                "index {} out of bounds for dim {} of {:?} (tensor {tensor})",
+                                c,
+                                d,
+                                buf.dims
+                            );
+                            off += c as usize * buf.strides[d];
+                        }
+                        off
+                    }
+                };
+                #[cfg(feature = "checked")]
+                it.shadow_check_store(tensor, off);
+                it.record_store(tensor);
+                let buf = it.bufs[tensor.0 as usize]
+                    .as_mut()
+                    .expect("stored tensor allocated");
+                buf.data.as_mut()[off] = v;
+            }
+            MicroOp::Barrier => it.profile.barriers_global += 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Specialization
+// ---------------------------------------------------------------------
+
+/// Whether an op is straight-line (fusable into a micro-op run) as
+/// opposed to control flow (always its own step).
+fn is_simple(op: &Op) -> bool {
+    matches!(op, Op::Let { .. } | Op::Store { .. } | Op::Barrier)
+}
+
+/// Compiles a straight-line run of ops into its micro-op list.
+fn compile_run(ops: &[Op]) -> Vec<MicroOp> {
+    ops.iter()
+        .map(|op| match op {
+            Op::Let { slot, value } => MicroOp::Let {
+                slot: *slot,
+                // SAFETY: `value` points into the compiled kernels
+                // (verified `ForeignExpr`-clean).
+                value: compile_idx(unsafe { &**value }),
+            },
+            Op::Store { stmt } => {
+                // SAFETY: as above.
+                let Stmt::Store {
+                    tensor,
+                    index,
+                    value,
+                } = (unsafe { &**stmt })
+                else {
+                    unreachable!("Store op holds a Store statement")
+                };
+                MicroOp::Store {
+                    tensor: *tensor,
+                    index: index.iter().map(compile_idx).collect(),
+                    value: compile_val(value),
+                }
+            }
+            Op::Barrier => MicroOp::Barrier,
+            _ => unreachable!("run contains only straight-line ops"),
+        })
+        .collect()
+}
+
+/// The loops the specializer folds whole into single native-loop steps:
+/// per loop id, `Some((enter_pc, next_pc))` — the pcs of its `LoopEnter`
+/// and `LoopNext` ops — when the loop qualifies. A loop qualifies when
+/// the step machinery is pure overhead for it: no wave (nothing to
+/// prepare, serve or finish), no fused epilogue, no scope or width
+/// bookkeeping, a straight-line body directly between enter and next
+/// that no external jump lands inside, and the exit on the op after
+/// `LoopNext`. Such a loop can never park (parking requires a wave), so
+/// running it to completion inside one step is unobservable — except for
+/// the watchdog, which the native loop still charges per back-edge.
+/// Shared by [`step_layout`], [`static_targets`] and [`specialize`] so
+/// the build and [`verify_threaded`]'s re-derivation always agree.
+fn native_loops(plan: &Program) -> Vec<Option<(Pc, Pc)>> {
+    let n = plan.ops.len();
+    let mut ext_target = vec![false; n];
+    for k in &plan.kernels {
+        ext_target[k.entry] = true;
+    }
+    for op in &plan.ops {
+        match op {
+            Op::Branch { on_false, .. } => ext_target[*on_false] = true,
+            Op::Jump(t) => ext_target[*t] = true,
+            Op::BulkPass { done, .. } => ext_target[*done] = true,
+            _ => {}
+        }
+    }
+    plan.loops
+        .iter()
+        .enumerate()
+        .map(|(id, d)| {
+            if d.wave.is_some() || d.fused.is_some() || d.is_wave || d.is_node {
+                return None;
+            }
+            let enter = plan
+                .ops
+                .iter()
+                .position(|op| matches!(op, Op::LoopEnter(i) if *i == id))?;
+            if d.body != enter + 1 {
+                return None;
+            }
+            let mut next = d.body;
+            while next < n && is_simple(&plan.ops[next]) {
+                next += 1;
+            }
+            if next >= n || !matches!(&plan.ops[next], Op::LoopNext(i) if *i == id) {
+                return None;
+            }
+            if d.exit != next + 1 {
+                return None;
+            }
+            // Nothing may jump into the swallowed span: external control
+            // flow would bypass the native loop, and another loop
+            // claiming a boundary inside it would mean the layouts
+            // disagree. (A nested loop is already impossible — the body
+            // is all straight-line ops.)
+            if (d.body..=next).any(|p| ext_target[p]) {
+                return None;
+            }
+            let claimed = plan.loops.iter().enumerate().any(|(j, o)| {
+                j != id
+                    && (((d.body..=next).contains(&o.body) || (d.body..=next).contains(&o.exit))
+                        || (o.fused.is_some() && (d.body..=next).contains(&o.fused_pc)))
+            });
+            if claimed {
+                return None;
+            }
+            Some((enter, next))
+        })
+        .collect()
+}
+
+/// Step layout of a program: which op pcs begin a step, and the op-pc →
+/// step-index translation. Shared by [`specialize`] and
+/// [`verify_threaded`] so the check re-derives the exact layout the
+/// build used. A step begins at every control op, every op after a
+/// control op, and every jump target (a run must not hide a target in
+/// its interior — landing there would skip the run's prefix) — except
+/// inside a [`native_loops`] span, whose body and `LoopNext` are
+/// swallowed by the `LoopEnter` step.
+fn step_layout(plan: &Program) -> Vec<Option<Pc>> {
+    let native = native_loops(plan);
+    let n = plan.ops.len();
+    let mut covered = vec![false; n];
+    for &(enter, next) in native.iter().flatten() {
+        covered[enter + 1..=next].fill(true);
+    }
+    let mut is_target = vec![false; n];
+    for k in &plan.kernels {
+        is_target[k.entry] = true;
+    }
+    for (id, d) in plan.loops.iter().enumerate() {
+        if native[id].is_none() {
+            is_target[d.body] = true;
+        }
+        is_target[d.exit] = true;
+        if d.fused.is_some() {
+            is_target[d.fused_pc] = true;
+        }
+    }
+    for op in &plan.ops {
+        match op {
+            Op::Branch { on_false, .. } => is_target[*on_false] = true,
+            Op::Jump(t) => is_target[*t] = true,
+            Op::BulkPass { done, .. } => is_target[*done] = true,
+            _ => {}
+        }
+    }
+    let mut pc_map = vec![None; n];
+    let mut prev_control = true;
+    let mut count = 0;
+    for pc in 0..n {
+        if covered[pc] {
+            // Swallowed into a native-loop step; the op after the span
+            // (the loop's exit) starts fresh.
+            prev_control = true;
+            continue;
+        }
+        let control = !is_simple(&plan.ops[pc]);
+        if prev_control || control || is_target[pc] {
+            pc_map[pc] = Some(count);
+            count += 1;
+        }
+        prev_control = control;
+    }
+    pc_map
+}
+
+/// The static jump targets (in step space) of the step starting at op
+/// `pc` with exclusive end `end` — the source of truth both for the
+/// closures' captured targets and for [`verify_threaded`]'s re-check.
+fn static_targets(
+    plan: &Program,
+    native: &[Option<(Pc, Pc)>],
+    pc_map: &[Option<Pc>],
+    pc: Pc,
+    end: Pc,
+) -> Vec<Pc> {
+    let tr = |p: Pc| pc_map[p].expect("jump target must begin a step");
+    match &plan.ops[pc] {
+        Op::KernelEnd => Vec::new(),
+        Op::LoopEnter(id) => {
+            let d = &plan.loops[*id];
+            if native[*id].is_some() {
+                // The whole loop runs inside this step: the only place
+                // control can go next is the exit.
+                return vec![tr(d.exit)];
+            }
+            let mut t = vec![tr(d.body), tr(d.exit)];
+            if d.fused.is_some() {
+                t.push(tr(d.fused_pc));
+            }
+            t
+        }
+        Op::LoopNext(id) => {
+            let d = &plan.loops[*id];
+            vec![tr(d.body), tr(d.exit)]
+        }
+        Op::FusedEpilogue => {
+            // The epilogue's exit comes from the loop record's def; find
+            // the loop that placed this op (lowering sets fused_pc).
+            let d = plan
+                .loops
+                .iter()
+                .find(|d| d.fused.is_some() && d.fused_pc == pc)
+                .expect("FusedEpilogue placed by a fused loop");
+            vec![tr(d.exit)]
+        }
+        Op::Branch { on_false, .. } => vec![tr(pc + 1), tr(*on_false)],
+        Op::Jump(t) => vec![tr(*t)],
+        Op::BulkPass { done, .. } => vec![tr(*done), tr(pc + 1)],
+        Op::Let { .. } | Op::Store { .. } | Op::Barrier | Op::ScalarStmt { .. } => vec![tr(end)],
+    }
+}
+
+/// Compiles a verified [`Program`] into its specialized step table. Run
+/// **after** [`super::verify::verify`] passes (the closures trust the
+/// invariants it established — in-range slots, owned pointers, paired
+/// loops); [`verify_threaded`] then checks the produced table against
+/// the program before the engine dispatches through it.
+pub(crate) fn specialize(plan: &Rc<Program>) -> ThreadedProgram {
+    let t0 = Instant::now();
+    let n = plan.ops.len();
+    let native = native_loops(plan);
+    let pc_map = step_layout(plan);
+    let mut steps = Vec::new();
+    let mut fused_scalar_runs = 0usize;
+    let mut pc = 0usize;
+    while pc < n {
+        debug_assert!(pc_map[pc].is_some(), "step boundary expected at {pc}");
+        let op = &plan.ops[pc];
+        let span = if let Op::LoopEnter(id) = op {
+            native[*id]
+        } else {
+            None
+        };
+        if is_simple(op) {
+            // Maximal straight-line run: everything to the next step
+            // boundary fuses into one micro-op list.
+            let mut end = pc + 1;
+            while end < n && pc_map[end].is_none() {
+                end += 1;
+            }
+            debug_assert!(end < n, "kernels end with KernelEnd, a control op");
+            let targets = static_targets(plan, &native, &pc_map, pc, end);
+            let next_t = targets[0];
+            let micro = compile_run(&plan.ops[pc..end]);
+            if micro.len() >= 2 {
+                fused_scalar_runs += 1;
+            }
+            steps.push(ThreadedStep {
+                run: Box::new(move |it, cur, _| {
+                    for m in &micro {
+                        m.exec(it);
+                    }
+                    cur.pc = next_t;
+                    Ok(false)
+                }),
+                targets,
+            });
+            pc = end;
+        } else if let Some((enter, next)) = span {
+            // A whole plain loop folds into this one step: evaluate the
+            // extent, then run the body micro-ops in a native `for`. A
+            // line-for-line mirror of what the pc tier's
+            // `op_loop_enter`/body/`op_loop_next` cycle does for a loop
+            // with no wave, no fusion and no scope bookkeeping — which
+            // is exactly nothing besides the iteration itself and the
+            // per-back-edge watchdog charge.
+            debug_assert_eq!(enter, pc, "native span starts at its LoopEnter");
+            let Op::LoopEnter(id) = op else {
+                unreachable!("native spans only cover LoopEnter ops")
+            };
+            let d = &plan.loops[*id];
+            // SAFETY: see the module docs (verified pointer ownership).
+            let extent = compile_idx(unsafe { &*d.extent });
+            let slot = d.slot;
+            let targets = static_targets(plan, &native, &pc_map, pc, next + 1);
+            let exit_t = targets[0];
+            let micro = compile_run(&plan.ops[d.body..next]);
+            fused_scalar_runs += 1;
+            steps.push(ThreadedStep {
+                run: Box::new(move |it, cur, _| {
+                    let n = extent.eval(it);
+                    if n <= 0 {
+                        cur.pc = exit_t;
+                        return Ok(false);
+                    }
+                    checked_assert!(slot < it.slots.len(), "loop slot {slot} out of range");
+                    it.slots[slot] = 0;
+                    let mut i: i64 = 0;
+                    loop {
+                        for m in &micro {
+                            m.exec(it);
+                        }
+                        // The back-edge: charge the watchdog once per
+                        // iteration, exactly as the pc tier's `LoopNext`
+                        // does, so fuel totals match.
+                        if cur.fuel == 0 {
+                            return Err(ExecError::Watchdog {
+                                limit: cur.fuel_limit,
+                            });
+                        }
+                        cur.fuel -= 1;
+                        i += 1;
+                        if i >= n {
+                            break;
+                        }
+                        it.slots[slot] = i;
+                    }
+                    cur.pc = exit_t;
+                    Ok(false)
+                }),
+                targets,
+            });
+            pc = next + 1;
+        } else {
+            let targets = static_targets(plan, &native, &pc_map, pc, pc + 1);
+            let run = compile_control(plan, pc, op, &targets);
+            steps.push(ThreadedStep { run, targets });
+            pc += 1;
+        }
+    }
+    let kernels = plan
+        .kernels
+        .iter()
+        .map(|k| ThreadedKernel {
+            entry: pc_map[k.entry].expect("kernel entry must begin a step"),
+            launch: k.launch,
+            batch_slot: k.batch_slot,
+        })
+        .collect();
+    ThreadedProgram {
+        steps,
+        kernels,
+        pc_map,
+        fused_scalar_runs,
+        specialize_ns: t0.elapsed().as_nanos() as u64,
+        source: plan.source.clone(),
+    }
+}
+
+/// Builds the closure of one control op, capturing exactly the state the
+/// pc runtime would decode per execution. Each body is a line-for-line
+/// mirror of the corresponding arm in `Interp::step_program` /
+/// `op_loop_enter` / `op_loop_next` / `op_fused_epilogue` — the
+/// three-way bit-identity property holds the mirrors to account.
+fn compile_control(plan: &Program, pc: Pc, op: &Op, targets: &[Pc]) -> StepFn {
+    match op {
+        Op::KernelEnd => Box::new(move |it, cur, _| {
+            it.pop_scope();
+            cur.in_launch = false;
+            cur.unit += 1;
+            Ok(false)
+        }),
+        Op::Branch { cond, .. } => {
+            // SAFETY: see the module docs (verified pointer ownership).
+            let cond = compile_bool(unsafe { &**cond });
+            let (on_true, on_false) = (targets[0], targets[1]);
+            Box::new(move |it, cur, _| {
+                it.profile.branch_checks += 1;
+                cur.pc = if cond(it) { on_true } else { on_false };
+                Ok(false)
+            })
+        }
+        Op::Jump(_) => {
+            let t = targets[0];
+            Box::new(move |_, cur, _| {
+                cur.pc = t;
+                Ok(false)
+            })
+        }
+        Op::BulkPass { id, .. } => {
+            let bulk: Rc<BulkPlan> = plan.bulks[*id].clone();
+            let (done_t, next_t) = (targets[0], targets[1]);
+            Box::new(move |it, cur, _| {
+                if it.opts.fastdot && it.opts.bulk && it.bulk_servable(&bulk) {
+                    it.exec_bulk(&bulk);
+                    cur.pc = done_t;
+                } else {
+                    cur.pc = next_t;
+                }
+                Ok(false)
+            })
+        }
+        Op::LoopEnter(id) => {
+            let d = &plan.loops[*id];
+            let extent = compile_idx(unsafe { &*d.extent });
+            let (slot, is_wave, is_node) = (d.slot, d.is_wave, d.is_node);
+            let wave: Option<(Rc<WavePlan>, usize)> = d.wave.map(|w| {
+                let wref = &plan.waves[w];
+                (wref.plan.clone(), wref.for_key)
+            });
+            let fused: Option<(usize, Rc<FusedWave>)> =
+                d.fused.map(|f| (*id, plan.fused[f].clone()));
+            let (body_t, exit_t) = (targets[0], targets[1]);
+            let fused_t = targets.get(2).copied();
+            Box::new(move |it, cur, defer| {
+                let n = extent.eval(it);
+                if is_node {
+                    if let Some(scope) = it.scopes.last_mut() {
+                        scope.width = scope.width.max(n.max(0) as u64);
+                    }
+                }
+                let mut activated = (0usize, 0usize);
+                let mut paused = false;
+                if n > 0 {
+                    if let Some((wplan, for_key)) = &wave {
+                        if (n as usize) < it.opts.min_wave_width {
+                            it.caches.stats.narrow_waves_skipped += 1;
+                        } else {
+                            let deferring = defer.is_some();
+                            let d = defer.as_mut().map(|(acc, req)| (&mut **acc, *req));
+                            activated = it.prepare_wave(wplan, *for_key, n as usize, d);
+                            paused = deferring && activated.1 > 0;
+                        }
+                    }
+                }
+                if n <= 0 {
+                    cur.pc = exit_t;
+                    return Ok(false);
+                }
+                if let Some((loop_id, fw)) = &fused {
+                    if it.opts.fastdot && it.opts.bulk && it.fused_servable(fw) {
+                        cur.recs.push(LoopRec::Fused {
+                            id: *loop_id,
+                            n: n as usize,
+                            activated,
+                        });
+                        cur.pc = fused_t.expect("fused loop records its epilogue target");
+                        return Ok(paused);
+                    }
+                }
+                let serve_t0 = (!paused && activated.1 > 0).then(Instant::now);
+                cur.recs.push(LoopRec::Iter {
+                    i: 0,
+                    n,
+                    activated,
+                    serve_t0,
+                });
+                if is_wave {
+                    it.push_scope(true);
+                }
+                checked_assert!(slot < it.slots.len(), "loop slot {slot} out of range");
+                it.slots[slot] = 0;
+                cur.pc = body_t;
+                Ok(paused)
+            })
+        }
+        Op::LoopNext(id) => {
+            let d = &plan.loops[*id];
+            let (slot, is_wave) = (d.slot, d.is_wave);
+            let (body_t, exit_t) = (targets[0], targets[1]);
+            Box::new(move |it, cur, _| {
+                // The IR's only back-edge: charge the watchdog here, as
+                // the pc dispatch loop does, so fuel totals match.
+                if cur.fuel == 0 {
+                    return Err(ExecError::Watchdog {
+                        limit: cur.fuel_limit,
+                    });
+                }
+                cur.fuel -= 1;
+                let Some(LoopRec::Iter { i, n, .. }) = cur.recs.last_mut() else {
+                    unreachable!("LoopNext without its loop record")
+                };
+                if is_wave {
+                    it.pop_scope();
+                }
+                *i += 1;
+                if *i < *n {
+                    if is_wave {
+                        it.push_scope(true);
+                    }
+                    let at = *i;
+                    it.slots[slot] = at;
+                    cur.pc = body_t;
+                } else {
+                    let Some(LoopRec::Iter {
+                        activated,
+                        serve_t0,
+                        ..
+                    }) = cur.recs.pop()
+                    else {
+                        unreachable!("checked above")
+                    };
+                    if activated != (0, 0) {
+                        it.finish_wave(activated);
+                    }
+                    if let Some(t0) = serve_t0 {
+                        it.caches.stats.serve_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    cur.pc = exit_t;
+                }
+                Ok(false)
+            })
+        }
+        Op::FusedEpilogue => {
+            let d = plan
+                .loops
+                .iter()
+                .find(|d| d.fused.is_some() && d.fused_pc == pc)
+                .expect("FusedEpilogue placed by a fused loop");
+            let fw: Rc<FusedWave> = plan.fused[d.fused.expect("fused loop def")].clone();
+            let exit_t = targets[0];
+            Box::new(move |it, cur, _| {
+                let Some(LoopRec::Fused { n, activated, .. }) = cur.recs.pop() else {
+                    unreachable!("FusedEpilogue without its loop record")
+                };
+                it.exec_fused_wave(&fw, n);
+                if activated != (0, 0) {
+                    it.finish_wave(activated);
+                }
+                cur.pc = exit_t;
+                Ok(false)
+            })
+        }
+        Op::ScalarStmt { stmt } => {
+            let stmt = *stmt;
+            let next_t = targets[0];
+            Box::new(move |it, cur, _| {
+                it.caches.stats.interp_stmts += 1;
+                // SAFETY: see the module docs.
+                it.exec_stmt(unsafe { &*stmt });
+                cur.pc = next_t;
+                Ok(false)
+            })
+        }
+        Op::Let { .. } | Op::Store { .. } | Op::Barrier => {
+            unreachable!("straight-line ops compile as micro-op runs")
+        }
+    }
+}
+
+/// Consistency check of a specialized table against its source program,
+/// run after [`specialize`] and before the engine dispatches through the
+/// table (the threaded half of the verify-before-run contract). The step
+/// layout and every static jump target are re-derived from the program
+/// and compared entry by entry, so a truncated, reordered or retargeted
+/// table is rejected typed — never executed.
+pub(crate) fn verify_threaded(tp: &ThreadedProgram, plan: &Program) -> Result<(), VerifyError> {
+    let native = native_loops(plan);
+    let pc_map = step_layout(plan);
+    let expected_steps = pc_map.iter().filter(|s| s.is_some()).count();
+    if tp.steps.len() != expected_steps {
+        return Err(VerifyError::ThreadedLengthMismatch {
+            what: "step",
+            found: tp.steps.len(),
+            expected: expected_steps,
+        });
+    }
+    if tp.kernels.len() != plan.kernels.len() {
+        return Err(VerifyError::ThreadedLengthMismatch {
+            what: "kernel",
+            found: tp.kernels.len(),
+            expected: plan.kernels.len(),
+        });
+    }
+    if tp.pc_map != pc_map {
+        return Err(VerifyError::ThreadedLengthMismatch {
+            what: "pc-map",
+            found: tp.pc_map.iter().filter(|s| s.is_some()).count(),
+            expected: expected_steps,
+        });
+    }
+    for (i, (k, src)) in tp.kernels.iter().zip(&plan.kernels).enumerate() {
+        let expected = pc_map[src.entry].expect("kernel entry begins a step");
+        if k.entry != expected || k.entry >= tp.steps.len() {
+            return Err(VerifyError::ThreadedEntryMismatch {
+                kernel: i,
+                entry: k.entry,
+                expected,
+            });
+        }
+        if k.launch != src.launch || k.batch_slot != src.batch_slot {
+            return Err(VerifyError::ThreadedEntryMismatch {
+                kernel: i,
+                entry: k.entry,
+                expected,
+            });
+        }
+    }
+    // Re-derive every step's static targets and hold the table to them.
+    let mut step = 0usize;
+    let mut pc = 0usize;
+    let n = plan.ops.len();
+    while pc < n {
+        let mut end = pc + 1;
+        while end < n && pc_map[end].is_none() {
+            end += 1;
+        }
+        let expected = static_targets(plan, &native, &pc_map, pc, end);
+        let found = &tp.steps[step].targets;
+        if let Some(&t) = found.iter().find(|&&t| t >= tp.steps.len()) {
+            return Err(VerifyError::ThreadedDanglingTarget {
+                step,
+                target: t,
+                len: tp.steps.len(),
+            });
+        }
+        if *found != expected {
+            return Err(VerifyError::ThreadedTargetMismatch { step });
+        }
+        step += 1;
+        pc = end;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The threaded dispatch loop
+// ---------------------------------------------------------------------
+
+impl<'a> Interp<'a> {
+    /// Runs the whole launch schedule to completion through the threaded
+    /// tier (the solo path — without a deferral accumulator nothing ever
+    /// parks). The fuel budget is [`Interp::watchdog_fuel`], identical
+    /// to the pc tier's, so watchdog behavior cannot differ between
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Watchdog`] if the run exhausts its back-edge budget.
+    pub(crate) fn run_threaded(&mut self) -> Result<(), ExecError> {
+        let fuel = self.watchdog_fuel();
+        let mut cur = PcCursor::new(self.launch_units(), fuel);
+        let outcome = self.step_threaded(&mut cur, None)?;
+        debug_assert_eq!(outcome, StepOutcome::Done, "solo runs never park");
+        Ok(())
+    }
+
+    /// Advances this request through the specialized step table until it
+    /// parks for a super-wave flush or the launch schedule completes —
+    /// the threaded twin of `Interp::step_program`, sharing [`PcCursor`]
+    /// so the park/resume protocol is byte-for-byte the same (a parked
+    /// request is a step index plus loop records).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Watchdog`] if the cursor's back-edge budget runs out.
+    pub(crate) fn step_threaded(
+        &mut self,
+        cur: &mut PcCursor,
+        defer: Option<(&mut SuperWaveAcc, usize)>,
+    ) -> Result<StepOutcome, ExecError> {
+        let tp = self
+            .threaded
+            .clone()
+            .expect("threaded dispatch without a specialized program");
+        let mut defer = defer;
+        loop {
+            if !cur.in_launch {
+                let Some(&(ki, b)) = cur.units.get(cur.unit) else {
+                    if !cur.done {
+                        cur.done = true;
+                        self.finalize_run();
+                    }
+                    return Ok(StepOutcome::Done);
+                };
+                super::maybe_inject(
+                    &self.caches.fault_hook,
+                    super::FaultSite::Launch {
+                        nodes: self.lin.num_nodes(),
+                    },
+                );
+                let kernel = &tp.kernels[ki];
+                self.cur_kernel = ki;
+                self.profile.launches += 1;
+                self.profile.host_api_calls += 1;
+                self.push_scope(kernel.launch == LaunchPattern::PerInternalBatch);
+                if let Some(bv) = kernel.batch_slot {
+                    self.slots[bv] = b.expect("per-batch kernel needs a batch index");
+                }
+                cur.in_launch = true;
+                cur.pc = kernel.entry;
+            }
+            checked_assert!(cur.pc < tp.steps.len(), "step pc {} out of range", cur.pc);
+            if (tp.steps[cur.pc].run)(self, cur, &mut defer)? {
+                return Ok(StepOutcome::Paused);
+            }
+        }
+    }
+}

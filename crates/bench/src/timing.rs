@@ -117,6 +117,70 @@ pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
     (r, t.elapsed())
 }
 
+/// The result of a paired A/B comparison (see [`paired_compare`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PairedReport {
+    /// Median seconds per iteration of `a` across blocks.
+    pub a_s: f64,
+    /// Median seconds per iteration of `b` across blocks.
+    pub b_s: f64,
+    /// Median of the per-block `b/a` time ratios — the speedup of `a`
+    /// over `b`, robust to frequency drift between blocks.
+    pub speedup: f64,
+}
+
+/// Compares two workloads by alternating timed blocks — `iters` runs of
+/// `a`, then `iters` of `b`, repeated `blocks` times — and reporting the
+/// median of the **per-block-pair** time ratios. Separately-measured
+/// medians (as [`Bench`] produces) are vulnerable to CPU frequency drift
+/// between the two measurement windows; pairing each `a` block with the
+/// `b` block measured microseconds later cancels that drift, which
+/// matters when the claimed difference is tens of percent and the noise
+/// floor is larger. One calibration/warm-up block of each runs first.
+pub fn paired_compare<R, S>(
+    blocks: u32,
+    iters: u32,
+    mut a: impl FnMut() -> R,
+    mut b: impl FnMut() -> S,
+) -> PairedReport {
+    let blocks = blocks.max(3) as usize;
+    let iters = iters.max(1);
+    let time_block = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        (t.elapsed().max(Duration::from_nanos(1))).as_secs_f64() / f64::from(iters)
+    };
+    let mut fa = || {
+        std::hint::black_box(a());
+    };
+    let mut fb = || {
+        std::hint::black_box(b());
+    };
+    time_block(&mut fa);
+    time_block(&mut fb);
+    let mut ta = Vec::with_capacity(blocks);
+    let mut tb = Vec::with_capacity(blocks);
+    let mut ratios = Vec::with_capacity(blocks);
+    for _ in 0..blocks {
+        let x = time_block(&mut fa);
+        let y = time_block(&mut fb);
+        ta.push(x);
+        tb.push(y);
+        ratios.push(y / x);
+    }
+    let med = |v: &mut Vec<f64>| {
+        v.sort_unstable_by(|p, q| p.partial_cmp(q).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    PairedReport {
+        a_s: med(&mut ta),
+        b_s: med(&mut tb),
+        speedup: med(&mut ratios),
+    }
+}
+
 /// One warm-up run, then the median wall-clock of `samples` single
 /// executions of `f`. For workloads that take milliseconds or more per
 /// run, where [`Bench`]'s iteration calibration is unnecessary.
